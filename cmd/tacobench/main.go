@@ -1,0 +1,62 @@
+// Command tacobench regenerates the tables and figures of the paper's
+// evaluation (Sec. VI) on the synthetic corpora.
+//
+// Usage:
+//
+//	tacobench [-exp all] [-scale 1.0] [-timeout 10s]
+//
+// Experiments: fig1, sizes (Tables II-IV), table5, fig10, fig11, fig12,
+// fig13 (runs Figs. 13-15 together), fig16, cem, all.
+//
+// Absolute numbers depend on the host; the shapes — who wins, by what
+// factor, where DNFs appear — are what reproduce the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"taco/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig1|sizes|table5|fig10|fig11|fig12|fig13|fig16|accesses|cem|all")
+	scale := flag.Float64("scale", 1.0, "corpus scale factor (sheet sizes and counts)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-measurement DNF timeout for the baseline experiments")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Timeout: *timeout, Out: os.Stdout}
+
+	run := map[string]func(){
+		"fig1":     func() { experiments.RunFig1(cfg) },
+		"sizes":    func() { experiments.RunSizes(cfg) },
+		"table5":   func() { experiments.RunTable5(cfg) },
+		"fig10":    func() { experiments.RunFig10(cfg) },
+		"fig11":    func() { experiments.RunFig11(cfg) },
+		"fig12":    func() { experiments.RunFig12(cfg) },
+		"fig13":    func() { experiments.RunFig13to15(cfg) },
+		"fig16":    func() { experiments.RunFig16(cfg) },
+		"accesses": func() { experiments.RunAccesses(cfg) },
+		"cem":      func() { experiments.RunCEM(cfg) },
+	}
+	order := []string{"fig1", "sizes", "table5", "fig10", "fig11", "fig12", "fig13", "fig16", "accesses", "cem"}
+
+	selected := strings.Split(*exp, ",")
+	if *exp == "all" {
+		selected = order
+	}
+	for _, name := range selected {
+		fn, ok := run[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tacobench: unknown experiment %q (want one of %s, or all)\n",
+				name, strings.Join(order, "|"))
+			os.Exit(2)
+		}
+		start := time.Now()
+		fn()
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,140 @@
+// Command tacotrace loads an .xlsx workbook and traces the dependents or
+// precedents of a cell or range directly on the TACO-compressed formula
+// graph — the third-party dependency-audit use case of Sec. VI-A (the
+// "TACO Lens" style tool).
+//
+// Usage:
+//
+//	tacotrace -file book.xlsx [-sheet 0] -cell B2 [-precedents] [-stats]
+//
+// With -stats it also prints compression statistics for every sheet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"taco"
+	"taco/internal/core"
+	"taco/internal/stats"
+)
+
+func main() {
+	file := flag.String("file", "", "xlsx file to load (required)")
+	sheetIdx := flag.Int("sheet", 0, "sheet index")
+	cell := flag.String("cell", "", "cell or range to trace, e.g. B2 or A1:A10")
+	precedents := flag.Bool("precedents", false, "trace precedents instead of dependents")
+	showStats := flag.Bool("stats", false, "print per-sheet compression statistics")
+	saveSnap := flag.String("save-graph", "", "write the compressed graph snapshot of the selected sheet to this file")
+	flag.Parse()
+
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "tacotrace: -file is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	sheets, err := taco.ReadXLSX(*file)
+	if err != nil {
+		fatal(err)
+	}
+	if len(sheets) == 0 {
+		fatal(fmt.Errorf("no sheets in %s", *file))
+	}
+
+	if *showStats {
+		t := stats.NewTable("Sheet", "Cells", "Deps", "Edges", "Remaining", "Patterns")
+		for _, s := range sheets {
+			g, err := taco.SheetGraph(s, taco.DefaultOptions())
+			if err != nil {
+				fatal(err)
+			}
+			st := g.Stats()
+			frac := 0.0
+			if st.Dependencies > 0 {
+				frac = float64(st.Edges) / float64(st.Dependencies)
+			}
+			t.AddRow(s.Name, len(s.Cells), stats.FormatCount(st.Dependencies),
+				stats.FormatCount(st.Edges), stats.FormatPercent(frac), patternSummary(g))
+		}
+		fmt.Print(t)
+	}
+
+	if *cell == "" && *saveSnap == "" {
+		return
+	}
+	if *sheetIdx < 0 || *sheetIdx >= len(sheets) {
+		fatal(fmt.Errorf("sheet index %d out of range (file has %d sheets)", *sheetIdx, len(sheets)))
+	}
+	s := sheets[*sheetIdx]
+	g, err := taco.SheetGraph(s, taco.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	if *saveSnap != "" {
+		f, err := os.Create(*saveSnap)
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.WriteSnapshot(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote compressed graph snapshot (%d edges) to %s\n", g.NumEdges(), *saveSnap)
+	}
+	if *cell == "" {
+		return
+	}
+	target, err := taco.ParseRange(*cell)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	var result []taco.Range
+	kind := "dependents"
+	if *precedents {
+		kind = "precedents"
+		result = g.FindPrecedents(target)
+	} else {
+		result = g.FindDependents(target)
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(result, func(i, j int) bool {
+		a, b := result[i].Head, result[j].Head
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Row < b.Row
+	})
+	fmt.Printf("%s of %s in sheet %q: %d cells in %d ranges (found in %s)\n",
+		kind, target, s.Name, taco.CountCells(result), len(result), elapsed.Round(time.Microsecond))
+	for _, r := range result {
+		fmt.Printf("  %s\n", r)
+	}
+}
+
+func patternSummary(g *taco.Graph) string {
+	st := g.PatternStats()
+	order := []core.PatternType{core.RR, core.RF, core.FR, core.FF, core.RRChain, core.Single}
+	out := ""
+	for _, p := range order {
+		if st[p].Edges > 0 {
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%s:%d", p, st[p].Edges)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tacotrace:", err)
+	os.Exit(1)
+}

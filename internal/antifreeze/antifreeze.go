@@ -1,0 +1,168 @@
+// Package antifreeze reimplements the formula-graph compression of the
+// Antifreeze system (Bendre et al., SIGMOD 2019), the specialised comparator
+// of the paper's Sec. VI-D. Antifreeze precomputes, for every cell, its full
+// transitive dependent set, compresses that set into at most K bounding
+// ranges (K = 20, as in the original paper), and stores cell -> ranges in a
+// look-up table.
+//
+// Queries are then O(1) table look-ups — as fast as TACO — but at two costs
+// the paper measures: building the table requires a transitive closure per
+// cell (which is why Antifreeze DNFs on large sheets in Fig. 13), bounding-
+// range compression can introduce false positives, and any modification
+// rebuilds the table from scratch (Fig. 15).
+package antifreeze
+
+import (
+	"sort"
+
+	"taco/internal/core"
+	"taco/internal/nocomp"
+	"taco/internal/ref"
+)
+
+// DefaultMaxRanges is the bounding-range budget per cell used by the
+// original system.
+const DefaultMaxRanges = 20
+
+// Table is the Antifreeze dependent look-up table.
+type Table struct {
+	maxRanges int
+	deps      []core.Dependency
+	entries   map[ref.Ref][]ref.Range
+}
+
+// Build computes the table for the dependency list. maxRanges <= 0 selects
+// DefaultMaxRanges. The budget parameter onBudget, when non-nil, is called
+// once per processed cell and may return false to abandon the build (the
+// harness uses it to implement the paper's DNF timeout).
+func Build(deps []core.Dependency, maxRanges int, onBudget func() bool) *Table {
+	if maxRanges <= 0 {
+		maxRanges = DefaultMaxRanges
+	}
+	t := &Table{
+		maxRanges: maxRanges,
+		deps:      append([]core.Dependency(nil), deps...),
+		entries:   make(map[ref.Ref][]ref.Range),
+	}
+	t.rebuild(onBudget)
+	return t
+}
+
+// rebuild recomputes the whole look-up table (used on build and after every
+// modification, matching the original system's behaviour).
+func (t *Table) rebuild(onBudget func() bool) bool {
+	t.entries = make(map[ref.Ref][]ref.Range)
+	g := nocomp.Build(t.deps)
+	// Every cell that can be updated needs an entry: cells referenced by
+	// formulae (precedent cells) and formula cells themselves.
+	seen := map[ref.Ref]bool{}
+	for _, d := range t.deps {
+		if !seen[d.Dep] {
+			seen[d.Dep] = true
+			if !t.addEntry(g, d.Dep, onBudget) {
+				return false
+			}
+		}
+		stop := false
+		d.Prec.Cells(func(c ref.Ref) bool {
+			if !seen[c] {
+				seen[c] = true
+				if !t.addEntry(g, c, onBudget) {
+					stop = true
+					return false
+				}
+			}
+			return true
+		})
+		if stop {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Table) addEntry(g *nocomp.Graph, c ref.Ref, onBudget func() bool) bool {
+	if onBudget != nil && !onBudget() {
+		return false
+	}
+	dependents := g.FindDependents(ref.CellRange(c))
+	if len(dependents) == 0 {
+		return true
+	}
+	t.entries[c] = compressRanges(dependents, t.maxRanges)
+	return true
+}
+
+// compressRanges reduces a set of single-cell ranges to at most maxRanges
+// bounding ranges. First vertically contiguous cells per column are merged
+// exactly, then the closest consecutive pair (by wasted bounding area) is
+// merged until the budget holds — the lossy step that introduces the false
+// positives Sec. I mentions.
+func compressRanges(cells []ref.Range, maxRanges int) []ref.Range {
+	pts := make([]ref.Ref, 0, len(cells))
+	for _, r := range cells {
+		pts = append(pts, r.Head)
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Col != pts[j].Col {
+			return pts[i].Col < pts[j].Col
+		}
+		return pts[i].Row < pts[j].Row
+	})
+	var rects []ref.Range
+	for _, p := range pts {
+		n := len(rects)
+		if n > 0 && rects[n-1].Head.Col == p.Col && rects[n-1].Tail.Col == p.Col &&
+			rects[n-1].Tail.Row+1 == p.Row {
+			rects[n-1].Tail = p
+			continue
+		}
+		rects = append(rects, ref.CellRange(p))
+	}
+	for len(rects) > maxRanges {
+		// Merge the consecutive pair with the least wasted area.
+		best, bestWaste := 0, int(^uint(0)>>1)
+		for i := 0; i+1 < len(rects); i++ {
+			waste := rects[i].Bound(rects[i+1]).Size() - rects[i].Size() - rects[i+1].Size()
+			if waste < bestWaste {
+				best, bestWaste = i, waste
+			}
+		}
+		rects[best] = rects[best].Bound(rects[best+1])
+		rects = append(rects[:best+1], rects[best+2:]...)
+	}
+	return rects
+}
+
+// FindDependents returns the (possibly over-approximated) dependent ranges
+// of r via table look-ups.
+func (t *Table) FindDependents(r ref.Range) []ref.Range {
+	var out []ref.Range
+	seen := map[ref.Range]bool{}
+	r.Cells(func(c ref.Ref) bool {
+		for _, g := range t.entries[c] {
+			if !seen[g] {
+				seen[g] = true
+				out = append(out, g)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Clear removes the dependencies of formula cells in s and rebuilds the
+// table from scratch, as the original system does.
+func (t *Table) Clear(s ref.Range) {
+	kept := t.deps[:0]
+	for _, d := range t.deps {
+		if !s.Contains(d.Dep) {
+			kept = append(kept, d)
+		}
+	}
+	t.deps = kept
+	t.rebuild(nil)
+}
+
+// NumEntries returns the number of table entries (cells with dependents).
+func (t *Table) NumEntries() int { return len(t.entries) }

@@ -1,0 +1,136 @@
+package antifreeze
+
+import (
+	"math/rand"
+	"testing"
+
+	"taco/internal/core"
+	"taco/internal/nocomp"
+	"taco/internal/ref"
+)
+
+func dep(prec, cell string) core.Dependency {
+	return core.Dependency{Prec: ref.MustRange(prec), Dep: ref.MustCell(cell)}
+}
+
+func cellsOf(rs []ref.Range) map[ref.Ref]bool {
+	out := map[ref.Ref]bool{}
+	for _, g := range rs {
+		g.Cells(func(c ref.Ref) bool {
+			out[c] = true
+			return true
+		})
+	}
+	return out
+}
+
+func TestLookupMatchesClosure(t *testing.T) {
+	deps := []core.Dependency{
+		dep("A1:A3", "B1"), dep("A1:A3", "B2"), dep("B1", "C1"),
+		dep("B3", "C1"), dep("B2:B3", "C2"),
+	}
+	tbl := Build(deps, 0, nil)
+	got := cellsOf(tbl.FindDependents(ref.MustRange("A1")))
+	want := cellsOf(nocomp.Build(deps).FindDependents(ref.MustRange("A1")))
+	for c := range want {
+		if !got[c] {
+			t.Errorf("missing dependent %v", c)
+		}
+	}
+}
+
+func TestBoundingRangesIntroduceFalsePositives(t *testing.T) {
+	// Dependents scattered across distant cells must collapse into <= 2
+	// bounding ranges, over-covering the gaps.
+	var deps []core.Dependency
+	for i := 0; i < 10; i++ {
+		deps = append(deps, core.Dependency{
+			Prec: ref.MustRange("A1"),
+			Dep:  ref.Ref{Col: 3, Row: 1 + i*10}, // C1, C11, C21, ...
+		})
+	}
+	tbl := Build(deps, 2, nil)
+	got := tbl.FindDependents(ref.MustRange("A1"))
+	if len(got) > 2 {
+		t.Fatalf("ranges = %d, want <= 2", len(got))
+	}
+	// The true dependents are all covered (superset semantics)...
+	covered := cellsOf(got)
+	for _, d := range deps {
+		if !covered[d.Dep] {
+			t.Fatalf("true dependent %v not covered", d.Dep)
+		}
+	}
+	// ...and the compression over-approximates (more cells than truth).
+	if core.CountCells(got) <= len(deps) {
+		t.Fatalf("expected false positives, got exact cover of %d cells", core.CountCells(got))
+	}
+}
+
+func TestExactWhenUnderBudget(t *testing.T) {
+	deps := []core.Dependency{
+		dep("A1", "B1"), dep("A1", "B2"), dep("A1", "B3"),
+	}
+	tbl := Build(deps, 0, nil)
+	got := tbl.FindDependents(ref.MustRange("A1"))
+	// Contiguous column cells merge exactly into B1:B3.
+	if len(got) != 1 || got[0] != ref.MustRange("B1:B3") {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClearRebuilds(t *testing.T) {
+	deps := []core.Dependency{
+		dep("A1", "B1"), dep("B1", "C1"),
+	}
+	tbl := Build(deps, 0, nil)
+	if n := core.CountCells(tbl.FindDependents(ref.MustRange("A1"))); n != 2 {
+		t.Fatalf("before clear: %d", n)
+	}
+	tbl.Clear(ref.MustRange("C1"))
+	if n := core.CountCells(tbl.FindDependents(ref.MustRange("A1"))); n != 1 {
+		t.Fatalf("after clear: %d", n)
+	}
+}
+
+func TestBudgetAbort(t *testing.T) {
+	var deps []core.Dependency
+	rng := rand.New(rand.NewSource(1))
+	for row := 1; row <= 50; row++ {
+		deps = append(deps, core.Dependency{
+			Prec: ref.CellRange(ref.Ref{Col: 1, Row: row}),
+			Dep:  ref.Ref{Col: 2, Row: row},
+		})
+	}
+	_ = rng
+	calls := 0
+	tbl := Build(deps, 0, func() bool {
+		calls++
+		return calls <= 10
+	})
+	if calls != 11 {
+		t.Fatalf("budget calls = %d", calls)
+	}
+	if tbl.NumEntries() > 10 {
+		t.Fatalf("entries after abort = %d", tbl.NumEntries())
+	}
+}
+
+func TestBuildCostGrowsWithClosure(t *testing.T) {
+	// A chain of n cells costs O(n^2) closure work — this is why Antifreeze
+	// DNFs in Fig. 13. We only verify the table is complete and correct on a
+	// modest chain here.
+	var deps []core.Dependency
+	n := 60
+	for row := 2; row <= n; row++ {
+		deps = append(deps, core.Dependency{
+			Prec: ref.CellRange(ref.Ref{Col: 1, Row: row - 1}),
+			Dep:  ref.Ref{Col: 1, Row: row},
+		})
+	}
+	tbl := Build(deps, 0, nil)
+	got := core.CountCells(tbl.FindDependents(ref.CellRange(ref.Ref{Col: 1, Row: 1})))
+	if got != n-1 {
+		t.Fatalf("chain head dependents = %d, want %d", got, n-1)
+	}
+}

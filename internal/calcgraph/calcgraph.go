@@ -1,0 +1,145 @@
+// Package calcgraph implements NoComp-Calc, the baseline of the paper's
+// Sec. VI-E derived from OpenOffice Calc's formula-dependency design. Like
+// NoComp it stores one edge per dependency without compression; unlike
+// NoComp it finds overlapping vertices not with an R-tree but with
+// pre-partitioned *containers*: the sheet space is divided into fixed
+// blocks, each range is registered in every block it intersects, and a query
+// scans the blocks it touches.
+//
+// Containers are cheap to maintain but degrade on large ranges (a running
+// total's precedent registers in thousands of blocks) — the behaviour that
+// makes NoComp-Calc the slowest finder in Fig. 16.
+package calcgraph
+
+import (
+	"taco/internal/core"
+	"taco/internal/ref"
+)
+
+// Block geometry: full-width bands of blockRows rows per column group.
+const (
+	blockRows = 128
+	blockCols = 8
+)
+
+type blockKey struct {
+	colBand int
+	rowBand int
+}
+
+func blocksOf(r ref.Range) []blockKey {
+	var out []blockKey
+	for cb := (r.Head.Col - 1) / blockCols; cb <= (r.Tail.Col-1)/blockCols; cb++ {
+		for rb := (r.Head.Row - 1) / blockRows; rb <= (r.Tail.Row-1)/blockRows; rb++ {
+			out = append(out, blockKey{cb, rb})
+		}
+	}
+	return out
+}
+
+// Edge is one uncompressed dependency edge.
+type Edge struct {
+	Prec ref.Range
+	Dep  ref.Ref
+}
+
+// Graph is the container-partitioned uncompressed formula graph.
+type Graph struct {
+	edges      map[*Edge]struct{}
+	precBlocks map[blockKey][]*Edge
+	depBlocks  map[blockKey][]*Edge
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		edges:      map[*Edge]struct{}{},
+		precBlocks: map[blockKey][]*Edge{},
+		depBlocks:  map[blockKey][]*Edge{},
+	}
+}
+
+// Build loads a dependency list.
+func Build(deps []core.Dependency) *Graph {
+	g := NewGraph()
+	for _, d := range deps {
+		g.AddDependency(d)
+	}
+	return g
+}
+
+// AddDependency registers one dependency in every container its ranges
+// intersect.
+func (g *Graph) AddDependency(d core.Dependency) {
+	e := &Edge{Prec: d.Prec, Dep: d.Dep}
+	g.edges[e] = struct{}{}
+	for _, b := range blocksOf(e.Prec) {
+		g.precBlocks[b] = append(g.precBlocks[b], e)
+	}
+	for _, b := range blocksOf(ref.CellRange(e.Dep)) {
+		g.depBlocks[b] = append(g.depBlocks[b], e)
+	}
+}
+
+// NumEdges returns the number of dependencies stored.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// FindDependents returns the transitive dependent cells of r.
+func (g *Graph) FindDependents(r ref.Range) []ref.Range {
+	visited := map[ref.Ref]bool{}
+	var out []ref.Range
+	queue := []ref.Range{r}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		seenEdge := map[*Edge]bool{}
+		for _, b := range blocksOf(cur) {
+			for _, e := range g.precBlocks[b] {
+				if seenEdge[e] || !e.Prec.Overlaps(cur) {
+					continue
+				}
+				seenEdge[e] = true
+				if !visited[e.Dep] {
+					visited[e.Dep] = true
+					c := ref.CellRange(e.Dep)
+					out = append(out, c)
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Clear removes every dependency whose formula cell lies in s.
+func (g *Graph) Clear(s ref.Range) {
+	var doomed []*Edge
+	seen := map[*Edge]bool{}
+	for _, b := range blocksOf(s) {
+		for _, e := range g.depBlocks[b] {
+			if !seen[e] && s.Contains(e.Dep) {
+				seen[e] = true
+				doomed = append(doomed, e)
+			}
+		}
+	}
+	for _, e := range doomed {
+		delete(g.edges, e)
+		for _, b := range blocksOf(e.Prec) {
+			g.precBlocks[b] = removeEdge(g.precBlocks[b], e)
+		}
+		for _, b := range blocksOf(ref.CellRange(e.Dep)) {
+			g.depBlocks[b] = removeEdge(g.depBlocks[b], e)
+		}
+	}
+}
+
+func removeEdge(list []*Edge, e *Edge) []*Edge {
+	kept := list[:0]
+	for _, x := range list {
+		if x != e {
+			kept = append(kept, x)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,95 @@
+package calcgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"taco/internal/core"
+	"taco/internal/nocomp"
+	"taco/internal/ref"
+)
+
+func dep(prec, cell string) core.Dependency {
+	return core.Dependency{Prec: ref.MustRange(prec), Dep: ref.MustCell(cell)}
+}
+
+func cellsOf(rs []ref.Range) map[ref.Ref]bool {
+	out := map[ref.Ref]bool{}
+	for _, g := range rs {
+		g.Cells(func(c ref.Ref) bool {
+			out[c] = true
+			return true
+		})
+	}
+	return out
+}
+
+func TestBasicTraversal(t *testing.T) {
+	g := Build([]core.Dependency{
+		dep("A1:A3", "B1"), dep("B1", "C1"), dep("A2", "B2"),
+	})
+	got := cellsOf(g.FindDependents(ref.MustRange("A2")))
+	for _, c := range []string{"B1", "B2", "C1"} {
+		if !got[ref.MustCell(c)] {
+			t.Errorf("missing %s", c)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("dependents = %v", got)
+	}
+}
+
+func TestLargeRangeSpansManyContainers(t *testing.T) {
+	// A precedent spanning thousands of rows registers in many blocks and is
+	// still found from any of them.
+	g := Build([]core.Dependency{dep("A1:A5000", "B1")})
+	for _, q := range []string{"A1", "A2500", "A5000"} {
+		got := g.FindDependents(ref.MustRange(q))
+		if len(got) != 1 || got[0] != ref.MustRange("B1") {
+			t.Fatalf("query %s = %v", q, got)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	g := Build([]core.Dependency{dep("A1", "B1"), dep("B1", "C1")})
+	g.Clear(ref.MustRange("B1"))
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if got := g.FindDependents(ref.MustRange("A1")); len(got) != 0 {
+		t.Fatalf("dependents = %v", got)
+	}
+}
+
+func TestAgreesWithNoComp(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var deps []core.Dependency
+	for col := 2; col <= 5; col++ {
+		for row := 1; row <= 300; row++ {
+			if rng.Intn(6) == 0 {
+				continue
+			}
+			src := 1 + rng.Intn(col-1)
+			deps = append(deps, core.Dependency{
+				Prec: ref.RangeOf(ref.Ref{Col: src, Row: row}, ref.Ref{Col: src, Row: row + rng.Intn(4)}),
+				Dep:  ref.Ref{Col: col, Row: row},
+			})
+		}
+	}
+	cg := Build(deps)
+	nc := nocomp.Build(deps)
+	for q := 0; q < 10; q++ {
+		r := ref.CellRange(ref.Ref{Col: 1 + rng.Intn(5), Row: 1 + rng.Intn(300)})
+		a := cellsOf(cg.FindDependents(r))
+		b := cellsOf(nc.FindDependents(r))
+		if len(a) != len(b) {
+			t.Fatalf("query %v: calc %d vs nocomp %d", r, len(a), len(b))
+		}
+		for c := range b {
+			if !a[c] {
+				t.Fatalf("query %v: calc missing %v", r, c)
+			}
+		}
+	}
+}

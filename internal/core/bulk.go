@@ -1,0 +1,107 @@
+package core
+
+import (
+	"taco/internal/ref"
+)
+
+// BuildBulk compresses a dependency list with a streaming fast path. The
+// general insertion algorithm (Alg. 2) pays an R-tree candidate search per
+// dependency; when dependencies arrive in column-major load order — the way
+// spreadsheet files are parsed (Sec. VI-A configures POI to load by
+// columns) — runs of adjacent formula cells arrive consecutively, so the
+// builder can extend open runs directly and only touch the R-trees once per
+// *compressed* edge.
+//
+// The fast path only merges column-axis runs; dependencies it cannot merge
+// are inserted as Single edges via the same indexes. Compression quality on
+// column-major corpora matches the greedy builder (tests assert parity);
+// the greedy builder remains the general path for out-of-order insertion
+// and row-major sheets.
+func BuildBulk(deps []Dependency, opts Options) *Graph {
+	g := NewGraph(opts)
+	if len(deps) == 0 {
+		return g
+	}
+
+	// Group consecutive dependencies by formula cell, preserving order.
+	type group struct {
+		at   ref.Ref
+		deps []Dependency
+	}
+	var groups []group
+	for _, d := range deps {
+		if n := len(groups); n > 0 && groups[n-1].at == d.Dep {
+			groups[n-1].deps = append(groups[n-1].deps, d)
+			continue
+		}
+		groups = append(groups, group{at: d.Dep, deps: []Dependency{d}})
+	}
+
+	var open []*Edge
+	var prev ref.Ref
+	havePrev := false
+	flush := func() {
+		for _, e := range open {
+			g.insertEdge(e)
+		}
+		open = open[:0]
+	}
+	openFresh := func(ds []Dependency) {
+		for _, d := range ds {
+			open = append(open, singleEdge(d))
+		}
+	}
+
+	for _, gr := range groups {
+		adjacent := havePrev && gr.at.Col == prev.Col && gr.at.Row == prev.Row+1
+		if !adjacent || len(gr.deps) != len(open) {
+			flush()
+			openFresh(gr.deps)
+			prev, havePrev = gr.at, true
+			continue
+		}
+		// Extend each open run with the matching reference, in order.
+		for i, d := range gr.deps {
+			if merged := g.extendRun(open[i], d); merged != nil {
+				open[i] = merged
+			} else {
+				g.insertEdge(open[i])
+				open[i] = singleEdge(d)
+			}
+		}
+		prev = gr.at
+	}
+	flush()
+	return g
+}
+
+// extendRun tries to extend one open run with a column-adjacent dependency,
+// choosing the pattern with the greedy heuristics' priorities (special
+// pattern first, then dollar cues, then declaration order).
+func (g *Graph) extendRun(e *Edge, d Dependency) *Edge {
+	if e.Pattern != Single {
+		if merged := AddDep(e, d, e.Pattern, ref.AxisCol); merged != nil && g.allowed(merged) {
+			return merged
+		}
+		return nil
+	}
+	var best *Edge
+	bestScore := -1
+	for _, p := range g.opts.patterns() {
+		merged := AddDep(e, d, p, ref.AxisCol)
+		if merged == nil || !g.allowed(merged) {
+			continue
+		}
+		score := 0
+		if merged.Pattern == RRChain {
+			score += 1 << 8
+		}
+		if g.opts.UseDollarCues && cueMatch(merged.Pattern, d) {
+			score += 1 << 4
+		}
+		if score > bestScore {
+			best, bestScore = merged, score
+		}
+	}
+	return best
+}

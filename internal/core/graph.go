@@ -1,0 +1,407 @@
+package core
+
+import (
+	"sort"
+
+	"taco/internal/ref"
+	"taco/internal/rtree"
+)
+
+// Options configures a TACO graph.
+type Options struct {
+	// Patterns lists the enabled compression patterns in priority order.
+	// Nil enables all patterns (RR-Chain, RR, RF, FR, FF) — RR-Chain first
+	// because the paper's heuristic prefers the special pattern over its
+	// general case.
+	Patterns []PatternType
+	// UseDollarCues enables the `$` dollar-sign tie-breaking heuristic of
+	// Sec. IV-A.
+	UseDollarCues bool
+	// InRowOnly restricts compression to the TACO-InRow variant of
+	// Sec. VI-B: only column runs whose formulae reference ranges in their
+	// own row (derived columns) are compressed, using RR.
+	InRowOnly bool
+}
+
+// DefaultOptions returns the full TACO configuration used in the paper's
+// TACO-Full experiments.
+func DefaultOptions() Options {
+	return Options{UseDollarCues: true}
+}
+
+// InRowOptions returns the TACO-InRow configuration.
+func InRowOptions() Options {
+	return Options{Patterns: []PatternType{RR}, InRowOnly: true}
+}
+
+var allPatterns = []PatternType{RRChain, RR, RF, FR, FF}
+
+func (o Options) patterns() []PatternType {
+	if o.Patterns == nil {
+		return allPatterns
+	}
+	return o.Patterns
+}
+
+// Graph is a TACO compressed formula graph. It supports adding dependencies
+// one at a time (compressing greedily per Alg. 2), querying dependents and
+// precedents directly on the compressed representation (Alg. 3), and
+// incremental maintenance when formula cells are cleared or updated.
+//
+// Graph is not safe for concurrent mutation; wrap it with a lock if needed.
+type Graph struct {
+	opts   Options
+	edges  map[*Edge]struct{}
+	byPrec *rtree.Tree[*Edge] // indexed by Edge.Prec
+	byDep  *rtree.Tree[*Edge] // indexed by Edge.Dep
+}
+
+// NewGraph returns an empty TACO graph with the given options.
+func NewGraph(opts Options) *Graph {
+	return &Graph{
+		opts:   opts,
+		edges:  make(map[*Edge]struct{}),
+		byPrec: rtree.New[*Edge](),
+		byDep:  rtree.New[*Edge](),
+	}
+}
+
+// Build constructs a compressed graph from a list of dependencies.
+func Build(deps []Dependency, opts Options) *Graph {
+	g := NewGraph(opts)
+	for _, d := range deps {
+		g.AddDependency(d)
+	}
+	return g
+}
+
+// NumEdges returns |E|, the number of (compressed) edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumDependencies returns |E'|, the number of underlying uncompressed
+// dependencies represented by the graph.
+func (g *Graph) NumDependencies() int {
+	n := 0
+	for e := range g.edges {
+		n += e.Count()
+	}
+	return n
+}
+
+// NumVertices returns |V|, the number of distinct ranges appearing as a
+// precedent or dependent of some edge.
+func (g *Graph) NumVertices() int {
+	seen := make(map[ref.Range]struct{}, 2*len(g.edges))
+	for e := range g.edges {
+		seen[e.Prec] = struct{}{}
+		seen[e.Dep] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Edges calls fn for every edge. Iteration order is unspecified.
+func (g *Graph) Edges(fn func(*Edge) bool) {
+	for e := range g.edges {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+func (g *Graph) insertEdge(e *Edge) {
+	g.edges[e] = struct{}{}
+	g.byPrec.Insert(e.Prec, e)
+	g.byDep.Insert(e.Dep, e)
+}
+
+func (g *Graph) deleteEdge(e *Edge) {
+	delete(g.edges, e)
+	g.byPrec.Delete(e.Prec, func(x *Edge) bool { return x == e })
+	g.byDep.Delete(e.Dep, func(x *Edge) bool { return x == e })
+}
+
+// candidate is one valid way to compress an inserted dependency.
+type candidate struct {
+	merged *Edge
+	old    *Edge
+	axis   ref.Axis
+}
+
+// AddDependency inserts one dependency into the compressed graph, greedily
+// compressing it into an adjacent edge when a predefined pattern applies
+// (Alg. 2). It reports whether the dependency was compressed into an
+// existing edge (false means it was inserted as a Single edge).
+func (g *Graph) AddDependency(d Dependency) bool {
+	cands := g.findCandidates(d)
+	if len(cands) > 0 {
+		best := g.selectCandidate(cands, d)
+		g.deleteEdge(best.old)
+		g.insertEdge(best.merged)
+		return true
+	}
+	g.insertEdge(singleEdge(d))
+	return false
+}
+
+// findCandidates shifts the inserted formula cell one step in all four
+// directions, finds the edges whose dependent run touches the shifted cell,
+// and keeps those that genCompEdges validates.
+func (g *Graph) findCandidates(d Dependency) []candidate {
+	type probe struct {
+		off  ref.Offset
+		axis ref.Axis
+	}
+	probes := [4]probe{
+		{ref.Offset{DCol: 0, DRow: -1}, ref.AxisCol},
+		{ref.Offset{DCol: 0, DRow: 1}, ref.AxisCol},
+		{ref.Offset{DCol: -1, DRow: 0}, ref.AxisRow},
+		{ref.Offset{DCol: 1, DRow: 0}, ref.AxisRow},
+	}
+	var cands []candidate
+	seen := map[*Edge]struct{}{}
+	for _, pr := range probes {
+		shifted := ref.CellRange(d.Dep.Add(pr.off))
+		if !shifted.Head.Valid() {
+			continue
+		}
+		g.byDep.Search(shifted, func(_ ref.Range, e *Edge) bool {
+			if _, dup := seen[e]; dup {
+				return true
+			}
+			seen[e] = struct{}{}
+			for _, merged := range g.genCompEdges(e, d, pr.axis) {
+				cands = append(cands, candidate{merged: merged, old: e, axis: pr.axis})
+			}
+			return true
+		})
+	}
+	return cands
+}
+
+// genCompEdges tries to compress d into candidate edge e along axis,
+// returning the valid merged edges (the paper's genCompEdges).
+func (g *Graph) genCompEdges(e *Edge, d Dependency, axis ref.Axis) []*Edge {
+	var out []*Edge
+	if e.Pattern == Single {
+		for _, p := range g.opts.patterns() {
+			if merged := AddDep(e, d, p, axis); merged != nil && g.allowed(merged) {
+				out = append(out, merged)
+			}
+		}
+		return out
+	}
+	if merged := AddDep(e, d, e.Pattern, axis); merged != nil && g.allowed(merged) {
+		out = append(out, merged)
+	}
+	return out
+}
+
+// allowed applies variant restrictions (TACO-InRow).
+func (g *Graph) allowed(e *Edge) bool {
+	if !g.opts.InRowOnly {
+		return true
+	}
+	return e.Pattern == RR && e.Axis == ref.AxisCol &&
+		e.Meta.HRel.DRow == 0 && e.Meta.TRel.DRow == 0
+}
+
+// selectCandidate applies the paper's heuristics, in order: column-wise
+// compression over row-wise; a special pattern over its general case
+// (RR-Chain over RR); then the dollar-sign cues of the inserted formula,
+// when available. Ties resolve to the largest resulting edge, then stably.
+func (g *Graph) selectCandidate(cands []candidate, d Dependency) candidate {
+	score := func(c candidate) int {
+		s := 0
+		if c.axis == ref.AxisCol {
+			s += 1 << 12
+		}
+		if c.merged.Pattern == RRChain {
+			s += 1 << 8
+		}
+		if g.opts.UseDollarCues && cueMatch(c.merged.Pattern, d) {
+			s += 1 << 4
+		}
+		return s
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		si, sj := score(cands[i]), score(cands[j])
+		if si != sj {
+			return si > sj
+		}
+		return cands[i].merged.Count() > cands[j].merged.Count()
+	})
+	return cands[0]
+}
+
+// cueMatch reports whether the pattern agrees with the autofill rule implied
+// by the dependency's `$` markers: no anchors -> RR, tail anchored -> RF,
+// head anchored -> FR, both anchored -> FF.
+func cueMatch(p PatternType, d Dependency) bool {
+	switch {
+	case !d.HeadFixed && !d.TailFixed:
+		return p == RR || p == RRChain
+	case !d.HeadFixed && d.TailFixed:
+		return p == RF
+	case d.HeadFixed && !d.TailFixed:
+		return p == FR
+	default:
+		return p == FF
+	}
+}
+
+// FindDependents returns the set of ranges transitively dependent on r,
+// computed directly on the compressed graph with the modified BFS of Alg. 3.
+// The returned ranges are disjoint and cover exactly the dependent cells.
+func (g *Graph) FindDependents(r ref.Range) []ref.Range {
+	out, _ := g.traverse(r, true)
+	return out
+}
+
+// FindPrecedents returns the set of ranges that r transitively depends on —
+// the dual traversal, walking edges from dependents to precedents.
+func (g *Graph) FindPrecedents(r ref.Range) []ref.Range {
+	out, _ := g.traverse(r, false)
+	return out
+}
+
+// TraversalStats instruments one traversal for the Sec. IV-D cost analysis:
+// the complexity of Alg. 3 depends on whether each compressed edge is
+// accessed at most once (Case 1) or repeatedly (Case 2). The paper reports
+// the average accesses per touched edge is <= 7 for 98% of its query tests,
+// which is why Case 2's worst case does not bite in practice.
+type TraversalStats struct {
+	// EdgeAccesses counts findDep/findPrec invocations.
+	EdgeAccesses int
+	// DistinctEdges counts the edges touched at least once.
+	DistinctEdges int
+}
+
+// MeanAccessesPerEdge returns EdgeAccesses / DistinctEdges (0 when no edge
+// was touched).
+func (t TraversalStats) MeanAccessesPerEdge() float64 {
+	if t.DistinctEdges == 0 {
+		return 0
+	}
+	return float64(t.EdgeAccesses) / float64(t.DistinctEdges)
+}
+
+// FindDependentsStats is FindDependents with traversal instrumentation.
+func (g *Graph) FindDependentsStats(r ref.Range) ([]ref.Range, TraversalStats) {
+	return g.traverse(r, true)
+}
+
+func (g *Graph) traverse(r ref.Range, forward bool) ([]ref.Range, TraversalStats) {
+	var result []ref.Range
+	var stats TraversalStats
+	touched := map[*Edge]bool{}
+	visited := rtree.New[struct{}]()
+	queue := []ref.Range{r}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var index *rtree.Tree[*Edge]
+		if forward {
+			index = g.byPrec
+		} else {
+			index = g.byDep
+		}
+		index.Search(cur, func(_ ref.Range, e *Edge) bool {
+			stats.EdgeAccesses++
+			if !touched[e] {
+				touched[e] = true
+				stats.DistinctEdges++
+			}
+			var next ref.Range
+			var ok bool
+			if forward {
+				next, ok = FindDeps(e, cur)
+			} else {
+				next, ok = FindPrecs(e, cur)
+			}
+			if !ok {
+				return true
+			}
+			// Keep only the parts not yet visited.
+			var overlapping []ref.Range
+			visited.Search(next, func(seen ref.Range, _ struct{}) bool {
+				overlapping = append(overlapping, seen)
+				return true
+			})
+			for _, part := range next.SubtractAll(overlapping) {
+				visited.Insert(part, struct{}{})
+				result = append(result, part)
+				queue = append(queue, part)
+			}
+			return true
+		})
+	}
+	return result, stats
+}
+
+// CountCells sums the sizes of a set of disjoint ranges — the number of
+// dependent (or precedent) cells a traversal found.
+func CountCells(rs []ref.Range) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Size()
+	}
+	return n
+}
+
+// Clear removes the dependencies of every formula cell inside s — the
+// maintenance operation of Sec. IV-C (an update is modelled as Clear followed
+// by AddDependency for the new formula's references).
+func (g *Graph) Clear(s ref.Range) {
+	var relevant []*Edge
+	g.byDep.Search(s, func(_ ref.Range, e *Edge) bool {
+		relevant = append(relevant, e)
+		return true
+	})
+	for _, e := range relevant {
+		replacements := RemoveDeps(e, s)
+		if len(replacements) == 1 && replacements[0] == e {
+			continue // no overlap after clipping
+		}
+		g.deleteEdge(e)
+		for _, ne := range replacements {
+			g.insertEdge(ne)
+		}
+	}
+}
+
+// PatternStat aggregates compression effectiveness per pattern (Table V).
+type PatternStat struct {
+	// Edges is the number of compressed edges using the pattern.
+	Edges int
+	// Reduced is the number of uncompressed edges eliminated by the pattern:
+	// sum over its edges of (|E'_i| - 1).
+	Reduced int
+}
+
+// PatternStats returns per-pattern compression statistics.
+func (g *Graph) PatternStats() map[PatternType]PatternStat {
+	out := make(map[PatternType]PatternStat, numPatterns)
+	for e := range g.edges {
+		st := out[e.Pattern]
+		st.Edges++
+		st.Reduced += e.Count() - 1
+		out[e.Pattern] = st
+	}
+	return out
+}
+
+// Stats summarises the graph for the size experiments (Tables II-IV).
+type Stats struct {
+	Vertices     int
+	Edges        int
+	Dependencies int
+}
+
+// Stats returns the graph's size statistics.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		Vertices:     g.NumVertices(),
+		Edges:        g.NumEdges(),
+		Dependencies: g.NumDependencies(),
+	}
+}

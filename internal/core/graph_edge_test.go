@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"taco/internal/ref"
+)
+
+// TestRowMajorInsertionOrder rebuilds the random workloads with the
+// dependencies shuffled into row-major and fully random orders: compression
+// quality may differ, but query results must not.
+func TestRowMajorInsertionOrder(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		deps := genRandomDeps(rng)
+
+		rowMajor := append([]Dependency(nil), deps...)
+		sort.SliceStable(rowMajor, func(i, j int) bool {
+			a, b := rowMajor[i].Dep, rowMajor[j].Dep
+			if a.Row != b.Row {
+				return a.Row < b.Row
+			}
+			return a.Col < b.Col
+		})
+		shuffled := append([]Dependency(nil), deps...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+		base := Build(deps, DefaultOptions())
+		for name, variant := range map[string][]Dependency{"row-major": rowMajor, "shuffled": shuffled} {
+			g := Build(variant, DefaultOptions())
+			if g.NumDependencies() != base.NumDependencies() {
+				t.Fatalf("seed %d %s: lost dependencies", seed, name)
+			}
+			if err := g.Check(); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			for q := 0; q < 5; q++ {
+				r := ref.CellRange(ref.Ref{Col: 1 + rng.Intn(7), Row: 1 + rng.Intn(25)})
+				want := cellsOf(base.FindDependents(r))
+				got := cellsOf(g.FindDependents(r))
+				sameCells(t, name+" dependents", got, want)
+			}
+		}
+	}
+}
+
+// TestInterleavedExtension grows a run alternating above and below.
+func TestInterleavedExtension(t *testing.T) {
+	g := NewGraph(DefaultOptions())
+	// Rows inserted: 10, 11, 9, 12, 8, 13 ... all referencing left cell.
+	rows := []int{10, 11, 9, 12, 8, 13, 7, 14}
+	for _, row := range rows {
+		g.AddDependency(Dependency{
+			Prec: ref.CellRange(ref.Ref{Col: 1, Row: row}),
+			Dep:  ref.Ref{Col: 2, Row: row},
+		})
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want one RR run", g.NumEdges())
+	}
+	var e *Edge
+	g.Edges(func(x *Edge) bool { e = x; return true })
+	if e.Dep != ref.RangeOf(ref.Ref{Col: 2, Row: 7}, ref.Ref{Col: 2, Row: 14}) {
+		t.Fatalf("dep run = %v", e.Dep)
+	}
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClearSpanningMultipleEdges clears a 2D block overlapping several runs.
+func TestClearSpanningMultipleEdges(t *testing.T) {
+	g := NewGraph(DefaultOptions())
+	// Three adjacent derived columns B, C, D over data column A.
+	for col := 2; col <= 4; col++ {
+		for row := 1; row <= 20; row++ {
+			g.AddDependency(Dependency{
+				Prec: ref.CellRange(ref.Ref{Col: 1, Row: row}),
+				Dep:  ref.Ref{Col: col, Row: row},
+			})
+		}
+	}
+	before := g.NumDependencies()
+	// Clear the block B5:D10 (6 rows x 3 columns).
+	g.Clear(ref.RangeOf(ref.Ref{Col: 2, Row: 5}, ref.Ref{Col: 4, Row: 10}))
+	if got := g.NumDependencies(); got != before-18 {
+		t.Fatalf("deps after block clear = %d, want %d", got, before-18)
+	}
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Each column is now split into two runs.
+	if g.NumEdges() != 6 {
+		t.Fatalf("edges = %d, want 6", g.NumEdges())
+	}
+	// Cleared cells are no longer dependents.
+	got := cellsOf(g.FindDependents(mustRange("A7")))
+	if len(got) != 0 {
+		t.Fatalf("dependents of A7 = %v", got)
+	}
+	got = cellsOf(g.FindDependents(mustRange("A4")))
+	if len(got) != 3 {
+		t.Fatalf("dependents of A4 = %v", got)
+	}
+}
+
+// TestMultiColumnQueryRange queries dependents of a 2D input range.
+func TestMultiColumnQueryRange(t *testing.T) {
+	deps := fig2Deps(30)
+	g := Build(deps, DefaultOptions())
+	want := oracleDependents(deps, mustRange("A5:M6"))
+	got := cellsOf(g.FindDependents(mustRange("A5:M6")))
+	sameCells(t, "2D query", got, want)
+}
+
+// TestOverlappingRangeVertices reproduces the Fig. 3 subtlety: B2:B3
+// overlaps the cells B2 and B3 that appear as separate vertices.
+func TestOverlappingRangeVertices(t *testing.T) {
+	deps := []Dependency{
+		{Prec: mustRange("A1:A3"), Dep: mustCell("B1")},
+		{Prec: mustRange("A1:A3"), Dep: mustCell("B2")},
+		{Prec: mustRange("B1"), Dep: mustCell("C1")},
+		{Prec: mustRange("B3"), Dep: mustCell("C1")},
+		{Prec: mustRange("B2:B3"), Dep: mustCell("C2")},
+	}
+	g := Build(deps, DefaultOptions())
+	got := cellsOf(g.FindDependents(mustRange("A1")))
+	want := cellsOf([]ref.Range{mustRange("B1"), mustRange("B2"), mustRange("C1"), mustRange("C2")})
+	sameCells(t, "fig3 dependents", got, want)
+	// B3 is a pure value: its dependents are C1 (direct) and C2 (via range).
+	got = cellsOf(g.FindDependents(mustRange("B3")))
+	want = cellsOf([]ref.Range{mustRange("C1"), mustRange("C2")})
+	sameCells(t, "fig3 B3 dependents", got, want)
+}
+
+// TestWideRangeSinglePrec exercises a precedent spanning many columns with a
+// compressed run, ensuring column clipping works in findDeps.
+func TestWideRangeSinglePrec(t *testing.T) {
+	var deps []Dependency
+	for row := 1; row <= 10; row++ {
+		deps = append(deps, Dependency{
+			Prec: ref.RangeOf(ref.Ref{Col: 1, Row: row}, ref.Ref{Col: 8, Row: row + 1}),
+			Dep:  ref.Ref{Col: 10, Row: row},
+		})
+	}
+	g := Build(deps, DefaultOptions())
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// A query hitting only column H of the windows still finds the right
+	// dependents.
+	got := cellsOf(g.FindDependents(mustRange("H5")))
+	want := oracleDependents(deps, mustRange("H5"))
+	sameCells(t, "wide prec", got, want)
+}
+
+// TestTraversalStatsChainVsNoChain shows the instrumentation distinguishing
+// the chain pathology.
+func TestTraversalStatsChainVsNoChain(t *testing.T) {
+	var deps []Dependency
+	for row := 2; row <= 400; row++ {
+		deps = append(deps, Dependency{
+			Prec: ref.CellRange(ref.Ref{Col: 1, Row: row - 1}),
+			Dep:  ref.Ref{Col: 1, Row: row},
+		})
+	}
+	withChain := Build(deps, DefaultOptions())
+	_, st := withChain.FindDependentsStats(mustRange("A1"))
+	if st.MeanAccessesPerEdge() > 3 {
+		t.Fatalf("chain pattern: %.1f accesses/edge", st.MeanAccessesPerEdge())
+	}
+	noChain := Build(deps, Options{
+		Patterns:      []PatternType{RR, RF, FR, FF},
+		UseDollarCues: true,
+	})
+	_, st2 := noChain.FindDependentsStats(mustRange("A1"))
+	if st2.EdgeAccesses <= 10*st.EdgeAccesses {
+		t.Fatalf("RR-only accesses %d not dominating chain accesses %d",
+			st2.EdgeAccesses, st.EdgeAccesses)
+	}
+}
+
+// TestAddDependencyReturnValue distinguishes compressed vs single inserts.
+func TestAddDependencyReturnValue(t *testing.T) {
+	g := NewGraph(DefaultOptions())
+	if g.AddDependency(dep("A1", "B1")) {
+		t.Fatal("first insert cannot be compressed")
+	}
+	if !g.AddDependency(dep("A2", "B2")) {
+		t.Fatal("adjacent insert should compress")
+	}
+	if g.AddDependency(dep("Z9:Z10", "B9")) {
+		t.Fatal("distant insert should not compress")
+	}
+}

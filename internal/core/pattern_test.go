@@ -1,0 +1,504 @@
+package core
+
+import (
+	"testing"
+
+	"taco/internal/ref"
+)
+
+func mustRange(s string) ref.Range { return ref.MustRange(s) }
+func mustCell(s string) ref.Ref    { return ref.MustCell(s) }
+
+func dep(prec, cell string) Dependency {
+	return Dependency{Prec: mustRange(prec), Dep: mustCell(cell)}
+}
+
+// buildRun compresses a list of dependencies into a single edge using
+// pattern p along axis, failing the test if any step rejects.
+func buildRun(t *testing.T, p PatternType, axis ref.Axis, deps ...Dependency) *Edge {
+	t.Helper()
+	e := singleEdge(deps[0])
+	for _, d := range deps[1:] {
+		merged := AddDep(e, d, p, axis)
+		if merged == nil {
+			t.Fatalf("AddDep(%v, %v, %v) rejected", e, d, p)
+		}
+		e = merged
+	}
+	return e
+}
+
+// --- Fig. 4a: RR, the sliding window -------------------------------------
+
+func fig4aEdge(t *testing.T) *Edge {
+	return buildRun(t, RR, ref.AxisCol,
+		dep("A1:B3", "C1"), dep("A2:B4", "C2"), dep("A3:B5", "C3"), dep("A4:B6", "C4"))
+}
+
+func TestRRCompression(t *testing.T) {
+	e := fig4aEdge(t)
+	if e.Prec != mustRange("A1:B6") || e.Dep != mustRange("C1:C4") {
+		t.Fatalf("edge = %v", e)
+	}
+	if e.Pattern != RR || e.Count() != 4 {
+		t.Fatalf("pattern/count = %v %d", e.Pattern, e.Count())
+	}
+	wantH := ref.Offset{DCol: -2, DRow: 0}
+	wantT := ref.Offset{DCol: -1, DRow: 2}
+	if e.Meta.HRel != wantH || e.Meta.TRel != wantT {
+		t.Fatalf("meta = %+v", e.Meta)
+	}
+}
+
+func TestRRRejectsMismatchedOffsets(t *testing.T) {
+	e := singleEdge(dep("A1:B3", "C1"))
+	// C2 referencing A2:B5 has tRel (-1,3), not (-1,2).
+	if AddDep(e, dep("A2:B5", "C2"), RR, ref.AxisCol) != nil {
+		t.Fatal("mismatched offsets must reject")
+	}
+	// Non-adjacent cell rejects.
+	if AddDep(e, dep("A3:B5", "C3"), RR, ref.AxisCol) != nil {
+		t.Fatal("non-adjacent dep must reject")
+	}
+	// Wrong column rejects.
+	if AddDep(e, dep("A2:B4", "D2"), RR, ref.AxisCol) != nil {
+		t.Fatal("different column must reject")
+	}
+}
+
+func TestRRFindDeps(t *testing.T) {
+	e := fig4aEdge(t)
+	cases := []struct {
+		query, want string
+	}{
+		{"A1", "C1"},       // only C1's window covers row 1
+		{"B6", "C4"},       // only C4's window covers row 6
+		{"A3", "C1:C3"},    // windows of C1..C3 cover row 3
+		{"A1:B6", "C1:C4"}, // everything
+		{"A2:A3", "C1:C3"}, //
+		{"B4:B5", "C2:C4"}, //
+	}
+	for _, c := range cases {
+		got, ok := FindDeps(e, mustRange(c.query))
+		if !ok || got != mustRange(c.want) {
+			t.Errorf("FindDeps(%s) = %v %v, want %s", c.query, got, ok, c.want)
+		}
+	}
+	// Query outside prec yields nothing.
+	if _, ok := FindDeps(e, mustRange("Z99")); ok {
+		t.Error("out-of-range query must return not-ok")
+	}
+}
+
+func TestRRFindPrecs(t *testing.T) {
+	e := fig4aEdge(t)
+	got, ok := FindPrecs(e, mustRange("C2"))
+	if !ok || got != mustRange("A2:B4") {
+		t.Fatalf("FindPrecs(C2) = %v", got)
+	}
+	got, ok = FindPrecs(e, mustRange("C2:C3"))
+	if !ok || got != mustRange("A2:B5") {
+		t.Fatalf("FindPrecs(C2:C3) = %v", got)
+	}
+	if _, ok = FindPrecs(e, mustRange("D9")); ok {
+		t.Fatal("query outside dep must return not-ok")
+	}
+}
+
+func TestRRRemoveDeps(t *testing.T) {
+	e := fig4aEdge(t)
+	// Removing C2 leaves C1 (Single) and C3:C4 (RR).
+	out := RemoveDeps(e, mustRange("C2"))
+	if len(out) != 2 {
+		t.Fatalf("pieces = %v", out)
+	}
+	var single, run *Edge
+	for _, p := range out {
+		if p.Pattern == Single {
+			single = p
+		} else {
+			run = p
+		}
+	}
+	if single == nil || single.Dep != mustRange("C1") || single.Prec != mustRange("A1:B3") {
+		t.Fatalf("single piece = %v", single)
+	}
+	if run == nil || run.Dep != mustRange("C3:C4") || run.Prec != mustRange("A3:B6") || run.Pattern != RR {
+		t.Fatalf("run piece = %v", run)
+	}
+	// Removing everything leaves nothing.
+	if out := RemoveDeps(fig4aEdge(t), mustRange("C1:C4")); len(out) != 0 {
+		t.Fatalf("full removal = %v", out)
+	}
+	// Removing a non-overlapping range returns the edge untouched.
+	e = fig4aEdge(t)
+	if out := RemoveDeps(e, mustRange("Z1")); len(out) != 1 || out[0] != e {
+		t.Fatalf("no-op removal = %v", out)
+	}
+}
+
+// --- Fig. 4b: RF, the shrinking window ------------------------------------
+
+func fig4bEdge(t *testing.T) *Edge {
+	return buildRun(t, RF, ref.AxisCol,
+		dep("A1:B4", "C1"), dep("A2:B4", "C2"), dep("A3:B4", "C3"), dep("A4:B4", "C4"))
+}
+
+func TestRFCompression(t *testing.T) {
+	e := fig4bEdge(t)
+	if e.Prec != mustRange("A1:B4") || e.Dep != mustRange("C1:C4") || e.Pattern != RF {
+		t.Fatalf("edge = %v", e)
+	}
+	if e.Meta.HRel != (ref.Offset{DCol: -2, DRow: 0}) || e.Meta.TFix != mustCell("B4") {
+		t.Fatalf("meta = %+v", e.Meta)
+	}
+}
+
+func TestRFFindDeps(t *testing.T) {
+	e := fig4bEdge(t)
+	cases := []struct {
+		query, want string
+	}{
+		{"A1", "C1"},       // only C1's window includes row 1
+		{"A4:B4", "C1:C4"}, // bottom row is in every window
+		{"A2", "C1:C2"},
+		{"B3", "C1:C3"},
+	}
+	for _, c := range cases {
+		got, ok := FindDeps(e, mustRange(c.query))
+		if !ok || got != mustRange(c.want) {
+			t.Errorf("FindDeps(%s) = %v %v, want %s", c.query, got, ok, c.want)
+		}
+	}
+}
+
+func TestRFFindPrecs(t *testing.T) {
+	e := fig4bEdge(t)
+	got, ok := FindPrecs(e, mustRange("C3"))
+	if !ok || got != mustRange("A3:B4") {
+		t.Fatalf("FindPrecs(C3) = %v", got)
+	}
+	// The head's window contains the rest.
+	got, ok = FindPrecs(e, mustRange("C2:C4"))
+	if !ok || got != mustRange("A2:B4") {
+		t.Fatalf("FindPrecs(C2:C4) = %v", got)
+	}
+}
+
+func TestRFRemoveDeps(t *testing.T) {
+	out := RemoveDeps(fig4bEdge(t), mustRange("C2:C3"))
+	if len(out) != 2 {
+		t.Fatalf("pieces = %v", out)
+	}
+	for _, p := range out {
+		switch p.Dep {
+		case mustRange("C1"):
+			if p.Pattern != Single || p.Prec != mustRange("A1:B4") {
+				t.Errorf("C1 piece = %v", p)
+			}
+		case mustRange("C4"):
+			if p.Pattern != Single || p.Prec != mustRange("A4:B4") {
+				t.Errorf("C4 piece = %v", p)
+			}
+		default:
+			t.Errorf("unexpected piece %v", p)
+		}
+	}
+}
+
+// --- Fig. 4c: FR, the expanding window ------------------------------------
+
+func fig4cEdge(t *testing.T) *Edge {
+	return buildRun(t, FR, ref.AxisCol,
+		dep("A1:B1", "C1"), dep("A1:B2", "C2"), dep("A1:B3", "C3"))
+}
+
+func TestFRCompression(t *testing.T) {
+	e := fig4cEdge(t)
+	if e.Prec != mustRange("A1:B3") || e.Dep != mustRange("C1:C3") || e.Pattern != FR {
+		t.Fatalf("edge = %v", e)
+	}
+	if e.Meta.HFix != mustCell("A1") || e.Meta.TRel != (ref.Offset{DCol: -1, DRow: 0}) {
+		t.Fatalf("meta = %+v", e.Meta)
+	}
+}
+
+func TestFRFindDeps(t *testing.T) {
+	e := fig4cEdge(t)
+	cases := []struct {
+		query, want string
+	}{
+		{"A1:B1", "C1:C3"}, // first row is in every window
+		{"A3", "C3"},
+		{"B2", "C2:C3"},
+	}
+	for _, c := range cases {
+		got, ok := FindDeps(e, mustRange(c.query))
+		if !ok || got != mustRange(c.want) {
+			t.Errorf("FindDeps(%s) = %v %v, want %s", c.query, got, ok, c.want)
+		}
+	}
+}
+
+func TestFRFindPrecs(t *testing.T) {
+	e := fig4cEdge(t)
+	got, ok := FindPrecs(e, mustRange("C2"))
+	if !ok || got != mustRange("A1:B2") {
+		t.Fatalf("FindPrecs(C2) = %v", got)
+	}
+	got, ok = FindPrecs(e, mustRange("C1:C2"))
+	if !ok || got != mustRange("A1:B2") {
+		t.Fatalf("FindPrecs(C1:C2) = %v", got)
+	}
+}
+
+// --- Fig. 4d: FF, the fixed window -----------------------------------------
+
+func fig4dEdge(t *testing.T) *Edge {
+	return buildRun(t, FF, ref.AxisCol,
+		dep("A1:B3", "C1"), dep("A1:B3", "C2"), dep("A1:B3", "C3"))
+}
+
+func TestFFCompression(t *testing.T) {
+	e := fig4dEdge(t)
+	if e.Prec != mustRange("A1:B3") || e.Dep != mustRange("C1:C3") || e.Pattern != FF {
+		t.Fatalf("edge = %v", e)
+	}
+	if e.Meta.HFix != mustCell("A1") || e.Meta.TFix != mustCell("B3") {
+		t.Fatalf("meta = %+v", e.Meta)
+	}
+	// FF rejects a different precedent.
+	if AddDep(e, dep("A1:B4", "C4"), FF, ref.AxisCol) != nil {
+		t.Fatal("FF must reject different precedent")
+	}
+}
+
+func TestFFQueries(t *testing.T) {
+	e := fig4dEdge(t)
+	got, ok := FindDeps(e, mustRange("B2"))
+	if !ok || got != mustRange("C1:C3") {
+		t.Fatalf("FindDeps = %v", got)
+	}
+	gotP, ok := FindPrecs(e, mustRange("C2"))
+	if !ok || gotP != mustRange("A1:B3") {
+		t.Fatalf("FindPrecs = %v", gotP)
+	}
+	out := RemoveDeps(e, mustRange("C1"))
+	if len(out) != 1 || out[0].Dep != mustRange("C2:C3") || out[0].Pattern != FF {
+		t.Fatalf("RemoveDeps = %v", out)
+	}
+}
+
+// --- Fig. 9: RR-Chain -------------------------------------------------------
+
+func fig9Edge(t *testing.T) *Edge {
+	// A2=A1+1, A3=A2+1, A4=A3+1.
+	return buildRun(t, RRChain, ref.AxisCol,
+		dep("A1", "A2"), dep("A2", "A3"), dep("A3", "A4"))
+}
+
+func TestRRChainCompression(t *testing.T) {
+	e := fig9Edge(t)
+	if e.Prec != mustRange("A1:A3") || e.Dep != mustRange("A2:A4") || e.Pattern != RRChain {
+		t.Fatalf("edge = %v", e)
+	}
+	if e.Meta.Dir != DirPrev {
+		t.Fatalf("dir = %v", e.Meta.Dir)
+	}
+}
+
+func TestRRChainFindDepsTransitive(t *testing.T) {
+	e := fig9Edge(t)
+	// Dependents of A1: the whole chain A2:A4 in one step.
+	got, ok := FindDeps(e, mustRange("A1"))
+	if !ok || got != mustRange("A2:A4") {
+		t.Fatalf("FindDeps(A1) = %v", got)
+	}
+	// Dependents of A2 (paper's example): A3 through the tail A4.
+	got, ok = FindDeps(e, mustRange("A2"))
+	if !ok || got != mustRange("A3:A4") {
+		t.Fatalf("FindDeps(A2) = %v", got)
+	}
+	// A4 is the last cell; within this edge its only role as precedent is
+	// via the overlap with prec A3 handled by clipping: querying A4 clips to
+	// nothing inside e.Prec (A1:A3)? A4 is outside prec, so no dependents.
+	if _, ok := FindDeps(e, mustRange("A4")); ok {
+		t.Fatal("A4 is not inside the chain's precedent range")
+	}
+}
+
+func TestRRChainFindPrecsTransitive(t *testing.T) {
+	e := fig9Edge(t)
+	got, ok := FindPrecs(e, mustRange("A4"))
+	if !ok || got != mustRange("A1:A3") {
+		t.Fatalf("FindPrecs(A4) = %v", got)
+	}
+	got, ok = FindPrecs(e, mustRange("A2"))
+	if !ok || got != mustRange("A1") {
+		t.Fatalf("FindPrecs(A2) = %v", got)
+	}
+}
+
+func TestRRChainBelow(t *testing.T) {
+	// Each formula references the cell below: A1=A2+1, A2=A3+1, A3=A4+1.
+	e := buildRun(t, RRChain, ref.AxisCol,
+		dep("A2", "A1"), dep("A3", "A2"), dep("A4", "A3"))
+	if e.Meta.Dir != DirNext {
+		t.Fatalf("dir = %v", e.Meta.Dir)
+	}
+	if e.Prec != mustRange("A2:A4") || e.Dep != mustRange("A1:A3") {
+		t.Fatalf("edge = %v", e)
+	}
+	// Dependents of A4 propagate upward through the whole chain.
+	got, ok := FindDeps(e, mustRange("A4"))
+	if !ok || got != mustRange("A1:A3") {
+		t.Fatalf("FindDeps(A4) = %v", got)
+	}
+	got, ok = FindPrecs(e, mustRange("A1"))
+	if !ok || got != mustRange("A2:A4") {
+		t.Fatalf("FindPrecs(A1) = %v", got)
+	}
+}
+
+func TestRRChainRemoveDepsUsesDirectPrecs(t *testing.T) {
+	e := fig9Edge(t)
+	out := RemoveDeps(e, mustRange("A3"))
+	if len(out) != 2 {
+		t.Fatalf("pieces = %v", out)
+	}
+	for _, p := range out {
+		switch p.Dep {
+		case mustRange("A2"):
+			if p.Prec != mustRange("A1") || p.Pattern != Single {
+				t.Errorf("A2 piece = %v", p)
+			}
+		case mustRange("A4"):
+			// A4 still references A3 (now a pure value).
+			if p.Prec != mustRange("A3") || p.Pattern != Single {
+				t.Errorf("A4 piece = %v", p)
+			}
+		default:
+			t.Errorf("unexpected piece %v", p)
+		}
+	}
+}
+
+func TestRRChainRejectsNonChain(t *testing.T) {
+	e := singleEdge(dep("A1", "A2"))
+	// B3 references B2: chain shape but different column run? dep B3 is not
+	// column-adjacent to A2.
+	if AddDep(e, dep("B2", "B3"), RRChain, ref.AxisCol) != nil {
+		t.Fatal("different column must reject")
+	}
+	// A3 referencing A1 is RR-compatible only with offset (0,-2): not chain.
+	if AddDep(e, dep("A2:A2", "A4"), RRChain, ref.AxisCol) != nil {
+		t.Fatal("non-adjacent dep must reject")
+	}
+}
+
+// --- Row-axis symmetry -------------------------------------------------------
+
+func TestRowAxisRR(t *testing.T) {
+	// The transposed Fig. 4a: formulae in row 3 spanning columns, windows
+	// sliding horizontally. C1 -> A3 means A3 = f(C1:...) etc. Construct:
+	// dep cells A3,B3,C3 referencing A1:C2, B1:D2, C1:E2.
+	e := buildRun(t, RR, ref.AxisRow,
+		dep("A1:C2", "A3"), dep("B1:D2", "B3"), dep("C1:E2", "C3"))
+	if e.Prec != mustRange("A1:E2") || e.Dep != mustRange("A3:C3") {
+		t.Fatalf("edge = %v", e)
+	}
+	if e.Axis != ref.AxisRow {
+		t.Fatalf("axis = %v", e.Axis)
+	}
+	got, ok := FindDeps(e, mustRange("C1"))
+	if !ok || got != mustRange("A3:C3") {
+		t.Fatalf("FindDeps(C1) = %v", got)
+	}
+	got, ok = FindDeps(e, mustRange("E2"))
+	if !ok || got != mustRange("C3") {
+		t.Fatalf("FindDeps(E2) = %v", got)
+	}
+	gotP, ok := FindPrecs(e, mustRange("B3"))
+	if !ok || gotP != mustRange("B1:D2") {
+		t.Fatalf("FindPrecs(B3) = %v", gotP)
+	}
+	out := RemoveDeps(e, mustRange("B3"))
+	if len(out) != 2 {
+		t.Fatalf("pieces = %v", out)
+	}
+	for _, p := range out {
+		if p.Axis != ref.AxisRow {
+			t.Errorf("piece axis = %v", p.Axis)
+		}
+	}
+}
+
+func TestRowAxisChain(t *testing.T) {
+	// B1=A1+1, C1=B1+1, D1=C1+1: a horizontal chain.
+	e := buildRun(t, RRChain, ref.AxisRow,
+		dep("A1", "B1"), dep("B1", "C1"), dep("C1", "D1"))
+	if e.Pattern != RRChain || e.Axis != ref.AxisRow {
+		t.Fatalf("edge = %v axis %v", e, e.Axis)
+	}
+	got, ok := FindDeps(e, mustRange("A1"))
+	if !ok || got != mustRange("B1:D1") {
+		t.Fatalf("FindDeps(A1) = %v", got)
+	}
+}
+
+// --- Extending above the head ------------------------------------------------
+
+func TestExtendAboveHead(t *testing.T) {
+	e := buildRun(t, RR, ref.AxisCol, dep("A2:B4", "C2"), dep("A3:B5", "C3"))
+	merged := AddDep(e, dep("A1:B3", "C1"), RR, ref.AxisCol)
+	if merged == nil {
+		t.Fatal("extension above head rejected")
+	}
+	if merged.Prec != mustRange("A1:B5") || merged.Dep != mustRange("C1:C3") {
+		t.Fatalf("merged = %v", merged)
+	}
+}
+
+// --- Edge bookkeeping ---------------------------------------------------------
+
+func TestEdgeCountAndString(t *testing.T) {
+	s := singleEdge(dep("A1:B3", "C1"))
+	if s.Count() != 1 {
+		t.Fatal("single count")
+	}
+	if s.String() != "A1:B3 -> C1 [Single]" {
+		t.Fatalf("string = %q", s.String())
+	}
+	e := fig4aEdge(t)
+	if e.Count() != 4 {
+		t.Fatal("run count")
+	}
+}
+
+func TestPatternTypeString(t *testing.T) {
+	names := map[PatternType]string{
+		Single: "Single", RR: "RR", RF: "RF", FR: "FR", FF: "FF", RRChain: "RR-Chain",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+	if PatternType(99).String() != "Pattern(99)" {
+		t.Error("unknown pattern string")
+	}
+}
+
+func TestMetaTranspose(t *testing.T) {
+	m := Meta{
+		HRel: ref.Offset{DCol: 1, DRow: 2},
+		TRel: ref.Offset{DCol: 3, DRow: 4},
+		HFix: ref.Ref{Col: 5, Row: 6},
+		TFix: ref.Ref{Col: 7, Row: 8},
+		Dir:  DirPrev,
+	}
+	tt := m.T().T()
+	if tt != m {
+		t.Fatalf("double transpose changed meta: %+v", tt)
+	}
+}

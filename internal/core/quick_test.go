@@ -1,0 +1,366 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"taco/internal/ref"
+)
+
+// Property-based tests (testing/quick) on the pattern algebra. Each property
+// generates a random valid compressed run and checks an invariant the O(1)
+// query math must satisfy against brute-force expansion.
+
+// randomRun generates a random compressed edge of the given pattern along a
+// random axis, together with its expanded dependencies.
+func randomRun(rng *rand.Rand, p PatternType) (*Edge, []Dependency) {
+	axis := ref.AxisCol
+	if rng.Intn(2) == 0 {
+		axis = ref.AxisRow
+	}
+	runLen := 2 + rng.Intn(8)
+	// Dependent run placed far enough from the sheet edge that offsets stay
+	// valid.
+	base := ref.Ref{Col: 10 + rng.Intn(10), Row: 20 + rng.Intn(10)}
+
+	var deps []Dependency
+	switch p {
+	case RR, RRChain:
+		var h, t ref.Offset
+		if p == RRChain {
+			h = ref.Offset{DCol: 0, DRow: -1}
+			if rng.Intn(2) == 0 {
+				h = ref.Offset{DCol: 0, DRow: 1}
+			}
+			if axis == ref.AxisRow {
+				h = h.T() // chains run along the axis
+			}
+			t = h
+		} else {
+			h = ref.Offset{DCol: -1 - rng.Intn(4), DRow: -rng.Intn(4)}
+			t = ref.Offset{DCol: h.DCol + rng.Intn(3), DRow: h.DRow + rng.Intn(4)}
+		}
+		for i := 0; i < runLen; i++ {
+			cell := advance(base, axis, i)
+			deps = append(deps, Dependency{
+				Prec: ref.RangeOf(cell.Add(h), cell.Add(t)),
+				Dep:  cell,
+			})
+		}
+	case RF:
+		h := ref.Offset{DCol: -2, DRow: 0}
+		// Tail fixed at/after the last window head.
+		lastHead := advance(base, axis, runLen-1).Add(hAxis(h, axis))
+		tfix := ref.Ref{Col: lastHead.Col + rng.Intn(3), Row: lastHead.Row + rng.Intn(3)}
+		for i := 0; i < runLen; i++ {
+			cell := advance(base, axis, i)
+			deps = append(deps, Dependency{
+				Prec: ref.RangeOf(cell.Add(hAxis(h, axis)), tfix),
+				Dep:  cell,
+			})
+		}
+	case FR:
+		t := ref.Offset{DCol: -2, DRow: 0}
+		firstTail := base.Add(hAxis(t, axis))
+		hfix := ref.Ref{Col: maxI(1, firstTail.Col-rng.Intn(3)), Row: maxI(1, firstTail.Row-rng.Intn(3))}
+		for i := 0; i < runLen; i++ {
+			cell := advance(base, axis, i)
+			deps = append(deps, Dependency{
+				Prec: ref.RangeOf(hfix, cell.Add(hAxis(t, axis))),
+				Dep:  cell,
+			})
+		}
+	case FF:
+		prec := ref.RangeOf(
+			ref.Ref{Col: 1 + rng.Intn(5), Row: 1 + rng.Intn(5)},
+			ref.Ref{Col: 3 + rng.Intn(5), Row: 3 + rng.Intn(5)})
+		for i := 0; i < runLen; i++ {
+			deps = append(deps, Dependency{Prec: prec, Dep: advance(base, axis, i)})
+		}
+	}
+	e := singleEdge(deps[0])
+	for _, d := range deps[1:] {
+		merged := AddDep(e, d, p, axis)
+		if merged == nil {
+			return nil, nil // generator produced an incompressible run; skip
+		}
+		e = merged
+	}
+	return e, deps
+}
+
+// advance moves i steps along the axis.
+func advance(base ref.Ref, axis ref.Axis, i int) ref.Ref {
+	if axis == ref.AxisCol {
+		return ref.Ref{Col: base.Col, Row: base.Row + i}
+	}
+	return ref.Ref{Col: base.Col + i, Row: base.Row}
+}
+
+// hAxis orients an offset written for the column axis.
+func hAxis(o ref.Offset, axis ref.Axis) ref.Offset {
+	if axis == ref.AxisCol {
+		return o
+	}
+	return o.T()
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var quickPatterns = []PatternType{RR, RF, FR, FF, RRChain}
+
+func quickCfg(seed int64) *quick.Config {
+	rng := rand.New(rand.NewSource(seed))
+	return &quick.Config{
+		MaxCount: 400,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			p := quickPatterns[rng.Intn(len(quickPatterns))]
+			e, deps := randomRun(rng, p)
+			for e == nil {
+				e, deps = randomRun(rng, p)
+			}
+			vals[0] = reflect.ValueOf(e)
+			vals[1] = reflect.ValueOf(deps)
+			vals[2] = reflect.ValueOf(rng.Int63())
+		},
+	}
+}
+
+// PropertyFindDepsMatchesExpansion: for a random query sub-range of the
+// precedent, FindDeps returns exactly the dependent cells whose expanded
+// precedent overlaps the query — except RR-Chain, whose contract is the
+// transitive closure within the edge.
+func TestQuickFindDepsMatchesExpansion(t *testing.T) {
+	prop := func(e *Edge, deps []Dependency, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomSubRange(rng, e.Prec)
+		got, ok := FindDeps(e, q)
+		want := map[ref.Ref]bool{}
+		if e.Pattern == RRChain {
+			transitiveChainDeps(deps, q, want)
+		} else {
+			for _, d := range deps {
+				if d.Prec.Overlaps(q) {
+					want[d.Dep] = true
+				}
+			}
+		}
+		if !ok {
+			return len(want) == 0
+		}
+		gotCells := map[ref.Ref]bool{}
+		got.Cells(func(c ref.Ref) bool {
+			gotCells[c] = true
+			return true
+		})
+		return mapsEqual(gotCells, want)
+	}
+	if err := quick.Check(prop, quickCfg(101)); err != nil {
+		t.Error(err)
+	}
+}
+
+func transitiveChainDeps(deps []Dependency, q ref.Range, out map[ref.Ref]bool) {
+	frontier := func(c ref.Ref) bool { return out[c] || q.Contains(c) }
+	for changed := true; changed; {
+		changed = false
+		for _, d := range deps {
+			if out[d.Dep] {
+				continue
+			}
+			hit := false
+			d.Prec.Cells(func(c ref.Ref) bool {
+				if frontier(c) {
+					hit = true
+					return false
+				}
+				return true
+			})
+			if hit {
+				out[d.Dep] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// PropertyFindPrecsCoversExactly: FindPrecs of a dependent sub-run equals
+// the union of the expanded precedents (transitive closure for chains).
+func TestQuickFindPrecsMatchesExpansion(t *testing.T) {
+	prop := func(e *Edge, deps []Dependency, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSubRange(rng, e.Dep)
+		got, ok := FindPrecs(e, s)
+		want := map[ref.Ref]bool{}
+		if e.Pattern == RRChain {
+			transitiveChainPrecs(deps, s, want)
+		} else {
+			for _, d := range deps {
+				if s.Contains(d.Dep) {
+					d.Prec.Cells(func(c ref.Ref) bool {
+						want[c] = true
+						return true
+					})
+				}
+			}
+		}
+		if !ok {
+			return len(want) == 0
+		}
+		gotCells := map[ref.Ref]bool{}
+		got.Cells(func(c ref.Ref) bool {
+			gotCells[c] = true
+			return true
+		})
+		return mapsEqual(gotCells, want)
+	}
+	if err := quick.Check(prop, quickCfg(202)); err != nil {
+		t.Error(err)
+	}
+}
+
+func transitiveChainPrecs(deps []Dependency, s ref.Range, out map[ref.Ref]bool) {
+	frontier := func(c ref.Ref) bool { return out[c] || s.Contains(c) }
+	for changed := true; changed; {
+		changed = false
+		for _, d := range deps {
+			if !frontier(d.Dep) {
+				continue
+			}
+			d.Prec.Cells(func(c ref.Ref) bool {
+				if !out[c] {
+					out[c] = true
+					changed = true
+				}
+				return true
+			})
+		}
+	}
+}
+
+// PropertyRemovePreservesRest: removing a sub-run yields edges that together
+// decompress to exactly the dependencies outside the removed range, and each
+// piece satisfies the invariant checker.
+func TestQuickRemoveDepsPreservesRest(t *testing.T) {
+	prop := func(e *Edge, deps []Dependency, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSubRange(rng, e.Dep)
+		pieces := RemoveDeps(e, s)
+		var got []Dependency
+		for _, p := range pieces {
+			if CheckEdge(p) != nil {
+				return false
+			}
+			got = append(got, edgeDependencies(p)...)
+		}
+		want := map[string]int{}
+		for _, d := range deps {
+			if !s.Contains(d.Dep) {
+				want[d.Prec.String()+"->"+d.Dep.String()]++
+			}
+		}
+		if len(got) != lenSum(want) {
+			return false
+		}
+		for _, d := range got {
+			k := d.Prec.String() + "->" + d.Dep.String()
+			if want[k] == 0 {
+				return false
+			}
+			want[k]--
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(303)); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertySnapshotIdempotent: write -> read -> write produces identical
+// bytes and an equivalent graph, for graphs holding one random run.
+func TestQuickSnapshotStable(t *testing.T) {
+	prop := func(e *Edge, deps []Dependency, _ int64) bool {
+		g := Build(deps, DefaultOptions())
+		var buf1 bytes.Buffer
+		if g.WriteSnapshot(&buf1) != nil {
+			return false
+		}
+		first := append([]byte(nil), buf1.Bytes()...)
+		loaded, err := ReadSnapshot(&buf1, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		var buf2 bytes.Buffer
+		if loaded.WriteSnapshot(&buf2) != nil {
+			return false
+		}
+		return bytes.Equal(first, buf2.Bytes())
+	}
+	cfg := quickCfg(404)
+	cfg.MaxCount = 150
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyEdgeDecompression: a built run decompresses to its source
+// dependencies exactly.
+func TestQuickEdgeDecompression(t *testing.T) {
+	prop := func(e *Edge, deps []Dependency, _ int64) bool {
+		got := edgeDependencies(e)
+		if len(got) != len(deps) {
+			return false
+		}
+		want := map[string]int{}
+		for _, d := range deps {
+			want[d.Prec.String()+"->"+d.Dep.String()]++
+		}
+		for _, d := range got {
+			k := d.Prec.String() + "->" + d.Dep.String()
+			if want[k] == 0 {
+				return false
+			}
+			want[k]--
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(505)); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomSubRange(rng *rand.Rand, g ref.Range) ref.Range {
+	c1 := g.Head.Col + rng.Intn(g.Cols())
+	c2 := g.Head.Col + rng.Intn(g.Cols())
+	r1 := g.Head.Row + rng.Intn(g.Rows())
+	r2 := g.Head.Row + rng.Intn(g.Rows())
+	return ref.RangeOf(ref.Ref{Col: c1, Row: r1}, ref.Ref{Col: c2, Row: r2})
+}
+
+func mapsEqual(a, b map[ref.Ref]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func lenSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"io"
+	"sync"
+
+	"taco/internal/ref"
+)
+
+// SafeGraph wraps a Graph with a read-write lock so concurrent readers
+// (dependents/precedents queries from UI threads, audit tools) can proceed
+// in parallel while writers (edits) serialise — the access pattern of an
+// interactive spreadsheet host.
+type SafeGraph struct {
+	mu sync.RWMutex
+	g  *Graph
+}
+
+// NewSafeGraph returns a thread-safe graph with the given options.
+func NewSafeGraph(opts Options) *SafeGraph {
+	return &SafeGraph{g: NewGraph(opts)}
+}
+
+// WrapGraph makes an existing graph thread-safe. The caller must not keep
+// using the wrapped graph directly.
+func WrapGraph(g *Graph) *SafeGraph { return &SafeGraph{g: g} }
+
+// AddDependency inserts one dependency under the write lock.
+func (s *SafeGraph) AddDependency(d Dependency) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g.AddDependency(d)
+}
+
+// Clear removes the dependencies of formula cells in rng under the write
+// lock.
+func (s *SafeGraph) Clear(rng ref.Range) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.g.Clear(rng)
+}
+
+// FindDependents queries under the read lock.
+func (s *SafeGraph) FindDependents(r ref.Range) []ref.Range {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.FindDependents(r)
+}
+
+// FindPrecedents queries under the read lock.
+func (s *SafeGraph) FindPrecedents(r ref.Range) []ref.Range {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.FindPrecedents(r)
+}
+
+// Stats returns size statistics under the read lock.
+func (s *SafeGraph) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.Stats()
+}
+
+// PatternStats returns per-pattern statistics under the read lock.
+func (s *SafeGraph) PatternStats() map[PatternType]PatternStat {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.PatternStats()
+}
+
+// WriteSnapshot serialises the graph under the read lock.
+func (s *SafeGraph) WriteSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.WriteSnapshot(w)
+}
+
+// Check validates invariants under the read lock.
+func (s *SafeGraph) Check() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.Check()
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"taco/internal/ref"
+)
+
+func TestSafeGraphConcurrentReadersAndWriters(t *testing.T) {
+	s := NewSafeGraph(DefaultOptions())
+	// Seed with a few runs.
+	for _, d := range fig2Deps(100) {
+		s.AddDependency(d)
+	}
+	var wg sync.WaitGroup
+	// Writers: keep inserting and clearing distinct columns.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			col := 20 + w
+			for i := 0; i < 200; i++ {
+				s.AddDependency(Dependency{
+					Prec: ref.CellRange(ref.Ref{Col: 1, Row: i + 1}),
+					Dep:  ref.Ref{Col: col, Row: i + 1},
+				})
+				if i%50 == 49 {
+					s.Clear(ref.RangeOf(ref.Ref{Col: col, Row: 1}, ref.Ref{Col: col, Row: i + 1}))
+				}
+			}
+		}(w)
+	}
+	// Readers: query while writes proceed.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				q := ref.CellRange(ref.Ref{Col: 1 + rng.Intn(15), Row: 1 + rng.Intn(100)})
+				s.FindDependents(q)
+				s.FindPrecedents(q)
+				_ = s.Stats()
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Dependencies == 0 {
+		t.Fatal("graph lost all dependencies")
+	}
+}
+
+func TestWrapGraph(t *testing.T) {
+	g := Build(fig2Deps(20), DefaultOptions())
+	s := WrapGraph(g)
+	if s.Stats().Edges != g.NumEdges() {
+		t.Fatal("wrap changed the graph")
+	}
+	if len(s.PatternStats()) == 0 {
+		t.Fatal("pattern stats empty")
+	}
+}

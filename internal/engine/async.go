@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"sync"
+
+	"taco/internal/formula"
+	"taco/internal/ref"
+)
+
+// AsyncEngine implements the asynchronous execution model of DATASPREAD
+// (Sec. I / VI-A): an update marks the transitive dependents dirty and
+// returns control immediately — the latency users feel is exactly the
+// formula-graph traversal TACO accelerates — while a background worker
+// recalculates the dirty cells. Reads report whether the value is still
+// pending so a UI can grey those cells out.
+type AsyncEngine struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	eng    *Engine
+	dirty  int // cells marked but not yet recalculated
+	closed bool
+	wake   chan struct{}
+	done   chan struct{}
+}
+
+// NewAsync wraps an engine with a background recalculation worker. Callers
+// must not use the wrapped engine directly afterwards. Close releases the
+// worker.
+func NewAsync(e *Engine) *AsyncEngine {
+	a := &AsyncEngine{
+		eng:  e,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	go a.worker()
+	return a
+}
+
+// worker drains dirty cells until Close.
+func (a *AsyncEngine) worker() {
+	defer close(a.done)
+	for range a.wake {
+		a.mu.Lock()
+		for a.dirty > 0 {
+			a.eng.RecalculateAll()
+			a.dirty = 0
+			a.cond.Broadcast()
+		}
+		a.mu.Unlock()
+	}
+}
+
+// Close stops the background worker after draining pending work.
+func (a *AsyncEngine) Close() {
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		close(a.wake)
+	}
+	a.mu.Unlock()
+	<-a.done
+}
+
+// signal wakes the worker. It holds the lock so it cannot race with Close's
+// channel close.
+func (a *AsyncEngine) signal() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	select {
+	case a.wake <- struct{}{}:
+	default: // a wake-up is already pending
+	}
+}
+
+// Set writes a pure value and returns the dirty set. This is the
+// interactive critical path: it performs only the dependency-graph
+// traversal; evaluation happens in the background.
+func (a *AsyncEngine) Set(at ref.Ref, v formula.Value) []ref.Range {
+	a.mu.Lock()
+	dirty := a.eng.SetValue(at, v)
+	a.dirty += cellCount(dirty)
+	a.mu.Unlock()
+	a.signal()
+	return dirty
+}
+
+// SetFormula writes a formula and returns the dirty set.
+func (a *AsyncEngine) SetFormula(at ref.Ref, src string) ([]ref.Range, error) {
+	a.mu.Lock()
+	dirty, err := a.eng.SetFormula(at, src)
+	if err == nil {
+		a.dirty += cellCount(dirty) + 1 // the new formula itself is dirty
+	}
+	a.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	a.signal()
+	return dirty, nil
+}
+
+// Peek returns the current value of a cell and whether it is clean. A
+// pending (dirty) cell returns its stale value with clean=false — the
+// greyed-out state the asynchronous UI shows.
+func (a *AsyncEngine) Peek(at ref.Ref) (v formula.Value, clean bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.eng.cells[at]
+	if !ok {
+		return formula.Empty(), true
+	}
+	return c.value, !c.dirty
+}
+
+// Get blocks until the cell is clean and returns its value.
+func (a *AsyncEngine) Get(at ref.Ref) formula.Value {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		c, ok := a.eng.cells[at]
+		if !ok {
+			return formula.Empty()
+		}
+		if !c.dirty {
+			return c.value
+		}
+		a.cond.Wait()
+	}
+}
+
+// Flush blocks until every dirty cell has been recalculated.
+func (a *AsyncEngine) Flush() {
+	a.signal()
+	a.mu.Lock()
+	for a.dirty > 0 {
+		a.cond.Wait()
+	}
+	a.mu.Unlock()
+}
+
+// Dependents exposes the graph query under the engine lock.
+func (a *AsyncEngine) Dependents(r ref.Range) []ref.Range {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.eng.Dependents(r)
+}
+
+func cellCount(rs []ref.Range) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Size()
+	}
+	return n
+}

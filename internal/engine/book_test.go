@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"taco/internal/formula"
+	"taco/internal/ref"
+	"taco/internal/workload"
+)
+
+func TestBookAddAndLookup(t *testing.T) {
+	b := NewBook()
+	e, err := b.AddSheet("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddSheet("alpha"); err == nil {
+		t.Fatal("duplicate sheet accepted")
+	}
+	e.SetValue(ref.MustCell("A1"), formula.Num(5))
+	if _, err := e.SetFormula(ref.MustCell("B1"), "A1*2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Sheet("alpha").Value(ref.MustCell("B1")); got.Num != 10 {
+		t.Fatalf("B1 = %v", got)
+	}
+	if b.Sheet("missing") != nil {
+		t.Fatal("missing sheet should be nil")
+	}
+	if b.NumSheets() != 1 || len(b.Names()) != 1 {
+		t.Fatal("bookkeeping wrong")
+	}
+}
+
+func TestLoadBookFromSheets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sheets := []*workload.Sheet{
+		workload.FinancialModel(24, rng),
+		workload.InventoryTracker(40, rng),
+	}
+	b, err := LoadBook(sheets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumSheets() != 2 {
+		t.Fatalf("sheets = %d", b.NumSheets())
+	}
+	// Each sheet has an independent, populated TACO graph.
+	stats := b.Stats()
+	for name, st := range stats {
+		if st.Dependencies == 0 || st.Edges == 0 {
+			t.Fatalf("sheet %s stats = %+v", name, st)
+		}
+		if st.Edges >= st.Dependencies {
+			t.Fatalf("sheet %s not compressed: %+v", name, st)
+		}
+	}
+	// Sheets are isolated: an edit in one does not dirty the other.
+	fin := b.Sheet("financial")
+	inv := b.Sheet("inventory")
+	fin.SetValue(ref.MustCell("B1"), formula.Num(9999))
+	if inv.Dirty(ref.Ref{Col: 4, Row: 40}) {
+		t.Fatal("cross-sheet contamination")
+	}
+}
+
+func TestLoadBookNamesAndErrors(t *testing.T) {
+	s1 := workload.NewSheet("")
+	s1.SetValue(ref.MustCell("A1"), 1)
+	s2 := workload.NewSheet("dup")
+	s3 := workload.NewSheet("dup")
+	b, err := LoadBook([]*workload.Sheet{s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Names()[0] != "Sheet1" {
+		t.Fatalf("default name = %q", b.Names()[0])
+	}
+	if _, err := LoadBook([]*workload.Sheet{s2, s3}); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	bad := workload.NewSheet("bad")
+	bad.SetFormula(ref.MustCell("A1"), "SUM(")
+	if _, err := LoadBook([]*workload.Sheet{bad}); err == nil {
+		t.Fatal("bad formula accepted")
+	}
+}

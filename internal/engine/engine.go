@@ -1,0 +1,257 @@
+// Package engine is a minimal spreadsheet execution host in the style of
+// DATASPREAD, the system the paper integrates TACO into. It keeps a sparse
+// cell store, parses and evaluates formulae, and drives recalculation
+// through a pluggable formula graph — so TACO is a drop-in replacement for
+// the uncompressed graph, exactly as in the paper's prototype.
+//
+// The engine implements the asynchronous interaction model of Sec. VI-A:
+// when a cell is updated, the engine first identifies every transitive
+// dependent (the step whose latency decides when control returns to the
+// user) and marks those cells dirty; evaluation then proceeds separately.
+package engine
+
+import (
+	"fmt"
+
+	"taco/internal/core"
+	"taco/internal/formula"
+	"taco/internal/nocomp"
+	"taco/internal/ref"
+	"taco/internal/workload"
+)
+
+// Graph is the dependency-graph interface the engine drives. Both the TACO
+// compressed graph and the NoComp baseline satisfy it via the adapters
+// below.
+type Graph interface {
+	// Add registers one dependency.
+	Add(d core.Dependency)
+	// Clear removes the dependencies of every formula cell in s.
+	Clear(s ref.Range)
+	// Dependents returns the transitive dependents of r as disjoint ranges.
+	Dependents(r ref.Range) []ref.Range
+	// Precedents returns the transitive precedents of r as disjoint ranges.
+	Precedents(r ref.Range) []ref.Range
+}
+
+// TACO adapts *core.Graph to the engine's Graph interface.
+type TACO struct{ G *core.Graph }
+
+// Add implements Graph.
+func (t TACO) Add(d core.Dependency) { t.G.AddDependency(d) }
+
+// Clear implements Graph.
+func (t TACO) Clear(s ref.Range) { t.G.Clear(s) }
+
+// Dependents implements Graph.
+func (t TACO) Dependents(r ref.Range) []ref.Range { return t.G.FindDependents(r) }
+
+// Precedents implements Graph.
+func (t TACO) Precedents(r ref.Range) []ref.Range { return t.G.FindPrecedents(r) }
+
+// NoComp adapts *nocomp.Graph to the engine's Graph interface.
+type NoComp struct{ G *nocomp.Graph }
+
+// Add implements Graph.
+func (n NoComp) Add(d core.Dependency) { n.G.AddDependency(d) }
+
+// Clear implements Graph.
+func (n NoComp) Clear(s ref.Range) { n.G.Clear(s) }
+
+// Dependents implements Graph.
+func (n NoComp) Dependents(r ref.Range) []ref.Range { return n.G.FindDependents(r) }
+
+// Precedents implements Graph.
+func (n NoComp) Precedents(r ref.Range) []ref.Range { return n.G.FindPrecedents(r) }
+
+// cell is the engine's cell record.
+type cell struct {
+	ast   formula.Node // nil for pure values
+	src   string
+	value formula.Value
+	dirty bool
+}
+
+// Engine is a single-sheet spreadsheet host.
+type Engine struct {
+	graph Graph
+	cells map[ref.Ref]*cell
+	// evaluating guards against reference cycles during recalculation.
+	evaluating map[ref.Ref]bool
+}
+
+// New returns an empty engine driving the given dependency graph. A nil
+// graph defaults to TACO with the paper's full options.
+func New(g Graph) *Engine {
+	if g == nil {
+		g = TACO{G: core.NewGraph(core.DefaultOptions())}
+	}
+	return &Engine{
+		graph:      g,
+		cells:      make(map[ref.Ref]*cell),
+		evaluating: make(map[ref.Ref]bool),
+	}
+}
+
+// Load populates the engine from a workload sheet and evaluates everything.
+func Load(s *workload.Sheet, g Graph) (*Engine, error) {
+	e := New(g)
+	// Values first so formulae see them, then formulae column-major.
+	for at, c := range s.Cells {
+		if !c.IsFormula() {
+			e.cells[at] = &cell{value: c.Value}
+		}
+	}
+	deps, err := s.Dependencies()
+	if err != nil {
+		return nil, err
+	}
+	added := map[ref.Ref]bool{}
+	for _, d := range deps {
+		if !added[d.Dep] {
+			added[d.Dep] = true
+			src := s.Cells[d.Dep].Formula
+			ast, err := formula.Parse(src)
+			if err != nil {
+				return nil, fmt.Errorf("engine: cell %v: %w", d.Dep, err)
+			}
+			e.cells[d.Dep] = &cell{ast: ast, src: src, dirty: true}
+		}
+		e.graph.Add(d)
+	}
+	// Formula cells with no references still need registration.
+	for at, c := range s.Cells {
+		if c.IsFormula() && e.cells[at] == nil {
+			ast, err := formula.Parse(c.Formula)
+			if err != nil {
+				return nil, fmt.Errorf("engine: cell %v: %w", at, err)
+			}
+			e.cells[at] = &cell{ast: ast, src: c.Formula, dirty: true}
+		}
+	}
+	e.RecalculateAll()
+	return e, nil
+}
+
+// Value returns the current (possibly cached) value of a cell.
+func (e *Engine) Value(at ref.Ref) formula.Value {
+	c, ok := e.cells[at]
+	if !ok {
+		return formula.Empty()
+	}
+	if c.dirty {
+		e.evaluate(at, c)
+	}
+	return c.value
+}
+
+// CellValue implements formula.Resolver: reading a dirty precedent evaluates
+// it first, which makes recalculation naturally topological.
+func (e *Engine) CellValue(at ref.Ref) formula.Value {
+	if e.evaluating[at] {
+		return formula.Errorf("#CYCLE!")
+	}
+	return e.Value(at)
+}
+
+func (e *Engine) evaluate(at ref.Ref, c *cell) {
+	if c.ast == nil {
+		c.dirty = false
+		return
+	}
+	e.evaluating[at] = true
+	c.value = formula.Eval(c.ast, e)
+	delete(e.evaluating, at)
+	c.dirty = false
+}
+
+// Formula returns the formula source of a cell ("" for value cells).
+func (e *Engine) Formula(at ref.Ref) string {
+	if c, ok := e.cells[at]; ok {
+		return c.src
+	}
+	return ""
+}
+
+// SetValue writes a pure value, returning the dirty set — the transitive
+// dependents the asynchronous model hides before returning control.
+func (e *Engine) SetValue(at ref.Ref, v formula.Value) []ref.Range {
+	if old, ok := e.cells[at]; ok && old.ast != nil {
+		e.graph.Clear(ref.CellRange(at))
+	}
+	e.cells[at] = &cell{value: v}
+	return e.invalidate(at)
+}
+
+// SetFormula writes a formula, registering its dependencies and returning
+// the dirty set.
+func (e *Engine) SetFormula(at ref.Ref, src string) ([]ref.Range, error) {
+	ast, err := formula.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if old, ok := e.cells[at]; ok && old.ast != nil {
+		e.graph.Clear(ref.CellRange(at))
+	}
+	for _, r := range formula.Refs(ast) {
+		e.graph.Add(core.Dependency{
+			Prec: r.At, Dep: at, HeadFixed: r.HeadFixed, TailFixed: r.TailFixed,
+		})
+	}
+	e.cells[at] = &cell{ast: ast, src: src, dirty: true}
+	dirty := e.invalidate(at)
+	return dirty, nil
+}
+
+// ClearCell removes a cell entirely.
+func (e *Engine) ClearCell(at ref.Ref) []ref.Range {
+	if old, ok := e.cells[at]; ok && old.ast != nil {
+		e.graph.Clear(ref.CellRange(at))
+	}
+	delete(e.cells, at)
+	return e.invalidate(at)
+}
+
+// invalidate marks the transitive dependents of at dirty and returns them.
+// This is the critical-path step of the asynchronous model: its cost is
+// dominated by the dependency-graph traversal.
+func (e *Engine) invalidate(at ref.Ref) []ref.Range {
+	dirty := e.graph.Dependents(ref.CellRange(at))
+	for _, rng := range dirty {
+		rng.Cells(func(c ref.Ref) bool {
+			if cc, ok := e.cells[c]; ok && cc.ast != nil {
+				cc.dirty = true
+			}
+			return true
+		})
+	}
+	return dirty
+}
+
+// Dirty reports whether the cell awaits recalculation.
+func (e *Engine) Dirty(at ref.Ref) bool {
+	c, ok := e.cells[at]
+	return ok && c.dirty
+}
+
+// RecalculateAll evaluates every dirty formula cell (the background phase of
+// the asynchronous model). It returns the number of cells recalculated.
+func (e *Engine) RecalculateAll() int {
+	n := 0
+	for at, c := range e.cells {
+		if c.dirty {
+			e.evaluate(at, c)
+			n++
+		}
+	}
+	return n
+}
+
+// Dependents exposes the graph's dependents query (used by tracing tools).
+func (e *Engine) Dependents(r ref.Range) []ref.Range { return e.graph.Dependents(r) }
+
+// Precedents exposes the graph's precedents query.
+func (e *Engine) Precedents(r ref.Range) []ref.Range { return e.graph.Precedents(r) }
+
+// NumCells returns the number of populated cells.
+func (e *Engine) NumCells() int { return len(e.cells) }

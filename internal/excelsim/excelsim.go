@@ -1,0 +1,178 @@
+// Package excelsim models the dependents-finding behaviour the paper
+// hypothesises for Microsoft Excel in Sec. VI-E. Excel deduplicates
+// identical (autofill-equivalent) formulae, storing duplicates as pointers
+// to the first formula [CellFormula docs], but does not keep a compressed
+// reverse dependency index. Finding dependents therefore pays, per query:
+//
+//   - decompression: materialising each cell's references by shifting its
+//     master formula's references to the cell's position, and
+//   - a forward scan: testing every formula cell's references against the
+//     frontier, iterated to a fixpoint (a semi-naive BFS without a reverse
+//     index).
+//
+// This reproduces the Fig. 16 shape: slower than NoComp (which at least has
+// the reverse R-tree) and orders of magnitude slower than TACO.
+package excelsim
+
+import (
+	"taco/internal/core"
+	"taco/internal/ref"
+	"taco/internal/rtree"
+)
+
+// cellFormula is the deduplicated storage for one formula cell: a pointer to
+// the master reference list plus this cell's offset from the master.
+type cellFormula struct {
+	master *masterFormula
+	dCol   int
+	dRow   int
+}
+
+// masterFormula is the first formula of a duplicate group; refs are stored
+// relative to the master's own cell.
+type masterFormula struct {
+	at   ref.Ref
+	refs []relRef
+}
+
+// relRef is one reference of the master formula, with fixed corners kept
+// absolute and relative corners kept as offsets — the data needed to rebuild
+// the reference at any shifted position.
+type relRef struct {
+	headFixed, tailFixed bool
+	headAbs, tailAbs     ref.Ref
+	headOff, tailOff     ref.Offset
+}
+
+// Workbook is the deduplicated formula store.
+type Workbook struct {
+	cells map[ref.Ref]cellFormula
+}
+
+// Build ingests a dependency list, grouping the references of each formula
+// cell and deduplicating autofill-equivalent column neighbours into shared
+// masters.
+func Build(deps []core.Dependency) *Workbook {
+	// Group references per formula cell, preserving order.
+	type group struct {
+		at   ref.Ref
+		deps []core.Dependency
+	}
+	order := map[ref.Ref]int{}
+	var groups []group
+	for _, d := range deps {
+		i, ok := order[d.Dep]
+		if !ok {
+			i = len(groups)
+			order[d.Dep] = i
+			groups = append(groups, group{at: d.Dep})
+		}
+		groups[i].deps = append(groups[i].deps, d)
+	}
+	wb := &Workbook{cells: make(map[ref.Ref]cellFormula, len(groups))}
+	// Dedup: a cell shares the master of the cell directly above when their
+	// reference lists are autofill-equivalent.
+	for _, g := range groups {
+		above := ref.Ref{Col: g.at.Col, Row: g.at.Row - 1}
+		if cf, ok := wb.cells[above]; ok {
+			m := cf.master
+			if sameShape(m, g.at, g.deps) {
+				wb.cells[g.at] = cellFormula{master: m, dCol: g.at.Col - m.at.Col, dRow: g.at.Row - m.at.Row}
+				continue
+			}
+		}
+		m := &masterFormula{at: g.at}
+		for _, d := range g.deps {
+			rr := relRef{headFixed: d.HeadFixed, tailFixed: d.TailFixed}
+			if d.HeadFixed {
+				rr.headAbs = d.Prec.Head
+			} else {
+				rr.headOff = d.Prec.Head.Sub(g.at)
+			}
+			if d.TailFixed {
+				rr.tailAbs = d.Prec.Tail
+			} else {
+				rr.tailOff = d.Prec.Tail.Sub(g.at)
+			}
+			m.refs = append(m.refs, rr)
+		}
+		wb.cells[g.at] = cellFormula{master: m}
+	}
+	return wb
+}
+
+// sameShape reports whether the references of the cell at `at` equal the
+// master's references shifted to that cell.
+func sameShape(m *masterFormula, at ref.Ref, deps []core.Dependency) bool {
+	if len(m.refs) != len(deps) {
+		return false
+	}
+	dCol, dRow := at.Col-m.at.Col, at.Row-m.at.Row
+	for i, rr := range m.refs {
+		want := materialize(rr, m.at, dCol, dRow)
+		d := deps[i]
+		if want != d.Prec || rr.headFixed != d.HeadFixed || rr.tailFixed != d.TailFixed {
+			return false
+		}
+	}
+	return true
+}
+
+// materialize rebuilds a reference at the master's position shifted by
+// (dCol, dRow) — the per-query decompression step.
+func materialize(rr relRef, masterAt ref.Ref, dCol, dRow int) ref.Range {
+	at := ref.Ref{Col: masterAt.Col + dCol, Row: masterAt.Row + dRow}
+	var h, t ref.Ref
+	if rr.headFixed {
+		h = rr.headAbs
+	} else {
+		h = at.Add(rr.headOff)
+	}
+	if rr.tailFixed {
+		t = rr.tailAbs
+	} else {
+		t = at.Add(rr.tailOff)
+	}
+	return ref.RangeOf(h, t)
+}
+
+// NumCells returns the number of formula cells stored.
+func (wb *Workbook) NumCells() int { return len(wb.cells) }
+
+// NumMasters returns the number of distinct master formulae after dedup.
+func (wb *Workbook) NumMasters() int {
+	seen := map[*masterFormula]bool{}
+	for _, cf := range wb.cells {
+		seen[cf.master] = true
+	}
+	return len(seen)
+}
+
+// FindDependents returns the transitive dependent cells of r by repeated
+// forward scans over all formula cells, decompressing each cell's references
+// on every pass.
+func (wb *Workbook) FindDependents(r ref.Range) []ref.Range {
+	frontier := rtree.New[struct{}]()
+	frontier.Insert(r, struct{}{})
+	inResult := map[ref.Ref]bool{}
+	var out []ref.Range
+	for changed := true; changed; {
+		changed = false
+		for at, cf := range wb.cells {
+			if inResult[at] {
+				continue
+			}
+			for _, rr := range cf.master.refs {
+				prec := materialize(rr, cf.master.at, cf.dCol, cf.dRow)
+				if frontier.Any(prec) {
+					inResult[at] = true
+					frontier.Insert(ref.CellRange(at), struct{}{})
+					out = append(out, ref.CellRange(at))
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package excelsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"taco/internal/core"
+	"taco/internal/nocomp"
+	"taco/internal/ref"
+	"taco/internal/workload"
+)
+
+func cellsOf(rs []ref.Range) map[ref.Ref]bool {
+	out := map[ref.Ref]bool{}
+	for _, g := range rs {
+		g.Cells(func(c ref.Ref) bool {
+			out[c] = true
+			return true
+		})
+	}
+	return out
+}
+
+func TestDedupCollapsesAutofillRuns(t *testing.T) {
+	s := workload.NewSheet("t")
+	rng := rand.New(rand.NewSource(1))
+	s.AddDataColumn(1, 100, rng)
+	s.AddSlidingWindow(2, 1, 3, 100)
+	deps := s.MustDependencies()
+	wb := Build(deps)
+	if wb.NumCells() != 98 {
+		t.Fatalf("cells = %d", wb.NumCells())
+	}
+	// The whole run shares one master: Excel's pointer-to-first-formula.
+	if wb.NumMasters() != 1 {
+		t.Fatalf("masters = %d, want 1", wb.NumMasters())
+	}
+}
+
+func TestMixedFormulasKeepSeparateMasters(t *testing.T) {
+	deps := []core.Dependency{
+		{Prec: ref.MustRange("A1"), Dep: ref.MustCell("B1")},
+		{Prec: ref.MustRange("A1:A2"), Dep: ref.MustCell("B2")}, // different shape
+		{Prec: ref.MustRange("A3"), Dep: ref.MustCell("B3")},    // resumes relative shape
+	}
+	wb := Build(deps)
+	if wb.NumMasters() != 3 {
+		t.Fatalf("masters = %d, want 3", wb.NumMasters())
+	}
+}
+
+func TestFixedReferencesDedupToo(t *testing.T) {
+	var deps []core.Dependency
+	for row := 1; row <= 10; row++ {
+		deps = append(deps, core.Dependency{
+			Prec: ref.MustRange("Z1"), Dep: ref.Ref{Col: 2, Row: row},
+			HeadFixed: true, TailFixed: true,
+		})
+	}
+	wb := Build(deps)
+	if wb.NumMasters() != 1 {
+		t.Fatalf("masters = %d, want 1", wb.NumMasters())
+	}
+	got := cellsOf(wb.FindDependents(ref.MustRange("Z1")))
+	if len(got) != 10 {
+		t.Fatalf("dependents = %d", len(got))
+	}
+}
+
+func TestAgreesWithNoComp(t *testing.T) {
+	s := workload.GenerateSheet("x", 80, 0.1, rand.New(rand.NewSource(4)))
+	deps := s.MustDependencies()
+	wb := Build(deps)
+	nc := nocomp.Build(deps)
+	rng := rand.New(rand.NewSource(5))
+	for q := 0; q < 6; q++ {
+		r := ref.CellRange(ref.Ref{Col: 1 + rng.Intn(4), Row: 1 + rng.Intn(60)})
+		a := cellsOf(wb.FindDependents(r))
+		b := cellsOf(nc.FindDependents(r))
+		if len(a) != len(b) {
+			t.Fatalf("query %v: excelsim %d vs nocomp %d", r, len(a), len(b))
+		}
+		for c := range b {
+			if !a[c] {
+				t.Fatalf("query %v: excelsim missing %v", r, c)
+			}
+		}
+	}
+}

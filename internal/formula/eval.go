@@ -1,0 +1,706 @@
+package formula
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"taco/internal/ref"
+)
+
+// Kind tags the dynamic type of a spreadsheet value.
+type Kind uint8
+
+const (
+	// KindEmpty is a blank cell.
+	KindEmpty Kind = iota
+	// KindNumber is a numeric value.
+	KindNumber
+	// KindString is a text value.
+	KindString
+	// KindBool is a boolean value.
+	KindBool
+	// KindError is an evaluation error (#DIV/0!, #VALUE!, ...).
+	KindError
+)
+
+// Value is a spreadsheet value: the pure value of a data cell or the
+// evaluated value of a formula cell.
+type Value struct {
+	Kind Kind
+	Num  float64
+	Str  string
+	Bool bool
+	Err  string
+}
+
+// Num returns a numeric value.
+func Num(v float64) Value { return Value{Kind: KindNumber, Num: v} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Boolean returns a boolean value.
+func Boolean(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// Empty returns the blank value.
+func Empty() Value { return Value{Kind: KindEmpty} }
+
+// Errorf returns an error value with a spreadsheet-style code.
+func Errorf(code string) Value { return Value{Kind: KindError, Err: code} }
+
+// IsError reports whether the value is an evaluation error.
+func (v Value) IsError() bool { return v.Kind == KindError }
+
+// String renders the value the way a spreadsheet cell would display it.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindEmpty:
+		return ""
+	case KindNumber:
+		return formatNum(v.Num)
+	case KindString:
+		return v.Str
+	case KindBool:
+		if v.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return v.Err
+	}
+}
+
+// AsNumber coerces the value to a number following spreadsheet rules
+// (blank -> 0, TRUE -> 1, numeric text parses). ok is false when coercion
+// fails.
+func (v Value) AsNumber() (float64, bool) {
+	switch v.Kind {
+	case KindNumber:
+		return v.Num, true
+	case KindEmpty:
+		return 0, true
+	case KindBool:
+		if v.Bool {
+			return 1, true
+		}
+		return 0, true
+	case KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.Str), 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// Resolver supplies cell values to the evaluator — the spreadsheet engine
+// implements it over its cell store.
+type Resolver interface {
+	// CellValue returns the current value of the given cell.
+	CellValue(at ref.Ref) Value
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(ref.Ref) Value
+
+// CellValue implements Resolver.
+func (f ResolverFunc) CellValue(at ref.Ref) Value { return f(at) }
+
+// Eval evaluates the AST against the resolver, returning the cell's value.
+// Errors propagate as #-style error values rather than Go errors, matching
+// spreadsheet semantics.
+func Eval(n Node, res Resolver) Value {
+	switch t := n.(type) {
+	case *Number:
+		return Num(t.Value)
+	case *String:
+		return Str(t.Value)
+	case *Bool:
+		return Boolean(t.Value)
+	case *CellRef:
+		return res.CellValue(t.At)
+	case *RangeRef:
+		// A bare range in scalar context is an error (no implicit
+		// intersection); functions receive ranges via evalArg.
+		return Errorf("#VALUE!")
+	case *Unary:
+		return evalUnary(t, res)
+	case *Binary:
+		return evalBinary(t, res)
+	case *Call:
+		return evalCall(t, res)
+	}
+	return Errorf("#VALUE!")
+}
+
+func evalUnary(t *Unary, res Resolver) Value {
+	x := Eval(t.X, res)
+	if x.IsError() {
+		return x
+	}
+	f, ok := x.AsNumber()
+	if !ok {
+		return Errorf("#VALUE!")
+	}
+	switch t.Op {
+	case "-":
+		return Num(-f)
+	case "+":
+		return Num(f)
+	case "%":
+		return Num(f / 100)
+	}
+	return Errorf("#VALUE!")
+}
+
+func evalBinary(t *Binary, res Resolver) Value {
+	l := Eval(t.L, res)
+	if l.IsError() {
+		return l
+	}
+	r := Eval(t.R, res)
+	if r.IsError() {
+		return r
+	}
+	switch t.Op {
+	case "&":
+		return Str(l.String() + r.String())
+	case "=", "<>", "<", ">", "<=", ">=":
+		return compare(t.Op, l, r)
+	}
+	lf, ok1 := l.AsNumber()
+	rf, ok2 := r.AsNumber()
+	if !ok1 || !ok2 {
+		return Errorf("#VALUE!")
+	}
+	switch t.Op {
+	case "+":
+		return Num(lf + rf)
+	case "-":
+		return Num(lf - rf)
+	case "*":
+		return Num(lf * rf)
+	case "/":
+		if rf == 0 {
+			return Errorf("#DIV/0!")
+		}
+		return Num(lf / rf)
+	case "^":
+		return Num(math.Pow(lf, rf))
+	}
+	return Errorf("#VALUE!")
+}
+
+func compare(op string, l, r Value) Value {
+	var c int
+	switch {
+	case l.Kind == KindString || r.Kind == KindString:
+		ls, rs := strings.ToUpper(l.String()), strings.ToUpper(r.String())
+		c = strings.Compare(ls, rs)
+	default:
+		lf, _ := l.AsNumber()
+		rf, _ := r.AsNumber()
+		switch {
+		case lf < rf:
+			c = -1
+		case lf > rf:
+			c = 1
+		}
+	}
+	switch op {
+	case "=":
+		return Boolean(c == 0)
+	case "<>":
+		return Boolean(c != 0)
+	case "<":
+		return Boolean(c < 0)
+	case ">":
+		return Boolean(c > 0)
+	case "<=":
+		return Boolean(c <= 0)
+	default:
+		return Boolean(c >= 0)
+	}
+}
+
+// arg is an evaluated function argument: either a scalar or a range of cells.
+type arg struct {
+	scalar  Value
+	isRange bool
+	rng     ref.Range
+}
+
+func evalArg(n Node, res Resolver) arg {
+	if r, ok := n.(*RangeRef); ok {
+		return arg{isRange: true, rng: r.At}
+	}
+	return arg{scalar: Eval(n, res)}
+}
+
+// eachValue streams the argument's values: a scalar yields itself; a range
+// yields every cell value in row-major order.
+func (a arg) eachValue(res Resolver, fn func(Value) bool) {
+	if !a.isRange {
+		fn(a.scalar)
+		return
+	}
+	a.rng.Cells(func(c ref.Ref) bool {
+		return fn(res.CellValue(c))
+	})
+}
+
+func evalCall(t *Call, res Resolver) Value {
+	args := make([]arg, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = evalArg(a, res)
+		if !args[i].isRange && args[i].scalar.IsError() {
+			// IF and IS* handle errors themselves; aggregate functions
+			// propagate them.
+			if t.Name != "IF" && t.Name != "ISERROR" && t.Name != "IFERROR" {
+				return args[i].scalar
+			}
+		}
+	}
+	switch t.Name {
+	case "SUM":
+		return aggregate(args, res, 0, func(acc, v float64) float64 { return acc + v })
+	case "PRODUCT":
+		return aggregateInit(args, res, 1, func(acc, v float64) float64 { return acc * v })
+	case "AVERAGE", "AVG":
+		sum, n := 0.0, 0
+		if err := forNumbers(args, res, func(f float64) {
+			sum += f
+			n++
+		}); err != nil {
+			return *err
+		}
+		if n == 0 {
+			return Errorf("#DIV/0!")
+		}
+		return Num(sum / float64(n))
+	case "MIN":
+		return extremum(args, res, true)
+	case "MAX":
+		return extremum(args, res, false)
+	case "COUNT":
+		n := 0
+		for _, a := range args {
+			a.eachValue(res, func(v Value) bool {
+				if v.Kind == KindNumber {
+					n++
+				}
+				return true
+			})
+		}
+		return Num(float64(n))
+	case "COUNTA":
+		n := 0
+		for _, a := range args {
+			a.eachValue(res, func(v Value) bool {
+				if v.Kind != KindEmpty {
+					n++
+				}
+				return true
+			})
+		}
+		return Num(float64(n))
+	case "IF":
+		if len(t.Args) < 2 || len(t.Args) > 3 {
+			return Errorf("#N/A")
+		}
+		cond := Eval(t.Args[0], res)
+		if cond.IsError() {
+			return cond
+		}
+		truth := false
+		switch cond.Kind {
+		case KindBool:
+			truth = cond.Bool
+		case KindNumber:
+			truth = cond.Num != 0
+		case KindString:
+			truth = strings.EqualFold(cond.Str, "TRUE")
+		}
+		if truth {
+			return Eval(t.Args[1], res)
+		}
+		if len(t.Args) == 3 {
+			return Eval(t.Args[2], res)
+		}
+		return Boolean(false)
+	case "IFERROR":
+		if len(t.Args) != 2 {
+			return Errorf("#N/A")
+		}
+		v := Eval(t.Args[0], res)
+		if v.IsError() {
+			return Eval(t.Args[1], res)
+		}
+		return v
+	case "AND", "OR":
+		want := t.Name == "AND"
+		out := want
+		for _, a := range args {
+			var errv *Value
+			a.eachValue(res, func(v Value) bool {
+				if v.IsError() {
+					errv = &v
+					return false
+				}
+				f, ok := v.AsNumber()
+				truth := ok && f != 0
+				if v.Kind == KindBool {
+					truth = v.Bool
+				}
+				if want {
+					out = out && truth
+				} else {
+					out = out || truth
+				}
+				return true
+			})
+			if errv != nil {
+				return *errv
+			}
+		}
+		return Boolean(out)
+	case "NOT":
+		if len(args) != 1 {
+			return Errorf("#N/A")
+		}
+		f, ok := args[0].scalar.AsNumber()
+		if !ok {
+			return Errorf("#VALUE!")
+		}
+		return Boolean(f == 0)
+	case "ABS", "SQRT", "INT", "EXP", "LN":
+		if len(args) != 1 {
+			return Errorf("#N/A")
+		}
+		f, ok := args[0].scalar.AsNumber()
+		if !ok {
+			return Errorf("#VALUE!")
+		}
+		switch t.Name {
+		case "ABS":
+			return Num(math.Abs(f))
+		case "SQRT":
+			if f < 0 {
+				return Errorf("#NUM!")
+			}
+			return Num(math.Sqrt(f))
+		case "INT":
+			return Num(math.Floor(f))
+		case "EXP":
+			return Num(math.Exp(f))
+		default:
+			if f <= 0 {
+				return Errorf("#NUM!")
+			}
+			return Num(math.Log(f))
+		}
+	case "ROUND":
+		if len(args) < 1 || len(args) > 2 {
+			return Errorf("#N/A")
+		}
+		f, ok := args[0].scalar.AsNumber()
+		if !ok {
+			return Errorf("#VALUE!")
+		}
+		digits := 0.0
+		if len(args) == 2 {
+			digits, ok = args[1].scalar.AsNumber()
+			if !ok {
+				return Errorf("#VALUE!")
+			}
+		}
+		scale := math.Pow(10, digits)
+		return Num(math.Round(f*scale) / scale)
+	case "MOD":
+		if len(args) != 2 {
+			return Errorf("#N/A")
+		}
+		a, ok1 := args[0].scalar.AsNumber()
+		b, ok2 := args[1].scalar.AsNumber()
+		if !ok1 || !ok2 {
+			return Errorf("#VALUE!")
+		}
+		if b == 0 {
+			return Errorf("#DIV/0!")
+		}
+		m := math.Mod(a, b)
+		if m != 0 && (m < 0) != (b < 0) {
+			m += b
+		}
+		return Num(m)
+	case "POWER":
+		if len(args) != 2 {
+			return Errorf("#N/A")
+		}
+		a, ok1 := args[0].scalar.AsNumber()
+		b, ok2 := args[1].scalar.AsNumber()
+		if !ok1 || !ok2 {
+			return Errorf("#VALUE!")
+		}
+		return Num(math.Pow(a, b))
+	case "CONCATENATE", "CONCAT":
+		var sb strings.Builder
+		for _, a := range args {
+			a.eachValue(res, func(v Value) bool {
+				sb.WriteString(v.String())
+				return true
+			})
+		}
+		return Str(sb.String())
+	case "LEN":
+		if len(args) != 1 {
+			return Errorf("#N/A")
+		}
+		return Num(float64(len(args[0].scalar.String())))
+	case "UPPER", "LOWER", "TRIM":
+		if len(args) != 1 {
+			return Errorf("#N/A")
+		}
+		s := args[0].scalar.String()
+		switch t.Name {
+		case "UPPER":
+			return Str(strings.ToUpper(s))
+		case "LOWER":
+			return Str(strings.ToLower(s))
+		default:
+			return Str(strings.TrimSpace(s))
+		}
+	case "LEFT", "RIGHT":
+		if len(args) < 1 || len(args) > 2 {
+			return Errorf("#N/A")
+		}
+		s := args[0].scalar.String()
+		n := 1.0
+		if len(args) == 2 {
+			var ok bool
+			n, ok = args[1].scalar.AsNumber()
+			if !ok || n < 0 {
+				return Errorf("#VALUE!")
+			}
+		}
+		k := int(n)
+		if k > len(s) {
+			k = len(s)
+		}
+		if t.Name == "LEFT" {
+			return Str(s[:k])
+		}
+		return Str(s[len(s)-k:])
+	case "ISBLANK":
+		return Boolean(len(args) == 1 && !args[0].isRange && args[0].scalar.Kind == KindEmpty)
+	case "ISNUMBER":
+		return Boolean(len(args) == 1 && !args[0].isRange && args[0].scalar.Kind == KindNumber)
+	case "ISERROR":
+		return Boolean(len(args) == 1 && !args[0].isRange && args[0].scalar.IsError())
+	case "VLOOKUP":
+		return evalVlookup(t, args, res)
+	case "SUMIF":
+		return evalSumif(args, res)
+	case "COUNTIF":
+		return evalCountif(args, res)
+	default:
+		return evalCallExt(t, args, res)
+	}
+}
+
+func aggregate(args []arg, res Resolver, init float64, f func(acc, v float64) float64) Value {
+	return aggregateInit(args, res, init, f)
+}
+
+func aggregateInit(args []arg, res Resolver, init float64, f func(acc, v float64) float64) Value {
+	acc := init
+	if err := forNumbers(args, res, func(v float64) { acc = f(acc, v) }); err != nil {
+		return *err
+	}
+	return Num(acc)
+}
+
+// forNumbers streams every numeric value of the arguments. Range cells that
+// hold text or blanks are skipped (spreadsheet aggregate semantics); scalar
+// arguments must be numeric. Returns a non-nil error value on #-errors.
+func forNumbers(args []arg, res Resolver, fn func(float64)) *Value {
+	var errv *Value
+	for _, a := range args {
+		if a.isRange {
+			a.eachValue(res, func(v Value) bool {
+				if v.IsError() {
+					errv = &v
+					return false
+				}
+				if v.Kind == KindNumber {
+					fn(v.Num)
+				}
+				return true
+			})
+			if errv != nil {
+				return errv
+			}
+			continue
+		}
+		if a.scalar.IsError() {
+			return &a.scalar
+		}
+		f, ok := a.scalar.AsNumber()
+		if !ok {
+			e := Errorf("#VALUE!")
+			return &e
+		}
+		fn(f)
+	}
+	return nil
+}
+
+func extremum(args []arg, res Resolver, wantMin bool) Value {
+	best := math.Inf(1)
+	if !wantMin {
+		best = math.Inf(-1)
+	}
+	n := 0
+	if err := forNumbers(args, res, func(f float64) {
+		n++
+		if wantMin && f < best || !wantMin && f > best {
+			best = f
+		}
+	}); err != nil {
+		return *err
+	}
+	if n == 0 {
+		return Num(0)
+	}
+	return Num(best)
+}
+
+// evalVlookup implements VLOOKUP(needle, table, colIndex[, exact]). Only the
+// exact-match mode (FALSE / omitted-as-FALSE here) is supported, which is the
+// mode the paper's FF range-lookup workloads use.
+func evalVlookup(t *Call, args []arg, res Resolver) Value {
+	if len(args) < 3 {
+		return Errorf("#N/A")
+	}
+	needle := args[0].scalar
+	if !args[1].isRange {
+		return Errorf("#VALUE!")
+	}
+	table := args[1].rng
+	colF, ok := args[2].scalar.AsNumber()
+	if !ok {
+		return Errorf("#VALUE!")
+	}
+	col := int(colF)
+	if col < 1 || col > table.Cols() {
+		return Errorf("#REF!")
+	}
+	for row := table.Head.Row; row <= table.Tail.Row; row++ {
+		v := res.CellValue(ref.Ref{Col: table.Head.Col, Row: row})
+		if eqValue(v, needle) {
+			return res.CellValue(ref.Ref{Col: table.Head.Col + col - 1, Row: row})
+		}
+	}
+	return Errorf("#N/A")
+}
+
+func evalSumif(args []arg, res Resolver) Value {
+	if len(args) < 2 || !args[0].isRange {
+		return Errorf("#N/A")
+	}
+	crit := args[1].scalar
+	sumRange := args[0].rng
+	if len(args) >= 3 {
+		if !args[2].isRange {
+			return Errorf("#VALUE!")
+		}
+		sumRange = args[2].rng
+	}
+	total := 0.0
+	i := 0
+	args[0].rng.Cells(func(c ref.Ref) bool {
+		if matchesCriterion(res.CellValue(c), crit) {
+			dc := i % args[0].rng.Cols()
+			dr := i / args[0].rng.Cols()
+			v := res.CellValue(ref.Ref{Col: sumRange.Head.Col + dc, Row: sumRange.Head.Row + dr})
+			if f, ok := v.AsNumber(); ok {
+				total += f
+			}
+		}
+		i++
+		return true
+	})
+	return Num(total)
+}
+
+func evalCountif(args []arg, res Resolver) Value {
+	if len(args) != 2 || !args[0].isRange {
+		return Errorf("#N/A")
+	}
+	crit := args[1].scalar
+	n := 0
+	args[0].rng.Cells(func(c ref.Ref) bool {
+		if matchesCriterion(res.CellValue(c), crit) {
+			n++
+		}
+		return true
+	})
+	return Num(float64(n))
+}
+
+// matchesCriterion implements the SUMIF/COUNTIF criterion mini-language:
+// a plain value matches by equality; strings beginning with a comparison
+// operator compare numerically.
+func matchesCriterion(v, crit Value) bool {
+	if crit.Kind == KindString {
+		s := crit.Str
+		for _, op := range []string{"<=", ">=", "<>", "<", ">", "="} {
+			if strings.HasPrefix(s, op) {
+				if f, err := strconv.ParseFloat(strings.TrimSpace(s[len(op):]), 64); err == nil {
+					vf, ok := v.AsNumber()
+					if !ok {
+						return false
+					}
+					switch op {
+					case "<=":
+						return vf <= f
+					case ">=":
+						return vf >= f
+					case "<>":
+						return vf != f
+					case "<":
+						return vf < f
+					case ">":
+						return vf > f
+					default:
+						return vf == f
+					}
+				}
+				if op == "=" {
+					return strings.EqualFold(v.String(), s[1:])
+				}
+				return false
+			}
+		}
+	}
+	return eqValue(v, crit)
+}
+
+func eqValue(a, b Value) bool {
+	af, okA := a.AsNumber()
+	bf, okB := b.AsNumber()
+	if a.Kind == KindNumber || b.Kind == KindNumber {
+		return okA && okB && af == bf
+	}
+	return strings.EqualFold(a.String(), b.String())
+}
+
+func formatNum(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func formatNumInt(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,97 @@
+package formula
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, g gridResolver, src string, want, tol float64) {
+	t.Helper()
+	got := evalOn(t, g, src)
+	if got.Kind != KindNumber || math.Abs(got.Num-want) > tol {
+		t.Errorf("%s = %v, want %v±%v", src, got, want, tol)
+	}
+}
+
+func TestNPV(t *testing.T) {
+	g := grid(map[string]Value{
+		"A1": Num(-10000), "A2": Num(3000), "A3": Num(4200), "A4": Num(6800),
+	})
+	// The classic Excel doc example: NPV(10%, -10000, 3000, 4200, 6800).
+	approx(t, g, "=NPV(0.1,A1:A4)", 1188.44, 0.01)
+	approx(t, g, "=NPV(0.1,-10000,3000,4200,6800)", 1188.44, 0.01)
+	if got := evalOn(t, g, "=NPV(-2,A1:A4)"); !got.IsError() {
+		t.Errorf("rate <= -1 accepted: %v", got)
+	}
+	if got := evalOn(t, g, `=NPV("x",A1:A4)`); !got.IsError() {
+		t.Errorf("bad rate accepted: %v", got)
+	}
+}
+
+func TestPMT(t *testing.T) {
+	g := grid(nil)
+	// $10,000 loan, 8%/12 monthly, 10 months: Excel gives -1037.03.
+	approx(t, g, "=PMT(0.08/12,10,10000)", -1037.03, 0.01)
+	// Zero rate degenerates to straight division.
+	approx(t, g, "=PMT(0,10,10000)", -1000, 1e-9)
+	// Payments due at period start shrink slightly.
+	approx(t, g, "=PMT(0.08/12,10,10000,0,1)", -1030.16, 0.01)
+	if got := evalOn(t, g, "=PMT(0.1,0,100)"); !got.IsError() {
+		t.Errorf("nper=0 accepted: %v", got)
+	}
+}
+
+func TestFVAndPV(t *testing.T) {
+	g := grid(nil)
+	// Save $200/month at 6%/12 for 10 months starting from 0:
+	// Excel: FV(0.005,10,-200) = 2045.60.
+	approx(t, g, "=FV(0.005,10,-200)", 2045.60, 0.01)
+	approx(t, g, "=FV(0,10,-200)", 2000, 1e-9)
+	// PV inverts FV: the PV of that stream discounts back.
+	// Excel: PV(0.005,10,-200) = 1947.06? Actually 1946.32...
+	pv := evalOn(t, g, "=PV(0.005,10,-200)")
+	fv := evalOn(t, g, "=FV(0.005,10,-200,"+pv.String()+")")
+	if math.Abs(fv.Num) > 0.01 {
+		t.Errorf("PV/FV inversion residual = %v", fv)
+	}
+	approx(t, g, "=PV(0,10,-200)", 2000, 1e-9)
+}
+
+func TestIRR(t *testing.T) {
+	g := grid(map[string]Value{
+		"A1": Num(-70000), "A2": Num(12000), "A3": Num(15000),
+		"A4": Num(18000), "A5": Num(21000), "A6": Num(26000),
+	})
+	// Excel doc example: IRR over 5 years = 8.66%.
+	approx(t, g, "=IRR(A1:A6)", 0.0866, 0.001)
+	// IRR consistency: NPV at the IRR rate is ~0.
+	rate := evalOn(t, g, "=IRR(A1:A6)").Num
+	total := -70000.0
+	flows := []float64{12000, 15000, 18000, 21000, 26000}
+	for i, f := range flows {
+		total += f / math.Pow(1+rate, float64(i+1))
+	}
+	if math.Abs(total) > 0.01 {
+		t.Errorf("NPV at IRR = %v", total)
+	}
+	// All-positive flows have no IRR.
+	g2 := grid(map[string]Value{"A1": Num(10), "A2": Num(20)})
+	if got := evalOn(t, g2, "=IRR(A1:A2)"); !got.IsError() {
+		t.Errorf("all-positive IRR = %v", got)
+	}
+	// A scalar argument is rejected.
+	if got := evalOn(t, g, "=IRR(5)"); !got.IsError() {
+		t.Errorf("scalar IRR = %v", got)
+	}
+}
+
+func TestFinancialInFormulaGraph(t *testing.T) {
+	// Financial formulas contribute dependencies like any other.
+	refs, err := ExtractRefs("=NPV($B$1,C1:C12)+PMT($B$1,12,D1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 4 {
+		t.Fatalf("refs = %v", refs)
+	}
+}

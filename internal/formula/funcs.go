@@ -1,0 +1,531 @@
+package formula
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"taco/internal/ref"
+)
+
+// evalCallExt dispatches the extended function library: statistics, lookup,
+// text, and information functions beyond the core set in eval.go. Unknown
+// names yield #NAME?, matching spreadsheet behaviour.
+func evalCallExt(t *Call, args []arg, res Resolver) Value {
+	switch t.Name {
+	// --- Math ---------------------------------------------------------
+	case "FLOOR", "CEILING":
+		return evalFloorCeiling(t.Name, args)
+	case "TRUNC":
+		if len(args) < 1 || len(args) > 2 {
+			return Errorf("#N/A")
+		}
+		f, ok := args[0].scalar.AsNumber()
+		if !ok {
+			return Errorf("#VALUE!")
+		}
+		digits := 0.0
+		if len(args) == 2 {
+			digits, ok = args[1].scalar.AsNumber()
+			if !ok {
+				return Errorf("#VALUE!")
+			}
+		}
+		scale := math.Pow(10, digits)
+		return Num(math.Trunc(f*scale) / scale)
+	case "SIGN":
+		if len(args) != 1 {
+			return Errorf("#N/A")
+		}
+		f, ok := args[0].scalar.AsNumber()
+		if !ok {
+			return Errorf("#VALUE!")
+		}
+		switch {
+		case f > 0:
+			return Num(1)
+		case f < 0:
+			return Num(-1)
+		default:
+			return Num(0)
+		}
+	case "LOG":
+		if len(args) < 1 || len(args) > 2 {
+			return Errorf("#N/A")
+		}
+		f, ok := args[0].scalar.AsNumber()
+		if !ok {
+			return Errorf("#VALUE!")
+		}
+		base := 10.0
+		if len(args) == 2 {
+			base, ok = args[1].scalar.AsNumber()
+			if !ok {
+				return Errorf("#VALUE!")
+			}
+		}
+		if f <= 0 || base <= 0 || base == 1 {
+			return Errorf("#NUM!")
+		}
+		return Num(math.Log(f) / math.Log(base))
+	case "LOG10":
+		if len(args) != 1 {
+			return Errorf("#N/A")
+		}
+		f, ok := args[0].scalar.AsNumber()
+		if !ok {
+			return Errorf("#VALUE!")
+		}
+		if f <= 0 {
+			return Errorf("#NUM!")
+		}
+		return Num(math.Log10(f))
+	case "PI":
+		if len(args) != 0 {
+			return Errorf("#N/A")
+		}
+		return Num(math.Pi)
+	case "SUMSQ":
+		return aggregateInit(args, res, 0, func(acc, v float64) float64 { return acc + v*v })
+	case "SUMPRODUCT":
+		return evalSumProduct(args, res)
+
+	// --- Statistics ----------------------------------------------------
+	case "MEDIAN":
+		xs := collectNumbers(args, res)
+		if errv, ok := xs.err(); ok {
+			return errv
+		}
+		if len(xs.vals) == 0 {
+			return Errorf("#NUM!")
+		}
+		sort.Float64s(xs.vals)
+		n := len(xs.vals)
+		if n%2 == 1 {
+			return Num(xs.vals[n/2])
+		}
+		return Num((xs.vals[n/2-1] + xs.vals[n/2]) / 2)
+	case "STDEV", "VAR":
+		xs := collectNumbers(args, res)
+		if errv, ok := xs.err(); ok {
+			return errv
+		}
+		n := float64(len(xs.vals))
+		if n < 2 {
+			return Errorf("#DIV/0!")
+		}
+		mean := 0.0
+		for _, v := range xs.vals {
+			mean += v
+		}
+		mean /= n
+		ss := 0.0
+		for _, v := range xs.vals {
+			ss += (v - mean) * (v - mean)
+		}
+		variance := ss / (n - 1)
+		if t.Name == "VAR" {
+			return Num(variance)
+		}
+		return Num(math.Sqrt(variance))
+	case "LARGE", "SMALL":
+		if len(args) != 2 {
+			return Errorf("#N/A")
+		}
+		xs := collectNumbers(args[:1], res)
+		if errv, ok := xs.err(); ok {
+			return errv
+		}
+		kf, ok := args[1].scalar.AsNumber()
+		k := int(kf)
+		if !ok || k < 1 || k > len(xs.vals) {
+			return Errorf("#NUM!")
+		}
+		sort.Float64s(xs.vals)
+		if t.Name == "SMALL" {
+			return Num(xs.vals[k-1])
+		}
+		return Num(xs.vals[len(xs.vals)-k])
+	case "RANK":
+		if len(args) < 2 || len(args) > 3 {
+			return Errorf("#N/A")
+		}
+		needle, ok := args[0].scalar.AsNumber()
+		if !ok {
+			return Errorf("#VALUE!")
+		}
+		xs := collectNumbers(args[1:2], res)
+		if errv, ok := xs.err(); ok {
+			return errv
+		}
+		ascending := false
+		if len(args) == 3 {
+			o, ok := args[2].scalar.AsNumber()
+			if !ok {
+				return Errorf("#VALUE!")
+			}
+			ascending = o != 0
+		}
+		rank := 1
+		seenNeedle := false
+		for _, v := range xs.vals {
+			if v == needle {
+				seenNeedle = true
+			}
+			if !ascending && v > needle || ascending && v < needle {
+				rank++
+			}
+		}
+		if !seenNeedle {
+			return Errorf("#N/A")
+		}
+		return Num(float64(rank))
+	case "COUNTBLANK":
+		if len(args) != 1 || !args[0].isRange {
+			return Errorf("#N/A")
+		}
+		n := 0
+		args[0].eachValue(res, func(v Value) bool {
+			if v.Kind == KindEmpty {
+				n++
+			}
+			return true
+		})
+		return Num(float64(n))
+
+	// --- Lookup --------------------------------------------------------
+	case "HLOOKUP":
+		return evalHlookup(args, res)
+	case "INDEX":
+		return evalIndex(args, res)
+	case "MATCH":
+		return evalMatch(args, res)
+	case "CHOOSE":
+		if len(args) < 2 {
+			return Errorf("#N/A")
+		}
+		kf, ok := args[0].scalar.AsNumber()
+		k := int(kf)
+		if !ok || k < 1 || k > len(args)-1 {
+			return Errorf("#VALUE!")
+		}
+		if args[k].isRange {
+			return Errorf("#VALUE!")
+		}
+		return args[k].scalar
+
+	// --- Text ----------------------------------------------------------
+	case "MID":
+		if len(args) != 3 {
+			return Errorf("#N/A")
+		}
+		s := args[0].scalar.String()
+		startF, ok1 := args[1].scalar.AsNumber()
+		countF, ok2 := args[2].scalar.AsNumber()
+		if !ok1 || !ok2 || startF < 1 || countF < 0 {
+			return Errorf("#VALUE!")
+		}
+		start, count := int(startF)-1, int(countF)
+		if start >= len(s) {
+			return Str("")
+		}
+		end := start + count
+		if end > len(s) {
+			end = len(s)
+		}
+		return Str(s[start:end])
+	case "FIND":
+		if len(args) < 2 || len(args) > 3 {
+			return Errorf("#N/A")
+		}
+		needle := args[0].scalar.String()
+		hay := args[1].scalar.String()
+		from := 1
+		if len(args) == 3 {
+			f, ok := args[2].scalar.AsNumber()
+			if !ok || f < 1 {
+				return Errorf("#VALUE!")
+			}
+			from = int(f)
+		}
+		if from > len(hay)+1 {
+			return Errorf("#VALUE!")
+		}
+		idx := strings.Index(hay[from-1:], needle)
+		if idx < 0 {
+			return Errorf("#VALUE!")
+		}
+		return Num(float64(from + idx))
+	case "SUBSTITUTE":
+		if len(args) != 3 {
+			return Errorf("#N/A")
+		}
+		return Str(strings.ReplaceAll(args[0].scalar.String(),
+			args[1].scalar.String(), args[2].scalar.String()))
+	case "REPT":
+		if len(args) != 2 {
+			return Errorf("#N/A")
+		}
+		nf, ok := args[1].scalar.AsNumber()
+		if !ok || nf < 0 || nf > 32767 {
+			return Errorf("#VALUE!")
+		}
+		return Str(strings.Repeat(args[0].scalar.String(), int(nf)))
+	case "EXACT":
+		if len(args) != 2 {
+			return Errorf("#N/A")
+		}
+		return Boolean(args[0].scalar.String() == args[1].scalar.String())
+	case "PROPER":
+		if len(args) != 1 {
+			return Errorf("#N/A")
+		}
+		return Str(properCase(args[0].scalar.String()))
+	case "VALUE":
+		if len(args) != 1 {
+			return Errorf("#N/A")
+		}
+		f, ok := args[0].scalar.AsNumber()
+		if !ok {
+			return Errorf("#VALUE!")
+		}
+		return Num(f)
+
+	// --- Logic / information --------------------------------------------
+	case "XOR":
+		truths := 0
+		var errv *Value
+		for _, a := range args {
+			a.eachValue(res, func(v Value) bool {
+				if v.IsError() {
+					errv = &v
+					return false
+				}
+				f, ok := v.AsNumber()
+				if v.Kind == KindBool && v.Bool || ok && v.Kind != KindBool && f != 0 {
+					truths++
+				}
+				return true
+			})
+			if errv != nil {
+				return *errv
+			}
+		}
+		return Boolean(truths%2 == 1)
+	case "ISTEXT":
+		return Boolean(len(args) == 1 && !args[0].isRange && args[0].scalar.Kind == KindString)
+	case "ISLOGICAL":
+		return Boolean(len(args) == 1 && !args[0].isRange && args[0].scalar.Kind == KindBool)
+	case "ISEVEN", "ISODD":
+		if len(args) != 1 {
+			return Errorf("#N/A")
+		}
+		f, ok := args[0].scalar.AsNumber()
+		if !ok {
+			return Errorf("#VALUE!")
+		}
+		even := int64(math.Trunc(f))%2 == 0
+		return Boolean(even == (t.Name == "ISEVEN"))
+	case "NA":
+		return Errorf("#N/A")
+	default:
+		if v, handled := evalFinancial(t, args, res); handled {
+			return v
+		}
+		return Errorf("#NAME?")
+	}
+}
+
+func evalFloorCeiling(name string, args []arg) Value {
+	if len(args) < 1 || len(args) > 2 {
+		return Errorf("#N/A")
+	}
+	f, ok := args[0].scalar.AsNumber()
+	if !ok {
+		return Errorf("#VALUE!")
+	}
+	step := 1.0
+	if len(args) == 2 {
+		step, ok = args[1].scalar.AsNumber()
+		if !ok {
+			return Errorf("#VALUE!")
+		}
+	}
+	if step == 0 {
+		return Errorf("#DIV/0!")
+	}
+	q := f / step
+	if name == "FLOOR" {
+		return Num(math.Floor(q) * step)
+	}
+	return Num(math.Ceil(q) * step)
+}
+
+// numbers collects numeric values of arguments, recording the first error.
+type numbers struct {
+	vals []float64
+	errv *Value
+}
+
+func (n numbers) err() (Value, bool) {
+	if n.errv != nil {
+		return *n.errv, true
+	}
+	return Value{}, false
+}
+
+func collectNumbers(args []arg, res Resolver) numbers {
+	var out numbers
+	out.errv = forNumbers(args, res, func(f float64) { out.vals = append(out.vals, f) })
+	return out
+}
+
+// evalSumProduct multiplies corresponding cells of equal-shape ranges and
+// sums the products.
+func evalSumProduct(args []arg, res Resolver) Value {
+	if len(args) == 0 {
+		return Errorf("#N/A")
+	}
+	for _, a := range args {
+		if !a.isRange {
+			return Errorf("#VALUE!")
+		}
+		if a.rng.Size() != args[0].rng.Size() ||
+			a.rng.Cols() != args[0].rng.Cols() {
+			return Errorf("#VALUE!")
+		}
+	}
+	first := args[0].rng
+	total := 0.0
+	i := 0
+	first.Cells(func(ref.Ref) bool {
+		dc := i % first.Cols()
+		dr := i / first.Cols()
+		prod := 1.0
+		for _, a := range args {
+			at := ref.Ref{Col: a.rng.Head.Col + dc, Row: a.rng.Head.Row + dr}
+			v := res.CellValue(at)
+			f, ok := v.AsNumber()
+			if !ok || v.Kind == KindString {
+				f = 0 // text counts as zero, per spreadsheet semantics
+			}
+			prod *= f
+		}
+		total += prod
+		i++
+		return true
+	})
+	return Num(total)
+}
+
+// evalHlookup is the horizontal dual of VLOOKUP: keys in the table's first
+// row, result from the given row index. Exact-match mode.
+func evalHlookup(args []arg, res Resolver) Value {
+	if len(args) < 3 {
+		return Errorf("#N/A")
+	}
+	needle := args[0].scalar
+	if !args[1].isRange {
+		return Errorf("#VALUE!")
+	}
+	table := args[1].rng
+	rowF, ok := args[2].scalar.AsNumber()
+	if !ok {
+		return Errorf("#VALUE!")
+	}
+	row := int(rowF)
+	if row < 1 || row > table.Rows() {
+		return Errorf("#REF!")
+	}
+	for col := table.Head.Col; col <= table.Tail.Col; col++ {
+		v := res.CellValue(ref.Ref{Col: col, Row: table.Head.Row})
+		if eqValue(v, needle) {
+			return res.CellValue(ref.Ref{Col: col, Row: table.Head.Row + row - 1})
+		}
+	}
+	return Errorf("#N/A")
+}
+
+// evalIndex returns the cell at (rowIdx, colIdx) within a range. A
+// single-row or single-column range accepts one index.
+func evalIndex(args []arg, res Resolver) Value {
+	if len(args) < 2 || len(args) > 3 || !args[0].isRange {
+		return Errorf("#N/A")
+	}
+	rng := args[0].rng
+	idx1, ok := args[1].scalar.AsNumber()
+	if !ok {
+		return Errorf("#VALUE!")
+	}
+	rowIdx, colIdx := int(idx1), 1
+	if len(args) == 3 {
+		idx2, ok := args[2].scalar.AsNumber()
+		if !ok {
+			return Errorf("#VALUE!")
+		}
+		colIdx = int(idx2)
+	} else if rng.Rows() == 1 {
+		// One index into a row vector selects the column.
+		rowIdx, colIdx = 1, int(idx1)
+	}
+	if rowIdx < 1 || rowIdx > rng.Rows() || colIdx < 1 || colIdx > rng.Cols() {
+		return Errorf("#REF!")
+	}
+	return res.CellValue(ref.Ref{
+		Col: rng.Head.Col + colIdx - 1,
+		Row: rng.Head.Row + rowIdx - 1,
+	})
+}
+
+// evalMatch returns the 1-based position of the needle in a single-row or
+// single-column range. Exact-match mode (type 0) only.
+func evalMatch(args []arg, res Resolver) Value {
+	if len(args) < 2 || len(args) > 3 || !args[1].isRange {
+		return Errorf("#N/A")
+	}
+	if len(args) == 3 {
+		mt, ok := args[2].scalar.AsNumber()
+		if !ok || mt != 0 {
+			return Errorf("#N/A") // only exact match supported
+		}
+	}
+	needle := args[0].scalar
+	rng := args[1].rng
+	if rng.Rows() != 1 && rng.Cols() != 1 {
+		return Errorf("#N/A")
+	}
+	pos := 1
+	var found *int
+	rng.Cells(func(c ref.Ref) bool {
+		if eqValue(res.CellValue(c), needle) {
+			p := pos
+			found = &p
+			return false
+		}
+		pos++
+		return true
+	})
+	if found == nil {
+		return Errorf("#N/A")
+	}
+	return Num(float64(*found))
+}
+
+func properCase(s string) string {
+	var sb strings.Builder
+	newWord := true
+	for _, r := range s {
+		isLetter := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
+		switch {
+		case !isLetter:
+			sb.WriteRune(r)
+			newWord = true
+		case newWord:
+			sb.WriteString(strings.ToUpper(string(r)))
+			newWord = false
+		default:
+			sb.WriteString(strings.ToLower(string(r)))
+		}
+	}
+	return sb.String()
+}

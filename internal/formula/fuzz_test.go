@@ -1,0 +1,165 @@
+package formula
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"taco/internal/ref"
+)
+
+// TestParserNeverPanicsOnRandomInput throws random byte soup at the parser;
+// it must return (node, nil) or (nil, error), never panic.
+func TestParserNeverPanicsOnRandomInput(t *testing.T) {
+	alphabet := []byte(`=+-*/^&%<>()",.:$ABCxyz019 	` + "\"")
+	rng := rand.New(rand.NewSource(1234))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(40)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		src := string(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			node, err := Parse(src)
+			if err == nil && node == nil {
+				t.Fatalf("nil node without error for %q", src)
+			}
+			if err == nil {
+				// Anything that parses must render and re-parse.
+				again, err2 := Parse(Text(node))
+				if err2 != nil {
+					t.Fatalf("round trip of %q -> %q failed: %v", src, Text(node), err2)
+				}
+				if Text(again) != Text(node) {
+					t.Fatalf("unstable round trip: %q -> %q -> %q", src, Text(node), Text(again))
+				}
+			}
+		}()
+	}
+}
+
+// genFormula builds a random syntactically valid formula AST.
+func genFormula(rng *rand.Rand, depth int) Node {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &Number{Value: float64(rng.Intn(1000)) / 10}
+		case 1:
+			return &String{Value: "s" + string(rune('a'+rng.Intn(26)))}
+		case 2:
+			return &CellRef{
+				At:       ref.Ref{Col: 1 + rng.Intn(20), Row: 1 + rng.Intn(50)},
+				ColFixed: rng.Intn(2) == 0, RowFixed: rng.Intn(2) == 0,
+			}
+		default:
+			a := ref.Ref{Col: 1 + rng.Intn(20), Row: 1 + rng.Intn(50)}
+			b := ref.Ref{Col: a.Col + rng.Intn(3), Row: a.Row + rng.Intn(5)}
+			return &RangeRef{At: ref.RangeOf(a, b)}
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		ops := []string{"+", "-", "*", "/", "^", "&", "=", "<>", "<", ">", "<=", ">="}
+		return &Binary{
+			Op: ops[rng.Intn(len(ops))],
+			L:  genFormula(rng, depth-1),
+			R:  genFormula(rng, depth-1),
+		}
+	case 1:
+		return &Unary{Op: "-", X: genFormula(rng, depth-1)}
+	case 2:
+		return &Unary{Op: "%", Postfix: true, X: genFormula(rng, depth-1)}
+	default:
+		fns := []string{"SUM", "IF", "MIN", "MAX", "AVERAGE", "CONCATENATE"}
+		name := fns[rng.Intn(len(fns))]
+		nArgs := 1 + rng.Intn(3)
+		if name == "IF" {
+			nArgs = 3
+		}
+		args := make([]Node, nArgs)
+		for i := range args {
+			args[i] = genFormula(rng, depth-1)
+		}
+		return &Call{Name: name, Args: args}
+	}
+}
+
+// TestGeneratedFormulasRoundTrip: Text∘Parse is the identity on rendered
+// ASTs, and extracted references survive the round trip.
+func TestGeneratedFormulasRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		ast := genFormula(rng, 1+rng.Intn(3))
+		src := Text(ast)
+		parsed, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated formula %q failed to parse: %v", src, err)
+		}
+		if Text(parsed) != src {
+			t.Fatalf("round trip changed %q -> %q", src, Text(parsed))
+		}
+		a, b := Refs(ast), Refs(parsed)
+		if len(a) != len(b) {
+			t.Fatalf("%q: refs %d vs %d", src, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("%q: ref %d differs: %+v vs %+v", src, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// TestShiftRoundTrip: shifting down then up is the identity for formulas
+// whose references stay in bounds.
+func TestShiftRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		ast := genFormula(rng, 2)
+		dCol, dRow := rng.Intn(5), rng.Intn(5)
+		back := Shift(Shift(ast, dCol, dRow), -dCol, -dRow)
+		if Text(back) != Text(ast) {
+			t.Fatalf("shift round trip changed %q -> %q", Text(ast), Text(back))
+		}
+	}
+}
+
+// TestEvalNeverPanics evaluates generated formulas against a noisy grid.
+func TestEvalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	res := ResolverFunc(func(at ref.Ref) Value {
+		switch (at.Col + at.Row) % 4 {
+		case 0:
+			return Num(float64(at.Row))
+		case 1:
+			return Str("txt")
+		case 2:
+			return Boolean(at.Row%2 == 0)
+		default:
+			return Empty()
+		}
+	})
+	for i := 0; i < 2000; i++ {
+		ast := genFormula(rng, 3)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic evaluating %q: %v", Text(ast), r)
+				}
+			}()
+			_ = Eval(ast, res)
+		}()
+	}
+	// Also evaluate some deeply nested arithmetic.
+	deep := strings.Repeat("1+(", 150) + "1" + strings.Repeat(")", 150)
+	v := Eval(MustParse(deep), res)
+	if v.Kind != KindNumber || v.Num != 151 {
+		t.Fatalf("deep arithmetic = %v", v)
+	}
+}

@@ -1,0 +1,162 @@
+// Package graphdb is an in-memory property-graph store standing in for the
+// RedisGraph comparator of the paper's Sec. VI-D. Like RedisGraph (and graph
+// databases generally), it has no notion of spatial ranges: vertices are
+// individual cells, so every formula-graph edge whose precedent is a range
+// must be decomposed into one cell-to-cell edge per covered cell before
+// loading — exactly the decomposition (and blow-up) the paper performs with
+// the RedisGraph bulk loader.
+package graphdb
+
+import (
+	"taco/internal/core"
+	"taco/internal/ref"
+)
+
+// EdgeRec is one decomposed cell-to-cell edge, the bulk loader's CSV row.
+type EdgeRec struct {
+	From ref.Ref
+	To   ref.Ref
+}
+
+// Decompose expands range-precedent dependencies into cell-to-cell edges.
+func Decompose(deps []core.Dependency) []EdgeRec {
+	var out []EdgeRec
+	for _, d := range deps {
+		d.Prec.Cells(func(c ref.Ref) bool {
+			out = append(out, EdgeRec{From: c, To: d.Dep})
+			return true
+		})
+	}
+	return out
+}
+
+// Store is the in-memory graph: adjacency lists keyed by cell.
+type Store struct {
+	out map[ref.Ref][]ref.Ref
+	in  map[ref.Ref][]ref.Ref
+	n   int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{out: map[ref.Ref][]ref.Ref{}, in: map[ref.Ref][]ref.Ref{}}
+}
+
+// BulkLoad ingests decomposed edges, mirroring redisgraph-bulk-loader.
+func (s *Store) BulkLoad(edges []EdgeRec) {
+	for _, e := range edges {
+		s.out[e.From] = append(s.out[e.From], e.To)
+		s.in[e.To] = append(s.in[e.To], e.From)
+		s.n++
+	}
+}
+
+// Build decomposes and loads a dependency list.
+func Build(deps []core.Dependency) *Store {
+	s := NewStore()
+	s.BulkLoad(Decompose(deps))
+	return s
+}
+
+// BuildCapped decomposes and loads, aborting once the decomposed edge count
+// exceeds maxEdges (ok=false). Real graph databases hit memory limits on
+// exactly these inputs — the paper's RedisGraph DNFs — so the harness uses
+// the cap to mark DNF without exhausting host memory.
+func BuildCapped(deps []core.Dependency, maxEdges int) (*Store, bool) {
+	s := NewStore()
+	for _, d := range deps {
+		if s.n+d.Prec.Size() > maxEdges {
+			return nil, false
+		}
+		d.Prec.Cells(func(c ref.Ref) bool {
+			s.out[c] = append(s.out[c], d.Dep)
+			s.in[d.Dep] = append(s.in[d.Dep], c)
+			s.n++
+			return true
+		})
+	}
+	return s, true
+}
+
+// NumEdges returns the number of cell-to-cell edges stored.
+func (s *Store) NumEdges() int { return s.n }
+
+// NumVertices returns the number of distinct cells.
+func (s *Store) NumVertices() int {
+	seen := map[ref.Ref]bool{}
+	for c := range s.out {
+		seen[c] = true
+	}
+	for c := range s.in {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// FindDependents returns the transitive dependents of every cell in r, as
+// 1x1 ranges (cell granularity is all the store knows).
+func (s *Store) FindDependents(r ref.Range) []ref.Range {
+	visited := map[ref.Ref]bool{}
+	var queue []ref.Ref
+	r.Cells(func(c ref.Ref) bool {
+		queue = append(queue, c)
+		return true
+	})
+	var out []ref.Range
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, next := range s.out[c] {
+			if !visited[next] {
+				visited[next] = true
+				out = append(out, ref.CellRange(next))
+				queue = append(queue, next)
+			}
+		}
+	}
+	return out
+}
+
+// FindPrecedents returns the transitive precedents of every cell in r.
+func (s *Store) FindPrecedents(r ref.Range) []ref.Range {
+	visited := map[ref.Ref]bool{}
+	var queue []ref.Ref
+	r.Cells(func(c ref.Ref) bool {
+		queue = append(queue, c)
+		return true
+	})
+	var out []ref.Range
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, next := range s.in[c] {
+			if !visited[next] {
+				visited[next] = true
+				out = append(out, ref.CellRange(next))
+				queue = append(queue, next)
+			}
+		}
+	}
+	return out
+}
+
+// Clear removes every edge whose destination (formula cell) lies in rng,
+// the Cypher DELETE the paper issues for maintenance.
+func (s *Store) Clear(rng ref.Range) {
+	rng.Cells(func(c ref.Ref) bool {
+		for _, from := range s.in[c] {
+			outs := s.out[from]
+			kept := outs[:0]
+			for _, to := range outs {
+				if to != c {
+					kept = append(kept, to)
+				} else {
+					s.n--
+				}
+			}
+			s.out[from] = kept
+		}
+		delete(s.in, c)
+		return true
+	})
+}

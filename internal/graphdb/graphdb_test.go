@@ -1,0 +1,68 @@
+package graphdb
+
+import (
+	"testing"
+
+	"taco/internal/core"
+	"taco/internal/ref"
+)
+
+func dep(prec, cell string) core.Dependency {
+	return core.Dependency{Prec: ref.MustRange(prec), Dep: ref.MustCell(cell)}
+}
+
+func TestDecomposeBlowsUpRanges(t *testing.T) {
+	deps := []core.Dependency{dep("A1:A100", "B1")}
+	edges := Decompose(deps)
+	if len(edges) != 100 {
+		t.Fatalf("decomposed edges = %d, want 100", len(edges))
+	}
+}
+
+func TestBFSOnDecomposedGraph(t *testing.T) {
+	deps := []core.Dependency{
+		dep("A1:A3", "B1"), dep("B1", "C1"), dep("A2", "B2"),
+	}
+	s := Build(deps)
+	if s.NumEdges() != 5 {
+		t.Fatalf("edges = %d", s.NumEdges())
+	}
+	got := s.FindDependents(ref.MustRange("A2"))
+	want := map[ref.Ref]bool{
+		ref.MustCell("B1"): true, ref.MustCell("B2"): true, ref.MustCell("C1"): true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("dependents = %v", got)
+	}
+	for _, r := range got {
+		if !want[r.Head] {
+			t.Errorf("unexpected dependent %v", r)
+		}
+	}
+	precs := s.FindPrecedents(ref.MustRange("C1"))
+	if len(precs) != 4 { // B1 and A1..A3
+		t.Fatalf("precedents = %v", precs)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := Build([]core.Dependency{dep("A1:A3", "B1"), dep("B1", "C1")})
+	s.Clear(ref.MustRange("B1"))
+	if got := s.FindDependents(ref.MustRange("A1")); len(got) != 0 {
+		t.Fatalf("dependents after clear = %v", got)
+	}
+	// C1 still depends on B1 directly.
+	if got := s.FindDependents(ref.MustRange("B1")); len(got) != 1 {
+		t.Fatalf("B1 dependents = %v", got)
+	}
+	if s.NumEdges() != 1 {
+		t.Fatalf("edges = %d", s.NumEdges())
+	}
+}
+
+func TestVertices(t *testing.T) {
+	s := Build([]core.Dependency{dep("A1:A2", "B1")})
+	if s.NumVertices() != 3 {
+		t.Fatalf("vertices = %d", s.NumVertices())
+	}
+}

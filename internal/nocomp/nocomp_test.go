@@ -1,0 +1,125 @@
+package nocomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"taco/internal/core"
+	"taco/internal/ref"
+)
+
+func dep(prec, cell string) core.Dependency {
+	return core.Dependency{Prec: ref.MustRange(prec), Dep: ref.MustCell(cell)}
+}
+
+func cellsOf(rs []ref.Range) map[ref.Ref]bool {
+	out := map[ref.Ref]bool{}
+	for _, g := range rs {
+		g.Cells(func(c ref.Ref) bool {
+			out[c] = true
+			return true
+		})
+	}
+	return out
+}
+
+func TestFig3Graph(t *testing.T) {
+	// The paper's Fig. 3 spreadsheet: B1=SUM(A1:A3), B2=SUM(A1:A3),
+	// C1=B1+B3, C2=AVG(B2:B3).
+	deps := []core.Dependency{
+		dep("A1:A3", "B1"),
+		dep("A1:A3", "B2"),
+		dep("B1", "C1"),
+		dep("B3", "C1"),
+		dep("B2:B3", "C2"),
+	}
+	g := Build(deps)
+	if g.NumEdges() != 5 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// Dependents of A1 are {B1, B2, C1, C2} (paper's example).
+	got := cellsOf(g.FindDependents(ref.MustRange("A1")))
+	want := cellsOf([]ref.Range{ref.MustRange("B1"), ref.MustRange("B2"),
+		ref.MustRange("C1"), ref.MustRange("C2")})
+	if len(got) != len(want) {
+		t.Fatalf("dependents of A1 = %v", got)
+	}
+	for c := range want {
+		if !got[c] {
+			t.Errorf("missing dependent %v", c)
+		}
+	}
+	// Precedents of C2: B2:B3 and, through B2, A1:A3.
+	gotP := cellsOf(g.FindPrecedents(ref.MustRange("C2")))
+	for _, c := range []string{"B2", "B3", "A1", "A2", "A3"} {
+		if !gotP[ref.MustCell(c)] {
+			t.Errorf("missing precedent %s", c)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	g := Build([]core.Dependency{
+		dep("A1:A3", "B1"), dep("A1:A3", "B2"), dep("B1", "C1"),
+	})
+	g.Clear(ref.MustRange("B1:B2"))
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges after clear = %d", g.NumEdges())
+	}
+	if got := g.FindDependents(ref.MustRange("A1")); len(got) != 0 {
+		t.Fatalf("dependents after clear = %v", got)
+	}
+}
+
+func TestVertices(t *testing.T) {
+	g := Build([]core.Dependency{
+		dep("A1:A3", "B1"), dep("A1:A3", "B2"),
+	})
+	// Vertices: A1:A3, B1, B2.
+	if g.NumVertices() != 3 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+}
+
+// TestAgreesWithTACO cross-checks NoComp and TACO on random workloads: both
+// must return the same dependent and precedent cell sets.
+func TestAgreesWithTACO(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var deps []core.Dependency
+		rows := 15 + rng.Intn(10)
+		for col := 2; col <= 6; col++ {
+			for row := 1; row <= rows; row++ {
+				if rng.Intn(8) == 0 {
+					continue
+				}
+				src := 1 + rng.Intn(col-1)
+				h := rng.Intn(3)
+				deps = append(deps, core.Dependency{
+					Prec: ref.RangeOf(ref.Ref{Col: src, Row: row}, ref.Ref{Col: src, Row: row + h}),
+					Dep:  ref.Ref{Col: col, Row: row},
+				})
+			}
+		}
+		nc := Build(deps)
+		tg := core.Build(deps, core.DefaultOptions())
+		for q := 0; q < 8; q++ {
+			r := ref.CellRange(ref.Ref{Col: 1 + rng.Intn(6), Row: 1 + rng.Intn(rows)})
+			a := cellsOf(nc.FindDependents(r))
+			b := cellsOf(tg.FindDependents(r))
+			if len(a) != len(b) {
+				t.Fatalf("seed %d query %v: nocomp %d deps, taco %d", seed, r, len(a), len(b))
+			}
+			for c := range a {
+				if !b[c] {
+					t.Fatalf("seed %d query %v: taco missing %v", seed, r, c)
+				}
+			}
+			ap := cellsOf(nc.FindPrecedents(r))
+			bp := cellsOf(tg.FindPrecedents(r))
+			if len(ap) != len(bp) {
+				t.Fatalf("seed %d query %v: nocomp %d precs, taco %d", seed, r, len(ap), len(bp))
+			}
+		}
+	}
+}

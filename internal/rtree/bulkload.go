@@ -1,0 +1,107 @@
+package rtree
+
+import (
+	"sort"
+
+	"taco/internal/ref"
+)
+
+// Item is one (range, payload) pair for bulk loading.
+type Item[T any] struct {
+	Rect  ref.Range
+	Value T
+}
+
+// BulkLoad builds a tree from items with Sort-Tile-Recursive (STR) packing:
+// items are sorted into column-slices, each slice sorted by row, and packed
+// into full leaves; upper levels pack the same way. Packed trees have near
+// 100% node fill (versus ~70% for one-at-a-time insertion), so searches
+// touch fewer nodes. Used when deserialising graph snapshots and by any
+// caller with all entries up front.
+func BulkLoad[T any](items []Item[T]) *Tree[T] {
+	t := New[T]()
+	if len(items) == 0 {
+		return t
+	}
+	leaves := packLeaves(items)
+	level := leaves
+	for len(level) > 1 {
+		level = packInternal(level)
+	}
+	t.root = level[0]
+	t.size = len(items)
+	return t
+}
+
+func center(r ref.Range) (float64, float64) {
+	return float64(r.Head.Col+r.Tail.Col) / 2, float64(r.Head.Row+r.Tail.Row) / 2
+}
+
+func packLeaves[T any](items []Item[T]) []*node[T] {
+	entries := make([]entry[T], len(items))
+	for i, it := range items {
+		entries[i] = entry[T]{rect: it.Rect, value: it.Value}
+	}
+	return pack(entries, true)
+}
+
+func packInternal[T any](nodes []*node[T]) []*node[T] {
+	entries := make([]entry[T], len(nodes))
+	for i, n := range nodes {
+		entries[i] = entry[T]{rect: nodeRect(n), child: n}
+	}
+	return pack(entries, false)
+}
+
+// pack arranges entries into nodes of maxEntries each using STR tiling.
+func pack[T any](entries []entry[T], leaf bool) []*node[T] {
+	n := len(entries)
+	nodeCount := (n + maxEntries - 1) / maxEntries
+	sliceCount := isqrt(nodeCount)
+	if sliceCount < 1 {
+		sliceCount = 1
+	}
+	perSlice := (n + sliceCount - 1) / sliceCount
+
+	sort.Slice(entries, func(i, j int) bool {
+		xi, _ := center(entries[i].rect)
+		xj, _ := center(entries[j].rect)
+		return xi < xj
+	})
+
+	var nodes []*node[T]
+	for start := 0; start < n; start += perSlice {
+		end := start + perSlice
+		if end > n {
+			end = n
+		}
+		slice := entries[start:end]
+		sort.Slice(slice, func(i, j int) bool {
+			_, yi := center(slice[i].rect)
+			_, yj := center(slice[j].rect)
+			return yi < yj
+		})
+		for s := 0; s < len(slice); s += maxEntries {
+			e := s + maxEntries
+			if e > len(slice) {
+				e = len(slice)
+			}
+			nd := &node[T]{leaf: leaf, entries: append([]entry[T](nil), slice[s:e]...)}
+			nodes = append(nodes, nd)
+		}
+	}
+	return nodes
+}
+
+func isqrt(v int) int {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + v/x) / 2
+	}
+	return x
+}

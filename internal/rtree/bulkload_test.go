@@ -1,0 +1,127 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"taco/internal/ref"
+)
+
+func randItems(rng *rand.Rand, n int) []Item[int] {
+	items := make([]Item[int], n)
+	for i := range items {
+		a := ref.Ref{Col: 1 + rng.Intn(60), Row: 1 + rng.Intn(400)}
+		b := ref.Ref{Col: a.Col + rng.Intn(3), Row: a.Row + rng.Intn(8)}
+		items[i] = Item[int]{Rect: ref.RangeOf(a, b), Value: i}
+	}
+	return items
+}
+
+func TestBulkLoadEmptyAndTiny(t *testing.T) {
+	tr := BulkLoad[int](nil)
+	if tr.Len() != 0 || tr.Any(ref.MustRange("A1:Z100")) {
+		t.Fatal("empty bulk load broken")
+	}
+	tr = BulkLoad([]Item[int]{{Rect: ref.MustRange("B2"), Value: 7}})
+	got := tr.Collect(ref.MustRange("A1:C3"))
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("tiny bulk load: %v", got)
+	}
+}
+
+func TestBulkLoadMatchesInsertion(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 9, 63, 64, 65, 500, 2000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		items := randItems(rng, n)
+		bulk := BulkLoad(items)
+		inc := New[int]()
+		for _, it := range items {
+			inc.Insert(it.Rect, it.Value)
+		}
+		if bulk.Len() != inc.Len() {
+			t.Fatalf("n=%d: len %d vs %d", n, bulk.Len(), inc.Len())
+		}
+		for q := 0; q < 20; q++ {
+			r := ref.RangeOf(
+				ref.Ref{Col: 1 + rng.Intn(60), Row: 1 + rng.Intn(400)},
+				ref.Ref{Col: 1 + rng.Intn(60), Row: 1 + rng.Intn(400)})
+			a := bulk.Collect(r)
+			b := inc.Collect(r)
+			sort.Ints(a)
+			sort.Ints(b)
+			if len(a) != len(b) {
+				t.Fatalf("n=%d query %v: %d vs %d results", n, r, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("n=%d query %v: result %d differs", n, r, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBulkLoadedTreeRemainsMutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randItems(rng, 300)
+	tr := BulkLoad(items)
+	// Delete half, insert new entries, and verify consistency.
+	for i := 0; i < 150; i++ {
+		v := items[i].Value
+		if !tr.Delete(items[i].Rect, func(x int) bool { return x == v }) {
+			t.Fatalf("delete %d failed", v)
+		}
+	}
+	tr.Insert(ref.MustRange("A1"), 99999)
+	if tr.Len() != 151 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	got := tr.Collect(ref.MustRange("A1"))
+	found := false
+	for _, v := range got {
+		if v == 99999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted entry not found after bulk load + deletes")
+	}
+}
+
+func BenchmarkBulkLoadVsInsert(b *testing.B) {
+	items := randItems(rand.New(rand.NewSource(1)), 20000)
+	b.Run("insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := New[int]()
+			for _, it := range items {
+				tr.Insert(it.Rect, it.Value)
+			}
+		}
+	})
+	b.Run("bulkload", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BulkLoad(items)
+		}
+	})
+}
+
+func BenchmarkSearchPackedVsIncremental(b *testing.B) {
+	items := randItems(rand.New(rand.NewSource(1)), 20000)
+	packed := BulkLoad(items)
+	inc := New[int]()
+	for _, it := range items {
+		inc.Insert(it.Rect, it.Value)
+	}
+	q := ref.MustRange("E50:H200")
+	b.Run("packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			packed.Collect(q)
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inc.Collect(q)
+		}
+	})
+}

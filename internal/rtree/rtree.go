@@ -1,0 +1,315 @@
+// Package rtree implements a Guttman R-tree with quadratic split over
+// spreadsheet ranges. Every formula-graph variant in this repository uses it
+// to find, for an input range, the stored ranges that overlap it — the
+// primitive the paper assumes O(N) search / O(log N) insert and delete for.
+//
+// The tree is generic over the payload type so graphs can index edges,
+// vertices, or result-set ranges with the same structure.
+package rtree
+
+import (
+	"taco/internal/ref"
+)
+
+const (
+	// maxEntries is Guttman's M: the maximum number of entries per node.
+	maxEntries = 8
+	// minEntries is Guttman's m: the minimum fill of a non-root node.
+	minEntries = 3
+)
+
+// Tree is an R-tree mapping ranges to payload values. The zero value is not
+// ready to use; call New.
+type Tree[T any] struct {
+	root *node[T]
+	size int
+}
+
+type entry[T any] struct {
+	rect  ref.Range
+	child *node[T] // non-nil for internal nodes
+	value T        // payload for leaf entries
+}
+
+type node[T any] struct {
+	leaf    bool
+	entries []entry[T]
+}
+
+// New returns an empty R-tree.
+func New[T any]() *Tree[T] {
+	return &Tree[T]{root: &node[T]{leaf: true}}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Insert adds a range/value pair. Duplicate ranges are allowed; each Insert
+// stores a distinct entry.
+func (t *Tree[T]) Insert(r ref.Range, v T) {
+	split := insertRec(t.root, r, v)
+	t.size++
+	if split != nil {
+		old := t.root
+		t.root = &node[T]{
+			leaf: false,
+			entries: []entry[T]{
+				{rect: nodeRect(old), child: old},
+				{rect: nodeRect(split), child: split},
+			},
+		}
+	}
+}
+
+// insertRec inserts into the subtree rooted at n. If n overflows it is split
+// in place and the new sibling is returned for the caller to attach.
+func insertRec[T any](n *node[T], r ref.Range, v T) *node[T] {
+	if n.leaf {
+		n.entries = append(n.entries, entry[T]{rect: r, value: v})
+	} else {
+		i := chooseSubtree(n, r)
+		n.entries[i].rect = n.entries[i].rect.Bound(r)
+		if split := insertRec(n.entries[i].child, r, v); split != nil {
+			n.entries[i].rect = nodeRect(n.entries[i].child)
+			n.entries = append(n.entries, entry[T]{rect: nodeRect(split), child: split})
+		}
+	}
+	if len(n.entries) > maxEntries {
+		_, b := splitNode(n)
+		return b
+	}
+	return nil
+}
+
+// chooseSubtree picks the child whose bounding rectangle needs the least
+// enlargement to include r (ties broken by smaller area).
+func chooseSubtree[T any](n *node[T], r ref.Range) int {
+	best := 0
+	bestGrow, bestArea := int(^uint(0)>>1), int(^uint(0)>>1)
+	for i := range n.entries {
+		e := &n.entries[i]
+		area := e.rect.Size()
+		grown := e.rect.Bound(r).Size() - area
+		if grown < bestGrow || (grown == bestGrow && area < bestArea) {
+			best, bestGrow, bestArea = i, grown, area
+		}
+	}
+	return best
+}
+
+// splitNode performs Guttman's quadratic split, returning the two halves.
+// The first half reuses n so parent pointers to n stay valid until the
+// caller rewires them.
+func splitNode[T any](n *node[T]) (*node[T], *node[T]) {
+	ents := n.entries
+	// Pick seeds: the pair wasting the most area if grouped together.
+	seedA, seedB, worst := 0, 1, -1
+	for i := 0; i < len(ents); i++ {
+		for j := i + 1; j < len(ents); j++ {
+			waste := ents[i].rect.Bound(ents[j].rect).Size() - ents[i].rect.Size() - ents[j].rect.Size()
+			if waste > worst {
+				seedA, seedB, worst = i, j, waste
+			}
+		}
+	}
+	a := &node[T]{leaf: n.leaf, entries: []entry[T]{ents[seedA]}}
+	b := &node[T]{leaf: n.leaf, entries: []entry[T]{ents[seedB]}}
+	rectA, rectB := ents[seedA].rect, ents[seedB].rect
+
+	rest := make([]entry[T], 0, len(ents)-2)
+	for i, e := range ents {
+		if i != seedA && i != seedB {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// Force assignment when one group must take all remaining entries to
+		// reach minimum fill.
+		if len(a.entries)+len(rest) == minEntries {
+			for _, e := range rest {
+				a.entries = append(a.entries, e)
+				rectA = rectA.Bound(e.rect)
+			}
+			break
+		}
+		if len(b.entries)+len(rest) == minEntries {
+			for _, e := range rest {
+				b.entries = append(b.entries, e)
+				rectB = rectB.Bound(e.rect)
+			}
+			break
+		}
+		// Pick the entry with maximum preference for one group.
+		bestIdx, bestDiff := 0, -1
+		for i, e := range rest {
+			dA := rectA.Bound(e.rect).Size() - rectA.Size()
+			dB := rectB.Bound(e.rect).Size() - rectB.Size()
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		dA := rectA.Bound(e.rect).Size() - rectA.Size()
+		dB := rectB.Bound(e.rect).Size() - rectB.Size()
+		if dA < dB || (dA == dB && len(a.entries) <= len(b.entries)) {
+			a.entries = append(a.entries, e)
+			rectA = rectA.Bound(e.rect)
+		} else {
+			b.entries = append(b.entries, e)
+			rectB = rectB.Bound(e.rect)
+		}
+	}
+	// Reuse n's storage for a.
+	n.entries = a.entries
+	return n, b
+}
+
+func nodeRect[T any](n *node[T]) ref.Range {
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.Bound(e.rect)
+	}
+	return r
+}
+
+// Search calls fn for every stored entry whose range overlaps q. Iteration
+// stops early if fn returns false.
+func (t *Tree[T]) Search(q ref.Range, fn func(ref.Range, T) bool) {
+	searchNode(t.root, q, fn)
+}
+
+func searchNode[T any](n *node[T], q ref.Range, fn func(ref.Range, T) bool) bool {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.Overlaps(q) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.rect, e.value) {
+				return false
+			}
+		} else if !searchNode(e.child, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Collect returns the values of all entries overlapping q.
+func (t *Tree[T]) Collect(q ref.Range) []T {
+	var out []T
+	t.Search(q, func(_ ref.Range, v T) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Any reports whether at least one stored range overlaps q.
+func (t *Tree[T]) Any(q ref.Range) bool {
+	found := false
+	t.Search(q, func(ref.Range, T) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Delete removes the first entry with exactly range r for which match returns
+// true, reporting whether an entry was removed. Pass a match that always
+// returns true to delete by range alone.
+func (t *Tree[T]) Delete(r ref.Range, match func(T) bool) bool {
+	var orphans []entry[T]
+	if !deleteRec(t.root, r, match, &orphans) {
+		return false
+	}
+	t.size--
+	// Shrink the root if it lost all but one child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if len(t.root.entries) == 0 {
+		t.root = &node[T]{leaf: true}
+	}
+	// Reinsert entries orphaned by condensed nodes.
+	for _, e := range orphans {
+		if e.child != nil {
+			reinsertSubtree(t, e.child)
+		} else {
+			t.size--
+			t.Insert(e.rect, e.value)
+		}
+	}
+	return true
+}
+
+// deleteRec removes the matching entry from the subtree rooted at n,
+// condensing underfull children along the unwind path and collecting their
+// entries as orphans for reinsertion.
+func deleteRec[T any](n *node[T], r ref.Range, match func(T) bool, orphans *[]entry[T]) bool {
+	if n.leaf {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.rect == r && match(e.value) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.Overlaps(r) {
+			continue
+		}
+		if !deleteRec(e.child, r, match, orphans) {
+			continue
+		}
+		if len(e.child.entries) < minEntries {
+			*orphans = append(*orphans, e.child.entries...)
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			e.rect = nodeRect(e.child)
+		}
+		return true
+	}
+	return false
+}
+
+func reinsertSubtree[T any](t *Tree[T], n *node[T]) {
+	if n.leaf {
+		for _, e := range n.entries {
+			t.size--
+			t.Insert(e.rect, e.value)
+		}
+		return
+	}
+	for _, e := range n.entries {
+		reinsertSubtree(t, e.child)
+	}
+}
+
+// All calls fn for every stored entry. Iteration order is unspecified.
+// It stops early if fn returns false.
+func (t *Tree[T]) All(fn func(ref.Range, T) bool) {
+	allNode(t.root, fn)
+}
+
+func allNode[T any](n *node[T], fn func(ref.Range, T) bool) bool {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if n.leaf {
+			if !fn(e.rect, e.value) {
+				return false
+			}
+		} else if !allNode(e.child, fn) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,213 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"taco/internal/ref"
+)
+
+func mustRange(s string) ref.Range { return ref.MustRange(s) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int]()
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has entries")
+	}
+	if tr.Any(mustRange("A1:Z100")) {
+		t.Fatal("empty tree claims overlap")
+	}
+	if got := tr.Collect(mustRange("A1")); len(got) != 0 {
+		t.Fatalf("Collect on empty = %v", got)
+	}
+	if tr.Delete(mustRange("A1"), func(int) bool { return true }) {
+		t.Fatal("Delete on empty returned true")
+	}
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(mustRange("A1:A3"), "a")
+	tr.Insert(mustRange("B1"), "b1")
+	tr.Insert(mustRange("B2"), "b2")
+	tr.Insert(mustRange("B2:B3"), "b23")
+	tr.Insert(mustRange("C1"), "c1")
+
+	got := tr.Collect(mustRange("B2"))
+	sort.Strings(got)
+	want := []string{"b2", "b23"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Collect(B2) = %v, want %v", got, want)
+	}
+
+	if !tr.Any(mustRange("A2")) {
+		t.Fatal("A2 should overlap A1:A3")
+	}
+	if tr.Any(mustRange("D4")) {
+		t.Fatal("D4 overlaps nothing")
+	}
+}
+
+func TestDuplicateRanges(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(mustRange("A1:A3"), 1)
+	tr.Insert(mustRange("A1:A3"), 2)
+	got := tr.Collect(mustRange("A1"))
+	if len(got) != 2 {
+		t.Fatalf("want both duplicates, got %v", got)
+	}
+	// Delete by payload match removes only the matching one.
+	if !tr.Delete(mustRange("A1:A3"), func(v int) bool { return v == 1 }) {
+		t.Fatal("delete failed")
+	}
+	got = tr.Collect(mustRange("A1"))
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after delete got %v", got)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New[int]()
+	for i := 1; i <= 50; i++ {
+		tr.Insert(ref.CellRange(ref.Ref{Col: 1, Row: i}), i)
+	}
+	n := 0
+	tr.Search(mustRange("A1:A50"), func(ref.Range, int) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestAllVisitsEverything(t *testing.T) {
+	tr := New[int]()
+	for i := 1; i <= 200; i++ {
+		tr.Insert(ref.CellRange(ref.Ref{Col: i%13 + 1, Row: i}), i)
+	}
+	seen := map[int]bool{}
+	tr.All(func(_ ref.Range, v int) bool {
+		seen[v] = true
+		return true
+	})
+	if len(seen) != 200 {
+		t.Fatalf("All visited %d entries, want 200", len(seen))
+	}
+}
+
+// naive is a brute-force oracle for differential testing.
+type naiveEntry struct {
+	r ref.Range
+	v int
+}
+
+func TestDifferentialAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New[int]()
+	var naive []naiveEntry
+	nextID := 0
+
+	randR := func() ref.Range {
+		a := ref.Ref{Col: 1 + rng.Intn(40), Row: 1 + rng.Intn(200)}
+		b := ref.Ref{Col: a.Col + rng.Intn(3), Row: a.Row + rng.Intn(12)}
+		return ref.RangeOf(a, b)
+	}
+
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // insert
+			r := randR()
+			tr.Insert(r, nextID)
+			naive = append(naive, naiveEntry{r, nextID})
+			nextID++
+		case op < 8 && len(naive) > 0: // delete a random existing entry
+			k := rng.Intn(len(naive))
+			e := naive[k]
+			if !tr.Delete(e.r, func(v int) bool { return v == e.v }) {
+				t.Fatalf("step %d: delete of existing entry %v/%d failed", step, e.r, e.v)
+			}
+			naive = append(naive[:k], naive[k+1:]...)
+		default: // query
+			q := randR()
+			got := tr.Collect(q)
+			var want []int
+			for _, e := range naive {
+				if e.r.Overlaps(q) {
+					want = append(want, e.v)
+				}
+			}
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: query %v -> %d results, want %d", step, q, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: query %v mismatch at %d: %d vs %d", step, q, i, got[i], want[i])
+				}
+			}
+		}
+		if tr.Len() != len(naive) {
+			t.Fatalf("step %d: Len=%d, naive=%d", step, tr.Len(), len(naive))
+		}
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr := New[int]()
+	var rs []ref.Range
+	for i := 1; i <= 100; i++ {
+		r := ref.CellRange(ref.Ref{Col: (i % 7) + 1, Row: i})
+		rs = append(rs, r)
+		tr.Insert(r, i)
+	}
+	for i, r := range rs {
+		v := i + 1
+		if !tr.Delete(r, func(x int) bool { return x == v }) {
+			t.Fatalf("delete %d failed", v)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tree not empty: %d", tr.Len())
+	}
+	// Tree must still be usable.
+	tr.Insert(mustRange("A1"), 999)
+	if got := tr.Collect(mustRange("A1")); len(got) != 1 || got[0] != 999 {
+		t.Fatalf("reuse failed: %v", got)
+	}
+}
+
+func TestLargeRangeQuery(t *testing.T) {
+	tr := New[int]()
+	for i := 1; i <= 1000; i++ {
+		tr.Insert(ref.CellRange(ref.Ref{Col: i % 26 * 3 / 2 * 1, Row: i}), i)
+	}
+	// A query covering everything returns everything.
+	got := tr.Collect(ref.Range{Head: ref.Ref{Col: 0, Row: 0}, Tail: ref.Ref{Col: 1000, Row: 10000}})
+	if len(got) != 1000 {
+		t.Fatalf("full query returned %d", len(got))
+	}
+}
+
+func BenchmarkInsert10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := New[int]()
+		for j := 0; j < 10000; j++ {
+			tr.Insert(ref.CellRange(ref.Ref{Col: j%50 + 1, Row: j/50 + 1}), j)
+		}
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	tr := New[int]()
+	for j := 0; j < 10000; j++ {
+		tr.Insert(ref.CellRange(ref.Ref{Col: j%50 + 1, Row: j/50 + 1}), j)
+	}
+	q := mustRange("C10:E40")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Collect(q)
+	}
+}

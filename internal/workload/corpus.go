@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"taco/internal/ref"
+)
+
+// CorpusSpec parameterises a synthetic corpus. Scale multiplies sheet sizes;
+// 1.0 keeps the defaults laptop-friendly while preserving the heavy-tailed
+// shape of the real datasets.
+type CorpusSpec struct {
+	// Name labels the corpus in experiment output ("Enron", "Github").
+	Name string
+	// Sheets is the number of spreadsheets to generate.
+	Sheets int
+	// MedianRows controls the typical sheet height; sizes are drawn from a
+	// log-normal-like distribution around it so a few sheets are much larger
+	// (the paper's Fig. 1 tails).
+	MedianRows int
+	// MaxRows caps sheet height.
+	MaxRows int
+	// Seed makes the corpus deterministic.
+	Seed int64
+	// MessyFraction is the share of formula columns with no tabular
+	// locality (Single edges after compression).
+	MessyFraction float64
+}
+
+// EnronSpec mirrors the Enron corpus: xls-era sheets (64K row limit), a few
+// hundred large files, RR-dominated with FF lookups and occasional chains.
+func EnronSpec(scale float64) CorpusSpec {
+	return CorpusSpec{
+		Name:          "Enron",
+		Sheets:        maxInt(4, int(24*scale)),
+		MedianRows:    maxInt(64, int(400*scale)),
+		MaxRows:       maxInt(256, int(8000*scale)),
+		Seed:          1001,
+		MessyFraction: 0.10,
+	}
+}
+
+// GithubSpec mirrors the Github xlsx corpus: more files, larger sheets
+// (the 1M-row xlsx format), an even higher share of programmatically
+// generated — hence pattern-regular — formulae.
+func GithubSpec(scale float64) CorpusSpec {
+	return CorpusSpec{
+		Name:          "Github",
+		Sheets:        maxInt(6, int(36*scale)),
+		MedianRows:    maxInt(96, int(700*scale)),
+		MaxRows:       maxInt(512, int(20000*scale)),
+		Seed:          2002,
+		MessyFraction: 0.06,
+	}
+}
+
+// Generate builds the corpus. Sheet i is named "<corpus>-i".
+func Generate(spec CorpusSpec) []*Sheet {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sheets := make([]*Sheet, 0, spec.Sheets)
+	for i := 0; i < spec.Sheets; i++ {
+		rows := drawRows(rng, spec.MedianRows, spec.MaxRows)
+		s := GenerateSheet(fmt.Sprintf("%s-%02d", spec.Name, i), rows, spec.MessyFraction,
+			rand.New(rand.NewSource(spec.Seed+int64(i)*7919)))
+		sheets = append(sheets, s)
+	}
+	return sheets
+}
+
+// drawRows samples a heavy-tailed sheet height.
+func drawRows(rng *rand.Rand, median, maxRows int) int {
+	// exp(normal) around ln(median), sigma tuned so ~5% of sheets approach
+	// the cap.
+	v := math.Exp(math.Log(float64(median)) + rng.NormFloat64()*0.9)
+	rows := int(v)
+	if rows < 16 {
+		rows = 16
+	}
+	if rows > maxRows {
+		rows = maxRows
+	}
+	return rows
+}
+
+// GenerateSheet builds one synthetic spreadsheet with the paper's pattern
+// mix: two data columns, then a sequence of formula columns drawn from the
+// observed pattern frequencies (RR sliding windows and derived columns
+// dominate, then FF point/range lookups, then chains, then FR/RF totals,
+// plus a messy fraction).
+func GenerateSheet(name string, rows int, messyFraction float64, rng *rand.Rand) *Sheet {
+	s := NewSheet(name)
+	// Data substrate: key + value columns, a rate cell, and a lookup table.
+	s.AddDataColumn(1, rows, rng)             // A: keys (numeric groups)
+	s.AddDataColumn(2, rows, rng)             // B: values
+	s.SetValue(ref.Ref{Col: 26, Row: 1}, 1.1) // Z1: fixed conversion rate
+	for r := 1; r <= 8; r++ {                 // AA1:AB8: lookup table
+		s.SetValue(ref.Ref{Col: 27, Row: r}, float64(r))
+		s.SetValue(ref.Ref{Col: 28, Row: r}, float64(r)*3)
+	}
+
+	nCols := 4 + rng.Intn(8) // formula columns C..(C+nCols-1), staying < Z
+	for i := 0; i < nCols; i++ {
+		col := 3 + i
+		if col >= 26 {
+			break
+		}
+		srcCol := 2
+		if i > 0 && rng.Intn(3) == 0 {
+			srcCol = 3 + rng.Intn(i) // reference an earlier formula column
+		}
+		if rng.Float64() < messyFraction {
+			s.AddMessyRegion(col, rows, rows/2, col-1, rng)
+			continue
+		}
+		switch pick(rng, 33, 21, 16, 12, 6, 5, 5, 2) {
+		case 0: // RR sliding window
+			s.AddSlidingWindow(col, srcCol, 2+rng.Intn(4), rows)
+		case 1: // derived column (in-row RR)
+			s.AddDerivedColumn(col, srcCol, rows)
+		case 2: // FF point lookup against the fixed rate
+			s.AddFixedLookup(col, srcCol, ref.Ref{Col: 26, Row: 1}, rows)
+		case 3: // FF range lookup
+			s.AddVlookupColumn(col, 1, ref.MustRange("AA1:AB8"), rows)
+		case 4: // RR-Chain cumulative walk
+			s.AddChain(col, srcCol, rows)
+		case 5: // FR running total
+			s.AddRunningTotal(col, srcCol, rows)
+		case 6: // RF remaining total
+			s.AddReverseTotal(col, srcCol, rows)
+		default: // RR-GapOne: every-other-row formulae (Sec. V)
+			s.AddGapOneColumn(col, srcCol, rows)
+		}
+	}
+	// A Fig. 2 style grouped-total column on some sheets.
+	if rng.Intn(3) == 0 && rows >= 8 {
+		s.AddFig2Column(1, 2, 25, rows) // writes into column Y
+	}
+	return s
+}
+
+// pick draws an index with the given weights.
+func pick(rng *rand.Rand, weights ...int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	v := rng.Intn(total)
+	for i, w := range weights {
+		if v < w {
+			return i
+		}
+		v -= w
+	}
+	return len(weights) - 1
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"taco/internal/ref"
+)
+
+// This file builds complete, realistic spreadsheets for the application
+// scenarios the paper's introduction motivates — planning, inventory
+// tracking, and financial/scientific analysis. They are used by tests, the
+// examples, and cmd/tacogen (which writes them to .xlsx files you can open
+// in a real spreadsheet system).
+
+// FinancialModel builds a months-long revenue model:
+//
+//	A: month index      B: revenue        C: cost
+//	D: margin (=B-C)                      (in-row RR)
+//	E: cumulative margin (=SUM($D$1:Dn))  (FR)
+//	F: after-tax margin (=D*(1-$H$1))     (RR + FF on the tax rate)
+//	G: 3-month rolling revenue            (RR sliding window)
+//	H1: tax rate
+func FinancialModel(months int, rng *rand.Rand) *Sheet {
+	s := NewSheet("financial")
+	for m := 1; m <= months; m++ {
+		s.SetValue(ref.Ref{Col: 1, Row: m}, float64(m))
+		s.SetValue(ref.Ref{Col: 2, Row: m}, 1000+float64(rng.Intn(500)))
+		s.SetValue(ref.Ref{Col: 3, Row: m}, 600+float64(rng.Intn(300)))
+	}
+	s.SetValue(ref.Ref{Col: 8, Row: 1}, 0.21)
+	s.SetFormula(ref.Ref{Col: 4, Row: 1}, "B1-C1")
+	s.FillDown(ref.Ref{Col: 4, Row: 1}, months)
+	s.SetFormula(ref.Ref{Col: 5, Row: 1}, "SUM($D$1:D1)")
+	s.FillDown(ref.Ref{Col: 5, Row: 1}, months)
+	s.SetFormula(ref.Ref{Col: 6, Row: 1}, "D1*(1-$H$1)")
+	s.FillDown(ref.Ref{Col: 6, Row: 1}, months)
+	if months >= 3 {
+		s.SetFormula(ref.Ref{Col: 7, Row: 3}, "AVERAGE(B1:B3)")
+		s.FillDown(ref.Ref{Col: 7, Row: 3}, months)
+	}
+	return s
+}
+
+// InventoryTracker builds a transactions ledger with a running stock level:
+//
+//	A: day   B: received   C: shipped
+//	D: stock level (=D(n-1)+Bn-Cn)   (RR-Chain + in-row RRs)
+//	E: reorder flag (=IF(Dn<$G$1,1,0))  (RR + FF on the threshold)
+//	G1: reorder threshold
+func InventoryTracker(days int, rng *rand.Rand) *Sheet {
+	s := NewSheet("inventory")
+	for d := 1; d <= days; d++ {
+		s.SetValue(ref.Ref{Col: 1, Row: d}, float64(d))
+		s.SetValue(ref.Ref{Col: 2, Row: d}, float64(rng.Intn(30)))
+		s.SetValue(ref.Ref{Col: 3, Row: d}, float64(rng.Intn(25)))
+	}
+	s.SetValue(ref.Ref{Col: 7, Row: 1}, 20.0)
+	s.SetFormula(ref.Ref{Col: 4, Row: 1}, "B1-C1+100")
+	if days >= 2 {
+		s.SetFormula(ref.Ref{Col: 4, Row: 2}, "D1+B2-C2")
+		s.FillDown(ref.Ref{Col: 4, Row: 2}, days)
+	}
+	s.SetFormula(ref.Ref{Col: 5, Row: 1}, "IF(D1<$G$1,1,0)")
+	s.FillDown(ref.Ref{Col: 5, Row: 1}, days)
+	return s
+}
+
+// Gradebook builds a class sheet with per-student statistics and a grade
+// lookup:
+//
+//	A: student id   B-D: assignment scores
+//	E: total (=SUM(Bn:Dn))              (in-row RR over a row range)
+//	F: rank-ish curve (=En/$E$<last>)    (RR + FF)
+//	G: letter grade (=VLOOKUP on a fixed scale)   (FF range lookup)
+func Gradebook(students int, rng *rand.Rand) *Sheet {
+	s := NewSheet("gradebook")
+	for i := 1; i <= students; i++ {
+		s.SetValue(ref.Ref{Col: 1, Row: i}, float64(1000+i))
+		for c := 2; c <= 4; c++ {
+			s.SetValue(ref.Ref{Col: c, Row: i}, float64(50+rng.Intn(50)))
+		}
+	}
+	// Grade scale at J1:K4 (thresholds must be found exactly; use a numeric
+	// bucket column produced by FLOOR in column H).
+	scale := [][2]float64{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	for i, row := range scale {
+		s.SetValue(ref.Ref{Col: 10, Row: i + 1}, row[0])
+		s.SetValue(ref.Ref{Col: 11, Row: i + 1}, row[1])
+	}
+	s.SetFormula(ref.Ref{Col: 5, Row: 1}, "SUM(B1:D1)")
+	s.FillDown(ref.Ref{Col: 5, Row: 1}, students)
+	last := fmt.Sprintf("$E$%d", students)
+	s.SetFormula(ref.Ref{Col: 6, Row: 1}, "E1/"+last)
+	s.FillDown(ref.Ref{Col: 6, Row: 1}, students)
+	s.SetFormula(ref.Ref{Col: 8, Row: 1}, "FLOOR(F1*4)")
+	s.FillDown(ref.Ref{Col: 8, Row: 1}, students)
+	s.SetFormula(ref.Ref{Col: 9, Row: 1},
+		fmt.Sprintf("VLOOKUP(H1,%s:%s,2)", "$J$1", fmt.Sprintf("$K$%d", len(scale))))
+	s.FillDown(ref.Ref{Col: 9, Row: 1}, students)
+	return s
+}
+
+// PlanningBudget builds a quarterly planning sheet where each quarter's
+// budget derives from the previous quarter's actuals — a chain across a
+// row-major layout (quarters as columns), exercising the row axis:
+//
+//	row 1: quarter labels
+//	row 2: actuals (data)
+//	row 3: budget (=previous budget * growth)  (row-axis RR-Chain + FF)
+//	row 4: variance (=actual-budget)           (row-axis in-row RR)
+func PlanningBudget(quarters int, rng *rand.Rand) *Sheet {
+	s := NewSheet("planning")
+	for q := 1; q <= quarters; q++ {
+		s.SetText(ref.Ref{Col: q, Row: 1}, fmt.Sprintf("Q%d", q))
+		s.SetValue(ref.Ref{Col: q, Row: 2}, 900+float64(rng.Intn(200)))
+	}
+	growth := ref.Ref{Col: quarters + 2, Row: 1}
+	s.SetValue(growth, 1.05)
+	s.SetValue(ref.Ref{Col: 1, Row: 3}, 1000)
+	if quarters >= 2 {
+		s.SetFormula(ref.Ref{Col: 2, Row: 3},
+			fmt.Sprintf("A3*$%s$%d", ref.ColName(growth.Col), growth.Row))
+		s.FillRight(ref.Ref{Col: 2, Row: 3}, quarters)
+	}
+	s.SetFormula(ref.Ref{Col: 1, Row: 4}, "A2-A3")
+	s.FillRight(ref.Ref{Col: 1, Row: 4}, quarters)
+	return s
+}
+
+// Scenario names Generate-able by BuildScenario.
+var ScenarioNames = []string{"financial", "inventory", "gradebook", "planning"}
+
+// BuildScenario constructs a named scenario sheet of roughly n data rows.
+func BuildScenario(name string, n int, rng *rand.Rand) (*Sheet, error) {
+	switch name {
+	case "financial":
+		return FinancialModel(n, rng), nil
+	case "inventory":
+		return InventoryTracker(n, rng), nil
+	case "gradebook":
+		return Gradebook(n, rng), nil
+	case "planning":
+		return PlanningBudget(n, rng), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown scenario %q (want one of %v)", name, ScenarioNames)
+	}
+}

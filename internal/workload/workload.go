@@ -1,0 +1,263 @@
+// Package workload generates deterministic synthetic spreadsheets whose
+// formula structure mirrors the two real-world corpora the paper evaluates
+// on (Enron xls files and xlsx files crawled from Github). The real corpora
+// are not redistributable, so these generators are the documented
+// substitution: they produce the same pattern mix the paper measures —
+// RR-dominant tabular locality with FF lookups, RR-Chains, cumulative FR/RF
+// totals, derived columns, and a fraction of messy non-local formulae — with
+// heavy-tailed sheet sizes, so every compression, query, and maintenance
+// code path real files would drive is exercised.
+//
+// All generators are deterministic in their seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"taco/internal/core"
+	"taco/internal/formula"
+	"taco/internal/ref"
+)
+
+// Cell is one populated spreadsheet cell: either a pure value or a formula
+// (Formula holds the source without the leading '=').
+type Cell struct {
+	Formula string
+	Value   formula.Value
+}
+
+// IsFormula reports whether the cell holds a formula.
+func (c Cell) IsFormula() bool { return c.Formula != "" }
+
+// Sheet is a synthetic spreadsheet: a sparse cell map plus a name.
+type Sheet struct {
+	Name  string
+	Cells map[ref.Ref]Cell
+}
+
+// NewSheet returns an empty named sheet.
+func NewSheet(name string) *Sheet {
+	return &Sheet{Name: name, Cells: make(map[ref.Ref]Cell)}
+}
+
+// SetValue stores a pure numeric value.
+func (s *Sheet) SetValue(at ref.Ref, v float64) {
+	s.Cells[at] = Cell{Value: formula.Num(v)}
+}
+
+// SetText stores a pure text value.
+func (s *Sheet) SetText(at ref.Ref, v string) {
+	s.Cells[at] = Cell{Value: formula.Str(v)}
+}
+
+// SetFormula stores a formula (source without '=').
+func (s *Sheet) SetFormula(at ref.Ref, src string) {
+	s.Cells[at] = Cell{Formula: src}
+}
+
+// NumFormulas returns the number of formula cells.
+func (s *Sheet) NumFormulas() int {
+	n := 0
+	for _, c := range s.Cells {
+		if c.IsFormula() {
+			n++
+		}
+	}
+	return n
+}
+
+// Dependencies parses every formula cell and returns the uncompressed
+// dependency list in column-major order (the paper configures POI to load
+// spreadsheets by columns, which is what gives the greedy compressor its
+// adjacent-run insertion order).
+func (s *Sheet) Dependencies() ([]core.Dependency, error) {
+	cells := make([]ref.Ref, 0, len(s.Cells))
+	for at, c := range s.Cells {
+		if c.IsFormula() {
+			cells = append(cells, at)
+		}
+	}
+	sortColumnMajor(cells)
+	var deps []core.Dependency
+	for _, at := range cells {
+		refs, err := formula.ExtractRefs(s.Cells[at].Formula)
+		if err != nil {
+			return nil, fmt.Errorf("workload: cell %v: %w", at, err)
+		}
+		for _, r := range refs {
+			deps = append(deps, core.Dependency{
+				Prec:      r.At,
+				Dep:       at,
+				HeadFixed: r.HeadFixed,
+				TailFixed: r.TailFixed,
+			})
+		}
+	}
+	return deps, nil
+}
+
+// MustDependencies is Dependencies panicking on parse errors; generators only
+// emit valid formulae.
+func (s *Sheet) MustDependencies() []core.Dependency {
+	deps, err := s.Dependencies()
+	if err != nil {
+		panic(err)
+	}
+	return deps
+}
+
+func sortColumnMajor(cells []ref.Ref) {
+	// Insertion-friendly order: column by column, top to bottom.
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Col != cells[j].Col {
+			return cells[i].Col < cells[j].Col
+		}
+		return cells[i].Row < cells[j].Row
+	})
+}
+
+// FillDown autofills the formula at src down through rows src.Row+1..lastRow,
+// applying the spreadsheet relative/absolute shifting rules — the exact
+// mechanism that creates tabular locality in real sheets.
+func (s *Sheet) FillDown(src ref.Ref, lastRow int) {
+	c, ok := s.Cells[src]
+	if !ok || !c.IsFormula() {
+		panic(fmt.Sprintf("workload: FillDown source %v is not a formula", src))
+	}
+	ast := formula.MustParse(c.Formula)
+	for row := src.Row + 1; row <= lastRow; row++ {
+		s.SetFormula(ref.Ref{Col: src.Col, Row: row}, formula.Text(formula.Shift(ast, 0, row-src.Row)))
+	}
+}
+
+// FillRight autofills the formula at src right through columns
+// src.Col+1..lastCol.
+func (s *Sheet) FillRight(src ref.Ref, lastCol int) {
+	c, ok := s.Cells[src]
+	if !ok || !c.IsFormula() {
+		panic(fmt.Sprintf("workload: FillRight source %v is not a formula", src))
+	}
+	ast := formula.MustParse(c.Formula)
+	for col := src.Col + 1; col <= lastCol; col++ {
+		s.SetFormula(ref.Ref{Col: col, Row: src.Row}, formula.Text(formula.Shift(ast, col-src.Col, 0)))
+	}
+}
+
+// a1 renders a relative A1 reference.
+func a1(col, row int) string { return ref.FormatA1(ref.Ref{Col: col, Row: row}) }
+
+// abs renders a fully anchored reference ($C$R).
+func abs(col, row int) string {
+	return "$" + ref.ColName(col) + "$" + itoa(row)
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// ---------------------------------------------------------------------------
+// Pattern-shaped region generators
+// ---------------------------------------------------------------------------
+
+// AddDataColumn fills rows 1..rows of col with deterministic numbers.
+func (s *Sheet) AddDataColumn(col, rows int, rng *rand.Rand) {
+	for row := 1; row <= rows; row++ {
+		s.SetValue(ref.Ref{Col: col, Row: row}, float64(rng.Intn(1000))/10)
+	}
+}
+
+// AddSlidingWindow writes an RR run: col[row] = SUM over a window of srcCol
+// ending at the current row, for rows window..rows.
+func (s *Sheet) AddSlidingWindow(col, srcCol, window, rows int) {
+	start := window
+	src := ref.Ref{Col: col, Row: start}
+	s.SetFormula(src, fmt.Sprintf("SUM(%s:%s)", a1(srcCol, start-window+1), a1(srcCol, start)))
+	s.FillDown(src, rows)
+}
+
+// AddRunningTotal writes an FR run: col[row] = SUM($src$1:src row).
+func (s *Sheet) AddRunningTotal(col, srcCol, rows int) {
+	src := ref.Ref{Col: col, Row: 1}
+	s.SetFormula(src, fmt.Sprintf("SUM(%s:%s)", abs(srcCol, 1), a1(srcCol, 1)))
+	s.FillDown(src, rows)
+}
+
+// AddReverseTotal writes an RF run: col[row] = SUM(src row:$src$rows) — the
+// remaining-to-go total.
+func (s *Sheet) AddReverseTotal(col, srcCol, rows int) {
+	src := ref.Ref{Col: col, Row: 1}
+	s.SetFormula(src, fmt.Sprintf("SUM(%s:%s)", a1(srcCol, 1), abs(srcCol, rows)))
+	s.FillDown(src, rows)
+}
+
+// AddFixedLookup writes an FF run: every cell multiplies the row's value by a
+// fixed rate cell.
+func (s *Sheet) AddFixedLookup(col, srcCol int, rate ref.Ref, rows int) {
+	src := ref.Ref{Col: col, Row: 1}
+	s.SetFormula(src, fmt.Sprintf("%s*%s", a1(srcCol, 1), abs(rate.Col, rate.Row)))
+	s.FillDown(src, rows)
+}
+
+// AddVlookupColumn writes an FF range-lookup run against a fixed table.
+func (s *Sheet) AddVlookupColumn(col, keyCol int, table ref.Range, rows int) {
+	src := ref.Ref{Col: col, Row: 1}
+	s.SetFormula(src, fmt.Sprintf("VLOOKUP(%s,%s:%s,2)",
+		a1(keyCol, 1), abs(table.Head.Col, table.Head.Row), abs(table.Tail.Col, table.Tail.Row)))
+	s.FillDown(src, rows)
+}
+
+// AddChain writes an RR-Chain: col[1] = seed, col[row] = col[row-1] + srcCol[row].
+func (s *Sheet) AddChain(col, srcCol, rows int) {
+	s.SetFormula(ref.Ref{Col: col, Row: 1}, a1(srcCol, 1))
+	src := ref.Ref{Col: col, Row: 2}
+	s.SetFormula(src, fmt.Sprintf("%s+%s", a1(col, 1), a1(srcCol, 2)))
+	s.FillDown(src, rows)
+}
+
+// AddDerivedColumn writes an in-row RR run: col[row] = f(srcCol[row]) — the
+// derived-column shape TACO-InRow targets.
+func (s *Sheet) AddDerivedColumn(col, srcCol, rows int) {
+	src := ref.Ref{Col: col, Row: 1}
+	s.SetFormula(src, fmt.Sprintf("ROUND(%s*1.08,2)", a1(srcCol, 1)))
+	s.FillDown(src, rows)
+}
+
+// AddFig2Column reproduces the paper's Fig. 2 Enron column: an IF formula
+// referencing the group key of this and the previous row, the cell to the
+// left, and the running value above.
+func (s *Sheet) AddFig2Column(keyCol, valCol, outCol, rows int) {
+	s.SetFormula(ref.Ref{Col: outCol, Row: 2}, a1(valCol, 2))
+	src := ref.Ref{Col: outCol, Row: 3}
+	s.SetFormula(src, fmt.Sprintf("IF(%s=%s,%s+%s,%s)",
+		a1(keyCol, 3), a1(keyCol, 2), a1(outCol, 2), a1(valCol, 3), a1(valCol, 3)))
+	s.FillDown(src, rows)
+}
+
+// AddGapOneColumn writes formulae on every other row, each referencing the
+// cell to its left — the RR-GapOne shape of Sec. V that plain adjacent
+// patterns cannot compress (the intermediate rows are pure values).
+func (s *Sheet) AddGapOneColumn(col, srcCol, rows int) {
+	for row := 1; row <= rows; row += 2 {
+		s.SetFormula(ref.Ref{Col: col, Row: row}, fmt.Sprintf("%s*2", a1(srcCol, row)))
+	}
+}
+
+// AddMessyRegion writes formulae with no tabular locality: scattered cells
+// with random references, producing Single edges and outliers that break
+// runs.
+func (s *Sheet) AddMessyRegion(col, rows, count int, maxSrcCol int, rng *rand.Rand) {
+	for i := 0; i < count; i++ {
+		at := ref.Ref{Col: col, Row: 1 + rng.Intn(rows)}
+		if _, taken := s.Cells[at]; taken {
+			continue
+		}
+		sc := 1 + rng.Intn(maxSrcCol)
+		sr := 1 + rng.Intn(rows)
+		h := rng.Intn(4)
+		if h == 0 {
+			s.SetFormula(at, fmt.Sprintf("%s*2", a1(sc, sr)))
+		} else {
+			s.SetFormula(at, fmt.Sprintf("SUM(%s:%s)", a1(sc, sr), a1(sc, sr+h)))
+		}
+	}
+}

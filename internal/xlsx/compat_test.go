@@ -1,0 +1,181 @@
+package xlsx
+
+import (
+	"archive/zip"
+	"bytes"
+	"testing"
+
+	"taco/internal/formula"
+	"taco/internal/ref"
+)
+
+// buildPackage assembles an xlsx zip from raw part bodies, letting tests
+// exercise reader tolerance for files written by other producers.
+func buildPackage(t *testing.T, parts map[string]string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for name, body := range parts {
+		w, err := zw.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write([]byte(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+const minimalWorkbook = `<?xml version="1.0"?>
+<workbook xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main">
+<sheets><sheet name="S1" sheetId="1" r:id="rId1" xmlns:r="http://schemas.openxmlformats.org/officeDocument/2006/relationships"/></sheets>
+</workbook>`
+
+func TestReaderFallsBackWithoutRels(t *testing.T) {
+	// No workbook.xml.rels: the reader falls back to positional sheet paths.
+	data := buildPackage(t, map[string]string{
+		"xl/workbook.xml": minimalWorkbook,
+		"xl/worksheets/sheet1.xml": `<?xml version="1.0"?>
+<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main">
+<sheetData><row r="1"><c r="A1"><v>42</v></c></row></sheetData></worksheet>`,
+	})
+	sheets, err := Read(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sheets) != 1 || sheets[0].Name != "S1" {
+		t.Fatalf("sheets = %v", sheets)
+	}
+	if v := sheets[0].Cells[ref.MustCell("A1")].Value; v.Num != 42 {
+		t.Fatalf("A1 = %v", v)
+	}
+}
+
+func TestReaderInlineStrings(t *testing.T) {
+	data := buildPackage(t, map[string]string{
+		"xl/workbook.xml": minimalWorkbook,
+		"xl/worksheets/sheet1.xml": `<?xml version="1.0"?>
+<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main">
+<sheetData><row r="1">
+<c r="A1" t="inlineStr"><is><t>hello inline</t></is></c>
+<c r="B1" t="str"><v>formula-cached-text</v></c>
+</row></sheetData></worksheet>`,
+	})
+	sheets, err := Read(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sheets[0]
+	if s.Cells[ref.MustCell("A1")].Value.Str != "hello inline" {
+		t.Fatalf("A1 = %+v", s.Cells[ref.MustCell("A1")])
+	}
+	if s.Cells[ref.MustCell("B1")].Value.Str != "formula-cached-text" {
+		t.Fatalf("B1 = %+v", s.Cells[ref.MustCell("B1")])
+	}
+}
+
+func TestReaderRichTextSharedStrings(t *testing.T) {
+	data := buildPackage(t, map[string]string{
+		"xl/workbook.xml": minimalWorkbook,
+		"xl/sharedStrings.xml": `<?xml version="1.0"?>
+<sst xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main" count="1" uniqueCount="1">
+<si><r><t>rich </t></r><r><t>text</t></r></si></sst>`,
+		"xl/worksheets/sheet1.xml": `<?xml version="1.0"?>
+<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main">
+<sheetData><row r="1"><c r="A1" t="s"><v>0</v></c></row></sheetData></worksheet>`,
+	})
+	sheets, err := Read(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sheets[0].Cells[ref.MustCell("A1")].Value.Str; got != "rich text" {
+		t.Fatalf("rich text = %q", got)
+	}
+}
+
+func TestReaderSkipsEmptyAndUnknownCells(t *testing.T) {
+	data := buildPackage(t, map[string]string{
+		"xl/workbook.xml": minimalWorkbook,
+		"xl/worksheets/sheet1.xml": `<?xml version="1.0"?>
+<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main">
+<sheetData><row r="1">
+<c r="A1"/>
+<c r="B1"><v>7</v></c>
+</row></sheetData></worksheet>`,
+	})
+	sheets, err := Read(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, present := sheets[0].Cells[ref.MustCell("A1")]; present {
+		t.Fatal("empty cell should be skipped")
+	}
+	if sheets[0].Cells[ref.MustCell("B1")].Value.Num != 7 {
+		t.Fatal("numeric cell lost")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	cases := map[string]map[string]string{
+		"missing workbook": {
+			"xl/worksheets/sheet1.xml": `<worksheet/>`,
+		},
+		"missing worksheet part": {
+			"xl/workbook.xml": minimalWorkbook,
+		},
+		"bad shared string index": {
+			"xl/workbook.xml": minimalWorkbook,
+			"xl/worksheets/sheet1.xml": `<?xml version="1.0"?>
+<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main">
+<sheetData><row r="1"><c r="A1" t="s"><v>99</v></c></row></sheetData></worksheet>`,
+		},
+		"bad cell reference": {
+			"xl/workbook.xml": minimalWorkbook,
+			"xl/worksheets/sheet1.xml": `<?xml version="1.0"?>
+<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main">
+<sheetData><row r="1"><c r="NOT-A-REF"><v>1</v></c></row></sheetData></worksheet>`,
+		},
+		"orphan shared formula": {
+			"xl/workbook.xml": minimalWorkbook,
+			"xl/worksheets/sheet1.xml": `<?xml version="1.0"?>
+<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main">
+<sheetData><row r="1"><c r="A1"><f t="shared" si="9"/></c></row></sheetData></worksheet>`,
+		},
+		"bad number": {
+			"xl/workbook.xml": minimalWorkbook,
+			"xl/worksheets/sheet1.xml": `<?xml version="1.0"?>
+<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main">
+<sheetData><row r="1"><c r="A1"><v>abc</v></c></row></sheetData></worksheet>`,
+		},
+	}
+	for name, parts := range cases {
+		data := buildPackage(t, parts)
+		if _, err := Read(bytes.NewReader(data), int64(len(data))); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestReaderBooleanCells(t *testing.T) {
+	data := buildPackage(t, map[string]string{
+		"xl/workbook.xml": minimalWorkbook,
+		"xl/worksheets/sheet1.xml": `<?xml version="1.0"?>
+<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main">
+<sheetData><row r="1">
+<c r="A1" t="b"><v>1</v></c><c r="B1" t="b"><v>0</v></c>
+</row></sheetData></worksheet>`,
+	})
+	sheets, err := Read(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sheets[0].Cells[ref.MustCell("A1")].Value
+	b := sheets[0].Cells[ref.MustCell("B1")].Value
+	if a.Kind != formula.KindBool || !a.Bool || b.Kind != formula.KindBool || b.Bool {
+		t.Fatalf("bools = %v %v", a, b)
+	}
+}

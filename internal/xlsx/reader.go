@@ -1,0 +1,250 @@
+package xlsx
+
+import (
+	"archive/zip"
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"strconv"
+	"strings"
+
+	"taco/internal/formula"
+	"taco/internal/ref"
+	"taco/internal/workload"
+)
+
+// ReadFile opens an .xlsx file and returns its sheets.
+func ReadFile(name string) ([]*workload.Sheet, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return Read(bytes.NewReader(data), int64(len(data)))
+}
+
+// Read parses an xlsx package from r.
+func Read(r io.ReaderAt, size int64) ([]*workload.Sheet, error) {
+	zr, err := zip.NewReader(r, size)
+	if err != nil {
+		return nil, fmt.Errorf("xlsx: not a zip package: %w", err)
+	}
+	parts := map[string]*zip.File{}
+	for _, f := range zr.File {
+		parts[f.Name] = f
+	}
+
+	sharedStrings, err := readSharedStrings(parts["xl/sharedStrings.xml"])
+	if err != nil {
+		return nil, err
+	}
+	names, targets, err := readWorkbook(parts)
+	if err != nil {
+		return nil, err
+	}
+
+	var sheets []*workload.Sheet
+	for i, target := range targets {
+		f := parts[target]
+		if f == nil {
+			return nil, fmt.Errorf("xlsx: missing worksheet part %s", target)
+		}
+		s, err := readSheet(f, names[i], sharedStrings)
+		if err != nil {
+			return nil, fmt.Errorf("xlsx: sheet %s: %w", names[i], err)
+		}
+		sheets = append(sheets, s)
+	}
+	return sheets, nil
+}
+
+// readWorkbook resolves sheet names and their worksheet part paths via the
+// workbook relationships.
+func readWorkbook(parts map[string]*zip.File) (names, targets []string, err error) {
+	type relXML struct {
+		ID     string `xml:"Id,attr"`
+		Target string `xml:"Target,attr"`
+	}
+	rels := map[string]string{}
+	if f := parts["xl/_rels/workbook.xml.rels"]; f != nil {
+		var doc struct {
+			Rels []relXML `xml:"Relationship"`
+		}
+		if err := decodePart(f, &doc); err != nil {
+			return nil, nil, err
+		}
+		for _, rel := range doc.Rels {
+			rels[rel.ID] = path.Join("xl", rel.Target)
+		}
+	}
+	wb := parts["xl/workbook.xml"]
+	if wb == nil {
+		return nil, nil, fmt.Errorf("xlsx: missing xl/workbook.xml")
+	}
+	var doc struct {
+		Sheets []struct {
+			Name string `xml:"name,attr"`
+			RID  string `xml:"id,attr"`
+		} `xml:"sheets>sheet"`
+	}
+	if err := decodePart(wb, &doc); err != nil {
+		return nil, nil, err
+	}
+	for i, sh := range doc.Sheets {
+		target := rels[sh.RID]
+		if target == "" {
+			// Fall back to positional naming used by many writers.
+			target = fmt.Sprintf("xl/worksheets/sheet%d.xml", i+1)
+		}
+		names = append(names, sh.Name)
+		targets = append(targets, target)
+	}
+	return names, targets, nil
+}
+
+func readSharedStrings(f *zip.File) ([]string, error) {
+	if f == nil {
+		return nil, nil
+	}
+	var doc struct {
+		SI []struct {
+			T string `xml:"t"`
+			R []struct {
+				T string `xml:"t"`
+			} `xml:"r"`
+		} `xml:"si"`
+	}
+	if err := decodePart(f, &doc); err != nil {
+		return nil, err
+	}
+	out := make([]string, len(doc.SI))
+	for i, si := range doc.SI {
+		if si.T != "" {
+			out[i] = si.T
+			continue
+		}
+		// Rich-text runs concatenate.
+		var sb strings.Builder
+		for _, run := range si.R {
+			sb.WriteString(run.T)
+		}
+		out[i] = sb.String()
+	}
+	return out, nil
+}
+
+// xmlCell mirrors the <c> element.
+type xmlCell struct {
+	R string `xml:"r,attr"`
+	T string `xml:"t,attr"`
+	V string `xml:"v"`
+	F *struct {
+		T    string `xml:"t,attr"`
+		Ref  string `xml:"ref,attr"`
+		SI   string `xml:"si,attr"`
+		Body string `xml:",chardata"`
+	} `xml:"f"`
+	IS *struct {
+		T string `xml:"t"`
+	} `xml:"is"`
+}
+
+func readSheet(f *zip.File, name string, sharedStrings []string) (*workload.Sheet, error) {
+	var doc struct {
+		Rows []struct {
+			Cells []xmlCell `xml:"c"`
+		} `xml:"sheetData>row"`
+	}
+	if err := decodePart(f, &doc); err != nil {
+		return nil, err
+	}
+	s := workload.NewSheet(name)
+	type master struct {
+		at  ref.Ref
+		ast formula.Node
+	}
+	sharedMasters := map[string]master{}
+
+	for _, row := range doc.Rows {
+		for _, c := range row.Cells {
+			at, err := ref.ParseA1(c.R)
+			if err != nil {
+				return nil, fmt.Errorf("bad cell ref %q: %w", c.R, err)
+			}
+			if c.F != nil {
+				src := strings.TrimSpace(c.F.Body)
+				switch {
+				case c.F.T == "shared" && src != "":
+					// Master cell of a shared formula group.
+					ast, err := formula.Parse(src)
+					if err != nil {
+						return nil, fmt.Errorf("cell %s: %w", c.R, err)
+					}
+					sharedMasters[c.F.SI] = master{at: at, ast: ast}
+					s.SetFormula(at, src)
+				case c.F.T == "shared":
+					m, ok := sharedMasters[c.F.SI]
+					if !ok {
+						return nil, fmt.Errorf("cell %s: shared formula si=%s has no master", c.R, c.F.SI)
+					}
+					shifted := formula.Shift(m.ast, at.Col-m.at.Col, at.Row-m.at.Row)
+					s.SetFormula(at, formula.Text(shifted))
+				case src != "":
+					s.SetFormula(at, src)
+				}
+				continue
+			}
+			switch c.T {
+			case "s":
+				idx, err := strconv.Atoi(strings.TrimSpace(c.V))
+				if err != nil || idx < 0 || idx >= len(sharedStrings) {
+					return nil, fmt.Errorf("cell %s: bad shared string index %q", c.R, c.V)
+				}
+				s.SetText(at, sharedStrings[idx])
+			case "inlineStr":
+				if c.IS != nil {
+					s.SetText(at, c.IS.T)
+				}
+			case "b":
+				s.Cells[at] = workload.Cell{Value: formula.Boolean(strings.TrimSpace(c.V) == "1")}
+			case "str":
+				s.SetText(at, c.V)
+			default: // numeric (or blank)
+				v := strings.TrimSpace(c.V)
+				if v == "" {
+					continue
+				}
+				num, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("cell %s: bad number %q", c.R, c.V)
+				}
+				s.SetValue(at, num)
+			}
+		}
+	}
+	return s, nil
+}
+
+func decodePart(f *zip.File, v any) error {
+	rc, err := f.Open()
+	if err != nil {
+		return fmt.Errorf("xlsx: open %s: %w", f.Name, err)
+	}
+	defer rc.Close()
+	dec := xml.NewDecoder(rc)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("xlsx: parse %s: %w", f.Name, err)
+	}
+	return nil
+}
+
+// WriteFile serialises sheets to the named .xlsx file.
+func WriteFile(name string, sheets []*workload.Sheet, opts WriteOptions) error {
+	var buf bytes.Buffer
+	if err := Write(&buf, sheets, opts); err != nil {
+		return err
+	}
+	return os.WriteFile(name, buf.Bytes(), 0o644)
+}

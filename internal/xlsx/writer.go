@@ -1,0 +1,254 @@
+// Package xlsx reads and writes Office Open XML spreadsheets (.xlsx) using
+// only the standard library (archive/zip + encoding/xml). It plays the role
+// Apache POI plays in the paper's prototype: turning spreadsheet files into
+// a stream of (cell, value/formula) pairs for the formula-graph builders,
+// and generating synthetic corpus files.
+//
+// The subset implemented covers what formula graphs need: numeric, boolean,
+// shared-string and inline-string cell values, formula cells, and shared
+// formulas (<f t="shared">), which the reader expands using the same
+// relative/absolute shifting rules as autofill. Styling, charts, and other
+// parts are ignored on read and omitted on write.
+package xlsx
+
+import (
+	"archive/zip"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"taco/internal/formula"
+	"taco/internal/ref"
+	"taco/internal/workload"
+)
+
+// WriteOptions configures the writer.
+type WriteOptions struct {
+	// SharedFormulas groups vertical runs of autofill-equivalent formulae
+	// into <f t="shared"> master/slave cells, the on-disk dedup Excel itself
+	// performs. The reader expands them back.
+	SharedFormulas bool
+}
+
+// Write serialises the sheets into an xlsx package on w.
+func Write(w io.Writer, sheets []*workload.Sheet, opts WriteOptions) error {
+	zw := zip.NewWriter(w)
+
+	var strTable []string
+	strIndex := map[string]int{}
+	intern := func(s string) int {
+		if i, ok := strIndex[s]; ok {
+			return i
+		}
+		strIndex[s] = len(strTable)
+		strTable = append(strTable, s)
+		return len(strTable) - 1
+	}
+
+	sheetXMLs := make([]string, len(sheets))
+	for i, s := range sheets {
+		sheetXMLs[i] = sheetXML(s, intern, opts)
+	}
+
+	files := []struct{ name, body string }{
+		{"[Content_Types].xml", contentTypesXML(len(sheets))},
+		{"_rels/.rels", relsXML},
+		{"xl/workbook.xml", workbookXML(sheets)},
+		{"xl/_rels/workbook.xml.rels", workbookRelsXML(len(sheets))},
+		{"xl/sharedStrings.xml", sharedStringsXML(strTable)},
+	}
+	for i, body := range sheetXMLs {
+		files = append(files, struct{ name, body string }{
+			fmt.Sprintf("xl/worksheets/sheet%d.xml", i+1), body,
+		})
+	}
+	for _, f := range files {
+		fw, err := zw.Create(f.name)
+		if err != nil {
+			return fmt.Errorf("xlsx: create %s: %w", f.name, err)
+		}
+		if _, err := io.WriteString(fw, f.body); err != nil {
+			return fmt.Errorf("xlsx: write %s: %w", f.name, err)
+		}
+	}
+	return zw.Close()
+}
+
+func contentTypesXML(nSheets int) string {
+	var sb strings.Builder
+	sb.WriteString(`<?xml version="1.0" encoding="UTF-8" standalone="yes"?>` + "\n")
+	sb.WriteString(`<Types xmlns="http://schemas.openxmlformats.org/package/2006/content-types">`)
+	sb.WriteString(`<Default Extension="rels" ContentType="application/vnd.openxmlformats-package.relationships+xml"/>`)
+	sb.WriteString(`<Default Extension="xml" ContentType="application/xml"/>`)
+	sb.WriteString(`<Override PartName="/xl/workbook.xml" ContentType="application/vnd.openxmlformats-officedocument.spreadsheetml.sheet.main+xml"/>`)
+	sb.WriteString(`<Override PartName="/xl/sharedStrings.xml" ContentType="application/vnd.openxmlformats-officedocument.spreadsheetml.sharedStrings+xml"/>`)
+	for i := 1; i <= nSheets; i++ {
+		fmt.Fprintf(&sb, `<Override PartName="/xl/worksheets/sheet%d.xml" ContentType="application/vnd.openxmlformats-officedocument.spreadsheetml.worksheet+xml"/>`, i)
+	}
+	sb.WriteString(`</Types>`)
+	return sb.String()
+}
+
+const relsXML = `<?xml version="1.0" encoding="UTF-8" standalone="yes"?>
+<Relationships xmlns="http://schemas.openxmlformats.org/package/2006/relationships"><Relationship Id="rId1" Type="http://schemas.openxmlformats.org/officeDocument/2006/relationships/officeDocument" Target="xl/workbook.xml"/></Relationships>`
+
+func workbookXML(sheets []*workload.Sheet) string {
+	var sb strings.Builder
+	sb.WriteString(`<?xml version="1.0" encoding="UTF-8" standalone="yes"?>` + "\n")
+	sb.WriteString(`<workbook xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main" xmlns:r="http://schemas.openxmlformats.org/officeDocument/2006/relationships"><sheets>`)
+	for i, s := range sheets {
+		fmt.Fprintf(&sb, `<sheet name="%s" sheetId="%d" r:id="rId%d"/>`, xmlEscape(s.Name), i+1, i+1)
+	}
+	sb.WriteString(`</sheets></workbook>`)
+	return sb.String()
+}
+
+func workbookRelsXML(nSheets int) string {
+	var sb strings.Builder
+	sb.WriteString(`<?xml version="1.0" encoding="UTF-8" standalone="yes"?>` + "\n")
+	sb.WriteString(`<Relationships xmlns="http://schemas.openxmlformats.org/package/2006/relationships">`)
+	for i := 1; i <= nSheets; i++ {
+		fmt.Fprintf(&sb, `<Relationship Id="rId%d" Type="http://schemas.openxmlformats.org/officeDocument/2006/relationships/worksheet" Target="worksheets/sheet%d.xml"/>`, i, i)
+	}
+	fmt.Fprintf(&sb, `<Relationship Id="rId%d" Type="http://schemas.openxmlformats.org/officeDocument/2006/relationships/sharedStrings" Target="sharedStrings.xml"/>`, nSheets+1)
+	sb.WriteString(`</Relationships>`)
+	return sb.String()
+}
+
+func sharedStringsXML(table []string) string {
+	var sb strings.Builder
+	sb.WriteString(`<?xml version="1.0" encoding="UTF-8" standalone="yes"?>` + "\n")
+	fmt.Fprintf(&sb, `<sst xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main" count="%d" uniqueCount="%d">`, len(table), len(table))
+	for _, s := range table {
+		sb.WriteString(`<si><t>`)
+		sb.WriteString(xmlEscape(s))
+		sb.WriteString(`</t></si>`)
+	}
+	sb.WriteString(`</sst>`)
+	return sb.String()
+}
+
+// sharedRun describes a detected shared-formula run in one column.
+type sharedRun struct {
+	si       int
+	master   ref.Ref
+	lastRow  int
+	masterFx string
+}
+
+func sheetXML(s *workload.Sheet, intern func(string) int, opts WriteOptions) string {
+	// Organise cells row-major for the sheetData layout.
+	byRow := map[int][]ref.Ref{}
+	var rows []int
+	for at := range s.Cells {
+		if len(byRow[at.Row]) == 0 {
+			rows = append(rows, at.Row)
+		}
+		byRow[at.Row] = append(byRow[at.Row], at)
+	}
+	sort.Ints(rows)
+
+	shared := map[ref.Ref]*sharedRun{} // master and member cells -> run
+	if opts.SharedFormulas {
+		detectSharedRuns(s, shared)
+	}
+
+	var sb strings.Builder
+	sb.WriteString(`<?xml version="1.0" encoding="UTF-8" standalone="yes"?>` + "\n")
+	sb.WriteString(`<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main"><sheetData>`)
+	for _, rowIdx := range rows {
+		cells := byRow[rowIdx]
+		sort.Slice(cells, func(i, j int) bool { return cells[i].Col < cells[j].Col })
+		fmt.Fprintf(&sb, `<row r="%d">`, rowIdx)
+		for _, at := range cells {
+			writeCell(&sb, s, at, intern, shared)
+		}
+		sb.WriteString(`</row>`)
+	}
+	sb.WriteString(`</sheetData></worksheet>`)
+	return sb.String()
+}
+
+// detectSharedRuns finds maximal vertical runs where each formula equals the
+// master shifted by its row offset — the dedup Excel stores via pointers to
+// the first formula [CellFormula docs].
+func detectSharedRuns(s *workload.Sheet, shared map[ref.Ref]*sharedRun) {
+	byCol := map[int][]ref.Ref{}
+	for at, c := range s.Cells {
+		if c.IsFormula() {
+			byCol[at.Col] = append(byCol[at.Col], at)
+		}
+	}
+	nextSI := 0
+	for _, cells := range byCol {
+		sort.Slice(cells, func(i, j int) bool { return cells[i].Row < cells[j].Row })
+		i := 0
+		for i < len(cells) {
+			master := cells[i]
+			masterAst, err := formula.Parse(s.Cells[master].Formula)
+			if err != nil {
+				i++
+				continue
+			}
+			canonical := formula.Text(masterAst)
+			j := i + 1
+			for j < len(cells) && cells[j].Row == cells[j-1].Row+1 {
+				want := formula.Text(formula.Shift(masterAst, 0, cells[j].Row-master.Row))
+				got, err := formula.Parse(s.Cells[cells[j]].Formula)
+				if err != nil || formula.Text(got) != want {
+					break
+				}
+				j++
+			}
+			if j-i >= 2 {
+				run := &sharedRun{si: nextSI, master: master, lastRow: cells[j-1].Row, masterFx: canonical}
+				nextSI++
+				for k := i; k < j; k++ {
+					shared[cells[k]] = run
+				}
+			}
+			i = j
+		}
+	}
+}
+
+func writeCell(sb *strings.Builder, s *workload.Sheet, at ref.Ref, intern func(string) int, shared map[ref.Ref]*sharedRun) {
+	c := s.Cells[at]
+	a1 := ref.FormatA1(at)
+	if c.IsFormula() {
+		if run, ok := shared[at]; ok {
+			if run.master == at {
+				fmt.Fprintf(sb, `<c r="%s"><f t="shared" ref="%s:%s" si="%d">%s</f></c>`,
+					a1, ref.FormatA1(run.master), ref.FormatA1(ref.Ref{Col: at.Col, Row: run.lastRow}),
+					run.si, xmlEscape(run.masterFx))
+			} else {
+				fmt.Fprintf(sb, `<c r="%s"><f t="shared" si="%d"/></c>`, a1, run.si)
+			}
+			return
+		}
+		fmt.Fprintf(sb, `<c r="%s"><f>%s</f></c>`, a1, xmlEscape(c.Formula))
+		return
+	}
+	switch c.Value.Kind {
+	case formula.KindNumber:
+		fmt.Fprintf(sb, `<c r="%s"><v>%s</v></c>`, a1, c.Value.String())
+	case formula.KindString:
+		fmt.Fprintf(sb, `<c r="%s" t="s"><v>%d</v></c>`, a1, intern(c.Value.Str))
+	case formula.KindBool:
+		v := "0"
+		if c.Value.Bool {
+			v = "1"
+		}
+		fmt.Fprintf(sb, `<c r="%s" t="b"><v>%s</v></c>`, a1, v)
+	default:
+		fmt.Fprintf(sb, `<c r="%s"/>`, a1)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;",
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,185 @@
+package xlsx
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"taco/internal/core"
+	"taco/internal/formula"
+	"taco/internal/ref"
+	"taco/internal/workload"
+)
+
+func roundTrip(t *testing.T, sheets []*workload.Sheet, opts WriteOptions) []*workload.Sheet {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, sheets, opts); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripValues(t *testing.T) {
+	s := workload.NewSheet("values")
+	s.SetValue(ref.MustCell("A1"), 42)
+	s.SetValue(ref.MustCell("B2"), 3.25)
+	s.SetText(ref.MustCell("C3"), "hello <world> & \"friends\"")
+	s.SetText(ref.MustCell("C4"), "hello") // duplicate-ish strings intern fine
+	s.Cells[ref.MustCell("D1")] = workload.Cell{Value: formula.Boolean(true)}
+	s.Cells[ref.MustCell("D2")] = workload.Cell{Value: formula.Boolean(false)}
+
+	got := roundTrip(t, []*workload.Sheet{s}, WriteOptions{})
+	if len(got) != 1 || got[0].Name != "values" {
+		t.Fatalf("sheets = %v", got)
+	}
+	g := got[0]
+	checks := []struct {
+		at   string
+		want formula.Value
+	}{
+		{"A1", formula.Num(42)},
+		{"B2", formula.Num(3.25)},
+		{"C3", formula.Str("hello <world> & \"friends\"")},
+		{"C4", formula.Str("hello")},
+		{"D1", formula.Boolean(true)},
+		{"D2", formula.Boolean(false)},
+	}
+	for _, c := range checks {
+		cell, ok := g.Cells[ref.MustCell(c.at)]
+		if !ok {
+			t.Fatalf("missing cell %s", c.at)
+		}
+		if cell.Value.Kind != c.want.Kind || cell.Value.String() != c.want.String() {
+			t.Errorf("%s = %#v, want %#v", c.at, cell.Value, c.want)
+		}
+	}
+}
+
+func TestRoundTripFormulas(t *testing.T) {
+	s := workload.NewSheet("formulas")
+	s.SetValue(ref.MustCell("A1"), 1)
+	s.SetFormula(ref.MustCell("B1"), "SUM(A1:A3)*2")
+	s.SetFormula(ref.MustCell("B2"), `IF(A1>0,"pos","neg")`)
+
+	g := roundTrip(t, []*workload.Sheet{s}, WriteOptions{})[0]
+	if g.Cells[ref.MustCell("B1")].Formula != "SUM(A1:A3)*2" {
+		t.Errorf("B1 = %q", g.Cells[ref.MustCell("B1")].Formula)
+	}
+	if g.Cells[ref.MustCell("B2")].Formula != `IF(A1>0,"pos","neg")` {
+		t.Errorf("B2 = %q", g.Cells[ref.MustCell("B2")].Formula)
+	}
+}
+
+func TestSharedFormulaRoundTrip(t *testing.T) {
+	s := workload.NewSheet("shared")
+	rng := rand.New(rand.NewSource(1))
+	s.AddDataColumn(1, 30, rng)
+	s.AddSlidingWindow(2, 1, 3, 30)
+	s.AddRunningTotal(3, 1, 30)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, []*workload.Sheet{s}, WriteOptions{SharedFormulas: true}); err != nil {
+		t.Fatal(err)
+	}
+	// The shared encoding must actually be used: the shared file is smaller
+	// than the plain one because slave cells omit their formula text.
+	var plain bytes.Buffer
+	if err := Write(&plain, []*workload.Sheet{s}, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= plain.Len() {
+		t.Fatalf("shared-formula file (%d bytes) not smaller than plain (%d bytes)", buf.Len(), plain.Len())
+	}
+
+	got, err := Read(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got[0]
+	// Every formula must expand to the autofill-equivalent text.
+	if g.NumFormulas() != s.NumFormulas() {
+		t.Fatalf("formulas = %d, want %d", g.NumFormulas(), s.NumFormulas())
+	}
+	for at, c := range s.Cells {
+		if !c.IsFormula() {
+			continue
+		}
+		want := formula.Text(formula.MustParse(c.Formula))
+		gotC := g.Cells[at]
+		if !gotC.IsFormula() {
+			t.Fatalf("cell %v lost its formula", at)
+		}
+		if formula.Text(formula.MustParse(gotC.Formula)) != want {
+			t.Errorf("cell %v: %q, want %q", at, gotC.Formula, want)
+		}
+	}
+	// The dependency graphs must be identical.
+	a, b := s.MustDependencies(), g.MustDependencies()
+	if len(a) != len(b) {
+		t.Fatalf("deps %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dep %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMultiSheet(t *testing.T) {
+	a := workload.NewSheet("alpha")
+	a.SetValue(ref.MustCell("A1"), 1)
+	b := workload.NewSheet("beta")
+	b.SetFormula(ref.MustCell("A1"), "1+1")
+	got := roundTrip(t, []*workload.Sheet{a, b}, WriteOptions{})
+	if len(got) != 2 || got[0].Name != "alpha" || got[1].Name != "beta" {
+		t.Fatalf("sheets = %d", len(got))
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "test.xlsx")
+	s := workload.NewSheet("disk")
+	s.SetValue(ref.MustCell("A1"), 7)
+	s.SetFormula(ref.MustCell("B1"), "A1*3")
+	if err := WriteFile(name, []*workload.Sheet{s}, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Cells[ref.MustCell("B1")].Formula != "A1*3" {
+		t.Fatalf("formula lost: %+v", got[0].Cells)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a zip")), 9); err == nil {
+		t.Fatal("want error for non-zip input")
+	}
+}
+
+func TestCorpusThroughXLSX(t *testing.T) {
+	// The full pipeline the paper's prototype runs: generate sheets, write
+	// xlsx, parse xlsx, extract dependencies, compress. Graph sizes must
+	// match the direct path.
+	sheets := workload.Generate(workload.CorpusSpec{
+		Name: "rt", Sheets: 3, MedianRows: 60, MaxRows: 120, Seed: 77, MessyFraction: 0.1,
+	})
+	got := roundTrip(t, sheets, WriteOptions{SharedFormulas: true})
+	for i := range sheets {
+		want := core.Build(sheets[i].MustDependencies(), core.DefaultOptions())
+		have := core.Build(got[i].MustDependencies(), core.DefaultOptions())
+		if want.NumEdges() != have.NumEdges() || want.NumDependencies() != have.NumDependencies() {
+			t.Fatalf("sheet %d: graph (%d,%d) vs (%d,%d)", i,
+				want.NumEdges(), want.NumDependencies(), have.NumEdges(), have.NumDependencies())
+		}
+	}
+}
