@@ -1,0 +1,30 @@
+# Tier-1 gate: everything CI runs, runnable locally with `make check`.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench-server
+
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Refresh the serving perf baseline.
+bench-server:
+	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -json > BENCH_server.json
+	@cat BENCH_server.json

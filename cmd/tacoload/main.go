@@ -1,0 +1,316 @@
+// Command tacoload drives a tacoserve instance with a concurrent,
+// scenario-derived workload and reports throughput and latency percentiles.
+// It is the serving counterpart of cmd/tacobench: where tacobench measures
+// the graph substrate, tacoload measures the whole service — session
+// creation, batched edits through live TACO graphs, dependent queries, and
+// (when the server runs with -max-resident) spill/restore traffic.
+//
+// Usage:
+//
+//	tacoload [-addr http://host:8737] [-inproc] [-sessions 32] [-rows 100]
+//	         [-edits 200] [-batch 8] [-scenario mixed] [-seed 1]
+//	         [-max-resident 0] [-json]
+//
+// With -inproc (the default when -addr is empty) the service is hosted
+// inside the process on a loopback listener, so a single command produces a
+// self-contained benchmark. -json emits the machine-readable report written
+// to BENCH_server.json.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"taco/internal/ref"
+	"taco/internal/server"
+	"taco/internal/stats"
+	"taco/internal/workload"
+)
+
+type config struct {
+	Addr        string `json:"addr,omitempty"`
+	InProc      bool   `json:"inproc"`
+	Sessions    int    `json:"sessions"`
+	Rows        int    `json:"rows"`
+	Edits       int    `json:"edits_per_session"`
+	Batch       int    `json:"batch_size"`
+	Scenario    string `json:"scenario"`
+	Seed        int64  `json:"seed"`
+	MaxResident int    `json:"max_resident"`
+}
+
+// report is the machine-readable output schema of -json (and the checked-in
+// BENCH_server.json baseline).
+type report struct {
+	Bench         string                          `json:"bench"`
+	Config        config                          `json:"config"`
+	ElapsedMs     float64                         `json:"elapsed_ms"`
+	Requests      int                             `json:"requests"`
+	EditsApplied  int                             `json:"edits_applied"`
+	RequestsPerS  float64                         `json:"requests_per_sec"`
+	EditsPerS     float64                         `json:"edits_per_sec"`
+	Latency       map[string]stats.LatencySummary `json:"latency_ms"`
+	Store         server.StoreStats               `json:"store"`
+	DirtyPerBatch float64                         `json:"mean_dirty_cells_per_batch"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "target server base URL (empty: host in-process)")
+	inproc := flag.Bool("inproc", false, "host the server in-process on a loopback listener")
+	sessions := flag.Int("sessions", 32, "concurrent sessions")
+	rows := flag.Int("rows", 100, "scenario size per session")
+	edits := flag.Int("edits", 200, "edits per session")
+	batch := flag.Int("batch", 8, "edits per batch request")
+	scenario := flag.String("scenario", "mixed", "workload scenario: financial|inventory|gradebook|planning|mixed")
+	seed := flag.Int64("seed", 1, "workload seed")
+	maxResident := flag.Int("max-resident", 0, "in-process server only: session cap forcing spill traffic")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
+	flag.Parse()
+
+	if *sessions < 1 || *rows < 1 || *edits < 1 || *batch < 1 {
+		fmt.Fprintln(os.Stderr, "tacoload: -sessions, -rows, -edits, and -batch must all be >= 1")
+		os.Exit(2)
+	}
+	cfg := config{
+		Addr: *addr, InProc: *addr == "" || *inproc, Sessions: *sessions, Rows: *rows,
+		Edits: *edits, Batch: *batch, Scenario: *scenario, Seed: *seed, MaxResident: *maxResident,
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tacoload: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		return
+	}
+	printReport(rep)
+}
+
+func run(cfg config) (*report, error) {
+	base := cfg.Addr
+	client := http.DefaultClient
+	if cfg.InProc {
+		spill, err := os.MkdirTemp("", "tacoload-spill")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(spill)
+		srv, err := server.NewServer(server.Options{Store: server.StoreOptions{
+			MaxResident: cfg.MaxResident, SpillDir: spill,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	scenarios := []string{cfg.Scenario}
+	if cfg.Scenario == "mixed" {
+		scenarios = workload.ScenarioNames
+	}
+
+	type sample struct {
+		kind string
+		ms   float64
+	}
+	var mu sync.Mutex
+	var samples []sample
+	editsApplied := 0
+	dirtyTotal, batches := 0, 0
+	record := func(kind string, start time.Time) {
+		mu.Lock()
+		samples = append(samples, sample{kind, float64(time.Since(start).Microseconds()) / 1000})
+		mu.Unlock()
+	}
+
+	begin := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, cfg.Sessions)
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scen := scenarios[i%len(scenarios)]
+			seed := cfg.Seed + int64(i)
+			// Create the session from a generated scenario (bulk path).
+			start := time.Now()
+			var info server.SessionInfo
+			if err := call(client, "POST", base+"/sessions",
+				server.CreateRequest{Name: fmt.Sprintf("load%d", i), Scenario: scen, Rows: cfg.Rows, Seed: seed},
+				&info); err != nil {
+				errc <- fmt.Errorf("session %d create: %w", i, err)
+				return
+			}
+			record("create", start)
+
+			// The same sheet, regenerated locally, scripts the edit stream.
+			sheet, err := workload.BuildScenario(scen, cfg.Rows, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				errc <- err
+				return
+			}
+			rng := rand.New(rand.NewSource(seed + 10000))
+			stream := workload.EditStream(sheet, cfg.Edits, rng)
+			queries := workload.QueryStream(sheet, cfg.Edits/cfg.Batch+1, rng)
+
+			for b := 0; b*cfg.Batch < len(stream); b++ {
+				lo := b * cfg.Batch
+				hi := min(lo+cfg.Batch, len(stream))
+				eb := server.EditBatch{}
+				for _, e := range stream[lo:hi] {
+					op := server.EditOp{Cell: ref.FormatA1(e.At)}
+					switch e.Kind {
+					case workload.EditValue:
+						v := e.Value
+						op.Value = &v
+					case workload.EditFormula:
+						f := e.Formula
+						op.Formula = &f
+					case workload.EditClear:
+						op.Clear = true
+					}
+					eb.Edits = append(eb.Edits, op)
+				}
+				start := time.Now()
+				var res server.EditResult
+				if err := call(client, "POST", base+"/sessions/"+info.ID+"/edits", eb, &res); err != nil {
+					errc <- fmt.Errorf("session %d batch %d: %w", i, b, err)
+					return
+				}
+				record("edits", start)
+				mu.Lock()
+				editsApplied += res.Applied
+				dirtyTotal += res.DirtyCells
+				batches++
+				mu.Unlock()
+
+				// Interleave a dependents query — the TACO headline op.
+				q := queries[b%len(queries)]
+				start = time.Now()
+				if err := call(client, "GET", base+"/sessions/"+info.ID+"/dependents?of="+q.String(), nil, nil); err != nil {
+					errc <- fmt.Errorf("session %d query: %w", i, err)
+					return
+				}
+				record("dependents", start)
+			}
+
+			// A final range read.
+			start = time.Now()
+			if err := call(client, "GET", base+"/sessions/"+info.ID+"/cells?range=A1:H10", nil, nil); err != nil {
+				errc <- fmt.Errorf("session %d read: %w", i, err)
+				return
+			}
+			record("cells", start)
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(begin)
+
+	var st server.StoreStats
+	if err := call(client, "GET", base+"/stats", nil, &st); err != nil {
+		return nil, err
+	}
+
+	byKind := map[string][]float64{}
+	for _, s := range samples {
+		byKind[s.kind] = append(byKind[s.kind], s.ms)
+	}
+	lat := make(map[string]stats.LatencySummary, len(byKind))
+	for k, v := range byKind {
+		lat[k] = stats.Summarize(v)
+	}
+	rep := &report{
+		Bench:        "server",
+		Config:       cfg,
+		ElapsedMs:    float64(elapsed.Microseconds()) / 1000,
+		Requests:     len(samples),
+		EditsApplied: editsApplied,
+		RequestsPerS: float64(len(samples)) / elapsed.Seconds(),
+		EditsPerS:    float64(editsApplied) / elapsed.Seconds(),
+		Latency:      lat,
+		Store:        st,
+	}
+	if batches > 0 {
+		rep.DirtyPerBatch = float64(dirtyTotal) / float64(batches)
+	}
+	return rep, nil
+}
+
+// call performs one JSON request; non-2xx responses become errors carrying
+// the server's error body.
+func call(client *http.Client, method, url string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+func printReport(r *report) {
+	fmt.Printf("tacoload: %d sessions x %d edits (batch %d, scenario %s)\n",
+		r.Config.Sessions, r.Config.Edits, r.Config.Batch, r.Config.Scenario)
+	fmt.Printf("elapsed %.1fms  |  %d requests (%.0f req/s)  |  %d edits (%.0f edits/s)  |  mean dirty/batch %.1f\n\n",
+		r.ElapsedMs, r.Requests, r.RequestsPerS, r.EditsApplied, r.EditsPerS, r.DirtyPerBatch)
+	tbl := stats.NewTable("op", "count", "mean", "p50", "p90", "p99", "max")
+	for _, k := range []string{"create", "edits", "dependents", "cells"} {
+		s, ok := r.Latency[k]
+		if !ok {
+			continue
+		}
+		tbl.AddRow(k, s.Count, fmtMs(s.MeanMs), fmtMs(s.P50Ms), fmtMs(s.P90Ms), fmtMs(s.P99Ms), fmtMs(s.MaxMs))
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("\nstore: %d sessions (%d resident, %d spilled), %d evictions, %d restores\n",
+		r.Store.Sessions, r.Store.Resident, r.Store.Spilled, r.Store.Evictions, r.Store.Restores)
+}
+
+func fmtMs(v float64) string { return fmt.Sprintf("%.3fms", v) }

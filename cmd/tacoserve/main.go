@@ -1,0 +1,76 @@
+// Command tacoserve runs the multi-tenant spreadsheet service: many
+// concurrent workbook sessions, each backed by a TACO compressed formula
+// graph, behind a JSON HTTP API.
+//
+// Usage:
+//
+//	tacoserve [-addr :8737] [-shards 16] [-max-resident 0] [-spill-dir DIR]
+//
+// Endpoints:
+//
+//	POST   /sessions                   create (blank or {"scenario":...,"rows":...})
+//	POST   /sessions/xlsx              create from an uploaded .xlsx body
+//	GET    /sessions                   list sessions
+//	GET    /sessions/{id}              session stats (rev, cells, graph sizes)
+//	DELETE /sessions/{id}              drop a session
+//	POST   /sessions/{id}/edits        batched edits {"edits":[{"cell":"B2","value":3},...]}
+//	GET    /sessions/{id}/cells        ?at=B2 or ?range=A1:C10
+//	GET    /sessions/{id}/dependents   ?of=A1:A3
+//	GET    /sessions/{id}/precedents   ?of=B2
+//	GET    /stats                      store-wide stats
+//
+// With -max-resident N, at most N sessions stay in memory; colder ones are
+// spilled to -spill-dir as engine snapshots and restored lazily when touched.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"taco/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8737", "listen address")
+	shards := flag.Int("shards", 16, "session store shard count")
+	maxResident := flag.Int("max-resident", 0, "max in-memory sessions (0 = unlimited)")
+	spillDir := flag.String("spill-dir", "", "directory for evicted session snapshots (required with -max-resident)")
+	flag.Parse()
+
+	srv, err := server.NewServer(server.Options{Store: server.StoreOptions{
+		Shards:      *shards,
+		MaxResident: *maxResident,
+		SpillDir:    *spillDir,
+	}})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tacoserve: %v\n", err)
+		os.Exit(2)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("tacoserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}()
+
+	log.Printf("tacoserve: listening on %s (shards=%d max-resident=%d)", *addr, *shards, *maxResident)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("tacoserve: %v", err)
+	}
+	<-done
+}

@@ -1,0 +1,3 @@
+module taco
+
+go 1.24.0

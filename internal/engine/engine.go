@@ -12,6 +12,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"taco/internal/core"
 	"taco/internal/formula"
@@ -76,6 +77,9 @@ type cell struct {
 type Engine struct {
 	graph Graph
 	cells map[ref.Ref]*cell
+	// nformulas counts formula cells, maintained on every mutation so
+	// serving-layer stats reads are O(1) instead of scanning the cell map.
+	nformulas int
 	// evaluating guards against reference cycles during recalculation.
 	evaluating map[ref.Ref]bool
 }
@@ -93,44 +97,113 @@ func New(g Graph) *Engine {
 	}
 }
 
+// setCell installs a cell record, maintaining the formula count.
+func (e *Engine) setCell(at ref.Ref, c *cell) {
+	if old, ok := e.cells[at]; ok && old.ast != nil {
+		e.nformulas--
+	}
+	if c.ast != nil {
+		e.nformulas++
+	}
+	e.cells[at] = c
+}
+
+// populate fills the engine's cell store from a sheet: values clean,
+// formulae parsed and dirty. Graph construction is the caller's job — Load
+// feeds dependencies through the incremental path, LoadBulk through the
+// streaming compressor.
+func (e *Engine) populate(s *workload.Sheet) error {
+	for at, c := range s.Cells {
+		if c.IsFormula() {
+			ast, err := formula.Parse(c.Formula)
+			if err != nil {
+				return fmt.Errorf("engine: cell %v: %w", at, err)
+			}
+			e.setCell(at, &cell{ast: ast, src: c.Formula, dirty: true})
+		} else {
+			e.setCell(at, &cell{value: c.Value})
+		}
+	}
+	return nil
+}
+
 // Load populates the engine from a workload sheet and evaluates everything.
 func Load(s *workload.Sheet, g Graph) (*Engine, error) {
 	e := New(g)
-	// Values first so formulae see them, then formulae column-major.
-	for at, c := range s.Cells {
-		if !c.IsFormula() {
-			e.cells[at] = &cell{value: c.Value}
-		}
+	if err := e.populate(s); err != nil {
+		return nil, err
 	}
 	deps, err := s.Dependencies()
 	if err != nil {
 		return nil, err
 	}
-	added := map[ref.Ref]bool{}
 	for _, d := range deps {
-		if !added[d.Dep] {
-			added[d.Dep] = true
-			src := s.Cells[d.Dep].Formula
-			ast, err := formula.Parse(src)
-			if err != nil {
-				return nil, fmt.Errorf("engine: cell %v: %w", d.Dep, err)
-			}
-			e.cells[d.Dep] = &cell{ast: ast, src: src, dirty: true}
-		}
 		e.graph.Add(d)
 	}
-	// Formula cells with no references still need registration.
+	e.RecalculateAll()
+	return e, nil
+}
+
+// ParsedCell is a pre-parsed cell for LoadBulkParsed: a formula (Src + AST)
+// or a pure value. Callers that already parsed their input — batch
+// validation, file loaders — hand the ASTs over instead of paying a second
+// parse.
+type ParsedCell struct {
+	At    ref.Ref
+	Src   string       // formula source ("" for value cells)
+	AST   formula.Node // nil for value cells
+	Value formula.Value
+}
+
+// LoadBulkParsed builds an engine from pre-parsed cells through the
+// column-major streaming bulk path (core.BuildBulk), which skips the
+// per-dependency candidate search. Cells may arrive in any order (at most
+// one per ref); dependencies are derived in column-major order, the order
+// that gives the streaming compressor its adjacent runs.
+func LoadBulkParsed(pcells []ParsedCell) *Engine {
+	ordered := append([]ParsedCell(nil), pcells...)
+	sort.Slice(ordered, func(i, j int) bool { return ref.ColumnMajorLess(ordered[i].At, ordered[j].At) })
+	var deps []core.Dependency
+	for _, c := range ordered {
+		if c.AST == nil {
+			continue
+		}
+		for _, r := range formula.Refs(c.AST) {
+			deps = append(deps, core.Dependency{
+				Prec: r.At, Dep: c.At, HeadFixed: r.HeadFixed, TailFixed: r.TailFixed,
+			})
+		}
+	}
+	e := New(TACO{G: core.BuildBulk(deps, core.DefaultOptions())})
+	for _, c := range ordered {
+		if c.AST != nil {
+			e.setCell(c.At, &cell{ast: c.AST, src: c.Src, dirty: true})
+		} else {
+			e.setCell(c.At, &cell{value: c.Value})
+		}
+	}
+	e.RecalculateAll()
+	return e
+}
+
+// LoadBulk populates an engine from a workload sheet like Load, but through
+// the bulk path. Each formula is parsed exactly once. Use it when
+// materialising a whole sheet at once — fresh server sessions, file opens —
+// and Load/SetFormula for interactive edits.
+func LoadBulk(s *workload.Sheet) (*Engine, error) {
+	pcells := make([]ParsedCell, 0, len(s.Cells))
 	for at, c := range s.Cells {
-		if c.IsFormula() && e.cells[at] == nil {
+		if c.IsFormula() {
 			ast, err := formula.Parse(c.Formula)
 			if err != nil {
 				return nil, fmt.Errorf("engine: cell %v: %w", at, err)
 			}
-			e.cells[at] = &cell{ast: ast, src: c.Formula, dirty: true}
+			pcells = append(pcells, ParsedCell{At: at, Src: c.Formula, AST: ast})
+		} else {
+			pcells = append(pcells, ParsedCell{At: at, Value: c.Value})
 		}
 	}
-	e.RecalculateAll()
-	return e, nil
+	return LoadBulkParsed(pcells), nil
 }
 
 // Value returns the current (possibly cached) value of a cell.
@@ -179,7 +252,7 @@ func (e *Engine) SetValue(at ref.Ref, v formula.Value) []ref.Range {
 	if old, ok := e.cells[at]; ok && old.ast != nil {
 		e.graph.Clear(ref.CellRange(at))
 	}
-	e.cells[at] = &cell{value: v}
+	e.setCell(at, &cell{value: v})
 	return e.invalidate(at)
 }
 
@@ -190,6 +263,13 @@ func (e *Engine) SetFormula(at ref.Ref, src string) ([]ref.Range, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.SetFormulaParsed(at, src, ast), nil
+}
+
+// SetFormulaParsed is SetFormula for a formula the caller already parsed —
+// batch endpoints validate whole batches up front and must not pay for a
+// second parse per edit.
+func (e *Engine) SetFormulaParsed(at ref.Ref, src string, ast formula.Node) []ref.Range {
 	if old, ok := e.cells[at]; ok && old.ast != nil {
 		e.graph.Clear(ref.CellRange(at))
 	}
@@ -198,15 +278,15 @@ func (e *Engine) SetFormula(at ref.Ref, src string) ([]ref.Range, error) {
 			Prec: r.At, Dep: at, HeadFixed: r.HeadFixed, TailFixed: r.TailFixed,
 		})
 	}
-	e.cells[at] = &cell{ast: ast, src: src, dirty: true}
-	dirty := e.invalidate(at)
-	return dirty, nil
+	e.setCell(at, &cell{ast: ast, src: src, dirty: true})
+	return e.invalidate(at)
 }
 
 // ClearCell removes a cell entirely.
 func (e *Engine) ClearCell(at ref.Ref) []ref.Range {
 	if old, ok := e.cells[at]; ok && old.ast != nil {
 		e.graph.Clear(ref.CellRange(at))
+		e.nformulas--
 	}
 	delete(e.cells, at)
 	return e.invalidate(at)
@@ -255,3 +335,15 @@ func (e *Engine) Precedents(r ref.Range) []ref.Range { return e.graph.Precedents
 
 // NumCells returns the number of populated cells.
 func (e *Engine) NumCells() int { return len(e.cells) }
+
+// NumFormulas returns the number of formula cells.
+func (e *Engine) NumFormulas() int { return e.nformulas }
+
+// GraphStats returns the compressed graph's size statistics. ok is false
+// when the engine drives a non-TACO backend.
+func (e *Engine) GraphStats() (core.Stats, bool) {
+	if tg, ok := e.graph.(TACO); ok {
+		return tg.G.Stats(), true
+	}
+	return core.Stats{}, false
+}

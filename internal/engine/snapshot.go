@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"taco/internal/core"
+	"taco/internal/formula"
+	"taco/internal/ref"
+)
+
+// This file implements engine-level snapshotting: serialising a whole live
+// session — the sparse cell store plus its compressed formula graph — so a
+// multi-tenant host can spill cold sessions to disk and restore them lazily
+// without recompression or re-evaluation. The cell section carries cached
+// values, so a restored engine answers reads immediately; the graph section
+// reuses the core snapshot format (and its bulk-loaded R-tree restore).
+//
+// Format:
+//
+//	magic "TACOE1" | cell count N | N cell records | core graph snapshot
+//
+// Each cell record: col uvarint, row uvarint, kind byte, then the payload.
+// Kind 0 is a value cell (value only), kind 1 a formula with its cached
+// value (source + value), kind 2 a formula without a cached value (source
+// only — restored dirty and recomputed on first read; used when the cached
+// value is itself too large to snapshot). Values are a formula.Kind byte
+// plus a kind-specific payload.
+
+var engineSnapshotMagic = []byte("TACOE1")
+
+// ErrBadEngineSnapshot is returned when decoding malformed session data.
+var ErrBadEngineSnapshot = errors.New("engine: malformed engine snapshot")
+
+// MaxSnapshotString bounds formula/text lengths — enforced symmetrically on
+// encode and decode, so any snapshot that was written can be read back
+// (spill must never strand a session) while a corrupt or hostile snapshot
+// fails with ErrBadEngineSnapshot instead of attempting a multi-gigabyte
+// allocation inside a multi-tenant host. maxCellsHint bounds only the
+// decoder's up-front allocation.
+const (
+	MaxSnapshotString = 4 << 20
+	maxCellsHint      = 1 << 16
+)
+
+// WriteSnapshot serialises the engine. Dirty cells are recalculated first so
+// the stored values are authoritative, which lets RestoreSnapshot mark every
+// cell clean. Engines driving a non-TACO graph backend cannot be
+// snapshotted.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	tg, ok := e.graph.(TACO)
+	if !ok {
+		return errors.New("engine: only TACO-backed engines support snapshots")
+	}
+	e.RecalculateAll()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(engineSnapshotMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putString := func(s string) error {
+		if len(s) > MaxSnapshotString {
+			return fmt.Errorf("engine: cannot snapshot string of %d bytes (limit %d)", len(s), MaxSnapshotString)
+		}
+		if err := putUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	// Deterministic column-major order so equal engines produce identical
+	// bytes, mirroring the core snapshot's guarantee.
+	cells := make([]ref.Ref, 0, len(e.cells))
+	for at := range e.cells {
+		cells = append(cells, at)
+	}
+	sort.Slice(cells, func(i, j int) bool { return ref.ColumnMajorLess(cells[i], cells[j]) })
+	if err := putUvarint(uint64(len(cells))); err != nil {
+		return err
+	}
+	for _, at := range cells {
+		c := e.cells[at]
+		if err := putUvarint(uint64(at.Col)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(at.Row)); err != nil {
+			return err
+		}
+		kind := byte(0)
+		if c.ast != nil {
+			kind = 1
+			// A computed value can outgrow the snapshot string limit (string
+			// concatenation compounds); it is only a cache, so persist the
+			// formula alone and let the restored engine recompute it.
+			if c.value.Kind == formula.KindString && len(c.value.Str) > MaxSnapshotString {
+				kind = 2
+			}
+		}
+		if err := bw.WriteByte(kind); err != nil {
+			return err
+		}
+		if kind != 0 {
+			if err := putString(c.src); err != nil {
+				return err
+			}
+		}
+		if kind == 2 {
+			continue
+		}
+		if err := writeValue(bw, putUvarint, putString, c.value); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return tg.G.WriteSnapshot(w)
+}
+
+func writeValue(bw *bufio.Writer, putUvarint func(uint64) error, putString func(string) error, v formula.Value) error {
+	if err := bw.WriteByte(byte(v.Kind)); err != nil {
+		return err
+	}
+	switch v.Kind {
+	case formula.KindEmpty:
+		return nil
+	case formula.KindNumber:
+		return putUvarint(math.Float64bits(v.Num))
+	case formula.KindString:
+		return putString(v.Str)
+	case formula.KindBool:
+		b := byte(0)
+		if v.Bool {
+			b = 1
+		}
+		return bw.WriteByte(b)
+	case formula.KindError:
+		return putString(v.Err)
+	default:
+		return fmt.Errorf("engine: cannot snapshot value kind %d", v.Kind)
+	}
+}
+
+// RestoreSnapshot loads an engine written by WriteSnapshot. Cells are
+// restored with their cached values (formulae whose cached value was too
+// large to persist come back dirty and recompute on first read); the graph
+// is bulk-loaded through the core snapshot path, so no dependency is
+// recompressed.
+func RestoreSnapshot(r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(engineSnapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEngineSnapshot, err)
+	}
+	if string(magic) != string(engineSnapshotMagic) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadEngineSnapshot, magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEngineSnapshot, err)
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > MaxSnapshotString {
+			return "", fmt.Errorf("string length %d exceeds limit", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	// The cell loop fails naturally on truncated input; only the up-front
+	// allocation hint needs bounding against a hostile count.
+	cells := make(map[ref.Ref]*cell, int(min(count, maxCellsHint)))
+	nformulas := 0
+	for i := uint64(0); i < count; i++ {
+		col, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+		}
+		row, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+		}
+		at := ref.Ref{Col: int(col), Row: int(row)}
+		if !at.Valid() {
+			return nil, fmt.Errorf("%w: cell %d: invalid ref %v", ErrBadEngineSnapshot, i, at)
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+		}
+		c := &cell{}
+		if kind == 1 || kind == 2 {
+			src, err := readString()
+			if err != nil {
+				return nil, fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+			}
+			ast, err := formula.Parse(src)
+			if err != nil {
+				return nil, fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+			}
+			c.ast, c.src = ast, src
+			nformulas++
+		} else if kind != 0 {
+			return nil, fmt.Errorf("%w: cell %d: unknown cell kind %d", ErrBadEngineSnapshot, i, kind)
+		}
+		if kind == 2 {
+			c.dirty = true // no cached value; recomputed on first read
+		} else {
+			v, err := readValue(br, readString)
+			if err != nil {
+				return nil, fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+			}
+			c.value = v
+		}
+		cells[at] = c
+	}
+	g, err := core.ReadSnapshot(br, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		graph:      TACO{G: g},
+		cells:      cells,
+		nformulas:  nformulas,
+		evaluating: make(map[ref.Ref]bool),
+	}, nil
+}
+
+func readValue(br *bufio.Reader, readString func() (string, error)) (formula.Value, error) {
+	kb, err := br.ReadByte()
+	if err != nil {
+		return formula.Value{}, err
+	}
+	switch formula.Kind(kb) {
+	case formula.KindEmpty:
+		return formula.Empty(), nil
+	case formula.KindNumber:
+		u, err := binary.ReadUvarint(br)
+		if err != nil {
+			return formula.Value{}, err
+		}
+		return formula.Num(math.Float64frombits(u)), nil
+	case formula.KindString:
+		s, err := readString()
+		if err != nil {
+			return formula.Value{}, err
+		}
+		return formula.Str(s), nil
+	case formula.KindBool:
+		b, err := br.ReadByte()
+		if err != nil {
+			return formula.Value{}, err
+		}
+		return formula.Boolean(b != 0), nil
+	case formula.KindError:
+		s, err := readString()
+		if err != nil {
+			return formula.Value{}, err
+		}
+		return formula.Errorf(s), nil
+	default:
+		return formula.Value{}, fmt.Errorf("unknown value kind %d", kb)
+	}
+}

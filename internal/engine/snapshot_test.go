@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"taco/internal/formula"
+	"taco/internal/ref"
+	"taco/internal/workload"
+)
+
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	for _, name := range workload.ScenarioNames {
+		t.Run(name, func(t *testing.T) {
+			sheet, err := workload.BuildScenario(name, 60, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := Load(sheet, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := e.WriteSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			r, err := RestoreSnapshot(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.NumCells() != e.NumCells() {
+				t.Fatalf("cells = %d, want %d", r.NumCells(), e.NumCells())
+			}
+			for at := range sheet.Cells {
+				a, b := e.Value(at), r.Value(at)
+				if a.String() != b.String() {
+					t.Fatalf("cell %v: %v vs restored %v", at, a, b)
+				}
+				if r.Formula(at) != e.Formula(at) {
+					t.Fatalf("cell %v: formula %q vs restored %q", at, e.Formula(at), r.Formula(at))
+				}
+			}
+			// Dependency queries survive the round trip.
+			seed := ref.MustRange("A1")
+			if got, want := countCells(r.Dependents(seed)), countCells(e.Dependents(seed)); got != want {
+				t.Fatalf("dependents = %d cells, want %d", got, want)
+			}
+			// The restored engine stays live: edits propagate. (Planning is
+			// row-major: the data row is 2, not column B.)
+			edit := ref.MustCell("B1")
+			if name == "planning" {
+				edit = ref.MustCell("A2")
+			}
+			dirty := r.SetValue(edit, formula.Num(9999))
+			if len(dirty) == 0 {
+				t.Fatal("edit on restored engine produced no dirty set")
+			}
+			r.RecalculateAll()
+		})
+	}
+}
+
+func TestEngineSnapshotDeterministic(t *testing.T) {
+	sheet := workload.FinancialModel(30, rand.New(rand.NewSource(3)))
+	e, err := Load(sheet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := e.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshots of the same engine differ")
+	}
+}
+
+func TestSnapshotOversizedComputedValue(t *testing.T) {
+	// A computed string can exceed MaxSnapshotString even when every source
+	// string is within it (concatenation compounds). The snapshot must still
+	// round-trip: the cached value is dropped and recomputed on read.
+	e := New(nil)
+	big := strings.Repeat("x", MaxSnapshotString/2+1)
+	e.SetValue(ref.MustCell("A1"), formula.Str(big))
+	if _, err := e.SetFormula(ref.MustCell("B1"), "A1&A1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SetFormula(ref.MustCell("C1"), "LEN(A1)"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("snapshot failed on oversized computed value: %v", err)
+	}
+	r, err := RestoreSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Value(ref.MustCell("B1")); len(got.Str) != len(big)*2 {
+		t.Fatalf("B1 recomputed to %d bytes, want %d", len(got.Str), len(big)*2)
+	}
+	if got, want := r.Value(ref.MustCell("C1")), e.Value(ref.MustCell("C1")); got.Num != want.Num {
+		t.Fatalf("C1 = %v, want %v", got, want)
+	}
+	if r.NumFormulas() != 2 {
+		t.Fatalf("formulas = %d", r.NumFormulas())
+	}
+}
+
+func TestRestoreSnapshotRejectsCorruptInput(t *testing.T) {
+	sheet := workload.FinancialModel(10, rand.New(rand.NewSource(1)))
+	e, err := Load(sheet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOTTACO"),
+		"truncated": good[:len(good)/2],
+		// Magic followed by a huge cell count: must error, not allocate.
+		"huge count": append([]byte("TACOE1"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f),
+		// Valid header, then a formula-cell record claiming a ~2^62-byte
+		// source string: must hit the length cap, not make([]byte, 2^62).
+		"huge string": append([]byte("TACOE1"),
+			1,    // 1 cell
+			1, 1, // A1
+			1, // formula cell
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x3f),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := RestoreSnapshot(bytes.NewReader(data)); err == nil {
+				t.Fatal("corrupt snapshot restored without error")
+			}
+		})
+	}
+}
+
+func TestLoadBulkMatchesLoad(t *testing.T) {
+	sheet := workload.InventoryTracker(120, rand.New(rand.NewSource(5)))
+	inc, err := Load(sheet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := LoadBulk(sheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for at := range sheet.Cells {
+		a, b := inc.Value(at), bulk.Value(at)
+		if a.String() != b.String() {
+			t.Fatalf("cell %v: incremental %v vs bulk %v", at, a, b)
+		}
+	}
+	seed := ref.MustRange("B1")
+	if got, want := countCells(bulk.Dependents(seed)), countCells(inc.Dependents(seed)); got != want {
+		t.Fatalf("dependents = %d cells, want %d", got, want)
+	}
+}
+
+func countCells(rs []ref.Range) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Size()
+	}
+	return n
+}

@@ -57,6 +57,16 @@ func (r Ref) Before(b Ref) bool {
 // String renders the cell in A1 notation.
 func (r Ref) String() string { return FormatA1(r) }
 
+// ColumnMajorLess orders cells column by column, top to bottom — the load
+// order that hands the bulk compressor its adjacent runs and that keeps
+// snapshots deterministic. Every sorter feeding either path must use it.
+func ColumnMajorLess(a, b Ref) bool {
+	if a.Col != b.Col {
+		return a.Col < b.Col
+	}
+	return a.Row < b.Row
+}
+
 // Range is a rectangular region of cells identified by its top-left (Head)
 // and bottom-right (Tail) corners, inclusive on all sides.
 type Range struct {

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+
+	"taco/internal/ref"
+	"taco/internal/workload"
+)
+
+// TestManyConcurrentSessions is the serving acceptance demo in miniature:
+// 32+ sessions driven concurrently through the HTTP API with batched edits
+// and dependency queries, under an eviction cap tight enough that sessions
+// cycle through spill/restore while being served.
+func TestManyConcurrentSessions(t *testing.T) {
+	const sessions = 36
+	rows := 30
+	if testing.Short() {
+		rows = 10
+	}
+	_, tc := newTestServer(t, Options{Store: StoreOptions{
+		Shards: 8, MaxResident: sessions / 3,
+	}})
+
+	scenarios := workload.ScenarioNames
+	ids := make([]string, sessions)
+	sheets := make([]*workload.Sheet, sessions)
+	for i := range ids {
+		scen := scenarios[i%len(scenarios)]
+		var info SessionInfo
+		if code := tc.do("POST", "/sessions",
+			CreateRequest{Name: fmt.Sprintf("s%d", i), Scenario: scen, Rows: rows, Seed: int64(i)}, &info); code != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, code)
+		}
+		ids[i] = info.ID
+		sheet, err := workload.BuildScenario(scen, rows, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sheets[i] = sheet
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, sessions)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + i)))
+			edits := workload.EditStream(sheets[i], 30, rng)
+			queries := workload.QueryStream(sheets[i], 10, rng)
+			// Replay in batches of 5 with interleaved dependent queries.
+			for start := 0; start < len(edits); start += 5 {
+				batch := EditBatch{}
+				for _, e := range edits[start:min(start+5, len(edits))] {
+					op := EditOp{Cell: ref.FormatA1(e.At)}
+					switch e.Kind {
+					case workload.EditValue:
+						v := e.Value
+						op.Value = &v
+					case workload.EditFormula:
+						f := e.Formula
+						op.Formula = &f
+					case workload.EditClear:
+						op.Clear = true
+					}
+					batch.Edits = append(batch.Edits, op)
+				}
+				var res EditResult
+				if code := tc.do("POST", "/sessions/"+ids[i]+"/edits", batch, &res); code != http.StatusOK {
+					errc <- fmt.Errorf("session %d: edit batch status %d", i, code)
+					return
+				}
+				q := queries[(start/5)%len(queries)]
+				var qr QueryResult
+				if code := tc.do("GET", "/sessions/"+ids[i]+"/dependents?of="+q.String(), nil, &qr); code != http.StatusOK {
+					errc <- fmt.Errorf("session %d: query status %d", i, code)
+					return
+				}
+			}
+			// Final read sanity: the session still answers.
+			var cells []CellOut
+			if code := tc.do("GET", "/sessions/"+ids[i]+"/cells?range=A1:H5", nil, &cells); code != http.StatusOK {
+				errc <- fmt.Errorf("session %d: cells status %d", i, code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	var st StoreStats
+	tc.do("GET", "/stats", nil, &st)
+	if st.Sessions != sessions {
+		t.Fatalf("sessions = %d, want %d", st.Sessions, sessions)
+	}
+	if st.Resident > sessions/3 {
+		t.Fatalf("resident = %d exceeds cap %d", st.Resident, sessions/3)
+	}
+	if st.Evictions == 0 || st.Restores == 0 {
+		t.Fatalf("no spill traffic under cap: %+v", st)
+	}
+	t.Logf("store after run: %+v", st)
+}
+
+// TestConcurrentDeterminism replays the same edit stream into two sessions
+// concurrently (one touched enough to stay hot, one repeatedly evicted) and
+// verifies they converge to identical values — spilling is invisible to
+// session semantics.
+func TestConcurrentDeterminism(t *testing.T) {
+	_, tc := newTestServer(t, Options{Store: StoreOptions{Shards: 2, MaxResident: 1}})
+	sheet := workload.FinancialModel(25, rand.New(rand.NewSource(77)))
+	edits := workload.EditStream(sheet, 40, rand.New(rand.NewSource(78)))
+
+	var a, b SessionInfo
+	tc.do("POST", "/sessions", CreateRequest{Scenario: "financial", Rows: 25, Seed: 77}, &a)
+	tc.do("POST", "/sessions", CreateRequest{Scenario: "financial", Rows: 25, Seed: 77}, &b)
+
+	apply := func(id string) {
+		for _, e := range edits {
+			op := EditOp{Cell: ref.FormatA1(e.At)}
+			switch e.Kind {
+			case workload.EditValue:
+				v := e.Value
+				op.Value = &v
+			case workload.EditFormula:
+				f := e.Formula
+				op.Formula = &f
+			case workload.EditClear:
+				op.Clear = true
+			}
+			if code := tc.do("POST", "/sessions/"+id+"/edits", EditBatch{Edits: []EditOp{op}}, nil); code != http.StatusOK {
+				t.Errorf("session %s: status %d", id, code)
+				return
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); apply(a.ID) }()
+	go func() { defer wg.Done(); apply(b.ID) }()
+	wg.Wait()
+
+	var ca, cb []CellOut
+	tc.do("GET", "/sessions/"+a.ID+"/cells?range=A1:H25", nil, &ca)
+	tc.do("GET", "/sessions/"+b.ID+"/cells?range=A1:H25", nil, &cb)
+	if len(ca) == 0 || len(ca) != len(cb) {
+		t.Fatalf("cell counts: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("cell %d: %+v vs %+v", i, ca[i], cb[i])
+		}
+	}
+}

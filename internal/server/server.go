@@ -1,0 +1,585 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+
+	"taco/internal/core"
+	"taco/internal/engine"
+	"taco/internal/formula"
+	"taco/internal/ref"
+	"taco/internal/workload"
+	"taco/internal/xlsx"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Store options (sharding, eviction).
+	Store StoreOptions
+	// MaxUploadBytes caps .xlsx upload size (default 32 MiB).
+	MaxUploadBytes int64
+	// MaxBatchEdits caps the number of edits in one batch (default 10000).
+	MaxBatchEdits int
+	// MaxRangeCells caps the rectangle size of a cells read (default
+	// 65536): range iteration runs under the session lock, so unbounded
+	// rectangles would let one GET starve a session.
+	MaxRangeCells int
+	// MaxScenarioRows caps the size of generated scenario sessions
+	// (default 100000) so one create request cannot exhaust host memory.
+	MaxScenarioRows int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 32 << 20
+	}
+	if o.MaxBatchEdits <= 0 {
+		o.MaxBatchEdits = 10000
+	}
+	if o.MaxRangeCells <= 0 {
+		o.MaxRangeCells = 65536
+	}
+	if o.MaxScenarioRows <= 0 {
+		o.MaxScenarioRows = 100000
+	}
+	return o
+}
+
+// Server is the multi-tenant spreadsheet HTTP service. It implements
+// http.Handler; mount it directly or under a prefix.
+type Server struct {
+	opts  Options
+	store *Store
+	mux   *http.ServeMux
+}
+
+// NewServer builds a server with its session store.
+func NewServer(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	store, err := NewStore(opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{opts: opts, store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /sessions", s.handleCreate)
+	s.mux.HandleFunc("POST /sessions/xlsx", s.handleCreateXLSX)
+	s.mux.HandleFunc("GET /sessions", s.handleList)
+	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionStats)
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /sessions/{id}/edits", s.handleEdits)
+	s.mux.HandleFunc("GET /sessions/{id}/cells", s.handleCells)
+	s.mux.HandleFunc("GET /sessions/{id}/dependents", s.handleQuery(true))
+	s.mux.HandleFunc("GET /sessions/{id}/precedents", s.handleQuery(false))
+	s.mux.HandleFunc("GET /stats", s.handleStoreStats)
+	return s, nil
+}
+
+// Store exposes the underlying session store (load drivers, tests).
+func (s *Server) Store() *Store { return s.store }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---------------------------------------------------------------------------
+// Wire types
+// ---------------------------------------------------------------------------
+
+// CreateRequest creates a session: blank by default, or generated from a
+// named workload scenario.
+type CreateRequest struct {
+	Name     string `json:"name,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	Rows     int    `json:"rows,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+}
+
+// SessionInfo describes one session.
+type SessionInfo struct {
+	ID       string      `json:"id"`
+	Name     string      `json:"name,omitempty"`
+	Rev      uint64      `json:"rev"`
+	Resident bool        `json:"resident"`
+	Cells    int         `json:"cells,omitempty"`
+	Formulas int         `json:"formulas,omitempty"`
+	Graph    *core.Stats `json:"graph,omitempty"`
+}
+
+// EditOp is one operation of a batch. Exactly one of Value, Text, Formula,
+// Clear must be set.
+type EditOp struct {
+	Cell    string   `json:"cell"`
+	Value   *float64 `json:"value,omitempty"`
+	Text    *string  `json:"text,omitempty"`
+	Formula *string  `json:"formula,omitempty"`
+	Clear   bool     `json:"clear,omitempty"`
+}
+
+// EditBatch is the body of POST /sessions/{id}/edits.
+type EditBatch struct {
+	Edits []EditOp `json:"edits"`
+}
+
+// EditResult reports an applied batch.
+type EditResult struct {
+	Rev     uint64 `json:"rev"`
+	Applied int    `json:"applied"`
+	// DirtyCells is the total size of the dirty sets — the cells the
+	// asynchronous model marks before control returns.
+	DirtyCells int `json:"dirty_cells"`
+	// Bulk reports whether the batch took the column-major bulk-build path.
+	Bulk bool `json:"bulk"`
+}
+
+// CellOut is one cell in a read response.
+type CellOut struct {
+	Cell    string  `json:"cell"`
+	Kind    string  `json:"kind"`
+	Num     float64 `json:"num,omitempty"`
+	Str     string  `json:"str,omitempty"`
+	Bool    bool    `json:"bool,omitempty"`
+	Error   string  `json:"error,omitempty"`
+	Formula string  `json:"formula,omitempty"`
+}
+
+// QueryResult is a dependents/precedents answer.
+type QueryResult struct {
+	Of     string   `json:"of"`
+	Ranges []string `json:"ranges"`
+	Cells  int      `json:"cells"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrSessionNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrSessionDeleted):
+		return http.StatusGone
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	var eng *engine.Engine
+	if req.Scenario == "" {
+		eng = engine.New(nil)
+	} else {
+		rows := req.Rows
+		if rows <= 0 {
+			rows = 100
+		}
+		if rows > s.opts.MaxScenarioRows {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("rows %d exceeds limit %d", rows, s.opts.MaxScenarioRows))
+			return
+		}
+		sheet, err := workload.BuildScenario(req.Scenario, rows, rand.New(rand.NewSource(req.Seed)))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		eng, err = engine.LoadBulk(sheet)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	sess := s.store.Create(req.Name, eng)
+	writeJSON(w, http.StatusCreated, sessionInfo(sess))
+}
+
+func (s *Server) handleCreateXLSX(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxUploadBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if int64(len(body)) > s.opts.MaxUploadBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("upload exceeds %d bytes", s.opts.MaxUploadBytes))
+		return
+	}
+	sheets, err := xlsx.Read(bytes.NewReader(body), int64(len(body)))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parse xlsx: %w", err))
+		return
+	}
+	if len(sheets) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("xlsx has no sheets"))
+		return
+	}
+	sheet := sheets[0]
+	if want := r.URL.Query().Get("sheet"); want != "" {
+		sheet = nil
+		for _, sh := range sheets {
+			if sh.Name == want {
+				sheet = sh
+				break
+			}
+		}
+		if sheet == nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("xlsx has no sheet %q", want))
+			return
+		}
+	}
+	// Reject cell strings the spill path could not round-trip: a session
+	// must never be admitted that cannot later be snapshotted and restored.
+	var tooBig ref.Ref
+	for at, c := range sheet.Cells {
+		if len(c.Formula) > engine.MaxSnapshotString || len(c.Value.Str) > engine.MaxSnapshotString {
+			tooBig = at
+			break
+		}
+	}
+	if tooBig.Valid() {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("cell %v holds a string over the %d-byte limit", tooBig, engine.MaxSnapshotString))
+		return
+	}
+	eng, err := engine.LoadBulk(sheet)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = sheet.Name
+	}
+	sess := s.store.Create(name, eng)
+	writeJSON(w, http.StatusCreated, sessionInfo(sess))
+}
+
+// sessionInfo snapshots a session's metadata under its read lock without
+// faulting a spilled session back in (a spilled session reports Rev and
+// Resident=false only) and without touching LRU state — listing and stats
+// reads must not reorder eviction.
+func sessionInfo(sess *Session) SessionInfo {
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	info := SessionInfo{ID: sess.ID, Name: sess.Name, Rev: sess.rev}
+	if sess.eng != nil {
+		info.Resident = true
+		info.Cells = sess.eng.NumCells()
+		info.Formulas = sess.eng.NumFormulas()
+		if gs, ok := sess.eng.GraphStats(); ok {
+			info.Graph = &gs
+		}
+	}
+	return info
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	out := []SessionInfo{}
+	s.store.Each(func(sess *Session) bool {
+		out = append(out, sessionInfo(sess))
+		return true
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.store.Peek(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionInfo(sess))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.PathValue("id")); err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var batch EditBatch
+	// The same byte cap as uploads: json.Decoder buffers strings in full,
+	// so an unbounded body would sidestep every other per-request limit.
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode batch: %w", err))
+		return
+	}
+	if len(batch.Edits) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("empty edit batch"))
+		return
+	}
+	if len(batch.Edits) > s.opts.MaxBatchEdits {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d exceeds limit %d", len(batch.Edits), s.opts.MaxBatchEdits))
+		return
+	}
+	// Validate up front — cell refs, op shape, and formula syntax — so a
+	// batch is all-or-nothing: nothing is applied unless every op is valid.
+	ops, err := parseBatch(batch.Edits)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var res EditResult
+	err = s.store.Update(id, true, func(sess *Session, eng *engine.Engine) error {
+		applied, dirty, bulk := applyBatch(eng, ops)
+		res = EditResult{Rev: sess.rev + 1, Applied: applied, DirtyCells: dirty, Bulk: bulk}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type parsedOp struct {
+	at  ref.Ref
+	op  EditOp
+	ast formula.Node // pre-parsed formula (EditOp.Formula ops only)
+}
+
+type badEditError struct {
+	index int
+	err   error
+}
+
+func (e *badEditError) Error() string { return fmt.Sprintf("edit %d: %v", e.index, e.err) }
+func (e *badEditError) Unwrap() error { return e.err }
+
+// maxEditStringBytes caps formula and text payload sizes — kept below the
+// engine snapshot's string limit so no batch can build a session that the
+// spill path cannot round-trip.
+const maxEditStringBytes = 1 << 20
+
+func parseBatch(edits []EditOp) ([]parsedOp, error) {
+	ops := make([]parsedOp, len(edits))
+	for i, op := range edits {
+		at, err := ref.ParseA1(op.Cell)
+		if err != nil {
+			return nil, &badEditError{i, err}
+		}
+		if op.Formula != nil && len(*op.Formula) > maxEditStringBytes {
+			return nil, &badEditError{i, fmt.Errorf("formula of %d bytes exceeds limit %d", len(*op.Formula), maxEditStringBytes)}
+		}
+		if op.Text != nil && len(*op.Text) > maxEditStringBytes {
+			return nil, &badEditError{i, fmt.Errorf("text of %d bytes exceeds limit %d", len(*op.Text), maxEditStringBytes)}
+		}
+		set := 0
+		for _, on := range []bool{op.Value != nil, op.Text != nil, op.Formula != nil, op.Clear} {
+			if on {
+				set++
+			}
+		}
+		if set != 1 {
+			return nil, &badEditError{i, errors.New("exactly one of value, text, formula, clear required")}
+		}
+		var ast formula.Node
+		if op.Formula != nil {
+			ast, err = formula.Parse(*op.Formula)
+			if err != nil {
+				return nil, &badEditError{i, err}
+			}
+		}
+		ops[i] = parsedOp{at: at, op: op, ast: ast}
+	}
+	return ops, nil
+}
+
+// applyBatch applies parsed edits; parseBatch has already validated every
+// op, so application cannot fail. A batch of pure sets against a fresh
+// (empty) session takes the column-major bulk path: the already-parsed
+// cells go straight to the streaming compressor, exactly like a file open
+// and without a second parse.
+func applyBatch(eng *engine.Engine, ops []parsedOp) (applied, dirty int, bulk bool) {
+	if eng.NumCells() == 0 && !anyClear(ops) {
+		uniq := make(map[ref.Ref]parsedOp, len(ops)) // later ops win, as in sequential apply
+		for _, p := range ops {
+			uniq[p.at] = p
+		}
+		pcells := make([]engine.ParsedCell, 0, len(uniq))
+		for at, p := range uniq {
+			pc := engine.ParsedCell{At: at}
+			switch {
+			case p.op.Value != nil:
+				pc.Value = formula.Num(*p.op.Value)
+			case p.op.Text != nil:
+				pc.Value = formula.Str(*p.op.Text)
+			case p.op.Formula != nil:
+				pc.Src, pc.AST = *p.op.Formula, p.ast
+			}
+			pcells = append(pcells, pc)
+		}
+		*eng = *engine.LoadBulkParsed(pcells)
+		return len(ops), 0, true
+	}
+	for _, p := range ops {
+		switch {
+		case p.op.Value != nil:
+			dirty += countCells(eng.SetValue(p.at, formula.Num(*p.op.Value)))
+		case p.op.Text != nil:
+			dirty += countCells(eng.SetValue(p.at, formula.Str(*p.op.Text)))
+		case p.op.Formula != nil:
+			dirty += countCells(eng.SetFormulaParsed(p.at, *p.op.Formula, p.ast))
+		case p.op.Clear:
+			dirty += countCells(eng.ClearCell(p.at))
+		}
+		applied++
+	}
+	// No eager recalculation: the response returns after the dirty-set
+	// traversal (the asynchronous model's control-return point), and reads
+	// self-clean — Engine.Value evaluates dirty cells on demand, and the
+	// spill path recalculates before snapshotting.
+	return applied, dirty, false
+}
+
+func anyClear(ops []parsedOp) bool {
+	for _, p := range ops {
+		if p.op.Clear {
+			return true
+		}
+	}
+	return false
+}
+
+func countCells(rs []ref.Range) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Size()
+	}
+	return n
+}
+
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	var rng ref.Range
+	switch {
+	case q.Get("at") != "":
+		at, err := ref.ParseA1(q.Get("at"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		rng = ref.CellRange(at)
+	case q.Get("range") != "":
+		var err error
+		rng, err = ref.ParseRangeA1(q.Get("range"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, errors.New("need ?at=B2 or ?range=A1:C10"))
+		return
+	}
+	if rng.Size() > s.opts.MaxRangeCells {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("range of %d cells exceeds limit %d", rng.Size(), s.opts.MaxRangeCells))
+		return
+	}
+	out := []CellOut{}
+	// Update, not View: reading a dirty cell evaluates it.
+	err := s.store.Update(id, false, func(sess *Session, eng *engine.Engine) error {
+		rng.Cells(func(at ref.Ref) bool {
+			v := eng.Value(at)
+			src := eng.Formula(at)
+			if v.Kind == formula.KindEmpty && src == "" {
+				return true
+			}
+			out = append(out, cellOut(at, v, src))
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func cellOut(at ref.Ref, v formula.Value, src string) CellOut {
+	c := CellOut{Cell: ref.FormatA1(at), Formula: src}
+	switch v.Kind {
+	case formula.KindEmpty:
+		c.Kind = "empty"
+	case formula.KindNumber:
+		c.Kind, c.Num = "number", v.Num
+	case formula.KindString:
+		c.Kind, c.Str = "string", v.Str
+	case formula.KindBool:
+		c.Kind, c.Bool = "bool", v.Bool
+	case formula.KindError:
+		c.Kind, c.Error = "error", v.Err
+	}
+	return c
+}
+
+func (s *Server) handleQuery(dependents bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		of := r.URL.Query().Get("of")
+		if of == "" {
+			writeErr(w, http.StatusBadRequest, errors.New("need ?of=A1 or ?of=A1:B3"))
+			return
+		}
+		rng, err := ref.ParseRangeA1(of)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		var res QueryResult
+		err = s.store.View(id, func(sess *Session, eng *engine.Engine) error {
+			var rs []ref.Range
+			if dependents {
+				rs = eng.Dependents(rng)
+			} else {
+				rs = eng.Precedents(rng)
+			}
+			res = QueryResult{Of: rng.String(), Ranges: make([]string, len(rs)), Cells: countCells(rs)}
+			for i, rr := range rs {
+				res.Ranges[i] = rr.String()
+			}
+			return nil
+		})
+		if err != nil {
+			writeErr(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Stats())
+}

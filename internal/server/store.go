@@ -1,0 +1,473 @@
+// Package server is the multi-tenant serving layer: it hosts many concurrent
+// workbook sessions, each backed by an engine.Engine over its own TACO
+// graph, behind a sharded session store and a JSON HTTP API. This is the
+// DataSpread-style deployment the paper targets — compressed formula graphs
+// answering dependents queries and driving incremental recalculation for
+// live, concurrently edited spreadsheets.
+package server
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"taco/internal/engine"
+)
+
+// ErrSessionNotFound is returned for unknown session IDs.
+var ErrSessionNotFound = errors.New("server: session not found")
+
+// ErrSessionDeleted is returned when a request races a deletion.
+var ErrSessionDeleted = errors.New("server: session deleted")
+
+// StoreOptions configures the session store.
+type StoreOptions struct {
+	// Shards is the number of hash shards (default 16). More shards reduce
+	// contention on the session index; sessions themselves are locked
+	// individually.
+	Shards int
+	// MaxResident caps in-memory sessions across the store. When exceeded,
+	// the least recently used sessions are spilled to SpillDir as engine
+	// snapshots and restored lazily on next touch. 0 means unlimited.
+	MaxResident int
+	// SpillDir is where evicted sessions are written. Required when
+	// MaxResident > 0.
+	SpillDir string
+}
+
+func (o StoreOptions) withDefaults() StoreOptions {
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	return o
+}
+
+// Session is one hosted workbook session. The zero rev is the freshly
+// created state; every successful edit batch increments it, so clients can
+// detect missed updates cheaply.
+type Session struct {
+	// ID is the server-assigned session identifier.
+	ID string
+	// Name is the optional client-supplied label.
+	Name string
+
+	mu      sync.RWMutex
+	eng     *engine.Engine // nil while spilled
+	rev     uint64
+	deleted bool
+
+	shard *shard
+	elem  *list.Element // LRU position; nil while spilled (guarded by shard.mu)
+	// tick is the store-wide logical time of the last touch; eviction picks
+	// the resident session with the smallest tick across shard tails.
+	tick atomic.Uint64
+	// unevictable marks a session whose snapshot failed to write (disk
+	// full, oversized content). Eviction skips it so one bad session cannot
+	// stall the LRU and let residents grow unboundedly.
+	unevictable atomic.Bool
+}
+
+// Rev returns the session's revision counter.
+func (s *Session) Rev() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rev
+}
+
+// Resident reports whether the session is currently in memory.
+func (s *Session) Resident() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng != nil
+}
+
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	lru      *list.List // resident sessions; front = most recently used
+	resident int
+}
+
+// Store is the sharded session store. Sessions are hash-sharded by ID; each
+// shard has its own index lock and LRU list, and each session its own
+// RWMutex, so requests for different sessions never serialise on shared
+// state beyond the brief index lookup.
+type Store struct {
+	opts   StoreOptions
+	shards []*shard
+
+	clock     atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	restores  atomic.Uint64
+}
+
+// NewStore builds a session store. It creates SpillDir when eviction is
+// enabled.
+func NewStore(opts StoreOptions) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.MaxResident > 0 {
+		if opts.SpillDir == "" {
+			return nil, errors.New("server: MaxResident requires SpillDir")
+		}
+		if err := os.MkdirAll(opts.SpillDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	st := &Store{opts: opts, shards: make([]*shard, opts.Shards)}
+	for i := range st.shards {
+		st.shards[i] = &shard{sessions: make(map[string]*Session), lru: list.New()}
+	}
+	return st, nil
+}
+
+func (st *Store) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return st.shards[h.Sum32()%uint32(len(st.shards))]
+}
+
+func newSessionID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: session id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Create registers a new session around an engine and returns it. The
+// insertion may push the store over MaxResident, in which case the coldest
+// sessions are spilled before Create returns.
+func (st *Store) Create(name string, eng *engine.Engine) *Session {
+	s := &Session{ID: newSessionID(), Name: name, eng: eng}
+	s.tick.Store(st.clock.Add(1))
+	sh := st.shardFor(s.ID)
+	s.shard = sh
+	sh.mu.Lock()
+	sh.sessions[s.ID] = s
+	s.elem = sh.lru.PushFront(s)
+	sh.resident++
+	sh.mu.Unlock()
+	st.evictOverflow()
+	return s
+}
+
+// View runs fn with the session's engine under the session read lock. Safe
+// for graph queries and metadata; use Update for anything that can evaluate
+// or mutate cells (the engine evaluates lazily, so value reads are updates).
+func (st *Store) View(id string, fn func(*Session, *engine.Engine) error) error {
+	s, err := st.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.RLock()
+	if s.eng != nil && !s.deleted {
+		defer s.mu.RUnlock()
+		return fn(s, s.eng)
+	}
+	s.mu.RUnlock()
+	// Spilled (or racing a delete): take the write lock and restore.
+	return st.withResident(s, func(eng *engine.Engine) error { return fn(s, eng) })
+}
+
+// Update runs fn with the session's engine under the session write lock,
+// restoring it from its spill file first when necessary. When fn returns nil
+// and bumpRev is true, the revision counter is incremented.
+func (st *Store) Update(id string, bumpRev bool, fn func(*Session, *engine.Engine) error) error {
+	s, err := st.lookup(id)
+	if err != nil {
+		return err
+	}
+	return st.withResident(s, func(eng *engine.Engine) error {
+		if err := fn(s, eng); err != nil {
+			return err
+		}
+		if bumpRev {
+			s.rev++
+		}
+		return nil
+	})
+}
+
+// Peek finds a session without touching its LRU position or miss/hit
+// counters — for metadata reads that must not influence eviction.
+func (st *Store) Peek(id string) (*Session, error) {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	s := sh.sessions[id]
+	sh.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+	}
+	return s, nil
+}
+
+// lookup finds the session and touches its LRU position.
+func (st *Store) lookup(id string) (*Session, error) {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	s := sh.sessions[id]
+	if s != nil {
+		s.tick.Store(st.clock.Add(1))
+		if s.elem != nil {
+			sh.lru.MoveToFront(s.elem)
+		}
+	}
+	sh.mu.Unlock()
+	if s == nil {
+		st.misses.Add(1)
+		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+	}
+	st.hits.Add(1)
+	return s, nil
+}
+
+// withResident runs fn under the session write lock, restoring the engine
+// from disk if it was spilled. Eviction overflow is handled after the
+// session lock is released — a goroutine never holds two session locks, so
+// spills cannot deadlock with restores.
+func (st *Store) withResident(s *Session, fn func(*engine.Engine) error) error {
+	s.mu.Lock()
+	if s.deleted {
+		s.mu.Unlock()
+		return ErrSessionDeleted
+	}
+	restored := false
+	if s.eng == nil {
+		eng, err := st.readSpill(s.ID)
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("server: restore session %s: %w", s.ID, err)
+		}
+		s.eng = eng
+		restored = true
+		st.restores.Add(1)
+		sh := s.shard
+		sh.mu.Lock()
+		s.elem = sh.lru.PushFront(s)
+		sh.resident++
+		sh.mu.Unlock()
+	}
+	err := fn(s.eng)
+	s.mu.Unlock()
+	if restored {
+		st.evictOverflow()
+	}
+	return err
+}
+
+// Delete removes a session and its spill file. It is idempotent.
+func (st *Store) Delete(id string) error {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	s := sh.sessions[id]
+	if s == nil {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+	}
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	s.mu.Lock()
+	s.deleted = true
+	s.eng = nil
+	// Unlink from the LRU while still holding s.mu (the permitted s.mu ->
+	// sh.mu order): a restore that raced the map removal above may have
+	// re-registered the session, and leaving it listed would permanently
+	// overcount residents and skew eviction.
+	sh.mu.Lock()
+	if s.elem != nil {
+		sh.lru.Remove(s.elem)
+		s.elem = nil
+		sh.resident--
+	}
+	sh.mu.Unlock()
+	s.mu.Unlock()
+	if st.opts.SpillDir != "" {
+		os.Remove(st.spillPath(id))
+	}
+	return nil
+}
+
+// Each visits every session (unspecified order) until fn returns false.
+func (st *Store) Each(fn func(*Session) bool) {
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		batch := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			batch = append(batch, s)
+		}
+		sh.mu.Unlock()
+		for _, s := range batch {
+			if !fn(s) {
+				return
+			}
+		}
+	}
+}
+
+func (st *Store) spillPath(id string) string {
+	return filepath.Join(st.opts.SpillDir, id+".tacos")
+}
+
+// evictOverflow spills least-recently-used sessions until the resident count
+// is back under MaxResident. Called only while the caller holds no session
+// lock.
+func (st *Store) evictOverflow() {
+	if st.opts.MaxResident <= 0 {
+		return
+	}
+	for st.residentCount() > st.opts.MaxResident {
+		victim := st.coldest()
+		if victim == nil {
+			return
+		}
+		if err := st.spill(victim); err != nil {
+			// Spill failure (disk full, unsnapshottable content): put the
+			// victim back so it stays servable, mark it so coldest skips
+			// it from now on, and keep shrinking with other victims.
+			victim.unevictable.Store(true)
+			sh := victim.shard
+			sh.mu.Lock()
+			if victim.elem == nil {
+				victim.elem = sh.lru.PushFront(victim)
+				sh.resident++
+			}
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// coldest pops the globally least-recently-touched evictable session,
+// approximated as the oldest tick among the shard LRU tails (unevictable
+// sessions are passed over). Returns nil when nothing is evictable.
+func (st *Store) coldest() *Session {
+	// evictableTail walks from the shard's LRU tail past unevictable
+	// entries. Caller holds sh.mu.
+	evictableTail := func(sh *shard) *list.Element {
+		for el := sh.lru.Back(); el != nil; el = el.Prev() {
+			if !el.Value.(*Session).unevictable.Load() {
+				return el
+			}
+		}
+		return nil
+	}
+	var best *shard
+	var bestTick uint64
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		if el := evictableTail(sh); el != nil {
+			t := el.Value.(*Session).tick.Load()
+			if best == nil || t < bestTick {
+				best, bestTick = sh, t
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if best == nil {
+		return nil
+	}
+	best.mu.Lock()
+	defer best.mu.Unlock()
+	el := evictableTail(best)
+	if el == nil {
+		return nil
+	}
+	victim := el.Value.(*Session)
+	best.lru.Remove(el)
+	victim.elem = nil
+	best.resident--
+	return victim
+}
+
+// spill writes the victim's engine snapshot and releases the in-memory
+// state. A session touched between LRU removal and here is simply spilled
+// anyway — the next touch restores it (approximate LRU).
+func (st *Store) spill(victim *Session) error {
+	victim.mu.Lock()
+	defer victim.mu.Unlock()
+	if victim.eng == nil || victim.deleted {
+		return nil
+	}
+	path := st.spillPath(victim.ID)
+	f, err := os.CreateTemp(st.opts.SpillDir, "."+victim.ID+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := victim.eng.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	victim.eng = nil
+	st.evictions.Add(1)
+	return nil
+}
+
+func (st *Store) readSpill(id string) (*engine.Engine, error) {
+	f, err := os.Open(st.spillPath(id))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return engine.RestoreSnapshot(f)
+}
+
+func (st *Store) residentCount() int {
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		n += sh.resident
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// StoreStats is the store-wide health snapshot served by GET /stats.
+type StoreStats struct {
+	Sessions  int    `json:"sessions"`
+	Resident  int    `json:"resident"`
+	Spilled   int    `json:"spilled"`
+	Shards    int    `json:"shards"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Restores  uint64 `json:"restores"`
+}
+
+// Stats summarises the store.
+func (st *Store) Stats() StoreStats {
+	total := 0
+	resident := 0
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		total += len(sh.sessions)
+		resident += sh.resident
+		sh.mu.Unlock()
+	}
+	return StoreStats{
+		Sessions:  total,
+		Resident:  resident,
+		Spilled:   total - resident,
+		Shards:    len(st.shards),
+		Hits:      st.hits.Load(),
+		Misses:    st.misses.Load(),
+		Evictions: st.evictions.Load(),
+		Restores:  st.restores.Load(),
+	}
+}

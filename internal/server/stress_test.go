@@ -1,0 +1,155 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"taco/internal/core"
+	"taco/internal/engine"
+	"taco/internal/formula"
+	"taco/internal/ref"
+	"taco/internal/workload"
+)
+
+// TestRaceStress drives the three concurrency layers at once under the race
+// detector: raw SafeGraph readers/writers, an AsyncEngine absorbing edits
+// while being read, and the session store cycling sessions through
+// edit/query/spill/restore. Run with -race (the CI default) to make it a
+// synchronisation proof rather than just a load test.
+func TestRaceStress(t *testing.T) {
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	var wg sync.WaitGroup
+
+	// Layer 1: SafeGraph — concurrent AddDependency/Clear against
+	// FindDependents/FindPrecedents/Stats.
+	sg := core.NewSafeGraph(core.DefaultOptions())
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				dep := ref.Ref{Col: 2 + w, Row: 1 + i}
+				sg.AddDependency(core.Dependency{
+					Prec: ref.CellRange(ref.Ref{Col: 1, Row: 1 + i}),
+					Dep:  dep,
+				})
+				if i%7 == 0 {
+					sg.Clear(ref.CellRange(dep))
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sg.FindDependents(ref.CellRange(ref.Ref{Col: 1, Row: 1 + i}))
+				sg.FindPrecedents(ref.CellRange(ref.Ref{Col: 2 + w, Row: 1 + i}))
+				sg.Stats()
+			}
+		}(w)
+	}
+
+	// Layer 2: AsyncEngine — writers race the background recalculation
+	// worker and blocking readers.
+	sheet := workload.InventoryTracker(80, rand.New(rand.NewSource(21)))
+	eng, err := engine.Load(sheet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async := engine.NewAsync(eng)
+	defer async.Close()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < iters; i++ {
+				async.Set(ref.Ref{Col: 2, Row: 1 + rng.Intn(80)}, workloadNum(rng))
+				async.Peek(ref.Ref{Col: 4, Row: 80})
+				if i%5 == 0 {
+					async.Get(ref.Ref{Col: 4, Row: 40})
+					async.Dependents(ref.CellRange(ref.Ref{Col: 2, Row: 1 + rng.Intn(80)}))
+				}
+			}
+		}(w)
+	}
+
+	// Layer 3: the session store — mixed batched edits, value reads, and
+	// dependent queries across sessions cycling through spill/restore.
+	store, err := NewStore(StoreOptions{Shards: 4, MaxResident: 3, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 8; i++ {
+		sheet, err := workload.BuildScenario("financial", 25, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := engine.LoadBulk(sheet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, store.Create(fmt.Sprintf("stress%d", i), e).ID)
+	}
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + w)))
+			for i := 0; i < iters; i++ {
+				id := ids[rng.Intn(len(ids))]
+				switch i % 3 {
+				case 0:
+					err := store.Update(id, true, func(_ *Session, e *engine.Engine) error {
+						e.SetValue(ref.Ref{Col: 2, Row: 1 + rng.Intn(25)}, workloadNum(rng))
+						e.RecalculateAll()
+						return nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					err := store.Update(id, false, func(_ *Session, e *engine.Engine) error {
+						e.Value(ref.Ref{Col: 5, Row: 1 + rng.Intn(25)})
+						return nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					err := store.View(id, func(_ *Session, e *engine.Engine) error {
+						e.Dependents(ref.CellRange(ref.Ref{Col: 2, Row: 1 + rng.Intn(25)}))
+						return nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	async.Flush()
+	if err := sg.Check(); err != nil {
+		t.Fatalf("SafeGraph invariants violated after stress: %v", err)
+	}
+	st := store.Stats()
+	if st.Resident > 3 {
+		t.Fatalf("resident = %d exceeds cap", st.Resident)
+	}
+	if st.Evictions == 0 || st.Restores == 0 {
+		t.Fatalf("stress produced no spill traffic: %+v", st)
+	}
+}
+
+func workloadNum(rng *rand.Rand) formula.Value { return formula.Num(float64(rng.Intn(10000))) }

@@ -1,0 +1,25 @@
+package stats
+
+// LatencySummary condenses a latency sample into the percentiles a serving
+// benchmark reports. All values are milliseconds; the JSON tags define the
+// machine-readable schema of BENCH_*.json perf baselines.
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Summarize computes a LatencySummary from millisecond samples.
+func Summarize(ms []float64) LatencySummary {
+	return LatencySummary{
+		Count:  len(ms),
+		MeanMs: Mean(ms),
+		P50Ms:  Percentile(ms, 50),
+		P90Ms:  Percentile(ms, 90),
+		P99Ms:  Percentile(ms, 99),
+		MaxMs:  Max(ms),
+	}
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math/rand"
+
+	"taco/internal/formula"
+	"taco/internal/ref"
+)
+
+// This file derives interactive edit streams from generated sheets — the
+// realistic traffic a serving layer replays against live sessions. The mix
+// follows the interaction studies the async engine models: mostly data-cell
+// updates (whose latency is the dependents traversal), a smaller share of
+// formula rewrites (clear + re-add in the graph), and occasional deletions.
+
+// EditKind discriminates an Edit.
+type EditKind uint8
+
+const (
+	// EditValue writes a numeric value.
+	EditValue EditKind = iota
+	// EditFormula (re)writes a formula.
+	EditFormula
+	// EditClear removes the cell.
+	EditClear
+)
+
+// Edit is one scripted edit operation.
+type Edit struct {
+	Kind    EditKind
+	At      ref.Ref
+	Value   float64 // EditValue payload
+	Formula string  // EditFormula payload (source without '=')
+}
+
+// EditStream derives n edits from a sheet, deterministic in rng. Roughly 80%
+// perturb existing data cells, 15% rewrite existing formula cells in place,
+// and 5% clear data cells. Streams derived with the same seed replay
+// identically, so two hosts applying one stream converge to equal sheets.
+func EditStream(s *Sheet, n int, rng *rand.Rand) []Edit {
+	var values, formulas []ref.Ref
+	for at, c := range s.Cells {
+		if c.IsFormula() {
+			formulas = append(formulas, at)
+		} else if c.Value.Kind == formula.KindNumber { // numbers only; keep labels intact
+			values = append(values, at)
+		}
+	}
+	sortColumnMajor(values)
+	sortColumnMajor(formulas)
+	out := make([]Edit, 0, n)
+	for i := 0; i < n; i++ {
+		roll := rng.Float64()
+		switch {
+		case roll < 0.80 && len(values) > 0:
+			at := values[rng.Intn(len(values))]
+			out = append(out, Edit{Kind: EditValue, At: at, Value: float64(rng.Intn(100000)) / 10})
+		case roll < 0.95 && len(formulas) > 0:
+			at := formulas[rng.Intn(len(formulas))]
+			out = append(out, Edit{Kind: EditFormula, At: at, Formula: s.Cells[at].Formula})
+		case len(values) > 0:
+			at := values[rng.Intn(len(values))]
+			out = append(out, Edit{Kind: EditClear, At: at})
+		default:
+			out = append(out, Edit{Kind: EditValue, At: ref.Ref{Col: 1, Row: 1}, Value: float64(i)})
+		}
+	}
+	return out
+}
+
+// QueryStream derives n dependency-query seed ranges from a sheet's populated
+// region, deterministic in rng — the read half of a serving workload.
+func QueryStream(s *Sheet, n int, rng *rand.Rand) []ref.Range {
+	var cells []ref.Ref
+	for at := range s.Cells {
+		cells = append(cells, at)
+	}
+	sortColumnMajor(cells)
+	out := make([]ref.Range, 0, n)
+	for i := 0; i < n; i++ {
+		if len(cells) == 0 {
+			out = append(out, ref.MustRange("A1"))
+			continue
+		}
+		at := cells[rng.Intn(len(cells))]
+		out = append(out, ref.CellRange(at))
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEditStreamDeterministic(t *testing.T) {
+	sheet := FinancialModel(50, rand.New(rand.NewSource(1)))
+	a := EditStream(sheet, 100, rand.New(rand.NewSource(2)))
+	b := EditStream(sheet, 100, rand.New(rand.NewSource(2)))
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edit %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEditStreamMix(t *testing.T) {
+	sheet := InventoryTracker(80, rand.New(rand.NewSource(3)))
+	stream := EditStream(sheet, 500, rand.New(rand.NewSource(4)))
+	counts := map[EditKind]int{}
+	for _, e := range stream {
+		counts[e.Kind]++
+		switch e.Kind {
+		case EditValue, EditClear:
+			if c, ok := sheet.Cells[e.At]; !ok || c.IsFormula() {
+				t.Fatalf("edit %+v does not target a data cell", e)
+			}
+		case EditFormula:
+			if e.Formula == "" {
+				t.Fatalf("formula edit with empty source: %+v", e)
+			}
+		}
+	}
+	if counts[EditValue] < 300 || counts[EditFormula] == 0 || counts[EditClear] == 0 {
+		t.Fatalf("mix = %v", counts)
+	}
+}
+
+func TestQueryStreamTargetsPopulatedCells(t *testing.T) {
+	sheet := Gradebook(40, rand.New(rand.NewSource(5)))
+	for _, q := range QueryStream(sheet, 50, rand.New(rand.NewSource(6))) {
+		if !q.IsCell() {
+			t.Fatalf("query %v is not a cell", q)
+		}
+		if _, ok := sheet.Cells[q.Head]; !ok {
+			t.Fatalf("query %v targets an empty cell", q)
+		}
+	}
+}

@@ -110,12 +110,7 @@ func (s *Sheet) MustDependencies() []core.Dependency {
 
 func sortColumnMajor(cells []ref.Ref) {
 	// Insertion-friendly order: column by column, top to bottom.
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].Col != cells[j].Col {
-			return cells[i].Col < cells[j].Col
-		}
-		return cells[i].Row < cells[j].Row
-	})
+	sort.Slice(cells, func(i, j int) bool { return ref.ColumnMajorLess(cells[i], cells[j]) })
 }
 
 // FillDown autofills the formula at src down through rows src.Row+1..lastRow,

@@ -1,0 +1,59 @@
+package taco_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"taco"
+)
+
+// TestPublicServerAPI drives the serving layer through the public package
+// surface: taco.NewServer mounted as a plain http.Handler.
+func TestPublicServerAPI(t *testing.T) {
+	srv, err := taco.NewServer(taco.ServerOptions{
+		Store: taco.SessionStoreOptions{MaxResident: 2, SpillDir: t.TempDir()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	body, _ := json.Marshal(map[string]any{"scenario": "financial", "rows": 20, "seed": 3})
+	resp, err := http.Post(hs.URL+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	var info struct {
+		ID    string `json:"id"`
+		Cells int    `json:"cells"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || info.Cells == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+
+	q, err := http.Get(hs.URL + "/sessions/" + info.ID + "/dependents?of=B1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Body.Close()
+	var qr struct {
+		Cells int `json:"cells"`
+	}
+	if err := json.NewDecoder(q.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Cells == 0 {
+		t.Fatal("B1 has no dependents in the financial scenario")
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"taco/internal/engine"
 	"taco/internal/formula"
 	"taco/internal/ref"
+	"taco/internal/server"
 	"taco/internal/workload"
 	"taco/internal/xlsx"
 )
@@ -124,6 +125,22 @@ const (
 
 // SafeGraph is a Graph wrapped with a read-write lock for concurrent use.
 type SafeGraph = core.SafeGraph
+
+// Serving types.
+type (
+	// Server is the multi-tenant spreadsheet HTTP service: many concurrent
+	// workbook sessions, each backed by an Engine over a TACO graph, behind
+	// a sharded session store with LRU spill-to-disk. It implements
+	// http.Handler; run it standalone with cmd/tacoserve.
+	Server = server.Server
+	// ServerOptions configures a Server.
+	ServerOptions = server.Options
+	// SessionStoreOptions configures the server's sharded session store
+	// (shard count, resident cap, spill directory).
+	SessionStoreOptions = server.StoreOptions
+	// SessionStoreStats is the store-wide health snapshot.
+	SessionStoreStats = server.StoreStats
+)
 
 // NewGraph returns an empty compressed formula graph.
 func NewGraph(opts Options) *Graph { return core.NewGraph(opts) }
@@ -213,6 +230,15 @@ func LoadEngine(s *Sheet) (*Engine, error) { return engine.Load(s, nil) }
 // NewAsyncEngine wraps an engine with a background recalculation worker.
 // Callers must Close it and must not use the wrapped engine directly.
 func NewAsyncEngine(e *Engine) *AsyncEngine { return engine.NewAsync(e) }
+
+// NewServer builds the multi-tenant spreadsheet service. Mount the returned
+// handler on any mux, or serve it directly with http.ListenAndServe.
+func NewServer(opts ServerOptions) (*Server, error) { return server.NewServer(opts) }
+
+// RestoreEngineSnapshot loads a live engine serialised with
+// Engine.WriteSnapshot — the whole-session persistence the serving layer
+// uses to spill cold sessions.
+func RestoreEngineSnapshot(r io.Reader) (*Engine, error) { return engine.RestoreSnapshot(r) }
 
 // OpenWorkbook reads an .xlsx file into a live multi-sheet workbook with
 // TACO-driven recalculation.
