@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-server
+.PHONY: check fmt vet build test race bench-server bench-core
 
 check: fmt vet build race
 
@@ -28,3 +28,9 @@ race:
 bench-server:
 	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -json > BENCH_server.json
 	@cat BENCH_server.json
+
+# Core traversal/maintenance microbenchmarks. CI smoke-runs every benchmark
+# once so a regression that breaks (or hangs) the compressed-graph hot path
+# fails the build; drop -benchtime for real measurements.
+bench-core:
+	$(GO) test ./internal/core -run '^$$' -bench=. -benchtime=1x

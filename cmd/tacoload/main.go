@@ -8,13 +8,19 @@
 // Usage:
 //
 //	tacoload [-addr http://host:8737] [-inproc] [-sessions 32] [-rows 100]
-//	         [-edits 200] [-batch 8] [-scenario mixed] [-seed 1]
-//	         [-max-resident 0] [-json]
+//	         [-edits 200] [-batch 8] [-read-ratio 0] [-scenario mixed]
+//	         [-seed 1] [-max-resident 0] [-json] [-cpuprofile FILE]
 //
 // With -inproc (the default when -addr is empty) the service is hosted
 // inside the process on a loopback listener, so a single command produces a
 // self-contained benchmark. -json emits the machine-readable report written
 // to BENCH_server.json.
+//
+// -read-ratio mixes value reads into the stream: it is the mean number of
+// range reads issued per edit batch (fractional values thin them out), which
+// exercises the non-blocking read path — reads return last-computed values
+// immediately while background recalculation drains. The report counts how
+// many reads observed a session with recalculation still pending.
 package main
 
 import (
@@ -27,6 +33,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -37,15 +45,16 @@ import (
 )
 
 type config struct {
-	Addr        string `json:"addr,omitempty"`
-	InProc      bool   `json:"inproc"`
-	Sessions    int    `json:"sessions"`
-	Rows        int    `json:"rows"`
-	Edits       int    `json:"edits_per_session"`
-	Batch       int    `json:"batch_size"`
-	Scenario    string `json:"scenario"`
-	Seed        int64  `json:"seed"`
-	MaxResident int    `json:"max_resident"`
+	Addr        string  `json:"addr,omitempty"`
+	InProc      bool    `json:"inproc"`
+	Sessions    int     `json:"sessions"`
+	Rows        int     `json:"rows"`
+	Edits       int     `json:"edits_per_session"`
+	Batch       int     `json:"batch_size"`
+	ReadRatio   float64 `json:"read_ratio"`
+	Scenario    string  `json:"scenario"`
+	Seed        int64   `json:"seed"`
+	MaxResident int     `json:"max_resident"`
 }
 
 // report is the machine-readable output schema of -json (and the checked-in
@@ -58,6 +67,8 @@ type report struct {
 	EditsApplied  int                             `json:"edits_applied"`
 	RequestsPerS  float64                         `json:"requests_per_sec"`
 	EditsPerS     float64                         `json:"edits_per_sec"`
+	Reads         int                             `json:"reads"`
+	PendingReads  int                             `json:"pending_reads"`
 	Latency       map[string]stats.LatencySummary `json:"latency_ms"`
 	Store         server.StoreStats               `json:"store"`
 	DirtyPerBatch float64                         `json:"mean_dirty_cells_per_batch"`
@@ -70,19 +81,35 @@ func main() {
 	rows := flag.Int("rows", 100, "scenario size per session")
 	edits := flag.Int("edits", 200, "edits per session")
 	batch := flag.Int("batch", 8, "edits per batch request")
+	readRatio := flag.Float64("read-ratio", 0, "mean range reads per edit batch (read-heavy mixes exercise the non-blocking read path)")
 	scenario := flag.String("scenario", "mixed", "workload scenario: financial|inventory|gradebook|planning|mixed")
 	seed := flag.Int64("seed", 1, "workload seed")
 	maxResident := flag.Int("max-resident", 0, "in-process server only: session cap forcing spill traffic")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
 	if *sessions < 1 || *rows < 1 || *edits < 1 || *batch < 1 {
 		fmt.Fprintln(os.Stderr, "tacoload: -sessions, -rows, -edits, and -batch must all be >= 1")
 		os.Exit(2)
 	}
+	if *readRatio < 0 {
+		fmt.Fprintln(os.Stderr, "tacoload: -read-ratio must be >= 0")
+		os.Exit(2)
+	}
 	cfg := config{
 		Addr: *addr, InProc: *addr == "" || *inproc, Sessions: *sessions, Rows: *rows,
-		Edits: *edits, Batch: *batch, Scenario: *scenario, Seed: *seed, MaxResident: *maxResident,
+		Edits: *edits, Batch: *batch, ReadRatio: *readRatio, Scenario: *scenario,
+		Seed: *seed, MaxResident: *maxResident,
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tacoload: %v\n", err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
 	}
 	rep, err := run(cfg)
 	if err != nil {
@@ -100,8 +127,19 @@ func main() {
 
 func run(cfg config) (*report, error) {
 	base := cfg.Addr
-	client := http.DefaultClient
+	// The default transport keeps only two idle connections per host, so a
+	// wide driver would churn TCP connections instead of measuring the
+	// server. Keep one warm connection per session worker.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = cfg.Sessions + 8
+	tr.MaxIdleConnsPerHost = cfg.Sessions + 8
+	client := &http.Client{Transport: tr}
 	if cfg.InProc {
+		// Match tacoserve's serving-process GC target so the in-process
+		// benchmark measures the same configuration production runs.
+		if os.Getenv("GOGC") == "" {
+			debug.SetGCPercent(300)
+		}
 		spill, err := os.MkdirTemp("", "tacoload-spill")
 		if err != nil {
 			return nil, err
@@ -113,6 +151,7 @@ func run(cfg config) (*report, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer srv.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, err
@@ -136,6 +175,7 @@ func run(cfg config) (*report, error) {
 	var samples []sample
 	editsApplied := 0
 	dirtyTotal, batches := 0, 0
+	reads, pendingReads := 0, 0
 	record := func(kind string, start time.Time) {
 		mu.Lock()
 		samples = append(samples, sample{kind, float64(time.Since(start).Microseconds()) / 1000})
@@ -172,6 +212,25 @@ func run(cfg config) (*report, error) {
 			stream := workload.EditStream(sheet, cfg.Edits, rng)
 			queries := workload.QueryStream(sheet, cfg.Edits/cfg.Batch+1, rng)
 
+			// readCells issues one range read and tallies whether the session
+			// still had recalculation pending when it answered.
+			readCells := func(rangeA1 string) error {
+				start := time.Now()
+				var cr server.CellsResult
+				if err := call(client, "GET", base+"/sessions/"+info.ID+"/cells?range="+rangeA1, nil, &cr); err != nil {
+					return err
+				}
+				record("cells", start)
+				mu.Lock()
+				reads++
+				if cr.Pending > 0 {
+					pendingReads++
+				}
+				mu.Unlock()
+				return nil
+			}
+
+			readsDue := 0.0
 			for b := 0; b*cfg.Batch < len(stream); b++ {
 				lo := b * cfg.Batch
 				hi := min(lo+cfg.Batch, len(stream))
@@ -203,6 +262,18 @@ func run(cfg config) (*report, error) {
 				batches++
 				mu.Unlock()
 
+				// Read-heavy mixes: non-blocking range reads right behind the
+				// edits, while background recalculation may still be
+				// draining (the report counts how many observed that).
+				for readsDue += cfg.ReadRatio; readsDue >= 1; readsDue-- {
+					row := 1 + rng.Intn(cfg.Rows)
+					rangeA1 := fmt.Sprintf("A%d:H%d", row, row+9)
+					if err := readCells(rangeA1); err != nil {
+						errc <- fmt.Errorf("session %d read: %w", i, err)
+						return
+					}
+				}
+
 				// Interleave a dependents query — the TACO headline op.
 				q := queries[b%len(queries)]
 				start = time.Now()
@@ -214,12 +285,10 @@ func run(cfg config) (*report, error) {
 			}
 
 			// A final range read.
-			start = time.Now()
-			if err := call(client, "GET", base+"/sessions/"+info.ID+"/cells?range=A1:H10", nil, nil); err != nil {
+			if err := readCells("A1:H10"); err != nil {
 				errc <- fmt.Errorf("session %d read: %w", i, err)
 				return
 			}
-			record("cells", start)
 		}(i)
 	}
 	wg.Wait()
@@ -250,6 +319,8 @@ func run(cfg config) (*report, error) {
 		EditsApplied: editsApplied,
 		RequestsPerS: float64(len(samples)) / elapsed.Seconds(),
 		EditsPerS:    float64(editsApplied) / elapsed.Seconds(),
+		Reads:        reads,
+		PendingReads: pendingReads,
 		Latency:      lat,
 		Store:        st,
 	}
@@ -309,8 +380,9 @@ func printReport(r *report) {
 		tbl.AddRow(k, s.Count, fmtMs(s.MeanMs), fmtMs(s.P50Ms), fmtMs(s.P90Ms), fmtMs(s.P99Ms), fmtMs(s.MaxMs))
 	}
 	fmt.Print(tbl.String())
-	fmt.Printf("\nstore: %d sessions (%d resident, %d spilled), %d evictions, %d restores\n",
-		r.Store.Sessions, r.Store.Resident, r.Store.Spilled, r.Store.Evictions, r.Store.Restores)
+	fmt.Printf("\nreads: %d (%d answered with recalculation pending)\n", r.Reads, r.PendingReads)
+	fmt.Printf("store: %d sessions (%d resident, %d spilled), %d evictions (%d snapshot writes skipped), %d restores, %d background recalcs\n",
+		r.Store.Sessions, r.Store.Resident, r.Store.Spilled, r.Store.Evictions, r.Store.SnapSkips, r.Store.Restores, r.Store.Recalcs)
 }
 
 func fmtMs(v float64) string { return fmt.Sprintf("%.3fms", v) }

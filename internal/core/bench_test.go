@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"taco/internal/core"
+	"taco/internal/ref"
+	"taco/internal/workload"
+)
+
+// Microbenchmarks for the traversal hot path and incremental maintenance.
+// CI compiles and smoke-runs them (-bench=. -benchtime=1x via `make
+// bench-core`) so a regression that breaks or pathologically slows the
+// compressed-graph primitives fails fast; run locally with -benchtime left
+// at default for real numbers.
+
+func benchSheet(b *testing.B, rows int) *core.Graph {
+	b.Helper()
+	sheet := workload.FinancialModel(rows, rand.New(rand.NewSource(1)))
+	deps, err := sheet.Dependencies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Build(deps, core.DefaultOptions())
+}
+
+func BenchmarkFindDependents(b *testing.B) {
+	g := benchSheet(b, 200)
+	seed := ref.CellRange(ref.Ref{Col: 2, Row: 7}) // a revenue cell feeding chains
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FindDependents(seed)
+	}
+}
+
+func BenchmarkFindPrecedents(b *testing.B) {
+	g := benchSheet(b, 200)
+	seed := ref.CellRange(ref.Ref{Col: 5, Row: 150}) // deep in a running total
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FindPrecedents(seed)
+	}
+}
+
+func BenchmarkAddDependency(b *testing.B) {
+	sheet := workload.FinancialModel(200, rand.New(rand.NewSource(1)))
+	deps := sheet.MustDependencies()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := core.NewGraph(core.DefaultOptions())
+		b.StartTimer()
+		for _, d := range deps {
+			g.AddDependency(d)
+		}
+	}
+}
+
+func BenchmarkClear(b *testing.B) {
+	sheet := workload.FinancialModel(200, rand.New(rand.NewSource(1)))
+	deps := sheet.MustDependencies()
+	targets := make([]ref.Range, 0, 64)
+	for i := 0; i < 64; i++ {
+		targets = append(targets, ref.CellRange(deps[(i*37)%len(deps)].Dep))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := core.Build(deps, core.DefaultOptions())
+		b.StartTimer()
+		for _, s := range targets {
+			g.Clear(s)
+		}
+	}
+}
+
+func BenchmarkStats(b *testing.B) {
+	g := benchSheet(b, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := g.Stats(); s.Edges == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}

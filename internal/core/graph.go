@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"taco/internal/ref"
 	"taco/internal/rtree"
@@ -54,6 +55,19 @@ type Graph struct {
 	edges  map[*Edge]struct{}
 	byPrec *rtree.Tree[*Edge] // indexed by Edge.Prec
 	byDep  *rtree.Tree[*Edge] // indexed by Edge.Dep
+	// verts refcounts the distinct ranges appearing as an edge endpoint, and
+	// ndeps sums Edge.Count() — both maintained on every edge insert/delete
+	// so Stats reads are O(1) instead of rescanning all edges (the serving
+	// layer reports graph stats on hot paths).
+	verts map[ref.Range]int
+	ndeps int
+	// gen counts structural mutations. Callers cache derived artefacts (an
+	// encoded snapshot section, say) and revalidate with Gen.
+	gen uint64
+	// scratch pools per-traversal state (visited tree, touched set, BFS
+	// queue). Concurrent read-only traversals each take their own scratch, so
+	// queries stay safe under a shared read lock.
+	scratch sync.Pool
 }
 
 // NewGraph returns an empty TACO graph with the given options.
@@ -63,6 +77,7 @@ func NewGraph(opts Options) *Graph {
 		edges:  make(map[*Edge]struct{}),
 		byPrec: rtree.New[*Edge](),
 		byDep:  rtree.New[*Edge](),
+		verts:  make(map[ref.Range]int),
 	}
 }
 
@@ -80,24 +95,11 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 
 // NumDependencies returns |E'|, the number of underlying uncompressed
 // dependencies represented by the graph.
-func (g *Graph) NumDependencies() int {
-	n := 0
-	for e := range g.edges {
-		n += e.Count()
-	}
-	return n
-}
+func (g *Graph) NumDependencies() int { return g.ndeps }
 
 // NumVertices returns |V|, the number of distinct ranges appearing as a
 // precedent or dependent of some edge.
-func (g *Graph) NumVertices() int {
-	seen := make(map[ref.Range]struct{}, 2*len(g.edges))
-	for e := range g.edges {
-		seen[e.Prec] = struct{}{}
-		seen[e.Dep] = struct{}{}
-	}
-	return len(seen)
-}
+func (g *Graph) NumVertices() int { return len(g.verts) }
 
 // Edges calls fn for every edge. Iteration order is unspecified.
 func (g *Graph) Edges(fn func(*Edge) bool) {
@@ -108,16 +110,48 @@ func (g *Graph) Edges(fn func(*Edge) bool) {
 	}
 }
 
+// noteInsert maintains the cached vertex and dependency counts for an edge
+// entering the graph. Every insertion path (incremental, bulk, snapshot
+// restore) must pair it with the edge becoming visible in g.edges.
+func (g *Graph) noteInsert(e *Edge) {
+	g.verts[e.Prec]++
+	if e.Prec != e.Dep {
+		g.verts[e.Dep]++
+	}
+	g.ndeps += e.Count()
+	g.gen++
+}
+
+func (g *Graph) noteDelete(e *Edge) {
+	decref := func(r ref.Range) {
+		if g.verts[r]--; g.verts[r] <= 0 {
+			delete(g.verts, r)
+		}
+	}
+	decref(e.Prec)
+	if e.Prec != e.Dep {
+		decref(e.Dep)
+	}
+	g.ndeps -= e.Count()
+	g.gen++
+}
+
+// Gen returns the structural-mutation counter: unchanged Gen means an
+// unchanged edge set.
+func (g *Graph) Gen() uint64 { return g.gen }
+
 func (g *Graph) insertEdge(e *Edge) {
 	g.edges[e] = struct{}{}
 	g.byPrec.Insert(e.Prec, e)
 	g.byDep.Insert(e.Dep, e)
+	g.noteInsert(e)
 }
 
 func (g *Graph) deleteEdge(e *Edge) {
 	delete(g.edges, e)
 	g.byPrec.Delete(e.Prec, func(x *Edge) bool { return x == e })
 	g.byDep.Delete(e.Dep, func(x *Edge) bool { return x == e })
+	g.noteDelete(e)
 }
 
 // candidate is one valid way to compress an inserted dependency.
@@ -223,12 +257,11 @@ func (g *Graph) selectCandidate(cands []candidate, d Dependency) candidate {
 		}
 		return s
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		si, sj := score(cands[i]), score(cands[j])
-		if si != sj {
-			return si > sj
+	slices.SortStableFunc(cands, func(a, b candidate) int {
+		if sa, sb := score(a), score(b); sa != sb {
+			return sb - sa
 		}
-		return cands[i].merged.Count() > cands[j].merged.Count()
+		return b.merged.Count() - a.merged.Count()
 	})
 	return cands[0]
 }
@@ -290,25 +323,51 @@ func (g *Graph) FindDependentsStats(r ref.Range) ([]ref.Range, TraversalStats) {
 	return g.traverse(r, true)
 }
 
+// traverseScratch is the reusable per-traversal state. One traversal's
+// allocations (visited index nodes, touched set, BFS queue) survive into the
+// next via the graph's pool, which keeps the query hot path allocation-free
+// in steady state.
+type traverseScratch struct {
+	touched map[*Edge]struct{}
+	visited *rtree.Tree[struct{}]
+	queue   []ref.Range
+	overlap []ref.Range
+}
+
+func (g *Graph) getScratch() *traverseScratch {
+	if s, ok := g.scratch.Get().(*traverseScratch); ok {
+		return s
+	}
+	return &traverseScratch{
+		touched: make(map[*Edge]struct{}),
+		visited: rtree.New[struct{}](),
+	}
+}
+
+func (g *Graph) putScratch(s *traverseScratch) {
+	clear(s.touched)
+	s.visited.Reset()
+	s.queue = s.queue[:0]
+	s.overlap = s.overlap[:0]
+	g.scratch.Put(s)
+}
+
 func (g *Graph) traverse(r ref.Range, forward bool) ([]ref.Range, TraversalStats) {
 	var result []ref.Range
 	var stats TraversalStats
-	touched := map[*Edge]bool{}
-	visited := rtree.New[struct{}]()
-	queue := []ref.Range{r}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		var index *rtree.Tree[*Edge]
-		if forward {
-			index = g.byPrec
-		} else {
-			index = g.byDep
-		}
+	s := g.getScratch()
+	defer g.putScratch(s)
+	index := g.byPrec
+	if !forward {
+		index = g.byDep
+	}
+	s.queue = append(s.queue, r)
+	for head := 0; head < len(s.queue); head++ {
+		cur := s.queue[head]
 		index.Search(cur, func(_ ref.Range, e *Edge) bool {
 			stats.EdgeAccesses++
-			if !touched[e] {
-				touched[e] = true
+			if _, seen := s.touched[e]; !seen {
+				s.touched[e] = struct{}{}
 				stats.DistinctEdges++
 			}
 			var next ref.Range
@@ -322,15 +381,15 @@ func (g *Graph) traverse(r ref.Range, forward bool) ([]ref.Range, TraversalStats
 				return true
 			}
 			// Keep only the parts not yet visited.
-			var overlapping []ref.Range
-			visited.Search(next, func(seen ref.Range, _ struct{}) bool {
-				overlapping = append(overlapping, seen)
+			s.overlap = s.overlap[:0]
+			s.visited.Search(next, func(seen ref.Range, _ struct{}) bool {
+				s.overlap = append(s.overlap, seen)
 				return true
 			})
-			for _, part := range next.SubtractAll(overlapping) {
-				visited.Insert(part, struct{}{})
+			for _, part := range next.SubtractAll(s.overlap) {
+				s.visited.Insert(part, struct{}{})
 				result = append(result, part)
-				queue = append(queue, part)
+				s.queue = append(s.queue, part)
 			}
 			return true
 		})

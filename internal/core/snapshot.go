@@ -6,7 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"taco/internal/ref"
 	"taco/internal/rtree"
@@ -30,10 +30,20 @@ var snapshotMagic = []byte("TACOG1")
 // ErrBadSnapshot is returned when decoding malformed snapshot data.
 var ErrBadSnapshot = errors.New("core: malformed graph snapshot")
 
+// byteWriter is the buffered sink snapshot encoding needs; callers passing
+// one (bytes.Buffer, bufio.Writer) skip the wrapper layer entirely.
+type byteWriter interface {
+	io.Writer
+	io.ByteWriter
+}
+
 // WriteSnapshot serialises the graph. Edges are written in a deterministic
 // order so equal graphs produce identical bytes.
 func (g *Graph) WriteSnapshot(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	bw, buffered := w.(byteWriter)
+	if !buffered {
+		bw = bufio.NewWriter(w)
+	}
 	if _, err := bw.Write(snapshotMagic); err != nil {
 		return err
 	}
@@ -41,7 +51,15 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 	for e := range g.edges {
 		edges = append(edges, e)
 	}
-	sort.Slice(edges, func(i, j int) bool { return edgeLess(edges[i], edges[j]) })
+	slices.SortFunc(edges, func(a, b *Edge) int {
+		if a == b {
+			return 0
+		}
+		if edgeLess(a, b) {
+			return -1
+		}
+		return 1
+	})
 	var buf [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) error {
 		n := binary.PutUvarint(buf[:], v)
@@ -74,7 +92,10 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	if f, ok := bw.(*bufio.Writer); ok {
+		return f.Flush()
+	}
+	return nil
 }
 
 func edgeLess(a, b *Edge) bool {
@@ -147,7 +168,10 @@ func writeMeta(putUvarint func(uint64) error, w io.Writer, e *Edge) error {
 // ReadSnapshot deserialises a graph written by WriteSnapshot. The graph uses
 // the provided options for any subsequent mutation.
 func ReadSnapshot(r io.Reader, opts Options) (*Graph, error) {
-	br := bufio.NewReader(r)
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
@@ -160,7 +184,23 @@ func ReadSnapshot(r io.Reader, opts Options) (*Graph, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 	g := NewGraph(opts)
-	var edges []*Edge
+	// Pre-size the edge and vertex maps (bounded against hostile counts).
+	g.edges = make(map[*Edge]struct{}, min(count, 1<<16))
+	g.verts = make(map[ref.Range]int, min(2*count, 1<<17))
+	// Slab-allocate edge records in bounded blocks: one allocation per block
+	// instead of one per edge, with stable pointers (a full block is never
+	// regrown). The block cap also bounds the up-front trust in a hostile
+	// count.
+	const edgeBlock = 1024
+	var block []Edge
+	newEdge := func() *Edge {
+		if len(block) == cap(block) {
+			block = make([]Edge, 0, min(count, edgeBlock))
+		}
+		block = append(block, Edge{})
+		return &block[len(block)-1]
+	}
+	edges := make([]*Edge, 0, min(count, 4*edgeBlock))
 	readByte := func() (byte, error) {
 		var b [1]byte
 		_, err := io.ReadFull(br, b[:])
@@ -179,7 +219,8 @@ func ReadSnapshot(r io.Reader, opts Options) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: edge %d: %v", ErrBadSnapshot, i, err)
 		}
-		e := &Edge{
+		e := newEdge()
+		*e = Edge{
 			Pattern:   PatternType(pb),
 			Axis:      ref.Axis(ab),
 			HeadFixed: flags&1 != 0,
@@ -215,6 +256,7 @@ func ReadSnapshot(r io.Reader, opts Options) (*Graph, error) {
 	depItems := make([]rtree.Item[*Edge], len(edges))
 	for i, e := range edges {
 		g.edges[e] = struct{}{}
+		g.noteInsert(e)
 		precItems[i] = rtree.Item[*Edge]{Rect: e.Prec, Value: e}
 		depItems[i] = rtree.Item[*Edge]{Rect: e.Dep, Value: e}
 	}

@@ -22,6 +22,7 @@ func TestBookAddAndLookup(t *testing.T) {
 	if _, err := e.SetFormula(ref.MustCell("B1"), "A1*2"); err != nil {
 		t.Fatal(err)
 	}
+	e.RecalculateAll()
 	if got := b.Sheet("alpha").Value(ref.MustCell("B1")); got.Num != 10 {
 		t.Fatalf("B1 = %v", got)
 	}

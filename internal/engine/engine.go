@@ -12,12 +12,14 @@ package engine
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"taco/internal/core"
 	"taco/internal/formula"
 	"taco/internal/nocomp"
 	"taco/internal/ref"
+	"taco/internal/rtree"
 	"taco/internal/workload"
 )
 
@@ -71,17 +73,33 @@ type cell struct {
 	src   string
 	value formula.Value
 	dirty bool
+	// evaluating guards against reference cycles during recalculation — a
+	// flag on the record instead of a side map, so the (very hot) resolver
+	// path costs one pointer dereference, not a map probe.
+	evaluating bool
 }
 
 // Engine is a single-sheet spreadsheet host.
+//
+// Reads (Value, Peek, Dirty, stats) are side-effect-free: they return the
+// last computed value without evaluating anything, so a serving layer can run
+// them concurrently under a shared read lock. Evaluation happens only inside
+// RecalculateAll / RecalculateN (and the write paths that call them) — the
+// background phase of the asynchronous interaction model.
 type Engine struct {
 	graph Graph
 	cells map[ref.Ref]*cell
-	// nformulas counts formula cells, maintained on every mutation so
-	// serving-layer stats reads are O(1) instead of scanning the cell map.
-	nformulas int
-	// evaluating guards against reference cycles during recalculation.
-	evaluating map[ref.Ref]bool
+	// formulas spatially indexes formula-cell positions, so invalidate can
+	// intersect a dirty range with the populated formula cells (O(log n + k))
+	// instead of probing every cell of the range (O(area) — ruinous for
+	// whole-column dependents).
+	formulas *rtree.Tree[ref.Ref]
+	// dirty is the explicit dirty set: exactly the cells whose record has
+	// dirty=true. Recalculation drains it without scanning the cell map.
+	dirty map[ref.Ref]*cell
+	// slabs tracks the cell-record blocks a snapshot restore allocated, so
+	// Recycle can return them to the pool when the engine is discarded.
+	slabs [][]cell
 }
 
 // New returns an empty engine driving the given dependency graph. A nil
@@ -91,19 +109,27 @@ func New(g Graph) *Engine {
 		g = TACO{G: core.NewGraph(core.DefaultOptions())}
 	}
 	return &Engine{
-		graph:      g,
-		cells:      make(map[ref.Ref]*cell),
-		evaluating: make(map[ref.Ref]bool),
+		graph:    g,
+		cells:    make(map[ref.Ref]*cell),
+		formulas: rtree.New[ref.Ref](),
+		dirty:    make(map[ref.Ref]*cell),
 	}
 }
 
-// setCell installs a cell record, maintaining the formula count.
+// setCell installs a cell record, maintaining the formula index and the
+// dirty set.
 func (e *Engine) setCell(at ref.Ref, c *cell) {
-	if old, ok := e.cells[at]; ok && old.ast != nil {
-		e.nformulas--
+	if old, ok := e.cells[at]; ok {
+		if old.ast != nil {
+			e.formulas.Delete(ref.CellRange(at), func(ref.Ref) bool { return true })
+		}
+		delete(e.dirty, at)
 	}
 	if c.ast != nil {
-		e.nformulas++
+		e.formulas.Insert(ref.CellRange(at), at)
+	}
+	if c.dirty {
+		e.dirty[at] = c
 	}
 	e.cells[at] = c
 }
@@ -115,7 +141,7 @@ func (e *Engine) setCell(at ref.Ref, c *cell) {
 func (e *Engine) populate(s *workload.Sheet) error {
 	for at, c := range s.Cells {
 		if c.IsFormula() {
-			ast, err := formula.Parse(c.Formula)
+			ast, err := formula.ParseCached(c.Formula)
 			if err != nil {
 				return fmt.Errorf("engine: cell %v: %w", at, err)
 			}
@@ -157,12 +183,23 @@ type ParsedCell struct {
 
 // LoadBulkParsed builds an engine from pre-parsed cells through the
 // column-major streaming bulk path (core.BuildBulk), which skips the
-// per-dependency candidate search. Cells may arrive in any order (at most
-// one per ref); dependencies are derived in column-major order, the order
-// that gives the streaming compressor its adjacent runs.
+// per-dependency candidate search. Cells may arrive in any order, with the
+// later of duplicate refs winning (as if applied sequentially);
+// dependencies are derived in column-major order, the order that gives the
+// streaming compressor its adjacent runs.
 func LoadBulkParsed(pcells []ParsedCell) *Engine {
-	ordered := append([]ParsedCell(nil), pcells...)
-	sort.Slice(ordered, func(i, j int) bool { return ref.ColumnMajorLess(ordered[i].At, ordered[j].At) })
+	// Duplicate refs: the later cell wins, matching sequential application.
+	ordered := make([]ParsedCell, 0, len(pcells))
+	seen := make(map[ref.Ref]int, len(pcells))
+	for _, c := range pcells {
+		if i, dup := seen[c.At]; dup {
+			ordered[i] = c
+			continue
+		}
+		seen[c.At] = len(ordered)
+		ordered = append(ordered, c)
+	}
+	slices.SortFunc(ordered, func(a, b ParsedCell) int { return ref.ColumnMajorCompare(a.At, b.At) })
 	var deps []core.Dependency
 	for _, c := range ordered {
 		if c.AST == nil {
@@ -175,13 +212,20 @@ func LoadBulkParsed(pcells []ParsedCell) *Engine {
 		}
 	}
 	e := New(TACO{G: core.BuildBulk(deps, core.DefaultOptions())})
+	// Fill the cell map directly and STR-pack the formula index: the bulk
+	// path has all entries up front, so it skips per-cell R-tree insertion.
+	var items []rtree.Item[ref.Ref]
 	for _, c := range ordered {
 		if c.AST != nil {
-			e.setCell(c.At, &cell{ast: c.AST, src: c.Src, dirty: true})
+			rec := &cell{ast: c.AST, src: c.Src, dirty: true}
+			e.cells[c.At] = rec
+			e.dirty[c.At] = rec
+			items = append(items, rtree.Item[ref.Ref]{Rect: ref.CellRange(c.At), Value: c.At})
 		} else {
-			e.setCell(c.At, &cell{value: c.Value})
+			e.cells[c.At] = &cell{value: c.Value}
 		}
 	}
+	e.formulas = rtree.BulkLoad(items)
 	e.RecalculateAll()
 	return e
 }
@@ -194,7 +238,7 @@ func LoadBulk(s *workload.Sheet) (*Engine, error) {
 	pcells := make([]ParsedCell, 0, len(s.Cells))
 	for at, c := range s.Cells {
 		if c.IsFormula() {
-			ast, err := formula.Parse(c.Formula)
+			ast, err := formula.ParseCached(c.Formula)
 			if err != nil {
 				return nil, fmt.Errorf("engine: cell %v: %w", at, err)
 			}
@@ -206,36 +250,59 @@ func LoadBulk(s *workload.Sheet) (*Engine, error) {
 	return LoadBulkParsed(pcells), nil
 }
 
-// Value returns the current (possibly cached) value of a cell.
+// Value returns the last computed value of a cell. It is side-effect-free:
+// a dirty cell returns its stale value (use Dirty or Peek to detect that, and
+// RecalculateAll/RecalculateN to drain), so concurrent readers are safe under
+// a shared read lock.
 func (e *Engine) Value(at ref.Ref) formula.Value {
+	if c, ok := e.cells[at]; ok {
+		return c.value
+	}
+	return formula.Empty()
+}
+
+// Peek returns the last computed value and whether it is clean. A pending
+// (dirty) cell returns its stale value with clean=false — the greyed-out
+// state an asynchronous UI shows.
+func (e *Engine) Peek(at ref.Ref) (v formula.Value, clean bool) {
 	c, ok := e.cells[at]
+	if !ok {
+		return formula.Empty(), true
+	}
+	return c.value, !c.dirty
+}
+
+// evalResolver is the formula.Resolver recalculation runs under: reading a
+// dirty precedent evaluates it first, which makes recalculation naturally
+// topological. It is deliberately not the public read path — Engine.Value
+// must stay side-effect-free.
+type evalResolver struct{ e *Engine }
+
+// CellValue implements formula.Resolver. Clean cells — the overwhelming
+// majority of references during a recalculation — pay one map probe and no
+// cycle bookkeeping.
+func (r evalResolver) CellValue(at ref.Ref) formula.Value {
+	c, ok := r.e.cells[at]
 	if !ok {
 		return formula.Empty()
 	}
 	if c.dirty {
-		e.evaluate(at, c)
+		if c.evaluating {
+			return formula.Errorf("#CYCLE!")
+		}
+		r.e.evaluate(at, c)
 	}
 	return c.value
 }
 
-// CellValue implements formula.Resolver: reading a dirty precedent evaluates
-// it first, which makes recalculation naturally topological.
-func (e *Engine) CellValue(at ref.Ref) formula.Value {
-	if e.evaluating[at] {
-		return formula.Errorf("#CYCLE!")
-	}
-	return e.Value(at)
-}
-
 func (e *Engine) evaluate(at ref.Ref, c *cell) {
-	if c.ast == nil {
-		c.dirty = false
-		return
+	if c.ast != nil {
+		c.evaluating = true
+		c.value = formula.Eval(c.ast, evalResolver{e})
+		c.evaluating = false
 	}
-	e.evaluating[at] = true
-	c.value = formula.Eval(c.ast, e)
-	delete(e.evaluating, at)
 	c.dirty = false
+	delete(e.dirty, at)
 }
 
 // Formula returns the formula source of a cell ("" for value cells).
@@ -286,21 +353,26 @@ func (e *Engine) SetFormulaParsed(at ref.Ref, src string, ast formula.Node) []re
 func (e *Engine) ClearCell(at ref.Ref) []ref.Range {
 	if old, ok := e.cells[at]; ok && old.ast != nil {
 		e.graph.Clear(ref.CellRange(at))
-		e.nformulas--
+		e.formulas.Delete(ref.CellRange(at), func(ref.Ref) bool { return true })
 	}
 	delete(e.cells, at)
+	delete(e.dirty, at)
 	return e.invalidate(at)
 }
 
 // invalidate marks the transitive dependents of at dirty and returns them.
 // This is the critical-path step of the asynchronous model: its cost is
-// dominated by the dependency-graph traversal.
+// dominated by the dependency-graph traversal. Marking intersects each dirty
+// range with the formula index rather than probing every cell of the range —
+// a dependents range can span whole columns while holding a handful of
+// formulae.
 func (e *Engine) invalidate(at ref.Ref) []ref.Range {
 	dirty := e.graph.Dependents(ref.CellRange(at))
 	for _, rng := range dirty {
-		rng.Cells(func(c ref.Ref) bool {
-			if cc, ok := e.cells[c]; ok && cc.ast != nil {
-				cc.dirty = true
+		e.formulas.Search(rng, func(_ ref.Range, fat ref.Ref) bool {
+			if c := e.cells[fat]; c != nil && !c.dirty {
+				c.dirty = true
+				e.dirty[fat] = c
 			}
 			return true
 		})
@@ -315,10 +387,11 @@ func (e *Engine) Dirty(at ref.Ref) bool {
 }
 
 // RecalculateAll evaluates every dirty formula cell (the background phase of
-// the asynchronous model). It returns the number of cells recalculated.
+// the asynchronous model). It returns the number of cells evaluated directly;
+// transitively evaluated precedents are drained from the dirty set too.
 func (e *Engine) RecalculateAll() int {
 	n := 0
-	for at, c := range e.cells {
+	for at, c := range e.dirty {
 		if c.dirty {
 			e.evaluate(at, c)
 			n++
@@ -326,6 +399,29 @@ func (e *Engine) RecalculateAll() int {
 	}
 	return n
 }
+
+// RecalculateN evaluates up to max dirty cells and returns how many it
+// evaluated directly. A background worker drains in bounded chunks so a
+// large recalculation never holds a session lock for its full duration —
+// readers interleave between chunks. Note a single evaluation can clean an
+// arbitrary number of transitive precedents (chains), so the work per call is
+// bounded in evaluations started, not cells cleaned.
+func (e *Engine) RecalculateN(max int) int {
+	n := 0
+	for at, c := range e.dirty {
+		if n >= max {
+			break
+		}
+		if c.dirty {
+			e.evaluate(at, c)
+			n++
+		}
+	}
+	return n
+}
+
+// Pending returns the number of cells awaiting recalculation.
+func (e *Engine) Pending() int { return len(e.dirty) }
 
 // Dependents exposes the graph's dependents query (used by tracing tools).
 func (e *Engine) Dependents(r ref.Range) []ref.Range { return e.graph.Dependents(r) }
@@ -337,7 +433,7 @@ func (e *Engine) Precedents(r ref.Range) []ref.Range { return e.graph.Precedents
 func (e *Engine) NumCells() int { return len(e.cells) }
 
 // NumFormulas returns the number of formula cells.
-func (e *Engine) NumFormulas() int { return e.nformulas }
+func (e *Engine) NumFormulas() int { return e.formulas.Len() }
 
 // GraphStats returns the compressed graph's size statistics. ok is false
 // when the engine drives a non-TACO backend.
@@ -347,3 +443,40 @@ func (e *Engine) GraphStats() (core.Stats, bool) {
 	}
 	return core.Stats{}, false
 }
+
+// TACOGraph returns the underlying compressed graph, or nil for non-TACO
+// backends. A serving layer pins it across spills: the compressed graph is
+// the compact part of a session (the paper's point), so queries against a
+// spilled session can traverse it in memory while only the cell store pays
+// the spill round-trip.
+func (e *Engine) TACOGraph() *core.Graph {
+	if tg, ok := e.graph.(TACO); ok {
+		return tg.G
+	}
+	return nil
+}
+
+// Recycle returns the engine's recyclable containers (cell map, dirty set,
+// restore slabs) to package pools. Only for owners discarding the engine —
+// the serving layer's spill path, which holds the session exclusively and
+// drops its last reference right after. The graph is untouched (it may be
+// pinned and outlive the engine). Using the engine after Recycle is a bug.
+func (e *Engine) Recycle() {
+	for _, block := range e.slabs {
+		clear(block) // drop AST/string references before pooling
+		slabPool.Put(block[:0])
+	}
+	e.slabs = nil
+	clear(e.cells)
+	cellMapPool.Put(e.cells)
+	e.cells = nil
+	e.dirty = nil
+	e.formulas = nil
+}
+
+var (
+	cellMapPool = sync.Pool{New: func() any { return make(map[ref.Ref]*cell, 1024) }}
+	slabPool    = sync.Pool{New: func() any { return make([]cell, 0, slabBlockSize) }}
+)
+
+const slabBlockSize = 1024

@@ -20,6 +20,7 @@ func TestSetValueAndFormula(t *testing.T) {
 	if _, err := e.SetFormula(ref.MustCell("B1"), "SUM(A1:A2)*10"); err != nil {
 		t.Fatal(err)
 	}
+	e.RecalculateAll()
 	if v := e.Value(ref.MustCell("B1")); v.Num != 50 {
 		t.Fatalf("B1 = %v", v)
 	}
@@ -34,6 +35,7 @@ func TestUpdatePropagates(t *testing.T) {
 	if _, err := e.SetFormula(ref.MustCell("C1"), "B1+1"); err != nil {
 		t.Fatal(err)
 	}
+	e.RecalculateAll()
 	if v := e.Value(ref.MustCell("C1")); v.Num != 3 {
 		t.Fatalf("C1 = %v", v)
 	}
@@ -54,16 +56,85 @@ func TestUpdatePropagates(t *testing.T) {
 	}
 }
 
-func TestLazyEvaluationOnRead(t *testing.T) {
+func TestReadsAreSideEffectFree(t *testing.T) {
 	e := newTACO()
 	e.SetValue(ref.MustCell("A1"), formula.Num(1))
 	if _, err := e.SetFormula(ref.MustCell("B1"), "A1*2"); err != nil {
 		t.Fatal(err)
 	}
+	e.RecalculateAll()
 	e.SetValue(ref.MustCell("A1"), formula.Num(5))
-	// Reading a dirty cell evaluates it without an explicit recalc pass.
-	if v := e.Value(ref.MustCell("B1")); v.Num != 10 {
+	// Reads never evaluate: a dirty cell keeps returning its stale value
+	// (flagged by Peek/Dirty) until an explicit recalculation drains it —
+	// which is what makes reads safe under a shared read lock.
+	if v := e.Value(ref.MustCell("B1")); v.Num != 2 {
+		t.Fatalf("stale B1 = %v, want 2", v)
+	}
+	if v, clean := e.Peek(ref.MustCell("B1")); clean || v.Num != 2 {
+		t.Fatalf("Peek B1 = %v clean=%v, want stale 2", v, clean)
+	}
+	if !e.Dirty(ref.MustCell("B1")) || e.Pending() != 1 {
+		t.Fatalf("B1 dirty=%v pending=%d", e.Dirty(ref.MustCell("B1")), e.Pending())
+	}
+	e.RecalculateAll()
+	if v, clean := e.Peek(ref.MustCell("B1")); !clean || v.Num != 10 {
+		t.Fatalf("B1 after recalc = %v clean=%v", v, clean)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+}
+
+func TestRecalculateNDrainsInChunks(t *testing.T) {
+	e := newTACO()
+	e.SetValue(ref.MustCell("A1"), formula.Num(1))
+	for row := 1; row <= 40; row++ {
+		at := ref.Ref{Col: 2, Row: row}
+		if _, err := e.SetFormula(at, "$A$1*2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RecalculateAll()
+	e.SetValue(ref.MustCell("A1"), formula.Num(3))
+	if e.Pending() != 40 {
+		t.Fatalf("pending = %d, want 40", e.Pending())
+	}
+	steps := 0
+	for e.Pending() > 0 {
+		if n := e.RecalculateN(8); n == 0 {
+			t.Fatal("RecalculateN made no progress")
+		}
+		steps++
+		if steps > 40 {
+			t.Fatal("RecalculateN failed to converge")
+		}
+	}
+	if steps < 2 {
+		t.Fatalf("expected multiple chunks, got %d", steps)
+	}
+	if v := e.Value(ref.Ref{Col: 2, Row: 17}); v.Num != 6 {
+		t.Fatalf("B17 = %v", v)
+	}
+}
+
+func TestLoadBulkParsedDuplicateRefsLaterWins(t *testing.T) {
+	// A formula overwritten by a value at the same ref: the later cell wins
+	// and no stale formula survives in the index or the dirty set.
+	ast := formula.MustParse("A1*2")
+	e := LoadBulkParsed([]ParsedCell{
+		{At: ref.MustCell("A1"), Value: formula.Num(3)},
+		{At: ref.MustCell("B1"), Src: "A1*2", AST: ast},
+		{At: ref.MustCell("B1"), Value: formula.Num(7)},
+	})
+	if e.NumCells() != 2 || e.NumFormulas() != 0 || e.Pending() != 0 {
+		t.Fatalf("cells=%d formulas=%d pending=%d", e.NumCells(), e.NumFormulas(), e.Pending())
+	}
+	if v := e.Value(ref.MustCell("B1")); v.Num != 7 {
 		t.Fatalf("B1 = %v", v)
+	}
+	// And no dangling dependency fires on edits to A1.
+	if dirty := e.SetValue(ref.MustCell("A1"), formula.Num(9)); core.CountCells(dirty) != 0 {
+		t.Fatalf("stale dependency: %v", dirty)
 	}
 }
 
@@ -113,6 +184,7 @@ func TestCycleDetection(t *testing.T) {
 	if _, err := e.SetFormula(ref.MustCell("B1"), "A1+1"); err != nil {
 		t.Fatal(err)
 	}
+	e.RecalculateAll()
 	v := e.Value(ref.MustCell("A1"))
 	if !v.IsError() {
 		t.Fatalf("cycle value = %v, want error", v)

@@ -2,16 +2,19 @@ package engine
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"taco/internal/core"
 	"taco/internal/formula"
 	"taco/internal/ref"
+	"taco/internal/rtree"
 )
 
 // This file implements engine-level snapshotting: serialising a whole live
@@ -21,6 +24,12 @@ import (
 // values, so a restored engine answers reads immediately; the graph section
 // reuses the core snapshot format (and its bulk-loaded R-tree restore).
 //
+// Besides the full restore, two partial readers serve a spilled session
+// without making it resident: ReadSnapshotGraph skims the cell section and
+// decodes only the graph (dependents/precedents queries), and
+// ScanSnapshotCells streams the cell records without building an engine
+// (range reads). Both exist for the serving layer's non-faulting read path.
+//
 // Format:
 //
 //	magic "TACOE1" | cell count N | N cell records | core graph snapshot
@@ -28,7 +37,7 @@ import (
 // Each cell record: col uvarint, row uvarint, kind byte, then the payload.
 // Kind 0 is a value cell (value only), kind 1 a formula with its cached
 // value (source + value), kind 2 a formula without a cached value (source
-// only — restored dirty and recomputed on first read; used when the cached
+// only — restored dirty and recomputed on demand; used when the cached
 // value is itself too large to snapshot). Values are a formula.Kind byte
 // plus a kind-specific payload.
 
@@ -48,17 +57,81 @@ const (
 	maxCellsHint      = 1 << 16
 )
 
+// snapWriter is the buffered sink the encoder needs; callers passing one
+// (bytes.Buffer, bufio.Writer) skip the wrapper layer and its extra copy.
+type snapWriter interface {
+	io.Writer
+	io.ByteWriter
+	io.StringWriter
+}
+
 // WriteSnapshot serialises the engine. Dirty cells are recalculated first so
 // the stored values are authoritative, which lets RestoreSnapshot mark every
-// cell clean. Engines driving a non-TACO graph backend cannot be
-// snapshotted.
+// cell clean (oversized computed values excepted — they round-trip as
+// dirty). Engines driving a non-TACO graph backend cannot be snapshotted.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
+	_, _, err := e.writeSnapshot(w, nil, 0)
+	return err
+}
+
+// WriteSnapshotCached is WriteSnapshot reusing a pre-encoded graph section:
+// when gen still matches the graph's generation, blob is appended verbatim
+// instead of re-encoding the (unchanged) edge set — value-only edit streams
+// never touch the graph, so spill-heavy hosts skip most of the encode work.
+// It returns the blob and generation to cache for the next call.
+func (e *Engine) WriteSnapshotCached(w io.Writer, blob []byte, gen uint64) ([]byte, uint64, error) {
+	return e.writeSnapshot(w, blob, gen)
+}
+
+func (e *Engine) writeSnapshot(w io.Writer, blob []byte, gen uint64) ([]byte, uint64, error) {
 	tg, ok := e.graph.(TACO)
 	if !ok {
-		return errors.New("engine: only TACO-backed engines support snapshots")
+		return nil, 0, errors.New("engine: only TACO-backed engines support snapshots")
 	}
 	e.RecalculateAll()
-	bw := bufio.NewWriter(w)
+	if err := e.writeCells(w); err != nil {
+		return nil, 0, err
+	}
+	if blob == nil || gen != tg.G.Gen() {
+		var gb bytes.Buffer
+		if err := tg.G.WriteSnapshot(&gb); err != nil {
+			return nil, 0, err
+		}
+		blob, gen = gb.Bytes(), tg.G.Gen()
+	}
+	if _, err := w.Write(blob); err != nil {
+		return nil, 0, err
+	}
+	return blob, gen, nil
+}
+
+// cellSortScratch recycles the per-spill sort buffers: spill-heavy hosts
+// serialise constantly, and these are the only per-call allocations left in
+// the encoder.
+type cellSortScratch struct {
+	pairs []cellKV
+	keys  []uint64
+}
+
+type cellKV struct {
+	at ref.Ref
+	c  *cell
+}
+
+var cellSortPool = sync.Pool{New: func() any { return new(cellSortScratch) }}
+
+// Bit budget for the packed cell sort key: (col, row, index) in one uint64.
+const (
+	snapIdxBits = 20
+	snapRowBits = 22
+	snapColBits = 22
+)
+
+func (e *Engine) writeCells(w io.Writer) error {
+	bw, buffered := w.(snapWriter)
+	if !buffered {
+		bw = bufio.NewWriter(w)
+	}
 	if _, err := bw.Write(engineSnapshotMagic); err != nil {
 		return err
 	}
@@ -79,55 +152,96 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 	// Deterministic column-major order so equal engines produce identical
-	// bytes, mirroring the core snapshot's guarantee.
-	cells := make([]ref.Ref, 0, len(e.cells))
-	for at := range e.cells {
-		cells = append(cells, at)
+	// bytes, mirroring the core snapshot's guarantee. The common case packs
+	// (col, row, index) into one uint64 per cell and uses the specialised
+	// integer sort — far cheaper than a comparator sort of structs.
+	// Coordinates outside the packable range fall back to the comparator.
+	scratch := cellSortPool.Get().(*cellSortScratch)
+	defer func() {
+		clear(scratch.pairs) // drop cell references before pooling
+		scratch.pairs = scratch.pairs[:0]
+		scratch.keys = scratch.keys[:0]
+		cellSortPool.Put(scratch)
+	}()
+	pairs := scratch.pairs[:0]
+	for at, c := range e.cells {
+		pairs = append(pairs, cellKV{at, c})
 	}
-	sort.Slice(cells, func(i, j int) bool { return ref.ColumnMajorLess(cells[i], cells[j]) })
-	if err := putUvarint(uint64(len(cells))); err != nil {
+	scratch.pairs = pairs
+	if err := putUvarint(uint64(len(pairs))); err != nil {
 		return err
 	}
-	for _, at := range cells {
-		c := e.cells[at]
-		if err := putUvarint(uint64(at.Col)); err != nil {
-			return err
-		}
-		if err := putUvarint(uint64(at.Row)); err != nil {
-			return err
-		}
-		kind := byte(0)
-		if c.ast != nil {
-			kind = 1
-			// A computed value can outgrow the snapshot string limit (string
-			// concatenation compounds); it is only a cache, so persist the
-			// formula alone and let the restored engine recompute it.
-			if c.value.Kind == formula.KindString && len(c.value.Str) > MaxSnapshotString {
-				kind = 2
+	packable := len(pairs) < 1<<snapIdxBits
+	if packable {
+		keys := scratch.keys[:0]
+		for i, p := range pairs {
+			if p.at.Col >= 1<<snapColBits || p.at.Row >= 1<<snapRowBits {
+				packable = false
+				break
 			}
+			keys = append(keys, uint64(p.at.Col)<<(snapRowBits+snapIdxBits)|
+				uint64(p.at.Row)<<snapIdxBits|uint64(i))
 		}
-		if err := bw.WriteByte(kind); err != nil {
-			return err
-		}
-		if kind != 0 {
-			if err := putString(c.src); err != nil {
-				return err
+		scratch.keys = keys
+		if packable {
+			slices.Sort(keys)
+			for _, k := range keys {
+				p := pairs[k&(1<<snapIdxBits-1)]
+				if err := e.writeCell(bw, putUvarint, putString, p.at, p.c); err != nil {
+					return err
+				}
 			}
+			if f, isBufio := bw.(*bufio.Writer); isBufio {
+				return f.Flush()
+			}
+			return nil
 		}
-		if kind == 2 {
-			continue
-		}
-		if err := writeValue(bw, putUvarint, putString, c.value); err != nil {
+	}
+	slices.SortFunc(pairs, func(a, b cellKV) int { return ref.ColumnMajorCompare(a.at, b.at) })
+	for _, p := range pairs {
+		if err := e.writeCell(bw, putUvarint, putString, p.at, p.c); err != nil {
 			return err
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		return err
+	if f, isBufio := bw.(*bufio.Writer); isBufio {
+		return f.Flush()
 	}
-	return tg.G.WriteSnapshot(w)
+	return nil
 }
 
-func writeValue(bw *bufio.Writer, putUvarint func(uint64) error, putString func(string) error, v formula.Value) error {
+// writeCell encodes one cell record.
+func (e *Engine) writeCell(bw snapWriter, putUvarint func(uint64) error, putString func(string) error, at ref.Ref, c *cell) error {
+	if err := putUvarint(uint64(at.Col)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(at.Row)); err != nil {
+		return err
+	}
+	kind := byte(0)
+	if c.ast != nil {
+		kind = 1
+		// A computed value can outgrow the snapshot string limit (string
+		// concatenation compounds); it is only a cache, so persist the
+		// formula alone and let the restored engine recompute it.
+		if c.value.Kind == formula.KindString && len(c.value.Str) > MaxSnapshotString {
+			kind = 2
+		}
+	}
+	if err := bw.WriteByte(kind); err != nil {
+		return err
+	}
+	if kind != 0 {
+		if err := putString(c.src); err != nil {
+			return err
+		}
+	}
+	if kind == 2 {
+		return nil
+	}
+	return writeValue(bw, putUvarint, putString, c.value)
+}
+
+func writeValue(bw snapWriter, putUvarint func(uint64) error, putString func(string) error, v formula.Value) error {
 	if err := bw.WriteByte(byte(v.Kind)); err != nil {
 		return err
 	}
@@ -151,95 +265,282 @@ func writeValue(bw *bufio.Writer, putUvarint func(uint64) error, putString func(
 	}
 }
 
-// RestoreSnapshot loads an engine written by WriteSnapshot. Cells are
-// restored with their cached values (formulae whose cached value was too
-// large to persist come back dirty and recompute on first read); the graph
-// is bulk-loaded through the core snapshot path, so no dependency is
-// recompressed.
-func RestoreSnapshot(r io.Reader) (*Engine, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(engineSnapshotMagic))
+// SnapshotCell is one decoded cell record, as streamed by ScanSnapshotCells.
+type SnapshotCell struct {
+	At    ref.Ref
+	Src   string       // formula source ("" for value cells)
+	AST   formula.Node // parsed formula; nil for value cells or unparsed scans
+	Value formula.Value
+	Dirty bool // formula restored without a cached value (kind 2)
+}
+
+// scanCells decodes the cell section (magic, count, records), invoking fn
+// per cell. With fn == nil it skims: payloads are length-skipped without
+// allocating, which is how graph-only restores pay almost nothing for the
+// cells they don't need. With parse set, formula sources go through the
+// process-wide parse cache and Src is the cache's canonical string — a
+// restore of a previously-seen session allocates no per-formula memory.
+// hint, when non-nil, receives the cell count (clamped against hostile
+// values) before the first record so callers can pre-size containers.
+// On return the reader is positioned at the graph section.
+func scanCells(br *bufio.Reader, parse bool, hint func(int), fn func(SnapshotCell) error) error {
+	var magicBuf [8]byte
+	magic := magicBuf[:len(engineSnapshotMagic)]
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadEngineSnapshot, err)
+		return fmt.Errorf("%w: %v", ErrBadEngineSnapshot, err)
 	}
 	if string(magic) != string(engineSnapshotMagic) {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadEngineSnapshot, magic)
+		return fmt.Errorf("%w: bad magic %q", ErrBadEngineSnapshot, magic)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadEngineSnapshot, err)
+		return fmt.Errorf("%w: %v", ErrBadEngineSnapshot, err)
 	}
-	readString := func() (string, error) {
+	if hint != nil {
+		hint(int(min(count, maxCellsHint)))
+	}
+	var scratch []byte
+	readBytes := func() ([]byte, error) {
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		if n > MaxSnapshotString {
-			return "", fmt.Errorf("string length %d exceeds limit", n)
+			return nil, fmt.Errorf("string length %d exceeds limit", n)
 		}
-		b := make([]byte, n)
+		if uint64(cap(scratch)) < n {
+			scratch = make([]byte, n)
+		}
+		b := scratch[:n]
 		if _, err := io.ReadFull(br, b); err != nil {
-			return "", err
+			return nil, err
 		}
-		return string(b), nil
+		return b, nil
 	}
-	// The cell loop fails naturally on truncated input; only the up-front
-	// allocation hint needs bounding against a hostile count.
-	cells := make(map[ref.Ref]*cell, int(min(count, maxCellsHint)))
-	nformulas := 0
+	skipBytes := func() error {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if n > MaxSnapshotString {
+			return fmt.Errorf("string length %d exceeds limit", n)
+		}
+		_, err = br.Discard(int(n))
+		return err
+	}
+	readString := func() (string, error) {
+		b, err := readBytes()
+		return string(b), err
+	}
+	// The cell loop fails naturally on truncated input; only up-front
+	// allocations need bounding against a hostile count.
 	for i := uint64(0); i < count; i++ {
 		col, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+			return fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
 		}
 		row, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+			return fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
 		}
 		at := ref.Ref{Col: int(col), Row: int(row)}
 		if !at.Valid() {
-			return nil, fmt.Errorf("%w: cell %d: invalid ref %v", ErrBadEngineSnapshot, i, at)
+			return fmt.Errorf("%w: cell %d: invalid ref %v", ErrBadEngineSnapshot, i, at)
 		}
 		kind, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+			return fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
 		}
-		c := &cell{}
-		if kind == 1 || kind == 2 {
-			src, err := readString()
-			if err != nil {
-				return nil, fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+		if kind > 2 {
+			return fmt.Errorf("%w: cell %d: unknown cell kind %d", ErrBadEngineSnapshot, i, kind)
+		}
+		if fn == nil { // skim mode
+			if kind != 0 {
+				if err := skipBytes(); err != nil {
+					return fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+				}
 			}
-			ast, err := formula.Parse(src)
-			if err != nil {
-				return nil, fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+			if kind != 2 {
+				if err := skipValue(br); err != nil {
+					return fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+				}
 			}
-			c.ast, c.src = ast, src
-			nformulas++
-		} else if kind != 0 {
-			return nil, fmt.Errorf("%w: cell %d: unknown cell kind %d", ErrBadEngineSnapshot, i, kind)
+			continue
+		}
+		sc := SnapshotCell{At: at}
+		if kind != 0 {
+			b, err := readBytes()
+			if err != nil {
+				return fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+			}
+			if parse {
+				ast, src, err := formula.ParseCachedBytes(b)
+				if err != nil {
+					return fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+				}
+				sc.AST, sc.Src = ast, src
+			} else {
+				sc.Src = string(b)
+			}
 		}
 		if kind == 2 {
-			c.dirty = true // no cached value; recomputed on first read
+			sc.Dirty = true // no cached value; recomputed on demand
 		} else {
 			v, err := readValue(br, readString)
 			if err != nil {
-				return nil, fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
+				return fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
 			}
-			c.value = v
+			sc.Value = v
 		}
-		cells[at] = c
+		if err := fn(sc); err != nil {
+			return err
+		}
 	}
-	g, err := core.ReadSnapshot(br, core.DefaultOptions())
+	return nil
+}
+
+// RestoreSnapshot loads an engine written by WriteSnapshot. Cells are
+// restored with their cached values (formulae whose cached value was too
+// large to persist come back dirty and recompute on demand); the graph is
+// bulk-loaded through the core snapshot path, so no dependency is
+// recompressed, and formula sources hit the process-wide parse cache.
+func RestoreSnapshot(r io.Reader) (*Engine, error) {
+	return restoreSnapshot(r, nil)
+}
+
+// RestoreSnapshotWithGraph is RestoreSnapshot for a caller that kept the
+// session's compressed graph pinned in memory across the spill: only the
+// cell section is decoded, and the engine is rebuilt around g — the graph
+// section of the stream is left unread. g must be the exact graph the
+// snapshot was written with (the serving layer guarantees this by pinning at
+// spill time and invalidating on any revision change).
+func RestoreSnapshotWithGraph(r io.Reader, g *core.Graph) (*Engine, error) {
+	if g == nil {
+		return nil, errors.New("engine: RestoreSnapshotWithGraph needs a graph")
+	}
+	return restoreSnapshot(r, g)
+}
+
+func restoreSnapshot(r io.Reader, pinned *core.Graph) (*Engine, error) {
+	br, isBufio := r.(*bufio.Reader)
+	if !isBufio {
+		br = bufio.NewReader(r)
+	}
+	cells := cellMapPool.Get().(map[ref.Ref]*cell)
+	dirty := make(map[ref.Ref]*cell)
+	var fitems []rtree.Item[ref.Ref]
+	// Slab-allocate cell records in pooled blocks: pointers into a full
+	// block stay valid (blocks never regrow), and the restore/spill churn of
+	// a capped host stops allocating once the pools warm up.
+	var slabs [][]cell
+	var block []cell
+	newCell := func() *cell {
+		if len(block) == cap(block) {
+			block = slabPool.Get().([]cell)
+			slabs = append(slabs, block)
+		}
+		block = append(block, cell{})
+		slabs[len(slabs)-1] = block
+		return &block[len(block)-1]
+	}
+	hint := func(n int) {
+		fitems = make([]rtree.Item[ref.Ref], 0, n)
+	}
+	err := scanCells(br, true, hint, func(sc SnapshotCell) error {
+		c := newCell()
+		*c = cell{ast: sc.AST, src: sc.Src, value: sc.Value, dirty: sc.Dirty}
+		cells[sc.At] = c
+		if sc.AST != nil {
+			fitems = append(fitems, rtree.Item[ref.Ref]{Rect: ref.CellRange(sc.At), Value: sc.At})
+		}
+		if sc.Dirty {
+			dirty[sc.At] = c
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	g := pinned
+	if g == nil {
+		g, err = core.ReadSnapshot(br, core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &Engine{
-		graph:      TACO{G: g},
-		cells:      cells,
-		nformulas:  nformulas,
-		evaluating: make(map[ref.Ref]bool),
+		graph:    TACO{G: g},
+		cells:    cells,
+		formulas: rtree.BulkLoad(fitems),
+		dirty:    dirty,
+		slabs:    slabs,
 	}, nil
+}
+
+// ReadSnapshotGraph decodes only the compressed formula graph of an engine
+// snapshot, skimming the cell section without materialising cells or parsing
+// formulae. A serving layer uses it to answer dependents/precedents queries
+// against a spilled session without faulting it back to residency.
+func ReadSnapshotGraph(r io.Reader) (*core.Graph, error) {
+	br, isBufio := r.(*bufio.Reader)
+	if !isBufio {
+		br = bufio.NewReader(r)
+	}
+	if err := scanCells(br, false, nil, nil); err != nil {
+		return nil, err
+	}
+	return core.ReadSnapshot(br, core.DefaultOptions())
+}
+
+// ScanSnapshotCells streams the cell records of an engine snapshot in the
+// written (column-major) order, stopping early when fn returns false. It
+// never builds an engine — the serving layer's read path for spilled
+// sessions. Formula sources are returned unparsed (AST is nil).
+func ScanSnapshotCells(r io.Reader, fn func(SnapshotCell) bool) error {
+	br, isBufio := r.(*bufio.Reader)
+	if !isBufio {
+		br = bufio.NewReader(r)
+	}
+	errStop := errors.New("stop")
+	err := scanCells(br, false, nil, func(sc SnapshotCell) error {
+		if !fn(sc) {
+			return errStop
+		}
+		return nil
+	})
+	if errors.Is(err, errStop) {
+		return nil
+	}
+	return err
+}
+
+func skipValue(br *bufio.Reader) error {
+	kb, err := br.ReadByte()
+	if err != nil {
+		return err
+	}
+	switch formula.Kind(kb) {
+	case formula.KindEmpty:
+		return nil
+	case formula.KindNumber:
+		_, err := binary.ReadUvarint(br)
+		return err
+	case formula.KindString, formula.KindError:
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if n > MaxSnapshotString {
+			return fmt.Errorf("string length %d exceeds limit", n)
+		}
+		_, err = br.Discard(int(n))
+		return err
+	case formula.KindBool:
+		_, err := br.ReadByte()
+		return err
+	default:
+		return fmt.Errorf("unknown value kind %d", kb)
+	}
 }
 
 func readValue(br *bufio.Reader, readString func() (string, error)) (formula.Value, error) {

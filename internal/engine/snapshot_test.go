@@ -101,6 +101,13 @@ func TestSnapshotOversizedComputedValue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The oversized cached value comes back dirty (pending) and is
+	// recomputed by the next recalculation, not by the (side-effect-free)
+	// read itself.
+	if !r.Dirty(ref.MustCell("B1")) || r.Pending() != 1 {
+		t.Fatalf("B1 dirty=%v pending=%d, want dirty", r.Dirty(ref.MustCell("B1")), r.Pending())
+	}
+	r.RecalculateAll()
 	if got := r.Value(ref.MustCell("B1")); len(got.Str) != len(big)*2 {
 		t.Fatalf("B1 recomputed to %d bytes, want %d", len(got.Str), len(big)*2)
 	}

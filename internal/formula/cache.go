@@ -1,0 +1,84 @@
+package formula
+
+import "sync"
+
+// This file implements a process-wide memoising parser front-end. Spreadsheet
+// hosts parse the same formula sources over and over: restoring a spilled
+// session re-parses every formula it ever held, scenario generators emit
+// identical formula shapes across sessions, and edit streams replay formulae
+// that were parsed at load time. ASTs are immutable once built — every
+// transformer (Shift) copies, and evaluation only reads — so sharing parsed
+// nodes between engines and sessions is safe.
+
+const (
+	// parseCacheMaxBytes bounds the total source bytes the cache retains.
+	// When an insert would exceed it the cache is dropped wholesale —
+	// crude, but O(1), allocation-free on the hit path, and resistant to a
+	// hostile tenant streaming unique formulae to pin host memory.
+	parseCacheMaxBytes = 8 << 20
+	// parseCacheMaxEntry keeps pathological single formulae from dominating
+	// the budget; longer sources parse uncached.
+	parseCacheMaxEntry = 64 << 10
+)
+
+type cacheEntry struct {
+	node Node
+	src  string // canonical copy of the source
+}
+
+var parseCache = struct {
+	sync.RWMutex
+	m     map[string]cacheEntry
+	bytes int
+}{m: make(map[string]cacheEntry)}
+
+// ParseCached is Parse with memoisation. Callers must treat the returned AST
+// as immutable (Parse's contract already implies this — nothing in this
+// package mutates a parsed tree). Parse errors are not cached.
+func ParseCached(src string) (Node, error) {
+	n, _, err := parseCachedKey(src)
+	return n, err
+}
+
+// ParseCachedBytes is ParseCached for a transient byte buffer. On a cache
+// hit it allocates nothing — the map lookup converts without copying, and
+// the returned canonical string is the cache's — which is what makes
+// restoring a spilled session's formulae nearly free.
+func ParseCachedBytes(src []byte) (Node, string, error) {
+	parseCache.RLock()
+	e, ok := parseCache.m[string(src)] // no-copy lookup
+	parseCache.RUnlock()
+	if ok {
+		return e.node, e.src, nil
+	}
+	return parseCachedKey(string(src))
+}
+
+func parseCachedKey(src string) (Node, string, error) {
+	parseCache.RLock()
+	e, ok := parseCache.m[src]
+	parseCache.RUnlock()
+	if ok {
+		return e.node, e.src, nil
+	}
+	n, err := Parse(src)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(src) > parseCacheMaxEntry {
+		return n, src, nil
+	}
+	parseCache.Lock()
+	if parseCache.bytes+len(src) > parseCacheMaxBytes {
+		parseCache.m = make(map[string]cacheEntry, 1024)
+		parseCache.bytes = 0
+	}
+	if prev, dup := parseCache.m[src]; dup {
+		n, src = prev.node, prev.src
+	} else {
+		parseCache.m[src] = cacheEntry{node: n, src: src}
+		parseCache.bytes += len(src)
+	}
+	parseCache.Unlock()
+	return n, src, nil
+}

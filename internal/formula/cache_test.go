@@ -1,0 +1,83 @@
+package formula
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParseCachedSharesNodes(t *testing.T) {
+	a, err := ParseCached("SUM(A1:A9)*2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseCached("SUM(A1:A9)*2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache miss on identical source")
+	}
+	if Text(a) != "(SUM(A1:A9)*2)" && Text(a) != "SUM(A1:A9)*2" {
+		t.Fatalf("unexpected round trip %q", Text(a))
+	}
+}
+
+func TestParseCachedBytesHitAllocatesNothing(t *testing.T) {
+	src := []byte("A1+B2*3")
+	if _, _, err := ParseCachedBytes(src); err != nil { // warm
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := ParseCachedBytes(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocated %v times", allocs)
+	}
+}
+
+func TestParseCachedBytesCanonicalSrc(t *testing.T) {
+	buf := []byte("A1*7")
+	n1, s1, err := ParseCachedBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'B' // scribble over the transient buffer
+	n2, s2, err := ParseCachedBytes([]byte("A1*7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != "A1*7" || s2 != "A1*7" || n1 != n2 {
+		t.Fatalf("canonical src corrupted: %q %q", s1, s2)
+	}
+}
+
+func TestParseCachedErrorsNotCached(t *testing.T) {
+	if _, err := ParseCached("SUM("); err == nil {
+		t.Fatal("want parse error")
+	}
+	if _, err := ParseCached("SUM("); err == nil {
+		t.Fatal("want parse error on second call")
+	}
+}
+
+func TestParseCacheBoundedReset(t *testing.T) {
+	// Stream more unique source bytes than the cache budget: the cache must
+	// reset rather than grow without bound, and stay correct throughout.
+	padding := make([]byte, 1024)
+	for i := range padding {
+		padding[i] = 'A'
+	}
+	for i := 0; i < 2*(parseCacheMaxBytes/len(padding)); i++ {
+		src := fmt.Sprintf("%d+LEN(\"%s\")", i, padding)
+		if _, err := ParseCached(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parseCache.RLock()
+	defer parseCache.RUnlock()
+	if parseCache.bytes > parseCacheMaxBytes {
+		t.Fatalf("cache grew to %d bytes (budget %d)", parseCache.bytes, parseCacheMaxBytes)
+	}
+}

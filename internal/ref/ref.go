@@ -57,15 +57,19 @@ func (r Ref) Before(b Ref) bool {
 // String renders the cell in A1 notation.
 func (r Ref) String() string { return FormatA1(r) }
 
-// ColumnMajorLess orders cells column by column, top to bottom — the load
-// order that hands the bulk compressor its adjacent runs and that keeps
-// snapshots deterministic. Every sorter feeding either path must use it.
-func ColumnMajorLess(a, b Ref) bool {
+// ColumnMajorCompare orders cells column by column, top to bottom — the
+// load order that hands the bulk compressor its adjacent runs and that
+// keeps snapshots deterministic. Every sorter feeding either path must use
+// it (directly or via ColumnMajorLess) so the orderings cannot diverge.
+func ColumnMajorCompare(a, b Ref) int {
 	if a.Col != b.Col {
-		return a.Col < b.Col
+		return a.Col - b.Col
 	}
-	return a.Row < b.Row
+	return a.Row - b.Row
 }
+
+// ColumnMajorLess is ColumnMajorCompare as a less function.
+func ColumnMajorLess(a, b Ref) bool { return ColumnMajorCompare(a, b) < 0 }
 
 // Range is a rectangular region of cells identified by its top-left (Head)
 // and bottom-right (Tail) corners, inclusive on all sides.

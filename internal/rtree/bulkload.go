@@ -1,7 +1,7 @@
 package rtree
 
 import (
-	"sort"
+	"slices"
 
 	"taco/internal/ref"
 )
@@ -33,10 +33,6 @@ func BulkLoad[T any](items []Item[T]) *Tree[T] {
 	return t
 }
 
-func center(r ref.Range) (float64, float64) {
-	return float64(r.Head.Col+r.Tail.Col) / 2, float64(r.Head.Row+r.Tail.Row) / 2
-}
-
 func packLeaves[T any](items []Item[T]) []*node[T] {
 	entries := make([]entry[T], len(items))
 	for i, it := range items {
@@ -63,10 +59,10 @@ func pack[T any](entries []entry[T], leaf bool) []*node[T] {
 	}
 	perSlice := (n + sliceCount - 1) / sliceCount
 
-	sort.Slice(entries, func(i, j int) bool {
-		xi, _ := center(entries[i].rect)
-		xj, _ := center(entries[j].rect)
-		return xi < xj
+	// Integer center comparisons (2x the true center): reflection-free and
+	// overflow-safe for spreadsheet coordinates.
+	slices.SortFunc(entries, func(a, b entry[T]) int {
+		return (a.rect.Head.Col + a.rect.Tail.Col) - (b.rect.Head.Col + b.rect.Tail.Col)
 	})
 
 	var nodes []*node[T]
@@ -76,10 +72,8 @@ func pack[T any](entries []entry[T], leaf bool) []*node[T] {
 			end = n
 		}
 		slice := entries[start:end]
-		sort.Slice(slice, func(i, j int) bool {
-			_, yi := center(slice[i].rect)
-			_, yj := center(slice[j].rect)
-			return yi < yj
+		slices.SortFunc(slice, func(a, b entry[T]) int {
+			return (a.rect.Head.Row + a.rect.Tail.Row) - (b.rect.Head.Row + b.rect.Tail.Row)
 		})
 		for s := 0; s < len(slice); s += maxEntries {
 			e := s + maxEntries

@@ -44,6 +44,16 @@ func New[T any]() *Tree[T] {
 // Len returns the number of stored entries.
 func (t *Tree[T]) Len() int { return t.size }
 
+// Reset empties the tree for reuse, retaining the root node's entry slice so
+// repeated fill/reset cycles (per-query scratch trees) stop allocating once
+// the slice has grown. Interior nodes are released to the garbage collector.
+func (t *Tree[T]) Reset() {
+	clear(t.root.entries) // drop payload references before slice reuse
+	t.root.leaf = true
+	t.root.entries = t.root.entries[:0]
+	t.size = 0
+}
+
 // Insert adds a range/value pair. Duplicate ranges are allowed; each Insert
 // stores a distinct entry.
 func (t *Tree[T]) Insert(r ref.Range, v T) {

@@ -82,7 +82,7 @@ func TestManyConcurrentSessions(t *testing.T) {
 				}
 			}
 			// Final read sanity: the session still answers.
-			var cells []CellOut
+			var cells CellsResult
 			if code := tc.do("GET", "/sessions/"+ids[i]+"/cells?range=A1:H5", nil, &cells); code != http.StatusOK {
 				errc <- fmt.Errorf("session %d: cells status %d", i, code)
 			}
@@ -146,15 +146,20 @@ func TestConcurrentDeterminism(t *testing.T) {
 	go func() { defer wg.Done(); apply(b.ID) }()
 	wg.Wait()
 
-	var ca, cb []CellOut
-	tc.do("GET", "/sessions/"+a.ID+"/cells?range=A1:H25", nil, &ca)
-	tc.do("GET", "/sessions/"+b.ID+"/cells?range=A1:H25", nil, &cb)
-	if len(ca) == 0 || len(ca) != len(cb) {
-		t.Fatalf("cell counts: %d vs %d", len(ca), len(cb))
+	// wait=1: both sessions must be fully drained before comparing — the
+	// read-your-writes barrier of the asynchronous model.
+	var ca, cb CellsResult
+	tc.do("GET", "/sessions/"+a.ID+"/cells?range=A1:H25&wait=1", nil, &ca)
+	tc.do("GET", "/sessions/"+b.ID+"/cells?range=A1:H25&wait=1", nil, &cb)
+	if ca.Pending != 0 || cb.Pending != 0 {
+		t.Fatalf("pending after wait: %d vs %d", ca.Pending, cb.Pending)
 	}
-	for i := range ca {
-		if ca[i] != cb[i] {
-			t.Fatalf("cell %d: %+v vs %+v", i, ca[i], cb[i])
+	if len(ca.Cells) == 0 || len(ca.Cells) != len(cb.Cells) {
+		t.Fatalf("cell counts: %d vs %d", len(ca.Cells), len(cb.Cells))
+	}
+	for i := range ca.Cells {
+		if ca.Cells[i] != cb.Cells[i] {
+			t.Fatalf("cell %d: %+v vs %+v", i, ca.Cells[i], cb.Cells[i])
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"slices"
 
 	"taco/internal/core"
 	"taco/internal/engine"
@@ -72,6 +74,7 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionStats)
 	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /sessions/{id}/edits", s.handleEdits)
+	s.mux.HandleFunc("POST /sessions/{id}/flush", s.handleFlush)
 	s.mux.HandleFunc("GET /sessions/{id}/cells", s.handleCells)
 	s.mux.HandleFunc("GET /sessions/{id}/dependents", s.handleQuery(true))
 	s.mux.HandleFunc("GET /sessions/{id}/precedents", s.handleQuery(false))
@@ -81,6 +84,9 @@ func NewServer(opts Options) (*Server, error) {
 
 // Store exposes the underlying session store (load drivers, tests).
 func (s *Server) Store() *Store { return s.store }
+
+// Close stops the store's background recalculation workers.
+func (s *Server) Close() { s.store.Close() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -104,6 +110,7 @@ type SessionInfo struct {
 	Name     string      `json:"name,omitempty"`
 	Rev      uint64      `json:"rev"`
 	Resident bool        `json:"resident"`
+	Pending  int         `json:"pending,omitempty"`
 	Cells    int         `json:"cells,omitempty"`
 	Formulas int         `json:"formulas,omitempty"`
 	Graph    *core.Stats `json:"graph,omitempty"`
@@ -124,13 +131,19 @@ type EditBatch struct {
 	Edits []EditOp `json:"edits"`
 }
 
-// EditResult reports an applied batch.
+// EditResult reports an applied batch. The response is sent after graph
+// maintenance and the dirty-set traversal only; recalculation drains on the
+// store's background workers (POST /sessions/{id}/flush or ?wait=1 reads
+// give read-your-writes when needed).
 type EditResult struct {
 	Rev     uint64 `json:"rev"`
 	Applied int    `json:"applied"`
 	// DirtyCells is the total size of the dirty sets — the cells the
 	// asynchronous model marks before control returns.
 	DirtyCells int `json:"dirty_cells"`
+	// Pending is the number of formula cells still awaiting background
+	// recalculation when the response was sent.
+	Pending int `json:"pending"`
 	// Bulk reports whether the batch took the column-major bulk-build path.
 	Bulk bool `json:"bulk"`
 }
@@ -144,6 +157,23 @@ type CellOut struct {
 	Bool    bool    `json:"bool,omitempty"`
 	Error   string  `json:"error,omitempty"`
 	Formula string  `json:"formula,omitempty"`
+	// Pending marks a cell whose recalculation is still in flight; the
+	// carried value is the last computed one (grey it out client-side).
+	Pending bool `json:"pending,omitempty"`
+}
+
+// CellsResult is the body of GET /sessions/{id}/cells: the requested cells
+// at a consistent revision, with the session-wide count of cells still
+// awaiting recalculation.
+type CellsResult struct {
+	Rev     uint64    `json:"rev"`
+	Pending int       `json:"pending"`
+	Cells   []CellOut `json:"cells"`
+}
+
+// FlushResult is the body of POST /sessions/{id}/flush.
+type FlushResult struct {
+	Rev uint64 `json:"rev"`
 }
 
 // QueryResult is a dependents/precedents answer.
@@ -285,7 +315,7 @@ func (s *Server) handleCreateXLSX(w http.ResponseWriter, r *http.Request) {
 func sessionInfo(sess *Session) SessionInfo {
 	sess.mu.RLock()
 	defer sess.mu.RUnlock()
-	info := SessionInfo{ID: sess.ID, Name: sess.Name, Rev: sess.rev}
+	info := SessionInfo{ID: sess.ID, Name: sess.Name, Rev: sess.rev, Pending: sess.pending}
 	if sess.eng != nil {
 		info.Resident = true
 		info.Cells = sess.eng.NumCells()
@@ -352,14 +382,46 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 	var res EditResult
 	err = s.store.Update(id, true, func(sess *Session, eng *engine.Engine) error {
 		applied, dirty, bulk := applyBatch(eng, ops)
-		res = EditResult{Rev: sess.rev + 1, Applied: applied, DirtyCells: dirty, Bulk: bulk}
+		if bulk {
+			// The bulk path rebuilt the engine around a fresh graph; the
+			// cached graph-section blob (keyed by the old instance's
+			// generation counter) no longer describes it.
+			sess.graphBlob = nil
+		}
+		res = EditResult{
+			Rev: sess.rev + 1, Applied: applied, DirtyCells: dirty,
+			Pending: eng.Pending(), Bulk: bulk,
+		}
 		return nil
 	})
 	if err != nil {
 		writeErr(w, errStatus(err), err)
 		return
 	}
+	if r.URL.Query().Get("wait") == "1" {
+		if err := s.store.Wait(id); err != nil {
+			writeErr(w, errStatus(err), err)
+			return
+		}
+		res.Pending = 0
+	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleFlush is the explicit read-your-writes barrier: it returns once the
+// session's pending recalculation has drained.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.store.Wait(id); err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	sess, err := s.store.Peek(id)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FlushResult{Rev: sess.Rev()})
 }
 
 type parsedOp struct {
@@ -405,7 +467,9 @@ func parseBatch(edits []EditOp) ([]parsedOp, error) {
 		}
 		var ast formula.Node
 		if op.Formula != nil {
-			ast, err = formula.Parse(*op.Formula)
+			// Cached parse: edit streams replay formulae that load paths
+			// (and other tenants' identical sheets) have already parsed.
+			ast, err = formula.ParseCached(*op.Formula)
 			if err != nil {
 				return nil, &badEditError{i, err}
 			}
@@ -456,9 +520,10 @@ func applyBatch(eng *engine.Engine, ops []parsedOp) (applied, dirty int, bulk bo
 		applied++
 	}
 	// No eager recalculation: the response returns after the dirty-set
-	// traversal (the asynchronous model's control-return point), and reads
-	// self-clean — Engine.Value evaluates dirty cells on demand, and the
-	// spill path recalculates before snapshotting.
+	// traversal (the asynchronous model's control-return point). The
+	// store's background workers drain the dirty set behind the response;
+	// Wait/?wait=1 barriers and the spill path (which recalculates before
+	// snapshotting) drain it inline when they need settled values.
 	return applied, dirty, false
 }
 
@@ -507,29 +572,95 @@ func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("range of %d cells exceeds limit %d", rng.Size(), s.opts.MaxRangeCells))
 		return
 	}
-	out := []CellOut{}
-	// Update, not View: reading a dirty cell evaluates it.
-	err := s.store.Update(id, false, func(sess *Session, eng *engine.Engine) error {
+	// ?wait=1 drains pending recalculation first — the read-your-writes
+	// barrier. Plain reads serve last-computed values immediately.
+	wait := q.Get("wait") == "1"
+	if wait {
+		if err := s.store.Wait(id); err != nil {
+			writeErr(w, errStatus(err), err)
+			return
+		}
+	}
+	res := CellsResult{Cells: []CellOut{}}
+	liveRead := func(sess *Session, eng *engine.Engine) error {
+		res.Rev = sess.rev
+		res.Pending = eng.Pending()
 		rng.Cells(func(at ref.Ref) bool {
-			v := eng.Value(at)
+			v, clean := eng.Peek(at)
 			src := eng.Formula(at)
-			if v.Kind == formula.KindEmpty && src == "" {
+			if v.Kind == formula.KindEmpty && src == "" && clean {
 				return true
 			}
-			out = append(out, cellOut(at, v, src))
+			res.Cells = append(res.Cells, cellOut(at, v, src, !clean))
 			return true
 		})
 		return nil
-	})
+	}
+	// View, not Update: reads are side-effect-free, so they run under the
+	// session read lock and never block behind (or trigger) recalculation.
+	// A spilled session is served straight from its spill file — which is
+	// authoritative while the session is non-resident — without faulting it
+	// back in and evicting someone else.
+	handled := wait
+	var err error
+	if wait {
+		err = s.store.View(id, liveRead)
+	} else {
+		handled, err = s.store.TryView(id, liveRead)
+	}
+	if err == nil && !handled {
+		handled, err = s.readSpilledCells(id, rng, &res)
+	}
+	if err == nil && !handled {
+		err = s.store.View(id, liveRead) // lost the race: fault it in
+	}
 	if err != nil {
 		writeErr(w, errStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, res)
 }
 
-func cellOut(at ref.Ref, v formula.Value, src string) CellOut {
-	c := CellOut{Cell: ref.FormatA1(at), Formula: src}
+// readSpilledCells serves a range read from the session's spill file. The
+// scan streams the snapshot's cell records — no engine, graph, or parse work
+// — and reports pending for the (rare) cells the snapshot round-trips dirty.
+func (s *Server) readSpilledCells(id string, rng ref.Range, res *CellsResult) (bool, error) {
+	type hit struct {
+		at  ref.Ref
+		out CellOut
+	}
+	var hits []hit
+	handled, err := s.store.ReadSpilled(id, func(br *bufio.Reader, rev uint64) error {
+		res.Rev = rev
+		return engine.ScanSnapshotCells(br, func(sc engine.SnapshotCell) bool {
+			if sc.Dirty {
+				res.Pending++
+			}
+			if rng.Contains(sc.At) {
+				hits = append(hits, hit{sc.At, cellOut(sc.At, sc.Value, sc.Src, sc.Dirty)})
+			}
+			return true
+		})
+	})
+	if err != nil || !handled {
+		res.Rev, res.Pending = 0, 0
+		return false, err
+	}
+	// Snapshots are column-major; the API serves row-major like live reads.
+	slices.SortFunc(hits, func(a, b hit) int {
+		if a.at.Row != b.at.Row {
+			return a.at.Row - b.at.Row
+		}
+		return a.at.Col - b.at.Col
+	})
+	for _, h := range hits {
+		res.Cells = append(res.Cells, h.out)
+	}
+	return true, nil
+}
+
+func cellOut(at ref.Ref, v formula.Value, src string, pending bool) CellOut {
+	c := CellOut{Cell: ref.FormatA1(at), Formula: src, Pending: pending}
 	switch v.Kind {
 	case formula.KindEmpty:
 		c.Kind = "empty"
@@ -559,19 +690,52 @@ func (s *Server) handleQuery(dependents bool) http.HandlerFunc {
 			return
 		}
 		var res QueryResult
-		err = s.store.View(id, func(sess *Session, eng *engine.Engine) error {
-			var rs []ref.Range
-			if dependents {
-				rs = eng.Dependents(rng)
-			} else {
-				rs = eng.Precedents(rng)
-			}
+		build := func(rs []ref.Range) {
 			res = QueryResult{Of: rng.String(), Ranges: make([]string, len(rs)), Cells: countCells(rs)}
 			for i, rr := range rs {
 				res.Ranges[i] = rr.String()
 			}
+		}
+		liveQuery := func(sess *Session, eng *engine.Engine) error {
+			if dependents {
+				build(eng.Dependents(rng))
+			} else {
+				build(eng.Precedents(rng))
+			}
 			return nil
-		})
+		}
+		// Resident sessions answer under the read lock; spilled sessions
+		// answer from the pinned in-memory graph when available, else from a
+		// graph-only decode of the spill file (the cell section is skimmed,
+		// not materialised) — either way without faulting residency.
+		handled, err := s.store.TryView(id, liveQuery)
+		if err == nil && !handled {
+			handled, err = s.store.ViewPinnedGraph(id, func(g *core.Graph, rev uint64) error {
+				if dependents {
+					build(g.FindDependents(rng))
+				} else {
+					build(g.FindPrecedents(rng))
+				}
+				return nil
+			})
+		}
+		if err == nil && !handled {
+			handled, err = s.store.ReadSpilled(id, func(br *bufio.Reader, rev uint64) error {
+				g, gerr := engine.ReadSnapshotGraph(br)
+				if gerr != nil {
+					return gerr
+				}
+				if dependents {
+					build(g.FindDependents(rng))
+				} else {
+					build(g.FindPrecedents(rng))
+				}
+				return nil
+			})
+		}
+		if err == nil && !handled {
+			err = s.store.View(id, liveQuery) // lost the race: fault it in
+		}
 		if err != nil {
 			writeErr(w, errStatus(err), err)
 			return

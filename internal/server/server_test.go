@@ -33,6 +33,7 @@ func newTestServer(t *testing.T, opts Options) (*Server, *testClient) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(srv.Close)
 	hs := httptest.NewServer(srv)
 	t.Cleanup(hs.Close)
 	return srv, &testClient{t: t, base: hs.URL, c: hs.Client()}
@@ -101,28 +102,29 @@ func TestCreateBlankAndEdit(t *testing.T) {
 		t.Fatalf("res = %+v", res)
 	}
 
-	var cells []CellOut
+	var cells CellsResult
 	if code := tc.do("GET", "/sessions/"+info.ID+"/cells?range=A1:B2", nil, &cells); code != http.StatusOK {
 		t.Fatalf("cells: status %d", code)
 	}
 	byCell := map[string]CellOut{}
-	for _, c := range cells {
+	for _, c := range cells.Cells {
 		byCell[c.Cell] = c
 	}
 	if byCell["B1"].Num != 20 || byCell["B2"].Num != 30 {
 		t.Fatalf("cells = %+v", byCell)
 	}
 
-	// Incremental edit: change A1, B1 recalculates.
+	// Incremental edit: change A1, B1 recalculates in the background; the
+	// wait=1 read gives read-your-writes.
 	res = EditResult{}
 	tc.do("POST", "/sessions/"+info.ID+"/edits",
 		EditBatch{Edits: []EditOp{{Cell: "A1", Value: num(5)}}}, &res)
 	if res.Bulk || res.DirtyCells != 1 || res.Rev != 2 {
 		t.Fatalf("res = %+v", res)
 	}
-	cells = nil
-	tc.do("GET", "/sessions/"+info.ID+"/cells?at=B1", nil, &cells)
-	if len(cells) != 1 || cells[0].Num != 50 {
+	cells = CellsResult{}
+	tc.do("GET", "/sessions/"+info.ID+"/cells?at=B1&wait=1", nil, &cells)
+	if cells.Rev != 2 || cells.Pending != 0 || len(cells.Cells) != 1 || cells.Cells[0].Num != 50 {
 		t.Fatalf("B1 = %+v", cells)
 	}
 
@@ -258,9 +260,9 @@ func TestBatchAtomicity(t *testing.T) {
 	if code != http.StatusBadRequest {
 		t.Fatalf("status %d", code)
 	}
-	var cells []CellOut
+	var cells CellsResult
 	tc.do("GET", "/sessions/"+info.ID+"/cells?at=A1", nil, &cells)
-	if len(cells) != 1 || cells[0].Num != 1 {
+	if len(cells.Cells) != 1 || cells.Cells[0].Num != 1 {
 		t.Fatalf("A1 = %+v after rejected batch", cells)
 	}
 	var si SessionInfo

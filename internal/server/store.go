@@ -7,6 +7,8 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"container/list"
 	"crypto/rand"
 	"encoding/hex"
@@ -15,9 +17,11 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"taco/internal/core"
 	"taco/internal/engine"
 )
 
@@ -40,11 +44,37 @@ type StoreOptions struct {
 	// SpillDir is where evicted sessions are written. Required when
 	// MaxResident > 0.
 	SpillDir string
+	// RecalcWorkers sets the background recalculation worker pool size. An
+	// edit batch returns after graph maintenance and the dirty-set traversal
+	// only; these store-owned workers drain the resulting dirty cells behind
+	// the response. 0 means one worker per available CPU; -1 disables
+	// background draining entirely — recalculation then happens only on
+	// Wait/flush barriers and on spill (useful for deterministic tests).
+	RecalcWorkers int
+	// RecalcChunk bounds the evaluations started per session-lock hold while
+	// a worker drains (default 256), so readers interleave with a large
+	// recalculation instead of stalling behind it.
+	RecalcChunk int
+	// NoGraphPin disables keeping a spilled session's compressed formula
+	// graph in memory. Pinning (the default) trades a small per-session
+	// footprint — the graph is the compact part, which is the paper's thesis
+	// — for dependents/precedents queries that never touch disk and
+	// restores that skip the graph decode.
+	NoGraphPin bool
 }
 
 func (o StoreOptions) withDefaults() StoreOptions {
 	if o.Shards <= 0 {
 		o.Shards = 16
+	}
+	if o.RecalcWorkers == 0 {
+		o.RecalcWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.RecalcWorkers < 0 {
+		o.RecalcWorkers = -1
+	}
+	if o.RecalcChunk <= 0 {
+		o.RecalcChunk = 256
 	}
 	return o
 }
@@ -62,6 +92,30 @@ type Session struct {
 	eng     *engine.Engine // nil while spilled
 	rev     uint64
 	deleted bool
+	// pending counts dirty cells awaiting background recalculation (guarded
+	// by mu). Reads serve last-computed values and report this so clients
+	// can distinguish settled values from in-flight ones.
+	pending int
+	// snapRev is the revision the session's spill file holds; the file is
+	// authoritative for the current state when snapHeld && rev == snapRev,
+	// letting eviction drop residency without rewriting an unchanged
+	// snapshot. Guarded by mu.
+	snapRev  uint64
+	snapHeld bool
+	// graph pins the session's compressed formula graph across a spill (nil
+	// while resident or with graph pinning disabled). The compressed graph
+	// is the compact part of a session, so keeping it lets dependents
+	// queries run in memory against spilled sessions and lets restores skip
+	// the graph decode. Guarded by mu; valid only while eng == nil.
+	graph *core.Graph
+	// graphBlob caches the encoded graph section at graphBlobGen, so spills
+	// after value-only edits skip re-encoding the unchanged edge set.
+	// Guarded by mu.
+	graphBlob    []byte
+	graphBlobGen uint64
+	// queued marks membership in the store's recalc queue (guarded by the
+	// store's recalc mutex, not the session lock).
+	queued bool
 
 	shard *shard
 	elem  *list.Element // LRU position; nil while spilled (guarded by shard.mu)
@@ -79,6 +133,13 @@ func (s *Session) Rev() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.rev
+}
+
+// Pending returns the number of cells awaiting background recalculation.
+func (s *Session) Pending() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pending
 }
 
 // Resident reports whether the session is currently in memory.
@@ -103,11 +164,27 @@ type Store struct {
 	opts   StoreOptions
 	shards []*shard
 
-	clock     atomic.Uint64
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
-	restores  atomic.Uint64
+	// recalc is the store-owned background recalculation queue: sessions
+	// with pending dirty cells, drained by the worker pool in bounded
+	// chunks. Lock order: rq.mu is leaf-only on the enqueue side (callers
+	// may hold a session lock); workers never hold rq.mu while taking a
+	// session lock.
+	rq struct {
+		mu     sync.Mutex
+		cond   *sync.Cond
+		queue  []*Session
+		closed bool
+	}
+	wg sync.WaitGroup
+
+	clock      atomic.Uint64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	evictions  atomic.Uint64
+	restores   atomic.Uint64
+	recalcs    atomic.Uint64 // background drains completed
+	snapSkips  atomic.Uint64 // evictions that skipped an unchanged snapshot write
+	spillReads atomic.Uint64 // reads served from spill files without restoring
 }
 
 // NewStore builds a session store. It creates SpillDir when eviction is
@@ -126,7 +203,108 @@ func NewStore(opts StoreOptions) (*Store, error) {
 	for i := range st.shards {
 		st.shards[i] = &shard{sessions: make(map[string]*Session), lru: list.New()}
 	}
+	st.rq.cond = sync.NewCond(&st.rq.mu)
+	if opts.RecalcWorkers > 0 {
+		st.wg.Add(opts.RecalcWorkers)
+		for i := 0; i < opts.RecalcWorkers; i++ {
+			go st.recalcWorker()
+		}
+	}
 	return st, nil
+}
+
+// Close stops the background recalculation workers and waits for them to
+// exit. Undrained sessions simply keep their dirty sets; the spill path
+// drains before writing, so no state is lost.
+func (st *Store) Close() {
+	st.rq.mu.Lock()
+	if !st.rq.closed {
+		st.rq.closed = true
+		st.rq.cond.Broadcast()
+	}
+	st.rq.mu.Unlock()
+	st.wg.Wait()
+}
+
+// enqueueRecalc registers a session for background draining. Safe to call
+// while holding the session lock; duplicate enqueues collapse.
+func (st *Store) enqueueRecalc(s *Session) {
+	st.rq.mu.Lock()
+	if !st.rq.closed && !s.queued {
+		s.queued = true
+		st.rq.queue = append(st.rq.queue, s)
+		st.rq.cond.Signal()
+	}
+	st.rq.mu.Unlock()
+}
+
+func (st *Store) recalcWorker() {
+	defer st.wg.Done()
+	for {
+		st.rq.mu.Lock()
+		for len(st.rq.queue) == 0 && !st.rq.closed {
+			st.rq.cond.Wait()
+		}
+		if st.rq.closed {
+			st.rq.mu.Unlock()
+			return
+		}
+		s := st.rq.queue[0]
+		st.rq.queue = st.rq.queue[1:]
+		s.queued = false
+		st.rq.mu.Unlock()
+		st.drainChunk(s)
+	}
+}
+
+// drainChunk recalculates one bounded chunk of a session's dirty cells and
+// re-queues the session if work remains, so one giant recalculation neither
+// monopolises a worker nor holds the session write lock continuously.
+func (st *Store) drainChunk(s *Session) {
+	s.mu.Lock()
+	if s.deleted || s.eng == nil {
+		// Deleted, or spilled before the worker got here — the spill path
+		// drained (or preserved) the dirty set in the snapshot already.
+		s.pending = 0
+		s.mu.Unlock()
+		return
+	}
+	s.eng.RecalculateN(st.opts.RecalcChunk)
+	s.pending = s.eng.Pending()
+	more := s.pending > 0
+	s.mu.Unlock()
+	if more {
+		st.enqueueRecalc(s)
+	} else {
+		st.recalcs.Add(1)
+	}
+}
+
+// Wait is the read-your-writes barrier: it blocks until the session has no
+// pending recalculation, draining inline under the session write lock (a
+// waiter steals the work instead of sleeping on the background pool). A
+// spilled or already-clean session is a no-op — the spill path drains
+// before writing, so non-residency implies drained — which keeps barriers
+// from faulting cold sessions back in and evicting warm ones.
+func (st *Store) Wait(id string) error {
+	s, err := st.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.RLock()
+	deleted := s.deleted
+	settled := s.eng == nil || s.pending == 0
+	s.mu.RUnlock()
+	if deleted {
+		return ErrSessionDeleted
+	}
+	if settled {
+		return nil
+	}
+	return st.Update(id, false, func(s *Session, eng *engine.Engine) error {
+		eng.RecalculateAll()
+		return nil
+	})
 }
 
 func (st *Store) shardFor(id string) *shard {
@@ -160,9 +338,10 @@ func (st *Store) Create(name string, eng *engine.Engine) *Session {
 	return s
 }
 
-// View runs fn with the session's engine under the session read lock. Safe
-// for graph queries and metadata; use Update for anything that can evaluate
-// or mutate cells (the engine evaluates lazily, so value reads are updates).
+// View runs fn with the session's engine under the session read lock.
+// Engine reads are side-effect-free (Value/Peek never evaluate), so graph
+// queries, value reads, and metadata are all safe here and run concurrently;
+// use Update for mutations.
 func (st *Store) View(id string, fn func(*Session, *engine.Engine) error) error {
 	s, err := st.lookup(id)
 	if err != nil {
@@ -195,6 +374,103 @@ func (st *Store) Update(id string, bumpRev bool, fn func(*Session, *engine.Engin
 		}
 		return nil
 	})
+}
+
+// Flush drains every resident session's pending recalculation. Used by
+// graceful shutdown paths and tests; spilled sessions are already drained on
+// disk.
+func (st *Store) Flush() {
+	st.Each(func(s *Session) bool {
+		s.mu.Lock()
+		if s.eng != nil && !s.deleted {
+			s.eng.RecalculateAll()
+			s.pending = 0
+		}
+		s.mu.Unlock()
+		return true
+	})
+}
+
+// TryView runs fn under the session read lock only if the session is
+// resident, reporting whether it ran. A false return with nil error means
+// the session is spilled — the caller can serve the read from the spill
+// file via ReadSpilled without faulting the session back in.
+func (st *Store) TryView(id string, fn func(*Session, *engine.Engine) error) (bool, error) {
+	s, err := st.lookup(id)
+	if err != nil {
+		return false, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.deleted {
+		return false, ErrSessionDeleted
+	}
+	if s.eng == nil {
+		return false, nil
+	}
+	return true, fn(s, s.eng)
+}
+
+// ViewPinnedGraph runs fn against the compressed formula graph a spilled
+// session left pinned in memory, under the session read lock. Returns
+// handled=false when the session is resident (use the live engine) or no
+// graph is pinned (decode the spill file instead). The traversal runs
+// entirely in memory — no disk, no cell materialisation.
+func (st *Store) ViewPinnedGraph(id string, fn func(g *core.Graph, rev uint64) error) (handled bool, err error) {
+	s, err := st.lookup(id)
+	if err != nil {
+		return false, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.deleted {
+		return false, ErrSessionDeleted
+	}
+	if s.eng != nil || s.graph == nil {
+		return false, nil
+	}
+	st.spillReads.Add(1)
+	return true, fn(s.graph, s.rev)
+}
+
+// ReadSpilled decodes the session's spill file with fn, holding the session
+// read lock for the duration. While a session is spilled its file is
+// authoritative — the spill path drains pending recalculation and writes
+// before dropping residency — and holding the read lock over the
+// (sub-millisecond) decode excludes the restore → edit → re-spill sequence
+// that could otherwise rewrite the file mid-read. Returns handled=false
+// when the session is resident (serve the live engine instead), when the
+// file is missing, or when fn fails to decode — callers then fall back to
+// the faulting path, which surfaces genuine errors.
+func (st *Store) ReadSpilled(id string, fn func(br *bufio.Reader, rev uint64) error) (handled bool, err error) {
+	s, err := st.lookup(id)
+	if err != nil {
+		return false, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.deleted {
+		return false, ErrSessionDeleted
+	}
+	if s.eng != nil {
+		return false, nil
+	}
+	f, err := os.Open(st.spillPath(s.ID))
+	if err != nil {
+		return false, nil
+	}
+	defer f.Close()
+	br := brPool.Get().(*bufio.Reader)
+	br.Reset(f)
+	defer func() {
+		br.Reset(nil)
+		brPool.Put(br)
+	}()
+	if fn(br, s.rev) != nil {
+		return false, nil
+	}
+	st.spillReads.Add(1)
+	return true, nil
 }
 
 // Peek finds a session without touching its LRU position or miss/hit
@@ -242,12 +518,17 @@ func (st *Store) withResident(s *Session, fn func(*engine.Engine) error) error {
 	}
 	restored := false
 	if s.eng == nil {
-		eng, err := st.readSpill(s.ID)
+		eng, err := st.readSpill(s.ID, s.graph)
 		if err != nil {
 			s.mu.Unlock()
 			return fmt.Errorf("server: restore session %s: %w", s.ID, err)
 		}
 		s.eng = eng
+		s.graph = nil // live again; the engine owns it now
+		// The file we just read holds exactly this state; until the next
+		// rev-bumping update, eviction can drop residency without rewriting.
+		s.snapHeld = true
+		s.snapRev = s.rev
 		restored = true
 		st.restores.Add(1)
 		sh := s.shard
@@ -257,7 +538,15 @@ func (st *Store) withResident(s *Session, fn func(*engine.Engine) error) error {
 		sh.mu.Unlock()
 	}
 	err := fn(s.eng)
+	// Refresh the pending count and hand any new dirty cells to the
+	// background pool. This is the asynchronous model's control-return
+	// point: fn did graph maintenance and the dirty-set traversal only.
+	s.pending = s.eng.Pending()
+	enqueue := s.pending > 0 && st.opts.RecalcWorkers > 0
 	s.mu.Unlock()
+	if enqueue {
+		st.enqueueRecalc(s)
+	}
 	if restored {
 		st.evictOverflow()
 	}
@@ -278,6 +567,8 @@ func (st *Store) Delete(id string) error {
 	s.mu.Lock()
 	s.deleted = true
 	s.eng = nil
+	s.graph = nil
+	s.graphBlob = nil
 	// Unlink from the LRU while still holding s.mu (the permitted s.mu ->
 	// sh.mu order): a restore that raced the map removal above may have
 	// re-registered the session, and leaving it listed would permanently
@@ -387,6 +678,15 @@ func (st *Store) coldest() *Session {
 	return victim
 }
 
+// bufPool recycles spill serialisation buffers; brPool recycles sized read
+// buffers. Both exist because the eviction loop runs constantly under a
+// resident cap — one allocation per spill or restore is one allocation too
+// many.
+var (
+	bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	brPool  = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 64<<10) }}
+)
+
 // spill writes the victim's engine snapshot and releases the in-memory
 // state. A session touched between LRU removal and here is simply spilled
 // anyway — the next touch restores it (approximate LRU).
@@ -396,36 +696,75 @@ func (st *Store) spill(victim *Session) error {
 	if victim.eng == nil || victim.deleted {
 		return nil
 	}
-	path := st.spillPath(victim.ID)
-	f, err := os.CreateTemp(st.opts.SpillDir, "."+victim.ID+".tmp*")
-	if err != nil {
+	if victim.snapHeld && victim.snapRev == victim.rev {
+		// The on-disk snapshot already holds this exact logical state — the
+		// session has only been read since its last spill or restore. Drop
+		// residency without rewriting: restoring the file reproduces the
+		// engine (including any still-unevaluated oversized-value cells,
+		// which the snapshot round-trips as dirty).
+		if !st.opts.NoGraphPin {
+			victim.graph = victim.eng.TACOGraph()
+		}
+		victim.eng.Recycle()
+		victim.eng = nil
+		victim.pending = 0
+		st.snapSkips.Add(1)
+		st.evictions.Add(1)
+		return nil
+	}
+	// Serialise to a pooled buffer and write in one syscall. Writing the
+	// final path directly (no temp + rename) is safe against readers: both
+	// restore and the spill-file read path open the file only after
+	// verifying non-residency under the session lock, and this write holds
+	// the write lock with eng still set — so no reader can have the
+	// half-written file open. Only a process crash can tear it, and the
+	// spill directory does not outlive the process.
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer func() { buf.Reset(); bufPool.Put(buf) }()
+	buf.Reset()
+	if st.opts.NoGraphPin {
+		if err := victim.eng.WriteSnapshot(buf); err != nil {
+			return err
+		}
+	} else {
+		blob, gen, err := victim.eng.WriteSnapshotCached(buf, victim.graphBlob, victim.graphBlobGen)
+		if err != nil {
+			return err
+		}
+		victim.graphBlob, victim.graphBlobGen = blob, gen
+	}
+	if err := os.WriteFile(st.spillPath(victim.ID), buf.Bytes(), 0o644); err != nil {
 		return err
 	}
-	if err := victim.eng.WriteSnapshot(f); err != nil {
-		f.Close()
-		os.Remove(f.Name())
-		return err
+	// WriteSnapshot drained the pending recalculation before serialising, so
+	// the stored values are authoritative.
+	if !st.opts.NoGraphPin {
+		victim.graph = victim.eng.TACOGraph()
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(f.Name())
-		return err
-	}
-	if err := os.Rename(f.Name(), path); err != nil {
-		os.Remove(f.Name())
-		return err
-	}
+	victim.eng.Recycle()
 	victim.eng = nil
+	victim.pending = 0
+	victim.snapHeld = true
+	victim.snapRev = victim.rev
 	st.evictions.Add(1)
 	return nil
 }
 
-func (st *Store) readSpill(id string) (*engine.Engine, error) {
+// readSpill restores an engine from the session's spill file. With a pinned
+// graph the restore decodes only the cell section and rebuilds around it.
+func (st *Store) readSpill(id string, pinned *core.Graph) (*engine.Engine, error) {
 	f, err := os.Open(st.spillPath(id))
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return engine.RestoreSnapshot(f)
+	br := brPool.Get().(*bufio.Reader)
+	br.Reset(f)
+	defer func() { br.Reset(nil); brPool.Put(br) }()
+	if pinned != nil {
+		return engine.RestoreSnapshotWithGraph(br, pinned)
+	}
+	return engine.RestoreSnapshot(br)
 }
 
 func (st *Store) residentCount() int {
@@ -448,6 +787,14 @@ type StoreStats struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Restores  uint64 `json:"restores"`
+	// Recalcs counts background drains completed by the worker pool.
+	Recalcs uint64 `json:"recalcs"`
+	// SnapSkips counts evictions that dropped residency without rewriting an
+	// unchanged snapshot.
+	SnapSkips uint64 `json:"snap_skips"`
+	// SpillReads counts reads served directly from spill files without
+	// faulting the session back to residency.
+	SpillReads uint64 `json:"spill_reads"`
 }
 
 // Stats summarises the store.
@@ -461,13 +808,16 @@ func (st *Store) Stats() StoreStats {
 		sh.mu.Unlock()
 	}
 	return StoreStats{
-		Sessions:  total,
-		Resident:  resident,
-		Spilled:   total - resident,
-		Shards:    len(st.shards),
-		Hits:      st.hits.Load(),
-		Misses:    st.misses.Load(),
-		Evictions: st.evictions.Load(),
-		Restores:  st.restores.Load(),
+		Sessions:   total,
+		Resident:   resident,
+		Spilled:    total - resident,
+		Shards:     len(st.shards),
+		Hits:       st.hits.Load(),
+		Misses:     st.misses.Load(),
+		Evictions:  st.evictions.Load(),
+		Restores:   st.restores.Load(),
+		Recalcs:    st.recalcs.Load(),
+		SnapSkips:  st.snapSkips.Load(),
+		SpillReads: st.spillReads.Load(),
 	}
 }

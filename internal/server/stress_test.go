@@ -85,6 +85,7 @@ func TestRaceStress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer store.Close()
 	var ids []string
 	for i := 0; i < 8; i++ {
 		sheet, err := workload.BuildScenario("financial", 25, rand.New(rand.NewSource(int64(i))))
@@ -116,8 +117,10 @@ func TestRaceStress(t *testing.T) {
 						return
 					}
 				case 1:
-					err := store.Update(id, false, func(_ *Session, e *engine.Engine) error {
-						e.Value(ref.Ref{Col: 5, Row: 1 + rng.Intn(25)})
+					// Value reads are side-effect-free: they run under the
+					// shared read lock, racing the background recalc workers.
+					err := store.View(id, func(_ *Session, e *engine.Engine) error {
+						e.Peek(ref.Ref{Col: 5, Row: 1 + rng.Intn(25)})
 						return nil
 					})
 					if err != nil {

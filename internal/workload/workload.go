@@ -14,7 +14,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"taco/internal/core"
 	"taco/internal/formula"
@@ -110,7 +110,7 @@ func (s *Sheet) MustDependencies() []core.Dependency {
 
 func sortColumnMajor(cells []ref.Ref) {
 	// Insertion-friendly order: column by column, top to bottom.
-	sort.Slice(cells, func(i, j int) bool { return ref.ColumnMajorLess(cells[i], cells[j]) })
+	slices.SortFunc(cells, ref.ColumnMajorCompare)
 }
 
 // FillDown autofills the formula at src down through rows src.Row+1..lastRow,

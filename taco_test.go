@@ -64,6 +64,7 @@ func TestEngineThroughPublicAPI(t *testing.T) {
 	if _, err := e.SetFormula(taco.MustCell("B1"), "A1*10"); err != nil {
 		t.Fatal(err)
 	}
+	e.RecalculateAll() // reads are side-effect-free; drain explicitly
 	if v := e.Value(taco.MustCell("B1")); v.Num != 20 {
 		t.Fatalf("B1 = %v", v)
 	}
