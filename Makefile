@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-server bench-core
+.PHONY: check fmt vet build test race bench-server bench-core bench-eval fuzz-smoke perf-check
 
 check: fmt vet build race
 
@@ -34,3 +34,23 @@ bench-server:
 # fails the build; drop -benchtime for real measurements.
 bench-core:
 	$(GO) test ./internal/core -run '^$$' -bench=. -benchtime=1x
+
+# Refresh the range-aggregation perf baseline (bulk range resolver vs the
+# per-cell probe path).
+bench-eval:
+	$(GO) run ./cmd/tacoeval -json > BENCH_eval.json
+	@cat BENCH_eval.json
+
+# Bounded native-fuzz smoke, mirrored by CI.
+fuzz-smoke:
+	$(GO) test ./internal/formula -run '^$$' -fuzz '^FuzzParse$$' -fuzztime=15s
+	$(GO) test ./internal/formula -run '^$$' -fuzz '^FuzzEval$$' -fuzztime=15s
+
+# Local mirror of CI's perf-regression gate: measure now, compare against
+# the checked-in baselines, fail on >25% regression (or a bulk range
+# speedup under 2x).
+perf-check:
+	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -json > /tmp/taco_bench_server.json
+	$(GO) run ./cmd/benchdiff -tol 0.25 BENCH_server.json /tmp/taco_bench_server.json
+	$(GO) run ./cmd/tacoeval -json > /tmp/taco_bench_eval.json
+	$(GO) run ./cmd/benchdiff -tol 0.25 -min-speedup 2.0 BENCH_eval.json /tmp/taco_bench_eval.json

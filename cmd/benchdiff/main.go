@@ -1,0 +1,134 @@
+// Command benchdiff compares a current benchmark report against a
+// checked-in baseline and exits non-zero on regression — the comparator
+// behind CI's perf-regression job.
+//
+// Usage:
+//
+//	benchdiff [-tol 0.25] [-min-speedup 2.0] baseline.json current.json
+//
+// The report kind is read from the "bench" field:
+//
+//   - "server" (BENCH_server.json / tacoload -json): edits_per_sec must not
+//     drop more than tol below the baseline.
+//   - "eval" (BENCH_eval.json / tacoeval -json): per shape, ns_op_bulk must
+//     not rise more than tol above the baseline, and the bulk-vs-percell
+//     speedup — host-independent, so it also holds on CI runners whose
+//     absolute numbers differ from the baseline host's — must stay at or
+//     above min-speedup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type serverReport struct {
+	Bench       string  `json:"bench"`
+	EditsPerSec float64 `json:"edits_per_sec"`
+}
+
+type evalResult struct {
+	NsOpBulk    float64 `json:"ns_op_bulk"`
+	NsOpPercell float64 `json:"ns_op_percell"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type evalReport struct {
+	Bench   string                `json:"bench"`
+	Results map[string]evalResult `json:"results"`
+}
+
+func readJSON(path string, out any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, out)
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.25, "allowed fractional regression vs baseline")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "eval reports: minimum bulk-vs-percell speedup")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.25] [-min-speedup 2.0] baseline.json current.json")
+		os.Exit(2)
+	}
+	basePath, curPath := flag.Arg(0), flag.Arg(1)
+
+	var kind struct {
+		Bench string `json:"bench"`
+	}
+	if err := readJSON(basePath, &kind); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var failures []string
+	switch kind.Bench {
+	case "server":
+		var base, cur serverReport
+		if err := readJSON(basePath, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := readJSON(curPath, &cur); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if base.EditsPerSec <= 0 || cur.EditsPerSec <= 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: server reports need positive edits_per_sec")
+			os.Exit(2)
+		}
+		floor := base.EditsPerSec * (1 - *tol)
+		fmt.Printf("edits/s: baseline %.0f, current %.0f (floor %.0f)\n",
+			base.EditsPerSec, cur.EditsPerSec, floor)
+		if cur.EditsPerSec < floor {
+			failures = append(failures, fmt.Sprintf(
+				"edits_per_sec regressed: %.0f -> %.0f (>%.0f%% drop)",
+				base.EditsPerSec, cur.EditsPerSec, *tol*100))
+		}
+	case "eval":
+		var base, cur evalReport
+		if err := readJSON(basePath, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := readJSON(curPath, &cur); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		for name, b := range base.Results {
+			c, ok := cur.Results[name]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: missing from current report", name))
+				continue
+			}
+			ceiling := b.NsOpBulk * (1 + *tol)
+			fmt.Printf("%-18s bulk %.0f ns/op (baseline %.0f, ceiling %.0f), speedup %.2fx (min %.2fx)\n",
+				name, c.NsOpBulk, b.NsOpBulk, ceiling, c.Speedup, *minSpeedup)
+			if c.NsOpBulk > ceiling {
+				failures = append(failures, fmt.Sprintf(
+					"%s: ns_op_bulk regressed: %.0f -> %.0f (>%.0f%% rise)",
+					name, b.NsOpBulk, c.NsOpBulk, *tol*100))
+			}
+			if c.Speedup < *minSpeedup {
+				failures = append(failures, fmt.Sprintf(
+					"%s: bulk speedup %.2fx below the %.2fx floor", name, c.Speedup, *minSpeedup))
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown bench kind %q in %s\n", kind.Bench, basePath)
+		os.Exit(2)
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}

@@ -1,0 +1,148 @@
+// Command tacoeval measures the range-aggregation cost of the formula
+// evaluator: SUM over a 10k-cell range resolved through the engine's
+// columnar bulk path (formula.RangeResolver) versus the per-cell
+// CellValue probe path, on dense, sparse, and single-column shapes.
+//
+// Usage:
+//
+//	tacoeval [-json] [-mintime 300ms]
+//
+// With -json it emits the BENCH_eval.json report that CI's perf-regression
+// job feeds to benchdiff: absolute ns/op per path plus the bulk-vs-percell
+// speedup, which is host-independent and therefore the primary gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"taco/internal/engine"
+	"taco/internal/formula"
+	"taco/internal/ref"
+)
+
+// Result is one benchmark shape's measurement.
+type Result struct {
+	Cells       int     `json:"cells"`     // range size
+	Populated   int     `json:"populated"` // cells actually stored
+	Iters       int     `json:"iters"`
+	NsOpBulk    float64 `json:"ns_op_bulk"`
+	NsOpPercell float64 `json:"ns_op_percell"`
+	Speedup     float64 `json:"speedup"` // percell / bulk
+}
+
+// Report is the BENCH_eval.json schema.
+type Report struct {
+	Bench   string            `json:"bench"`
+	Config  map[string]any    `json:"config"`
+	Results map[string]Result `json:"results"`
+}
+
+// buildGrid populates a cols×rows block keeping every strideth cell.
+func buildGrid(cols, rows, stride int) (*engine.Engine, ref.Range, int) {
+	var pcells []engine.ParsedCell
+	i := 0
+	for col := 1; col <= cols; col++ {
+		for row := 1; row <= rows; row++ {
+			if i++; i%stride != 0 {
+				continue
+			}
+			pcells = append(pcells, engine.ParsedCell{
+				At:    ref.Ref{Col: col, Row: row},
+				Value: formula.Num(float64(col*row) / 7),
+			})
+		}
+	}
+	e := engine.LoadBulkParsed(pcells)
+	rng := ref.Range{Head: ref.Ref{Col: 1, Row: 1}, Tail: ref.Ref{Col: cols, Row: rows}}
+	return e, rng, len(pcells)
+}
+
+// measure times fn until it has run for at least minTime, testing.B-style.
+func measure(minTime time.Duration, fn func()) (nsOp float64, iters int) {
+	fn() // warm up caches and any lazy state
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minTime {
+			return float64(elapsed.Nanoseconds()) / float64(n), n
+		}
+		if next := n * 4; elapsed <= 0 {
+			n = next
+		} else {
+			// Aim past minTime with 1.5x headroom, capped at 4x growth.
+			target := int(float64(n) * 1.5 * float64(minTime) / float64(elapsed))
+			if target > n*4 {
+				target = n * 4
+			}
+			if target <= n {
+				target = n + 1
+			}
+			n = target
+		}
+	}
+}
+
+func runShape(cols, rows, stride int, minTime time.Duration) Result {
+	e, rng, populated := buildGrid(cols, rows, stride)
+	ast := formula.MustParse(fmt.Sprintf("=SUM(%s)", rng))
+	bulkRes := e.ValueResolver()
+	percellRes := formula.ResolverFunc(e.Value)
+	if b, p := formula.Eval(ast, bulkRes), formula.Eval(ast, percellRes); b != p {
+		fmt.Fprintf(os.Stderr, "tacoeval: paths disagree: bulk=%v percell=%v\n", b, p)
+		os.Exit(1)
+	}
+	var r Result
+	r.Cells = rng.Size()
+	r.Populated = populated
+	r.NsOpBulk, r.Iters = measure(minTime, func() { formula.Eval(ast, bulkRes) })
+	r.NsOpPercell, _ = measure(minTime, func() { formula.Eval(ast, percellRes) })
+	r.Speedup = r.NsOpPercell / r.NsOpBulk
+	return r
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
+	minTime := flag.Duration("mintime", 300*time.Millisecond, "minimum measurement time per path")
+	flag.Parse()
+
+	shapes := []struct {
+		name               string
+		cols, rows, stride int
+	}{
+		{"range_sum_dense", 10, 1000, 1},   // 10k cells, all populated
+		{"range_sum_sparse", 10, 1000, 10}, // 10k cells, 1 in 10 populated
+		{"range_sum_column", 1, 10000, 1},  // one 10k-row column
+	}
+	rep := Report{
+		Bench: "eval",
+		Config: map[string]any{
+			"mintime_ms": minTime.Milliseconds(),
+		},
+		Results: map[string]Result{},
+	}
+	for _, s := range shapes {
+		rep.Results[s.name] = runShape(s.cols, s.rows, s.stride, *minTime)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "tacoeval:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, s := range shapes {
+		r := rep.Results[s.name]
+		fmt.Printf("%-18s %6d cells (%5d populated)  bulk %10.0f ns/op  percell %10.0f ns/op  speedup %.2fx\n",
+			s.name, r.Cells, r.Populated, r.NsOpBulk, r.NsOpPercell, r.Speedup)
+	}
+}

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"slices"
+
+	"taco/internal/ref"
+)
+
+// colStore is the engine's column-sliced cell storage: per column, a
+// row-sorted slab of cell records. It exploits the tabular regularity the
+// TACO paper builds on — spreadsheet ranges are column-aligned rectangles,
+// so a range read becomes a handful of contiguous per-column scans (one
+// binary search each) instead of rows×cols map probes. The engine's flat
+// cell map is retained alongside it as a secondary index for O(1) point
+// lookups; every write goes through both (see Engine.setCell).
+type colStore struct {
+	cols map[int]*column
+}
+
+// column is one row-ordered slab: rows sorted ascending, cells parallel.
+type column struct {
+	rows  []int
+	cells []*cell
+}
+
+func newColStore() colStore {
+	return colStore{cols: make(map[int]*column)}
+}
+
+// set installs (or replaces) the record at the given position. Loaders feed
+// cells in column-major order, so the append fast path handles bulk fills
+// without a binary search per cell.
+func (s *colStore) set(at ref.Ref, c *cell) {
+	col := s.cols[at.Col]
+	if col == nil {
+		col = &column{}
+		s.cols[at.Col] = col
+	}
+	if n := len(col.rows); n == 0 || at.Row > col.rows[n-1] {
+		col.rows = append(col.rows, at.Row)
+		col.cells = append(col.cells, c)
+		return
+	}
+	i, found := slices.BinarySearch(col.rows, at.Row)
+	if found {
+		col.cells[i] = c
+		return
+	}
+	col.rows = slices.Insert(col.rows, i, at.Row)
+	col.cells = slices.Insert(col.cells, i, c)
+}
+
+// delete removes the record at the given position, if present.
+func (s *colStore) delete(at ref.Ref) {
+	col := s.cols[at.Col]
+	if col == nil {
+		return
+	}
+	i, found := slices.BinarySearch(col.rows, at.Row)
+	if !found {
+		return
+	}
+	col.rows = slices.Delete(col.rows, i, i+1)
+	col.cells = slices.Delete(col.cells, i, i+1)
+	if len(col.rows) == 0 {
+		delete(s.cols, at.Col)
+	}
+}
+
+// count returns the number of stored cells (used by invariant checks; the
+// engine's cell map is the authoritative O(1) counter).
+func (s *colStore) count() int {
+	n := 0
+	for _, col := range s.cols {
+		n += len(col.rows)
+	}
+	return n
+}
+
+// window returns the slab index range [lo, hi) covering rows r1..r2.
+func (c *column) window(r1, r2 int) (lo, hi int) {
+	lo, _ = slices.BinarySearch(c.rows, r1)
+	hi, _ = slices.BinarySearch(c.rows, r2+1)
+	return lo, hi
+}
+
+// scanRange visits every populated cell of rng in row-major order — the
+// order the per-cell evaluation path uses, so bulk and per-cell consumers
+// observe values (and in particular a range's first error) identically.
+// Unpopulated cells are skipped; that is the point. Returns false if fn
+// stopped the scan early.
+//
+// A single-column range (the common aggregation shape) is one binary search
+// plus a linear walk. Multi-column ranges merge the per-column windows with
+// a small binary heap keyed on (row, col) — O(cells · log cols), no
+// per-cell map probes.
+func (s *colStore) scanRange(rng ref.Range, fn func(at ref.Ref, c *cell) bool) bool {
+	if rng.Head.Col == rng.Tail.Col {
+		col := s.cols[rng.Head.Col]
+		if col == nil {
+			return true
+		}
+		lo, hi := col.window(rng.Head.Row, rng.Tail.Row)
+		for i := lo; i < hi; i++ {
+			if !fn(ref.Ref{Col: rng.Head.Col, Row: col.rows[i]}, col.cells[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	type cursor struct {
+		col   int
+		rows  []int
+		cells []*cell
+		i     int
+	}
+	var curs []cursor
+	for c := rng.Head.Col; c <= rng.Tail.Col; c++ {
+		col := s.cols[c]
+		if col == nil {
+			continue // ranges crossing empty columns cost one map probe each
+		}
+		lo, hi := col.window(rng.Head.Row, rng.Tail.Row)
+		if lo == hi {
+			continue
+		}
+		curs = append(curs, cursor{col: c, rows: col.rows[lo:hi], cells: col.cells[lo:hi]})
+	}
+	if len(curs) == 0 {
+		return true
+	}
+	// Binary min-heap of cursor indices, ordered by (current row, column).
+	less := func(a, b int) bool {
+		ca, cb := &curs[a], &curs[b]
+		if ca.rows[ca.i] != cb.rows[cb.i] {
+			return ca.rows[ca.i] < cb.rows[cb.i]
+		}
+		return ca.col < cb.col
+	}
+	h := make([]int, len(curs))
+	for i := range h {
+		h[i] = i
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && less(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && less(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	for len(h) > 0 {
+		c := &curs[h[0]]
+		if !fn(ref.Ref{Col: c.col, Row: c.rows[c.i]}, c.cells[c.i]) {
+			return false
+		}
+		c.i++
+		if c.i == len(c.rows) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		if len(h) > 0 {
+			down(0)
+		}
+	}
+	return true
+}
+
+// eachColumnMajor visits every stored cell in column-major order — the
+// deterministic order snapshots are written in. Column keys are sorted per
+// call; the slab rows are already sorted.
+func (s *colStore) eachColumnMajor(fn func(at ref.Ref, c *cell) error) error {
+	cols := make([]int, 0, len(s.cols))
+	for c := range s.cols {
+		cols = append(cols, c)
+	}
+	slices.Sort(cols)
+	for _, cidx := range cols {
+		col := s.cols[cidx]
+		for i, row := range col.rows {
+			if err := fn(ref.Ref{Col: cidx, Row: row}, col.cells[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CellStoreStats describes the columnar store's shape — the stats seam the
+// serving layer surfaces next to the graph's compression stats.
+type CellStoreStats struct {
+	Columns      int // populated columns
+	Cells        int // stored cells
+	LongestSlab  int // rows in the fullest column
+	SlabCapacity int // total slab capacity (rows), incl. growth slack
+}
+
+// stats computes the store's shape summary.
+func (s *colStore) stats() CellStoreStats {
+	st := CellStoreStats{Columns: len(s.cols)}
+	for _, col := range s.cols {
+		st.Cells += len(col.rows)
+		st.SlabCapacity += cap(col.rows)
+		if len(col.rows) > st.LongestSlab {
+			st.LongestSlab = len(col.rows)
+		}
+	}
+	return st
+}

@@ -88,6 +88,12 @@ type cell struct {
 // background phase of the asynchronous interaction model.
 type Engine struct {
 	graph Graph
+	// store is the primary cell storage: column-sliced, row-ordered slabs,
+	// so range reads are contiguous per-column scans (see colstore.go).
+	store colStore
+	// cells is the secondary point index over the same records — O(1)
+	// single-cell lookups while the columnar store serves the scans. Every
+	// write maintains both (setCell / ClearCell).
 	cells map[ref.Ref]*cell
 	// formulas spatially indexes formula-cell positions, so invalidate can
 	// intersect a dirty range with the populated formula cells (O(log n + k))
@@ -110,6 +116,7 @@ func New(g Graph) *Engine {
 	}
 	return &Engine{
 		graph:    g,
+		store:    newColStore(),
 		cells:    make(map[ref.Ref]*cell),
 		formulas: rtree.New[ref.Ref](),
 		dirty:    make(map[ref.Ref]*cell),
@@ -132,14 +139,24 @@ func (e *Engine) setCell(at ref.Ref, c *cell) {
 		e.dirty[at] = c
 	}
 	e.cells[at] = c
+	e.store.set(at, c)
 }
 
 // populate fills the engine's cell store from a sheet: values clean,
 // formulae parsed and dirty. Graph construction is the caller's job — Load
 // feeds dependencies through the incremental path, LoadBulk through the
-// streaming compressor.
+// streaming compressor. Cells are written in column-major order so the
+// columnar store takes its append fast path; the sheet map's random
+// iteration order would binary-insert mid-slab — quadratic per dense
+// column.
 func (e *Engine) populate(s *workload.Sheet) error {
-	for at, c := range s.Cells {
+	refs := make([]ref.Ref, 0, len(s.Cells))
+	for at := range s.Cells {
+		refs = append(refs, at)
+	}
+	slices.SortFunc(refs, ref.ColumnMajorCompare)
+	for _, at := range refs {
+		c := s.Cells[at]
 		if c.IsFormula() {
 			ast, err := formula.ParseCached(c.Formula)
 			if err != nil {
@@ -216,14 +233,16 @@ func LoadBulkParsed(pcells []ParsedCell) *Engine {
 	// path has all entries up front, so it skips per-cell R-tree insertion.
 	var items []rtree.Item[ref.Ref]
 	for _, c := range ordered {
+		var rec *cell
 		if c.AST != nil {
-			rec := &cell{ast: c.AST, src: c.Src, dirty: true}
-			e.cells[c.At] = rec
+			rec = &cell{ast: c.AST, src: c.Src, dirty: true}
 			e.dirty[c.At] = rec
 			items = append(items, rtree.Item[ref.Ref]{Rect: ref.CellRange(c.At), Value: c.At})
 		} else {
-			e.cells[c.At] = &cell{value: c.Value}
+			rec = &cell{value: c.Value}
 		}
+		e.cells[c.At] = rec
+		e.store.set(c.At, rec) // ordered input: the append fast path
 	}
 	e.formulas = rtree.BulkLoad(items)
 	e.RecalculateAll()
@@ -295,6 +314,25 @@ func (r evalResolver) CellValue(at ref.Ref) formula.Value {
 	return c.value
 }
 
+// RangeValues implements formula.RangeResolver: the evaluator's bulk fast
+// path for range-consuming builtins. It streams the populated cells of rng
+// in row-major order straight off the columnar slabs — no per-cell map
+// probes — evaluating dirty cells on the way exactly as CellValue would.
+// Evaluation never inserts or removes cells, so the slabs are stable under
+// the recursive evaluations a scan can trigger.
+func (r evalResolver) RangeValues(rng ref.Range, fn func(at ref.Ref, v formula.Value) bool) bool {
+	r.e.store.scanRange(rng, func(at ref.Ref, c *cell) bool {
+		if c.dirty {
+			if c.evaluating {
+				return fn(at, formula.Errorf("#CYCLE!"))
+			}
+			r.e.evaluate(at, c)
+		}
+		return fn(at, c.value)
+	})
+	return true
+}
+
 func (e *Engine) evaluate(at ref.Ref, c *cell) {
 	if c.ast != nil {
 		c.evaluating = true
@@ -357,6 +395,7 @@ func (e *Engine) ClearCell(at ref.Ref) []ref.Range {
 	}
 	delete(e.cells, at)
 	delete(e.dirty, at)
+	e.store.delete(at)
 	return e.invalidate(at)
 }
 
@@ -379,6 +418,44 @@ func (e *Engine) invalidate(at ref.Ref) []ref.Range {
 	}
 	return dirty
 }
+
+// ScanRange streams the populated cells of rng in row-major order with
+// their last computed values, formula sources, and clean flags. Like Value
+// and Peek it is side-effect-free — dirty cells report their stale value
+// with clean=false — so a serving layer can run it under a shared read
+// lock. Unpopulated cells are skipped: a range read costs contiguous
+// per-column slab scans, not rows×cols map probes.
+func (e *Engine) ScanRange(rng ref.Range, fn func(at ref.Ref, v formula.Value, src string, clean bool) bool) {
+	e.store.scanRange(rng, func(at ref.Ref, c *cell) bool {
+		return fn(at, c.value, c.src, !c.dirty)
+	})
+}
+
+// valueResolver adapts the engine's side-effect-free read path to
+// formula.Resolver + formula.RangeResolver: last computed values only,
+// never evaluating. It is what external consumers (benchmarks, ad-hoc
+// expression evaluation over a quiesced engine) should evaluate against.
+type valueResolver struct{ e *Engine }
+
+// CellValue implements formula.Resolver.
+func (r valueResolver) CellValue(at ref.Ref) formula.Value { return r.e.Value(at) }
+
+// RangeValues implements formula.RangeResolver.
+func (r valueResolver) RangeValues(rng ref.Range, fn func(at ref.Ref, v formula.Value) bool) bool {
+	r.e.store.scanRange(rng, func(at ref.Ref, c *cell) bool {
+		return fn(at, c.value)
+	})
+	return true
+}
+
+// ValueResolver returns a side-effect-free formula resolver over the
+// engine's last computed values. It implements formula.RangeResolver, so
+// range-consuming builtins evaluated against it take the columnar bulk
+// path.
+func (e *Engine) ValueResolver() formula.Resolver { return valueResolver{e} }
+
+// CellStats returns the columnar cell store's shape summary.
+func (e *Engine) CellStats() CellStoreStats { return e.store.stats() }
 
 // Dirty reports whether the cell awaits recalculation.
 func (e *Engine) Dirty(at ref.Ref) bool {
@@ -470,6 +547,7 @@ func (e *Engine) Recycle() {
 	clear(e.cells)
 	cellMapPool.Put(e.cells)
 	e.cells = nil
+	e.store = colStore{}
 	e.dirty = nil
 	e.formulas = nil
 }

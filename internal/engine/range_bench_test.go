@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"taco/internal/formula"
+	"taco/internal/ref"
+)
+
+// Range-aggregation benchmarks: SUM over a 10k-cell range, resolved through
+// the columnar bulk path vs the per-cell map-probe path. cmd/tacoeval runs
+// the same shapes standalone and records them in BENCH_eval.json; these
+// exist so `go test -bench RangeSum` shows the ratio in-repo.
+
+// benchGrid populates a cols×rows block, keeping every strideth cell.
+func benchGrid(b *testing.B, cols, rows, stride int) (*Engine, ref.Range) {
+	b.Helper()
+	var pcells []ParsedCell
+	i := 0
+	for col := 1; col <= cols; col++ {
+		for row := 1; row <= rows; row++ {
+			if i++; i%stride != 0 {
+				continue
+			}
+			pcells = append(pcells, ParsedCell{
+				At:    ref.Ref{Col: col, Row: row},
+				Value: formula.Num(float64(col*row) / 7),
+			})
+		}
+	}
+	e := LoadBulkParsed(pcells)
+	return e, ref.Range{Head: ref.Ref{Col: 1, Row: 1}, Tail: ref.Ref{Col: cols, Row: rows}}
+}
+
+func benchmarkRangeSum(b *testing.B, stride int) {
+	e, rng := benchGrid(b, 10, 1000, stride)
+	ast := formula.MustParse(fmt.Sprintf("=SUM(%s)", rng))
+	paths := []struct {
+		name string
+		res  formula.Resolver
+	}{
+		{"bulk", e.ValueResolver()},
+		{"percell", formula.ResolverFunc(e.Value)},
+	}
+	want := formula.Eval(ast, paths[0].res)
+	if got := formula.Eval(ast, paths[1].res); got != want {
+		b.Fatalf("paths disagree: bulk=%v percell=%v", want, got)
+	}
+	for _, p := range paths {
+		b.Run(p.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if v := formula.Eval(ast, p.res); v != want {
+					b.Fatalf("SUM = %v, want %v", v, want)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRangeSumDense(b *testing.B)  { benchmarkRangeSum(b, 1) }
+func BenchmarkRangeSumSparse(b *testing.B) { benchmarkRangeSum(b, 10) }
+
+// BenchmarkRangeSumColumn is the single-column shape: one contiguous slab
+// scan against 10k map probes.
+func BenchmarkRangeSumColumn(b *testing.B) {
+	e, _ := benchGrid(b, 1, 10000, 1)
+	ast := formula.MustParse("=SUM(A1:A10000)")
+	for _, p := range []struct {
+		name string
+		res  formula.Resolver
+	}{
+		{"bulk", e.ValueResolver()},
+		{"percell", formula.ResolverFunc(e.Value)},
+	} {
+		b.Run(p.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				formula.Eval(ast, p.res)
+			}
+		})
+	}
+}

@@ -8,8 +8,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"slices"
-	"sync"
 
 	"taco/internal/core"
 	"taco/internal/formula"
@@ -105,28 +103,6 @@ func (e *Engine) writeSnapshot(w io.Writer, blob []byte, gen uint64) ([]byte, ui
 	return blob, gen, nil
 }
 
-// cellSortScratch recycles the per-spill sort buffers: spill-heavy hosts
-// serialise constantly, and these are the only per-call allocations left in
-// the encoder.
-type cellSortScratch struct {
-	pairs []cellKV
-	keys  []uint64
-}
-
-type cellKV struct {
-	at ref.Ref
-	c  *cell
-}
-
-var cellSortPool = sync.Pool{New: func() any { return new(cellSortScratch) }}
-
-// Bit budget for the packed cell sort key: (col, row, index) in one uint64.
-const (
-	snapIdxBits = 20
-	snapRowBits = 22
-	snapColBits = 22
-)
-
 func (e *Engine) writeCells(w io.Writer) error {
 	bw, buffered := w.(snapWriter)
 	if !buffered {
@@ -152,56 +128,17 @@ func (e *Engine) writeCells(w io.Writer) error {
 		return err
 	}
 	// Deterministic column-major order so equal engines produce identical
-	// bytes, mirroring the core snapshot's guarantee. The common case packs
-	// (col, row, index) into one uint64 per cell and uses the specialised
-	// integer sort — far cheaper than a comparator sort of structs.
-	// Coordinates outside the packable range fall back to the comparator.
-	scratch := cellSortPool.Get().(*cellSortScratch)
-	defer func() {
-		clear(scratch.pairs) // drop cell references before pooling
-		scratch.pairs = scratch.pairs[:0]
-		scratch.keys = scratch.keys[:0]
-		cellSortPool.Put(scratch)
-	}()
-	pairs := scratch.pairs[:0]
-	for at, c := range e.cells {
-		pairs = append(pairs, cellKV{at, c})
-	}
-	scratch.pairs = pairs
-	if err := putUvarint(uint64(len(pairs))); err != nil {
+	// bytes, mirroring the core snapshot's guarantee. The columnar store
+	// already holds cells in exactly this order — the encoder streams the
+	// slabs directly, with no per-spill sort or scratch buffers at all.
+	if err := putUvarint(uint64(len(e.cells))); err != nil {
 		return err
 	}
-	packable := len(pairs) < 1<<snapIdxBits
-	if packable {
-		keys := scratch.keys[:0]
-		for i, p := range pairs {
-			if p.at.Col >= 1<<snapColBits || p.at.Row >= 1<<snapRowBits {
-				packable = false
-				break
-			}
-			keys = append(keys, uint64(p.at.Col)<<(snapRowBits+snapIdxBits)|
-				uint64(p.at.Row)<<snapIdxBits|uint64(i))
-		}
-		scratch.keys = keys
-		if packable {
-			slices.Sort(keys)
-			for _, k := range keys {
-				p := pairs[k&(1<<snapIdxBits-1)]
-				if err := e.writeCell(bw, putUvarint, putString, p.at, p.c); err != nil {
-					return err
-				}
-			}
-			if f, isBufio := bw.(*bufio.Writer); isBufio {
-				return f.Flush()
-			}
-			return nil
-		}
-	}
-	slices.SortFunc(pairs, func(a, b cellKV) int { return ref.ColumnMajorCompare(a.at, b.at) })
-	for _, p := range pairs {
-		if err := e.writeCell(bw, putUvarint, putString, p.at, p.c); err != nil {
-			return err
-		}
+	err := e.store.eachColumnMajor(func(at ref.Ref, c *cell) error {
+		return e.writeCell(bw, putUvarint, putString, at, c)
+	})
+	if err != nil {
+		return err
 	}
 	if f, isBufio := bw.(*bufio.Writer); isBufio {
 		return f.Flush()
@@ -427,6 +364,7 @@ func restoreSnapshot(r io.Reader, pinned *core.Graph) (*Engine, error) {
 		br = bufio.NewReader(r)
 	}
 	cells := cellMapPool.Get().(map[ref.Ref]*cell)
+	store := newColStore()
 	dirty := make(map[ref.Ref]*cell)
 	var fitems []rtree.Item[ref.Ref]
 	// Slab-allocate cell records in pooled blocks: pointers into a full
@@ -450,6 +388,7 @@ func restoreSnapshot(r io.Reader, pinned *core.Graph) (*Engine, error) {
 		c := newCell()
 		*c = cell{ast: sc.AST, src: sc.Src, value: sc.Value, dirty: sc.Dirty}
 		cells[sc.At] = c
+		store.set(sc.At, c) // snapshots are column-major: the append fast path
 		if sc.AST != nil {
 			fitems = append(fitems, rtree.Item[ref.Ref]{Rect: ref.CellRange(sc.At), Value: sc.At})
 		}
@@ -470,6 +409,7 @@ func restoreSnapshot(r io.Reader, pinned *core.Graph) (*Engine, error) {
 	}
 	return &Engine{
 		graph:    TACO{G: g},
+		store:    store,
 		cells:    cells,
 		formulas: rtree.BulkLoad(fitems),
 		dirty:    dirty,

@@ -107,6 +107,31 @@ type ResolverFunc func(ref.Ref) Value
 // CellValue implements Resolver.
 func (f ResolverFunc) CellValue(at ref.Ref) Value { return f(at) }
 
+// RangeResolver is an optional Resolver extension: a resolver backed by
+// column-sliced storage can stream every populated cell of a range as
+// contiguous per-column scans instead of answering rows×cols CellValue
+// probes. Range-consuming builtins (SUM and friends, SUMIF, COUNTIF,
+// SUMPRODUCT, VLOOKUP) use it as their fast path and fall back to per-cell
+// CellValue resolution for plain resolvers.
+type RangeResolver interface {
+	Resolver
+	// RangeValues calls fn for every populated cell of rng in row-major
+	// order — the same order (and therefore the same first-error
+	// behaviour) as per-cell iteration — with the cell's position and
+	// value. Unpopulated cells are skipped; callers that assign meaning to
+	// blanks must account for them (see COUNTIF's empty-matching
+	// criterion). It returns false when the resolver cannot serve the bulk
+	// scan, in which case the caller must take the per-cell path.
+	RangeValues(rng ref.Range, fn func(at ref.Ref, v Value) bool) bool
+}
+
+// rangeScan streams rng through the resolver's bulk path when it has one.
+// handled=false means the caller must fall back to per-cell CellValue.
+func rangeScan(res Resolver, rng ref.Range, fn func(ref.Ref, Value) bool) (handled bool) {
+	rr, ok := res.(RangeResolver)
+	return ok && rr.RangeValues(rng, fn)
+}
+
 // Eval evaluates the AST against the resolver, returning the cell's value.
 // Errors propagate as #-style error values rather than Go errors, matching
 // spreadsheet semantics.
@@ -239,10 +264,28 @@ func evalArg(n Node, res Resolver) arg {
 }
 
 // eachValue streams the argument's values: a scalar yields itself; a range
-// yields every cell value in row-major order.
+// yields every cell value in row-major order — including blanks, which
+// consumers like AND/OR give meaning to.
 func (a arg) eachValue(res Resolver, fn func(Value) bool) {
 	if !a.isRange {
 		fn(a.scalar)
+		return
+	}
+	a.rng.Cells(func(c ref.Ref) bool {
+		return fn(res.CellValue(c))
+	})
+}
+
+// eachValueSparse is eachValue for consumers indifferent to blank cells
+// (COUNT, COUNTA, ...): with a RangeResolver it streams only populated
+// cells off the columnar scan; otherwise it degrades to eachValue, whose
+// blanks the consumer ignores anyway.
+func (a arg) eachValueSparse(res Resolver, fn func(Value) bool) {
+	if !a.isRange {
+		fn(a.scalar)
+		return
+	}
+	if rangeScan(res, a.rng, func(_ ref.Ref, v Value) bool { return fn(v) }) {
 		return
 	}
 	a.rng.Cells(func(c ref.Ref) bool {
@@ -286,7 +329,7 @@ func evalCall(t *Call, res Resolver) Value {
 	case "COUNT":
 		n := 0
 		for _, a := range args {
-			a.eachValue(res, func(v Value) bool {
+			a.eachValueSparse(res, func(v Value) bool {
 				if v.Kind == KindNumber {
 					n++
 				}
@@ -297,7 +340,7 @@ func evalCall(t *Call, res Resolver) Value {
 	case "COUNTA":
 		n := 0
 		for _, a := range args {
-			a.eachValue(res, func(v Value) bool {
+			a.eachValueSparse(res, func(v Value) bool {
 				if v.Kind != KindEmpty {
 					n++
 				}
@@ -342,10 +385,12 @@ func evalCall(t *Call, res Resolver) Value {
 		want := t.Name == "AND"
 		out := want
 		for _, a := range args {
+			var errVal Value
 			var errv *Value
 			a.eachValue(res, func(v Value) bool {
 				if v.IsError() {
-					errv = &v
+					errVal = v
+					errv = &errVal
 					return false
 				}
 				f, ok := v.AsNumber()
@@ -525,12 +570,21 @@ func aggregateInit(args []arg, res Resolver, init float64, f func(acc, v float64
 // hold text or blanks are skipped (spreadsheet aggregate semantics); scalar
 // arguments must be numeric. Returns a non-nil error value on #-errors.
 func forNumbers(args []arg, res Resolver, fn func(float64)) *Value {
+	// The first error is copied into errVal rather than captured by
+	// address: taking &v of the callback parameter would make every
+	// streamed Value escape — one heap allocation per cell on the hot
+	// aggregation path.
+	var errVal Value
 	var errv *Value
 	for _, a := range args {
 		if a.isRange {
-			a.eachValue(res, func(v Value) bool {
+			// Blanks are skipped either way, so the sparse scan is exact:
+			// populated cells arrive in the same row-major order the
+			// per-cell loop would visit them, errors included.
+			a.eachValueSparse(res, func(v Value) bool {
 				if v.IsError() {
-					errv = &v
+					errVal = v
+					errv = &errVal
 					return false
 				}
 				if v.Kind == KindNumber {
@@ -596,6 +650,29 @@ func evalVlookup(t *Call, args []arg, res Resolver) Value {
 	if col < 1 || col > table.Cols() {
 		return Errorf("#REF!")
 	}
+	// Bulk path: the key column is a single contiguous slab scan. Sound
+	// only when a blank key cell cannot match the needle (a numeric needle
+	// of 0 or an empty/"" needle would match blanks, which the scan skips).
+	if !eqValue(Empty(), needle) {
+		keyCol := ref.Range{
+			Head: table.Head,
+			Tail: ref.Ref{Col: table.Head.Col, Row: table.Tail.Row},
+		}
+		var out *Value
+		if rangeScan(res, keyCol, func(at ref.Ref, v Value) bool {
+			if eqValue(v, needle) {
+				hit := res.CellValue(ref.Ref{Col: table.Head.Col + col - 1, Row: at.Row})
+				out = &hit
+				return false
+			}
+			return true
+		}) {
+			if out != nil {
+				return *out
+			}
+			return Errorf("#N/A")
+		}
+	}
 	for row := table.Head.Row; row <= table.Tail.Row; row++ {
 		v := res.CellValue(ref.Ref{Col: table.Head.Col, Row: row})
 		if eqValue(v, needle) {
@@ -618,6 +695,32 @@ func evalSumif(args []arg, res Resolver) Value {
 		sumRange = args[2].rng
 	}
 	total := 0.0
+	// Bulk path: scan only the populated criterion cells — sound when a
+	// blank cannot satisfy the criterion (e.g. "<5" or =0 match blanks; for
+	// those the blank positions' sum cells still matter, so fall back).
+	// Matches pay one point probe into the sum range; the common 2-arg form
+	// (sum range == criterion range) pays none. Row-major scan order keeps
+	// float accumulation order identical to the per-cell path.
+	if !matchesCriterion(Empty(), crit) {
+		sameRange := sumRange == args[0].rng
+		if rangeScan(res, args[0].rng, func(at ref.Ref, v Value) bool {
+			if matchesCriterion(v, crit) {
+				if !sameRange {
+					off := at.Sub(args[0].rng.Head)
+					v = res.CellValue(ref.Ref{
+						Col: sumRange.Head.Col + off.DCol,
+						Row: sumRange.Head.Row + off.DRow,
+					})
+				}
+				if f, ok := v.AsNumber(); ok {
+					total += f
+				}
+			}
+			return true
+		}) {
+			return Num(total)
+		}
+	}
 	i := 0
 	args[0].rng.Cells(func(c ref.Ref) bool {
 		if matchesCriterion(res.CellValue(c), crit) {
@@ -640,6 +743,23 @@ func evalCountif(args []arg, res Resolver) Value {
 	}
 	crit := args[1].scalar
 	n := 0
+	// Bulk path: count matches among populated cells; blanks (both the
+	// range's unpopulated positions and stored empty values — the scan only
+	// skips the former) match or not as a group, decided once up front.
+	emptyMatches := matchesCriterion(Empty(), crit)
+	visited := 0
+	if rangeScan(res, args[0].rng, func(_ ref.Ref, v Value) bool {
+		visited++
+		if matchesCriterion(v, crit) {
+			n++
+		}
+		return true
+	}) {
+		if emptyMatches {
+			n += args[0].rng.Size() - visited
+		}
+		return Num(float64(n))
+	}
 	args[0].rng.Cells(func(c ref.Ref) bool {
 		if matchesCriterion(res.CellValue(c), crit) {
 			n++

@@ -26,11 +26,13 @@ func evalFinancial(t *Call, args []arg, res Resolver) (Value, bool) {
 		}
 		total := 0.0
 		period := 1
+		var errVal Value
 		var errv *Value
 		for _, a := range args[1:] {
-			a.eachValue(res, func(v Value) bool {
+			a.eachValueSparse(res, func(v Value) bool {
 				if v.IsError() {
-					errv = &v
+					errVal = v
+					errv = &errVal
 					return false
 				}
 				if v.Kind == KindNumber {
@@ -104,10 +106,12 @@ func evalFinancial(t *Call, args []arg, res Resolver) (Value, bool) {
 			return Errorf("#N/A"), true
 		}
 		var flows []float64
+		var errVal Value
 		var errv *Value
-		args[0].eachValue(res, func(v Value) bool {
+		args[0].eachValueSparse(res, func(v Value) bool {
 			if v.IsError() {
-				errv = &v
+				errVal = v
+				errv = &errVal
 				return false
 			}
 			if v.Kind == KindNumber {

@@ -184,14 +184,17 @@ func evalCallExt(t *Call, args []arg, res Resolver) Value {
 		if len(args) != 1 || !args[0].isRange {
 			return Errorf("#N/A")
 		}
-		n := 0
-		args[0].eachValue(res, func(v Value) bool {
-			if v.Kind == KindEmpty {
-				n++
+		// Count non-blanks on the sparse scan and subtract: unpopulated
+		// cells and stored empty values are both blank, so the difference
+		// is exact on either path.
+		nonblank := 0
+		args[0].eachValueSparse(res, func(v Value) bool {
+			if v.Kind != KindEmpty {
+				nonblank++
 			}
 			return true
 		})
-		return Num(float64(n))
+		return Num(float64(args[0].rng.Size() - nonblank))
 
 	// --- Lookup --------------------------------------------------------
 	case "HLOOKUP":
@@ -294,11 +297,14 @@ func evalCallExt(t *Call, args []arg, res Resolver) Value {
 	// --- Logic / information --------------------------------------------
 	case "XOR":
 		truths := 0
+		var errVal Value
 		var errv *Value
 		for _, a := range args {
-			a.eachValue(res, func(v Value) bool {
+			// Sparse scan is sound for XOR: a blank is never truthy.
+			a.eachValueSparse(res, func(v Value) bool {
 				if v.IsError() {
-					errv = &v
+					errVal = v
+					errv = &errVal
 					return false
 				}
 				f, ok := v.AsNumber()
@@ -397,6 +403,41 @@ func evalSumProduct(args []arg, res Resolver) Value {
 	}
 	first := args[0].rng
 	total := 0.0
+	// Bulk path: a position unpopulated in the first range contributes a
+	// zero factor, so its whole term is zero — scan only the first range's
+	// populated cells and probe the other ranges at the matching offsets.
+	// Sound only while every stored number is finite: a 0·Inf term at a
+	// skipped position would be NaN, not zero (arithmetic can overflow to
+	// Inf, e.g. =1E308*10), so any non-finite value anywhere in the ranges
+	// forces the exact per-cell walk. The guard scans are populated-cells-
+	// only and cheap next to the rectangle walk they avoid.
+	allFinite := true
+	for _, a := range args {
+		if !rangeScan(res, a.rng, func(_ ref.Ref, v Value) bool {
+			if v.Kind == KindNumber && (math.IsInf(v.Num, 0) || math.IsNaN(v.Num)) {
+				allFinite = false
+				return false
+			}
+			return true
+		}) {
+			allFinite = false // no bulk support: per-cell walk below
+			break
+		}
+	}
+	if allFinite && rangeScan(res, first, func(at ref.Ref, v Value) bool {
+		off := at.Sub(first.Head)
+		prod := sumProductFactor(v)
+		for _, a := range args[1:] {
+			prod *= sumProductFactor(res.CellValue(ref.Ref{
+				Col: a.rng.Head.Col + off.DCol,
+				Row: a.rng.Head.Row + off.DRow,
+			}))
+		}
+		total += prod
+		return true
+	}) {
+		return Num(total)
+	}
 	i := 0
 	first.Cells(func(ref.Ref) bool {
 		dc := i % first.Cols()
@@ -404,18 +445,23 @@ func evalSumProduct(args []arg, res Resolver) Value {
 		prod := 1.0
 		for _, a := range args {
 			at := ref.Ref{Col: a.rng.Head.Col + dc, Row: a.rng.Head.Row + dr}
-			v := res.CellValue(at)
-			f, ok := v.AsNumber()
-			if !ok || v.Kind == KindString {
-				f = 0 // text counts as zero, per spreadsheet semantics
-			}
-			prod *= f
+			prod *= sumProductFactor(res.CellValue(at))
 		}
 		total += prod
 		i++
 		return true
 	})
 	return Num(total)
+}
+
+// sumProductFactor coerces one SUMPRODUCT operand: text (including numeric
+// text) and errors count as zero, per spreadsheet semantics.
+func sumProductFactor(v Value) float64 {
+	f, ok := v.AsNumber()
+	if !ok || v.Kind == KindString {
+		return 0
+	}
+	return f
 }
 
 // evalHlookup is the horizontal dual of VLOOKUP: keys in the table's first

@@ -1,0 +1,91 @@
+package formula
+
+import (
+	"testing"
+
+	"taco/internal/ref"
+)
+
+// Native go-fuzz targets. CI smoke-runs each with a bounded -fuzztime; the
+// deterministic random-input tests in fuzz_test.go stay as the always-on
+// tier-1 variant.
+
+// FuzzParse: the parser must never panic, and anything that parses must
+// render (Text) and re-parse to a fixed point.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"=SUM(A1:B10)",
+		"=IF(A1>0,SUM($B$1:B5)*2,\"neg\")",
+		"=VLOOKUP(3,A1:C9,2)",
+		"=1+(2*3)%",
+		"=-A1^2&\"x\"",
+		"((((",
+		"=SUM(",
+		"=A1:B2:C3",
+		"=$Z$99+AA100",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		node, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if node == nil {
+			t.Fatalf("nil node without error for %q", src)
+		}
+		rendered := Text(node)
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round trip of %q -> %q failed: %v", src, rendered, err)
+		}
+		if Text(again) != rendered {
+			t.Fatalf("unstable round trip: %q -> %q -> %q", src, rendered, Text(again))
+		}
+	})
+}
+
+// FuzzEval: evaluating any parse result against both a plain and a
+// range-capable resolver must never panic, and the two resolver paths must
+// agree — the bulk range fast path is behaviour-preserving by construction.
+func FuzzEval(f *testing.F) {
+	seeds := []string{
+		"=SUM(A1:C20)",
+		"=SUMIF(A1:A20,\">2\",B1:B20)",
+		"=COUNTIF(B1:B20,0)",
+		"=SUMPRODUCT(A1:A9,B1:B9)",
+		"=VLOOKUP(0,A1:B20,2)",
+		"=AVERAGE(A1:A20)/COUNTBLANK(B1:B20)",
+		"=MIN(A1:B20)&MAX(A1:B20)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	grid := map[ref.Ref]Value{}
+	for row := 1; row <= 20; row++ {
+		switch row % 5 {
+		case 0: // leave a gap: sparse columns
+		case 1:
+			grid[ref.Ref{Col: 1, Row: row}] = Num(float64(row))
+		case 2:
+			grid[ref.Ref{Col: 2, Row: row}] = Str("t")
+		case 3:
+			grid[ref.Ref{Col: 1, Row: row}] = Boolean(row%2 == 0)
+			grid[ref.Ref{Col: 2, Row: row}] = Num(-float64(row))
+		default:
+			grid[ref.Ref{Col: 3, Row: row}] = Errorf("#DIV/0!")
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		node, err := Parse(src)
+		if err != nil {
+			return
+		}
+		bulk := Eval(node, &colResolver{cells: grid})
+		percell := Eval(node, &colResolver{cells: grid, decline: true})
+		if !sameValue(bulk, percell) {
+			t.Fatalf("%q: bulk=%v percell=%v", src, bulk, percell)
+		}
+	})
+}

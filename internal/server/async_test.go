@@ -79,10 +79,18 @@ func TestReadsServePendingWithoutBlocking(t *testing.T) {
 // flight.
 func TestReadsCompleteDuringLargeDrain(t *testing.T) {
 	const n = 8000
+	const span = 1000
 	_, tc := newTestServer(t, Options{Store: StoreOptions{RecalcChunk: 8}})
 	var info SessionInfo
 	tc.do("POST", "/sessions", CreateRequest{Name: "drain"}, &info)
-	if code := tc.do("POST", "/sessions/"+info.ID+"/edits", wideBatch(n, 200), nil); code != http.StatusOK {
+	// Populate the summed column densely: the columnar bulk resolver skips
+	// unpopulated cells, so a sparse column would make each SUM near-free
+	// and the drain too fast for reads to ever overlap it.
+	batch := wideBatch(n, span)
+	for row := 2; row <= span; row++ {
+		batch.Edits = append(batch.Edits, EditOp{Cell: ref.FormatA1(ref.Ref{Col: 1, Row: row}), Value: num(float64(row))})
+	}
+	if code := tc.do("POST", "/sessions/"+info.ID+"/edits", batch, nil); code != http.StatusOK {
 		t.Fatalf("bulk batch: status %d", code)
 	}
 

@@ -114,6 +114,8 @@ type SessionInfo struct {
 	Cells    int         `json:"cells,omitempty"`
 	Formulas int         `json:"formulas,omitempty"`
 	Graph    *core.Stats `json:"graph,omitempty"`
+	// CellStore describes the columnar cell storage backing range reads.
+	CellStore *engine.CellStoreStats `json:"cell_store,omitempty"`
 }
 
 // EditOp is one operation of a batch. Exactly one of Value, Text, Formula,
@@ -323,6 +325,8 @@ func sessionInfo(sess *Session) SessionInfo {
 		if gs, ok := sess.eng.GraphStats(); ok {
 			info.Graph = &gs
 		}
+		cs := sess.eng.CellStats()
+		info.CellStore = &cs
 	}
 	return info
 }
@@ -585,11 +589,11 @@ func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 	liveRead := func(sess *Session, eng *engine.Engine) error {
 		res.Rev = sess.rev
 		res.Pending = eng.Pending()
-		rng.Cells(func(at ref.Ref) bool {
-			v, clean := eng.Peek(at)
-			src := eng.Formula(at)
+		// Columnar scan: contiguous per-column slabs instead of a Peek map
+		// probe per cell of the (possibly mostly-empty) rectangle.
+		eng.ScanRange(rng, func(at ref.Ref, v formula.Value, src string, clean bool) bool {
 			if v.Kind == formula.KindEmpty && src == "" && clean {
-				return true
+				return true // value-less placeholder; same shape the probe path skipped
 			}
 			res.Cells = append(res.Cells, cellOut(at, v, src, !clean))
 			return true
