@@ -35,8 +35,9 @@ bench-server:
 bench-core:
 	$(GO) test ./internal/core -run '^$$' -bench=. -benchtime=1x
 
-# Refresh the range-aggregation perf baseline (bulk range resolver vs the
-# per-cell probe path).
+# Refresh the evaluation perf baseline: the range-aggregation shapes (bulk
+# range resolver vs the per-cell probe path) and the recalculation shapes
+# (parallel wavefront drain vs the serial resolver, 4 workers).
 bench-eval:
 	$(GO) run ./cmd/tacoeval -json > BENCH_eval.json
 	@cat BENCH_eval.json
@@ -45,10 +46,12 @@ bench-eval:
 fuzz-smoke:
 	$(GO) test ./internal/formula -run '^$$' -fuzz '^FuzzParse$$' -fuzztime=15s
 	$(GO) test ./internal/formula -run '^$$' -fuzz '^FuzzEval$$' -fuzztime=15s
+	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzRecalcParallel$$' -fuzztime=15s
 
 # Local mirror of CI's perf-regression gate: measure now, compare against
-# the checked-in baselines, fail on >25% regression (or a bulk range
-# speedup under 2x).
+# the checked-in baselines, fail on >25% regression, a bulk range speedup
+# under 2x, or a wavefront recalc speedup under the baseline's per-shape
+# floor (1.5x on wide fanout; enforced only on hosts with >= 4 CPUs).
 perf-check:
 	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -json > /tmp/taco_bench_server.json
 	$(GO) run ./cmd/benchdiff -tol 0.25 BENCH_server.json /tmp/taco_bench_server.json

@@ -14,7 +14,13 @@
 //     not rise more than tol above the baseline, and the bulk-vs-percell
 //     speedup — host-independent, so it also holds on CI runners whose
 //     absolute numbers differ from the baseline host's — must stay at or
-//     above min-speedup.
+//     above min-speedup. Recalc shapes are gated the same way on
+//     ns_op_parallel, plus a per-shape serial-vs-parallel speedup floor the
+//     baseline itself declares (min_speedup — policy travels with the
+//     checked-in report). A speedup floor is only enforced when the
+//     current host has at least as many CPUs as the shape ran workers:
+//     wall-clock parallel speedup on fewer cores than workers is
+//     physically meaningless, and the regression ceiling still applies.
 package main
 
 import (
@@ -35,9 +41,19 @@ type evalResult struct {
 	Speedup     float64 `json:"speedup"`
 }
 
+type recalcResult struct {
+	Workers      int     `json:"workers"`
+	CPUs         int     `json:"cpus"`
+	NsOpSerial   float64 `json:"ns_op_serial"`
+	NsOpParallel float64 `json:"ns_op_parallel"`
+	Speedup      float64 `json:"speedup"`
+	MinSpeedup   float64 `json:"min_speedup"`
+}
+
 type evalReport struct {
-	Bench   string                `json:"bench"`
-	Results map[string]evalResult `json:"results"`
+	Bench   string                  `json:"bench"`
+	Results map[string]evalResult   `json:"results"`
+	Recalc  map[string]recalcResult `json:"recalc"`
 }
 
 func readJSON(path string, out any) error {
@@ -117,6 +133,42 @@ func main() {
 			if c.Speedup < *minSpeedup {
 				failures = append(failures, fmt.Sprintf(
 					"%s: bulk speedup %.2fx below the %.2fx floor", name, c.Speedup, *minSpeedup))
+			}
+		}
+		for name, b := range base.Recalc {
+			c, ok := cur.Recalc[name]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: missing from current report", name))
+				continue
+			}
+			ceiling := b.NsOpParallel * (1 + *tol)
+			fmt.Printf("%-18s parallel %.0f ns/op (baseline %.0f, ceiling %.0f), speedup %.2fx",
+				name, c.NsOpParallel, b.NsOpParallel, ceiling, c.Speedup)
+			if c.NsOpParallel > ceiling {
+				failures = append(failures, fmt.Sprintf(
+					"%s: ns_op_parallel regressed: %.0f -> %.0f (>%.0f%% rise)",
+					name, b.NsOpParallel, c.NsOpParallel, *tol*100))
+			}
+			switch {
+			case b.MinSpeedup <= 0:
+				fmt.Println(" (no floor)")
+			case c.Workers != b.Workers:
+				// The floor was calibrated for the baseline's worker count;
+				// holding a different parallelism to it would gate apples
+				// against oranges.
+				fmt.Printf(" (floor %.2fx skipped: measured at %d workers, baseline at %d)\n",
+					b.MinSpeedup, c.Workers, b.Workers)
+			case c.CPUs < c.Workers:
+				// The floor is policy for hosts that can actually run the
+				// workers; a 1-CPU box cannot show wall-clock speedup.
+				fmt.Printf(" (floor %.2fx skipped: %d CPUs < %d workers)\n", b.MinSpeedup, c.CPUs, c.Workers)
+			default:
+				fmt.Printf(" (floor %.2fx)\n", b.MinSpeedup)
+				if c.Speedup < b.MinSpeedup {
+					failures = append(failures, fmt.Sprintf(
+						"%s: parallel speedup %.2fx below the baseline's %.2fx floor",
+						name, c.Speedup, b.MinSpeedup))
+				}
 			}
 		}
 	default:

@@ -1,15 +1,23 @@
-// Command tacoeval measures the range-aggregation cost of the formula
-// evaluator: SUM over a 10k-cell range resolved through the engine's
-// columnar bulk path (formula.RangeResolver) versus the per-cell
-// CellValue probe path, on dense, sparse, and single-column shapes.
+// Command tacoeval measures the evaluation-side hot paths of the engine:
+//
+//   - Range aggregation: SUM over a 10k-cell range resolved through the
+//     engine's columnar bulk path (formula.RangeResolver) versus the
+//     per-cell CellValue probe path, on dense, sparse, and single-column
+//     shapes.
+//   - Recalculation: draining a dirtied sheet through the parallel
+//     wavefront scheduler versus the serial resolver, on deep-chain,
+//     wide-fanout, diamond, and mixed dependency shapes.
 //
 // Usage:
 //
-//	tacoeval [-json] [-mintime 300ms]
+//	tacoeval [-json] [-mintime 300ms] [-workers 4]
 //
 // With -json it emits the BENCH_eval.json report that CI's perf-regression
-// job feeds to benchdiff: absolute ns/op per path plus the bulk-vs-percell
-// speedup, which is host-independent and therefore the primary gate.
+// job feeds to benchdiff: absolute ns/op per path plus the speedups, which
+// are host-independent and therefore the primary gates. The wide-fanout
+// recalc shape carries a min_speedup the checked-in baseline turns into a
+// CI floor — the shape with maximal level width is where wavefront
+// parallelism must pay, regardless of runner speed.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"taco/internal/engine"
@@ -34,11 +43,29 @@ type Result struct {
 	Speedup     float64 `json:"speedup"` // percell / bulk
 }
 
+// RecalcResult is one recalculation shape's measurement: the same dirtied
+// sheet drained serially and through the wavefront scheduler.
+type RecalcResult struct {
+	Dirty        int     `json:"dirty"` // cells drained per iteration
+	Workers      int     `json:"workers"`
+	CPUs         int     `json:"cpus"` // CPUs visible on the measuring host
+	Iters        int     `json:"iters"`
+	NsOpSerial   float64 `json:"ns_op_serial"`
+	NsOpParallel float64 `json:"ns_op_parallel"`
+	Speedup      float64 `json:"speedup"` // serial / parallel
+	// MinSpeedup, when set, is the floor benchdiff enforces for this shape
+	// (policy travels with the checked-in baseline): shapes with real level
+	// width must keep paying for their workers; shapes that are serial by
+	// construction (deep chains) carry none.
+	MinSpeedup float64 `json:"min_speedup,omitempty"`
+}
+
 // Report is the BENCH_eval.json schema.
 type Report struct {
-	Bench   string            `json:"bench"`
-	Config  map[string]any    `json:"config"`
-	Results map[string]Result `json:"results"`
+	Bench   string                  `json:"bench"`
+	Config  map[string]any          `json:"config"`
+	Results map[string]Result       `json:"results"`
+	Recalc  map[string]RecalcResult `json:"recalc"`
 }
 
 // buildGrid populates a cols×rows block keeping every strideth cell.
@@ -108,9 +135,161 @@ func runShape(cols, rows, stride int, minTime time.Duration) Result {
 	return r
 }
 
+// recalcShape builds one dependency shape for the recalculation benchmarks.
+// build populates a fresh engine; dirty re-dirties it (the measured
+// iteration is dirty + full drain).
+type recalcShape struct {
+	name       string
+	minSpeedup float64
+	build      func(e *engine.Engine)
+	dirty      func(e *engine.Engine, v float64)
+}
+
+func mustSetFormula(e *engine.Engine, at ref.Ref, src string) {
+	if _, err := e.SetFormula(at, src); err != nil {
+		fmt.Fprintf(os.Stderr, "tacoeval: %v: %v\n", at, err)
+		os.Exit(1)
+	}
+}
+
+func recalcShapes() []recalcShape {
+	a1 := ref.Ref{Col: 1, Row: 1}
+	bump := func(e *engine.Engine, v float64) {
+		e.SetValue(a1, formula.Num(v))
+	}
+	return []recalcShape{
+		{
+			// Every level is one cell wide: the scheduler's worst case, kept
+			// honest by the regression ceiling (no speedup floor — there is
+			// no parallelism to find in a chain).
+			name: "recalc_deep_chain",
+			build: func(e *engine.Engine) {
+				e.SetValue(a1, formula.Num(1))
+				mustSetFormula(e, ref.Ref{Col: 2, Row: 1}, "A1+1")
+				for i := 2; i <= 2000; i++ {
+					mustSetFormula(e, ref.Ref{Col: 2, Row: i}, fmt.Sprintf("B%d*1.0001+1", i-1))
+				}
+			},
+			dirty: bump,
+		},
+		{
+			// One input, one huge level: maximal level width, the shape the
+			// wavefront exists for — gated at 1.5x with 4 workers.
+			name:       "recalc_wide_fanout",
+			minSpeedup: 1.5,
+			build: func(e *engine.Engine) {
+				for r := 1; r <= 100; r++ {
+					e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)/7))
+				}
+				for col := 3; col <= 7; col++ {
+					for r := 1; r <= 1000; r++ {
+						mustSetFormula(e, ref.Ref{Col: col, Row: r},
+							fmt.Sprintf("SUM(A$1:A$100)*%d+%d", col, r))
+					}
+				}
+			},
+			dirty: bump,
+		},
+		{
+			// Alternating wide/narrow levels: fan out, reconverge through an
+			// aggregation, repeat — leveling overhead meets real width.
+			name: "recalc_diamond",
+			build: func(e *engine.Engine) {
+				e.SetValue(a1, formula.Num(2))
+				join := "A1"
+				for b := 0; b < 8; b++ {
+					col := 4 + b*2
+					for i := 1; i <= 250; i++ {
+						mustSetFormula(e, ref.Ref{Col: col, Row: i},
+							fmt.Sprintf("%s*1.001+%d", join, i))
+					}
+					jref := ref.Ref{Col: col + 1, Row: 1}
+					colA1 := ref.FormatA1(ref.Ref{Col: col, Row: 1})
+					colEnd := ref.FormatA1(ref.Ref{Col: col, Row: 250})
+					mustSetFormula(e, jref, fmt.Sprintf("SUM(%s:%s)/250", colA1, colEnd))
+					join = ref.FormatA1(jref)
+				}
+			},
+			dirty: bump,
+		},
+		{
+			// A mixed sheet: prefix-sum column, a chain over it, and a
+			// fan-out over both — the closest shape to real scenario sheets.
+			name: "recalc_mixed",
+			build: func(e *engine.Engine) {
+				for r := 1; r <= 400; r++ {
+					e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)/3))
+				}
+				for r := 1; r <= 400; r++ {
+					mustSetFormula(e, ref.Ref{Col: 2, Row: r}, fmt.Sprintf("SUM(A$1:A$%d)+A%d", r, r))
+				}
+				mustSetFormula(e, ref.Ref{Col: 3, Row: 1}, "SUM(B1:B400)")
+				for r := 2; r <= 200; r++ {
+					mustSetFormula(e, ref.Ref{Col: 3, Row: r}, fmt.Sprintf("C%d*1.0001+MAX(B1:B20)", r-1))
+				}
+				for r := 1; r <= 800; r++ {
+					mustSetFormula(e, ref.Ref{Col: 5, Row: r}, fmt.Sprintf("$C$1+AVERAGE(B1:B40)*%d", r))
+				}
+			},
+			dirty: bump,
+		},
+	}
+}
+
+// runRecalcShape measures one shape: identical engines drained serially and
+// through the wavefront, verified value-identical first.
+func runRecalcShape(s recalcShape, workers int, minTime time.Duration) RecalcResult {
+	build := func(parallelism int) *engine.Engine {
+		e := engine.New(nil)
+		s.build(e)
+		e.RecalculateAll()
+		e.SetRecalcParallelism(parallelism)
+		return e
+	}
+	serial := build(1)
+	parallel := build(workers)
+
+	// Equivalence gate: one identically-dirtied drain each, every cell
+	// byte-identical afterwards.
+	s.dirty(serial, 42)
+	s.dirty(parallel, 42)
+	dirty := serial.Pending()
+	serial.RecalculateAll()
+	parallel.RecalculateAll()
+	serial.ScanRange(ref.Range{Head: ref.Ref{Col: 1, Row: 1}, Tail: ref.Ref{Col: 64, Row: 1 << 20}},
+		func(at ref.Ref, v formula.Value, _ string, _ bool) bool {
+			if pv := parallel.Value(at); pv != v {
+				fmt.Fprintf(os.Stderr, "tacoeval: %s: %v serial=%v parallel=%v\n", s.name, at, v, pv)
+				os.Exit(1)
+			}
+			return true
+		})
+
+	var r RecalcResult
+	r.Dirty = dirty
+	r.Workers = workers
+	r.CPUs = runtime.NumCPU()
+	r.MinSpeedup = s.minSpeedup
+	tick := 0.0
+	r.NsOpSerial, r.Iters = measure(minTime, func() {
+		tick++
+		s.dirty(serial, tick)
+		serial.RecalculateAll()
+	})
+	tick = 0
+	r.NsOpParallel, _ = measure(minTime, func() {
+		tick++
+		s.dirty(parallel, tick)
+		parallel.RecalculateAll()
+	})
+	r.Speedup = r.NsOpSerial / r.NsOpParallel
+	return r
+}
+
 func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
 	minTime := flag.Duration("mintime", 300*time.Millisecond, "minimum measurement time per path")
+	workers := flag.Int("workers", 4, "wavefront workers for the recalc benchmarks")
 	flag.Parse()
 
 	shapes := []struct {
@@ -124,12 +303,18 @@ func main() {
 	rep := Report{
 		Bench: "eval",
 		Config: map[string]any{
-			"mintime_ms": minTime.Milliseconds(),
+			"mintime_ms":     minTime.Milliseconds(),
+			"recalc_workers": *workers,
 		},
 		Results: map[string]Result{},
+		Recalc:  map[string]RecalcResult{},
 	}
 	for _, s := range shapes {
 		rep.Results[s.name] = runShape(s.cols, s.rows, s.stride, *minTime)
+	}
+	rshapes := recalcShapes()
+	for _, s := range rshapes {
+		rep.Recalc[s.name] = runRecalcShape(s, *workers, *minTime)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -144,5 +329,10 @@ func main() {
 		r := rep.Results[s.name]
 		fmt.Printf("%-18s %6d cells (%5d populated)  bulk %10.0f ns/op  percell %10.0f ns/op  speedup %.2fx\n",
 			s.name, r.Cells, r.Populated, r.NsOpBulk, r.NsOpPercell, r.Speedup)
+	}
+	for _, s := range rshapes {
+		r := rep.Recalc[s.name]
+		fmt.Printf("%-18s %6d dirty (%d workers)       serial %9.0f ns/op  parallel %9.0f ns/op  speedup %.2fx\n",
+			s.name, r.Dirty, r.Workers, r.NsOpSerial, r.NsOpParallel, r.Speedup)
 	}
 }

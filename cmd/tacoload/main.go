@@ -8,8 +8,9 @@
 // Usage:
 //
 //	tacoload [-addr http://host:8737] [-inproc] [-sessions 32] [-rows 100]
-//	         [-edits 200] [-batch 8] [-read-ratio 0] [-scenario mixed]
-//	         [-seed 1] [-max-resident 0] [-json] [-cpuprofile FILE]
+//	         [-edits 200] [-batch 8] [-read-ratio 0] [-formula-ratio -1]
+//	         [-flush-ratio 0] [-scenario mixed] [-seed 1] [-max-resident 0]
+//	         [-json] [-cpuprofile FILE]
 //
 // With -inproc (the default when -addr is empty) the service is hosted
 // inside the process on a loopback listener, so a single command produces a
@@ -21,6 +22,15 @@
 // exercises the non-blocking read path — reads return last-computed values
 // immediately while background recalculation drains. The report counts how
 // many reads observed a session with recalculation still pending.
+//
+// -formula-ratio makes recalculation pressure a dial: it is the probability
+// an edit rewrites a formula cell (graph clear + re-add plus a transitive
+// dirty fan-out) instead of the scenario's default 15% share; a
+// recalc-heavy mix (0.5+) keeps the background wavefront drains saturated.
+// -flush-ratio interleaves read-your-writes barriers (POST .../flush) at
+// the given mean rate per batch; their latencies — the time for pending
+// recalculation to drain — are reported under latency_ms.flush, next to
+// the final per-session flush every run issues.
 package main
 
 import (
@@ -45,16 +55,18 @@ import (
 )
 
 type config struct {
-	Addr        string  `json:"addr,omitempty"`
-	InProc      bool    `json:"inproc"`
-	Sessions    int     `json:"sessions"`
-	Rows        int     `json:"rows"`
-	Edits       int     `json:"edits_per_session"`
-	Batch       int     `json:"batch_size"`
-	ReadRatio   float64 `json:"read_ratio"`
-	Scenario    string  `json:"scenario"`
-	Seed        int64   `json:"seed"`
-	MaxResident int     `json:"max_resident"`
+	Addr         string  `json:"addr,omitempty"`
+	InProc       bool    `json:"inproc"`
+	Sessions     int     `json:"sessions"`
+	Rows         int     `json:"rows"`
+	Edits        int     `json:"edits_per_session"`
+	Batch        int     `json:"batch_size"`
+	ReadRatio    float64 `json:"read_ratio"`
+	FormulaRatio float64 `json:"formula_ratio"`
+	FlushRatio   float64 `json:"flush_ratio"`
+	Scenario     string  `json:"scenario"`
+	Seed         int64   `json:"seed"`
+	MaxResident  int     `json:"max_resident"`
 }
 
 // report is the machine-readable output schema of -json (and the checked-in
@@ -69,6 +81,7 @@ type report struct {
 	EditsPerS     float64                         `json:"edits_per_sec"`
 	Reads         int                             `json:"reads"`
 	PendingReads  int                             `json:"pending_reads"`
+	Flushes       int                             `json:"flushes"`
 	Latency       map[string]stats.LatencySummary `json:"latency_ms"`
 	Store         server.StoreStats               `json:"store"`
 	DirtyPerBatch float64                         `json:"mean_dirty_cells_per_batch"`
@@ -82,6 +95,8 @@ func main() {
 	edits := flag.Int("edits", 200, "edits per session")
 	batch := flag.Int("batch", 8, "edits per batch request")
 	readRatio := flag.Float64("read-ratio", 0, "mean range reads per edit batch (read-heavy mixes exercise the non-blocking read path)")
+	formulaRatio := flag.Float64("formula-ratio", -1, "probability an edit rewrites a formula cell (-1 = scenario default 0.15; higher = recalc-heavy)")
+	flushRatio := flag.Float64("flush-ratio", 0, "mean read-your-writes flush barriers per edit batch (their drain latency reports as latency_ms.flush)")
 	scenario := flag.String("scenario", "mixed", "workload scenario: financial|inventory|gradebook|planning|mixed")
 	seed := flag.Int64("seed", 1, "workload seed")
 	maxResident := flag.Int("max-resident", 0, "in-process server only: session cap forcing spill traffic")
@@ -93,13 +108,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tacoload: -sessions, -rows, -edits, and -batch must all be >= 1")
 		os.Exit(2)
 	}
-	if *readRatio < 0 {
-		fmt.Fprintln(os.Stderr, "tacoload: -read-ratio must be >= 0")
+	if *readRatio < 0 || *flushRatio < 0 {
+		fmt.Fprintln(os.Stderr, "tacoload: -read-ratio and -flush-ratio must be >= 0")
+		os.Exit(2)
+	}
+	if *formulaRatio > 1 {
+		fmt.Fprintln(os.Stderr, "tacoload: -formula-ratio must be <= 1")
 		os.Exit(2)
 	}
 	cfg := config{
 		Addr: *addr, InProc: *addr == "" || *inproc, Sessions: *sessions, Rows: *rows,
-		Edits: *edits, Batch: *batch, ReadRatio: *readRatio, Scenario: *scenario,
+		Edits: *edits, Batch: *batch, ReadRatio: *readRatio, FormulaRatio: *formulaRatio,
+		FlushRatio: *flushRatio, Scenario: *scenario,
 		Seed: *seed, MaxResident: *maxResident,
 	}
 	if *cpuprofile != "" {
@@ -176,6 +196,7 @@ func run(cfg config) (*report, error) {
 	editsApplied := 0
 	dirtyTotal, batches := 0, 0
 	reads, pendingReads := 0, 0
+	flushes := 0
 	record := func(kind string, start time.Time) {
 		mu.Lock()
 		samples = append(samples, sample{kind, float64(time.Since(start).Microseconds()) / 1000})
@@ -209,8 +230,22 @@ func run(cfg config) (*report, error) {
 				return
 			}
 			rng := rand.New(rand.NewSource(seed + 10000))
-			stream := workload.EditStream(sheet, cfg.Edits, rng)
+			stream := workload.EditStreamMix(sheet, cfg.Edits, rng, cfg.FormulaRatio)
 			queries := workload.QueryStream(sheet, cfg.Edits/cfg.Batch+1, rng)
+
+			// flush issues one read-your-writes barrier: its latency is the
+			// time for the session's pending recalculation to drain.
+			flush := func() error {
+				start := time.Now()
+				if err := call(client, "POST", base+"/sessions/"+info.ID+"/flush", nil, nil); err != nil {
+					return err
+				}
+				record("flush", start)
+				mu.Lock()
+				flushes++
+				mu.Unlock()
+				return nil
+			}
 
 			// readCells issues one range read and tallies whether the session
 			// still had recalculation pending when it answered.
@@ -230,7 +265,7 @@ func run(cfg config) (*report, error) {
 				return nil
 			}
 
-			readsDue := 0.0
+			readsDue, flushDue := 0.0, 0.0
 			for b := 0; b*cfg.Batch < len(stream); b++ {
 				lo := b * cfg.Batch
 				hi := min(lo+cfg.Batch, len(stream))
@@ -274,6 +309,15 @@ func run(cfg config) (*report, error) {
 					}
 				}
 
+				// Recalc-heavy mixes: read-your-writes barriers whose
+				// latency is the pending drain, reported as latency_ms.flush.
+				for flushDue += cfg.FlushRatio; flushDue >= 1; flushDue-- {
+					if err := flush(); err != nil {
+						errc <- fmt.Errorf("session %d flush: %w", i, err)
+						return
+					}
+				}
+
 				// Interleave a dependents query — the TACO headline op.
 				q := queries[b%len(queries)]
 				start = time.Now()
@@ -284,7 +328,12 @@ func run(cfg config) (*report, error) {
 				record("dependents", start)
 			}
 
-			// A final range read.
+			// Every session ends with one barrier plus a range read, so the
+			// flush percentiles are populated even at -flush-ratio 0.
+			if err := flush(); err != nil {
+				errc <- fmt.Errorf("session %d flush: %w", i, err)
+				return
+			}
 			if err := readCells("A1:H10"); err != nil {
 				errc <- fmt.Errorf("session %d read: %w", i, err)
 				return
@@ -321,6 +370,7 @@ func run(cfg config) (*report, error) {
 		EditsPerS:    float64(editsApplied) / elapsed.Seconds(),
 		Reads:        reads,
 		PendingReads: pendingReads,
+		Flushes:      flushes,
 		Latency:      lat,
 		Store:        st,
 	}
@@ -372,7 +422,7 @@ func printReport(r *report) {
 	fmt.Printf("elapsed %.1fms  |  %d requests (%.0f req/s)  |  %d edits (%.0f edits/s)  |  mean dirty/batch %.1f\n\n",
 		r.ElapsedMs, r.Requests, r.RequestsPerS, r.EditsApplied, r.EditsPerS, r.DirtyPerBatch)
 	tbl := stats.NewTable("op", "count", "mean", "p50", "p90", "p99", "max")
-	for _, k := range []string{"create", "edits", "dependents", "cells"} {
+	for _, k := range []string{"create", "edits", "dependents", "cells", "flush"} {
 		s, ok := r.Latency[k]
 		if !ok {
 			continue
@@ -380,7 +430,7 @@ func printReport(r *report) {
 		tbl.AddRow(k, s.Count, fmtMs(s.MeanMs), fmtMs(s.P50Ms), fmtMs(s.P90Ms), fmtMs(s.P99Ms), fmtMs(s.MaxMs))
 	}
 	fmt.Print(tbl.String())
-	fmt.Printf("\nreads: %d (%d answered with recalculation pending)\n", r.Reads, r.PendingReads)
+	fmt.Printf("\nreads: %d (%d answered with recalculation pending)  |  flush barriers: %d\n", r.Reads, r.PendingReads, r.Flushes)
 	fmt.Printf("store: %d sessions (%d resident, %d spilled), %d evictions (%d snapshot writes skipped), %d restores, %d background recalcs\n",
 		r.Store.Sessions, r.Store.Resident, r.Store.Spilled, r.Store.Evictions, r.Store.SnapSkips, r.Store.Restores, r.Store.Recalcs)
 }

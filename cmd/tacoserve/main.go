@@ -51,12 +51,14 @@ func main() {
 	shards := flag.Int("shards", 16, "session store shard count")
 	maxResident := flag.Int("max-resident", 0, "max in-memory sessions (0 = unlimited)")
 	spillDir := flag.String("spill-dir", "", "directory for evicted session snapshots (required with -max-resident)")
+	recalcPar := flag.Int("recalc-parallelism", 0, "wavefront workers per session drain (0 = CPUs capped at 8, -1 = serial)")
 	flag.Parse()
 
 	srv, err := server.NewServer(server.Options{Store: server.StoreOptions{
-		Shards:      *shards,
-		MaxResident: *maxResident,
-		SpillDir:    *spillDir,
+		Shards:            *shards,
+		MaxResident:       *maxResident,
+		SpillDir:          *spillDir,
+		RecalcParallelism: *recalcPar,
 	}})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tacoserve: %v\n", err)

@@ -297,6 +297,33 @@ func (g *Graph) FindPrecedents(r ref.Range) []ref.Range {
 	return out
 }
 
+// DirectPrecedents calls fn with the one-hop precedent ranges of r: for each
+// compressed edge whose dependent run overlaps r, the union of the direct
+// precedent windows of the overlapping cells. Unlike FindPrecedents it does
+// not traverse transitively — in particular RR-Chain edges contribute the
+// per-cell precedent span, not the whole upstream chain — and it does not
+// deduplicate: overlapping edges yield overlapping ranges, and fn may see
+// the same cell more than once. For a single-cell r the ranges are exactly
+// the cells r's formula references. A recalculation scheduler uses it to
+// restrict precedent lookups to the dirty set: one R-tree probe per dirty
+// cell, no transitive closure. fn returning false stops the walk. Safe for
+// concurrent use with other read-only queries.
+func (g *Graph) DirectPrecedents(r ref.Range, fn func(ref.Range) bool) {
+	g.byDep.Search(r, func(_ ref.Range, e *Edge) bool {
+		clipped, ok := r.Intersect(e.Dep)
+		if !ok {
+			return true
+		}
+		var p ref.Range
+		if e.Axis == ref.AxisRow {
+			p = directPrecsCol(e.canon(), clipped.T()).T()
+		} else {
+			p = directPrecsCol(e.canon(), clipped)
+		}
+		return fn(p)
+	})
+}
+
 // TraversalStats instruments one traversal for the Sec. IV-D cost analysis:
 // the complexity of Alg. 3 depends on whether each compressed edge is
 // accessed at most once (Case 1) or repeatedly (Case 2). The paper reports

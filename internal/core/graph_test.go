@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -500,6 +501,49 @@ func TestDeterministicBuild(t *testing.T) {
 	for i := range sa {
 		if sa[i] != sb[i] {
 			t.Fatalf("non-deterministic edge %d: %s vs %s", i, sa[i], sb[i])
+		}
+	}
+}
+
+// oracleDirectPrecedents is the one-hop oracle: the union of raw precedent
+// ranges whose dependency targets exactly c.
+func oracleDirectPrecedents(deps []Dependency, c ref.Ref) map[ref.Ref]bool {
+	out := map[ref.Ref]bool{}
+	for _, d := range deps {
+		if d.Dep != c {
+			continue
+		}
+		d.Prec.Cells(func(p ref.Ref) bool {
+			out[p] = true
+			return true
+		})
+	}
+	return out
+}
+
+// TestDirectPrecedents checks the one-hop query against the raw dependency
+// list for every formula cell of random graphs: per single-cell query, the
+// union of the returned ranges must be exactly the cells that cell
+// references — no transitive chain members (the RR-Chain case), nothing
+// missing. This is the contract the engine's wavefront scheduler levels on.
+func TestDirectPrecedents(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		deps := genRandomDeps(rand.New(rand.NewSource(seed)))
+		g := Build(deps, DefaultOptions())
+		cells := map[ref.Ref]bool{}
+		for _, d := range deps {
+			cells[d.Dep] = true
+		}
+		for c := range cells {
+			got := map[ref.Ref]bool{}
+			g.DirectPrecedents(ref.CellRange(c), func(p ref.Range) bool {
+				p.Cells(func(x ref.Ref) bool {
+					got[x] = true
+					return true
+				})
+				return true
+			})
+			sameCells(t, fmt.Sprintf("seed %d cell %v", seed, c), got, oracleDirectPrecedents(deps, c))
 		}
 	}
 }

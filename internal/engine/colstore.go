@@ -2,6 +2,7 @@ package engine
 
 import (
 	"slices"
+	"sync"
 
 	"taco/internal/ref"
 )
@@ -23,8 +24,38 @@ type column struct {
 	cells []*cell
 }
 
+// columnPool and colMapPool recycle the store's containers across the
+// spill/restore churn of a capped multi-tenant host: a restored session's
+// column slabs come back from whatever engine was recycled last, so the
+// eviction round-trip stops allocating once the pools warm up. Pooled
+// columns keep their slab capacity (that is the point) but are emptied —
+// and their cell pointers cleared — before pooling.
+var (
+	columnPool = sync.Pool{New: func() any { return &column{} }}
+	colMapPool = sync.Pool{New: func() any { return make(map[int]*column, 32) }}
+)
+
 func newColStore() colStore {
-	return colStore{cols: make(map[int]*column)}
+	return colStore{cols: colMapPool.Get().(map[int]*column)}
+}
+
+// recycle empties the store and returns its columns and column map to the
+// package pools. Only for an owner discarding the whole engine (see
+// Engine.Recycle); the store is unusable afterwards.
+func (s *colStore) recycle() {
+	for _, col := range s.cols {
+		recycleColumn(col)
+	}
+	clear(s.cols)
+	colMapPool.Put(s.cols)
+	s.cols = nil
+}
+
+func recycleColumn(col *column) {
+	clear(col.cells) // drop cell-record references before pooling
+	col.rows = col.rows[:0]
+	col.cells = col.cells[:0]
+	columnPool.Put(col)
 }
 
 // set installs (or replaces) the record at the given position. Loaders feed
@@ -33,7 +64,7 @@ func newColStore() colStore {
 func (s *colStore) set(at ref.Ref, c *cell) {
 	col := s.cols[at.Col]
 	if col == nil {
-		col = &column{}
+		col = columnPool.Get().(*column)
 		s.cols[at.Col] = col
 	}
 	if n := len(col.rows); n == 0 || at.Row > col.rows[n-1] {
@@ -64,6 +95,7 @@ func (s *colStore) delete(at ref.Ref) {
 	col.cells = slices.Delete(col.cells, i, i+1)
 	if len(col.rows) == 0 {
 		delete(s.cols, at.Col)
+		recycleColumn(col)
 	}
 }
 

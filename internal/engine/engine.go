@@ -52,6 +52,12 @@ func (t TACO) Dependents(r ref.Range) []ref.Range { return t.G.FindDependents(r)
 // Precedents implements Graph.
 func (t TACO) Precedents(r ref.Range) []ref.Range { return t.G.FindPrecedents(r) }
 
+// DirectPrecedents implements directPrecedenter: the wavefront scheduler's
+// one-hop precedent query, answered on the compressed edges.
+func (t TACO) DirectPrecedents(r ref.Range, fn func(ref.Range) bool) {
+	t.G.DirectPrecedents(r, fn)
+}
+
 // NoComp adapts *nocomp.Graph to the engine's Graph interface.
 type NoComp struct{ G *nocomp.Graph }
 
@@ -67,6 +73,19 @@ func (n NoComp) Dependents(r ref.Range) []ref.Range { return n.G.FindDependents(
 // Precedents implements Graph.
 func (n NoComp) Precedents(r ref.Range) []ref.Range { return n.G.FindPrecedents(r) }
 
+// DirectPrecedents implements directPrecedenter.
+func (n NoComp) DirectPrecedents(r ref.Range, fn func(ref.Range) bool) {
+	n.G.DirectPrecedents(r, fn)
+}
+
+// directPrecedenter is the optional Graph extension the wavefront scheduler
+// levels against: one-hop precedent ranges, no transitive closure. Backends
+// without it fall back to the formula ASTs' reference lists, which record the
+// same dependencies.
+type directPrecedenter interface {
+	DirectPrecedents(r ref.Range, fn func(ref.Range) bool)
+}
+
 // cell is the engine's cell record.
 type cell struct {
 	ast   formula.Node // nil for pure values
@@ -77,6 +96,11 @@ type cell struct {
 	// flag on the record instead of a side map, so the (very hot) resolver
 	// path costs one pointer dereference, not a map probe.
 	evaluating bool
+	// sched is the cell's node index in the wavefront schedule currently
+	// being built (see schedule.go). Valid only for cells in the dirty set
+	// during a drain — the scheduler rewrites it each time — and written
+	// exclusively by the drain coordinator, never by workers.
+	sched int32
 }
 
 // Engine is a single-sheet spreadsheet host.
@@ -106,6 +130,10 @@ type Engine struct {
 	// slabs tracks the cell-record blocks a snapshot restore allocated, so
 	// Recycle can return them to the pool when the engine is discarded.
 	slabs [][]cell
+	// parallelism is the recalculation worker bound: above 1, RecalculateAll
+	// and RecalculateN drain large dirty sets through the wavefront scheduler
+	// (schedule.go) instead of the serial resolver. 0 and 1 mean serial.
+	parallelism int
 }
 
 // New returns an empty engine driving the given dependency graph. A nil
@@ -463,10 +491,25 @@ func (e *Engine) Dirty(at ref.Ref) bool {
 	return ok && c.dirty
 }
 
+// SetRecalcParallelism sets the recalculation worker bound. Above 1,
+// RecalculateAll and RecalculateN drain sufficiently large dirty sets through
+// the parallel wavefront scheduler; 0 or 1 keeps recalculation serial.
+// Parallel drains produce exactly the serial results (see schedule.go); the
+// knob only trades scheduling overhead against cores.
+func (e *Engine) SetRecalcParallelism(n int) { e.parallelism = n }
+
+// RecalcParallelism returns the configured recalculation worker bound.
+func (e *Engine) RecalcParallelism() int { return e.parallelism }
+
 // RecalculateAll evaluates every dirty formula cell (the background phase of
 // the asynchronous model). It returns the number of cells evaluated directly;
-// transitively evaluated precedents are drained from the dirty set too.
+// transitively evaluated precedents are drained from the dirty set too. With
+// recalc parallelism configured, large dirty sets drain through the wavefront
+// scheduler on a bounded worker pool.
 func (e *Engine) RecalculateAll() int {
+	if e.parallelism > 1 && len(e.dirty) >= minParallelDirty {
+		return e.recalculateWavefront(e.parallelism, len(e.dirty))
+	}
 	n := 0
 	for at, c := range e.dirty {
 		if c.dirty {
@@ -482,8 +525,13 @@ func (e *Engine) RecalculateAll() int {
 // large recalculation never holds a session lock for its full duration —
 // readers interleave between chunks. Note a single evaluation can clean an
 // arbitrary number of transitive precedents (chains), so the work per call is
-// bounded in evaluations started, not cells cleaned.
+// bounded in evaluations started, not cells cleaned. With recalc parallelism
+// configured the bound applies to wavefront evaluations instead — levels are
+// truncated to the budget, and the remainder stays dirty for the next call.
 func (e *Engine) RecalculateN(max int) int {
+	if e.parallelism > 1 && len(e.dirty) >= minParallelDirty {
+		return e.recalculateWavefront(e.parallelism, max)
+	}
 	n := 0
 	for at, c := range e.dirty {
 		if n >= max {
@@ -533,11 +581,12 @@ func (e *Engine) TACOGraph() *core.Graph {
 	return nil
 }
 
-// Recycle returns the engine's recyclable containers (cell map, dirty set,
-// restore slabs) to package pools. Only for owners discarding the engine —
-// the serving layer's spill path, which holds the session exclusively and
-// drops its last reference right after. The graph is untouched (it may be
-// pinned and outlive the engine). Using the engine after Recycle is a bug.
+// Recycle returns the engine's recyclable containers (cell map, column
+// slabs, dirty set, restore slabs) to package pools. Only for owners
+// discarding the engine — the serving layer's spill path, which holds the
+// session exclusively and drops its last reference right after. The graph
+// is untouched (it may be pinned and outlive the engine). Using the engine
+// after Recycle is a bug.
 func (e *Engine) Recycle() {
 	for _, block := range e.slabs {
 		clear(block) // drop AST/string references before pooling
@@ -547,7 +596,7 @@ func (e *Engine) Recycle() {
 	clear(e.cells)
 	cellMapPool.Put(e.cells)
 	e.cells = nil
-	e.store = colStore{}
+	e.store.recycle()
 	e.dirty = nil
 	e.formulas = nil
 }

@@ -1,0 +1,441 @@
+package engine
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"taco/internal/formula"
+	"taco/internal/ref"
+)
+
+// This file implements parallel wavefront recalculation: the dirty set is
+// partitioned into topological levels — a cell's level is one past its
+// deepest dirty precedent — and each level is evaluated concurrently on a
+// bounded worker pool. Cells within a level have no dirty precedents, so
+// every value a level's evaluations read is already settled: the formula
+// evaluator runs with read-only access to the cell store and the results are
+// exactly the serial resolver's, independent of worker count or scheduling.
+//
+// Leveling runs Kahn's algorithm over the dirty-restricted dependency
+// relation. Direct precedents come from the formula graph's one-hop query
+// (core.Graph.DirectPrecedents / its NoComp mirror), intersected with the
+// dirty set — small ranges probe the dirty map per cell, large ranges use a
+// lazily built per-column sorted index — so the schedule costs O(D log D)
+// for a dirty set of D cells: no transitive closure, no whole-sheet scans,
+// and (via pooled scratch) no steady-state allocation. Reference
+// cycles are detected during leveling, not mid-evaluation: when Kahn stalls,
+// the strongly connected components of the stalled subgraph are the cycles;
+// their members are published as #CYCLE! and the downstream cells (which are
+// stuck behind, not on, a cycle) then evaluate normally against those error
+// values, propagating or rescuing them exactly as the serial path does.
+//
+// Concurrency safety rests on two invariants. First, evaluation never
+// inserts or removes cells, so the columnar slabs, the cell map, and the
+// formula index are all stable for the duration of a drain. Second, a
+// worker writes only the cells it was handed — no two workers share a cell,
+// no evaluated cell is read before the level barrier that published it, and
+// the shared dirty set is maintained by the coordinator alone between
+// levels. Workers therefore need no locks and no per-cell atomics; the
+// level barrier (WaitGroup) is the only synchronisation.
+
+const (
+	// minParallelDirty is the dirty-set size below which RecalculateAll/N
+	// stay serial even with parallelism configured — leveling a handful of
+	// cells costs more than evaluating them.
+	minParallelDirty = 64
+	// minParallelLevel is the level width below which the coordinator
+	// evaluates inline instead of fanning out: narrow levels (deep chains
+	// degenerate to width 1) have no parallelism to exploit.
+	minParallelLevel = 16
+	// levelGrab is the number of cells a worker claims per fetch from the
+	// shared level cursor — large enough to amortise the atomic, small
+	// enough to keep uneven formula costs balanced across workers.
+	levelGrab = 32
+	// smallPrecProbe is the precedent-range size up to which the linker
+	// probes the dirty map per cell instead of querying the per-column
+	// index. Single-cell references — all of a chain, most of a scalar
+	// sheet — then never touch (or build) the index at all.
+	smallPrecProbe = 8
+)
+
+// schedNode is one dirty cell in the wavefront DAG.
+type schedNode struct {
+	at ref.Ref
+	c  *cell
+	// outs indexes the dirty dependents of this cell; completing the cell
+	// decrements each one's nprec.
+	outs []int32
+	// nprec counts dirty direct precedents not yet published. Touched only
+	// by the coordinator — workers never see the schedule.
+	nprec int32
+	// self marks a direct self-reference: an immediate cycle, never
+	// evaluated, resolved to #CYCLE! with the other cycle members.
+	self bool
+	// cyclic marks a cell resolved as a cycle member during leveling.
+	cyclic bool
+}
+
+// schedScratch pools one drain's schedule state across drains (and across
+// engines — the pool is package-wide, like the cell-record slabs): the node
+// array keeps each slot's out-edge capacity, the frontier buffers keep
+// theirs, and the column index keeps its per-column slices, so a server
+// draining sessions at a steady rate stops allocating once the pool warms
+// up.
+type schedScratch struct {
+	nodes    []schedNode
+	frontier []int32
+	next     []int32
+	// cols is the lazy dirty-position index for large precedent ranges:
+	// per column, (row<<32 | node index) packed and row-sorted. Rebuilt
+	// per drain, but only when some precedent range is too large to probe
+	// cell-by-cell.
+	cols     map[int][]uint64
+	colsomeN int // nodes indexed so far (0 = index not built this drain)
+}
+
+var schedPool = sync.Pool{New: func() any {
+	return &schedScratch{cols: make(map[int][]uint64)}
+}}
+
+// recalculateWavefront drains up to budget dirty cells through the parallel
+// scheduler and returns how many it drained. The budget is honoured at
+// level granularity: a level is truncated rather than split mid-shard, and
+// remaining cells simply stay dirty for the next call, their precedents all
+// settled. Callers guarantee workers > 1.
+func (e *Engine) recalculateWavefront(workers, budget int) int {
+	if len(e.dirty) == 0 {
+		return 0
+	}
+	s := schedPool.Get().(*schedScratch)
+	defer func() {
+		s.colsomeN = 0
+		for i := range s.nodes {
+			s.nodes[i].c = nil // don't pin cell records from the pool
+		}
+		schedPool.Put(s)
+	}()
+	nodes := e.buildSchedule(s)
+	e.linkSchedule(s, nodes)
+
+	frontier := s.frontier[:0]
+	for i := range nodes {
+		if nodes[i].nprec == 0 && !nodes[i].self {
+			frontier = append(frontier, int32(i))
+		}
+	}
+	drained := 0
+	next := s.next[:0]
+	for {
+		for len(frontier) > 0 && drained < budget {
+			level := frontier
+			if rem := budget - drained; len(level) > rem {
+				level = level[:rem]
+			}
+			e.runLevel(nodes, level, workers)
+			drained += len(level)
+			// Publish: drop the evaluated cells from the dirty set and
+			// release their dependents. Coordinator-only — workers never
+			// touch the shared map or the schedule.
+			next = next[:0]
+			for _, i := range level {
+				delete(e.dirty, nodes[i].at)
+				for _, j := range nodes[i].outs {
+					nodes[j].nprec--
+					if nodes[j].nprec == 0 && !nodes[j].self {
+						next = append(next, j)
+					}
+				}
+			}
+			frontier, next = next, frontier
+		}
+		if drained >= budget {
+			break
+		}
+		// Kahn stalled with budget left: every remaining dirty cell either
+		// sits on a reference cycle or depends on one. Resolve the cycles
+		// and resume — the survivors form a DAG and level normally.
+		freed := e.resolveCycles(nodes, &drained)
+		if len(freed) == 0 {
+			break
+		}
+		frontier = append(frontier[:0], freed...)
+	}
+	s.frontier, s.next = frontier[:0], next[:0]
+	return drained
+}
+
+// buildSchedule snapshots the dirty set into the scratch's node array,
+// reusing each slot's out-edge capacity, and stamps every dirty cell record
+// with its node index — the position "map" is the cell store itself, so
+// linking costs dirty-map probes, not a second hash table built per drain.
+func (e *Engine) buildSchedule(s *schedScratch) []schedNode {
+	n := len(e.dirty)
+	if cap(s.nodes) < n {
+		s.nodes = append(s.nodes[:cap(s.nodes)], make([]schedNode, n-cap(s.nodes))...)
+	}
+	nodes := s.nodes[:n]
+	i := int32(0)
+	for at, c := range e.dirty {
+		nd := &nodes[i]
+		nd.at, nd.c = at, c
+		nd.outs = nd.outs[:0]
+		nd.nprec, nd.self, nd.cyclic = 0, false, false
+		c.sched = i
+		i++
+	}
+	s.nodes = nodes
+	return nodes
+}
+
+// linkSchedule wires the dirty-restricted dependency edges: for each node,
+// its direct precedent ranges (from the graph's one-hop query, or the
+// formula's own reference list for backends without one) are intersected
+// with the dirty set — small ranges by probing the dirty map per cell,
+// large ranges through a per-column sorted index over the dirty positions,
+// built lazily on the first one (a sheet of scalar references never pays
+// for the index). Duplicate edges — overlapping precedent ranges are legal
+// — are kept, with nprec counted per occurrence, so release stays
+// consistent.
+func (e *Engine) linkSchedule(s *schedScratch, nodes []schedNode) {
+	dp, hasDP := e.graph.(directPrecedenter)
+	// One closure set per drain, re-aimed per node through cur — a closure
+	// per node would be the dominant allocation of the whole drain.
+	var cur int32
+	addEdge := func(j int32) {
+		if j == cur {
+			nodes[cur].self = true
+			return
+		}
+		nodes[j].outs = append(nodes[j].outs, cur)
+		nodes[cur].nprec++
+	}
+	probe := func(at ref.Ref) bool {
+		if c, ok := e.dirty[at]; ok {
+			addEdge(c.sched)
+		}
+		return true
+	}
+	link := func(p ref.Range) bool {
+		if p.Size() <= smallPrecProbe {
+			p.Cells(probe)
+			return true
+		}
+		s.searchLarge(nodes, p, addEdge)
+		return true
+	}
+	for i := range nodes {
+		n := &nodes[i]
+		if n.c.ast == nil {
+			continue // dirty value cell: no precedents, levels at 0
+		}
+		cur = int32(i)
+		if hasDP {
+			dp.DirectPrecedents(ref.CellRange(n.at), link)
+		} else {
+			for _, r := range formula.Refs(n.c.ast) {
+				link(r.At)
+			}
+		}
+	}
+}
+
+// searchLarge finds the dirty cells inside a large precedent range through
+// the per-column index, building it on first use. Per populated column the
+// query is one binary search plus a walk of the overlapping rows.
+func (s *schedScratch) searchLarge(nodes []schedNode, p ref.Range, hit func(int32)) {
+	if s.colsomeN == 0 {
+		for c, list := range s.cols {
+			s.cols[c] = list[:0]
+		}
+		for i := range nodes {
+			at := nodes[i].at
+			s.cols[at.Col] = append(s.cols[at.Col], uint64(at.Row)<<32|uint64(uint32(i)))
+		}
+		for _, list := range s.cols {
+			slices.Sort(list) // row-major: row is the high word
+		}
+		s.colsomeN = len(nodes)
+	}
+	scan := func(list []uint64) {
+		lo, _ := slices.BinarySearch(list, uint64(p.Head.Row)<<32)
+		for _, packed := range list[lo:] {
+			if int(packed>>32) > p.Tail.Row {
+				return
+			}
+			hit(int32(uint32(packed)))
+		}
+	}
+	if p.Cols() > len(s.cols) {
+		// Wider than the populated column set: walk the index instead.
+		for c, list := range s.cols {
+			if c >= p.Head.Col && c <= p.Tail.Col {
+				scan(list)
+			}
+		}
+		return
+	}
+	for c := p.Head.Col; c <= p.Tail.Col; c++ {
+		if list, ok := s.cols[c]; ok {
+			scan(list)
+		}
+	}
+}
+
+// runLevel evaluates one level's cells. Wide levels fan out to a bounded
+// worker pool pulling shard-sized blocks off a shared cursor; narrow levels
+// run inline. Each cell's value and clean flag are written by exactly one
+// goroutine, and the WaitGroup barrier publishes them before any dependent
+// (necessarily in a later level) can read them.
+func (e *Engine) runLevel(nodes []schedNode, level []int32, workers int) {
+	if len(level) < minParallelLevel || workers <= 1 {
+		for _, i := range level {
+			e.evalLevelCell(&nodes[i])
+		}
+		return
+	}
+	if workers > len(level)/levelGrab {
+		workers = max(len(level)/levelGrab, 2)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := cursor.Add(levelGrab) - levelGrab
+				if lo >= int64(len(level)) {
+					return
+				}
+				hi := min(lo+levelGrab, int64(len(level)))
+				for _, i := range level[lo:hi] {
+					e.evalLevelCell(&nodes[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// evalLevelCell evaluates one levelled cell against the engine's read-only
+// value resolver. Every precedent is settled by construction (that is what
+// the level barrier guarantees), so unlike the serial evalResolver this
+// never recurses, never consults cycle flags, and never mutates shared
+// state — the one write is to the cell it owns. The dirty flag flips after
+// the value write; the level barrier publishes both together.
+func (e *Engine) evalLevelCell(n *schedNode) {
+	if n.c.ast != nil {
+		n.c.value = formula.Eval(n.c.ast, valueResolver{e})
+	}
+	n.c.dirty = false
+}
+
+// resolveCycles handles a stalled schedule: the strongly connected
+// components of the still-dirty subgraph that contain a cycle (size > 1, or
+// a direct self-reference) are exactly the cells the serial resolver would
+// poison, and every one of their members is published as #CYCLE! without
+// evaluation. Dependents released by the poisoned cells are returned as the
+// next frontier; they evaluate normally and see the error values, so
+// propagation (and IFERROR-style rescue) downstream of a cycle matches the
+// serial path. drained is advanced by the number of cells resolved.
+func (e *Engine) resolveCycles(nodes []schedNode, drained *int) []int32 {
+	stalled := func(i int32) bool { return nodes[i].c.dirty && !nodes[i].cyclic }
+
+	// Tarjan over the stalled subgraph. Iterative: a chain stuck behind a
+	// cycle can be as deep as the dirty set itself.
+	const unvisited = -1
+	idx := make([]int32, len(nodes))
+	low := make([]int32, len(nodes))
+	onStack := make([]bool, len(nodes))
+	for i := range idx {
+		idx[i] = unvisited
+	}
+	var clock int32
+	var stack, members []int32
+	type frame struct {
+		node int32
+		edge int
+	}
+	var cyclic []int32
+	var frames []frame
+	for root := range nodes {
+		if idx[root] != unvisited || !stalled(int32(root)) {
+			continue
+		}
+		frames = append(frames[:0], frame{node: int32(root)})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.node
+			if f.edge == 0 {
+				idx[v], low[v] = clock, clock
+				clock++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.edge < len(nodes[v].outs) {
+				w := nodes[v].outs[f.edge]
+				f.edge++
+				if !stalled(w) {
+					continue
+				}
+				if idx[w] == unvisited {
+					frames = append(frames, frame{node: w})
+					advanced = true
+					break
+				}
+				if onStack[w] {
+					low[v] = min(low[v], idx[w])
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == idx[v] {
+				members = members[:0]
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				if len(members) > 1 || nodes[v].self {
+					for _, w := range members {
+						nodes[w].cyclic = true
+						cyclic = append(cyclic, w)
+					}
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].node
+				low[p] = min(low[p], low[v])
+			}
+		}
+	}
+
+	// Publish the poisoned cells and release their dependents.
+	var freed []int32
+	for _, i := range cyclic {
+		n := &nodes[i]
+		if n.c.ast != nil {
+			n.c.value = formula.Errorf("#CYCLE!")
+		}
+		n.c.dirty = false
+		delete(e.dirty, n.at)
+		*drained++
+	}
+	for _, i := range cyclic {
+		for _, j := range nodes[i].outs {
+			nodes[j].nprec--
+			if nodes[j].nprec == 0 && !nodes[j].self && !nodes[j].cyclic {
+				freed = append(freed, j)
+			}
+		}
+	}
+	return freed
+}

@@ -221,6 +221,16 @@ type SnapshotCell struct {
 // values) before the first record so callers can pre-size containers.
 // On return the reader is positioned at the graph section.
 func scanCells(br *bufio.Reader, parse bool, hint func(int), fn func(SnapshotCell) error) error {
+	return scanCellsFiltered(br, parse, hint, nil, nil, fn)
+}
+
+// scanCellsFiltered is scanCells with an optional rectangle filter: records
+// outside filter are skimmed — their payloads length-skipped, never decoded,
+// allocated, or parsed — so a range read against a spilled session pays full
+// decode cost only for the cells it returns. Skimmed formula records still
+// report their dirty flag through pending (the record header carries it), so
+// the caller's session-wide pending count stays exact.
+func scanCellsFiltered(br *bufio.Reader, parse bool, hint func(int), filter *ref.Range, pending *int, fn func(SnapshotCell) error) error {
 	var magicBuf [8]byte
 	magic := magicBuf[:len(engineSnapshotMagic)]
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -291,7 +301,10 @@ func scanCells(br *bufio.Reader, parse bool, hint func(int), fn func(SnapshotCel
 		if kind > 2 {
 			return fmt.Errorf("%w: cell %d: unknown cell kind %d", ErrBadEngineSnapshot, i, kind)
 		}
-		if fn == nil { // skim mode
+		if fn == nil || (filter != nil && !filter.Contains(at)) { // skim mode
+			if kind == 2 && pending != nil {
+				*pending++
+			}
 			if kind != 0 {
 				if err := skipBytes(); err != nil {
 					return fmt.Errorf("%w: cell %d: %v", ErrBadEngineSnapshot, i, err)
@@ -322,6 +335,9 @@ func scanCells(br *bufio.Reader, parse bool, hint func(int), fn func(SnapshotCel
 		}
 		if kind == 2 {
 			sc.Dirty = true // no cached value; recomputed on demand
+			if pending != nil {
+				*pending++
+			}
 		} else {
 			v, err := readValue(br, readString)
 			if err != nil {
@@ -452,6 +468,35 @@ func ScanSnapshotCells(r io.Reader, fn func(SnapshotCell) bool) error {
 		return nil
 	}
 	return err
+}
+
+// ScanSnapshotCellsInRange streams only the cell records inside rng, in the
+// written (column-major) order. Records outside the rectangle are skimmed —
+// length-skipped without decoding, allocating, or copying — so a range read
+// against a spilled session costs the full decode only for the cells it
+// returns; everything else is varint headers plus buffered discards.
+// pending reports the snapshot-wide count of formula records stored without
+// a cached value (the cells a restore would re-evaluate), counted across
+// the whole snapshot, skimmed records included, so the serving layer's
+// session-wide pending stays exact — unless fn stops the scan early, which
+// leaves pending covering only the records seen. Formula sources are
+// returned unparsed.
+func ScanSnapshotCellsInRange(r io.Reader, rng ref.Range, fn func(SnapshotCell) bool) (pending int, err error) {
+	br, isBufio := r.(*bufio.Reader)
+	if !isBufio {
+		br = bufio.NewReader(r)
+	}
+	errStop := errors.New("stop")
+	err = scanCellsFiltered(br, false, nil, &rng, &pending, func(sc SnapshotCell) error {
+		if !fn(sc) {
+			return errStop
+		}
+		return nil
+	})
+	if errors.Is(err, errStop) {
+		return pending, nil
+	}
+	return pending, err
 }
 
 func skipValue(br *bufio.Reader) error {

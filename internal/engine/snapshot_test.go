@@ -183,3 +183,117 @@ func countCells(rs []ref.Range) int {
 	}
 	return n
 }
+
+// TestScanSnapshotCellsInRange checks the range-filtered snapshot scan
+// against the full scan: identical in-range records in identical order, an
+// exact snapshot-wide pending count, and nothing delivered from outside the
+// rectangle — on a snapshot that also carries a dirty (kind 2) record both
+// inside and outside the range.
+func TestScanSnapshotCellsInRange(t *testing.T) {
+	e := New(nil)
+	big := strings.Repeat("y", MaxSnapshotString/2+1)
+	for col := 1; col <= 8; col++ {
+		for row := 1; row <= 20; row++ {
+			e.SetValue(ref.Ref{Col: col, Row: row}, formula.Num(float64(col*100+row)))
+		}
+	}
+	e.SetValue(ref.MustCell("A21"), formula.Str(big))
+	// Oversized computed values snapshot as kind 2 (dirty): one inside the
+	// queried range, one outside it.
+	if _, err := e.SetFormula(ref.MustCell("C5"), "A21&A21"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SetFormula(ref.MustCell("H20"), "A21&A21"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SetFormula(ref.MustCell("D4"), "SUM(B1:B10)"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	rng := ref.MustRange("B2:D6")
+	var full []SnapshotCell
+	if err := ScanSnapshotCells(bytes.NewReader(raw), func(sc SnapshotCell) bool {
+		if rng.Contains(sc.At) {
+			full = append(full, sc)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var filtered []SnapshotCell
+	pending, err := ScanSnapshotCellsInRange(bytes.NewReader(raw), rng, func(sc SnapshotCell) bool {
+		if !rng.Contains(sc.At) {
+			t.Fatalf("out-of-range cell %v delivered", sc.At)
+		}
+		filtered = append(filtered, sc)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pending != 2 {
+		t.Fatalf("pending = %d, want 2 (one in range, one out)", pending)
+	}
+	if len(filtered) != len(full) {
+		t.Fatalf("filtered %d cells, full scan saw %d in range", len(filtered), len(full))
+	}
+	for i := range full {
+		if filtered[i].At != full[i].At || filtered[i].Src != full[i].Src ||
+			filtered[i].Value != full[i].Value || filtered[i].Dirty != full[i].Dirty {
+			t.Fatalf("record %d diverges: %+v vs %+v", i, filtered[i], full[i])
+		}
+	}
+	// Early stop leaves the reader consistent and returns without error.
+	n := 0
+	if _, err := ScanSnapshotCellsInRange(bytes.NewReader(raw), rng, func(SnapshotCell) bool {
+		n++
+		return false
+	}); err != nil || n != 1 {
+		t.Fatalf("early stop: n=%d err=%v", n, err)
+	}
+}
+
+// TestRecycleReusesColumnSlabs pins the spill/restore pooling: a restore
+// after a Recycle rebuilds its columnar store from pooled slabs, and the
+// recycled store retains nothing that could leak into the next tenant.
+func TestRecycleReusesColumnSlabs(t *testing.T) {
+	sheet := workload.FinancialModel(40, rand.New(rand.NewSource(9)))
+	e, err := Load(sheet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := map[ref.Ref]string{}
+	for at := range sheet.Cells {
+		want[at] = e.Value(at).String()
+	}
+	raw := buf.Bytes()
+	// Churn the round trip: every iteration recycles the previous engine's
+	// slabs and the next restore draws on the pools. Values must stay exact
+	// across reuse — stale pooled state would surface here.
+	prev := e
+	for i := 0; i < 5; i++ {
+		prev.Recycle()
+		r, err := RestoreSnapshot(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for at, w := range want {
+			if got := r.Value(at).String(); got != w {
+				t.Fatalf("round %d: cell %v = %q, want %q", i, at, got, w)
+			}
+		}
+		if got, wantN := r.NumCells(), len(want); got != wantN {
+			t.Fatalf("round %d: %d cells, want %d", i, got, wantN)
+		}
+		prev = r
+	}
+}

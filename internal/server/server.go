@@ -626,8 +626,11 @@ func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 }
 
 // readSpilledCells serves a range read from the session's spill file. The
-// scan streams the snapshot's cell records — no engine, graph, or parse work
-// — and reports pending for the (rare) cells the snapshot round-trips dirty.
+// scan streams the snapshot's cell records — no engine, graph, or parse
+// work — decoding only the records inside the requested rectangle; the
+// rest are length-skipped off the snapshot's column-major layout. Pending
+// still reports the (rare) cells the snapshot round-trips dirty, counted
+// snapshot-wide by the skimming scan.
 func (s *Server) readSpilledCells(id string, rng ref.Range, res *CellsResult) (bool, error) {
 	type hit struct {
 		at  ref.Ref
@@ -636,15 +639,12 @@ func (s *Server) readSpilledCells(id string, rng ref.Range, res *CellsResult) (b
 	var hits []hit
 	handled, err := s.store.ReadSpilled(id, func(br *bufio.Reader, rev uint64) error {
 		res.Rev = rev
-		return engine.ScanSnapshotCells(br, func(sc engine.SnapshotCell) bool {
-			if sc.Dirty {
-				res.Pending++
-			}
-			if rng.Contains(sc.At) {
-				hits = append(hits, hit{sc.At, cellOut(sc.At, sc.Value, sc.Src, sc.Dirty)})
-			}
+		pending, err := engine.ScanSnapshotCellsInRange(br, rng, func(sc engine.SnapshotCell) bool {
+			hits = append(hits, hit{sc.At, cellOut(sc.At, sc.Value, sc.Src, sc.Dirty)})
 			return true
 		})
+		res.Pending = pending
+		return err
 	})
 	if err != nil || !handled {
 		res.Rev, res.Pending = 0, 0

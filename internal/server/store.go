@@ -52,9 +52,19 @@ type StoreOptions struct {
 	// Wait/flush barriers and on spill (useful for deterministic tests).
 	RecalcWorkers int
 	// RecalcChunk bounds the evaluations started per session-lock hold while
-	// a worker drains (default 256), so readers interleave with a large
-	// recalculation instead of stalling behind it.
+	// a worker drains serially (default 256), so readers interleave with a
+	// large recalculation instead of stalling behind it. Wavefront drains
+	// use the same knob scaled by parallelChunkFactor — coarser holds, so
+	// per-chunk schedule rebuilding stays amortised.
 	RecalcChunk int
+	// RecalcParallelism bounds the wavefront workers evaluating one
+	// session's dirty set concurrently (engine.SetRecalcParallelism). With
+	// it set above 1, drain workers hand coarse chunks to the parallel
+	// scheduler, which evaluates independent cells level by level — recalc
+	// latency drops by roughly the worker count on wide dirty sets, at the
+	// cost of coarser session-lock holds. 0 means one worker per available
+	// CPU (capped at 8); -1 (or 1) keeps recalculation serial.
+	RecalcParallelism int
 	// NoGraphPin disables keeping a spilled session's compressed formula
 	// graph in memory. Pinning (the default) trades a small per-session
 	// footprint — the graph is the compact part, which is the paper's thesis
@@ -75,6 +85,12 @@ func (o StoreOptions) withDefaults() StoreOptions {
 	}
 	if o.RecalcChunk <= 0 {
 		o.RecalcChunk = 256
+	}
+	if o.RecalcParallelism == 0 {
+		o.RecalcParallelism = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if o.RecalcParallelism < 0 {
+		o.RecalcParallelism = 1
 	}
 	return o
 }
@@ -257,9 +273,23 @@ func (st *Store) recalcWorker() {
 	}
 }
 
+// parallelChunkFactor scales RecalcChunk for wavefront drains: the
+// scheduler re-levels the remaining dirty set on every call, so parallel
+// chunks are coarse (default 256*16 = 4096 evaluations per lock hold) —
+// large enough that re-leveling stays a small fraction of the drain, small
+// enough that readers still interleave with a giant recalculation instead
+// of blocking for its full duration (a deep-chain dirty set parallelises
+// not at all, and would otherwise turn the old 256-evaluation holds into
+// one monolithic one).
+const parallelChunkFactor = 16
+
 // drainChunk recalculates one bounded chunk of a session's dirty cells and
-// re-queues the session if work remains, so one giant recalculation neither
-// monopolises a worker nor holds the session write lock continuously.
+// re-queues the session if work remains. With wavefront recalculation
+// enabled (RecalcParallelism > 1) the chunk is handed to the parallel
+// scheduler, which spreads it across its worker pool — the session-lock
+// hold shrinks by roughly the worker count on wide dirty sets — at a
+// coarser bound (see parallelChunkFactor) so per-chunk re-leveling stays
+// amortised. Serial drains keep the original fine-grained chunking.
 func (st *Store) drainChunk(s *Session) {
 	s.mu.Lock()
 	if s.deleted || s.eng == nil {
@@ -269,7 +299,11 @@ func (st *Store) drainChunk(s *Session) {
 		s.mu.Unlock()
 		return
 	}
-	s.eng.RecalculateN(st.opts.RecalcChunk)
+	if st.opts.RecalcParallelism > 1 {
+		s.eng.RecalculateN(st.opts.RecalcChunk * parallelChunkFactor)
+	} else {
+		s.eng.RecalculateN(st.opts.RecalcChunk)
+	}
 	s.pending = s.eng.Pending()
 	more := s.pending > 0
 	s.mu.Unlock()
@@ -325,6 +359,7 @@ func newSessionID() string {
 // insertion may push the store over MaxResident, in which case the coldest
 // sessions are spilled before Create returns.
 func (st *Store) Create(name string, eng *engine.Engine) *Session {
+	eng.SetRecalcParallelism(st.opts.RecalcParallelism)
 	s := &Session{ID: newSessionID(), Name: name, eng: eng}
 	s.tick.Store(st.clock.Add(1))
 	sh := st.shardFor(s.ID)
@@ -523,6 +558,7 @@ func (st *Store) withResident(s *Session, fn func(*engine.Engine) error) error {
 			s.mu.Unlock()
 			return fmt.Errorf("server: restore session %s: %w", s.ID, err)
 		}
+		eng.SetRecalcParallelism(st.opts.RecalcParallelism)
 		s.eng = eng
 		s.graph = nil // live again; the engine owns it now
 		// The file we just read holds exactly this state; until the next

@@ -156,3 +156,119 @@ func TestRaceStress(t *testing.T) {
 }
 
 func workloadNum(rng *rand.Rand) formula.Value { return formula.Num(float64(rng.Intn(10000))) }
+
+// TestWavefrontDrainReadStress hammers value reads, range scans, and graph
+// queries against sessions whose dirty sets are being drained by the
+// parallel wavefront scheduler. The scheduler's workers run strictly inside
+// the session write lock, so under -race this proves the level-barrier
+// synchronisation and the read paths' side-effect freedom compose: readers
+// never observe a torn value and never race a wavefront worker.
+func TestWavefrontDrainReadStress(t *testing.T) {
+	iters := 40
+	if testing.Short() {
+		iters = 10
+	}
+	store, err := NewStore(StoreOptions{Shards: 2, RecalcParallelism: 4, RecalcWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	// One wide sheet: a shared input column fanning out to hundreds of
+	// formulas, so every edit dirties a set large enough for the wavefront
+	// path (and wide enough for real level parallelism).
+	eng := engine.New(nil)
+	for r := 1; r <= 10; r++ {
+		eng.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)))
+	}
+	for col := 3; col <= 8; col++ {
+		for r := 1; r <= 60; r++ {
+			src := fmt.Sprintf("SUM(A$1:A$10)*%d+%d", col, r)
+			if _, err := eng.SetFormula(ref.Ref{Col: col, Row: r}, src); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// A second tier so every drain has at least two levels.
+	for r := 1; r <= 60; r++ {
+		if _, err := eng.SetFormula(ref.Ref{Col: 10, Row: r}, fmt.Sprintf("SUM(C%d:H%d)", r, r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RecalculateAll()
+	id := store.Create("wavefront", eng).ID
+
+	var wg sync.WaitGroup
+	// Writers: value edits that dirty the whole fan-out, handed to the
+	// background pool (which drains via the wavefront scheduler).
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(300 + w)))
+			for i := 0; i < iters; i++ {
+				err := store.Update(id, true, func(_ *Session, e *engine.Engine) error {
+					e.SetValue(ref.Ref{Col: 1, Row: 1 + rng.Intn(10)}, workloadNum(rng))
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: point reads, columnar range scans, and graph traversals under
+	// the shared read lock, interleaving with the drains.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(400 + w)))
+			for i := 0; i < iters*4; i++ {
+				err := store.View(id, func(_ *Session, e *engine.Engine) error {
+					switch i % 3 {
+					case 0:
+						e.Peek(ref.Ref{Col: 10, Row: 1 + rng.Intn(60)})
+					case 1:
+						e.ScanRange(ref.MustRange("C1:J60"), func(ref.Ref, formula.Value, string, bool) bool {
+							return true
+						})
+					default:
+						e.Dependents(ref.CellRange(ref.Ref{Col: 1, Row: 1 + rng.Intn(10)}))
+					}
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := store.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	// After the barrier every value is settled and consistent: each tier-2
+	// cell must equal the sum of its row across the fan-out columns.
+	err = store.View(id, func(_ *Session, e *engine.Engine) error {
+		var a float64
+		for r := 1; r <= 10; r++ {
+			a += e.Value(ref.Ref{Col: 1, Row: r}).Num
+		}
+		for r := 1; r <= 60; r++ {
+			want := 0.0
+			for col := 3; col <= 8; col++ {
+				want += a*float64(col) + float64(r)
+			}
+			if got := e.Value(ref.Ref{Col: 10, Row: r}).Num; got != want {
+				t.Errorf("J%d = %v, want %v", r, got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,6 +38,17 @@ type Edit struct {
 // and 5% clear data cells. Streams derived with the same seed replay
 // identically, so two hosts applying one stream converge to equal sheets.
 func EditStream(s *Sheet, n int, rng *rand.Rand) []Edit {
+	return EditStreamMix(s, n, rng, -1)
+}
+
+// EditStreamMix is EditStream with an explicit formula-edit share:
+// formulaRatio in [0, 1] is the probability an edit rewrites a formula cell
+// (the remainder keeps the 16:1 value-perturbation-to-clear split), which
+// makes recalc pressure a workload dial — every formula rewrite clears and
+// re-adds graph dependencies and dirties the cell's whole transitive
+// fan-out. A negative ratio keeps EditStream's default 15% share. Streams
+// derived with the same seed and ratio replay identically.
+func EditStreamMix(s *Sheet, n int, rng *rand.Rand, formulaRatio float64) []Edit {
 	var values, formulas []ref.Ref
 	for at, c := range s.Cells {
 		if c.IsFormula() {
@@ -48,14 +59,22 @@ func EditStream(s *Sheet, n int, rng *rand.Rand) []Edit {
 	}
 	sortColumnMajor(values)
 	sortColumnMajor(formulas)
+	// The default mix: 80% value, 15% formula, 5% clear. An explicit ratio
+	// reassigns the formula share and splits the rest 16:1 between value
+	// perturbations and clears, preserving the default's proportions.
+	formulaShare := 0.15
+	if formulaRatio >= 0 {
+		formulaShare = min(formulaRatio, 1)
+	}
+	valueShare := (1 - formulaShare) * 16.0 / 17.0
 	out := make([]Edit, 0, n)
 	for i := 0; i < n; i++ {
 		roll := rng.Float64()
 		switch {
-		case roll < 0.80 && len(values) > 0:
+		case roll < valueShare && len(values) > 0:
 			at := values[rng.Intn(len(values))]
 			out = append(out, Edit{Kind: EditValue, At: at, Value: float64(rng.Intn(100000)) / 10})
-		case roll < 0.95 && len(formulas) > 0:
+		case roll < valueShare+formulaShare && len(formulas) > 0:
 			at := formulas[rng.Intn(len(formulas))]
 			out = append(out, Edit{Kind: EditFormula, At: at, Formula: s.Cells[at].Formula})
 		case len(values) > 0:
