@@ -24,7 +24,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Refresh the serving perf baseline.
+# Refresh the serving perf baseline. Includes the drain probe (mixed read +
+# giant-drain scenario): read_p50_during_drain_ms and drain_cells_per_sec
+# land in the report and are gated by benchdiff alongside edits/s.
 bench-server:
 	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -json > BENCH_server.json
 	@cat BENCH_server.json
@@ -49,9 +51,10 @@ fuzz-smoke:
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzRecalcParallel$$' -fuzztime=15s
 
 # Local mirror of CI's perf-regression gate: measure now, compare against
-# the checked-in baselines, fail on >25% regression, a bulk range speedup
-# under 2x, or a wavefront recalc speedup under the baseline's per-shape
-# floor (1.5x on wide fanout; enforced only on hosts with >= 4 CPUs).
+# the checked-in baselines, fail on >25% regression (edits/s, mid-drain
+# read p50, drain throughput, per-shape ns/op), a bulk range speedup under
+# 2x, or a wavefront recalc speedup under the baseline's per-shape floor
+# (1.5x on wide fanout; enforced only on hosts with >= 4 CPUs).
 perf-check:
 	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -json > /tmp/taco_bench_server.json
 	$(GO) run ./cmd/benchdiff -tol 0.25 BENCH_server.json /tmp/taco_bench_server.json

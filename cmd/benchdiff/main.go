@@ -9,7 +9,12 @@
 // The report kind is read from the "bench" field:
 //
 //   - "server" (BENCH_server.json / tacoload -json): edits_per_sec must not
-//     drop more than tol below the baseline.
+//     drop more than tol below the baseline; read_p50_during_drain_ms (the
+//     drain probe's mid-drain read latency) must not rise more than tol
+//     above it (plus a small absolute grace for sub-millisecond noise), and
+//     drain_cells_per_sec must not drop more than tol below it. The drain
+//     series are gated only when the baseline carries them, so old
+//     baselines stay comparable.
 //   - "eval" (BENCH_eval.json / tacoeval -json): per shape, ns_op_bulk must
 //     not rise more than tol above the baseline, and the bulk-vs-percell
 //     speedup — host-independent, so it also holds on CI runners whose
@@ -31,9 +36,16 @@ import (
 )
 
 type serverReport struct {
-	Bench       string  `json:"bench"`
-	EditsPerSec float64 `json:"edits_per_sec"`
+	Bench                string  `json:"bench"`
+	EditsPerSec          float64 `json:"edits_per_sec"`
+	ReadP50DuringDrainMs float64 `json:"read_p50_during_drain_ms"`
+	DrainCellsPerSec     float64 `json:"drain_cells_per_sec"`
 }
+
+// latencyGraceMs is absolute headroom added to latency ceilings: a p50 of a
+// fraction of a millisecond would otherwise turn scheduler jitter on a
+// shared runner into a fractional "regression".
+const latencyGraceMs = 0.25
 
 type evalResult struct {
 	NsOpBulk    float64 `json:"ns_op_bulk"`
@@ -105,6 +117,26 @@ func main() {
 			failures = append(failures, fmt.Sprintf(
 				"edits_per_sec regressed: %.0f -> %.0f (>%.0f%% drop)",
 				base.EditsPerSec, cur.EditsPerSec, *tol*100))
+		}
+		if base.ReadP50DuringDrainMs > 0 {
+			ceiling := base.ReadP50DuringDrainMs*(1+*tol) + latencyGraceMs
+			fmt.Printf("read p50 during drain: baseline %.3fms, current %.3fms (ceiling %.3fms)\n",
+				base.ReadP50DuringDrainMs, cur.ReadP50DuringDrainMs, ceiling)
+			if cur.ReadP50DuringDrainMs > ceiling {
+				failures = append(failures, fmt.Sprintf(
+					"read_p50_during_drain_ms regressed: %.3f -> %.3f (ceiling %.3f)",
+					base.ReadP50DuringDrainMs, cur.ReadP50DuringDrainMs, ceiling))
+			}
+		}
+		if base.DrainCellsPerSec > 0 {
+			floor := base.DrainCellsPerSec * (1 - *tol)
+			fmt.Printf("drain throughput: baseline %.0f cells/s, current %.0f (floor %.0f)\n",
+				base.DrainCellsPerSec, cur.DrainCellsPerSec, floor)
+			if cur.DrainCellsPerSec < floor {
+				failures = append(failures, fmt.Sprintf(
+					"drain_cells_per_sec regressed: %.0f -> %.0f (>%.0f%% drop)",
+					base.DrainCellsPerSec, cur.DrainCellsPerSec, *tol*100))
+			}
 		}
 	case "eval":
 		var base, cur evalReport

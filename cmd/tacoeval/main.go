@@ -137,10 +137,14 @@ func runShape(cols, rows, stride int, minTime time.Duration) Result {
 
 // recalcShape builds one dependency shape for the recalculation benchmarks.
 // build populates a fresh engine; dirty re-dirties it (the measured
-// iteration is dirty + full drain).
+// iteration is dirty + full drain). A non-zero budget drains through
+// repeated RecalculateN(budget) calls instead of one RecalculateAll — the
+// serving layer's chunked-hold pattern, which measures how well the
+// resumable schedule amortises levelling across chunks.
 type recalcShape struct {
 	name       string
 	minSpeedup float64
+	budget     int
 	build      func(e *engine.Engine)
 	dirty      func(e *engine.Engine, v float64)
 }
@@ -156,6 +160,21 @@ func recalcShapes() []recalcShape {
 	a1 := ref.Ref{Col: 1, Row: 1}
 	bump := func(e *engine.Engine, v float64) {
 		e.SetValue(a1, formula.Num(v))
+	}
+	// SUMSQ rather than SUM keeps each cell's evaluation streamed per cell:
+	// SUM now folds off the slabs in one batched pass, which made the cells
+	// too cheap for a wall-clock parallelism floor to be meaningful — the
+	// shape gates level parallelism, so its per-cell work must stay real.
+	wideFanout := func(e *engine.Engine) {
+		for r := 1; r <= 100; r++ {
+			e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)/7))
+		}
+		for col := 3; col <= 7; col++ {
+			for r := 1; r <= 1000; r++ {
+				mustSetFormula(e, ref.Ref{Col: col, Row: r},
+					fmt.Sprintf("SUMSQ(A$1:A$100)*%d+%d", col, r))
+			}
+		}
 	}
 	return []recalcShape{
 		{
@@ -177,18 +196,19 @@ func recalcShapes() []recalcShape {
 			// wavefront exists for — gated at 1.5x with 4 workers.
 			name:       "recalc_wide_fanout",
 			minSpeedup: 1.5,
-			build: func(e *engine.Engine) {
-				for r := 1; r <= 100; r++ {
-					e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)/7))
-				}
-				for col := 3; col <= 7; col++ {
-					for r := 1; r <= 1000; r++ {
-						mustSetFormula(e, ref.Ref{Col: col, Row: r},
-							fmt.Sprintf("SUM(A$1:A$100)*%d+%d", col, r))
-					}
-				}
-			},
-			dirty: bump,
+			build:      wideFanout,
+			dirty:      bump,
+		},
+		{
+			// The same fanout drained in 256-evaluation chunks, the serving
+			// layer's bounded-hold pattern. The resumable schedule levels
+			// once and resumes per chunk, so the parallel ns/op here must
+			// track the unbudgeted shape above instead of paying ~20
+			// re-levellings per drain (the regression ceiling enforces it).
+			name:   "recalc_budgeted_fanout",
+			budget: 256,
+			build:  wideFanout,
+			dirty:  bump,
 		},
 		{
 			// Alternating wide/narrow levels: fan out, reconverge through an
@@ -246,6 +266,17 @@ func runRecalcShape(s recalcShape, workers int, minTime time.Duration) RecalcRes
 		e.SetRecalcParallelism(parallelism)
 		return e
 	}
+	drain := func(e *engine.Engine) {
+		if s.budget <= 0 {
+			e.RecalculateAll()
+			return
+		}
+		for e.Pending() > 0 {
+			if e.RecalculateN(s.budget) == 0 {
+				break
+			}
+		}
+	}
 	serial := build(1)
 	parallel := build(workers)
 
@@ -254,8 +285,8 @@ func runRecalcShape(s recalcShape, workers int, minTime time.Duration) RecalcRes
 	s.dirty(serial, 42)
 	s.dirty(parallel, 42)
 	dirty := serial.Pending()
-	serial.RecalculateAll()
-	parallel.RecalculateAll()
+	drain(serial)
+	drain(parallel)
 	serial.ScanRange(ref.Range{Head: ref.Ref{Col: 1, Row: 1}, Tail: ref.Ref{Col: 64, Row: 1 << 20}},
 		func(at ref.Ref, v formula.Value, _ string, _ bool) bool {
 			if pv := parallel.Value(at); pv != v {
@@ -274,13 +305,13 @@ func runRecalcShape(s recalcShape, workers int, minTime time.Duration) RecalcRes
 	r.NsOpSerial, r.Iters = measure(minTime, func() {
 		tick++
 		s.dirty(serial, tick)
-		serial.RecalculateAll()
+		drain(serial)
 	})
 	tick = 0
 	r.NsOpParallel, _ = measure(minTime, func() {
 		tick++
 		s.dirty(parallel, tick)
-		parallel.RecalculateAll()
+		drain(parallel)
 	})
 	r.Speedup = r.NsOpSerial / r.NsOpParallel
 	return r

@@ -10,7 +10,9 @@
 //	tacoload [-addr http://host:8737] [-inproc] [-sessions 32] [-rows 100]
 //	         [-edits 200] [-batch 8] [-read-ratio 0] [-formula-ratio -1]
 //	         [-flush-ratio 0] [-scenario mixed] [-seed 1] [-max-resident 0]
-//	         [-json] [-cpuprofile FILE]
+//	         [-recalc-parallelism 0] [-recalc-workers 0]
+//	         [-drain-sessions 4] [-drain-fanout 8000] [-drain-span 2000]
+//	         [-drain-probes 3] [-json] [-cpuprofile FILE]
 //
 // With -inproc (the default when -addr is empty) the service is hosted
 // inside the process on a loopback listener, so a single command produces a
@@ -31,6 +33,15 @@
 // the given mean rate per batch; their latencies — the time for pending
 // recalculation to drain — are reported under latency_ms.flush, next to
 // the final per-session flush every run issues.
+//
+// After the main workload, the drain probe (-drain-*) runs the mixed
+// read + giant-drain scenario: dedicated wide-fanout sessions are dirtied
+// wholesale and point-read while the store's background workers drain them
+// in bounded lock holds. Reads answered with recalculation pending yield
+// read_p50_during_drain_ms (how long a reader is blocked by a live drain —
+// the per-level lock-release contract measured end to end) and the rounds'
+// wall time yields drain_cells_per_sec (cross-session drain throughput on
+// the shared evaluation pool). Both are gated by benchdiff.
 package main
 
 import (
@@ -67,6 +78,15 @@ type config struct {
 	Scenario     string  `json:"scenario"`
 	Seed         int64   `json:"seed"`
 	MaxResident  int     `json:"max_resident"`
+	// Recalc knobs for the in-process server (0 = store defaults).
+	RecalcParallelism int `json:"recalc_parallelism,omitempty"`
+	RecalcWorkers     int `json:"recalc_workers,omitempty"`
+	// Drain-probe scenario (see runDrainProbe): sessions × fanout-sized
+	// dirty sets per probe round, reads issued against the live drains.
+	DrainSessions int `json:"drain_sessions"`
+	DrainFanout   int `json:"drain_fanout"`
+	DrainSpan     int `json:"drain_span"`
+	DrainProbes   int `json:"drain_probes"`
 }
 
 // report is the machine-readable output schema of -json (and the checked-in
@@ -85,6 +105,14 @@ type report struct {
 	Latency       map[string]stats.LatencySummary `json:"latency_ms"`
 	Store         server.StoreStats               `json:"store"`
 	DirtyPerBatch float64                         `json:"mean_dirty_cells_per_batch"`
+	// Drain-probe series (the mixed read + giant-drain scenario): reads
+	// that landed while a wavefront drain was live, their p50, and the
+	// cross-session drain throughput. Gated by benchdiff — the p50 is the
+	// "a reader is blocked for at most one bounded hold" contract measured
+	// end to end.
+	ReadsDuringDrain     int     `json:"reads_during_drain"`
+	ReadP50DuringDrainMs float64 `json:"read_p50_during_drain_ms"`
+	DrainCellsPerSec     float64 `json:"drain_cells_per_sec"`
 }
 
 func main() {
@@ -100,6 +128,12 @@ func main() {
 	scenario := flag.String("scenario", "mixed", "workload scenario: financial|inventory|gradebook|planning|mixed")
 	seed := flag.Int64("seed", 1, "workload seed")
 	maxResident := flag.Int("max-resident", 0, "in-process server only: session cap forcing spill traffic")
+	recalcPar := flag.Int("recalc-parallelism", 0, "in-process server only: wavefront evaluators per level (0 = auto, -1 = serial)")
+	recalcWorkers := flag.Int("recalc-workers", 0, "in-process server only: background drain workers (0 = auto)")
+	drainSessions := flag.Int("drain-sessions", 4, "drain probe: concurrent giant-drain sessions")
+	drainFanout := flag.Int("drain-fanout", 8000, "drain probe: formulas dirtied per session per probe")
+	drainSpan := flag.Int("drain-span", 2000, "drain probe: rows each probe formula aggregates over")
+	drainProbes := flag.Int("drain-probes", 3, "drain probe: edit rounds (0 disables the probe)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
@@ -116,11 +150,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tacoload: -formula-ratio must be <= 1")
 		os.Exit(2)
 	}
+	if *drainProbes > 0 && (*drainSessions < 1 || *drainFanout < 1 || *drainSpan < 1) {
+		fmt.Fprintln(os.Stderr, "tacoload: -drain-sessions, -drain-fanout, and -drain-span must all be >= 1")
+		os.Exit(2)
+	}
 	cfg := config{
 		Addr: *addr, InProc: *addr == "" || *inproc, Sessions: *sessions, Rows: *rows,
 		Edits: *edits, Batch: *batch, ReadRatio: *readRatio, FormulaRatio: *formulaRatio,
 		FlushRatio: *flushRatio, Scenario: *scenario,
 		Seed: *seed, MaxResident: *maxResident,
+		RecalcParallelism: *recalcPar, RecalcWorkers: *recalcWorkers,
+		DrainSessions: *drainSessions, DrainFanout: *drainFanout,
+		DrainSpan: *drainSpan, DrainProbes: *drainProbes,
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -167,6 +208,7 @@ func run(cfg config) (*report, error) {
 		defer os.RemoveAll(spill)
 		srv, err := server.NewServer(server.Options{Store: server.StoreOptions{
 			MaxResident: cfg.MaxResident, SpillDir: spill,
+			RecalcParallelism: cfg.RecalcParallelism, RecalcWorkers: cfg.RecalcWorkers,
 		}})
 		if err != nil {
 			return nil, err
@@ -346,6 +388,18 @@ func run(cfg config) (*report, error) {
 		return nil, err
 	}
 	elapsed := time.Since(begin)
+	mainRequests := len(samples) // probe samples below must not inflate req/s
+
+	// The mixed read + giant-drain probe: dedicated wide-fanout sessions,
+	// dirtied wholesale and read while the background drain runs.
+	var probe drainResult
+	if cfg.DrainProbes > 0 {
+		var err error
+		probe, err = runDrainProbe(client, base, cfg, record)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	var st server.StoreStats
 	if err := call(client, "GET", base+"/stats", nil, &st); err != nil {
@@ -361,23 +415,123 @@ func run(cfg config) (*report, error) {
 		lat[k] = stats.Summarize(v)
 	}
 	rep := &report{
-		Bench:        "server",
-		Config:       cfg,
-		ElapsedMs:    float64(elapsed.Microseconds()) / 1000,
-		Requests:     len(samples),
-		EditsApplied: editsApplied,
-		RequestsPerS: float64(len(samples)) / elapsed.Seconds(),
-		EditsPerS:    float64(editsApplied) / elapsed.Seconds(),
-		Reads:        reads,
-		PendingReads: pendingReads,
-		Flushes:      flushes,
-		Latency:      lat,
-		Store:        st,
+		Bench:                "server",
+		Config:               cfg,
+		ElapsedMs:            float64(elapsed.Microseconds()) / 1000,
+		Requests:             mainRequests,
+		EditsApplied:         editsApplied,
+		RequestsPerS:         float64(mainRequests) / elapsed.Seconds(),
+		EditsPerS:            float64(editsApplied) / elapsed.Seconds(),
+		Reads:                reads,
+		PendingReads:         pendingReads,
+		Flushes:              flushes,
+		Latency:              lat,
+		Store:                st,
+		ReadsDuringDrain:     probe.reads,
+		ReadP50DuringDrainMs: probe.p50,
+		DrainCellsPerSec:     probe.cellsPerSec,
 	}
 	if batches > 0 {
 		rep.DirtyPerBatch = float64(dirtyTotal) / float64(batches)
 	}
 	return rep, nil
+}
+
+// drainResult is the drain probe's measurement.
+type drainResult struct {
+	reads       int     // reads that observed a live drain
+	p50         float64 // their p50 latency, ms
+	cellsPerSec float64 // cross-session drain throughput
+}
+
+// runDrainProbe measures the serving layer's two drain-path properties that
+// the main workload's small dirty sets cannot: how long a reader is blocked
+// when it lands mid-way through a giant wavefront drain (the per-level lock
+// release contract, measured end to end as read latency), and how fast the
+// store's shared pool drains several sessions' giant dirty sets at once
+// (cross-session drain throughput). It builds DrainSessions wide-fanout
+// sessions — DrainFanout formulas, each a SUMSQ over a DrainSpan-cell
+// column; SUMSQ streams per cell rather than taking the batched SUM fold,
+// so the drain exercises evaluator throughput — then, per probe round,
+// dirties every session with one edit and polls point reads round-robin
+// across them until every drain settles. Reads answered with recalculation
+// still pending are the "reader issued mid-drain" samples.
+func runDrainProbe(client *http.Client, base string, cfg config, record func(string, time.Time)) (drainResult, error) {
+	var out drainResult
+	ids := make([]string, cfg.DrainSessions)
+	for i := range ids {
+		var info server.SessionInfo
+		if err := call(client, "POST", base+"/sessions",
+			server.CreateRequest{Name: fmt.Sprintf("drainprobe%d", i)}, &info); err != nil {
+			return out, err
+		}
+		ids[i] = info.ID
+		eb := server.EditBatch{}
+		for r := 1; r <= cfg.DrainSpan; r++ {
+			v := float64(r) / 3
+			eb.Edits = append(eb.Edits, server.EditOp{Cell: ref.FormatA1(ref.Ref{Col: 1, Row: r}), Value: &v})
+		}
+		src := fmt.Sprintf("SUMSQ(A$1:A$%d)*2", cfg.DrainSpan)
+		for r := 1; r <= cfg.DrainFanout; r++ {
+			f := src
+			eb.Edits = append(eb.Edits, server.EditOp{Cell: ref.FormatA1(ref.Ref{Col: 2, Row: r}), Formula: &f})
+		}
+		if err := call(client, "POST", base+"/sessions/"+ids[i]+"/edits?wait=1", eb, nil); err != nil {
+			return out, fmt.Errorf("drain probe setup: %w", err)
+		}
+	}
+
+	var lats []float64
+	var drainTime time.Duration
+	for p := 0; p < cfg.DrainProbes; p++ {
+		t0 := time.Now()
+		for _, id := range ids {
+			v := float64(p + 7)
+			eb := server.EditBatch{Edits: []server.EditOp{{Cell: "A1", Value: &v}}}
+			if err := call(client, "POST", base+"/sessions/"+id+"/edits", eb, nil); err != nil {
+				return out, err
+			}
+		}
+		pending := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			pending[id] = true
+		}
+		for polls := 0; len(pending) > 0; polls++ {
+			if polls > 100000 {
+				return out, fmt.Errorf("drain probe: %d sessions never settled", len(pending))
+			}
+			for _, id := range ids {
+				if !pending[id] {
+					continue
+				}
+				start := time.Now()
+				var cr server.CellsResult
+				if err := call(client, "GET", base+"/sessions/"+id+"/cells?at=B42", nil, &cr); err != nil {
+					return out, err
+				}
+				if cr.Pending == 0 {
+					delete(pending, id)
+					continue
+				}
+				record("read_during_drain", start)
+				lats = append(lats, float64(time.Since(start).Microseconds())/1000)
+			}
+		}
+		drainTime += time.Since(t0)
+	}
+	out.reads = len(lats)
+	if len(lats) > 0 {
+		out.p50 = stats.Summarize(lats).P50Ms
+	}
+	if sec := drainTime.Seconds(); sec > 0 {
+		out.cellsPerSec = float64(cfg.DrainProbes*cfg.DrainSessions*cfg.DrainFanout) / sec
+	}
+	for _, id := range ids {
+		if err := call(client, "DELETE", base+"/sessions/"+id, nil, nil); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 // call performs one JSON request; non-2xx responses become errors carrying
@@ -422,7 +576,7 @@ func printReport(r *report) {
 	fmt.Printf("elapsed %.1fms  |  %d requests (%.0f req/s)  |  %d edits (%.0f edits/s)  |  mean dirty/batch %.1f\n\n",
 		r.ElapsedMs, r.Requests, r.RequestsPerS, r.EditsApplied, r.EditsPerS, r.DirtyPerBatch)
 	tbl := stats.NewTable("op", "count", "mean", "p50", "p90", "p99", "max")
-	for _, k := range []string{"create", "edits", "dependents", "cells", "flush"} {
+	for _, k := range []string{"create", "edits", "dependents", "cells", "flush", "read_during_drain"} {
 		s, ok := r.Latency[k]
 		if !ok {
 			continue
@@ -431,6 +585,10 @@ func printReport(r *report) {
 	}
 	fmt.Print(tbl.String())
 	fmt.Printf("\nreads: %d (%d answered with recalculation pending)  |  flush barriers: %d\n", r.Reads, r.PendingReads, r.Flushes)
+	if r.Config.DrainProbes > 0 {
+		fmt.Printf("drain probe: %d mid-drain reads (p50 %.3fms)  |  %.0f cells/s across %d sessions\n",
+			r.ReadsDuringDrain, r.ReadP50DuringDrainMs, r.DrainCellsPerSec, r.Config.DrainSessions)
+	}
 	fmt.Printf("store: %d sessions (%d resident, %d spilled), %d evictions (%d snapshot writes skipped), %d restores, %d background recalcs\n",
 		r.Store.Sessions, r.Store.Resident, r.Store.Spilled, r.Store.Evictions, r.Store.SnapSkips, r.Store.Restores, r.Store.Recalcs)
 }

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	tacoserve [-addr :8737] [-shards 16] [-max-resident 0] [-spill-dir DIR]
+//	          [-recalc-parallelism 0] [-recalc-workers 0] [-recalc-chunk 0]
+//	          [-recalc-pool 0]
 //
 // Endpoints:
 //
@@ -51,7 +53,10 @@ func main() {
 	shards := flag.Int("shards", 16, "session store shard count")
 	maxResident := flag.Int("max-resident", 0, "max in-memory sessions (0 = unlimited)")
 	spillDir := flag.String("spill-dir", "", "directory for evicted session snapshots (required with -max-resident)")
-	recalcPar := flag.Int("recalc-parallelism", 0, "wavefront workers per session drain (0 = CPUs capped at 8, -1 = serial)")
+	recalcPar := flag.Int("recalc-parallelism", 0, "wavefront evaluators per session level (0 = CPUs capped at 8, -1 = serial)")
+	recalcWorkers := flag.Int("recalc-workers", 0, "background drain workers pulling sessions off the recalc queue (0 = CPUs, -1 = disable background draining)")
+	recalcChunk := flag.Int("recalc-chunk", 0, "evaluations per session-lock hold while draining (0 = default 256); readers interleave between holds")
+	recalcPool := flag.Int("recalc-pool", 0, "shared wavefront evaluation pool size (0 = (parallelism-1) x workers, -1 = per-drain goroutines)")
 	flag.Parse()
 
 	srv, err := server.NewServer(server.Options{Store: server.StoreOptions{
@@ -59,6 +64,9 @@ func main() {
 		MaxResident:       *maxResident,
 		SpillDir:          *spillDir,
 		RecalcParallelism: *recalcPar,
+		RecalcWorkers:     *recalcWorkers,
+		RecalcChunk:       *recalcChunk,
+		RecalcPoolSize:    *recalcPool,
 	}})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tacoserve: %v\n", err)

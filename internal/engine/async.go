@@ -37,17 +37,30 @@ func NewAsync(e *Engine) *AsyncEngine {
 	return a
 }
 
-// worker drains dirty cells until Close.
+// asyncDrainChunk bounds the evaluations per mutex hold while the worker
+// drains, so Peek/Get/Dependents interleave with a large recalculation
+// instead of stalling behind it. The engine's resumable wavefront schedule
+// survives across holds, so chunking costs no re-levelling.
+const asyncDrainChunk = 256
+
+// worker drains dirty cells until Close, releasing the mutex between
+// bounded chunks so readers interleave mid-drain.
 func (a *AsyncEngine) worker() {
 	defer close(a.done)
 	for range a.wake {
-		a.mu.Lock()
-		for a.dirty > 0 {
-			a.eng.RecalculateAll()
-			a.dirty = 0
-			a.cond.Broadcast()
+		for {
+			a.mu.Lock()
+			a.eng.RecalculateN(asyncDrainChunk)
+			done := a.eng.Pending() == 0
+			if done {
+				a.dirty = 0
+				a.cond.Broadcast()
+			}
+			a.mu.Unlock()
+			if done {
+				break
+			}
 		}
-		a.mu.Unlock()
 	}
 }
 

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"math"
 	"slices"
 	"sync"
 
+	"taco/internal/formula"
 	"taco/internal/ref"
 )
 
@@ -208,6 +210,105 @@ func (s *colStore) scanRange(rng ref.Range, fn func(at ref.Ref, c *cell) bool) b
 		}
 	}
 	return true
+}
+
+// foldRange is the batched numeric fold behind formula.RangeFolder: one
+// tight pass over a single-column window accumulating everything the plain
+// aggregates need (sum, counts, extrema, first error) without surfacing a
+// callback per cell. Dense slab runs — four consecutive clean numeric cells,
+// the shape a populated data column decays to — take a blocked fast path
+// that pays one branch per four cells; the accumulation itself stays a
+// sequential left-to-right chain (Go never reassociates float expressions),
+// so the sum is bit-identical to per-cell iteration. dirtyVal, when
+// non-nil, resolves a dirty cell before its value is folded (the eval
+// resolver evaluates it; nil folds the stale value, matching the
+// side-effect-free read path). Multi-column rectangles report handled=false:
+// their row-major order interleaves columns, which is the heap-merge scan's
+// job.
+func (s *colStore) foldRange(rng ref.Range, dirtyVal func(ref.Ref, *cell) formula.Value) (formula.NumericFold, bool) {
+	if rng.Head.Col != rng.Tail.Col {
+		return formula.NumericFold{}, false
+	}
+	f := formula.NumericFold{Min: math.Inf(1), Max: math.Inf(-1)}
+	col := s.cols[rng.Head.Col]
+	if col == nil {
+		return f, true
+	}
+	lo, hi := col.window(rng.Head.Row, rng.Tail.Row)
+	rows, cells := col.rows[lo:hi], col.cells[lo:hi]
+	slow := func(i int) {
+		c := cells[i]
+		v := c.value
+		if c.dirty && dirtyVal != nil {
+			v = dirtyVal(ref.Ref{Col: rng.Head.Col, Row: rows[i]}, c)
+		}
+		switch v.Kind {
+		case formula.KindNumber:
+			f.Sum += v.Num
+			f.Count++
+			f.NonEmpty++
+			if v.Num < f.Min {
+				f.Min = v.Num
+			}
+			if v.Num > f.Max {
+				f.Max = v.Num
+			}
+		case formula.KindEmpty:
+			// A stored blank counts nowhere, like an unpopulated cell.
+		case formula.KindError:
+			f.NonEmpty++
+			if !f.Err.IsError() {
+				f.Err = v
+			}
+		default: // string, bool: non-blank, non-numeric
+			f.NonEmpty++
+		}
+	}
+	i, n := 0, len(cells)
+	for ; i+4 <= n; i += 4 {
+		c0, c1, c2, c3 := cells[i], cells[i+1], cells[i+2], cells[i+3]
+		if !(c0.dirty || c1.dirty || c2.dirty || c3.dirty) &&
+			c0.value.Kind == formula.KindNumber && c1.value.Kind == formula.KindNumber &&
+			c2.value.Kind == formula.KindNumber && c3.value.Kind == formula.KindNumber {
+			v0, v1, v2, v3 := c0.value.Num, c1.value.Num, c2.value.Num, c3.value.Num
+			f.Sum = f.Sum + v0 + v1 + v2 + v3
+			f.Count += 4
+			f.NonEmpty += 4
+			if v0 < f.Min {
+				f.Min = v0
+			}
+			if v1 < f.Min {
+				f.Min = v1
+			}
+			if v2 < f.Min {
+				f.Min = v2
+			}
+			if v3 < f.Min {
+				f.Min = v3
+			}
+			if v0 > f.Max {
+				f.Max = v0
+			}
+			if v1 > f.Max {
+				f.Max = v1
+			}
+			if v2 > f.Max {
+				f.Max = v2
+			}
+			if v3 > f.Max {
+				f.Max = v3
+			}
+			continue
+		}
+		slow(i)
+		slow(i + 1)
+		slow(i + 2)
+		slow(i + 3)
+	}
+	for ; i < n; i++ {
+		slow(i)
+	}
+	return f, true
 }
 
 // eachColumnMajor visits every stored cell in column-major order — the

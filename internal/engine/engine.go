@@ -134,6 +134,25 @@ type Engine struct {
 	// and RecalculateN drain large dirty sets through the wavefront scheduler
 	// (schedule.go) instead of the serial resolver. 0 and 1 mean serial.
 	parallelism int
+	// dirtyGen counts dirty-set mutations from outside a wavefront drain.
+	// The cached schedule carries the generation it was built at; a mismatch
+	// means an edit intervened and the schedule no longer describes the
+	// dirty set (see noteDirtyMutation / ensureSchedule).
+	dirtyGen uint64
+	// sched is the cached resumable wavefront schedule for the current dirty
+	// generation, nil when none is live. Built by ensureSchedule, drained by
+	// DrainLevels, invalidated by noteDirtyMutation.
+	sched *schedule
+	// runner, when set, executes wide wavefront levels — a serving layer
+	// injects its shared bounded pool here so drain concurrency is owned by
+	// the process, not spawned per drain. Nil falls back to a per-level
+	// goroutine fan-out.
+	runner LevelRunner
+	// levelsDrained and schedBuilds count executed wavefront levels and
+	// schedule constructions — the re-levelling amortisation the resumable
+	// schedule exists for is their ratio (see RecalcStats).
+	levelsDrained uint64
+	schedBuilds   uint64
 }
 
 // New returns an empty engine driving the given dependency graph. A nil
@@ -154,6 +173,7 @@ func New(g Graph) *Engine {
 // setCell installs a cell record, maintaining the formula index and the
 // dirty set.
 func (e *Engine) setCell(at ref.Ref, c *cell) {
+	e.noteDirtyMutation()
 	if old, ok := e.cells[at]; ok {
 		if old.ast != nil {
 			e.formulas.Delete(ref.CellRange(at), func(ref.Ref) bool { return true })
@@ -361,7 +381,22 @@ func (r evalResolver) RangeValues(rng ref.Range, fn func(at ref.Ref, v formula.V
 	return true
 }
 
+// FoldRange implements formula.RangeFolder for the recalculation path:
+// the plain aggregates fold straight off the columnar slabs, evaluating
+// dirty cells on the way exactly as CellValue would (and reporting a cell
+// currently being evaluated as #CYCLE!, like every other read of it).
+func (r evalResolver) FoldRange(rng ref.Range) (formula.NumericFold, bool) {
+	return r.e.store.foldRange(rng, func(at ref.Ref, c *cell) formula.Value {
+		if c.evaluating {
+			return formula.Errorf("#CYCLE!")
+		}
+		r.e.evaluate(at, c)
+		return c.value
+	})
+}
+
 func (e *Engine) evaluate(at ref.Ref, c *cell) {
+	e.noteDirtyMutation()
 	if c.ast != nil {
 		c.evaluating = true
 		c.value = formula.Eval(c.ast, evalResolver{e})
@@ -417,6 +452,7 @@ func (e *Engine) SetFormulaParsed(at ref.Ref, src string, ast formula.Node) []re
 
 // ClearCell removes a cell entirely.
 func (e *Engine) ClearCell(at ref.Ref) []ref.Range {
+	e.noteDirtyMutation()
 	if old, ok := e.cells[at]; ok && old.ast != nil {
 		e.graph.Clear(ref.CellRange(at))
 		e.formulas.Delete(ref.CellRange(at), func(ref.Ref) bool { return true })
@@ -434,6 +470,7 @@ func (e *Engine) ClearCell(at ref.Ref) []ref.Range {
 // a dependents range can span whole columns while holding a handful of
 // formulae.
 func (e *Engine) invalidate(at ref.Ref) []ref.Range {
+	e.noteDirtyMutation()
 	dirty := e.graph.Dependents(ref.CellRange(at))
 	for _, rng := range dirty {
 		e.formulas.Search(rng, func(_ ref.Range, fat ref.Ref) bool {
@@ -476,10 +513,17 @@ func (r valueResolver) RangeValues(rng ref.Range, fn func(at ref.Ref, v formula.
 	return true
 }
 
+// FoldRange implements formula.RangeFolder: the side-effect-free variant
+// folds last computed values (a dirty cell contributes its stale value,
+// exactly as RangeValues streams it).
+func (r valueResolver) FoldRange(rng ref.Range) (formula.NumericFold, bool) {
+	return r.e.store.foldRange(rng, nil)
+}
+
 // ValueResolver returns a side-effect-free formula resolver over the
-// engine's last computed values. It implements formula.RangeResolver, so
-// range-consuming builtins evaluated against it take the columnar bulk
-// path.
+// engine's last computed values. It implements formula.RangeResolver and
+// formula.RangeFolder, so range-consuming builtins evaluated against it take
+// the columnar bulk path and the plain aggregates the batched fold.
 func (e *Engine) ValueResolver() formula.Resolver { return valueResolver{e} }
 
 // CellStats returns the columnar cell store's shape summary.
@@ -501,14 +545,29 @@ func (e *Engine) SetRecalcParallelism(n int) { e.parallelism = n }
 // RecalcParallelism returns the configured recalculation worker bound.
 func (e *Engine) RecalcParallelism() int { return e.parallelism }
 
+// SetLevelRunner injects the executor for wide wavefront levels. A serving
+// layer hands every hosted engine the same store-owned bounded pool, so the
+// process's total drain concurrency is a configuration constant instead of
+// growing with the number of sessions draining. Nil restores the default
+// per-level goroutine fan-out.
+func (e *Engine) SetLevelRunner(run LevelRunner) { e.runner = run }
+
+// wavefrontReady reports whether recalculation should route through the
+// wavefront scheduler: parallelism configured and either a dirty set large
+// enough to be worth levelling, or a cached schedule mid-drain (resuming it
+// is always cheaper than switching to the serial path).
+func (e *Engine) wavefrontReady() bool {
+	return e.parallelism > 1 && (e.sched != nil || len(e.dirty) >= minParallelDirty)
+}
+
 // RecalculateAll evaluates every dirty formula cell (the background phase of
 // the asynchronous model). It returns the number of cells evaluated directly;
 // transitively evaluated precedents are drained from the dirty set too. With
 // recalc parallelism configured, large dirty sets drain through the wavefront
 // scheduler on a bounded worker pool.
 func (e *Engine) RecalculateAll() int {
-	if e.parallelism > 1 && len(e.dirty) >= minParallelDirty {
-		return e.recalculateWavefront(e.parallelism, len(e.dirty))
+	if e.wavefrontReady() {
+		return e.DrainLevels(len(e.dirty), nil)
 	}
 	n := 0
 	for at, c := range e.dirty {
@@ -526,11 +585,13 @@ func (e *Engine) RecalculateAll() int {
 // readers interleave between chunks. Note a single evaluation can clean an
 // arbitrary number of transitive precedents (chains), so the work per call is
 // bounded in evaluations started, not cells cleaned. With recalc parallelism
-// configured the bound applies to wavefront evaluations instead — levels are
-// truncated to the budget, and the remainder stays dirty for the next call.
+// configured the bound applies to wavefront evaluations instead: levels are
+// truncated to the budget and the schedule — built once per dirty generation
+// — stays cached between calls, so successive chunks resume the remaining
+// levels instead of re-levelling the remainder (see DrainLevels).
 func (e *Engine) RecalculateN(max int) int {
-	if e.parallelism > 1 && len(e.dirty) >= minParallelDirty {
-		return e.recalculateWavefront(e.parallelism, max)
+	if e.wavefrontReady() {
+		return e.DrainLevels(max, nil)
 	}
 	n := 0
 	for at, c := range e.dirty {
@@ -543,6 +604,42 @@ func (e *Engine) RecalculateN(max int) int {
 		}
 	}
 	return n
+}
+
+// RecalcStats describes the recalculation scheduler's state: the dirty
+// backlog, the live resumable schedule (if a budgeted drain is mid-flight),
+// and the cumulative level/build counters whose ratio shows how much
+// re-levelling the schedule cache is amortising.
+type RecalcStats struct {
+	// Pending is the number of cells awaiting recalculation.
+	Pending int `json:"pending"`
+	// Scheduled is the node count of the live resumable schedule (0 when no
+	// schedule is cached — the dirty set has not been levelled, or the last
+	// drain ran to exhaustion).
+	Scheduled int `json:"scheduled,omitempty"`
+	// FrontierWidth is the ready width of the live schedule: cells whose
+	// precedents are all settled, i.e. the size of the next level.
+	FrontierWidth int `json:"frontier_width,omitempty"`
+	// LevelsDrained counts wavefront levels executed over the engine's life.
+	LevelsDrained uint64 `json:"levels_drained"`
+	// ScheduleBuilds counts schedule constructions (Kahn runs). Budgeted
+	// drains resuming a cached schedule do not rebuild, so this stays at one
+	// per dirty generation however many chunks the drain takes.
+	ScheduleBuilds uint64 `json:"schedule_builds"`
+}
+
+// RecalcStats returns the recalculation scheduler's state snapshot.
+func (e *Engine) RecalcStats() RecalcStats {
+	st := RecalcStats{
+		Pending:        len(e.dirty),
+		LevelsDrained:  e.levelsDrained,
+		ScheduleBuilds: e.schedBuilds,
+	}
+	if e.sched != nil {
+		st.Scheduled = e.sched.total
+		st.FrontierWidth = len(e.sched.frontier)
+	}
+	return st
 }
 
 // Pending returns the number of cells awaiting recalculation.
@@ -588,6 +685,7 @@ func (e *Engine) TACOGraph() *core.Graph {
 // is untouched (it may be pinned and outlive the engine). Using the engine
 // after Recycle is a bug.
 func (e *Engine) Recycle() {
+	e.releaseSchedule()
 	for _, block := range e.slabs {
 		clear(block) // drop AST/string references before pooling
 		slabPool.Put(block[:0])

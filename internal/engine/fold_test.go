@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"taco/internal/formula"
+	"taco/internal/ref"
+)
+
+// TestFoldRangeMatchesScan cross-checks the batched column fold against the
+// streaming scan it replaces, accumulator by accumulator, on the shared
+// range fixture — including windows that start and end mid-slab, the
+// unrolled block's tail, and columns mixing numbers, text, bools, blanks,
+// and errors.
+func TestFoldRangeMatchesScan(t *testing.T) {
+	e := rangeFixture(t)
+	// An explicit stored blank and a NaN-valued cell: both fold corner cases
+	// (blanks count nowhere; NaN must obey the strict-comparison extrema).
+	e.SetValue(ref.MustCell("B25"), formula.Empty())
+	e.SetValue(ref.MustCell("C9"), formula.Num(math.NaN()))
+	e.RecalculateAll()
+	for _, rs := range []string{
+		"B1:B50", "B2:B49", "B7:B7", "B45:B60", "C1:C50", "C1:C60",
+		"D1:D60", "E1:E40", "E6:E40", "F1:F60", "B51:B90",
+	} {
+		rng := ref.MustRange(rs)
+		fold, ok := e.store.foldRange(rng, nil)
+		if !ok {
+			t.Fatalf("%s: single-column fold refused", rs)
+		}
+		// Reference accumulation via the streaming scan, in the same order
+		// with the same comparison semantics.
+		want := formula.NumericFold{Min: math.Inf(1), Max: math.Inf(-1)}
+		e.store.scanRange(rng, func(_ ref.Ref, c *cell) bool {
+			v := c.value
+			switch v.Kind {
+			case formula.KindNumber:
+				want.Sum += v.Num
+				want.Count++
+				want.NonEmpty++
+				if v.Num < want.Min {
+					want.Min = v.Num
+				}
+				if v.Num > want.Max {
+					want.Max = v.Num
+				}
+			case formula.KindEmpty:
+			case formula.KindError:
+				want.NonEmpty++
+				if !want.Err.IsError() {
+					want.Err = v
+				}
+			default:
+				want.NonEmpty++
+			}
+			return true
+		})
+		if fold.Count != want.Count || fold.NonEmpty != want.NonEmpty ||
+			fold.Err != want.Err || fold.Sum != want.Sum && !(math.IsNaN(fold.Sum) && math.IsNaN(want.Sum)) {
+			t.Errorf("%s: fold %+v, scan %+v", rs, fold, want)
+		}
+		if fold.Count > 0 && (fold.Min != want.Min || fold.Max != want.Max) {
+			t.Errorf("%s: fold extrema (%v,%v), scan (%v,%v)", rs, fold.Min, fold.Max, want.Min, want.Max)
+		}
+	}
+	// Multi-column rectangles decline the fold — row-major order across
+	// columns is the heap merge's job.
+	if _, ok := e.store.foldRange(ref.MustRange("B1:C50"), nil); ok {
+		t.Fatal("multi-column fold did not decline")
+	}
+}
+
+// TestFoldEvaluatesDirtyCells: the recalculation-path fold must evaluate
+// dirty cells it passes over (and surface in-flight cycles as #CYCLE!),
+// exactly like the streaming evalResolver.
+func TestFoldEvaluatesDirtyCells(t *testing.T) {
+	e := New(nil)
+	e.SetValue(ref.MustCell("A1"), formula.Num(2))
+	for i := 1; i <= 20; i++ {
+		mustFormula(t, e, fmt.Sprintf("B%d", i), fmt.Sprintf("A1*%d", i))
+	}
+	mustFormula(t, e, "C1", "SUM(B1:B20)")
+	e.RecalculateAll()
+	e.SetValue(ref.MustCell("A1"), formula.Num(3)) // dirties the B column + C1
+	// Evaluating only C1 must pull every dirty B through the fold.
+	e.evaluate(ref.MustCell("C1"), e.cells[ref.MustCell("C1")])
+	if v := e.Value(ref.MustCell("C1")); v.Num != 3*210 {
+		t.Fatalf("C1 = %v, want %v", v, 3*210)
+	}
+	for i := 1; i <= 20; i++ {
+		if e.Dirty(ref.Ref{Col: 2, Row: i}) {
+			t.Fatalf("B%d left dirty by the fold", i)
+		}
+	}
+}
+
+// TestFoldUnrolledBlockBoundaries hammers the 4-cell blocked fast path's
+// edges: slab lengths 0..9 of clean numbers with a disruptor (text, error,
+// dirty cell) planted at every position, fold vs streaming per-cell SUM.
+func TestFoldUnrolledBlockBoundaries(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		for bad := -1; bad < n; bad++ {
+			e := New(nil)
+			for i := 0; i < n; i++ {
+				at := ref.Ref{Col: 1, Row: i + 1}
+				if i == bad {
+					e.SetValue(at, formula.Str("x"))
+				} else {
+					e.SetValue(at, formula.Num(float64(i)*1.25+0.1))
+				}
+			}
+			rng := ref.Range{Head: ref.Ref{Col: 1, Row: 1}, Tail: ref.Ref{Col: 1, Row: 10}}
+			fold, ok := e.store.foldRange(rng, nil)
+			if !ok {
+				t.Fatal("fold refused")
+			}
+			sum, cnt := 0.0, 0
+			e.store.scanRange(rng, func(_ ref.Ref, c *cell) bool {
+				if c.value.Kind == formula.KindNumber {
+					sum += c.value.Num
+					cnt++
+				}
+				return true
+			})
+			if fold.Sum != sum || fold.Count != cnt {
+				t.Fatalf("n=%d bad=%d: fold (%v,%d), scan (%v,%d)", n, bad, fold.Sum, fold.Count, sum, cnt)
+			}
+		}
+	}
+}

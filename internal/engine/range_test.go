@@ -87,6 +87,22 @@ var rangeBuiltinSrcs = []string{
 	"=COUNTIF(C1:C60,\"hello\")",
 	"=COUNTIF(C1:C60,\">=0\")", // matches blanks: scan + group compensation
 	"=COUNTIF(D1:D60,0)",       // empty column, blank-matching criterion
+	// Fold-path shapes: single-range SUM/AVERAGE (order-sensitive, folded),
+	// order-free counts and extrema mixing ranges with scalars, error
+	// propagation (and COUNT's deliberate error-blindness), and the
+	// multi-arg SUM that must fall back to sequential accumulation.
+	"=SUM(E1:E40)",          // error in E5 propagates through the fold
+	"=AVERAGE(E1:E40)",      // ditto
+	"=AVERAGE(D1:D60)",      // empty column: #DIV/0! on both paths
+	"=SUM(B1:B50,C1:C50)",   // multi-arg: fold declines, streaming path
+	"=MIN(B1:B50,3,C7)",     // range + scalar mix
+	"=MAX(C1:C50,\"4\")",    // numeric-text scalar coerces
+	"=MIN(E1:E40)",          // error propagates
+	"=MAX(D1:D60)",          // empty: 0 on both paths
+	"=COUNT(B1:B50,C1:C50)", // multi-range counts fold per range
+	"=COUNT(E1:E40)",        // errors are not numbers, not propagated
+	"=COUNTA(E1:E40)",       // errors are non-blank
+	"=COUNTA(B1:B50,5,C1:C50)",
 	// SUMPRODUCT: sparse second range, triple product, empty column.
 	"=SUMPRODUCT(B1:B20,C1:C20)",
 	"=SUMPRODUCT(B1:B20,C1:C20,E1:E20)",

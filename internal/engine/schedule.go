@@ -17,18 +17,27 @@ import (
 // evaluator runs with read-only access to the cell store and the results are
 // exactly the serial resolver's, independent of worker count or scheduling.
 //
-// Leveling runs Kahn's algorithm over the dirty-restricted dependency
-// relation. Direct precedents come from the formula graph's one-hop query
-// (core.Graph.DirectPrecedents / its NoComp mirror), intersected with the
-// dirty set — small ranges probe the dirty map per cell, large ranges use a
-// lazily built per-column sorted index — so the schedule costs O(D log D)
-// for a dirty set of D cells: no transitive closure, no whole-sheet scans,
-// and (via pooled scratch) no steady-state allocation. Reference
-// cycles are detected during leveling, not mid-evaluation: when Kahn stalls,
-// the strongly connected components of the stalled subgraph are the cycles;
-// their members are published as #CYCLE! and the downstream cells (which are
-// stuck behind, not on, a cycle) then evaluate normally against those error
-// values, propagating or rescuing them exactly as the serial path does.
+// The schedule is a first-class resumable object. It is built once per dirty
+// generation — Kahn's algorithm over the dirty-restricted dependency
+// relation, direct precedents from the graph's one-hop query intersected
+// with the dirty set — and then drained level by level under a budget
+// (DrainLevels). A budget that runs out mid-schedule leaves the schedule
+// cached on the engine with its remaining frontier intact, so the next
+// RecalculateN call resumes where the last one stopped instead of
+// re-levelling the remainder: a serving layer can drain a giant dirty set in
+// many short lock holds and pay for levelling exactly once. Any dirty-set
+// mutation from outside a drain (an edit, a clear, a serial evaluation)
+// bumps the engine's dirty generation and invalidates the cached schedule;
+// the next drain simply rebuilds over whatever is dirty then. The generation
+// stamp is also checked at resume time, so a schedule can never be drained
+// against a dirty set it does not describe.
+//
+// Reference cycles are detected during levelling, not mid-evaluation: when
+// Kahn stalls, the strongly connected components of the stalled subgraph are
+// the cycles; their members are published as #CYCLE! and the downstream
+// cells (which are stuck behind, not on, a cycle) then evaluate normally
+// against those error values, propagating or rescuing them exactly as the
+// serial path does.
 //
 // Concurrency safety rests on two invariants. First, evaluation never
 // inserts or removes cells, so the columnar slabs, the cell map, and the
@@ -37,12 +46,13 @@ import (
 // no evaluated cell is read before the level barrier that published it, and
 // the shared dirty set is maintained by the coordinator alone between
 // levels. Workers therefore need no locks and no per-cell atomics; the
-// level barrier (WaitGroup) is the only synchronisation.
+// level barrier is the only synchronisation.
 
 const (
 	// minParallelDirty is the dirty-set size below which RecalculateAll/N
-	// stay serial even with parallelism configured — leveling a handful of
-	// cells costs more than evaluating them.
+	// stay serial even with parallelism configured — levelling a handful of
+	// cells costs more than evaluating them. A cached schedule overrides the
+	// threshold: resuming it is cheaper than switching paths.
 	minParallelDirty = 64
 	// minParallelLevel is the level width below which the coordinator
 	// evaluates inline instead of fanning out: narrow levels (deep chains
@@ -59,6 +69,15 @@ const (
 	smallPrecProbe = 8
 )
 
+// LevelRunner executes the independent evaluations of one wavefront level:
+// it must call eval(i) exactly once for every i in [0, n), from any
+// goroutine and in any interleaving, and return only after every call has
+// completed. The evaluations are data-independent by construction (that is
+// what a level is), so a runner needs no ordering — a serving layer injects
+// one backed by its shared worker pool (Engine.SetLevelRunner) so the
+// goroutine budget is owned by the process, not by each drain.
+type LevelRunner func(n int, eval func(i int))
+
 // schedNode is one dirty cell in the wavefront DAG.
 type schedNode struct {
 	at ref.Ref
@@ -72,109 +91,179 @@ type schedNode struct {
 	// self marks a direct self-reference: an immediate cycle, never
 	// evaluated, resolved to #CYCLE! with the other cycle members.
 	self bool
-	// cyclic marks a cell resolved as a cycle member during leveling.
+	// cyclic marks a cell resolved as a cycle member during levelling.
 	cyclic bool
 }
 
-// schedScratch pools one drain's schedule state across drains (and across
-// engines — the pool is package-wide, like the cell-record slabs): the node
-// array keeps each slot's out-edge capacity, the frontier buffers keep
-// theirs, and the column index keeps its per-column slices, so a server
-// draining sessions at a steady rate stops allocating once the pool warms
-// up.
-type schedScratch struct {
-	nodes    []schedNode
+// schedule is the resumable wavefront schedule: the dirty set snapshotted as
+// a levelled DAG at one dirty generation, with the current ready frontier.
+// It lives on the engine between budgeted drains and is released back to the
+// package pool on exhaustion or invalidation. Pooled instances keep their
+// node array's per-slot out-edge capacity, the frontier buffers, and the
+// column index's per-column slices, so a server draining sessions at a
+// steady rate stops allocating once the pool warms up.
+type schedule struct {
+	nodes []schedNode
+	// frontier holds the ready level: nodes whose dirty precedents have all
+	// been published. next is its double buffer.
 	frontier []int32
 	next     []int32
+	// gen is the engine's dirty generation the schedule was built at; a
+	// mismatch at resume time means an edit slipped in and the schedule no
+	// longer describes the dirty set.
+	gen uint64
+	// total is the node count at build time (stats).
+	total int
 	// cols is the lazy dirty-position index for large precedent ranges:
 	// per column, (row<<32 | node index) packed and row-sorted. Rebuilt
-	// per drain, but only when some precedent range is too large to probe
+	// per build, but only when some precedent range is too large to probe
 	// cell-by-cell.
 	cols     map[int][]uint64
 	colsomeN int // nodes indexed so far (0 = index not built this drain)
 }
 
 var schedPool = sync.Pool{New: func() any {
-	return &schedScratch{cols: make(map[int][]uint64)}
+	return &schedule{cols: make(map[int][]uint64)}
 }}
 
-// recalculateWavefront drains up to budget dirty cells through the parallel
-// scheduler and returns how many it drained. The budget is honoured at
-// level granularity: a level is truncated rather than split mid-shard, and
-// remaining cells simply stay dirty for the next call, their precedents all
-// settled. Callers guarantee workers > 1.
-func (e *Engine) recalculateWavefront(workers, budget int) int {
-	if len(e.dirty) == 0 {
+// noteDirtyMutation records a dirty-set mutation from outside a wavefront
+// drain: every such mutation starts a new dirty generation and invalidates
+// the cached schedule (the drain's own publications do not — the schedule
+// tracks those itself). Called from every write path that touches e.dirty.
+func (e *Engine) noteDirtyMutation() {
+	e.dirtyGen++
+	if e.sched != nil {
+		e.releaseSchedule()
+	}
+}
+
+// releaseSchedule returns the cached schedule to the package pool, dropping
+// its cell-record references so pooling does not pin them.
+func (e *Engine) releaseSchedule() {
+	sch := e.sched
+	if sch == nil {
+		return
+	}
+	e.sched = nil
+	sch.colsomeN = 0
+	for i := range sch.nodes {
+		sch.nodes[i].c = nil
+	}
+	sch.frontier = sch.frontier[:0]
+	sch.next = sch.next[:0]
+	schedPool.Put(sch)
+}
+
+// ensureSchedule returns the live schedule for the current dirty generation,
+// building one if none is cached. The generation stamp check is the
+// schedule-validity contract: a cached schedule is resumed only when no
+// external mutation has touched the dirty set since it was built (mutations
+// release the schedule eagerly, so the stamp is belt and braces — but it is
+// the invariant callers may rely on).
+func (e *Engine) ensureSchedule() *schedule {
+	if e.sched != nil {
+		if e.sched.gen == e.dirtyGen {
+			return e.sched
+		}
+		e.releaseSchedule()
+	}
+	sch := schedPool.Get().(*schedule)
+	sch.gen = e.dirtyGen
+	e.buildSchedule(sch)
+	e.linkSchedule(sch)
+	sch.frontier = sch.frontier[:0]
+	for i := range sch.nodes {
+		if sch.nodes[i].nprec == 0 && !sch.nodes[i].self {
+			sch.frontier = append(sch.frontier, int32(i))
+		}
+	}
+	sch.total = len(sch.nodes)
+	e.schedBuilds++
+	e.sched = sch
+	return sch
+}
+
+// DrainLevels drains up to budget dirty cells through the resumable
+// wavefront schedule, running each level's evaluations with run (nil uses
+// the engine's configured runner, or a per-level goroutine fan-out when none
+// is set). The budget truncates the final level rather than splitting the
+// schedule's invariants: the remainder of a truncated level stays ready in
+// the frontier, the schedule stays cached on the engine, and the next call
+// resumes it without re-levelling — Kahn runs once per dirty generation, not
+// once per chunk. Returns the number of cells drained (evaluated or
+// published as #CYCLE!).
+func (e *Engine) DrainLevels(budget int, run LevelRunner) int {
+	if budget <= 0 || len(e.dirty) == 0 {
 		return 0
 	}
-	s := schedPool.Get().(*schedScratch)
-	defer func() {
-		s.colsomeN = 0
-		for i := range s.nodes {
-			s.nodes[i].c = nil // don't pin cell records from the pool
-		}
-		schedPool.Put(s)
-	}()
-	nodes := e.buildSchedule(s)
-	e.linkSchedule(s, nodes)
-
-	frontier := s.frontier[:0]
-	for i := range nodes {
-		if nodes[i].nprec == 0 && !nodes[i].self {
-			frontier = append(frontier, int32(i))
-		}
+	if run == nil {
+		run = e.runner
 	}
+	sch := e.ensureSchedule()
 	drained := 0
-	next := s.next[:0]
 	for {
-		for len(frontier) > 0 && drained < budget {
-			level := frontier
+		for len(sch.frontier) > 0 && drained < budget {
+			level := sch.frontier
+			var rest []int32
 			if rem := budget - drained; len(level) > rem {
-				level = level[:rem]
+				// Truncate the level to the budget; the rest is still ready
+				// (its precedents are settled) and leads the next frontier.
+				level, rest = level[:rem], level[rem:]
 			}
-			e.runLevel(nodes, level, workers)
+			e.runLevel(sch.nodes, level, run)
+			e.levelsDrained++
 			drained += len(level)
 			// Publish: drop the evaluated cells from the dirty set and
 			// release their dependents. Coordinator-only — workers never
 			// touch the shared map or the schedule.
-			next = next[:0]
+			next := sch.next[:0]
 			for _, i := range level {
-				delete(e.dirty, nodes[i].at)
-				for _, j := range nodes[i].outs {
-					nodes[j].nprec--
-					if nodes[j].nprec == 0 && !nodes[j].self {
+				delete(e.dirty, sch.nodes[i].at)
+				for _, j := range sch.nodes[i].outs {
+					sch.nodes[j].nprec--
+					if sch.nodes[j].nprec == 0 && !sch.nodes[j].self {
 						next = append(next, j)
 					}
 				}
 			}
-			frontier, next = next, frontier
+			next = append(next, rest...)
+			sch.frontier, sch.next = next, sch.frontier[:0]
+		}
+		if len(sch.frontier) > 0 {
+			// Budget exhausted mid-schedule: keep it cached for the next call.
+			return drained
+		}
+		if len(e.dirty) == 0 {
+			break
 		}
 		if drained >= budget {
-			break
+			// Budget exhausted with only cycle-bound cells left; they resolve
+			// on the next call against the same cached schedule.
+			return drained
 		}
 		// Kahn stalled with budget left: every remaining dirty cell either
 		// sits on a reference cycle or depends on one. Resolve the cycles
 		// and resume — the survivors form a DAG and level normally.
-		freed := e.resolveCycles(nodes, &drained)
+		freed := e.resolveCycles(sch, &drained)
 		if len(freed) == 0 {
 			break
 		}
-		frontier = append(frontier[:0], freed...)
+		sch.frontier = append(sch.frontier[:0], freed...)
 	}
-	s.frontier, s.next = frontier[:0], next[:0]
+	e.releaseSchedule()
 	return drained
 }
 
-// buildSchedule snapshots the dirty set into the scratch's node array,
+// buildSchedule snapshots the dirty set into the schedule's node array,
 // reusing each slot's out-edge capacity, and stamps every dirty cell record
 // with its node index — the position "map" is the cell store itself, so
 // linking costs dirty-map probes, not a second hash table built per drain.
-func (e *Engine) buildSchedule(s *schedScratch) []schedNode {
+func (e *Engine) buildSchedule(sch *schedule) {
 	n := len(e.dirty)
-	if cap(s.nodes) < n {
-		s.nodes = append(s.nodes[:cap(s.nodes)], make([]schedNode, n-cap(s.nodes))...)
+	if cap(sch.nodes) < n {
+		sch.nodes = append(sch.nodes[:cap(sch.nodes)], make([]schedNode, n-cap(sch.nodes))...)
 	}
-	nodes := s.nodes[:n]
+	nodes := sch.nodes[:n]
 	i := int32(0)
 	for at, c := range e.dirty {
 		nd := &nodes[i]
@@ -184,8 +273,7 @@ func (e *Engine) buildSchedule(s *schedScratch) []schedNode {
 		c.sched = i
 		i++
 	}
-	s.nodes = nodes
-	return nodes
+	sch.nodes = nodes
 }
 
 // linkSchedule wires the dirty-restricted dependency edges: for each node,
@@ -197,7 +285,8 @@ func (e *Engine) buildSchedule(s *schedScratch) []schedNode {
 // for the index). Duplicate edges — overlapping precedent ranges are legal
 // — are kept, with nprec counted per occurrence, so release stays
 // consistent.
-func (e *Engine) linkSchedule(s *schedScratch, nodes []schedNode) {
+func (e *Engine) linkSchedule(sch *schedule) {
+	nodes := sch.nodes
 	dp, hasDP := e.graph.(directPrecedenter)
 	// One closure set per drain, re-aimed per node through cur — a closure
 	// per node would be the dominant allocation of the whole drain.
@@ -221,7 +310,7 @@ func (e *Engine) linkSchedule(s *schedScratch, nodes []schedNode) {
 			p.Cells(probe)
 			return true
 		}
-		s.searchLarge(nodes, p, addEdge)
+		sch.searchLarge(p, addEdge)
 		return true
 	}
 	for i := range nodes {
@@ -243,19 +332,19 @@ func (e *Engine) linkSchedule(s *schedScratch, nodes []schedNode) {
 // searchLarge finds the dirty cells inside a large precedent range through
 // the per-column index, building it on first use. Per populated column the
 // query is one binary search plus a walk of the overlapping rows.
-func (s *schedScratch) searchLarge(nodes []schedNode, p ref.Range, hit func(int32)) {
-	if s.colsomeN == 0 {
-		for c, list := range s.cols {
-			s.cols[c] = list[:0]
+func (sch *schedule) searchLarge(p ref.Range, hit func(int32)) {
+	if sch.colsomeN == 0 {
+		for c, list := range sch.cols {
+			sch.cols[c] = list[:0]
 		}
-		for i := range nodes {
-			at := nodes[i].at
-			s.cols[at.Col] = append(s.cols[at.Col], uint64(at.Row)<<32|uint64(uint32(i)))
+		for i := range sch.nodes {
+			at := sch.nodes[i].at
+			sch.cols[at.Col] = append(sch.cols[at.Col], uint64(at.Row)<<32|uint64(uint32(i)))
 		}
-		for _, list := range s.cols {
+		for _, list := range sch.cols {
 			slices.Sort(list) // row-major: row is the high word
 		}
-		s.colsomeN = len(nodes)
+		sch.colsomeN = len(sch.nodes)
 	}
 	scan := func(list []uint64) {
 		lo, _ := slices.BinarySearch(list, uint64(p.Head.Row)<<32)
@@ -266,9 +355,9 @@ func (s *schedScratch) searchLarge(nodes []schedNode, p ref.Range, hit func(int3
 			hit(int32(uint32(packed)))
 		}
 	}
-	if p.Cols() > len(s.cols) {
+	if p.Cols() > len(sch.cols) {
 		// Wider than the populated column set: walk the index instead.
-		for c, list := range s.cols {
+		for c, list := range sch.cols {
 			if c >= p.Head.Col && c <= p.Tail.Col {
 				scan(list)
 			}
@@ -276,24 +365,37 @@ func (s *schedScratch) searchLarge(nodes []schedNode, p ref.Range, hit func(int3
 		return
 	}
 	for c := p.Head.Col; c <= p.Tail.Col; c++ {
-		if list, ok := s.cols[c]; ok {
+		if list, ok := sch.cols[c]; ok {
 			scan(list)
 		}
 	}
 }
 
-// runLevel evaluates one level's cells. Wide levels fan out to a bounded
-// worker pool pulling shard-sized blocks off a shared cursor; narrow levels
-// run inline. Each cell's value and clean flag are written by exactly one
-// goroutine, and the WaitGroup barrier publishes them before any dependent
-// (necessarily in a later level) can read them.
-func (e *Engine) runLevel(nodes []schedNode, level []int32, workers int) {
-	if len(level) < minParallelLevel || workers <= 1 {
+// runLevel evaluates one level's cells. Wide levels fan out through the
+// injected LevelRunner (a serving layer's shared pool) or, when none is
+// configured, a per-level bounded goroutine fan-out; narrow levels run
+// inline. Each cell's value and clean flag are written by exactly one
+// goroutine, and the runner's completion barrier publishes them before any
+// dependent (necessarily in a later level) can read them.
+func (e *Engine) runLevel(nodes []schedNode, level []int32, run LevelRunner) {
+	if len(level) < minParallelLevel || e.parallelism <= 1 {
 		for _, i := range level {
 			e.evalLevelCell(&nodes[i])
 		}
 		return
 	}
+	if run != nil {
+		run(len(level), func(i int) { e.evalLevelCell(&nodes[level[i]]) })
+		return
+	}
+	e.spawnLevel(nodes, level)
+}
+
+// spawnLevel is the default runner for standalone engines (no serving layer
+// to own a pool): a per-level bounded goroutine fan-out pulling shard-sized
+// blocks off a shared cursor.
+func (e *Engine) spawnLevel(nodes []schedNode, level []int32) {
+	workers := e.parallelism
 	if workers > len(level)/levelGrab {
 		workers = max(len(level)/levelGrab, 2)
 	}
@@ -339,7 +441,8 @@ func (e *Engine) evalLevelCell(n *schedNode) {
 // next frontier; they evaluate normally and see the error values, so
 // propagation (and IFERROR-style rescue) downstream of a cycle matches the
 // serial path. drained is advanced by the number of cells resolved.
-func (e *Engine) resolveCycles(nodes []schedNode, drained *int) []int32 {
+func (e *Engine) resolveCycles(sch *schedule, drained *int) []int32 {
+	nodes := sch.nodes
 	stalled := func(i int32) bool { return nodes[i].c.dirty && !nodes[i].cyclic }
 
 	// Tarjan over the stalled subgraph. Iterative: a chain stuck behind a

@@ -132,6 +132,145 @@ func rangeScan(res Resolver, rng ref.Range, fn func(ref.Ref, Value) bool) (handl
 	return ok && rr.RangeValues(rng, fn)
 }
 
+// NumericFold is the result of a resolver-side batched fold over one range —
+// every accumulator the plain aggregate builtins need, computed in a single
+// pass over the backing storage without surfacing per-cell callbacks.
+//
+// Exactness contract (what lets the fold replace per-cell iteration
+// bit-for-bit): Sum is accumulated sequentially in row-major cell order —
+// never reassociated into independent partial sums — so it matches the
+// per-cell path on every input, including ones where float addition order
+// matters. Min and Max use strict comparisons seeded from ±Inf (the same
+// comparisons extremum runs per cell), so ties, signed zeros, and NaNs
+// resolve identically. Err carries the first error value in row-major order;
+// accumulation continues past it, because counting consumers ignore errors
+// while summing consumers propagate them.
+type NumericFold struct {
+	// Sum is the row-major sequential sum of the numeric cells.
+	Sum float64
+	// Count is the number of numeric cells; NonEmpty the number of non-blank
+	// cells (numbers, text, bools, and errors).
+	Count    int
+	NonEmpty int
+	// Min and Max are the numeric extrema, meaningful only when Count > 0
+	// (they seed at +Inf / -Inf).
+	Min, Max float64
+	// Err is the first error value in row-major order (zero Value when the
+	// range holds none).
+	Err Value
+}
+
+// RangeFolder is an optional RangeResolver extension: a resolver backed by
+// columnar storage can answer the plain aggregates (SUM, COUNT, COUNTA,
+// AVERAGE, MIN, MAX) with one batched fold over its slabs — no per-cell
+// callback, no interface dispatch per value — instead of streaming every
+// cell through RangeValues. handled=false means the resolver cannot fold
+// this range shape (e.g. a multi-column rectangle, whose row-major order
+// interleaves columns) and the caller must take the streaming path.
+type RangeFolder interface {
+	RangeResolver
+	FoldRange(rng ref.Range) (NumericFold, bool)
+}
+
+// foldAggregate answers the fold-compatible aggregate builtins from the
+// resolver's batched fold, when the argument shapes allow an exact answer.
+// SUM and AVERAGE accept only the single-range form — their float
+// accumulation is order-sensitive, and only there does the fold's row-major
+// sequential sum equal the per-cell path's. COUNT/COUNTA/MIN/MAX are
+// order-free, so every range argument folds and scalars mix in directly.
+// ok=false means "not foldable here" — the caller runs the generic path.
+func foldAggregate(t *Call, args []arg, res Resolver) (Value, bool) {
+	rf, isFolder := res.(RangeFolder)
+	if !isFolder {
+		return Value{}, false
+	}
+	switch t.Name {
+	case "SUM", "AVERAGE", "AVG":
+		if len(args) != 1 || !args[0].isRange {
+			return Value{}, false
+		}
+		f, ok := rf.FoldRange(args[0].rng)
+		if !ok {
+			return Value{}, false
+		}
+		if f.Err.IsError() {
+			return f.Err, true
+		}
+		if t.Name == "SUM" {
+			return Num(f.Sum), true
+		}
+		if f.Count == 0 {
+			return Errorf("#DIV/0!"), true
+		}
+		return Num(f.Sum / float64(f.Count)), true
+	case "COUNT", "COUNTA":
+		// Errors inside ranges are not propagated by the counting builtins —
+		// they are merely non-numeric, non-blank cells — so the fold's Err is
+		// deliberately ignored, exactly like the per-cell scan.
+		n := 0
+		for _, a := range args {
+			if !a.isRange {
+				if t.Name == "COUNT" && a.scalar.Kind == KindNumber ||
+					t.Name == "COUNTA" && a.scalar.Kind != KindEmpty {
+					n++
+				}
+				continue
+			}
+			f, ok := rf.FoldRange(a.rng)
+			if !ok {
+				return Value{}, false
+			}
+			if t.Name == "COUNT" {
+				n += f.Count
+			} else {
+				n += f.NonEmpty
+			}
+		}
+		return Num(float64(n)), true
+	case "MIN", "MAX":
+		wantMin := t.Name == "MIN"
+		best := math.Inf(1)
+		if !wantMin {
+			best = math.Inf(-1)
+		}
+		n := 0
+		for _, a := range args {
+			if !a.isRange {
+				v, ok := a.scalar.AsNumber()
+				if !ok {
+					return Errorf("#VALUE!"), true
+				}
+				n++
+				if wantMin && v < best || !wantMin && v > best {
+					best = v
+				}
+				continue
+			}
+			f, ok := rf.FoldRange(a.rng)
+			if !ok {
+				return Value{}, false
+			}
+			if f.Err.IsError() {
+				return f.Err, true
+			}
+			n += f.Count
+			if f.Count > 0 {
+				if wantMin && f.Min < best {
+					best = f.Min
+				}
+				if !wantMin && f.Max > best {
+					best = f.Max
+				}
+			}
+		}
+		if n == 0 {
+			return Num(0), true
+		}
+		return Num(best), true
+	}
+	return Value{}, false
+}
+
 // Eval evaluates the AST against the resolver, returning the cell's value.
 // Errors propagate as #-style error values rather than Go errors, matching
 // spreadsheet semantics.
@@ -304,6 +443,12 @@ func evalCall(t *Call, res Resolver) Value {
 				return args[i].scalar
 			}
 		}
+	}
+	// Fold-compatible aggregates first: one batched pass over the columnar
+	// slabs when the resolver supports it, bit-identical to the streaming
+	// path below (which remains the fallback for unfoldable shapes).
+	if v, ok := foldAggregate(t, args, res); ok {
+		return v
 	}
 	switch t.Name {
 	case "SUM":

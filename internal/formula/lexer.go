@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"taco/internal/ref"
 )
 
 // tokenKind identifies a lexical token class.
@@ -197,8 +199,11 @@ func (lx *lexer) lexWord() (token, error) {
 
 	if digits != "" && len(letters) <= 3 {
 		col := colIndex(letters)
-		row, _ := strconv.Atoi(digits)
-		if col > 0 && row > 0 {
+		// Atoi's overflow error matters: it clamps to MaxInt64, and a
+		// near-MaxInt coordinate would wrap range iteration downstream.
+		// Out-of-bound rows fall through to identifier handling.
+		row, rowErr := strconv.Atoi(digits)
+		if rowErr == nil && col > 0 && row > 0 && row <= ref.MaxA1Row {
 			// Peek: if the next non-space char is '(', this is a function
 			// call like LOG10( — treat as identifier instead.
 			p := lx.pos

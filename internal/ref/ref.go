@@ -267,6 +267,16 @@ func (a Axis) String() string {
 // ErrBadA1 is returned by ParseA1/ParseRangeA1 for malformed notation.
 var ErrBadA1 = errors.New("ref: malformed A1 notation")
 
+// MaxA1Row and MaxA1Col bound parseable references. Spreadsheets bound both
+// axes (far below these), and the caps keep the cell space overflow-safe:
+// the digit and letter accumulation loops below would otherwise wrap on
+// adversarial inputs like a 600-digit row number, producing coordinates
+// near MaxInt64 whose range iteration never terminates.
+const (
+	MaxA1Row = 1 << 30
+	MaxA1Col = 1 << 20
+)
+
 // FormatA1 renders a cell reference in A1 notation (e.g. {1,1} -> "A1",
 // {28,12} -> "AB12").
 func FormatA1(r Ref) string {
@@ -303,6 +313,9 @@ func ColIndex(name string) int {
 			return 0
 		}
 		col = col*26 + int(c-'A'+1)
+		if col > MaxA1Col {
+			return 0
+		}
 	}
 	return col
 }
@@ -343,6 +356,9 @@ func ParseA1Flags(s string) (r Ref, colFixed, rowFixed bool, err error) {
 	row := 0
 	for j < len(s) && s[j] >= '0' && s[j] <= '9' {
 		row = row*10 + int(s[j]-'0')
+		if row > MaxA1Row {
+			return Ref{}, false, false, fmt.Errorf("%w: %q", ErrBadA1, s)
+		}
 		j++
 	}
 	if j == i || j != len(s) || row == 0 {

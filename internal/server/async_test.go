@@ -85,8 +85,16 @@ func TestReadsCompleteDuringLargeDrain(t *testing.T) {
 	tc.do("POST", "/sessions", CreateRequest{Name: "drain"}, &info)
 	// Populate the summed column densely: the columnar bulk resolver skips
 	// unpopulated cells, so a sparse column would make each SUM near-free
-	// and the drain too fast for reads to ever overlap it.
+	// and the drain too fast for reads to ever overlap it. SUMSQ rather than
+	// SUM for the same reason: SUM folds off the slabs in one batched pass
+	// now, which again made the whole drain finish before a read could land.
 	batch := wideBatch(n, span)
+	sumsq := fmt.Sprintf("SUMSQ($A$1:$A$%d)*2", span)
+	for i := range batch.Edits {
+		if batch.Edits[i].Formula != nil {
+			batch.Edits[i].Formula = &sumsq
+		}
+	}
 	for row := 2; row <= span; row++ {
 		batch.Edits = append(batch.Edits, EditOp{Cell: ref.FormatA1(ref.Ref{Col: 1, Row: row}), Value: num(float64(row))})
 	}

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"taco/internal/engine"
+	"taco/internal/formula"
+	"taco/internal/nocomp"
+	"taco/internal/ref"
+)
+
+// buildFanoutSheet populates a two-tier sheet: ten inputs in column A
+// fanning out to six 60-cell formula columns, reconverging into a 60-cell
+// SUM tier — wide enough for real wavefront levels, deep enough that a
+// drain spans several bounded holds.
+func buildFanoutSheet(t testing.TB, eng *engine.Engine) {
+	t.Helper()
+	for r := 1; r <= 10; r++ {
+		eng.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)))
+	}
+	for col := 3; col <= 8; col++ {
+		for r := 1; r <= 60; r++ {
+			src := fmt.Sprintf("SUM(A$1:A$10)*%d+%d", col, r)
+			if _, err := eng.SetFormula(ref.Ref{Col: col, Row: r}, src); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for r := 1; r <= 60; r++ {
+		if _, err := eng.SetFormula(ref.Ref{Col: 10, Row: r}, fmt.Sprintf("SUM(C%d:H%d)", r, r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RecalculateAll()
+}
+
+// drainBackends names the two graph backends the schedule-invalidation
+// stress must hold on: the compressed TACO graph (one-hop precedents off
+// compressed edges) and the NoComp mirror.
+var drainBackends = map[string]func() engine.Graph{
+	"taco":   func() engine.Graph { return nil }, // engine.New defaults to TACO
+	"nocomp": func() engine.Graph { return engine.NoComp{G: nocomp.NewGraph()} },
+}
+
+// TestEditDuringDrainConverges is the edit-during-drain invalidation proof,
+// run under -race in CI: a single writer keeps mutating input cells while
+// the background workers drain the resulting wavefronts in short lock holds
+// (each edit landing mid-drain invalidates and rebuilds the remaining
+// schedule), and concurrent readers hammer the shared-lock read paths the
+// whole time. After the final barrier, every cell must be byte-identical to
+// a serial engine that applied the same edit sequence — on both graph
+// backends.
+func TestEditDuringDrainConverges(t *testing.T) {
+	for name, mkGraph := range drainBackends {
+		t.Run(name, func(t *testing.T) {
+			iters := 30
+			if testing.Short() {
+				iters = 8
+			}
+			store, err := NewStore(StoreOptions{
+				Shards: 2, RecalcWorkers: 2, RecalcChunk: 16, RecalcParallelism: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer store.Close()
+			eng := engine.New(mkGraph())
+			buildFanoutSheet(t, eng)
+			id := store.Create("drain", eng).ID
+
+			// The deterministic edit script a serial reference replays.
+			type edit struct {
+				at ref.Ref
+				v  float64
+			}
+			var script []edit
+			for i := 0; i < iters; i++ {
+				script = append(script, edit{ref.Ref{Col: 1, Row: 1 + i%10}, float64(i*13 + 7)})
+			}
+
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // the single writer: edits land between drain holds
+				defer wg.Done()
+				for _, ed := range script {
+					err := store.Update(id, true, func(_ *Session, e *engine.Engine) error {
+						e.SetValue(ed.at, formula.Num(ed.v))
+						return nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+			for w := 0; w < 3; w++ { // readers interleave with the drains
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < iters*4; i++ {
+						err := store.View(id, func(_ *Session, e *engine.Engine) error {
+							switch i % 3 {
+							case 0:
+								e.Peek(ref.Ref{Col: 10, Row: 1 + (i+w)%60})
+							case 1:
+								e.ScanRange(ref.MustRange("C1:J60"), func(ref.Ref, formula.Value, string, bool) bool {
+									return true
+								})
+							default:
+								e.Dependents(ref.CellRange(ref.Ref{Col: 1, Row: 1 + (i+w)%10}))
+							}
+							return nil
+						})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if err := store.Wait(id); err != nil {
+				t.Fatal(err)
+			}
+
+			// Serial reference: same backend, same script, drained serially.
+			want := engine.New(mkGraph())
+			buildFanoutSheet(t, want)
+			for _, ed := range script {
+				want.SetValue(ed.at, formula.Num(ed.v))
+			}
+			want.RecalculateAll()
+			err = store.View(id, func(_ *Session, e *engine.Engine) error {
+				all := ref.MustRange("A1:J60")
+				want.ScanRange(all, func(at ref.Ref, v formula.Value, _ string, _ bool) bool {
+					if got := e.Value(at); got != v {
+						t.Errorf("%v: store=%v serial=%v", at, got, v)
+					}
+					return true
+				})
+				e.ScanRange(all, func(at ref.Ref, v formula.Value, _ string, clean bool) bool {
+					if !clean {
+						t.Errorf("%v still dirty after barrier", at)
+					}
+					return true
+				})
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDrainGoroutinesBounded pins the shared-pool contract: however many
+// sessions have pending recalculation, the store never spawns drain
+// goroutines beyond its fixed complement (drain workers + eval pool) — the
+// per-drain goroutine fan-out is gone.
+func TestDrainGoroutinesBounded(t *testing.T) {
+	store, err := NewStore(StoreOptions{
+		Shards: 2, RecalcWorkers: 2, RecalcChunk: 32, RecalcParallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if ps := store.Stats().EvalPoolWorkers; ps != (4-1)*2 {
+		t.Fatalf("pool sized %d, want %d", ps, (4-1)*2)
+	}
+	var ids []string
+	for i := 0; i < 10; i++ {
+		eng := engine.New(nil)
+		buildFanoutSheet(t, eng)
+		ids = append(ids, store.Create(fmt.Sprintf("s%d", i), eng).ID)
+	}
+	baseline := runtime.NumGoroutine()
+	for _, id := range ids { // dirty every session's whole fanout at once
+		err := store.Update(id, true, func(_ *Session, e *engine.Engine) error {
+			e.SetValue(ref.Ref{Col: 1, Row: 1}, formula.Num(99))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	peak := baseline
+	for i := 0; i < 400; i++ {
+		if n := runtime.NumGoroutine(); n > peak {
+			peak = n
+		}
+		settled := true
+		for _, id := range ids {
+			s, err := store.Peek(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Pending() > 0 {
+				settled = false
+				break
+			}
+		}
+		if settled && i > 10 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Everything above the pre-dirty baseline would be drain-spawned; allow
+	// a little slack for runtime/test housekeeping goroutines.
+	if peak > baseline+5 {
+		t.Fatalf("goroutines peaked at %d with baseline %d: drains are spawning beyond the pool", peak, baseline)
+	}
+	for _, id := range ids {
+		if err := store.Wait(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWaitTerminatesUnderWritePressure pins the barrier's liveness: Wait
+// releases the session lock between chunks (readers interleave), but a
+// writer re-dirtying the sheet in those gaps must not be able to starve it
+// — once the entry backlog's budget is spent, Wait finishes the drain under
+// one uninterrupted hold and returns.
+func TestWaitTerminatesUnderWritePressure(t *testing.T) {
+	store, err := NewStore(StoreOptions{RecalcWorkers: -1, RecalcChunk: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	eng := engine.New(nil)
+	buildFanoutSheet(t, eng)
+	id := store.Create("pressure", eng).ID
+	if err := store.Update(id, true, func(_ *Session, e *engine.Engine) error {
+		e.SetValue(ref.Ref{Col: 1, Row: 1}, formula.Num(1))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // re-dirties the whole fanout in every between-hold gap
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			err := store.Update(id, true, func(_ *Session, e *engine.Engine) error {
+				e.SetValue(ref.Ref{Col: 1, Row: 1 + i%10}, formula.Num(float64(i)))
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	done := make(chan error, 1)
+	go func() { done <- store.Wait(id) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Wait starved by a concurrent writer")
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestBulkBatchKeepsRecalcConfig: the bulk edit path rebuilds the engine
+// around a fresh graph, which used to reset its recalc configuration to
+// zero values — the session then silently drained serially, off the shared
+// pool. The store's policy must survive the rebuild.
+func TestBulkBatchKeepsRecalcConfig(t *testing.T) {
+	srv, tc := newTestServer(t, Options{Store: StoreOptions{RecalcParallelism: 4}})
+	var info SessionInfo
+	tc.do("POST", "/sessions", CreateRequest{Name: "bulk"}, &info)
+	var res EditResult
+	tc.do("POST", "/sessions/"+info.ID+"/edits", wideBatch(100, 5), &res)
+	if !res.Bulk {
+		t.Fatalf("batch did not take the bulk path: %+v", res)
+	}
+	err := srv.Store().View(info.ID, func(_ *Session, eng *engine.Engine) error {
+		if got := eng.RecalcParallelism(); got != 4 {
+			t.Fatalf("bulk rebuild dropped RecalcParallelism: %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsExposeScheduler: the store stats report the drain queue and pool
+// shape, and session stats carry the engine's scheduler snapshot.
+func TestStatsExposeScheduler(t *testing.T) {
+	store, err := NewStore(StoreOptions{RecalcWorkers: -1, RecalcParallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	eng := engine.New(nil)
+	buildFanoutSheet(t, eng)
+	sess := store.Create("stats", eng)
+	err = store.Update(sess.ID, true, func(_ *Session, e *engine.Engine) error {
+		e.SetValue(ref.Ref{Col: 1, Row: 2}, formula.Num(17))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := sessionInfo(sess)
+	if info.Recalc == nil || info.Recalc.Pending == 0 {
+		t.Fatalf("session stats carry no pending scheduler state: %+v", info.Recalc)
+	}
+	st := store.Stats()
+	if st.EvalPoolWorkers != 3 { // (4-1) * max(-1 workers -> 1)
+		t.Fatalf("eval_pool_workers = %d, want 3", st.EvalPoolWorkers)
+	}
+	if st.DrainsInFlight != 0 {
+		t.Fatalf("drains_in_flight = %d with workers disabled", st.DrainsInFlight)
+	}
+	if err := store.Wait(sess.ID); err != nil {
+		t.Fatal(err)
+	}
+	info = sessionInfo(sess)
+	if info.Recalc == nil || info.Recalc.Pending != 0 {
+		t.Fatalf("settled session still reports pending: %+v", info.Recalc)
+	}
+	if info.Recalc.LevelsDrained == 0 || info.Recalc.ScheduleBuilds == 0 {
+		t.Fatalf("drain left no scheduler trace: %+v", info.Recalc)
+	}
+}

@@ -116,6 +116,10 @@ type SessionInfo struct {
 	Graph    *core.Stats `json:"graph,omitempty"`
 	// CellStore describes the columnar cell storage backing range reads.
 	CellStore *engine.CellStoreStats `json:"cell_store,omitempty"`
+	// Recalc describes the recalculation scheduler: the dirty backlog, the
+	// live resumable schedule (if a budgeted drain is mid-flight), and the
+	// cumulative level/build counters.
+	Recalc *engine.RecalcStats `json:"recalc,omitempty"`
 }
 
 // EditOp is one operation of a batch. Exactly one of Value, Text, Formula,
@@ -327,6 +331,8 @@ func sessionInfo(sess *Session) SessionInfo {
 		}
 		cs := sess.eng.CellStats()
 		info.CellStore = &cs
+		rs := sess.eng.RecalcStats()
+		info.Recalc = &rs
 	}
 	return info
 }
@@ -389,8 +395,12 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		if bulk {
 			// The bulk path rebuilt the engine around a fresh graph; the
 			// cached graph-section blob (keyed by the old instance's
-			// generation counter) no longer describes it.
+			// generation counter) no longer describes it. The rebuild also
+			// reset the engine's recalc configuration (parallelism, shared
+			// level runner) to zero values — re-apply the store's policy or
+			// this session would silently drain serially from here on.
 			sess.graphBlob = nil
+			s.store.configureEngine(eng)
 		}
 		res = EditResult{
 			Rev: sess.rev + 1, Applied: applied, DirtyCells: dirty,

@@ -52,19 +52,31 @@ type StoreOptions struct {
 	// Wait/flush barriers and on spill (useful for deterministic tests).
 	RecalcWorkers int
 	// RecalcChunk bounds the evaluations started per session-lock hold while
-	// a worker drains serially (default 256), so readers interleave with a
-	// large recalculation instead of stalling behind it. Wavefront drains
-	// use the same knob scaled by parallelChunkFactor — coarser holds, so
-	// per-chunk schedule rebuilding stays amortised.
+	// a worker drains (default 256), so readers interleave with a large
+	// recalculation instead of stalling behind it. The engine's resumable
+	// wavefront schedule survives across holds — levelling runs once per
+	// dirty generation however small the chunk — so the bound applies
+	// uniformly to serial and parallel drains: a wavefront hold covers at
+	// most one (possibly truncated) level's worth of this many evaluations,
+	// and a reader arriving mid-drain waits for at most that.
 	RecalcChunk int
-	// RecalcParallelism bounds the wavefront workers evaluating one
-	// session's dirty set concurrently (engine.SetRecalcParallelism). With
-	// it set above 1, drain workers hand coarse chunks to the parallel
-	// scheduler, which evaluates independent cells level by level — recalc
-	// latency drops by roughly the worker count on wide dirty sets, at the
-	// cost of coarser session-lock holds. 0 means one worker per available
-	// CPU (capped at 8); -1 (or 1) keeps recalculation serial.
+	// RecalcParallelism bounds the wavefront evaluators working one
+	// session's level concurrently (engine.SetRecalcParallelism). With it
+	// set above 1, levels are executed on the store's shared evaluation
+	// pool — recalc latency drops by roughly the worker count on wide dirty
+	// sets. 0 means one worker per available CPU (capped at 8); -1 (or 1)
+	// keeps recalculation serial.
 	RecalcParallelism int
+	// RecalcPoolSize sets the store-owned shared evaluation pool: the one
+	// bounded set of goroutines that executes every session's wavefront
+	// levels, whatever the session count — drain concurrency is a
+	// configuration constant, not sessions × workers. 0 sizes it
+	// automatically at (RecalcParallelism-1) × max(RecalcWorkers, 1), so a
+	// drain worker plus its pool helpers together never exceed
+	// RecalcParallelism evaluators per level; -1 disables the shared pool
+	// (engines then fan each wide level out on transient goroutines of
+	// their own, the pre-pool behaviour).
+	RecalcPoolSize int
 	// NoGraphPin disables keeping a spilled session's compressed formula
 	// graph in memory. Pinning (the default) trades a small per-session
 	// footprint — the graph is the compact part, which is the paper's thesis
@@ -91,6 +103,12 @@ func (o StoreOptions) withDefaults() StoreOptions {
 	}
 	if o.RecalcParallelism < 0 {
 		o.RecalcParallelism = 1
+	}
+	if o.RecalcPoolSize == 0 {
+		o.RecalcPoolSize = (o.RecalcParallelism - 1) * max(o.RecalcWorkers, 1)
+	}
+	if o.RecalcPoolSize < 0 || o.RecalcParallelism <= 1 {
+		o.RecalcPoolSize = 0
 	}
 	return o
 }
@@ -182,9 +200,12 @@ type Store struct {
 
 	// recalc is the store-owned background recalculation queue: sessions
 	// with pending dirty cells, drained by the worker pool in bounded
-	// chunks. Lock order: rq.mu is leaf-only on the enqueue side (callers
-	// may hold a session lock); workers never hold rq.mu while taking a
-	// session lock.
+	// chunks. The queue is FIFO and a session goes to the tail after every
+	// bounded hold, so drain capacity round-robins fairly across sessions —
+	// one giant recalculation shares the workers with everyone else instead
+	// of monopolising them. Lock order: rq.mu is leaf-only on the enqueue
+	// side (callers may hold a session lock); workers never hold rq.mu
+	// while taking a session lock.
 	rq struct {
 		mu     sync.Mutex
 		cond   *sync.Cond
@@ -192,6 +213,14 @@ type Store struct {
 		closed bool
 	}
 	wg sync.WaitGroup
+	// pool is the shared wavefront evaluation pool (nil when serial or
+	// disabled): every hosted engine executes its wide levels here, so
+	// total drain goroutines are fixed by configuration regardless of how
+	// many sessions have pending work.
+	pool *evalPool
+	// drainsInFlight counts drainChunk turns currently holding a session —
+	// the live occupancy of the drain workers, surfaced in Stats.
+	drainsInFlight atomic.Int64
 
 	clock      atomic.Uint64
 	hits       atomic.Uint64
@@ -220,6 +249,9 @@ func NewStore(opts StoreOptions) (*Store, error) {
 		st.shards[i] = &shard{sessions: make(map[string]*Session), lru: list.New()}
 	}
 	st.rq.cond = sync.NewCond(&st.rq.mu)
+	if opts.RecalcPoolSize > 0 {
+		st.pool = newEvalPool(opts.RecalcPoolSize)
+	}
 	if opts.RecalcWorkers > 0 {
 		st.wg.Add(opts.RecalcWorkers)
 		for i := 0; i < opts.RecalcWorkers; i++ {
@@ -229,17 +261,34 @@ func NewStore(opts StoreOptions) (*Store, error) {
 	return st, nil
 }
 
-// Close stops the background recalculation workers and waits for them to
-// exit. Undrained sessions simply keep their dirty sets; the spill path
-// drains before writing, so no state is lost.
+// configureEngine applies the store's recalculation policy to a hosted
+// engine: the per-level worker bound, and the shared pool as its level
+// executor so drains never spawn goroutines of their own. Called at Create
+// and at every restore (the engine is rebuilt from the snapshot).
+func (st *Store) configureEngine(eng *engine.Engine) {
+	eng.SetRecalcParallelism(st.opts.RecalcParallelism)
+	if st.pool != nil {
+		eng.SetLevelRunner(st.pool.run)
+	}
+}
+
+// Close stops the background recalculation workers and the shared
+// evaluation pool, waiting for both to exit. Undrained sessions simply keep
+// their dirty sets; the spill path drains before writing, so no state is
+// lost. Inline drains after Close (Wait barriers, spills) still complete:
+// the pool's run contract never depends on pool evaluators for progress.
 func (st *Store) Close() {
 	st.rq.mu.Lock()
-	if !st.rq.closed {
+	closed := st.rq.closed
+	if !closed {
 		st.rq.closed = true
 		st.rq.cond.Broadcast()
 	}
 	st.rq.mu.Unlock()
 	st.wg.Wait()
+	if st.pool != nil && !closed {
+		st.pool.close()
+	}
 }
 
 // enqueueRecalc registers a session for background draining. Safe to call
@@ -273,24 +322,132 @@ func (st *Store) recalcWorker() {
 	}
 }
 
-// parallelChunkFactor scales RecalcChunk for wavefront drains: the
-// scheduler re-levels the remaining dirty set on every call, so parallel
-// chunks are coarse (default 256*16 = 4096 evaluations per lock hold) —
-// large enough that re-leveling stays a small fraction of the drain, small
-// enough that readers still interleave with a giant recalculation instead
-// of blocking for its full duration (a deep-chain dirty set parallelises
-// not at all, and would otherwise turn the old 256-evaluation holds into
-// one monolithic one).
-const parallelChunkFactor = 16
+// evalGrab is the number of level cells an evaluator claims per fetch from
+// a level task's shared cursor — the pool-side mirror of the engine's
+// per-level sharding granularity.
+const evalGrab = 32
 
-// drainChunk recalculates one bounded chunk of a session's dirty cells and
-// re-queues the session if work remains. With wavefront recalculation
-// enabled (RecalcParallelism > 1) the chunk is handed to the parallel
-// scheduler, which spreads it across its worker pool — the session-lock
-// hold shrinks by roughly the worker count on wide dirty sets — at a
-// coarser bound (see parallelChunkFactor) so per-chunk re-leveling stays
-// amortised. Serial drains keep the original fine-grained chunking.
+// levelTask is one wavefront level submitted to the shared pool: a bag of
+// independent evaluations drained cooperatively by the submitting drain
+// worker and any pool evaluators that pick the task up. The cursor hands
+// out disjoint shards (each eval(i) runs exactly once); fin closes when the
+// last shard completes.
+type levelTask struct {
+	n      int
+	eval   func(int)
+	cursor atomic.Int64
+	done   atomic.Int64
+	fin    chan struct{}
+}
+
+// work drains shards until the cursor is exhausted. Safe to call from any
+// number of goroutines; a call against an already-finished task returns
+// immediately (stale queue entries are harmless).
+func (t *levelTask) work() {
+	for {
+		lo := t.cursor.Add(evalGrab) - evalGrab
+		if lo >= int64(t.n) {
+			return
+		}
+		hi := min(lo+evalGrab, int64(t.n))
+		for i := lo; i < hi; i++ {
+			t.eval(int(i))
+		}
+		if t.done.Add(hi-lo) == int64(t.n) {
+			close(t.fin)
+		}
+	}
+}
+
+// evalPool is the store-owned shared evaluation pool: one bounded set of
+// goroutines executing every session's wavefront levels. Before it, each
+// drain fanned its levels out on goroutines of its own, so a server with
+// many concurrently draining sessions oversubscribed its cores by
+// sessions × parallelism; now drain concurrency is a configuration constant
+// (the drain workers plus this pool) however many sessions are dirty.
+// Tasks from different sessions interleave on the FIFO task channel, so
+// pool capacity is shared fairly rather than captured by whichever drain
+// got there first.
+type evalPool struct {
+	tasks chan *levelTask
+	quit  chan struct{}
+	size  int
+	wg    sync.WaitGroup
+}
+
+func newEvalPool(size int) *evalPool {
+	p := &evalPool{
+		tasks: make(chan *levelTask, 2*size),
+		quit:  make(chan struct{}),
+		size:  size,
+	}
+	p.wg.Add(size)
+	for i := 0; i < size; i++ {
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case t := <-p.tasks:
+					t.work()
+				case <-p.quit:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// run implements engine.LevelRunner on the shared pool. The caller (a drain
+// worker holding its session's write lock) always participates — progress
+// never depends on pool availability — and helpers are invited with
+// non-blocking sends: a saturated pool just means the caller evaluates more
+// of its own level. Returns when every evaluation has completed.
+func (p *evalPool) run(n int, eval func(int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || n <= evalGrab {
+		for i := 0; i < n; i++ {
+			eval(i)
+		}
+		return
+	}
+	t := &levelTask{n: n, eval: eval, fin: make(chan struct{})}
+	invites := min(p.size, (n-1)/evalGrab)
+invite:
+	for i := 0; i < invites; i++ {
+		select {
+		case p.tasks <- t:
+		default:
+			break invite // saturated: the caller picks up the slack
+		}
+	}
+	t.work()
+	<-t.fin
+}
+
+// close stops the pool's evaluators. In-flight tasks complete via their
+// submitting caller (run never depends on the pool for progress), so close
+// needs no drain handshake.
+func (p *evalPool) close() {
+	close(p.quit)
+	p.wg.Wait()
+}
+
+// drainChunk recalculates one bounded chunk of a session's dirty cells
+// under one short session-lock hold and re-queues the session at the tail
+// if work remains. The engine's resumable wavefront schedule persists
+// across holds — levelling runs once per dirty generation, not once per
+// chunk — so the hold can stay fine-grained (RecalcChunk evaluations, at
+// most one truncated level) without re-levelling overhead: readers take
+// the lock between every hold, and an edit landing between holds simply
+// starts a new dirty generation whose first hold rebuilds the remaining
+// schedule. Wide levels are executed on the store's shared pool via the
+// LevelRunner injected at Create/restore.
 func (st *Store) drainChunk(s *Session) {
+	st.drainsInFlight.Add(1)
+	defer st.drainsInFlight.Add(-1)
 	s.mu.Lock()
 	if s.deleted || s.eng == nil {
 		// Deleted, or spilled before the worker got here — the spill path
@@ -299,11 +456,7 @@ func (st *Store) drainChunk(s *Session) {
 		s.mu.Unlock()
 		return
 	}
-	if st.opts.RecalcParallelism > 1 {
-		s.eng.RecalculateN(st.opts.RecalcChunk * parallelChunkFactor)
-	} else {
-		s.eng.RecalculateN(st.opts.RecalcChunk)
-	}
+	s.eng.RecalculateN(st.opts.RecalcChunk)
 	s.pending = s.eng.Pending()
 	more := s.pending > 0
 	s.mu.Unlock()
@@ -315,8 +468,10 @@ func (st *Store) drainChunk(s *Session) {
 }
 
 // Wait is the read-your-writes barrier: it blocks until the session has no
-// pending recalculation, draining inline under the session write lock (a
-// waiter steals the work instead of sleeping on the background pool). A
+// pending recalculation, draining inline in bounded holds under the session
+// write lock (a waiter steals the work instead of sleeping on the
+// background pool, but still releases the lock between chunks so readers
+// interleave with the barrier exactly as they do with background drains). A
 // spilled or already-clean session is a no-op — the spill path drains
 // before writing, so non-residency implies drained — which keeps barriers
 // from faulting cold sessions back in and evicting warm ones.
@@ -328,6 +483,7 @@ func (st *Store) Wait(id string) error {
 	s.mu.RLock()
 	deleted := s.deleted
 	settled := s.eng == nil || s.pending == 0
+	pending0 := s.pending
 	s.mu.RUnlock()
 	if deleted {
 		return ErrSessionDeleted
@@ -335,10 +491,35 @@ func (st *Store) Wait(id string) error {
 	if settled {
 		return nil
 	}
-	return st.Update(id, false, func(s *Session, eng *engine.Engine) error {
-		eng.RecalculateAll()
-		return nil
-	})
+	// Chunked holds are bounded by the work observed at entry (plus slack):
+	// a concurrent editor re-dirtying the sheet between holds could
+	// otherwise outpace the chunks and starve the barrier forever. Once the
+	// budget is spent, the final hold drains to completion without
+	// releasing the lock — the pre-chunking behaviour, and a guaranteed
+	// terminating one, since it blocks the editor it was racing.
+	budget := pending0 + 8*st.opts.RecalcChunk
+	drained := 0
+	for {
+		s.mu.Lock()
+		if s.deleted {
+			s.mu.Unlock()
+			return ErrSessionDeleted
+		}
+		if s.eng == nil || s.eng.Pending() == 0 {
+			s.pending = 0
+			s.mu.Unlock()
+			return nil
+		}
+		if drained >= budget {
+			s.eng.RecalculateAll()
+			s.pending = s.eng.Pending()
+			s.mu.Unlock()
+			return nil
+		}
+		drained += s.eng.RecalculateN(st.opts.RecalcChunk)
+		s.pending = s.eng.Pending()
+		s.mu.Unlock()
+	}
 }
 
 func (st *Store) shardFor(id string) *shard {
@@ -359,7 +540,7 @@ func newSessionID() string {
 // insertion may push the store over MaxResident, in which case the coldest
 // sessions are spilled before Create returns.
 func (st *Store) Create(name string, eng *engine.Engine) *Session {
-	eng.SetRecalcParallelism(st.opts.RecalcParallelism)
+	st.configureEngine(eng)
 	s := &Session{ID: newSessionID(), Name: name, eng: eng}
 	s.tick.Store(st.clock.Add(1))
 	sh := st.shardFor(s.ID)
@@ -558,7 +739,7 @@ func (st *Store) withResident(s *Session, fn func(*engine.Engine) error) error {
 			s.mu.Unlock()
 			return fmt.Errorf("server: restore session %s: %w", s.ID, err)
 		}
-		eng.SetRecalcParallelism(st.opts.RecalcParallelism)
+		st.configureEngine(eng)
 		s.eng = eng
 		s.graph = nil // live again; the engine owns it now
 		// The file we just read holds exactly this state; until the next
@@ -831,6 +1012,16 @@ type StoreStats struct {
 	// SpillReads counts reads served directly from spill files without
 	// faulting the session back to residency.
 	SpillReads uint64 `json:"spill_reads"`
+	// RecalcQueue is the number of sessions currently queued for a drain
+	// worker — the recalculation backlog's breadth.
+	RecalcQueue int `json:"recalc_queue"`
+	// DrainsInFlight is the number of drain turns holding a session right
+	// now (bounded by RecalcWorkers).
+	DrainsInFlight int `json:"drains_in_flight"`
+	// EvalPoolWorkers is the size of the shared wavefront evaluation pool
+	// (0 = serial or pool disabled). Together with RecalcWorkers it is the
+	// store's total drain-goroutine bound, independent of session count.
+	EvalPoolWorkers int `json:"eval_pool_workers"`
 }
 
 // Stats summarises the store.
@@ -843,17 +1034,27 @@ func (st *Store) Stats() StoreStats {
 		resident += sh.resident
 		sh.mu.Unlock()
 	}
+	st.rq.mu.Lock()
+	queued := len(st.rq.queue)
+	st.rq.mu.Unlock()
+	poolWorkers := 0
+	if st.pool != nil {
+		poolWorkers = st.pool.size
+	}
 	return StoreStats{
-		Sessions:   total,
-		Resident:   resident,
-		Spilled:    total - resident,
-		Shards:     len(st.shards),
-		Hits:       st.hits.Load(),
-		Misses:     st.misses.Load(),
-		Evictions:  st.evictions.Load(),
-		Restores:   st.restores.Load(),
-		Recalcs:    st.recalcs.Load(),
-		SnapSkips:  st.snapSkips.Load(),
-		SpillReads: st.spillReads.Load(),
+		Sessions:        total,
+		Resident:        resident,
+		Spilled:         total - resident,
+		Shards:          len(st.shards),
+		Hits:            st.hits.Load(),
+		Misses:          st.misses.Load(),
+		Evictions:       st.evictions.Load(),
+		Restores:        st.restores.Load(),
+		Recalcs:         st.recalcs.Load(),
+		SnapSkips:       st.snapSkips.Load(),
+		SpillReads:      st.spillReads.Load(),
+		RecalcQueue:     queued,
+		DrainsInFlight:  int(st.drainsInFlight.Load()),
+		EvalPoolWorkers: poolWorkers,
 	}
 }
