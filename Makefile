@@ -27,8 +27,10 @@ race:
 # Refresh the serving perf baseline. Includes the drain probe (mixed read +
 # giant-drain scenario): read_p50_during_drain_ms and drain_cells_per_sec
 # land in the report and are gated by benchdiff alongside edits/s.
+# -metrics-url adds server_metrics (drain-hold percentiles, spill traffic,
+# parse-cache hit rate) to the report; benchdiff ignores unknown fields.
 bench-server:
-	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -json > BENCH_server.json
+	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -metrics-url /metrics -json > BENCH_server.json
 	@cat BENCH_server.json
 
 # Core traversal/maintenance microbenchmarks. CI smoke-runs every benchmark
@@ -56,7 +58,7 @@ fuzz-smoke:
 # 2x, or a wavefront recalc speedup under the baseline's per-shape floor
 # (1.5x on wide fanout; enforced only on hosts with >= 4 CPUs).
 perf-check:
-	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -json > /tmp/taco_bench_server.json
+	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -metrics-url /metrics -json > /tmp/taco_bench_server.json
 	$(GO) run ./cmd/benchdiff -tol 0.25 BENCH_server.json /tmp/taco_bench_server.json
 	$(GO) run ./cmd/tacoeval -json > /tmp/taco_bench_eval.json
 	$(GO) run ./cmd/benchdiff -tol 0.25 -min-speedup 2.0 BENCH_eval.json /tmp/taco_bench_eval.json

@@ -1,0 +1,74 @@
+// Command metriclint validates a Prometheus text-format exposition page: it
+// parses the page, checks the format invariants (HELP/TYPE present, known
+// types, histogram bucket shape), and optionally enforces a minimum family
+// count. CI curls tacoserve's /metrics into a file and runs this over it, so
+// a change that breaks the exposition — a malformed label, a histogram
+// missing its +Inf bucket, a family losing its HELP — fails the build
+// instead of silently breaking scrapers.
+//
+// Usage:
+//
+//	metriclint [-min-families N] [file]
+//
+// Reads the named file, or stdin when no file is given. Exits 0 when the
+// page is valid, 1 with one line per violation otherwise.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"taco/internal/telemetry"
+)
+
+func main() {
+	minFamilies := flag.Int("min-families", 0, "fail unless the page exposes at least this many metric families")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "metriclint: at most one input file")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	data, err := io.ReadAll(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, lintErr := range telemetry.Lint(bytes.NewReader(data)) {
+		fmt.Fprintf(os.Stderr, "metriclint: %s: %v\n", name, lintErr)
+		failed = true
+	}
+	if !failed && *minFamilies > 0 {
+		s, err := telemetry.ParseText(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metriclint: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if n := len(s.Families); n < *minFamilies {
+			fmt.Fprintf(os.Stderr, "metriclint: %s: %d metric families, want >= %d\n", name, n, *minFamilies)
+			failed = true
+		} else {
+			fmt.Printf("metriclint: %s: ok (%d families)\n", name, n)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

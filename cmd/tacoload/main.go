@@ -12,7 +12,7 @@
 //	         [-flush-ratio 0] [-scenario mixed] [-seed 1] [-max-resident 0]
 //	         [-recalc-parallelism 0] [-recalc-workers 0]
 //	         [-drain-sessions 4] [-drain-fanout 8000] [-drain-span 2000]
-//	         [-drain-probes 3] [-json] [-cpuprofile FILE]
+//	         [-drain-probes 3] [-metrics-url URL] [-json] [-cpuprofile FILE]
 //
 // With -inproc (the default when -addr is empty) the service is hosted
 // inside the process on a loopback listener, so a single command produces a
@@ -42,6 +42,13 @@
 // the per-level lock-release contract measured end to end) and the rounds'
 // wall time yields drain_cells_per_sec (cross-session drain throughput on
 // the shared evaluation pool). Both are gated by benchdiff.
+//
+// With -metrics-url (a full URL, or a bare path like /metrics resolved
+// against the target server), the run is bracketed by two telemetry scrapes
+// and the report gains server_metrics: the server's own account of the run —
+// drain-hold p50/p99 from inside the session locks, cells evaluated,
+// spill/restore traffic, schedule build/resume counts, and the parse cache
+// hit rate.
 package main
 
 import (
@@ -56,12 +63,14 @@ import (
 	"os"
 	"runtime/debug"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 
 	"taco/internal/ref"
 	"taco/internal/server"
 	"taco/internal/stats"
+	"taco/internal/telemetry"
 	"taco/internal/workload"
 )
 
@@ -87,6 +96,9 @@ type config struct {
 	DrainFanout   int `json:"drain_fanout"`
 	DrainSpan     int `json:"drain_span"`
 	DrainProbes   int `json:"drain_probes"`
+	// MetricsURL is the /metrics endpoint scraped before and after the run
+	// for server-side deltas ("" = disabled).
+	MetricsURL string `json:"metrics_url,omitempty"`
 }
 
 // report is the machine-readable output schema of -json (and the checked-in
@@ -113,6 +125,91 @@ type report struct {
 	ReadsDuringDrain     int     `json:"reads_during_drain"`
 	ReadP50DuringDrainMs float64 `json:"read_p50_during_drain_ms"`
 	DrainCellsPerSec     float64 `json:"drain_cells_per_sec"`
+	// ServerMetrics carries server-side telemetry deltas between a /metrics
+	// scrape before the workload and one after the drain probe — the
+	// server's own account of the run, next to the client-side percentiles
+	// above. Present only with -metrics-url.
+	ServerMetrics *serverMetricsDelta `json:"server_metrics,omitempty"`
+}
+
+// serverMetricsDelta is the server's view of one tacoload run, computed as
+// the difference of two /metrics scrapes bracketing the workload. The
+// client-side latencies in the report include network and JSON costs; these
+// come from inside the server's locks and caches.
+type serverMetricsDelta struct {
+	// Drain-hold histogram over the run: how long session write locks were
+	// held per recalculation chunk, the server-side counterpart of the
+	// client's read_p50_during_drain_ms.
+	DrainHoldP50Ms    float64 `json:"drain_hold_p50_ms"`
+	DrainHoldP99Ms    float64 `json:"drain_hold_p99_ms"`
+	DrainHoldSamples  uint64  `json:"drain_hold_samples"`
+	CellsEvaluated    float64 `json:"cells_evaluated"`
+	Evictions         float64 `json:"evictions"`
+	SnapshotSkips     float64 `json:"snapshot_skips"`
+	SpillBytes        float64 `json:"spill_bytes"`
+	Restores          float64 `json:"restores"`
+	ScheduleBuilds    float64 `json:"schedule_builds"`
+	ScheduleResumes   float64 `json:"schedule_resumes"`
+	ParseCacheHitRate float64 `json:"parse_cache_hit_rate"`
+}
+
+// scrapeMetrics fetches and parses one /metrics page.
+func scrapeMetrics(client *http.Client, url string) (*telemetry.Scrape, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	s, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", url, err)
+	}
+	return s, nil
+}
+
+// metricsDelta reduces two scrapes bracketing the run to the report's
+// server-side summary.
+func metricsDelta(before, after *telemetry.Scrape) *serverMetricsDelta {
+	d := &serverMetricsDelta{}
+	counter := func(name string) float64 {
+		a, _ := after.Value(name, nil)
+		b, _ := before.Value(name, nil)
+		return a - b
+	}
+	d.CellsEvaluated = counter("taco_engine_cells_evaluated_total")
+	d.Evictions = counter("taco_store_evictions_total")
+	d.SnapshotSkips = counter("taco_store_snapshot_skips_total")
+	d.SpillBytes = counter("taco_store_spill_bytes_total")
+	d.Restores = counter("taco_store_restores_total")
+	d.ScheduleBuilds = counter("taco_sched_builds_total")
+	d.ScheduleResumes = counter("taco_sched_resumes_total")
+	hits := counter("taco_parse_cache_hits_total")
+	misses := counter("taco_parse_cache_misses_total")
+	if hits+misses > 0 {
+		d.ParseCacheHitRate = hits / (hits + misses)
+	}
+	// Histogram delta: per-bucket counts over the run, quantiles estimated
+	// from the differenced buckets.
+	bounds, cAfter, _, _, okA := after.Histogram("taco_store_drain_hold_seconds")
+	bBounds, cBefore, _, _, okB := before.Histogram("taco_store_drain_hold_seconds")
+	if okA {
+		diff := make([]uint64, len(cAfter))
+		copy(diff, cAfter)
+		if okB && len(cBefore) == len(cAfter) && len(bBounds) == len(bounds) {
+			for i := range diff {
+				diff[i] -= cBefore[i]
+			}
+		}
+		for _, c := range diff {
+			d.DrainHoldSamples += c
+		}
+		d.DrainHoldP50Ms = telemetry.Quantile(bounds, diff, 0.50) * 1000
+		d.DrainHoldP99Ms = telemetry.Quantile(bounds, diff, 0.99) * 1000
+	}
+	return d
 }
 
 func main() {
@@ -134,6 +231,7 @@ func main() {
 	drainFanout := flag.Int("drain-fanout", 8000, "drain probe: formulas dirtied per session per probe")
 	drainSpan := flag.Int("drain-span", 2000, "drain probe: rows each probe formula aggregates over")
 	drainProbes := flag.Int("drain-probes", 3, "drain probe: edit rounds (0 disables the probe)")
+	metricsURL := flag.String("metrics-url", "", "scrape this /metrics endpoint before and after the run and report server-side deltas (a bare path like /metrics resolves against the target server)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
@@ -162,6 +260,7 @@ func main() {
 		RecalcParallelism: *recalcPar, RecalcWorkers: *recalcWorkers,
 		DrainSessions: *drainSessions, DrainFanout: *drainFanout,
 		DrainSpan: *drainSpan, DrainProbes: *drainProbes,
+		MetricsURL: *metricsURL,
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -222,6 +321,20 @@ func run(cfg config) (*report, error) {
 		go hs.Serve(ln)
 		defer hs.Close()
 		base = "http://" + ln.Addr().String()
+	}
+
+	// Bracket the run with /metrics scrapes when asked. A bare path resolves
+	// against the target server (in-process included).
+	metricsURL := cfg.MetricsURL
+	if metricsURL != "" && !strings.Contains(metricsURL, "://") {
+		metricsURL = base + "/" + strings.TrimPrefix(metricsURL, "/")
+	}
+	var metricsBefore *telemetry.Scrape
+	if metricsURL != "" {
+		var err error
+		if metricsBefore, err = scrapeMetrics(client, metricsURL); err != nil {
+			return nil, fmt.Errorf("metrics scrape: %w", err)
+		}
 	}
 
 	scenarios := []string{cfg.Scenario}
@@ -434,6 +547,13 @@ func run(cfg config) (*report, error) {
 	if batches > 0 {
 		rep.DirtyPerBatch = float64(dirtyTotal) / float64(batches)
 	}
+	if metricsBefore != nil {
+		after, err := scrapeMetrics(client, metricsURL)
+		if err != nil {
+			return nil, fmt.Errorf("metrics scrape: %w", err)
+		}
+		rep.ServerMetrics = metricsDelta(metricsBefore, after)
+	}
 	return rep, nil
 }
 
@@ -591,6 +711,12 @@ func printReport(r *report) {
 	}
 	fmt.Printf("store: %d sessions (%d resident, %d spilled), %d evictions (%d snapshot writes skipped), %d restores, %d background recalcs\n",
 		r.Store.Sessions, r.Store.Resident, r.Store.Spilled, r.Store.Evictions, r.Store.SnapSkips, r.Store.Restores, r.Store.Recalcs)
+	if sm := r.ServerMetrics; sm != nil {
+		fmt.Printf("server metrics: drain hold p50 %.3fms p99 %.3fms (%d holds)  |  %.0f cells evaluated  |  parse cache hit rate %.1f%%\n",
+			sm.DrainHoldP50Ms, sm.DrainHoldP99Ms, sm.DrainHoldSamples, sm.CellsEvaluated, sm.ParseCacheHitRate*100)
+		fmt.Printf("                %.0f evictions (%.0f snapshot skips, %.0f spill bytes), %.0f restores  |  %.0f schedule builds, %.0f resumes\n",
+			sm.Evictions, sm.SnapshotSkips, sm.SpillBytes, sm.Restores, sm.ScheduleBuilds, sm.ScheduleResumes)
+	}
 }
 
 func fmtMs(v float64) string { return fmt.Sprintf("%.3fms", v) }

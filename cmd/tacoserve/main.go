@@ -6,7 +6,7 @@
 //
 //	tacoserve [-addr :8737] [-shards 16] [-max-resident 0] [-spill-dir DIR]
 //	          [-recalc-parallelism 0] [-recalc-workers 0] [-recalc-chunk 0]
-//	          [-recalc-pool 0]
+//	          [-recalc-pool 0] [-debug-addr ADDR] [-access-log]
 //
 // Endpoints:
 //
@@ -20,9 +20,14 @@
 //	GET    /sessions/{id}/dependents   ?of=A1:A3
 //	GET    /sessions/{id}/precedents   ?of=B2
 //	GET    /stats                      store-wide stats
+//	GET    /metrics                    Prometheus text-format telemetry (see TELEMETRY.md)
 //
 // With -max-resident N, at most N sessions stay in memory; colder ones are
 // spilled to -spill-dir as engine snapshots and restored lazily when touched.
+//
+// With -debug-addr, a second listener serves net/http/pprof under /debug/pprof/
+// on its own mux — profiling stays off the public API surface and can bind a
+// loopback-only address.
 package main
 
 import (
@@ -31,7 +36,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime/debug"
@@ -57,20 +64,48 @@ func main() {
 	recalcWorkers := flag.Int("recalc-workers", 0, "background drain workers pulling sessions off the recalc queue (0 = CPUs, -1 = disable background draining)")
 	recalcChunk := flag.Int("recalc-chunk", 0, "evaluations per session-lock hold while draining (0 = default 256); readers interleave between holds")
 	recalcPool := flag.Int("recalc-pool", 0, "shared wavefront evaluation pool size (0 = (parallelism-1) x workers, -1 = per-drain goroutines)")
+	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled); bind loopback, e.g. 127.0.0.1:6060")
+	accessLog := flag.Bool("access-log", false, "log one structured line per request to stderr")
 	flag.Parse()
 
-	srv, err := server.NewServer(server.Options{Store: server.StoreOptions{
-		Shards:            *shards,
-		MaxResident:       *maxResident,
-		SpillDir:          *spillDir,
-		RecalcParallelism: *recalcPar,
-		RecalcWorkers:     *recalcWorkers,
-		RecalcChunk:       *recalcChunk,
-		RecalcPoolSize:    *recalcPool,
-	}})
+	var al *slog.Logger
+	if *accessLog {
+		al = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv, err := server.NewServer(server.Options{
+		Store: server.StoreOptions{
+			Shards:            *shards,
+			MaxResident:       *maxResident,
+			SpillDir:          *spillDir,
+			RecalcParallelism: *recalcPar,
+			RecalcWorkers:     *recalcWorkers,
+			RecalcChunk:       *recalcChunk,
+			RecalcPoolSize:    *recalcPool,
+		},
+		AccessLog: al,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tacoserve: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *debugAddr != "" {
+		// pprof on its own mux and listener: the default http.ServeMux picks
+		// up the net/http/pprof handlers via its init, but mounting them
+		// explicitly on a private mux keeps them off the API listener even if
+		// something else ever serves DefaultServeMux.
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("tacoserve: pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dm); err != nil {
+				log.Printf("tacoserve: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
@@ -83,11 +118,19 @@ func main() {
 		log.Printf("tacoserve: shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		hs.Shutdown(ctx)
+		if err := hs.Shutdown(ctx); err != nil {
+			// Timeout or listener error: in-flight requests were cut off.
+			log.Printf("tacoserve: shutdown: %v", err)
+		}
 		srv.Close() // stop background recalculation workers
 	}()
 
-	log.Printf("tacoserve: listening on %s (shards=%d max-resident=%d)", *addr, *shards, *maxResident)
+	// Log the effective recalculation configuration (defaults resolved by the
+	// store), so a deployment's drain behaviour is readable from its logs.
+	eff := srv.Store().Options()
+	log.Printf("tacoserve: listening on %s (shards=%d max-resident=%d recalc-workers=%d recalc-parallelism=%d recalc-chunk=%d recalc-pool=%d graph-pin=%t)",
+		*addr, eff.Shards, eff.MaxResident, eff.RecalcWorkers, eff.RecalcParallelism,
+		eff.RecalcChunk, eff.RecalcPoolSize, !eff.NoGraphPin)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("tacoserve: %v", err)
 	}

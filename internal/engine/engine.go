@@ -576,6 +576,7 @@ func (e *Engine) RecalculateAll() int {
 			n++
 		}
 	}
+	mCellsEvaluated.Add(uint64(n))
 	return n
 }
 
@@ -603,6 +604,7 @@ func (e *Engine) RecalculateN(max int) int {
 			n++
 		}
 	}
+	mCellsEvaluated.Add(uint64(n))
 	return n
 }
 

@@ -1,0 +1,25 @@
+package engine
+
+import "taco/internal/telemetry"
+
+// Process-wide recalculation instruments. The per-engine counters in
+// RecalcStats describe one session; these aggregate across every engine in
+// the process so /metrics shows the scheduler's overall behaviour — how
+// much work drains, how often levelling runs versus resumes, and whether
+// edits are invalidating schedules mid-drain. Counts are added in batches
+// at drain exit points (never per cell), so the evaluation hot loop carries
+// no atomic traffic.
+var (
+	mCellsEvaluated = telemetry.NewCounter("taco_engine_cells_evaluated_total",
+		"Dirty cells evaluated (or published as #CYCLE!) by recalculation.")
+	mLevelsDrained = telemetry.NewCounter("taco_sched_levels_drained_total",
+		"Wavefront levels executed by the resumable scheduler.")
+	mSchedBuilds = telemetry.NewCounter("taco_sched_builds_total",
+		"Schedule constructions (Kahn levelling runs).")
+	mSchedResumes = telemetry.NewCounter("taco_sched_resumes_total",
+		"Budgeted drains that resumed a cached schedule instead of re-levelling.")
+	mSchedInvalidations = telemetry.NewCounter("taco_sched_invalidations_total",
+		"Cached schedules invalidated by a dirty-set mutation mid-drain.")
+	mCycleCells = telemetry.NewCounter("taco_sched_cycle_cells_total",
+		"Cells published as #CYCLE! by the cycle resolver.")
+)

@@ -133,6 +133,7 @@ var schedPool = sync.Pool{New: func() any {
 func (e *Engine) noteDirtyMutation() {
 	e.dirtyGen++
 	if e.sched != nil {
+		mSchedInvalidations.Inc()
 		e.releaseSchedule()
 	}
 }
@@ -163,6 +164,7 @@ func (e *Engine) releaseSchedule() {
 func (e *Engine) ensureSchedule() *schedule {
 	if e.sched != nil {
 		if e.sched.gen == e.dirtyGen {
+			mSchedResumes.Inc()
 			return e.sched
 		}
 		e.releaseSchedule()
@@ -179,6 +181,7 @@ func (e *Engine) ensureSchedule() *schedule {
 	}
 	sch.total = len(sch.nodes)
 	e.schedBuilds++
+	mSchedBuilds.Inc()
 	e.sched = sch
 	return sch
 }
@@ -201,6 +204,13 @@ func (e *Engine) DrainLevels(budget int, run LevelRunner) int {
 	}
 	sch := e.ensureSchedule()
 	drained := 0
+	levels := uint64(0)
+	// Telemetry lands in one batch per call, not per cell or per level —
+	// the drain loop itself stays free of atomic traffic.
+	defer func() {
+		mCellsEvaluated.Add(uint64(drained))
+		mLevelsDrained.Add(levels)
+	}()
 	for {
 		for len(sch.frontier) > 0 && drained < budget {
 			level := sch.frontier
@@ -212,6 +222,7 @@ func (e *Engine) DrainLevels(budget int, run LevelRunner) int {
 			}
 			e.runLevel(sch.nodes, level, run)
 			e.levelsDrained++
+			levels++
 			drained += len(level)
 			// Publish: drop the evaluated cells from the dirty set and
 			// release their dependents. Coordinator-only — workers never
@@ -522,6 +533,7 @@ func (e *Engine) resolveCycles(sch *schedule, drained *int) []int32 {
 	}
 
 	// Publish the poisoned cells and release their dependents.
+	mCycleCells.Add(uint64(len(cyclic)))
 	var freed []int32
 	for _, i := range cyclic {
 		n := &nodes[i]

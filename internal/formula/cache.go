@@ -1,6 +1,10 @@
 package formula
 
-import "sync"
+import (
+	"sync"
+
+	"taco/internal/telemetry"
+)
 
 // This file implements a process-wide memoising parser front-end. Spreadsheet
 // hosts parse the same formula sources over and over: restoring a spilled
@@ -32,6 +36,37 @@ var parseCache = struct {
 	bytes int
 }{m: make(map[string]cacheEntry)}
 
+// Cache effectiveness instruments: the hit/miss ratio is the restore path's
+// cheapest health signal (a cold cache turns every session restore into a
+// full re-parse), and the drop counter surfaces wholesale evictions caused
+// by unique-formula churn. One atomic add beside a map probe or a full
+// parse — negligible either way.
+var (
+	mParseHits = telemetry.NewCounter("taco_parse_cache_hits_total",
+		"Formula parses served from the process-wide parse cache.")
+	mParseMisses = telemetry.NewCounter("taco_parse_cache_misses_total",
+		"Formula parses that missed the cache and ran the parser.")
+	mParseDrops = telemetry.NewCounter("taco_parse_cache_drops_total",
+		"Wholesale cache resets triggered by the byte budget.")
+)
+
+func init() {
+	telemetry.NewGaugeFunc("taco_parse_cache_bytes",
+		"Source bytes currently retained by the parse cache.",
+		func() float64 {
+			parseCache.RLock()
+			defer parseCache.RUnlock()
+			return float64(parseCache.bytes)
+		})
+	telemetry.NewGaugeFunc("taco_parse_cache_entries",
+		"Formulae currently retained by the parse cache.",
+		func() float64 {
+			parseCache.RLock()
+			defer parseCache.RUnlock()
+			return float64(len(parseCache.m))
+		})
+}
+
 // ParseCached is Parse with memoisation. Callers must treat the returned AST
 // as immutable (Parse's contract already implies this — nothing in this
 // package mutates a parsed tree). Parse errors are not cached.
@@ -49,6 +84,7 @@ func ParseCachedBytes(src []byte) (Node, string, error) {
 	e, ok := parseCache.m[string(src)] // no-copy lookup
 	parseCache.RUnlock()
 	if ok {
+		mParseHits.Inc()
 		return e.node, e.src, nil
 	}
 	return parseCachedKey(string(src))
@@ -59,8 +95,10 @@ func parseCachedKey(src string) (Node, string, error) {
 	e, ok := parseCache.m[src]
 	parseCache.RUnlock()
 	if ok {
+		mParseHits.Inc()
 		return e.node, e.src, nil
 	}
+	mParseMisses.Inc()
 	n, err := Parse(src)
 	if err != nil {
 		return nil, "", err
@@ -72,6 +110,7 @@ func parseCachedKey(src string) (Node, string, error) {
 	if parseCache.bytes+len(src) > parseCacheMaxBytes {
 		parseCache.m = make(map[string]cacheEntry, 1024)
 		parseCache.bytes = 0
+		mParseDrops.Inc()
 	}
 	if prev, dup := parseCache.m[src]; dup {
 		n, src = prev.node, prev.src

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"sync"
+
+	"taco/internal/telemetry"
+)
+
+// The serving layer's instruments, registered once per process on the
+// telemetry default registry. Counters are package-global rather than
+// per-Store so any number of Store instances (tests, embedded drivers)
+// compose into one process-wide view without duplicate-registration
+// panics; instantaneous state (resident counts, queue depth) comes from
+// gauge callbacks that sum over the live stores at scrape time.
+var (
+	// HTTP layer — maintained by the middleware in middleware.go.
+	httpRequests = telemetry.NewCounterVec("taco_http_requests_total",
+		"HTTP requests served, by matched route pattern and status code.",
+		"route", "code")
+	httpDuration = telemetry.NewHistogramVec("taco_http_request_duration_seconds",
+		"HTTP request latency by matched route pattern.",
+		telemetry.DurationBounds(), "route")
+	httpInFlight = telemetry.NewGauge("taco_http_requests_in_flight",
+		"HTTP requests currently being handled.")
+
+	// Store lifecycle.
+	mSessionsCreated = telemetry.NewCounter("taco_store_sessions_created_total",
+		"Sessions created.")
+	mSessionsDeleted = telemetry.NewCounter("taco_store_sessions_deleted_total",
+		"Sessions deleted.")
+	mRestores = telemetry.NewCounter("taco_store_restores_total",
+		"Spilled sessions restored to residency from their snapshot.")
+	mEvictions = telemetry.NewCounter("taco_store_evictions_total",
+		"Sessions evicted from residency (snapshot written or reused).")
+	mSnapSkips = telemetry.NewCounter("taco_store_snapshot_skips_total",
+		"Evictions that dropped residency without rewriting an unchanged snapshot.")
+	mSpillBytes = telemetry.NewCounter("taco_store_spill_bytes_total",
+		"Bytes of session snapshots written to spill files.")
+	mSpillErrors = telemetry.NewCounter("taco_store_spill_errors_total",
+		"Failed snapshot writes; the victim is kept resident and marked unevictable.")
+	mSpillReads = telemetry.NewCounter("taco_store_spill_reads_total",
+		"Reads served directly from spill files or pinned graphs without restoring.")
+	mLookupHits = telemetry.NewCounter("taco_store_lookup_hits_total",
+		"Session lookups that found the session.")
+	mLookupMisses = telemetry.NewCounter("taco_store_lookup_misses_total",
+		"Session lookups for unknown IDs.")
+
+	// Drain path. The hold histogram is the store's tail-latency instrument:
+	// every session-lock hold taken to evaluate a recalculation chunk —
+	// background drain turns and inline Wait barriers alike — records its
+	// duration, so the p99 bounds how long a concurrent reader can stall
+	// behind recalculation.
+	mDrainHold = telemetry.NewHistogram("taco_store_drain_hold_seconds",
+		"Session write-lock hold duration per recalculation chunk (background and barrier drains).",
+		telemetry.DurationBounds())
+	mDrains = telemetry.NewCounter("taco_store_drains_total",
+		"Background drains completed (session reached zero pending cells).")
+)
+
+// liveStores tracks open Stores for the scrape-time gauges. NewStore
+// registers, Close unregisters.
+var liveStores sync.Map // *Store -> struct{}
+
+// storeGaugesOnce delays gauge registration to first store construction so
+// merely importing the package (e.g. from the client library) doesn't
+// expose store families with no store behind them.
+var storeGaugesOnce sync.Once
+
+// sumStores folds fn over the live stores' stats snapshots at scrape time.
+func sumStores(fn func(StoreStats) float64) float64 {
+	total := 0.0
+	liveStores.Range(func(k, _ any) bool {
+		total += fn(k.(*Store).Stats())
+		return true
+	})
+	return total
+}
+
+func registerStoreGauges() {
+	telemetry.NewGaugeFunc("taco_store_sessions",
+		"Sessions currently hosted (resident + spilled), across all stores.",
+		func() float64 { return sumStores(func(s StoreStats) float64 { return float64(s.Sessions) }) })
+	telemetry.NewGaugeFunc("taco_store_resident_sessions",
+		"Sessions currently resident in memory, across all stores.",
+		func() float64 { return sumStores(func(s StoreStats) float64 { return float64(s.Resident) }) })
+	telemetry.NewGaugeFunc("taco_store_recalc_queue_depth",
+		"Sessions queued for a background drain worker.",
+		func() float64 { return sumStores(func(s StoreStats) float64 { return float64(s.RecalcQueue) }) })
+	telemetry.NewGaugeFunc("taco_store_drains_in_flight",
+		"Drain turns currently holding a session lock.",
+		func() float64 { return sumStores(func(s StoreStats) float64 { return float64(s.DrainsInFlight) }) })
+	telemetry.NewGaugeFunc("taco_store_eval_pool_workers",
+		"Shared wavefront evaluation pool size, across all stores.",
+		func() float64 { return sumStores(func(s StoreStats) float64 { return float64(s.EvalPoolWorkers) }) })
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the response status code and size for metrics and
+// access logs. Unwrap exposes the underlying writer so http.ResponseController
+// (and anything else that probes optional interfaces through it) still works.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// requestID returns the caller-supplied X-Request-ID, or mints one. IDs tie
+// an access-log line to a client retry or a support report; honouring the
+// inbound header lets a proxy in front of the server own the ID space.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 128 {
+		return id
+	}
+	var b [8]byte
+	rand.Read(b[:]) // never fails (crypto/rand panics internally if it would)
+	return hex.EncodeToString(b[:])
+}
+
+// observe wraps the route mux with the HTTP telemetry: request counts by
+// route and status, a latency histogram by route, an in-flight gauge, request
+// IDs echoed on every response, and (when accessLog is non-nil) one
+// structured line per request.
+//
+// The route label is the mux's matched pattern (r.Pattern, set by ServeMux
+// during dispatch on this same request), not the raw URL — so label
+// cardinality is bounded by the route table, never by client-chosen IDs.
+func observe(mux *http.ServeMux, accessLog *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := requestID(r)
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		httpInFlight.Add(1)
+		start := time.Now()
+		mux.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		httpInFlight.Add(-1)
+		if sw.status == 0 {
+			// Handler wrote nothing; net/http sends 200 on return.
+			sw.status = http.StatusOK
+		}
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		httpRequests.With(route, strconv.Itoa(sw.status)).Inc()
+		httpDuration.With(route).Observe(elapsed.Seconds())
+		if accessLog != nil {
+			accessLog.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", elapsed),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}

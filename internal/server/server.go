@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"slices"
@@ -15,6 +16,7 @@ import (
 	"taco/internal/engine"
 	"taco/internal/formula"
 	"taco/internal/ref"
+	"taco/internal/telemetry"
 	"taco/internal/workload"
 	"taco/internal/xlsx"
 )
@@ -34,6 +36,10 @@ type Options struct {
 	// MaxScenarioRows caps the size of generated scenario sessions
 	// (default 100000) so one create request cannot exhaust host memory.
 	MaxScenarioRows int
+	// AccessLog, when set, receives one structured line per request
+	// (request ID, method, route, status, bytes, duration). Nil disables
+	// access logging; metrics are collected either way.
+	AccessLog *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -55,9 +61,10 @@ func (o Options) withDefaults() Options {
 // Server is the multi-tenant spreadsheet HTTP service. It implements
 // http.Handler; mount it directly or under a prefix.
 type Server struct {
-	opts  Options
-	store *Store
-	mux   *http.ServeMux
+	opts    Options
+	store   *Store
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped with the observability middleware
 }
 
 // NewServer builds a server with its session store.
@@ -79,6 +86,8 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /sessions/{id}/dependents", s.handleQuery(true))
 	s.mux.HandleFunc("GET /sessions/{id}/precedents", s.handleQuery(false))
 	s.mux.HandleFunc("GET /stats", s.handleStoreStats)
+	s.mux.Handle("GET /metrics", telemetry.Handler())
+	s.handler = observe(s.mux, opts.AccessLog)
 	return s, nil
 }
 
@@ -89,7 +98,7 @@ func (s *Server) Store() *Store { return s.store }
 func (s *Server) Close() { s.store.Close() }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // ---------------------------------------------------------------------------
 // Wire types

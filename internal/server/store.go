@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"taco/internal/core"
 	"taco/internal/engine"
@@ -258,8 +259,14 @@ func NewStore(opts StoreOptions) (*Store, error) {
 			go st.recalcWorker()
 		}
 	}
+	storeGaugesOnce.Do(registerStoreGauges)
+	liveStores.Store(st, struct{}{})
 	return st, nil
 }
+
+// Options returns the store's effective configuration (defaults applied) —
+// for startup logging and diagnostics.
+func (st *Store) Options() StoreOptions { return st.opts }
 
 // configureEngine applies the store's recalculation policy to a hosted
 // engine: the per-level worker bound, and the shared pool as its level
@@ -278,6 +285,7 @@ func (st *Store) configureEngine(eng *engine.Engine) {
 // lost. Inline drains after Close (Wait barriers, spills) still complete:
 // the pool's run contract never depends on pool evaluators for progress.
 func (st *Store) Close() {
+	liveStores.Delete(st)
 	st.rq.mu.Lock()
 	closed := st.rq.closed
 	if !closed {
@@ -456,7 +464,13 @@ func (st *Store) drainChunk(s *Session) {
 		s.mu.Unlock()
 		return
 	}
+	// The hold timer runs inside the lock so the histogram sample is
+	// published before any barrier observes pending == 0 — and because the
+	// lock hold IS the quantity being measured: how long a reader can stall
+	// behind one drain chunk.
+	holdStart := time.Now()
 	s.eng.RecalculateN(st.opts.RecalcChunk)
+	mDrainHold.Observe(time.Since(holdStart).Seconds())
 	s.pending = s.eng.Pending()
 	more := s.pending > 0
 	s.mu.Unlock()
@@ -464,6 +478,7 @@ func (st *Store) drainChunk(s *Session) {
 		st.enqueueRecalc(s)
 	} else {
 		st.recalcs.Add(1)
+		mDrains.Inc()
 	}
 }
 
@@ -510,13 +525,16 @@ func (st *Store) Wait(id string) error {
 			s.mu.Unlock()
 			return nil
 		}
+		holdStart := time.Now()
 		if drained >= budget {
 			s.eng.RecalculateAll()
+			mDrainHold.Observe(time.Since(holdStart).Seconds())
 			s.pending = s.eng.Pending()
 			s.mu.Unlock()
 			return nil
 		}
 		drained += s.eng.RecalculateN(st.opts.RecalcChunk)
+		mDrainHold.Observe(time.Since(holdStart).Seconds())
 		s.pending = s.eng.Pending()
 		s.mu.Unlock()
 	}
@@ -550,6 +568,7 @@ func (st *Store) Create(name string, eng *engine.Engine) *Session {
 	s.elem = sh.lru.PushFront(s)
 	sh.resident++
 	sh.mu.Unlock()
+	mSessionsCreated.Inc()
 	st.evictOverflow()
 	return s
 }
@@ -646,6 +665,7 @@ func (st *Store) ViewPinnedGraph(id string, fn func(g *core.Graph, rev uint64) e
 		return false, nil
 	}
 	st.spillReads.Add(1)
+	mSpillReads.Inc()
 	return true, fn(s.graph, s.rev)
 }
 
@@ -686,6 +706,7 @@ func (st *Store) ReadSpilled(id string, fn func(br *bufio.Reader, rev uint64) er
 		return false, nil
 	}
 	st.spillReads.Add(1)
+	mSpillReads.Inc()
 	return true, nil
 }
 
@@ -716,9 +737,11 @@ func (st *Store) lookup(id string) (*Session, error) {
 	sh.mu.Unlock()
 	if s == nil {
 		st.misses.Add(1)
+		mLookupMisses.Inc()
 		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, id)
 	}
 	st.hits.Add(1)
+	mLookupHits.Inc()
 	return s, nil
 }
 
@@ -748,6 +771,7 @@ func (st *Store) withResident(s *Session, fn func(*engine.Engine) error) error {
 		s.snapRev = s.rev
 		restored = true
 		st.restores.Add(1)
+		mRestores.Inc()
 		sh := s.shard
 		sh.mu.Lock()
 		s.elem = sh.lru.PushFront(s)
@@ -801,6 +825,7 @@ func (st *Store) Delete(id string) error {
 	if st.opts.SpillDir != "" {
 		os.Remove(st.spillPath(id))
 	}
+	mSessionsDeleted.Inc()
 	return nil
 }
 
@@ -841,6 +866,7 @@ func (st *Store) evictOverflow() {
 			// Spill failure (disk full, unsnapshottable content): put the
 			// victim back so it stays servable, mark it so coldest skips
 			// it from now on, and keep shrinking with other victims.
+			mSpillErrors.Inc()
 			victim.unevictable.Store(true)
 			sh := victim.shard
 			sh.mu.Lock()
@@ -927,6 +953,8 @@ func (st *Store) spill(victim *Session) error {
 		victim.pending = 0
 		st.snapSkips.Add(1)
 		st.evictions.Add(1)
+		mSnapSkips.Inc()
+		mEvictions.Inc()
 		return nil
 	}
 	// Serialise to a pooled buffer and write in one syscall. Writing the
@@ -953,6 +981,7 @@ func (st *Store) spill(victim *Session) error {
 	if err := os.WriteFile(st.spillPath(victim.ID), buf.Bytes(), 0o644); err != nil {
 		return err
 	}
+	mSpillBytes.Add(uint64(buf.Len()))
 	// WriteSnapshot drained the pending recalculation before serialising, so
 	// the stored values are authoritative.
 	if !st.opts.NoGraphPin {
@@ -964,6 +993,7 @@ func (st *Store) spill(victim *Session) error {
 	victim.snapHeld = true
 	victim.snapRev = victim.rev
 	st.evictions.Add(1)
+	mEvictions.Inc()
 	return nil
 }
 

@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. Inc and Add are single
+// atomic adds — safe for the hottest paths in the process.
+type Counter struct {
+	name, help string
+	labels     string // pre-rendered {k="v",...} for vec children, else ""
+	v          atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) metricName() string { return c.name }
+
+func (c *Counter) writeTo(b *strings.Builder) {
+	writeHeader(b, c.name, c.help, "counter")
+	writeSample(b, c.name, c.labels, float64(c.v.Load()))
+}
+
+// NewCounter registers a counter in Default.
+func NewCounter(name, help string) *Counter { return Default.NewCounter(name, help) }
+
+// NewCounter registers a counter in r.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(c)
+	return c
+}
+
+// Gauge is an integer gauge: a value that can go up and down. Incremental
+// maintenance (Add(1) on entry, Add(-1) on exit) composes correctly across
+// independent owners — two stores each adding their deltas expose the true
+// process-wide value.
+type Gauge struct {
+	name, help string
+	labels     string
+	v          atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricName() string { return g.name }
+
+func (g *Gauge) writeTo(b *strings.Builder) {
+	writeHeader(b, g.name, g.help, "gauge")
+	writeSample(b, g.name, g.labels, float64(g.v.Load()))
+}
+
+// NewGauge registers a gauge in Default.
+func NewGauge(name, help string) *Gauge { return Default.NewGauge(name, help) }
+
+// NewGauge registers a gauge in r.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// funcMetric exposes a callback's value at scrape time as a gauge or
+// counter — for instantaneous state that is cheaper to read than to
+// maintain (queue depths, pool occupancy, runtime stats).
+type funcMetric struct {
+	name, help, typ string
+	fn              func() float64
+}
+
+func (f *funcMetric) metricName() string { return f.name }
+
+func (f *funcMetric) writeTo(b *strings.Builder) {
+	writeHeader(b, f.name, f.help, f.typ)
+	writeSample(b, f.name, "", f.fn())
+}
+
+// NewGaugeFunc registers a callback-backed gauge in Default; fn is invoked
+// at every scrape.
+func NewGaugeFunc(name, help string, fn func() float64) { Default.NewGaugeFunc(name, help, fn) }
+
+// NewGaugeFunc registers a callback-backed gauge in r.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&funcMetric{name: name, help: help, typ: "gauge", fn: fn})
+}
+
+// NewCounterFunc registers a callback-backed counter in Default — for
+// monotonic totals some other system already maintains (GC pause totals).
+func NewCounterFunc(name, help string, fn func() float64) { Default.NewCounterFunc(name, help, fn) }
+
+// NewCounterFunc registers a callback-backed counter in r.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	r.register(&funcMetric{name: name, help: help, typ: "counter", fn: fn})
+}
+
+// vec is the shared labelled-children machinery behind CounterVec and
+// HistogramVec: a mutex-guarded child map keyed by the joined label values.
+// With is a read-lock map probe on the hit path; hot callers (per-route HTTP
+// instruments) should resolve children once and reuse them.
+type vec[T metric] struct {
+	name, help string
+	labelNames []string
+	mu         sync.RWMutex
+	children   map[string]T
+	make       func(labels string) T
+}
+
+// vecKey joins label values with an unprintable separator; label values are
+// arbitrary strings, so a printable separator could collide.
+func vecKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func (v *vec[T]) with(values []string) T {
+	if len(values) != len(v.labelNames) {
+		panic("telemetry: label value count mismatch for " + v.name)
+	}
+	key := vecKey(values)
+	v.mu.RLock()
+	c, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.children[key]; ok {
+		return c
+	}
+	c = v.make(renderLabels(v.labelNames, values))
+	v.children[key] = c
+	return c
+}
+
+// sortedChildren snapshots the children ordered by key for deterministic
+// exposition.
+func (v *vec[T]) sortedChildren() []T {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]T, len(keys))
+	for i, k := range keys {
+		out[i] = v.children[k]
+	}
+	return out
+}
+
+func newVec[T metric](name, help string, labelNames []string, mk func(labels string) T) *vec[T] {
+	for _, l := range labelNames {
+		if !nameValid(l) || strings.Contains(l, ":") {
+			panic("telemetry: invalid label name " + l)
+		}
+	}
+	return &vec[T]{
+		name: name, help: help, labelNames: labelNames,
+		children: make(map[string]T), make: mk,
+	}
+}
+
+// CounterVec is a counter family with labels. Children are created on first
+// use and live for the life of the registry.
+type CounterVec struct {
+	*vec[*Counter]
+}
+
+// With returns the child counter for the given label values (in
+// registration order).
+func (v *CounterVec) With(values ...string) *Counter { return v.with(values) }
+
+func (v *CounterVec) metricName() string { return v.name }
+
+func (v *CounterVec) writeTo(b *strings.Builder) {
+	writeHeader(b, v.name, v.help, "counter")
+	for _, c := range v.sortedChildren() {
+		writeSample(b, v.name, c.labels, float64(c.v.Load()))
+	}
+}
+
+// NewCounterVec registers a labelled counter family in Default.
+func NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	return Default.NewCounterVec(name, help, labelNames...)
+}
+
+// NewCounterVec registers a labelled counter family in r.
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	v := &CounterVec{vec: newVec(name, help, labelNames, func(labels string) *Counter {
+		return &Counter{name: name, labels: labels}
+	})}
+	r.register(v)
+	return v
+}
+
+// writeSample renders one `name{labels} value` line. Integral values render
+// without an exponent so counters read naturally; others use the shortest
+// float form.
+func writeSample(b *strings.Builder, name, labels string, value float64) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(value))
+	b.WriteByte('\n')
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) && v >= -1e15 && v <= 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,18 @@
+package telemetry
+
+import "net/http"
+
+// Handler serves the Default registry in the Prometheus text format —
+// mount it at GET /metrics.
+func Handler() http.Handler { return Default.Handler() }
+
+// Handler serves this registry in the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteText(w); err != nil {
+			// The header is out; all we can do is drop the connection.
+			return
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	randv2 "math/rand/v2"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bound histogram with a sharded, lock-free write path.
+// Observe is allocation-free: a binary search over the (small, immutable)
+// bounds slice, one atomic add on a striped shard's bucket, and one CAS loop
+// folding the value into that shard's sum. Shard selection uses the
+// runtime's per-thread random source, so concurrent observers spread across
+// shards without any coordination — the histogram is safe to hit from every
+// drain worker at once without turning one cache line into a hot spot.
+//
+// Bounds are upper bucket bounds in increasing order; an implicit +Inf
+// bucket catches overflow. Exposition renders the standard cumulative
+// `_bucket{le=...}` series plus `_sum` and `_count`.
+type Histogram struct {
+	name, help string
+	labels     string
+	bounds     []float64
+	shards     []histShard
+}
+
+// histShard is one write stripe. The trailing pad keeps adjacent shards off
+// one cache line; the counts slice is its own allocation for the same
+// reason.
+type histShard struct {
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sumBits atomic.Uint64   // float64 bits, CAS-folded
+	_       [48]byte
+}
+
+// histShards is the write-stripe count: enough to split contention across
+// cores, bounded so exposition stays a cheap aggregation.
+func histShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	if n < 1 {
+		n = 1
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	return 1 << bits.Len(uint(n-1))
+}
+
+func newHistogram(name, help, labels string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram " + name + " needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram " + name + " bounds must increase strictly")
+		}
+	}
+	if math.IsInf(bounds[len(bounds)-1], 1) {
+		panic("telemetry: histogram " + name + " bounds must be finite (+Inf is implicit)")
+	}
+	h := &Histogram{
+		name: name, help: help, labels: labels,
+		bounds: bounds, shards: make([]histShard, histShards()),
+	}
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Uint64, len(bounds)+1)
+	}
+	return h
+}
+
+// Observe records v. Allocation-free and lock-free; safe from any number of
+// goroutines concurrently.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v — the le semantics of the text format's buckets.
+	i := sort.SearchFloat64s(h.bounds, v)
+	sh := &h.shards[int(randv2.Uint64())&(len(h.shards)-1)]
+	sh.counts[i].Add(1)
+	for {
+		old := sh.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if sh.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Snapshot aggregates the shards: per-bucket (non-cumulative) counts with
+// the +Inf overflow last, the sum of observations, and the total count.
+func (h *Histogram) Snapshot() (counts []uint64, sum float64, count uint64) {
+	counts = make([]uint64, len(h.bounds)+1)
+	for s := range h.shards {
+		sh := &h.shards[s]
+		for i := range counts {
+			counts[i] += sh.counts[i].Load()
+		}
+		sum += math.Float64frombits(sh.sumBits.Load())
+	}
+	for _, c := range counts {
+		count += c
+	}
+	return counts, sum, count
+}
+
+// Bounds returns the histogram's upper bucket bounds (without the implicit
+// +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+func (h *Histogram) metricName() string { return h.name }
+
+func (h *Histogram) writeTo(b *strings.Builder) {
+	writeHeader(b, h.name, h.help, "histogram")
+	h.writeSamples(b)
+}
+
+// writeSamples renders the cumulative bucket series, sum, and count —
+// shared by the plain histogram and vec children.
+func (h *Histogram) writeSamples(b *strings.Builder) {
+	counts, sum, count := h.Snapshot()
+	inner := strings.TrimSuffix(strings.TrimPrefix(h.labels, "{"), "}")
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		writeBucket(b, h.name, inner, formatValue(bound), cum)
+	}
+	writeBucket(b, h.name, inner, "+Inf", count)
+	writeSample(b, h.name+"_sum", h.labels, sum)
+	writeSample(b, h.name+"_count", h.labels, float64(count))
+}
+
+func writeBucket(b *strings.Builder, name, innerLabels, le string, v uint64) {
+	b.WriteString(name)
+	b.WriteString("_bucket{")
+	if innerLabels != "" {
+		b.WriteString(innerLabels)
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="`)
+	b.WriteString(le)
+	b.WriteString(`"} `)
+	b.WriteString(formatValue(float64(v)))
+	b.WriteByte('\n')
+}
+
+// NewHistogram registers a histogram in Default.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return Default.NewHistogram(name, help, bounds)
+}
+
+// NewHistogram registers a histogram in r.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(name, help, "", bounds)
+	r.register(h)
+	return h
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct {
+	*vec[*Histogram]
+	bounds []float64
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.with(values) }
+
+func (v *HistogramVec) metricName() string { return v.name }
+
+func (v *HistogramVec) writeTo(b *strings.Builder) {
+	writeHeader(b, v.name, v.help, "histogram")
+	for _, h := range v.sortedChildren() {
+		h.writeSamples(b)
+	}
+}
+
+// NewHistogramVec registers a labelled histogram family in Default.
+func NewHistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	return Default.NewHistogramVec(name, help, bounds, labelNames...)
+}
+
+// NewHistogramVec registers a labelled histogram family in r.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	hv := &HistogramVec{bounds: bounds}
+	hv.vec = newVec(name, help, labelNames, func(labels string) *Histogram {
+		return newHistogram(name, "", labels, bounds)
+	})
+	r.register(hv)
+	return hv
+}
+
+// DurationBounds is the log-spaced bucket preset for latency histograms:
+// 1-2.5-5 per decade from 10µs to 10s, in seconds. It covers everything
+// from a sub-millisecond drain hold to a multi-second upload with ~19
+// buckets, so per-observation cost and exposition size stay flat.
+func DurationBounds() []float64 {
+	var out []float64
+	for _, decade := range []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1} {
+		for _, m := range []float64{1, 2.5, 5} {
+			out = append(out, decade*m)
+		}
+	}
+	return append(out, 10)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from per-bucket counts
+// (non-cumulative, +Inf overflow last, as Snapshot returns) by linear
+// interpolation inside the containing bucket. Values in the overflow bucket
+// report the largest finite bound. Returns 0 when the histogram is empty.
+func Quantile(bounds []float64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		if c == 0 {
+			return bounds[i]
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + (bounds[i]-lo)*frac
+	}
+	return bounds[len(bounds)-1]
+}

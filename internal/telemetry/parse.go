@@ -1,0 +1,446 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the text format: a parser for scraped
+// exposition (the load driver diffs two scrapes to report server-side
+// deltas next to its client percentiles) and a linter (CI curls /metrics
+// from the booted server and fails the build if the endpoint rots —
+// invalid syntax, duplicate families, missing HELP/TYPE, malformed
+// histograms).
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the full sample name, including any _bucket/_sum/_count
+	// suffix.
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: its HELP/TYPE header and samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Scrape is a parsed exposition page.
+type Scrape struct {
+	// Families is keyed by family name; sample names with histogram
+	// suffixes resolve to their family.
+	Families map[string]*Family
+	// Order preserves first-appearance order of family names.
+	Order []string
+}
+
+// Value returns the sum of the named samples whose labels include every
+// given key/value pair (nil matches everything), and whether any matched.
+func (s *Scrape) Value(name string, labels map[string]string) (float64, bool) {
+	fam := s.Families[familyOf(s, name)]
+	if fam == nil {
+		return 0, false
+	}
+	total, matched := 0.0, false
+sample:
+	for _, sm := range fam.Samples {
+		if sm.Name != name {
+			continue
+		}
+		for k, v := range labels {
+			if sm.Labels[k] != v {
+				continue sample
+			}
+		}
+		total += sm.Value
+		matched = true
+	}
+	return total, matched
+}
+
+// Histogram reassembles the named histogram family: upper bounds and
+// per-bucket (non-cumulative) counts with the +Inf overflow last — the
+// same shape Histogram.Snapshot returns, so Quantile consumes either.
+// Labelled children are merged.
+func (s *Scrape) Histogram(name string) (bounds []float64, counts []uint64, sum float64, count uint64, ok bool) {
+	fam := s.Families[name]
+	if fam == nil || fam.Type != "histogram" {
+		return nil, nil, 0, 0, false
+	}
+	cum := map[float64]uint64{}
+	var inf uint64
+	for _, sm := range fam.Samples {
+		switch sm.Name {
+		case name + "_bucket":
+			le := sm.Labels["le"]
+			if le == "+Inf" {
+				inf += uint64(sm.Value)
+				continue
+			}
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return nil, nil, 0, 0, false
+			}
+			cum[b] += uint64(sm.Value)
+		case name + "_sum":
+			sum += sm.Value
+		case name + "_count":
+			count += uint64(sm.Value)
+		}
+	}
+	for b := range cum {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	counts = make([]uint64, len(bounds)+1)
+	prev := uint64(0)
+	for i, b := range bounds {
+		counts[i] = cum[b] - prev
+		prev = cum[b]
+	}
+	counts[len(bounds)] = inf - prev
+	return bounds, counts, sum, count, true
+}
+
+// familyOf maps a sample name to its family name, resolving histogram
+// suffixes against the parsed families.
+func familyOf(s *Scrape, name string) string {
+	if s.Families[name] != nil {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, found := strings.CutSuffix(name, suf); found && s.Families[base] != nil {
+			return base
+		}
+	}
+	return name
+}
+
+// ParseText parses a text-format exposition page. It is tolerant where the
+// format allows (unknown comment lines, optional timestamps) and strict
+// where it matters (line syntax, label syntax, numeric values).
+func ParseText(r io.Reader) (*Scrape, error) {
+	s := &Scrape{Families: map[string]*Family{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineno := 0
+	family := func(name string) *Family {
+		f := s.Families[name]
+		if f == nil {
+			f = &Family{Name: name}
+			s.Families[name] = f
+			s.Order = append(s.Order, name)
+		}
+		return f
+	}
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, rest, ok := cutComment(line)
+			if !ok {
+				continue // free-form comment
+			}
+			name, payload, _ := strings.Cut(rest, " ")
+			f := family(name)
+			if kind == "HELP" {
+				if f.Help != "" {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineno, name)
+				}
+				f.Help = payload
+				if f.Help == "" {
+					f.Help = " " // present but empty; Lint flags it
+				}
+			} else {
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineno, name)
+				}
+				f.Type = payload
+			}
+			continue
+		}
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		fname := sample.Name
+		if s.Families[fname] == nil {
+			// Histogram series attach to their base family when its TYPE
+			// was declared; anything else becomes an untyped family that
+			// the linter will flag.
+			fname = familyOf(s, sample.Name)
+		}
+		f := family(fname)
+		f.Samples = append(f.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// cutComment splits "# HELP name rest" / "# TYPE name rest" comment lines;
+// ok is false for any other comment.
+func cutComment(line string) (kind, rest string, ok bool) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimLeft(body, " ")
+	for _, k := range []string{"HELP ", "TYPE "} {
+		if strings.HasPrefix(body, k) {
+			return strings.TrimSpace(k), body[len(k):], true
+		}
+	}
+	return "", "", false
+}
+
+// parseSampleLine parses `name{label="v",...} value [timestamp]`.
+func parseSampleLine(line string) (Sample, error) {
+	var sm Sample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	sm.Name = line[:i]
+	if !nameValid(sm.Name) {
+		return sm, fmt.Errorf("invalid metric name %q", sm.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := findLabelsEnd(rest)
+		if end < 0 {
+			return sm, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return sm, err
+		}
+		sm.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return sm, fmt.Errorf("want `value [timestamp]` after name, got %q", rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return sm, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	sm.Value = v
+	return sm, nil
+}
+
+// findLabelsEnd returns the index of the closing '}' of a label block that
+// starts at s[0] == '{', honouring quoted values with escapes.
+func findLabelsEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label pair in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !nameValid(name) || strings.Contains(name, ":") {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s: value must be quoted", name)
+		}
+		val, rest, err := unquoteLabelValue(s)
+		if err != nil {
+			return nil, fmt.Errorf("label %s: %w", name, err)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val
+		s = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+// unquoteLabelValue consumes a leading quoted value with \\, \", \n
+// escapes, returning the value and the remainder after the closing quote.
+func unquoteLabelValue(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return 0, fmt.Errorf("non-finite sample value")
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Lint parses an exposition page and checks the invariants a healthy
+// /metrics endpoint must hold. Returns one error per violation (empty =
+// clean). Checked: valid line/label syntax (a parse failure is returned as
+// the single error), HELP and TYPE present for every family, no duplicate
+// families (the parser already rejects repeated headers), known TYPE
+// values, histogram families carry a +Inf bucket with cumulative
+// non-decreasing buckets and a _count equal to the +Inf bucket, and every
+// family exposes at least one sample.
+func Lint(r io.Reader) []error {
+	s, err := ParseText(r)
+	if err != nil {
+		return []error{err}
+	}
+	var errs []error
+	for _, name := range s.Order {
+		f := s.Families[name]
+		if strings.TrimSpace(f.Help) == "" {
+			errs = append(errs, fmt.Errorf("%s: missing HELP", name))
+		}
+		switch f.Type {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		case "":
+			errs = append(errs, fmt.Errorf("%s: missing TYPE", name))
+			continue
+		default:
+			errs = append(errs, fmt.Errorf("%s: unknown TYPE %q", name, f.Type))
+			continue
+		}
+		if len(f.Samples) == 0 {
+			errs = append(errs, fmt.Errorf("%s: no samples", name))
+			continue
+		}
+		if f.Type == "histogram" {
+			errs = append(errs, lintHistogram(f)...)
+		} else {
+			for _, sm := range f.Samples {
+				if sm.Name != name {
+					errs = append(errs, fmt.Errorf("%s: stray sample %s", name, sm.Name))
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// lintHistogram checks one histogram family's series shape, per label set.
+func lintHistogram(f *Family) []error {
+	var errs []error
+	type series struct {
+		lastCum  float64
+		sawInf   bool
+		infVal   float64
+		count    float64
+		sawCount bool
+	}
+	byChild := map[string]*series{}
+	childKey := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(labels[k])
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+	child := func(labels map[string]string) *series {
+		k := childKey(labels)
+		if byChild[k] == nil {
+			byChild[k] = &series{}
+		}
+		return byChild[k]
+	}
+	for _, sm := range f.Samples {
+		switch sm.Name {
+		case f.Name + "_bucket":
+			c := child(sm.Labels)
+			le := sm.Labels["le"]
+			if le == "" {
+				errs = append(errs, fmt.Errorf("%s: bucket without le label", f.Name))
+				continue
+			}
+			if le == "+Inf" {
+				c.sawInf, c.infVal = true, sm.Value
+			}
+			if sm.Value < c.lastCum {
+				errs = append(errs, fmt.Errorf("%s: bucket counts not cumulative at le=%s", f.Name, le))
+			}
+			c.lastCum = sm.Value
+		case f.Name + "_sum":
+		case f.Name + "_count":
+			c := child(sm.Labels)
+			c.sawCount, c.count = true, sm.Value
+		case f.Name:
+			errs = append(errs, fmt.Errorf("%s: bare sample in histogram family", f.Name))
+		default:
+			errs = append(errs, fmt.Errorf("%s: stray sample %s", f.Name, sm.Name))
+		}
+	}
+	for _, c := range byChild {
+		if !c.sawInf {
+			errs = append(errs, fmt.Errorf("%s: missing +Inf bucket", f.Name))
+			continue
+		}
+		if c.sawCount && c.count != c.infVal {
+			errs = append(errs, fmt.Errorf("%s: _count %v != +Inf bucket %v", f.Name, c.count, c.infVal))
+		}
+	}
+	return errs
+}

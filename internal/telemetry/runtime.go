@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// The runtime collector: process-level gauges and counters every deployment
+// wants next to the application metrics — goroutine count, heap shape, GC
+// activity. Registered on Default at init so every binary that exposes
+// /metrics gets them for free.
+//
+// runtime.ReadMemStats stops the world briefly, so concurrent scrapes share
+// one cached read: the stats refresh at most once per memStatsTTL however
+// many families consult them.
+
+const memStatsTTL = time.Second
+
+var memCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func memStats() runtime.MemStats {
+	memCache.mu.Lock()
+	defer memCache.mu.Unlock()
+	if now := time.Now(); memCache.at.IsZero() || now.Sub(memCache.at) > memStatsTTL {
+		runtime.ReadMemStats(&memCache.stat)
+		memCache.at = now
+	}
+	return memCache.stat
+}
+
+func init() {
+	NewGaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	NewGaugeFunc("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 { return float64(memStats().HeapAlloc) })
+	NewGaugeFunc("go_memstats_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS.",
+		func() float64 { return float64(memStats().HeapSys) })
+	NewGaugeFunc("go_memstats_heap_objects",
+		"Number of allocated heap objects.",
+		func() float64 { return float64(memStats().HeapObjects) })
+	NewGaugeFunc("go_memstats_next_gc_bytes",
+		"Heap size target of the next GC cycle.",
+		func() float64 { return float64(memStats().NextGC) })
+	NewCounterFunc("go_memstats_alloc_bytes_total",
+		"Cumulative bytes allocated for heap objects.",
+		func() float64 { return float64(memStats().TotalAlloc) })
+	NewCounterFunc("go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { return float64(memStats().NumGC) })
+	NewCounterFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(memStats().PauseTotalNs) / 1e9 })
+}

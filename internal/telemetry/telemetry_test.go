@@ -1,0 +1,377 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text rendering of one instrument of
+// each kind. The format is a wire contract — scrapers parse it — so the
+// output for a fixed metric state must be byte-stable.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.NewCounter("app_ops_total", "Operations performed.")
+	c.Add(41)
+	c.Inc()
+
+	g := r.NewGauge("app_queue_depth", "Items queued.")
+	g.Set(7)
+	g.Add(-2)
+
+	cv := r.NewCounterVec("app_requests_total", "Requests by route.", "route", "code")
+	cv.With("/cells/{ref}", "200").Add(3)
+	cv.With("/cells/{ref}", "404").Inc()
+	cv.With(`we"ird\nl`+"\n", "500").Inc()
+
+	h := r.NewHistogram("app_op_seconds", "Operation latency.", []float64{0.1, 1, 2.5})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(99)
+
+	r.NewGaugeFunc("app_static", "A callback gauge.", func() float64 { return 2.5 })
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_op_seconds Operation latency.
+# TYPE app_op_seconds histogram
+app_op_seconds_bucket{le="0.1"} 1
+app_op_seconds_bucket{le="1"} 3
+app_op_seconds_bucket{le="2.5"} 3
+app_op_seconds_bucket{le="+Inf"} 4
+app_op_seconds_sum 100.05
+app_op_seconds_count 4
+# HELP app_ops_total Operations performed.
+# TYPE app_ops_total counter
+app_ops_total 42
+# HELP app_queue_depth Items queued.
+# TYPE app_queue_depth gauge
+app_queue_depth 5
+# HELP app_requests_total Requests by route.
+# TYPE app_requests_total counter
+app_requests_total{route="/cells/{ref}",code="200"} 3
+app_requests_total{route="/cells/{ref}",code="404"} 1
+app_requests_total{route="we\"ird\\nl\n",code="500"} 1
+# HELP app_static A callback gauge.
+# TYPE app_static gauge
+app_static 2.5
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if errs := Lint(strings.NewReader(sb.String())); len(errs) != 0 {
+		t.Errorf("golden output fails lint: %v", errs)
+	}
+}
+
+// TestHistogramVecExposition checks labelled histogram children render the
+// inner labels merged with le and lint clean.
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	hv := r.NewHistogramVec("app_req_seconds", "Latency by route.", []float64{0.5}, "route")
+	hv.With("/a").Observe(0.1)
+	hv.With("/b").Observe(3)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`app_req_seconds_bucket{route="/a",le="0.5"} 1`,
+		`app_req_seconds_bucket{route="/a",le="+Inf"} 1`,
+		`app_req_seconds_bucket{route="/b",le="0.5"} 0`,
+		`app_req_seconds_sum{route="/b"} 3`,
+		`app_req_seconds_count{route="/a"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want+"\n") {
+			t.Errorf("missing line %q in:\n%s", want, sb.String())
+		}
+	}
+	if errs := Lint(strings.NewReader(sb.String())); len(errs) != 0 {
+		t.Errorf("vec output fails lint: %v", errs)
+	}
+}
+
+// TestConcurrentHammer drives every instrument from many goroutines while
+// scraping concurrently; run under -race this is the data-race proof, and
+// the final totals prove no increment is lost.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("hammer_total", "h")
+	g := r.NewGauge("hammer_gauge", "h")
+	cv := r.NewCounterVec("hammer_vec_total", "h", "worker")
+	h := r.NewHistogram("hammer_seconds", "h", DurationBounds())
+	hv := r.NewHistogramVec("hammer_vec_seconds", "h", []float64{0.001, 1}, "worker")
+
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				cv.With(lbl).Inc()
+				h.Observe(float64(i%100) / 1e4)
+				hv.With(lbl).Observe(0.01)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	// Concurrent scrapers.
+	done := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var sb strings.Builder
+				if err := r.WriteText(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ParseText(strings.NewReader(sb.String())); err != nil {
+					t.Errorf("mid-hammer scrape unparsable: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	scrapeWG.Wait()
+
+	const total = workers * perWorker
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if _, _, count := h.Snapshot(); count != total {
+		t.Errorf("histogram count = %d, want %d", count, total)
+	}
+	for w := 0; w < workers; w++ {
+		lbl := string(rune('a' + w))
+		if got := cv.With(lbl).Value(); got != perWorker {
+			t.Errorf("vec child %s = %d, want %d", lbl, got, perWorker)
+		}
+	}
+}
+
+// TestObserveAllocationFree is the hot-path contract: Observe and counter
+// increments must not allocate.
+func TestObserveAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("alloc_seconds", "h", DurationBounds())
+	c := r.NewCounter("alloc_total", "h")
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.004) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v per call", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v per call", n)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("snap_seconds", "h", []float64{1, 2})
+	for _, v := range []float64{0.5, 1, 1.5, 5} {
+		h.Observe(v)
+	}
+	counts, sum, count := h.Snapshot()
+	// le semantics: 1 lands in the le="1" bucket.
+	if want := []uint64{2, 1, 1}; len(counts) != 3 || counts[0] != want[0] || counts[1] != want[1] || counts[2] != want[2] {
+		t.Errorf("counts = %v, want %v", counts, want)
+	}
+	if sum != 8 || count != 4 {
+		t.Errorf("sum=%v count=%v, want 8, 4", sum, count)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.NewCounter("dup_total", "h")
+	mustPanic("duplicate", func() { r.NewCounter("dup_total", "h") })
+	mustPanic("invalid name", func() { r.NewCounter("9bad", "h") })
+	mustPanic("empty bounds", func() { r.NewHistogram("h1_seconds", "h", nil) })
+	mustPanic("non-increasing bounds", func() { r.NewHistogram("h2_seconds", "h", []float64{1, 1}) })
+	mustPanic("inf bound", func() { r.NewHistogram("h3_seconds", "h", []float64{1, math.Inf(1)}) })
+	mustPanic("bad label", func() { r.NewCounterVec("v_total", "h", "le:gal") })
+	v := r.NewCounterVec("v2_total", "h", "a", "b")
+	mustPanic("label arity", func() { v.With("only-one") })
+}
+
+func TestParseText(t *testing.T) {
+	in := `# HELP x_total does things
+# TYPE x_total counter
+x_total{a="1",b="two words"} 5
+x_total{a="esc\"ape\\d\n"} 1.5
+# freeform comment, ignored
+# TYPE y_depth gauge
+# HELP y_depth queue depth
+y_depth 3 1712345678
+`
+	s, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Value("x_total", nil); !ok || v != 6.5 {
+		t.Errorf("sum x_total = %v, %v; want 6.5, true", v, ok)
+	}
+	if v, ok := s.Value("x_total", map[string]string{"a": "1"}); !ok || v != 5 {
+		t.Errorf("x_total{a=1} = %v, %v; want 5, true", v, ok)
+	}
+	if v, ok := s.Value("x_total", map[string]string{"a": "esc\"ape\\d\n"}); !ok || v != 1.5 {
+		t.Errorf("escaped label lookup = %v, %v; want 1.5, true", v, ok)
+	}
+	if v, ok := s.Value("y_depth", nil); !ok || v != 3 {
+		t.Errorf("y_depth = %v, %v (timestamp should be ignored)", v, ok)
+	}
+	if _, ok := s.Value("absent", nil); ok {
+		t.Error("absent metric reported present")
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"bad name":     "9bad 1\n",
+		"no value":     "x_total\n",
+		"bad value":    "x_total pony\n",
+		"open labels":  `x_total{a="1" 5` + "\n",
+		"open quote":   `x_total{a="1} 5` + "\n",
+		"dup label":    `x_total{a="1",a="2"} 5` + "\n",
+		"extra fields": "x_total 1 2 3\n",
+	} {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, in)
+		}
+	}
+}
+
+func TestLintCatches(t *testing.T) {
+	cases := map[string]string{
+		"missing TYPE": "# HELP x_total h\nx_total 1\n",
+		"missing HELP": "# TYPE x_total counter\nx_total 1\n",
+		"no +Inf bucket": "# HELP h_s h\n# TYPE h_s histogram\n" +
+			`h_s_bucket{le="1"} 1` + "\nh_s_sum 1\nh_s_count 1\n",
+		"non-cumulative": "# HELP h_s h\n# TYPE h_s histogram\n" +
+			`h_s_bucket{le="1"} 5` + "\n" + `h_s_bucket{le="+Inf"} 3` + "\nh_s_sum 1\nh_s_count 3\n",
+		"count mismatch": "# HELP h_s h\n# TYPE h_s histogram\n" +
+			`h_s_bucket{le="+Inf"} 3` + "\nh_s_sum 1\nh_s_count 4\n",
+		"unknown type": "# HELP x h\n# TYPE x wat\nx 1\n",
+		"stray sample": "# HELP x h\n# TYPE x counter\nx 1\nx_other 2\n",
+	}
+	for name, in := range cases {
+		if errs := Lint(strings.NewReader(in)); len(errs) == 0 {
+			t.Errorf("%s: lint passed, want failure for:\n%s", name, in)
+		}
+	}
+	clean := "# HELP x_total h\n# TYPE x_total counter\nx_total 1\n"
+	if errs := Lint(strings.NewReader(clean)); len(errs) != 0 {
+		t.Errorf("clean input flagged: %v", errs)
+	}
+}
+
+// TestScrapeHistogram round-trips a histogram through exposition and the
+// scraper, checking the reassembled shape matches Snapshot.
+func TestScrapeHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("rt_seconds", "h", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.5, 0.5, 7} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, counts, sum, count, ok := s.Histogram("rt_seconds")
+	if !ok {
+		t.Fatal("histogram not found in scrape")
+	}
+	if len(bounds) != 2 || bounds[0] != 0.1 || bounds[1] != 1 {
+		t.Errorf("bounds = %v", bounds)
+	}
+	if len(counts) != 3 || counts[0] != 1 || counts[1] != 2 || counts[2] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if sum != 8.05 || count != 4 {
+		t.Errorf("sum=%v count=%v", sum, count)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	// 10 obs in (0,1], 10 in (1,2], 0 in (2,4], 5 overflow.
+	counts := []uint64{10, 10, 0, 5}
+	if got := Quantile(bounds, counts, 0.5); got < 1 || got > 2 {
+		t.Errorf("p50 = %v, want within (1,2]", got)
+	}
+	// p99 rank 24.75 lands in the overflow bucket → clamps to the top bound.
+	if got := Quantile(bounds, counts, 0.99); got != 4 {
+		t.Errorf("p99 = %v, want 4 (clamped to top finite bound)", got)
+	}
+	if got := Quantile(bounds, []uint64{0, 0, 0, 0}, 0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", got)
+	}
+	// All mass in first bucket: interpolation stays within [0, 1].
+	if got := Quantile(bounds, []uint64{10, 0, 0, 0}, 0.9); got <= 0 || got > 1 {
+		t.Errorf("first-bucket p90 = %v, want within (0,1]", got)
+	}
+}
+
+func TestDurationBounds(t *testing.T) {
+	b := DurationBounds()
+	if len(b) == 0 || b[0] != 1e-5 || b[len(b)-1] != 10 {
+		t.Fatalf("unexpected bounds %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, b)
+		}
+	}
+}
+
+// TestDefaultRegistryRuntime checks the init-time runtime collector is
+// present and the default exposition lints clean.
+func TestDefaultRegistryRuntime(t *testing.T) {
+	var sb strings.Builder
+	if err := Default.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"go_goroutines", "go_memstats_heap_alloc_bytes", "go_gc_pause_seconds_total"} {
+		if !strings.Contains(sb.String(), "# TYPE "+fam+" ") {
+			t.Errorf("default registry missing %s", fam)
+		}
+	}
+	if errs := Lint(strings.NewReader(sb.String())); len(errs) != 0 {
+		t.Errorf("default exposition fails lint: %v", errs)
+	}
+}
