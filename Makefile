@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-server bench-core bench-eval fuzz-smoke perf-check
+.PHONY: check fmt vet build test race bench-server bench-core bench-eval fuzz-smoke perf-check crash-smoke
 
 check: fmt vet build race
 
@@ -30,7 +30,7 @@ race:
 # -metrics-url adds server_metrics (drain-hold percentiles, spill traffic,
 # parse-cache hit rate) to the report; benchdiff ignores unknown fields.
 bench-server:
-	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -metrics-url /metrics -json > BENCH_server.json
+	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -durable -metrics-url /metrics -json > BENCH_server.json
 	@cat BENCH_server.json
 
 # Core traversal/maintenance microbenchmarks. CI smoke-runs every benchmark
@@ -51,6 +51,7 @@ fuzz-smoke:
 	$(GO) test ./internal/formula -run '^$$' -fuzz '^FuzzParse$$' -fuzztime=15s
 	$(GO) test ./internal/formula -run '^$$' -fuzz '^FuzzEval$$' -fuzztime=15s
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzRecalcParallel$$' -fuzztime=15s
+	$(GO) test ./internal/journal -run '^$$' -fuzz '^FuzzJournalDecode$$' -fuzztime=15s
 
 # Local mirror of CI's perf-regression gate: measure now, compare against
 # the checked-in baselines, fail on >25% regression (edits/s, mid-drain
@@ -58,7 +59,15 @@ fuzz-smoke:
 # 2x, or a wavefront recalc speedup under the baseline's per-shape floor
 # (1.5x on wide fanout; enforced only on hosts with >= 4 CPUs).
 perf-check:
-	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -metrics-url /metrics -json > /tmp/taco_bench_server.json
+	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -durable -metrics-url /metrics -json > /tmp/taco_bench_server.json
 	$(GO) run ./cmd/benchdiff -tol 0.25 BENCH_server.json /tmp/taco_bench_server.json
 	$(GO) run ./cmd/tacoeval -json > /tmp/taco_bench_eval.json
 	$(GO) run ./cmd/benchdiff -tol 0.25 -min-speedup 2.0 BENCH_eval.json /tmp/taco_bench_eval.json
+
+# Kill-and-restart smoke, mirrored by CI's perf job: journaled edits into a
+# durable tacoserve, SIGKILL mid-stream, restart on the same spill dir, and
+# `tacoload -replay` verifies every session converges to the never-crashed
+# result (no torn files, nothing quarantined).
+crash-smoke:
+	$(GO) build -o bin/ ./cmd/tacoserve ./cmd/tacoload
+	BIN=bin sh scripts/crash_smoke.sh

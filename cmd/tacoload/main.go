@@ -10,6 +10,7 @@
 //	tacoload [-addr http://host:8737] [-inproc] [-sessions 32] [-rows 100]
 //	         [-edits 200] [-batch 8] [-read-ratio 0] [-formula-ratio -1]
 //	         [-flush-ratio 0] [-scenario mixed] [-seed 1] [-max-resident 0]
+//	         [-durable] [-fsync interval] [-replay]
 //	         [-recalc-parallelism 0] [-recalc-workers 0]
 //	         [-drain-sessions 4] [-drain-fanout 8000] [-drain-span 2000]
 //	         [-drain-probes 3] [-metrics-url URL] [-json] [-cpuprofile FILE]
@@ -43,6 +44,14 @@
 // wall time yields drain_cells_per_sec (cross-session drain throughput on
 // the shared evaluation pool). Both are gated by benchdiff.
 //
+// -replay turns tacoload into a crash-recovery verifier: pointed (with the
+// original run's flags) at a server that was killed mid-workload and
+// restarted on the same spill directory, it regenerates each load session's
+// edit stream, applies exactly the batches the server acknowledged to a
+// local engine, and requires every cell to match bit-for-bit. -durable and
+// -fsync configure the in-process server's edit journaling, matching
+// tacoserve's flags of the same names.
+//
 // With -metrics-url (a full URL, or a bare path like /metrics resolved
 // against the target server), the run is bracketed by two telemetry scrapes
 // and the report gains server_metrics: the server's own account of the run —
@@ -57,6 +66,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -67,6 +77,8 @@ import (
 	"sync"
 	"time"
 
+	"taco/internal/engine"
+	"taco/internal/formula"
 	"taco/internal/ref"
 	"taco/internal/server"
 	"taco/internal/stats"
@@ -87,6 +99,11 @@ type config struct {
 	Scenario     string  `json:"scenario"`
 	Seed         int64   `json:"seed"`
 	MaxResident  int     `json:"max_resident"`
+	// Durability knobs for the in-process server: journal edits (and pay the
+	// fsync policy's cost) so the benchmark measures the crash-safe
+	// configuration.
+	Durable     bool   `json:"durable,omitempty"`
+	FsyncPolicy string `json:"fsync,omitempty"`
 	// Recalc knobs for the in-process server (0 = store defaults).
 	RecalcParallelism int `json:"recalc_parallelism,omitempty"`
 	RecalcWorkers     int `json:"recalc_workers,omitempty"`
@@ -225,6 +242,9 @@ func main() {
 	scenario := flag.String("scenario", "mixed", "workload scenario: financial|inventory|gradebook|planning|mixed")
 	seed := flag.Int64("seed", 1, "workload seed")
 	maxResident := flag.Int("max-resident", 0, "in-process server only: session cap forcing spill traffic")
+	durable := flag.Bool("durable", false, "in-process server only: journal edits and persist the session registry (crash-safe configuration)")
+	fsyncPolicy := flag.String("fsync", "interval", "in-process server only: journal fsync policy with -durable: always|interval|never")
+	replay := flag.Bool("replay", false, "crash-recovery verification: rediscover this workload's loadN sessions on the target server, regenerate their edit streams from the same flags, and require every cell to match a never-crashed local replay")
 	recalcPar := flag.Int("recalc-parallelism", 0, "in-process server only: wavefront evaluators per level (0 = auto, -1 = serial)")
 	recalcWorkers := flag.Int("recalc-workers", 0, "in-process server only: background drain workers (0 = auto)")
 	drainSessions := flag.Int("drain-sessions", 4, "drain probe: concurrent giant-drain sessions")
@@ -257,10 +277,22 @@ func main() {
 		Edits: *edits, Batch: *batch, ReadRatio: *readRatio, FormulaRatio: *formulaRatio,
 		FlushRatio: *flushRatio, Scenario: *scenario,
 		Seed: *seed, MaxResident: *maxResident,
+		Durable: *durable, FsyncPolicy: *fsyncPolicy,
 		RecalcParallelism: *recalcPar, RecalcWorkers: *recalcWorkers,
 		DrainSessions: *drainSessions, DrainFanout: *drainFanout,
 		DrainSpan: *drainSpan, DrainProbes: *drainProbes,
 		MetricsURL: *metricsURL,
+	}
+	if *replay {
+		if *addr == "" {
+			fmt.Fprintln(os.Stderr, "tacoload: -replay needs -addr pointing at the restarted server")
+			os.Exit(2)
+		}
+		if err := runReplay(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "tacoload: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -307,6 +339,7 @@ func run(cfg config) (*report, error) {
 		defer os.RemoveAll(spill)
 		srv, err := server.NewServer(server.Options{Store: server.StoreOptions{
 			MaxResident: cfg.MaxResident, SpillDir: spill,
+			Durable: cfg.Durable, FsyncPolicy: cfg.FsyncPolicy,
 			RecalcParallelism: cfg.RecalcParallelism, RecalcWorkers: cfg.RecalcWorkers,
 		}})
 		if err != nil {
@@ -652,6 +685,124 @@ func runDrainProbe(client *http.Client, base string, cfg config, record func(str
 		}
 	}
 	return out, nil
+}
+
+// runReplay is the crash-recovery verifier (-replay): it lists the target
+// server's sessions, matches the loadN sessions this workload's flags would
+// have created, regenerates each one's scenario and edit stream from the
+// same seeds, applies exactly the batches the server acknowledged (its rev)
+// to a local serial engine, and requires every cell the workload could have
+// touched to match bit-for-bit. Run it against a server that was SIGKILLed
+// mid-stream and restarted on the same spill dir: it proves each journaled
+// batch replayed and reconverged to the never-crashed result.
+func runReplay(cfg config) error {
+	client := &http.Client{}
+	base := cfg.Addr
+	var sessions []server.SessionInfo
+	if err := call(client, "GET", base+"/sessions", nil, &sessions); err != nil {
+		return err
+	}
+	scenarios := []string{cfg.Scenario}
+	if cfg.Scenario == "mixed" {
+		scenarios = workload.ScenarioNames
+	}
+	verified, cellsChecked := 0, 0
+	for _, si := range sessions {
+		var idx int
+		if n, err := fmt.Sscanf(si.Name, "load%d", &idx); n != 1 || err != nil {
+			continue
+		}
+		scen := scenarios[idx%len(scenarios)]
+		seed := cfg.Seed + int64(idx)
+		sheet, err := workload.BuildScenario(scen, cfg.Rows, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return err
+		}
+		eng, err := engine.LoadBulk(sheet)
+		if err != nil {
+			return err
+		}
+		stream := workload.EditStreamMix(sheet, cfg.Edits, rand.New(rand.NewSource(seed+10000)), cfg.FormulaRatio)
+		batches := (len(stream) + cfg.Batch - 1) / cfg.Batch
+		if int(si.Rev) > batches {
+			return fmt.Errorf("session %s: server rev %d exceeds the %d batches these flags generate — rerun -replay with the original workload's flags",
+				si.Name, si.Rev, batches)
+		}
+		// The server acknowledged exactly si.Rev batches; apply the same
+		// prefix locally. Every op is an absolute assignment, mirroring the
+		// HTTP handler's applyBatch.
+		touched := map[ref.Ref]struct{}{{Col: 1, Row: 1}: {}}
+		for at := range sheet.Cells {
+			touched[at] = struct{}{}
+		}
+		for b := 0; b < int(si.Rev); b++ {
+			lo := b * cfg.Batch
+			hi := min(lo+cfg.Batch, len(stream))
+			for _, e := range stream[lo:hi] {
+				touched[e.At] = struct{}{}
+				switch e.Kind {
+				case workload.EditValue:
+					eng.SetValue(e.At, formula.Num(e.Value))
+				case workload.EditFormula:
+					if _, err := eng.SetFormula(e.At, e.Formula); err != nil {
+						return fmt.Errorf("session %s batch %d: %w", si.Name, b, err)
+					}
+				case workload.EditClear:
+					eng.ClearCell(e.At)
+				}
+			}
+		}
+		eng.RecalculateAll()
+		// Barrier first so the server's replayed cells have drained, then
+		// compare cell by cell.
+		if err := call(client, "POST", base+"/sessions/"+si.ID+"/flush", nil, nil); err != nil {
+			return fmt.Errorf("session %s flush: %w", si.Name, err)
+		}
+		for at := range touched {
+			var cr server.CellsResult
+			if err := call(client, "GET", base+"/sessions/"+si.ID+"/cells?at="+ref.FormatA1(at), nil, &cr); err != nil {
+				return fmt.Errorf("session %s read %s: %w", si.Name, ref.FormatA1(at), err)
+			}
+			var got server.CellOut
+			if len(cr.Cells) > 0 {
+				got = cr.Cells[0]
+			}
+			if err := compareCell(at, got, eng.Value(at)); err != nil {
+				return fmt.Errorf("session %s (%s) at rev %d: %w", si.Name, si.ID, si.Rev, err)
+			}
+			cellsChecked++
+		}
+		verified++
+	}
+	if verified == 0 {
+		return fmt.Errorf("no load* sessions found on %s — nothing to verify (wrong server, or recovery lost the registry)", base)
+	}
+	fmt.Printf("tacoload: replay verified %d sessions, %d cells identical to a never-crashed run\n", verified, cellsChecked)
+	return nil
+}
+
+// compareCell requires the server's answer for one cell to equal the local
+// replay's value exactly (numbers compared by bit pattern; JSON round-trips
+// float64 losslessly).
+func compareCell(at ref.Ref, got server.CellOut, want formula.Value) error {
+	ok := false
+	switch want.Kind {
+	case formula.KindEmpty:
+		ok = got.Kind == "" || got.Kind == "empty"
+	case formula.KindNumber:
+		ok = got.Kind == "number" && math.Float64bits(got.Num) == math.Float64bits(want.Num)
+	case formula.KindString:
+		ok = got.Kind == "string" && got.Str == want.Str
+	case formula.KindBool:
+		ok = got.Kind == "bool" && got.Bool == want.Bool
+	case formula.KindError:
+		ok = got.Kind == "error" && got.Error == want.Err
+	}
+	if !ok {
+		return fmt.Errorf("cell %s diverged: server {kind=%s num=%v str=%q bool=%v err=%q}, replay %v",
+			ref.FormatA1(at), got.Kind, got.Num, got.Str, got.Bool, got.Error, want)
+	}
+	return nil
 }
 
 // call performs one JSON request; non-2xx responses become errors carrying

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tacoserve [-addr :8737] [-shards 16] [-max-resident 0] [-spill-dir DIR]
+//	          [-durable] [-fsync interval] [-fsync-interval 50ms]
 //	          [-recalc-parallelism 0] [-recalc-workers 0] [-recalc-chunk 0]
 //	          [-recalc-pool 0] [-debug-addr ADDR] [-access-log]
 //
@@ -24,6 +25,13 @@
 //
 // With -max-resident N, at most N sessions stay in memory; colder ones are
 // spilled to -spill-dir as engine snapshots and restored lazily when touched.
+//
+// With -durable, every accepted edit batch is journaled to -spill-dir before
+// the response commits and a persistent session registry makes restarts warm:
+// a relaunched tacoserve pointed at the same -spill-dir rediscovers every
+// session and replays journal tails on top of snapshots at first touch.
+// -fsync picks the journal fsync policy (always|interval|never) and
+// -fsync-interval the background flush period; see README.md "Durability".
 //
 // With -debug-addr, a second listener serves net/http/pprof under /debug/pprof/
 // on its own mux — profiling stays off the public API surface and can bind a
@@ -59,7 +67,10 @@ func main() {
 	addr := flag.String("addr", ":8737", "listen address")
 	shards := flag.Int("shards", 16, "session store shard count")
 	maxResident := flag.Int("max-resident", 0, "max in-memory sessions (0 = unlimited)")
-	spillDir := flag.String("spill-dir", "", "directory for evicted session snapshots (required with -max-resident)")
+	spillDir := flag.String("spill-dir", "", "directory for evicted session snapshots (required with -max-resident and -durable)")
+	durable := flag.Bool("durable", false, "journal edits and persist the session registry in -spill-dir; restarts recover every session")
+	fsyncPolicy := flag.String("fsync", "interval", "journal fsync policy with -durable: always|interval|never")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "background journal flush period with -fsync interval (0 = default 50ms)")
 	recalcPar := flag.Int("recalc-parallelism", 0, "wavefront evaluators per session level (0 = CPUs capped at 8, -1 = serial)")
 	recalcWorkers := flag.Int("recalc-workers", 0, "background drain workers pulling sessions off the recalc queue (0 = CPUs, -1 = disable background draining)")
 	recalcChunk := flag.Int("recalc-chunk", 0, "evaluations per session-lock hold while draining (0 = default 256); readers interleave between holds")
@@ -81,6 +92,9 @@ func main() {
 			RecalcWorkers:     *recalcWorkers,
 			RecalcChunk:       *recalcChunk,
 			RecalcPoolSize:    *recalcPool,
+			Durable:           *durable,
+			FsyncPolicy:       *fsyncPolicy,
+			FsyncInterval:     *fsyncInterval,
 		},
 		AccessLog: al,
 	})
@@ -128,9 +142,14 @@ func main() {
 	// Log the effective recalculation configuration (defaults resolved by the
 	// store), so a deployment's drain behaviour is readable from its logs.
 	eff := srv.Store().Options()
-	log.Printf("tacoserve: listening on %s (shards=%d max-resident=%d recalc-workers=%d recalc-parallelism=%d recalc-chunk=%d recalc-pool=%d graph-pin=%t)",
+	durability := "off"
+	if eff.Durable {
+		durability = fmt.Sprintf("fsync=%s interval=%s recovered=%d",
+			*fsyncPolicy, eff.FsyncInterval, srv.Store().Stats().RecoveredSessions)
+	}
+	log.Printf("tacoserve: listening on %s (shards=%d max-resident=%d recalc-workers=%d recalc-parallelism=%d recalc-chunk=%d recalc-pool=%d graph-pin=%t durable=%s)",
 		*addr, eff.Shards, eff.MaxResident, eff.RecalcWorkers, eff.RecalcParallelism,
-		eff.RecalcChunk, eff.RecalcPoolSize, !eff.NoGraphPin)
+		eff.RecalcChunk, eff.RecalcPoolSize, !eff.NoGraphPin, durability)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("tacoserve: %v", err)
 	}

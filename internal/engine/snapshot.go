@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -30,7 +31,8 @@ import (
 //
 // Format:
 //
-//	magic "TACOE1" | cell count N | N cell records | core graph snapshot
+//	magic "TACOE2" | cell count N | N cell records | core graph snapshot |
+//	crc32c little-endian (over everything before it, magic included)
 //
 // Each cell record: col uvarint, row uvarint, kind byte, then the payload.
 // Kind 0 is a value cell (value only), kind 1 a formula with its cached
@@ -38,11 +40,27 @@ import (
 // only — restored dirty and recomputed on demand; used when the cached
 // value is itself too large to snapshot). Values are a formula.Kind byte
 // plus a kind-specific payload.
+//
+// The CRC32C trailer makes torn or bit-rotted spill files detectable:
+// CheckSnapshotIntegrity verifies a whole file before the store trusts it
+// at restore. Streaming decoders self-delimit and simply never read the
+// trailer. TACOE1 (the pre-checksum format) is still accepted on read —
+// legacy files carry no trailer and pass the integrity check vacuously.
 
-var engineSnapshotMagic = []byte("TACOE1")
+var (
+	engineSnapshotMagic   = []byte("TACOE2")
+	engineSnapshotMagicV1 = []byte("TACOE1")
+)
+
+// snapCRCTable is CRC32-Castagnoli, hardware-accelerated on amd64/arm64.
+var snapCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrBadEngineSnapshot is returned when decoding malformed session data.
 var ErrBadEngineSnapshot = errors.New("engine: malformed engine snapshot")
+
+// ErrSnapshotChecksum is returned by CheckSnapshotIntegrity when a TACOE2
+// snapshot's trailer does not match its content — a torn write or bit rot.
+var ErrSnapshotChecksum = errors.New("engine: snapshot checksum mismatch")
 
 // MaxSnapshotString bounds formula/text lengths — enforced symmetrically on
 // encode and decode, so any snapshot that was written can be read back
@@ -87,7 +105,14 @@ func (e *Engine) writeSnapshot(w io.Writer, blob []byte, gen uint64) ([]byte, ui
 		return nil, 0, errors.New("engine: only TACO-backed engines support snapshots")
 	}
 	e.RecalculateAll()
-	if err := e.writeCells(w); err != nil {
+	bw, buffered := w.(snapWriter)
+	if !buffered {
+		bw = bufio.NewWriter(w)
+	}
+	// Everything up to the trailer flows through the CRC writer; the cached
+	// graph blob stays raw (the checksum is per-file, computed per write).
+	cw := &crcWriter{w: bw}
+	if err := e.writeCells(cw); err != nil {
 		return nil, 0, err
 	}
 	if blob == nil || gen != tg.G.Gen() {
@@ -97,17 +122,52 @@ func (e *Engine) writeSnapshot(w io.Writer, blob []byte, gen uint64) ([]byte, ui
 		}
 		blob, gen = gb.Bytes(), tg.G.Gen()
 	}
-	if _, err := w.Write(blob); err != nil {
+	if _, err := cw.Write(blob); err != nil {
 		return nil, 0, err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], cw.sum)
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return nil, 0, err
+	}
+	if f, isBufio := bw.(*bufio.Writer); isBufio {
+		if err := f.Flush(); err != nil {
+			return nil, 0, err
+		}
 	}
 	return blob, gen, nil
 }
 
-func (e *Engine) writeCells(w io.Writer) error {
-	bw, buffered := w.(snapWriter)
-	if !buffered {
-		bw = bufio.NewWriter(w)
+// crcWriter threads every byte through the running CRC32C on its way to the
+// sink. WriteString hashes through a fixed scratch block so large string
+// payloads cost no allocation.
+type crcWriter struct {
+	w       snapWriter
+	sum     uint32
+	scratch [512]byte
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.sum = crc32.Update(c.sum, snapCRCTable, p)
+	return c.w.Write(p)
+}
+
+func (c *crcWriter) WriteByte(b byte) error {
+	c.scratch[0] = b
+	c.sum = crc32.Update(c.sum, snapCRCTable, c.scratch[:1])
+	return c.w.WriteByte(b)
+}
+
+func (c *crcWriter) WriteString(s string) (int, error) {
+	for rest := s; len(rest) > 0; {
+		n := copy(c.scratch[:], rest)
+		c.sum = crc32.Update(c.sum, snapCRCTable, c.scratch[:n])
+		rest = rest[n:]
 	}
+	return c.w.WriteString(s)
+}
+
+func (e *Engine) writeCells(bw snapWriter) error {
 	if _, err := bw.Write(engineSnapshotMagic); err != nil {
 		return err
 	}
@@ -134,16 +194,9 @@ func (e *Engine) writeCells(w io.Writer) error {
 	if err := putUvarint(uint64(len(e.cells))); err != nil {
 		return err
 	}
-	err := e.store.eachColumnMajor(func(at ref.Ref, c *cell) error {
+	return e.store.eachColumnMajor(func(at ref.Ref, c *cell) error {
 		return e.writeCell(bw, putUvarint, putString, at, c)
 	})
-	if err != nil {
-		return err
-	}
-	if f, isBufio := bw.(*bufio.Writer); isBufio {
-		return f.Flush()
-	}
-	return nil
 }
 
 // writeCell encodes one cell record.
@@ -236,7 +289,7 @@ func scanCellsFiltered(br *bufio.Reader, parse bool, hint func(int), filter *ref
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadEngineSnapshot, err)
 	}
-	if string(magic) != string(engineSnapshotMagic) {
+	if string(magic) != string(engineSnapshotMagic) && string(magic) != string(engineSnapshotMagicV1) {
 		return fmt.Errorf("%w: bad magic %q", ErrBadEngineSnapshot, magic)
 	}
 	count, err := binary.ReadUvarint(br)
@@ -497,6 +550,28 @@ func ScanSnapshotCellsInRange(r io.Reader, rng ref.Range, fn func(SnapshotCell) 
 		return pending, nil
 	}
 	return pending, err
+}
+
+// CheckSnapshotIntegrity verifies a whole engine snapshot against its
+// CRC32C trailer before any of it is trusted: nil means the content is
+// exactly what was written. TACOE1 files (pre-checksum) pass vacuously —
+// they carry no trailer. A mismatch returns ErrSnapshotChecksum; an
+// unrecognisable header returns ErrBadEngineSnapshot. The serving layer
+// runs this on every spill file it restores, quarantining failures instead
+// of serving silently corrupt sessions.
+func CheckSnapshotIntegrity(data []byte) error {
+	if len(data) >= len(engineSnapshotMagicV1) && bytes.Equal(data[:len(engineSnapshotMagicV1)], engineSnapshotMagicV1) {
+		return nil
+	}
+	if len(data) < len(engineSnapshotMagic)+4 || !bytes.Equal(data[:len(engineSnapshotMagic)], engineSnapshotMagic) {
+		return fmt.Errorf("%w: short or unrecognised header", ErrBadEngineSnapshot)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	want := binary.LittleEndian.Uint32(trailer)
+	if got := crc32.Checksum(body, snapCRCTable); got != want {
+		return fmt.Errorf("%w: computed %08x, stored %08x", ErrSnapshotChecksum, got, want)
+	}
+	return nil
 }
 
 func skipValue(br *bufio.Reader) error {

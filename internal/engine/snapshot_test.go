@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -295,5 +296,53 @@ func TestRecycleReusesColumnSlabs(t *testing.T) {
 			t.Fatalf("round %d: %d cells, want %d", i, got, wantN)
 		}
 		prev = r
+	}
+}
+
+// TestSnapshotChecksum pins the TACOE2 integrity trailer: a fresh snapshot
+// verifies, any single flipped bit fails with ErrSnapshotChecksum, and a
+// legacy TACOE1 file (no trailer) both passes the check and still restores.
+func TestSnapshotChecksum(t *testing.T) {
+	sheet := workload.FinancialModel(20, rand.New(rand.NewSource(11)))
+	e, err := Load(sheet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if !bytes.HasPrefix(good, []byte("TACOE2")) {
+		t.Fatalf("snapshot magic = %q, want TACOE2", good[:6])
+	}
+	if err := CheckSnapshotIntegrity(good); err != nil {
+		t.Fatalf("fresh snapshot fails integrity check: %v", err)
+	}
+	for _, off := range []int{7, len(good) / 2, len(good) - 5} {
+		flipped := bytes.Clone(good)
+		flipped[off] ^= 0x10
+		if err := CheckSnapshotIntegrity(flipped); !errors.Is(err, ErrSnapshotChecksum) {
+			t.Fatalf("flip at %d: err = %v, want ErrSnapshotChecksum", off, err)
+		}
+	}
+	if err := CheckSnapshotIntegrity(good[:4]); !errors.Is(err, ErrBadEngineSnapshot) {
+		t.Fatalf("short header: err = %v, want ErrBadEngineSnapshot", err)
+	}
+
+	// A legacy TACOE1 snapshot is the same stream with the old magic and no
+	// trailer: it must pass the (vacuous) integrity check and restore.
+	legacy := append([]byte("TACOE1"), good[6:len(good)-4]...)
+	if err := CheckSnapshotIntegrity(legacy); err != nil {
+		t.Fatalf("legacy snapshot fails integrity check: %v", err)
+	}
+	r, err := RestoreSnapshot(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy snapshot restore: %v", err)
+	}
+	for at := range sheet.Cells {
+		if got, want := r.Value(at).String(), e.Value(at).String(); got != want {
+			t.Fatalf("legacy cell %v = %q, want %q", at, got, want)
+		}
 	}
 }

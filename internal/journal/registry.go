@@ -1,0 +1,270 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The registry is the store's session manifest: an append-only log (same
+// record format as the journals, magic TACOR1) whose records are put/delete
+// operations on {session ID → snapshot rev, journal presence}. Replaying it
+// at boot tells a restarted server every session that existed, which
+// snapshot revision its spill file holds, and therefore which journal tail
+// to replay on top. It compacts in place — rewrite live entries to a temp
+// file, fsync, rename — once the log grows well past its live set, so
+// eviction-heavy workloads don't grow it without bound.
+
+// Registry record opcodes, carried in the record's rev field.
+const (
+	regOpPut    = 1
+	regOpDelete = 2
+)
+
+// maxRegistryString bounds ID and name fields on decode.
+const maxRegistryString = 4096
+
+// Entry is one registered session.
+type Entry struct {
+	// ID is the session identifier; the spill file is <ID>.tacos and the
+	// journal <ID>.tacoj in the store's spill directory.
+	ID string
+	// Name is the client-supplied session label, preserved across restarts.
+	Name string
+	// SnapRev is the revision the session's snapshot holds; journal records
+	// with rev > SnapRev are the replay tail.
+	SnapRev uint64
+	// SnapHeld reports whether a snapshot file exists at all (a never-edited
+	// blank session has none; restore starts from an empty engine).
+	SnapHeld bool
+}
+
+// Registry is the persistent session manifest.
+type Registry struct {
+	mu      sync.Mutex
+	w       *Writer
+	path    string
+	pol     Policy
+	sy      *Syncer
+	live    map[string]Entry
+	appends int // records in the log (live + superseded), drives compaction
+}
+
+// OpenRegistry loads (creating if needed) the manifest at path. A torn tail
+// from a crash is dropped exactly as for journals; the surviving prefix is
+// replayed into the live set.
+func OpenRegistry(path string, pol Policy, sy *Syncer) (*Registry, error) {
+	r := &Registry{path: path, pol: pol, sy: sy, live: make(map[string]Entry)}
+	_, _, err := ScanFile(path, RegistryMagic, func(op uint64, payload []byte) error {
+		r.appends++
+		e, err := decodeEntry(op, payload)
+		if err != nil {
+			// Valid CRC but undecodable: a format bug, not corruption. Skip
+			// the record rather than losing the whole manifest.
+			return nil
+		}
+		if op == regOpDelete {
+			delete(r.live, e.ID)
+		} else {
+			r.live[e.ID] = e
+		}
+		return nil
+	})
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	r.w, err = Open(path, RegistryMagic, pol, sy)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Put upserts a session entry.
+func (r *Registry) Put(e Entry) error {
+	payload := appendEntry(nil, e)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.w == nil {
+		return ErrClosed
+	}
+	if err := r.w.Append(regOpPut, payload); err != nil {
+		return err
+	}
+	mRegistryRecords.Inc()
+	r.live[e.ID] = e
+	r.appends++
+	return r.maybeCompactLocked()
+}
+
+// Delete records a session's removal.
+func (r *Registry) Delete(id string) error {
+	payload := appendString(nil, id)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.w == nil {
+		return ErrClosed
+	}
+	if err := r.w.Append(regOpDelete, payload); err != nil {
+		return err
+	}
+	mRegistryRecords.Inc()
+	delete(r.live, id)
+	r.appends++
+	return r.maybeCompactLocked()
+}
+
+// Sync applies the policy's durability barrier to the manifest log.
+func (r *Registry) Sync() error {
+	r.mu.Lock()
+	w := r.w
+	r.mu.Unlock()
+	if w == nil {
+		return ErrClosed
+	}
+	return w.Sync()
+}
+
+// Entries snapshots the live set (unspecified order).
+func (r *Registry) Entries() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Entry, 0, len(r.live))
+	for _, e := range r.live {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Len returns the live session count.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.live)
+}
+
+// Close flushes and closes the manifest log.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	w := r.w
+	r.w = nil
+	r.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	return w.Close()
+}
+
+// maybeCompactLocked rewrites the log to just the live set once superseded
+// records dominate it. The floor keeps small registries from compacting on
+// every eviction; past it, 4x amplification triggers a rewrite.
+func (r *Registry) maybeCompactLocked() error {
+	if r.appends < 1024 || r.appends < 4*len(r.live) {
+		return nil
+	}
+	return r.compactLocked()
+}
+
+// compactLocked rewrites the manifest as magic + one put per live entry,
+// atomically: temp file in the same directory, fsync, rename over the old
+// log, reopen. On any failure the old log (and writer) stay in service —
+// compaction is an optimisation, never a correctness step.
+func (r *Registry) compactLocked() error {
+	var buf bytes.Buffer
+	buf.Write(RegistryMagic)
+	var scratch, rec []byte
+	for _, e := range r.live {
+		scratch = appendEntry(scratch[:0], e)
+		rec = appendRecord(rec[:0], regOpPut, scratch)
+		buf.Write(rec)
+	}
+	tmp := r.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("journal: compact registry: %w", err)
+	}
+	if _, err = f.Write(buf.Bytes()); err == nil && r.pol != SyncNever {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: compact registry: %w", err)
+	}
+	// Swap under the old writer's feet only after the replacement is fully
+	// on disk. Close before rename so no handle still points at the
+	// unlinked inode holding appends the new log would silently drop.
+	r.w.Close()
+	r.w = nil
+	if err := os.Rename(tmp, r.path); err != nil {
+		os.Remove(tmp)
+		// Reopen the (unreplaced) old log so the registry stays writable.
+		if w, oerr := Open(r.path, RegistryMagic, r.pol, r.sy); oerr == nil {
+			r.w = w
+		}
+		return fmt.Errorf("journal: compact registry: %w", err)
+	}
+	w, err := Open(r.path, RegistryMagic, r.pol, r.sy)
+	if err != nil {
+		return fmt.Errorf("journal: compact registry: reopen: %w", err)
+	}
+	r.w = w
+	r.appends = len(r.live)
+	mRegistryCompactions.Inc()
+	return nil
+}
+
+func appendEntry(dst []byte, e Entry) []byte {
+	dst = appendString(dst, e.ID)
+	dst = appendString(dst, e.Name)
+	var vb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(vb[:], e.SnapRev)
+	dst = append(dst, vb[:n]...)
+	held := byte(0)
+	if e.SnapHeld {
+		held = 1
+	}
+	return append(dst, held)
+}
+
+func decodeEntry(op uint64, payload []byte) (Entry, error) {
+	var e Entry
+	var err error
+	e.ID, payload, err = takeString(payload)
+	if err != nil {
+		return e, err
+	}
+	if op == regOpDelete {
+		return e, nil
+	}
+	e.Name, payload, err = takeString(payload)
+	if err != nil {
+		return e, err
+	}
+	rev, n := binary.Uvarint(payload)
+	if n <= 0 || len(payload) != n+1 {
+		return e, fmt.Errorf("journal: malformed registry entry")
+	}
+	e.SnapRev = rev
+	e.SnapHeld = payload[n] != 0
+	return e, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	var vb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(vb[:], uint64(len(s)))
+	dst = append(dst, vb[:n]...)
+	return append(dst, s...)
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	n, m := binary.Uvarint(b)
+	if m <= 0 || n > maxRegistryString || uint64(len(b)-m) < n {
+		return "", nil, fmt.Errorf("journal: malformed registry string")
+	}
+	return string(b[m : m+int(n)]), b[m+int(n):], nil
+}

@@ -1,0 +1,8 @@
+//go:build !linux || !(amd64 || arm64)
+
+package journal
+
+import "os"
+
+// syncFS is unavailable here; the Syncer falls back to per-file fsync.
+func syncFS(*os.File) bool { return false }

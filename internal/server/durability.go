@@ -1,0 +1,506 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"taco/internal/engine"
+	"taco/internal/journal"
+)
+
+// This file is the store's durability layer (StoreOptions.Durable): a
+// session becomes `snapshot + journal replay`. Every accepted edit batch is
+// appended to the session's journal before the response commits; spills
+// write their snapshot atomically and — once the journal passes the
+// checkpoint threshold — advance the session's registry entry and truncate
+// the journal; and a restarted store replays the registry at boot,
+// re-registering every session as non-resident. Restoring a session then
+// means: read the snapshot (integrity-checked, quarantined on corruption),
+// replay the journal tail through the live edit path, and let the normal
+// drain reconverge values.
+//
+// Crash ordering. Journal records carry the post-batch revision and replay
+// skips records at or below the snapshot's revision, while every edit op is
+// an absolute assignment — so replaying a suffix of batches that the
+// snapshot already contains is harmless. That idempotence is what makes each
+// crash window safe: snapshot rename before registry update (re-replays the
+// tail), registry update before journal truncation (stale records are
+// skipped), truncation last (nothing left to replay).
+//
+// Durability grades. Appends and snapshot renames are synchronous write(2)s,
+// so SIGKILL loses nothing under any policy; the fsync policy only decides
+// what a power failure can take: `always` fsyncs journals on every commit
+// and snapshots before rename, `interval` (default) bounds loss to one
+// background-sync tick, `never` leaves write-back to the kernel.
+
+// registryFile is the session manifest's name inside SpillDir.
+const registryFile = "sessions.tacor"
+
+// journalSuffix names per-session edit journals, next to the .tacos spills.
+const journalSuffix = ".tacoj"
+
+// ErrSnapshotCorrupt marks a session whose spill file failed its integrity
+// check at restore. The file has been quarantined (renamed *.corrupt) and
+// the session keeps failing with this error rather than serving bad data —
+// one corrupt session never degrades the rest of the store.
+var ErrSnapshotCorrupt = errors.New("server: session snapshot corrupt (quarantined)")
+
+func (st *Store) journalPath(id string) string {
+	return filepath.Join(st.opts.SpillDir, id+journalSuffix)
+}
+
+// syncFiles reports whether snapshot writes should fsync before rename:
+// only under `fsync=always` — eviction-heavy workloads spill hundreds of
+// times per second, and rename atomicity alone already survives anything
+// short of power loss.
+func (st *Store) syncFiles() bool {
+	return st.opts.Durable && st.pol == journal.SyncAlways
+}
+
+// openDurability wires the durability layer into a new store: the fsync
+// policy, the shared background syncer (interval policy only), and the
+// session registry. Called from NewStore before any session exists.
+func (st *Store) openDurability() error {
+	pol, err := journal.ParsePolicy(st.opts.FsyncPolicy)
+	if err != nil {
+		return err
+	}
+	st.pol = pol
+	st.ckptBytes = journalCheckpointBytes
+	if pol == journal.SyncInterval {
+		st.syncer = journal.NewSyncer(st.opts.FsyncInterval)
+	}
+	st.reg, err = journal.OpenRegistry(filepath.Join(st.opts.SpillDir, registryFile), pol, st.syncer)
+	if err != nil {
+		if st.syncer != nil {
+			st.syncer.Close()
+		}
+		return fmt.Errorf("server: open session registry: %w", err)
+	}
+	return nil
+}
+
+// bootRecover re-registers every session the registry knows about, as
+// non-resident: restore stays lazy, exactly like a spilled session, so a
+// warm boot costs one registry replay plus one journal header scan per
+// session regardless of corpus size. A session's revision resumes at its
+// journal head (every acknowledged batch), or its snapshot revision when
+// the journal is empty or truncated away.
+func (st *Store) bootRecover() {
+	for _, e := range st.reg.Entries() {
+		head, _, err := journal.ScanFile(st.journalPath(e.ID), journal.JournalMagic, nil)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			head = 0 // unreadable journal: serve the snapshot alone
+		}
+		s := &Session{ID: e.ID, Name: e.Name, rev: e.SnapRev, snapRev: e.SnapRev, snapHeld: e.SnapHeld}
+		if head > s.rev {
+			s.rev = head
+		}
+		s.tick.Store(st.clock.Add(1))
+		sh := st.shardFor(e.ID)
+		s.shard = sh
+		sh.mu.Lock()
+		sh.sessions[e.ID] = s
+		sh.mu.Unlock()
+		st.recovered.Add(1)
+		mRecoveredSessions.Inc()
+	}
+}
+
+// closeDurability flushes and closes every journal, the syncer, and the
+// registry. Called once from Close after the drain workers have stopped.
+func (st *Store) closeDurability() {
+	st.Each(func(s *Session) bool {
+		s.mu.Lock()
+		if s.jw != nil {
+			s.jw.Close()
+			s.jw = nil
+		}
+		s.mu.Unlock()
+		return true
+	})
+	if st.syncer != nil {
+		st.syncer.Close()
+	}
+	st.reg.Close()
+}
+
+// sessionJournal lazily opens the session's journal writer. Called with
+// s.mu held.
+func (st *Store) sessionJournal(s *Session) (*journal.Writer, error) {
+	if s.jw != nil {
+		return s.jw, nil
+	}
+	w, err := journal.Open(st.journalPath(s.ID), journal.JournalMagic, st.pol, st.syncer)
+	if err != nil {
+		return nil, err
+	}
+	s.jw = w
+	return w, nil
+}
+
+// recordCreate makes a freshly created session durable before it is
+// published: a non-empty engine gets an initial snapshot at revision 0 (so
+// a crash before the first spill still restores its loaded content), and
+// the registry learns the session either way. The engine is still owned
+// exclusively by Create's caller, so no locks are taken. Failures degrade
+// the session to non-durable with a metric rather than failing creation —
+// the spill path's philosophy (a non-TACO graph backend, for example, has
+// no snapshot encoding at all).
+func (st *Store) recordCreate(s *Session, eng *engine.Engine) {
+	if eng.NumCells() > 0 {
+		buf := bufPool.Get().(*bytes.Buffer)
+		defer func() { buf.Reset(); bufPool.Put(buf) }()
+		buf.Reset()
+		blob, gen, err := eng.WriteSnapshotCached(buf, nil, 0)
+		if err == nil {
+			err = writeFileAtomic(st.spillPath(s.ID), buf.Bytes(), st.syncFiles())
+		}
+		if err != nil {
+			mDurabilityErrors.Inc()
+			return
+		}
+		s.graphBlob, s.graphBlobGen = blob, gen
+		s.snapHeld = true
+		s.snapRev = 0
+		mSpillBytes.Add(uint64(buf.Len()))
+	}
+	if err := st.reg.Put(journal.Entry{ID: s.ID, Name: s.Name, SnapRev: s.snapRev, SnapHeld: s.snapHeld}); err != nil {
+		mDurabilityErrors.Inc()
+		return
+	}
+	if err := st.reg.Sync(); err != nil {
+		mDurabilityErrors.Inc()
+	}
+}
+
+// journalCheckpointBytes is the journal size above which a spill checkpoints
+// durable state: advance the registry to the new snapshot revision, then
+// truncate the journal. Below it the spill leaves both alone — the registry
+// entry goes stale, which replay idempotence makes safe (a recovered session
+// re-applies absolute-assignment batches its snapshot already contains) —
+// so eviction-heavy workloads pay the registry append and ftruncate once per
+// ~256KB of log instead of once per spill.
+const journalCheckpointBytes = 256 << 10
+
+// noteSpilled runs after a spill wrote (or reused) the session's snapshot.
+// When the journal has grown past the checkpoint threshold: advance the
+// registry entry, make it durable, and only then truncate the journal —
+// records the snapshot supersedes are skipped (or idempotently re-applied)
+// by replay, so truncating last means no crash window can lose an
+// acknowledged batch. Called with victim.mu held.
+func (st *Store) noteSpilled(victim *Session) {
+	if !st.opts.Durable {
+		return
+	}
+	if victim.jw == nil || victim.jw.Size() < st.ckptBytes {
+		return // registry entry from create (or the last checkpoint) still serves
+	}
+	err := st.reg.Put(journal.Entry{ID: victim.ID, Name: victim.Name, SnapRev: victim.snapRev, SnapHeld: victim.snapHeld})
+	if err == nil {
+		err = st.reg.Sync()
+	}
+	if err != nil {
+		mDurabilityErrors.Inc()
+		return // keep the journal: replay still reconstructs past the stale entry
+	}
+	if err := victim.jw.Reset(); err != nil {
+		mDurabilityErrors.Inc()
+	}
+}
+
+// recordDelete erases a session's durable state: journal file and registry
+// entry. The journal writer was detached and closed by Delete already.
+func (st *Store) recordDelete(id string) {
+	os.Remove(st.journalPath(id))
+	if err := st.reg.Delete(id); err != nil {
+		mDurabilityErrors.Inc()
+		return
+	}
+	if err := st.reg.Sync(); err != nil {
+		mDurabilityErrors.Inc()
+	}
+}
+
+// restoreEngine rebuilds a non-resident session's engine: snapshot first
+// (integrity-checked; corruption quarantines the file and poisons the
+// session with ErrSnapshotCorrupt), then the journal tail replayed through
+// the live edit path. Replayed cells come back dirty and reconverge on the
+// normal drain. Called with s.mu held.
+func (st *Store) restoreEngine(s *Session) (*engine.Engine, error) {
+	if s.corrupt {
+		return nil, fmt.Errorf("%w: session %s", ErrSnapshotCorrupt, s.ID)
+	}
+	var eng *engine.Engine
+	if s.snapHeld {
+		var err error
+		eng, err = st.readSpill(s.ID, s.graph)
+		if err != nil {
+			if errors.Is(err, engine.ErrSnapshotChecksum) || errors.Is(err, engine.ErrBadEngineSnapshot) {
+				st.quarantine(s)
+				return nil, fmt.Errorf("%w: session %s: %v", ErrSnapshotCorrupt, s.ID, err)
+			}
+			return nil, err
+		}
+	} else {
+		// A session that never had a snapshot (created blank, then only
+		// journaled edits): replay rebuilds it from an empty engine.
+		eng = engine.New(nil)
+	}
+	if st.opts.Durable && s.rev > s.snapRev {
+		if err := st.replayJournal(s, eng); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+// quarantine renames a corrupt spill file aside and poisons the session so
+// every subsequent touch fails the same way instead of retrying the decode.
+func (st *Store) quarantine(s *Session) {
+	path := st.spillPath(s.ID)
+	os.Rename(path, path+".corrupt")
+	s.corrupt = true
+	st.quarantined.Add(1)
+	mQuarantined.Inc()
+}
+
+// replayJournal applies the session's journal tail — records above the
+// snapshot revision — onto eng through the same parse/apply path as live
+// edits. Called with s.mu held, eng not yet published.
+func (st *Store) replayJournal(s *Session, eng *engine.Engine) error {
+	start := time.Now()
+	replayed := 0
+	_, _, err := journal.ScanFile(st.journalPath(s.ID), journal.JournalMagic, func(rev uint64, payload []byte) error {
+		if rev <= s.snapRev {
+			return nil // the snapshot already contains this batch
+		}
+		edits, err := decodeEditOps(payload)
+		if err != nil {
+			return fmt.Errorf("record rev %d: %w", rev, err)
+		}
+		ops, err := parseBatch(edits)
+		if err != nil {
+			return fmt.Errorf("record rev %d: %w", rev, err)
+		}
+		applyBatch(eng, ops)
+		replayed++
+		return nil
+	})
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		// A record with a valid checksum that fails to decode or re-parse is
+		// a format bug or version skew, not disk corruption; fail the restore
+		// loudly rather than serving a silently incomplete session.
+		return fmt.Errorf("replay journal for session %s: %w", s.ID, err)
+	}
+	if replayed > 0 {
+		// The engine no longer matches the snapshot (and the bulk path may
+		// have rebuilt it around a fresh graph): drop the cached graph blob.
+		s.graphBlob = nil
+		st.replayed.Add(uint64(replayed))
+		mReplayRecords.Add(uint64(replayed))
+		mReplayDuration.Observe(time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// writeFileAtomic writes data via a same-directory temp file and rename, so
+// no reader — concurrent or post-crash — can ever observe a torn file at
+// the final path. With sync set, the file is fsynced before the rename and
+// the directory after it (power-loss durability for the rename itself).
+func writeFileAtomic(path string, data []byte, sync bool) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".spill-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(data)
+	if err == nil && sync {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if sync {
+		if d, derr := os.Open(dir); derr == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Edit-batch journal codec
+// ---------------------------------------------------------------------------
+
+// Journal payload op kinds, mirroring EditOp's exactly-one-of shape.
+const (
+	journalOpValue = iota
+	journalOpText
+	journalOpFormula
+	journalOpClear
+)
+
+// maxJournalCellRef bounds the cell-reference field on decode.
+const maxJournalCellRef = 64
+
+// encodeEditOps serialises a validated edit batch for the journal:
+// uvarint(count), then per op the A1 cell reference, a kind byte, and the
+// kind's payload (float64 bits little-endian, or a length-prefixed string).
+// The batch has passed parseBatch, so every op has exactly one kind set.
+func encodeEditOps(edits []EditOp) []byte {
+	var vb [binary.MaxVarintLen64]byte
+	putUvarint := func(dst []byte, v uint64) []byte {
+		n := binary.PutUvarint(vb[:], v)
+		return append(dst, vb[:n]...)
+	}
+	putString := func(dst []byte, s string) []byte {
+		dst = putUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	}
+	buf := putUvarint(nil, uint64(len(edits)))
+	for _, op := range edits {
+		buf = putString(buf, op.Cell)
+		switch {
+		case op.Value != nil:
+			buf = append(buf, journalOpValue)
+			var fb [8]byte
+			binary.LittleEndian.PutUint64(fb[:], math.Float64bits(*op.Value))
+			buf = append(buf, fb[:]...)
+		case op.Text != nil:
+			buf = append(buf, journalOpText)
+			buf = putString(buf, *op.Text)
+		case op.Formula != nil:
+			buf = append(buf, journalOpFormula)
+			buf = putString(buf, *op.Formula)
+		default:
+			buf = append(buf, journalOpClear)
+		}
+	}
+	return buf
+}
+
+// decodeEditOps is encodeEditOps's inverse, with the same bounds the HTTP
+// layer enforces so a journal can never smuggle in what a request couldn't.
+func decodeEditOps(payload []byte) ([]EditOp, error) {
+	bad := errors.New("server: malformed journal edit record")
+	takeString := func(limit int) (string, error) {
+		n, m := binary.Uvarint(payload)
+		if m <= 0 || n > uint64(limit) || uint64(len(payload)-m) < n {
+			return "", bad
+		}
+		s := string(payload[m : m+int(n)])
+		payload = payload[m+int(n):]
+		return s, nil
+	}
+	count, m := binary.Uvarint(payload)
+	if m <= 0 || count > uint64(len(payload)) {
+		return nil, bad
+	}
+	payload = payload[m:]
+	edits := make([]EditOp, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var op EditOp
+		var err error
+		if op.Cell, err = takeString(maxJournalCellRef); err != nil {
+			return nil, err
+		}
+		if len(payload) == 0 {
+			return nil, bad
+		}
+		kind := payload[0]
+		payload = payload[1:]
+		switch kind {
+		case journalOpValue:
+			if len(payload) < 8 {
+				return nil, bad
+			}
+			v := math.Float64frombits(binary.LittleEndian.Uint64(payload))
+			payload = payload[8:]
+			op.Value = &v
+		case journalOpText:
+			s, err := takeString(maxEditStringBytes)
+			if err != nil {
+				return nil, err
+			}
+			op.Text = &s
+		case journalOpFormula:
+			s, err := takeString(maxEditStringBytes)
+			if err != nil {
+				return nil, err
+			}
+			op.Formula = &s
+		case journalOpClear:
+			op.Clear = true
+		default:
+			return nil, bad
+		}
+		edits = append(edits, op)
+	}
+	if len(payload) != 0 {
+		return nil, bad
+	}
+	return edits, nil
+}
+
+// Durable reports whether the store journals edits (StoreOptions.Durable).
+func (st *Store) Durable() bool { return st.opts.Durable }
+
+// UpdateJournaled is Update(id, true, fn) plus the durability contract: when
+// the store is durable and record (an encodeEditOps payload) is non-nil, the
+// record is appended to the session's journal at the bumped revision before
+// UpdateJournaled returns, and the policy's fsync barrier has run — the
+// caller can acknowledge the batch knowing a crashed server will replay it.
+// Journal append failures degrade to non-durable with a metric (the edit is
+// already applied and acknowledged state must stay consistent); a failed
+// group-commit fsync under `always` is surfaced, since that is exactly the
+// guarantee the policy sells.
+func (st *Store) UpdateJournaled(id string, record []byte, fn func(*Session, *engine.Engine) error) error {
+	s, err := st.lookup(id)
+	if err != nil {
+		return err
+	}
+	var jw *journal.Writer
+	err = st.withResident(s, func(eng *engine.Engine) error {
+		if err := fn(s, eng); err != nil {
+			return err
+		}
+		s.rev++
+		if st.opts.Durable && record != nil {
+			w, jerr := st.sessionJournal(s)
+			if jerr == nil {
+				jerr = w.Append(s.rev, record)
+			}
+			if jerr != nil {
+				mDurabilityErrors.Inc()
+			} else {
+				jw = w
+			}
+		}
+		return nil
+	})
+	if err == nil && jw != nil {
+		// Group commit outside the session lock: concurrent batches on other
+		// sessions (or this one) share the fsync instead of queueing on it.
+		if serr := jw.Sync(); serr != nil {
+			mDurabilityErrors.Inc()
+			return serr
+		}
+	}
+	return err
+}

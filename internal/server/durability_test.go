@@ -1,0 +1,415 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"taco/internal/engine"
+	"taco/internal/formula"
+	"taco/internal/ref"
+)
+
+// crashBatches scripts a deterministic edit sequence: batch 0 builds a
+// fanout sheet through the bulk path (values + formulas into an empty
+// engine), later batches perturb inputs, rewrite formulas, and clear cells —
+// every op an absolute assignment, exactly what the journal replays.
+func crashBatches() [][]EditOp {
+	var batches [][]EditOp
+	var b0 []EditOp
+	for r := 1; r <= 10; r++ {
+		b0 = append(b0, EditOp{Cell: fmt.Sprintf("A%d", r), Value: num(float64(r))})
+	}
+	for col := 'C'; col <= 'E'; col++ {
+		for r := 1; r <= 20; r++ {
+			b0 = append(b0, EditOp{Cell: fmt.Sprintf("%c%d", col, r),
+				Formula: str(fmt.Sprintf("SUM(A$1:A$10)*%d+%d", col-'A', r))})
+		}
+	}
+	for r := 1; r <= 20; r++ {
+		b0 = append(b0, EditOp{Cell: fmt.Sprintf("F%d", r), Formula: str(fmt.Sprintf("SUM(C%d:E%d)", r, r))})
+	}
+	batches = append(batches, b0)
+	for i := 0; i < 8; i++ {
+		var b []EditOp
+		for j := 0; j < 4; j++ {
+			b = append(b, EditOp{Cell: fmt.Sprintf("A%d", 1+(i*4+j)%10), Value: num(float64(i*131 + j*17))})
+		}
+		switch i % 3 {
+		case 0:
+			b = append(b, EditOp{Cell: fmt.Sprintf("C%d", 1+i), Formula: str(fmt.Sprintf("SUM(A$1:A$10)+%d", i*1000))})
+		case 1:
+			b = append(b, EditOp{Cell: fmt.Sprintf("D%d", 1+i), Clear: true})
+		}
+		batches = append(batches, b)
+	}
+	return batches
+}
+
+// touchedRefs is the cell domain a batch script could have written.
+func touchedRefs(batches [][]EditOp) []ref.Ref {
+	seen := map[ref.Ref]struct{}{}
+	var out []ref.Ref
+	for _, b := range batches {
+		for _, op := range b {
+			at, err := ref.ParseA1(op.Cell)
+			if err != nil {
+				panic(err)
+			}
+			if _, ok := seen[at]; !ok {
+				seen[at] = struct{}{}
+				out = append(out, at)
+			}
+		}
+	}
+	return out
+}
+
+func sameValue(a, b formula.Value) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// applyJournaled mirrors handleEdits: parse, apply through the store with
+// the encoded batch journaled, and re-apply the bulk path's engine
+// reconfiguration.
+func applyJournaled(t *testing.T, st *Store, id string, batch []EditOp) {
+	t.Helper()
+	ops, err := parseBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = st.UpdateJournaled(id, encodeEditOps(batch), func(sess *Session, eng *engine.Engine) error {
+		if _, _, bulk := applyBatch(eng, ops); bulk {
+			sess.graphBlob = nil
+			st.configureEngine(eng)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) > 0 {
+		t.Fatalf("temp files left at final-path directory: %v", tmps)
+	}
+}
+
+// TestCrashRecoveryConvergence is the kill-and-restart proof, run under
+// -race in CI: a durable store takes journaled edit batches and is then
+// abandoned without Close or Flush — its background drain workers still
+// mid-wavefront, exactly a SIGKILL's view of memory — while a second store
+// opens the same directory. Every session must be rediscovered, replay its
+// journal, and settle to values byte-identical to a serial reference engine
+// that applied the same batches and never crashed. The reference runs on
+// both graph backends.
+func TestCrashRecoveryConvergence(t *testing.T) {
+	for name, mkGraph := range drainBackends {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := StoreOptions{
+				Shards: 2, RecalcWorkers: 2, RecalcChunk: 16,
+				Durable: true, SpillDir: dir, FsyncPolicy: "never",
+			}
+			st1, err := NewStore(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Closed only at test end (after verification), standing in for
+			// the killed process finally disappearing.
+			t.Cleanup(st1.Close)
+
+			batches := crashBatches()
+			const nSessions = 3
+			ids := make([]string, nSessions)
+			for i := range ids {
+				// Blank creates: all content arrives as journaled batches, so
+				// recovery rebuilds each session purely from its journal
+				// (SnapHeld=false registry entries) — which also lets the
+				// reference use the nocomp backend while recovered engines
+				// are TACO.
+				ids[i] = st1.Create(fmt.Sprintf("crash%d", i), engine.New(mkGraph())).ID
+			}
+			for _, batch := range batches {
+				for _, id := range ids {
+					applyJournaled(t, st1, id, batch)
+				}
+			}
+			// No Wait, no Flush, no Close: drains are in flight right now.
+
+			st2, err := NewStore(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st2.Close()
+			if got := st2.Stats().RecoveredSessions; got != nSessions {
+				t.Fatalf("recovered %d sessions, want %d", got, nSessions)
+			}
+			refEng := engine.New(mkGraph())
+			for _, batch := range batches {
+				ops, err := parseBatch(batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				applyBatch(refEng, ops)
+			}
+			refEng.RecalculateAll()
+			domain := touchedRefs(batches)
+			for i, id := range ids {
+				s, err := st2.Peek(id)
+				if err != nil {
+					t.Fatalf("session %d not discoverable after crash: %v", i, err)
+				}
+				if s.Rev() != uint64(len(batches)) {
+					t.Fatalf("session %d rev = %d, want %d", i, s.Rev(), len(batches))
+				}
+				if err := st2.Wait(id); err != nil {
+					t.Fatalf("session %d wait: %v", i, err)
+				}
+				err = st2.View(id, func(_ *Session, eng *engine.Engine) error {
+					for _, at := range domain {
+						if got, want := eng.Value(at), refEng.Value(at); !sameValue(got, want) {
+							t.Errorf("session %d cell %s: recovered %v, reference %v", i, ref.FormatA1(at), got, want)
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := st2.Stats().ReplayedRecords; got != uint64(nSessions*len(batches)) {
+				t.Fatalf("replayed %d records, want %d", got, nSessions*len(batches))
+			}
+			assertNoTempFiles(t, dir)
+		})
+	}
+}
+
+// TestCrashRecoveryWithSnapshotTail covers the snapshot-plus-tail shape:
+// eviction spills a snapshot (truncating the journal), further edits journal
+// on top, then the store is abandoned. Recovery must restore the snapshot
+// and replay only the tail.
+func TestCrashRecoveryWithSnapshotTail(t *testing.T) {
+	dir := t.TempDir()
+	opts := StoreOptions{
+		Shards: 1, MaxResident: 1, RecalcWorkers: -1,
+		Durable: true, SpillDir: dir, FsyncPolicy: "never",
+	}
+	st1, err := NewStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st1.Close)
+	// Force every spill to checkpoint (registry advance + journal truncate);
+	// the default threshold amortises checkpoints over ~256KB of journal,
+	// which these small batches would never reach.
+	st1.ckptBytes = 1
+	batches := crashBatches()
+	split := 5
+
+	a := st1.Create("tail", engine.New(nil)).ID
+	for _, batch := range batches[:split] {
+		applyJournaled(t, st1, a, batch)
+	}
+	// Touching a second session evicts the first: snapshot written, journal
+	// truncated, registry advanced.
+	b := st1.Create("other", engine.New(nil)).ID
+	applyJournaled(t, st1, b, []EditOp{{Cell: "A1", Value: num(1)}})
+	if s, _ := st1.Peek(a); s.Resident() {
+		t.Fatal("expected session to be spilled by the resident cap")
+	}
+	// The tail: more journaled edits, which fault the session back in.
+	for _, batch := range batches[split:] {
+		applyJournaled(t, st1, a, batch)
+	}
+
+	st2, err := NewStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := st2.Wait(a); err != nil {
+		t.Fatal(err)
+	}
+	refEng := engine.New(nil)
+	for _, batch := range batches {
+		ops, err := parseBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyBatch(refEng, ops)
+	}
+	refEng.RecalculateAll()
+	err = st2.View(a, func(_ *Session, eng *engine.Engine) error {
+		for _, at := range touchedRefs(batches) {
+			if got, want := eng.Value(at), refEng.Value(at); !sameValue(got, want) {
+				t.Errorf("cell %s: recovered %v, reference %v", ref.FormatA1(at), got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the post-spill batches should have replayed.
+	if got := st2.Stats().ReplayedRecords; got != uint64(len(batches)-split) {
+		t.Fatalf("replayed %d records, want %d (the journal tail)", got, len(batches)-split)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestWarmRestartHTTP drives recovery end to end through the HTTP API: a
+// durable server hosts a scenario session plus edits, shuts down cleanly,
+// and a second server over the same directory must list the session under
+// the same ID, name, and revision, serve identical values, and accept
+// further edits.
+func TestWarmRestartHTTP(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Store: StoreOptions{Durable: true, SpillDir: dir, FsyncPolicy: "always"}}
+	srv1, tc1 := newTestServer(t, opts)
+	var info SessionInfo
+	if code := tc1.do("POST", "/sessions", CreateRequest{Name: "warm", Scenario: "financial", Rows: 12, Seed: 7}, &info); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	for i := 0; i < 4; i++ {
+		batch := EditBatch{Edits: []EditOp{
+			{Cell: fmt.Sprintf("B%d", 2+i), Value: num(float64(100*i + 1))},
+			{Cell: "C2", Formula: str(fmt.Sprintf("SUM(B2:B%d)", 5+i))},
+		}}
+		if code := tc1.do("POST", "/sessions/"+info.ID+"/edits?wait=1", batch, nil); code != http.StatusOK {
+			t.Fatalf("edit %d: status %d", i, code)
+		}
+	}
+	var before CellsResult
+	if code := tc1.do("GET", "/sessions/"+info.ID+"/cells?range=A1:H12&wait=1", nil, &before); code != http.StatusOK {
+		t.Fatalf("read: status %d", code)
+	}
+	srv1.Close() // graceful restart: journals and registry flushed
+
+	_, tc2 := newTestServer(t, opts)
+	var listed []SessionInfo
+	if code := tc2.do("GET", "/sessions", nil, &listed); code != http.StatusOK {
+		t.Fatal("list failed")
+	}
+	if len(listed) != 1 || listed[0].ID != info.ID || listed[0].Name != "warm" {
+		t.Fatalf("restart lost the session: %+v", listed)
+	}
+	if listed[0].Rev != before.Rev {
+		t.Fatalf("restart rev = %d, want %d", listed[0].Rev, before.Rev)
+	}
+	var after CellsResult
+	if code := tc2.do("GET", "/sessions/"+info.ID+"/cells?range=A1:H12&wait=1", nil, &after); code != http.StatusOK {
+		t.Fatalf("read after restart: status %d", code)
+	}
+	if !reflect.DeepEqual(before.Cells, after.Cells) {
+		t.Fatalf("values diverged across restart:\nbefore %+v\nafter  %+v", before.Cells, after.Cells)
+	}
+	// The recovered session keeps working: another journaled edit.
+	if code := tc2.do("POST", "/sessions/"+info.ID+"/edits?wait=1",
+		EditBatch{Edits: []EditOp{{Cell: "B2", Value: num(42)}}}, nil); code != http.StatusOK {
+		t.Fatalf("edit after restart: status %d", code)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestQuarantineCorruptSnapshot flips a byte in a session's spill file and
+// restarts: the restore must fail with ErrSnapshotCorrupt, rename the file
+// aside as *.corrupt, and keep failing the same way — without affecting the
+// store's other sessions.
+func TestQuarantineCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	opts := StoreOptions{Durable: true, SpillDir: dir, FsyncPolicy: "never", RecalcWorkers: -1}
+	st1, err := NewStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(nil)
+	for r := 1; r <= 8; r++ {
+		eng.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)))
+	}
+	victim := st1.Create("victim", eng).ID
+	okEng := engine.New(nil)
+	okEng.SetValue(ref.Ref{Col: 1, Row: 1}, formula.Num(9))
+	ok := st1.Create("bystander", okEng).ID
+	st1.Close()
+
+	path := filepath.Join(dir, victim+".tacos")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := NewStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for i := 0; i < 2; i++ { // poisoned: every touch fails identically
+		err := st2.View(victim, func(*Session, *engine.Engine) error { return nil })
+		if !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("touch %d: err = %v, want ErrSnapshotCorrupt", i, err)
+		}
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt file not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt file still at final path (err=%v)", err)
+	}
+	if got := st2.Stats().QuarantinedSnapshots; got != 1 {
+		t.Fatalf("quarantined = %d, want 1", got)
+	}
+	// The bystander is untouched.
+	err = st2.View(ok, func(_ *Session, e *engine.Engine) error {
+		if v := e.Value(ref.Ref{Col: 1, Row: 1}); v.Num != 9 {
+			t.Fatalf("bystander value = %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEditOpsCodec round-trips every op shape and rejects malformed bytes.
+func TestEditOpsCodec(t *testing.T) {
+	in := []EditOp{
+		{Cell: "A1", Value: num(3.25)},
+		{Cell: "B2", Value: num(-0.0)},
+		{Cell: "C3", Text: str("héllo\x00world")},
+		{Cell: "D4", Formula: str("SUM(A1:A10)*2")},
+		{Cell: "E5", Clear: true},
+		{Cell: "F6", Text: str("")},
+	}
+	enc := encodeEditOps(in)
+	out, err := decodeEditOps(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\nin  %+v\nout %+v", in, out)
+	}
+	for i := 1; i < len(enc); i++ {
+		if _, err := decodeEditOps(enc[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", i)
+		}
+	}
+	if _, err := decodeEditOps([]byte{0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+}

@@ -55,6 +55,20 @@ var (
 		telemetry.DurationBounds())
 	mDrains = telemetry.NewCounter("taco_store_drains_total",
 		"Background drains completed (session reached zero pending cells).")
+
+	// Durability and crash recovery (durability.go). taco_journal_* families
+	// live in internal/journal.
+	mRecoveredSessions = telemetry.NewCounter("taco_recovery_sessions_total",
+		"Sessions re-registered from the persistent registry at warm boot.")
+	mReplayRecords = telemetry.NewCounter("taco_recovery_replay_records_total",
+		"Journal records replayed onto restored snapshots.")
+	mReplayDuration = telemetry.NewHistogram("taco_recovery_replay_seconds",
+		"Journal-tail replay duration per session restore.",
+		telemetry.DurationBounds())
+	mQuarantined = telemetry.NewCounter("taco_recovery_quarantined_snapshots_total",
+		"Spill files that failed their integrity check at restore and were renamed aside as *.corrupt.")
+	mDurabilityErrors = telemetry.NewCounter("taco_store_durability_errors_total",
+		"Failed journal appends or registry updates; the session degrades to non-durable rather than failing the request.")
 )
 
 // liveStores tracks open Stores for the scrape-time gauges. NewStore

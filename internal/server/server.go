@@ -398,8 +398,16 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// In a durable store the validated batch is re-encoded for the session's
+	// edit journal; UpdateJournaled appends it (and runs the fsync policy's
+	// barrier) before the 200 commits, so an acknowledged batch survives a
+	// crash and replays at the next restore.
+	var record []byte
+	if s.store.Durable() {
+		record = encodeEditOps(batch.Edits)
+	}
 	var res EditResult
-	err = s.store.Update(id, true, func(sess *Session, eng *engine.Engine) error {
+	err = s.store.UpdateJournaled(id, record, func(sess *Session, eng *engine.Engine) error {
 		applied, dirty, bulk := applyBatch(eng, ops)
 		if bulk {
 			// The bulk path rebuilt the engine around a fresh graph; the

@@ -24,6 +24,7 @@ import (
 
 	"taco/internal/core"
 	"taco/internal/engine"
+	"taco/internal/journal"
 )
 
 // ErrSessionNotFound is returned for unknown session IDs.
@@ -84,6 +85,24 @@ type StoreOptions struct {
 	// — for dependents/precedents queries that never touch disk and
 	// restores that skip the graph decode.
 	NoGraphPin bool
+	// Durable enables crash-safe sessions: every accepted edit batch is
+	// appended to a per-session journal before the response commits, a
+	// persistent registry in SpillDir maps sessions to their snapshots and
+	// journals, and a restarted store re-registers every session at boot,
+	// replaying journal tails on top of snapshots at first touch. Requires
+	// SpillDir (with or without MaxResident eviction).
+	Durable bool
+	// FsyncPolicy picks the journal fsync discipline when Durable:
+	// "interval" (default) flushes dirty journals every FsyncInterval on a
+	// background syncer, "always" group-commits an fsync before every edit
+	// acknowledgement, "never" leaves write-back to the kernel. All three
+	// survive a process crash (appends are synchronous write(2)s); the
+	// policy only decides what a power failure can take.
+	FsyncPolicy string
+	// FsyncInterval is the background flush period under FsyncPolicy
+	// "interval" (default 50ms) — the upper bound on edits a power failure
+	// can lose.
+	FsyncInterval time.Duration
 }
 
 func (o StoreOptions) withDefaults() StoreOptions {
@@ -110,6 +129,9 @@ func (o StoreOptions) withDefaults() StoreOptions {
 	}
 	if o.RecalcPoolSize < 0 || o.RecalcParallelism <= 1 {
 		o.RecalcPoolSize = 0
+	}
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 50 * time.Millisecond
 	}
 	return o
 }
@@ -151,6 +173,13 @@ type Session struct {
 	// queued marks membership in the store's recalc queue (guarded by the
 	// store's recalc mutex, not the session lock).
 	queued bool
+	// jw is the session's edit journal writer, opened lazily on the first
+	// journaled edit of a durable store (guarded by mu).
+	jw *journal.Writer
+	// corrupt poisons a session whose spill file failed its integrity check
+	// at restore; the file is quarantined and every touch returns
+	// ErrSnapshotCorrupt rather than serving bad data. Guarded by mu.
+	corrupt bool
 
 	shard *shard
 	elem  *list.Element // LRU position; nil while spilled (guarded by shard.mu)
@@ -223,24 +252,38 @@ type Store struct {
 	// the live occupancy of the drain workers, surfaced in Stats.
 	drainsInFlight atomic.Int64
 
-	clock      atomic.Uint64
-	hits       atomic.Uint64
-	misses     atomic.Uint64
-	evictions  atomic.Uint64
-	restores   atomic.Uint64
-	recalcs    atomic.Uint64 // background drains completed
-	snapSkips  atomic.Uint64 // evictions that skipped an unchanged snapshot write
-	spillReads atomic.Uint64 // reads served from spill files without restoring
+	// Durability layer (nil / zero unless StoreOptions.Durable): fsync
+	// policy, the shared background syncer (interval policy), and the
+	// persistent session registry. See durability.go.
+	pol       journal.Policy
+	syncer    *journal.Syncer
+	reg       *journal.Registry
+	ckptBytes int64 // journal size that makes a spill checkpoint the registry
+
+	clock       atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	restores    atomic.Uint64
+	recalcs     atomic.Uint64 // background drains completed
+	snapSkips   atomic.Uint64 // evictions that skipped an unchanged snapshot write
+	spillReads  atomic.Uint64 // reads served from spill files without restoring
+	recovered   atomic.Uint64 // sessions re-registered from the registry at boot
+	replayed    atomic.Uint64 // journal records replayed at restores
+	quarantined atomic.Uint64 // spill files quarantined as corrupt
 }
 
 // NewStore builds a session store. It creates SpillDir when eviction is
 // enabled.
 func NewStore(opts StoreOptions) (*Store, error) {
 	opts = opts.withDefaults()
-	if opts.MaxResident > 0 {
-		if opts.SpillDir == "" {
-			return nil, errors.New("server: MaxResident requires SpillDir")
-		}
+	if opts.MaxResident > 0 && opts.SpillDir == "" {
+		return nil, errors.New("server: MaxResident requires SpillDir")
+	}
+	if opts.Durable && opts.SpillDir == "" {
+		return nil, errors.New("server: Durable requires SpillDir")
+	}
+	if opts.SpillDir != "" {
 		if err := os.MkdirAll(opts.SpillDir, 0o755); err != nil {
 			return nil, err
 		}
@@ -248,6 +291,12 @@ func NewStore(opts StoreOptions) (*Store, error) {
 	st := &Store{opts: opts, shards: make([]*shard, opts.Shards)}
 	for i := range st.shards {
 		st.shards[i] = &shard{sessions: make(map[string]*Session), lru: list.New()}
+	}
+	if opts.Durable {
+		if err := st.openDurability(); err != nil {
+			return nil, err
+		}
+		st.bootRecover()
 	}
 	st.rq.cond = sync.NewCond(&st.rq.mu)
 	if opts.RecalcPoolSize > 0 {
@@ -296,6 +345,9 @@ func (st *Store) Close() {
 	st.wg.Wait()
 	if st.pool != nil && !closed {
 		st.pool.close()
+	}
+	if st.opts.Durable && !closed {
+		st.closeDurability()
 	}
 }
 
@@ -497,7 +549,11 @@ func (st *Store) Wait(id string) error {
 	}
 	s.mu.RLock()
 	deleted := s.deleted
-	settled := s.eng == nil || s.pending == 0
+	// A boot-recovered session whose journal tail has not been replayed yet
+	// (rev ahead of the snapshot) is NOT settled even though it has no
+	// engine: the barrier must fault it in so its replayed cells drain.
+	tail := s.eng == nil && s.rev != s.snapRev
+	settled := !tail && (s.eng == nil || s.pending == 0)
 	pending0 := s.pending
 	s.mu.RUnlock()
 	if deleted {
@@ -505,6 +561,12 @@ func (st *Store) Wait(id string) error {
 	}
 	if settled {
 		return nil
+	}
+	if tail {
+		if err := st.withResident(s, func(*engine.Engine) error { return nil }); err != nil {
+			return err
+		}
+		pending0 = s.Pending()
 	}
 	// Chunked holds are bounded by the work observed at entry (plus slack):
 	// a concurrent editor re-dirtying the sheet between holds could
@@ -560,6 +622,9 @@ func newSessionID() string {
 func (st *Store) Create(name string, eng *engine.Engine) *Session {
 	st.configureEngine(eng)
 	s := &Session{ID: newSessionID(), Name: name, eng: eng}
+	if st.opts.Durable {
+		st.recordCreate(s, eng)
+	}
 	s.tick.Store(st.clock.Add(1))
 	sh := st.shardFor(s.ID)
 	s.shard = sh
@@ -691,6 +756,11 @@ func (st *Store) ReadSpilled(id string, fn func(br *bufio.Reader, rev uint64) er
 	if s.eng != nil {
 		return false, nil
 	}
+	if s.rev != s.snapRev || s.corrupt {
+		// Boot-recovered with an unreplayed journal tail (the file is stale)
+		// or quarantined: fall back to the faulting path.
+		return false, nil
+	}
 	f, err := os.Open(st.spillPath(s.ID))
 	if err != nil {
 		return false, nil
@@ -757,7 +827,12 @@ func (st *Store) withResident(s *Session, fn func(*engine.Engine) error) error {
 	}
 	restored := false
 	if s.eng == nil {
-		eng, err := st.readSpill(s.ID, s.graph)
+		// restoreEngine reads the snapshot (integrity-checked) and replays
+		// any journal tail. When rev == snapRev afterwards the file holds
+		// exactly this state and eviction can drop residency without
+		// rewriting; a replayed session keeps rev > snapRev, forcing the
+		// next spill to write a fresh snapshot.
+		eng, err := st.restoreEngine(s)
 		if err != nil {
 			s.mu.Unlock()
 			return fmt.Errorf("server: restore session %s: %w", s.ID, err)
@@ -765,10 +840,6 @@ func (st *Store) withResident(s *Session, fn func(*engine.Engine) error) error {
 		st.configureEngine(eng)
 		s.eng = eng
 		s.graph = nil // live again; the engine owns it now
-		// The file we just read holds exactly this state; until the next
-		// rev-bumping update, eviction can drop residency without rewriting.
-		s.snapHeld = true
-		s.snapRev = s.rev
 		restored = true
 		st.restores.Add(1)
 		mRestores.Inc()
@@ -810,6 +881,8 @@ func (st *Store) Delete(id string) error {
 	s.eng = nil
 	s.graph = nil
 	s.graphBlob = nil
+	jw := s.jw
+	s.jw = nil
 	// Unlink from the LRU while still holding s.mu (the permitted s.mu ->
 	// sh.mu order): a restore that raced the map removal above may have
 	// re-registered the session, and leaving it listed would permanently
@@ -822,8 +895,14 @@ func (st *Store) Delete(id string) error {
 	}
 	sh.mu.Unlock()
 	s.mu.Unlock()
+	if jw != nil {
+		jw.Close()
+	}
 	if st.opts.SpillDir != "" {
 		os.Remove(st.spillPath(id))
+	}
+	if st.opts.Durable {
+		st.recordDelete(id)
 	}
 	mSessionsDeleted.Inc()
 	return nil
@@ -957,13 +1036,9 @@ func (st *Store) spill(victim *Session) error {
 		mEvictions.Inc()
 		return nil
 	}
-	// Serialise to a pooled buffer and write in one syscall. Writing the
-	// final path directly (no temp + rename) is safe against readers: both
-	// restore and the spill-file read path open the file only after
-	// verifying non-residency under the session lock, and this write holds
-	// the write lock with eng still set — so no reader can have the
-	// half-written file open. Only a process crash can tear it, and the
-	// spill directory does not outlive the process.
+	// Serialise to a pooled buffer, then publish atomically: same-directory
+	// temp file + rename, so neither a crash mid-write nor a restarted
+	// durable store can ever observe a torn snapshot at the final path.
 	buf := bufPool.Get().(*bytes.Buffer)
 	defer func() { buf.Reset(); bufPool.Put(buf) }()
 	buf.Reset()
@@ -978,7 +1053,7 @@ func (st *Store) spill(victim *Session) error {
 		}
 		victim.graphBlob, victim.graphBlobGen = blob, gen
 	}
-	if err := os.WriteFile(st.spillPath(victim.ID), buf.Bytes(), 0o644); err != nil {
+	if err := writeFileAtomic(st.spillPath(victim.ID), buf.Bytes(), st.syncFiles()); err != nil {
 		return err
 	}
 	mSpillBytes.Add(uint64(buf.Len()))
@@ -992,21 +1067,26 @@ func (st *Store) spill(victim *Session) error {
 	victim.pending = 0
 	victim.snapHeld = true
 	victim.snapRev = victim.rev
+	st.noteSpilled(victim)
 	st.evictions.Add(1)
 	mEvictions.Inc()
 	return nil
 }
 
-// readSpill restores an engine from the session's spill file. With a pinned
-// graph the restore decodes only the cell section and rebuilds around it.
+// readSpill restores an engine from the session's spill file, verifying the
+// snapshot's whole-file checksum first (a TACOE1 file from before checksums
+// passes vacuously). With a pinned graph the restore decodes only the cell
+// section and rebuilds around it.
 func (st *Store) readSpill(id string, pinned *core.Graph) (*engine.Engine, error) {
-	f, err := os.Open(st.spillPath(id))
+	data, err := os.ReadFile(st.spillPath(id))
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	if err := engine.CheckSnapshotIntegrity(data); err != nil {
+		return nil, err
+	}
 	br := brPool.Get().(*bufio.Reader)
-	br.Reset(f)
+	br.Reset(bytes.NewReader(data))
 	defer func() { br.Reset(nil); brPool.Put(br) }()
 	if pinned != nil {
 		return engine.RestoreSnapshotWithGraph(br, pinned)
@@ -1052,6 +1132,17 @@ type StoreStats struct {
 	// (0 = serial or pool disabled). Together with RecalcWorkers it is the
 	// store's total drain-goroutine bound, independent of session count.
 	EvalPoolWorkers int `json:"eval_pool_workers"`
+	// Durable reports whether the store journals edits for crash recovery.
+	Durable bool `json:"durable,omitempty"`
+	// RecoveredSessions counts sessions re-registered from the persistent
+	// registry at warm boot.
+	RecoveredSessions uint64 `json:"recovered_sessions,omitempty"`
+	// ReplayedRecords counts journal records replayed onto restored
+	// snapshots since boot.
+	ReplayedRecords uint64 `json:"replayed_records,omitempty"`
+	// QuarantinedSnapshots counts spill files that failed their integrity
+	// check and were renamed aside as *.corrupt.
+	QuarantinedSnapshots uint64 `json:"quarantined_snapshots,omitempty"`
 }
 
 // Stats summarises the store.
@@ -1086,5 +1177,10 @@ func (st *Store) Stats() StoreStats {
 		RecalcQueue:     queued,
 		DrainsInFlight:  int(st.drainsInFlight.Load()),
 		EvalPoolWorkers: poolWorkers,
+
+		Durable:              st.opts.Durable,
+		RecoveredSessions:    st.recovered.Load(),
+		ReplayedRecords:      st.replayed.Load(),
+		QuarantinedSnapshots: st.quarantined.Load(),
 	}
 }
