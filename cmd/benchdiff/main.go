@@ -26,6 +26,13 @@
 //     current host has at least as many CPUs as the shape ran workers:
 //     wall-clock parallel speedup on fewer cores than workers is
 //     physically meaningless, and the regression ceiling still applies.
+//     Pattern shapes ("patterns") are gated on ns_op_vectorized with the
+//     same ceiling, plus the baseline's min_speedup floor on the
+//     ast-vs-vectorized ratio. Unlike the recalc floors, a pattern floor
+//     is enforced on any host, including single-CPU runners: the
+//     vectorized drain is algorithmically cheaper than the per-cell AST
+//     walk (batched sweeps, warm schedules), not merely more parallel, so
+//     the ratio must hold regardless of core count.
 package main
 
 import (
@@ -62,10 +69,18 @@ type recalcResult struct {
 	MinSpeedup   float64 `json:"min_speedup"`
 }
 
+type patternResult struct {
+	NsOpAst        float64 `json:"ns_op_ast"`
+	NsOpVectorized float64 `json:"ns_op_vectorized"`
+	Speedup        float64 `json:"speedup"`
+	MinSpeedup     float64 `json:"min_speedup"`
+}
+
 type evalReport struct {
-	Bench   string                  `json:"bench"`
-	Results map[string]evalResult   `json:"results"`
-	Recalc  map[string]recalcResult `json:"recalc"`
+	Bench    string                   `json:"bench"`
+	Results  map[string]evalResult    `json:"results"`
+	Recalc   map[string]recalcResult  `json:"recalc"`
+	Patterns map[string]patternResult `json:"patterns"`
 }
 
 func readJSON(path string, out any) error {
@@ -201,6 +216,34 @@ func main() {
 						"%s: parallel speedup %.2fx below the baseline's %.2fx floor",
 						name, c.Speedup, b.MinSpeedup))
 				}
+			}
+		}
+		for name, b := range base.Patterns {
+			c, ok := cur.Patterns[name]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: missing from current report", name))
+				continue
+			}
+			ceiling := b.NsOpVectorized * (1 + *tol)
+			fmt.Printf("%-18s vectorized %.0f ns/op (baseline %.0f, ceiling %.0f), speedup %.2fx",
+				name, c.NsOpVectorized, b.NsOpVectorized, ceiling, c.Speedup)
+			if c.NsOpVectorized > ceiling {
+				failures = append(failures, fmt.Sprintf(
+					"%s: ns_op_vectorized regressed: %.0f -> %.0f (>%.0f%% rise)",
+					name, b.NsOpVectorized, c.NsOpVectorized, *tol*100))
+			}
+			if b.MinSpeedup <= 0 {
+				fmt.Println(" (no floor)")
+				continue
+			}
+			// No CPU/worker skip here: the ast-vs-vectorized ratio compares two
+			// drains of the same cells on the same host, and the vectorized
+			// side's advantage is algorithmic, so the floor binds everywhere.
+			fmt.Printf(" (floor %.2fx)\n", b.MinSpeedup)
+			if c.Speedup < b.MinSpeedup {
+				failures = append(failures, fmt.Sprintf(
+					"%s: vectorized speedup %.2fx below the baseline's %.2fx floor",
+					name, c.Speedup, b.MinSpeedup))
 			}
 		}
 	default:

@@ -1,12 +1,15 @@
 // Command tacoeval measures the evaluation-side hot paths of the engine:
 //
-//   - Range aggregation: SUM over a 10k-cell range resolved through the
-//     engine's columnar bulk path (formula.RangeResolver) versus the
-//     per-cell CellValue probe path, on dense, sparse, and single-column
-//     shapes.
+//   - Range aggregation: an aggregate over a 10k-cell range resolved
+//     through the engine's columnar bulk path (formula.RangeResolver /
+//     CondFolder) versus the per-cell CellValue probe path, on dense,
+//     sparse, single-column, SUMIF, and SUMPRODUCT-rectangle shapes.
 //   - Recalculation: draining a dirtied sheet through the parallel
 //     wavefront scheduler versus the serial resolver, on deep-chain,
 //     wide-fanout, diamond, and mixed dependency shapes.
+//   - Pattern runs: columns of shift-identical formulas drained through
+//     the run-vectorized wavefront (one interned bytecode program swept
+//     across contiguous rows) versus per-cell AST evaluation.
 //
 // Usage:
 //
@@ -17,7 +20,9 @@
 // are host-independent and therefore the primary gates. The wide-fanout
 // recalc shape carries a min_speedup the checked-in baseline turns into a
 // CI floor — the shape with maximal level width is where wavefront
-// parallelism must pay, regardless of runner speed.
+// parallelism must pay, regardless of runner speed. The pattern shapes
+// carry min_speedup floors too, and theirs hold on any host: the drain is
+// algorithmically cheaper than the AST walk, not merely more parallel.
 package main
 
 import (
@@ -60,12 +65,34 @@ type RecalcResult struct {
 	MinSpeedup float64 `json:"min_speedup,omitempty"`
 }
 
+// PatternResult is one pattern-run shape's measurement: the same dirtied
+// sheet drained with run vectorization on (interned bytecode programs swept
+// over contiguous rows against the column slabs) and fully off (per-cell
+// AST tree-walk through the serial resolver).
+type PatternResult struct {
+	Rows    int `json:"rows"`
+	Cells   int `json:"cells"` // formula cells drained per iteration
+	Workers int `json:"workers"`
+	CPUs    int `json:"cpus"`
+	Iters   int `json:"iters"`
+	// NsOpAst is per-cell AST evaluation (pattern runs off, serial drain);
+	// NsOpVectorized is the run-batched bytecode drain of the same edit.
+	NsOpAst        float64 `json:"ns_op_ast"`
+	NsOpVectorized float64 `json:"ns_op_vectorized"`
+	Speedup        float64 `json:"speedup"` // ast / vectorized
+	// MinSpeedup is the floor benchdiff enforces for this shape. Unlike the
+	// recalc floors it is not CPU-gated: the vectorized drain beats the AST
+	// walk by doing less work per cell, so the floor binds on any host.
+	MinSpeedup float64 `json:"min_speedup,omitempty"`
+}
+
 // Report is the BENCH_eval.json schema.
 type Report struct {
-	Bench   string                  `json:"bench"`
-	Config  map[string]any          `json:"config"`
-	Results map[string]Result       `json:"results"`
-	Recalc  map[string]RecalcResult `json:"recalc"`
+	Bench    string                   `json:"bench"`
+	Config   map[string]any           `json:"config"`
+	Results  map[string]Result        `json:"results"`
+	Recalc   map[string]RecalcResult  `json:"recalc"`
+	Patterns map[string]PatternResult `json:"patterns"`
 }
 
 // buildGrid populates a cols×rows block keeping every strideth cell.
@@ -117,9 +144,16 @@ func measure(minTime time.Duration, fn func()) (nsOp float64, iters int) {
 	}
 }
 
-func runShape(cols, rows, stride int, minTime time.Duration) Result {
+// runShape measures one range-aggregation shape. src, when non-empty, is
+// the formula to evaluate instead of the default SUM over the whole grid —
+// the hook the SUMIF/SUMPRODUCT shapes use to steer into the conditional
+// folds.
+func runShape(cols, rows, stride int, src string, minTime time.Duration) Result {
 	e, rng, populated := buildGrid(cols, rows, stride)
-	ast := formula.MustParse(fmt.Sprintf("=SUM(%s)", rng))
+	if src == "" {
+		src = fmt.Sprintf("=SUM(%s)", rng)
+	}
+	ast := formula.MustParse(src)
 	bulkRes := e.ValueResolver()
 	percellRes := formula.ResolverFunc(e.Value)
 	if b, p := formula.Eval(ast, bulkRes), formula.Eval(ast, percellRes); b != p {
@@ -317,6 +351,125 @@ func runRecalcShape(s recalcShape, workers int, minTime time.Duration) RecalcRes
 	return r
 }
 
+// patternShape is one pattern-run benchmark: a sheet whose formula columns
+// are shift-copies of a single template, so the wavefront can intern one
+// bytecode program per column and drain each as a vectorized sweep.
+type patternShape struct {
+	name       string
+	minSpeedup float64
+	rows       int
+	build      func(e *engine.Engine, rows int)
+	dirty      func(e *engine.Engine, v float64)
+}
+
+func patternShapes() []patternShape {
+	f1 := ref.Ref{Col: 6, Row: 1}
+	bumpF1 := func(e *engine.Engine, v float64) {
+		e.SetValue(f1, formula.Num(v))
+	}
+	return []patternShape{
+		{
+			// The canonical column drain from the compressed graph's
+			// RR-chain patterns: two data columns, a scale column off $F$1,
+			// and a combine column over all three. Editing F1 re-dirties
+			// both formula columns, which the scheduler recovers as two
+			// full-column runs — 3x is the algorithmic floor for skipping
+			// the per-cell walk + interface dispatch, CPU count regardless.
+			name:       "pattern_mul_add_column",
+			minSpeedup: 3.0,
+			rows:       100_000,
+			build: func(e *engine.Engine, rows int) {
+				e.SetValue(f1, formula.Num(1.5))
+				for r := 1; r <= rows; r++ {
+					e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)/7))
+					e.SetValue(ref.Ref{Col: 2, Row: r}, formula.Num(float64(r%97)+0.5))
+					mustSetFormula(e, ref.Ref{Col: 3, Row: r}, fmt.Sprintf("B%d*$F$1", r))
+					mustSetFormula(e, ref.Ref{Col: 4, Row: r}, fmt.Sprintf("A%d*B%d+C%d", r, r, r))
+				}
+			},
+			dirty: bumpF1,
+		},
+		{
+			// A sliding SUMPRODUCT rectangle: every row folds a 10-row
+			// window of two columns. The heavy lifting is the slab fold on
+			// both paths, so the vectorized margin is the dispatch around
+			// it — the floor is correspondingly modest.
+			name:       "pattern_sumproduct_rect",
+			minSpeedup: 1.1,
+			rows:       20_000,
+			build: func(e *engine.Engine, rows int) {
+				e.SetValue(f1, formula.Num(2))
+				for r := 1; r <= rows+10; r++ {
+					e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r%13)-3))
+					e.SetValue(ref.Ref{Col: 2, Row: r}, formula.Num(float64(r%7)+0.25))
+				}
+				for r := 1; r <= rows; r++ {
+					mustSetFormula(e, ref.Ref{Col: 4, Row: r},
+						fmt.Sprintf("SUMPRODUCT(A%d:A%d,B%d:B%d)*$F$1", r, r+9, r, r+9))
+				}
+			},
+			dirty: bumpF1,
+		},
+	}
+}
+
+// runPatternShape measures one pattern shape: identical engines drained
+// with the run-vectorized wavefront and with per-cell AST evaluation
+// (pattern runs off, serial resolver), verified value-identical first.
+func runPatternShape(s patternShape, workers int, minTime time.Duration) PatternResult {
+	build := func(vectorized bool) *engine.Engine {
+		e := engine.New(nil)
+		s.build(e, s.rows)
+		e.RecalculateAll()
+		if vectorized {
+			e.SetRecalcParallelism(workers)
+		} else {
+			e.SetPatternRuns(false)
+			e.SetRecalcParallelism(1)
+		}
+		return e
+	}
+	ast := build(false)
+	vec := build(true)
+
+	// Equivalence gate: the vectorized drain must stay byte-identical to
+	// the per-cell AST walk on every cell it touches.
+	s.dirty(ast, 42)
+	s.dirty(vec, 42)
+	dirty := ast.Pending()
+	ast.RecalculateAll()
+	vec.RecalculateAll()
+	ast.ScanRange(ref.Range{Head: ref.Ref{Col: 1, Row: 1}, Tail: ref.Ref{Col: 64, Row: 1 << 20}},
+		func(at ref.Ref, v formula.Value, _ string, _ bool) bool {
+			if pv := vec.Value(at); pv != v {
+				fmt.Fprintf(os.Stderr, "tacoeval: %s: %v ast=%v vectorized=%v\n", s.name, at, v, pv)
+				os.Exit(1)
+			}
+			return true
+		})
+
+	var r PatternResult
+	r.Rows = s.rows
+	r.Cells = dirty
+	r.Workers = workers
+	r.CPUs = runtime.NumCPU()
+	r.MinSpeedup = s.minSpeedup
+	tick := 0.0
+	r.NsOpAst, r.Iters = measure(minTime, func() {
+		tick++
+		s.dirty(ast, tick)
+		ast.RecalculateAll()
+	})
+	tick = 0
+	r.NsOpVectorized, _ = measure(minTime, func() {
+		tick++
+		s.dirty(vec, tick)
+		vec.RecalculateAll()
+	})
+	r.Speedup = r.NsOpAst / r.NsOpVectorized
+	return r
+}
+
 func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
 	minTime := flag.Duration("mintime", 300*time.Millisecond, "minimum measurement time per path")
@@ -326,10 +479,16 @@ func main() {
 	shapes := []struct {
 		name               string
 		cols, rows, stride int
+		formula            string // "" = SUM over the whole grid
 	}{
-		{"range_sum_dense", 10, 1000, 1},   // 10k cells, all populated
-		{"range_sum_sparse", 10, 1000, 10}, // 10k cells, 1 in 10 populated
-		{"range_sum_column", 1, 10000, 1},  // one 10k-row column
+		{"range_sum_dense", 10, 1000, 1, ""},   // 10k cells, all populated
+		{"range_sum_sparse", 10, 1000, 10, ""}, // 10k cells, 1 in 10 populated
+		{"range_sum_column", 1, 10000, 1, ""},  // one 10k-row column
+		// Conditional folds: SUMIF on a 10k-row column pair and SUMPRODUCT
+		// on a 2x5000 rectangle pair, both resolved through the CondFolder
+		// slab folds on the bulk path.
+		{"range_sumif_column", 2, 10000, 1, "=SUMIF(A1:A10000,\">700\",B1:B10000)"},
+		{"range_sumproduct_rect", 4, 5000, 1, "=SUMPRODUCT(A1:B5000,C1:D5000)"},
 	}
 	rep := Report{
 		Bench: "eval",
@@ -337,15 +496,20 @@ func main() {
 			"mintime_ms":     minTime.Milliseconds(),
 			"recalc_workers": *workers,
 		},
-		Results: map[string]Result{},
-		Recalc:  map[string]RecalcResult{},
+		Results:  map[string]Result{},
+		Recalc:   map[string]RecalcResult{},
+		Patterns: map[string]PatternResult{},
 	}
 	for _, s := range shapes {
-		rep.Results[s.name] = runShape(s.cols, s.rows, s.stride, *minTime)
+		rep.Results[s.name] = runShape(s.cols, s.rows, s.stride, s.formula, *minTime)
 	}
 	rshapes := recalcShapes()
 	for _, s := range rshapes {
 		rep.Recalc[s.name] = runRecalcShape(s, *workers, *minTime)
+	}
+	pshapes := patternShapes()
+	for _, s := range pshapes {
+		rep.Patterns[s.name] = runPatternShape(s, *workers, *minTime)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -358,12 +522,17 @@ func main() {
 	}
 	for _, s := range shapes {
 		r := rep.Results[s.name]
-		fmt.Printf("%-18s %6d cells (%5d populated)  bulk %10.0f ns/op  percell %10.0f ns/op  speedup %.2fx\n",
+		fmt.Printf("%-22s %6d cells (%5d populated)  bulk %10.0f ns/op  percell %10.0f ns/op  speedup %.2fx\n",
 			s.name, r.Cells, r.Populated, r.NsOpBulk, r.NsOpPercell, r.Speedup)
 	}
 	for _, s := range rshapes {
 		r := rep.Recalc[s.name]
-		fmt.Printf("%-18s %6d dirty (%d workers)       serial %9.0f ns/op  parallel %9.0f ns/op  speedup %.2fx\n",
+		fmt.Printf("%-22s %6d dirty (%d workers)       serial %9.0f ns/op  parallel %9.0f ns/op  speedup %.2fx\n",
 			s.name, r.Dirty, r.Workers, r.NsOpSerial, r.NsOpParallel, r.Speedup)
+	}
+	for _, s := range pshapes {
+		r := rep.Patterns[s.name]
+		fmt.Printf("%-22s %6d dirty (%d rows)          ast %12.0f ns/op  vectorized %9.0f ns/op  speedup %.2fx (floor %.2fx)\n",
+			s.name, r.Cells, r.Rows, r.NsOpAst, r.NsOpVectorized, r.Speedup, r.MinSpeedup)
 	}
 }

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	tacoserve [-addr :8737] [-shards 16] [-max-resident 0] [-spill-dir DIR]
-//	          [-durable] [-fsync interval] [-fsync-interval 50ms]
+//	tacoserve [-addr :8737] [-port-file PATH] [-shards 16] [-max-resident 0]
+//	          [-spill-dir DIR] [-durable] [-fsync interval] [-fsync-interval 50ms]
 //	          [-recalc-parallelism 0] [-recalc-workers 0] [-recalc-chunk 0]
 //	          [-recalc-pool 0] [-debug-addr ADDR] [-access-log]
 //
@@ -36,6 +36,11 @@
 // With -debug-addr, a second listener serves net/http/pprof under /debug/pprof/
 // on its own mux — profiling stays off the public API surface and can bind a
 // loopback-only address.
+//
+// An -addr ending in :0 binds a kernel-chosen free port — the right choice
+// for scripts and CI jobs, which otherwise collide on shared runners. The
+// actual address is logged, and -port-file writes it (host:port, one line)
+// atomically to a path scripts can poll instead of scraping logs.
 package main
 
 import (
@@ -45,6 +50,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -64,7 +70,8 @@ func main() {
 	if os.Getenv("GOGC") == "" {
 		debug.SetGCPercent(300)
 	}
-	addr := flag.String("addr", ":8737", "listen address")
+	addr := flag.String("addr", ":8737", "listen address (use :0 for a kernel-chosen free port)")
+	portFile := flag.String("port-file", "", "write the bound host:port to this file once listening (for scripts using -addr :0)")
 	shards := flag.Int("shards", 16, "session store shard count")
 	maxResident := flag.Int("max-resident", 0, "max in-memory sessions (0 = unlimited)")
 	spillDir := flag.String("spill-dir", "", "directory for evicted session snapshots (required with -max-resident and -durable)")
@@ -122,7 +129,27 @@ func main() {
 		}()
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	// Bind before serving: with -addr :0 the kernel picks the port, and the
+	// bound address — not the requested one — is what gets logged and written
+	// to -port-file. The write is atomic (tmp + rename) so a polling script
+	// never reads a half-written line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tacoserve: %v\n", err)
+		os.Exit(2)
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		tmp := *portFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("tacoserve: port file: %v", err)
+		}
+		if err := os.Rename(tmp, *portFile); err != nil {
+			log.Fatalf("tacoserve: port file: %v", err)
+		}
+	}
+
+	hs := &http.Server{Handler: srv}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -148,9 +175,9 @@ func main() {
 			*fsyncPolicy, eff.FsyncInterval, srv.Store().Stats().RecoveredSessions)
 	}
 	log.Printf("tacoserve: listening on %s (shards=%d max-resident=%d recalc-workers=%d recalc-parallelism=%d recalc-chunk=%d recalc-pool=%d graph-pin=%t durable=%s)",
-		*addr, eff.Shards, eff.MaxResident, eff.RecalcWorkers, eff.RecalcParallelism,
+		bound, eff.Shards, eff.MaxResident, eff.RecalcWorkers, eff.RecalcParallelism,
 		eff.RecalcChunk, eff.RecalcPoolSize, !eff.NoGraphPin, durability)
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("tacoserve: %v", err)
 	}
 	<-done

@@ -324,6 +324,84 @@ func (g *Graph) DirectPrecedents(r ref.Range, fn func(ref.Range) bool) {
 	})
 }
 
+// DirectPrecedentsEach is the per-cell variant of DirectPrecedents: for
+// every compressed edge whose dependent run overlaps r, fn is called once
+// per overlapping dependent cell with that cell's one-hop precedent window.
+// The windows are exactly what DirectPrecedents reports for the single-cell
+// query, but the index is searched — and the edge decoded — once for all of
+// r: a recalculation scheduler links a contiguous segment of dirty cells
+// with one probe instead of one per cell, which is where compression pays
+// on the scheduling side (a compressed run's dependents are enumerable by
+// pattern arithmetic alone).
+//
+// edge, when non-nil, is an edge-level pre-filter: it receives the
+// overlapping dependent span and the union precedent window of that span
+// (exactly DirectPrecedents' answer for it) before any per-cell work;
+// returning false skips the edge's enumeration entirely. A scheduler passes
+// a does-this-window-touch-the-dirty-set test so edges feeding only on
+// settled data cost one window check instead of per-cell arithmetic.
+//
+// Cells of r covered by no edge are not reported; duplicates across
+// overlapping edges are, like DirectPrecedents. fn returning false stops
+// the walk.
+func (g *Graph) DirectPrecedentsEach(r ref.Range, edge func(depSpan, precSpan ref.Range) bool, fn func(dep ref.Ref, prec ref.Range) bool) {
+	g.byDep.Search(r, func(_ ref.Range, e *Edge) bool {
+		clipped, ok := r.Intersect(e.Dep)
+		if !ok {
+			return true
+		}
+		c := e.canon()
+		if e.Axis == ref.AxisRow {
+			clipped = clipped.T()
+		}
+		if edge != nil {
+			span := directPrecsCol(c, clipped)
+			depSpan := clipped
+			if e.Axis == ref.AxisRow {
+				span, depSpan = span.T(), depSpan.T()
+			}
+			if !edge(depSpan, span) {
+				return true
+			}
+		}
+		for col := clipped.Head.Col; col <= clipped.Tail.Col; col++ {
+			for row := clipped.Head.Row; row <= clipped.Tail.Row; row++ {
+				cell := ref.Range{Head: ref.Ref{Col: col, Row: row}, Tail: ref.Ref{Col: col, Row: row}}
+				dep, prec := cell.Head, directPrecsCol(c, cell)
+				if e.Axis == ref.AxisRow {
+					dep = ref.Ref{Col: dep.Row, Row: dep.Col}
+					prec = prec.T()
+				}
+				if !fn(dep, prec) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// PatternRunSpans reports, for every compressed (non-Single) edge whose
+// dependent run intersects r, the intersection and the edge's pattern type.
+// This is the compression-for-speed seam the vectorized evaluator reads: a
+// compressed dependent run is exactly a set of cells sharing one formula
+// shape modulo relative offsets, so the engine can restrict its pattern-run
+// detection to these spans instead of fingerprinting every dirty cell.
+// Spans from different edges may overlap; fn returning false stops the
+// enumeration. Single edges carry no sharing evidence and are skipped.
+func (g *Graph) PatternRunSpans(r ref.Range, fn func(span ref.Range, p PatternType) bool) {
+	g.byDep.Search(r, func(_ ref.Range, e *Edge) bool {
+		if e.Pattern == Single {
+			return true
+		}
+		clipped, ok := r.Intersect(e.Dep)
+		if !ok {
+			return true
+		}
+		return fn(clipped, e.Pattern)
+	})
+}
+
 // TraversalStats instruments one traversal for the Sec. IV-D cost analysis:
 // the complexity of Alg. 3 depends on whether each compressed edge is
 // accessed at most once (Case 1) or repeatedly (Case 2). The paper reports

@@ -547,3 +547,133 @@ func TestDirectPrecedents(t *testing.T) {
 		}
 	}
 }
+
+// TestDirectPrecedentsEach: the batched one-hop enumeration must yield, for
+// every dependent cell of the query range, exactly the precedent cells the
+// per-cell DirectPrecedents query yields — the equivalence the engine's
+// batched wavefront linker rests on. The edge pre-filter contract is checked
+// too: every per-cell precedent window is contained in the union span the
+// filter saw (so a filter keyed on the union can never skip a live edge),
+// and a filter that rejects everything suppresses all pairs.
+func TestDirectPrecedentsEach(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		deps := genRandomDeps(rand.New(rand.NewSource(seed)))
+		g := Build(deps, DefaultOptions())
+		cells := map[ref.Ref]bool{}
+		bounds := ref.CellRange(deps[0].Dep)
+		for _, d := range deps {
+			cells[d.Dep] = true
+			bounds.Head.Col = min(bounds.Head.Col, d.Dep.Col)
+			bounds.Head.Row = min(bounds.Head.Row, d.Dep.Row)
+			bounds.Tail.Col = max(bounds.Tail.Col, d.Dep.Col)
+			bounds.Tail.Row = max(bounds.Tail.Row, d.Dep.Row)
+		}
+
+		// Batched enumeration over the whole dependent bounding box, with a
+		// recording filter that accepts every edge.
+		got := map[ref.Ref]map[ref.Ref]bool{}
+		var spans []ref.Range
+		g.DirectPrecedentsEach(bounds,
+			func(_, span ref.Range) bool {
+				spans = append(spans, span)
+				return true
+			},
+			func(dep ref.Ref, prec ref.Range) bool {
+				set := got[dep]
+				if set == nil {
+					set = map[ref.Ref]bool{}
+					got[dep] = set
+				}
+				prec.Cells(func(x ref.Ref) bool {
+					set[x] = true
+					return true
+				})
+				// Union soundness: the per-cell window must sit inside some
+				// span the filter was shown.
+				inSpan := false
+				for _, s := range spans {
+					if s.ContainsRange(prec) {
+						inSpan = true
+						break
+					}
+				}
+				if !inSpan {
+					t.Fatalf("seed %d: window %v for %v outside every filter span %v",
+						seed, prec, dep, spans)
+				}
+				return true
+			})
+
+		for c := range cells {
+			want := oracleDirectPrecedents(deps, c)
+			gotc := got[c]
+			if gotc == nil {
+				gotc = map[ref.Ref]bool{}
+			}
+			sameCells(t, fmt.Sprintf("seed %d cell %v", seed, c), gotc, want)
+		}
+		for dep := range got {
+			if !cells[dep] {
+				t.Fatalf("seed %d: pair for %v, which is not a dependent cell", seed, dep)
+			}
+		}
+
+		// A filter that rejects every edge yields no pairs at all.
+		g.DirectPrecedentsEach(bounds,
+			func(_, _ ref.Range) bool { return false },
+			func(dep ref.Ref, prec ref.Range) bool {
+				t.Fatalf("seed %d: pair (%v, %v) leaked past a rejecting filter", seed, dep, prec)
+				return false
+			})
+	}
+}
+
+// TestPatternRunSpans: compressed dependent runs are reported clipped to the
+// query, Single edges are skipped, and fn can stop the enumeration.
+func TestPatternRunSpans(t *testing.T) {
+	var deps []Dependency
+	// A column of =A{r}*2 formulas in C: compresses into one RR run C1:C20.
+	for r := 1; r <= 20; r++ {
+		deps = append(deps, Dependency{
+			Prec: ref.CellRange(ref.Ref{Col: 1, Row: r}),
+			Dep:  ref.Ref{Col: 3, Row: r},
+		})
+	}
+	// One lone dependency far away: stays a Single edge.
+	deps = append(deps, Dependency{Prec: mustRange("A100"), Dep: mustCell("E100")})
+	g := Build(deps, DefaultOptions())
+
+	collect := func(q ref.Range) (spans []ref.Range) {
+		g.PatternRunSpans(q, func(span ref.Range, p PatternType) bool {
+			if p == Single {
+				t.Fatalf("Single edge reported as a pattern span: %v", span)
+			}
+			spans = append(spans, span)
+			return true
+		})
+		return spans
+	}
+
+	full := collect(mustRange("C1:C20"))
+	if len(full) != 1 || full[0] != mustRange("C1:C20") {
+		t.Fatalf("full query: spans = %v", full)
+	}
+	// Clipping: a partial query returns the intersection only.
+	part := collect(mustRange("C5:C12"))
+	if len(part) != 1 || part[0] != mustRange("C5:C12") {
+		t.Fatalf("partial query: spans = %v", part)
+	}
+	// The Single edge's dependent yields nothing.
+	if got := collect(mustRange("E100")); len(got) != 0 {
+		t.Fatalf("Single dependent reported spans: %v", got)
+	}
+	// Early stop is honoured.
+	calls := 0
+	g.PatternRunSpans(mustRange("A1:Z200"), func(ref.Range, PatternType) bool {
+		calls++
+		return false
+	})
+	if calls > 1 {
+		t.Fatalf("enumeration continued after fn returned false (%d calls)", calls)
+	}
+}

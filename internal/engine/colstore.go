@@ -212,57 +212,75 @@ func (s *colStore) scanRange(rng ref.Range, fn func(at ref.Ref, c *cell) bool) b
 	return true
 }
 
+// maxFoldCols bounds the column fan-in of the multi-column fold paths
+// (foldRange rectangles, foldSumProduct): the cursor merge scans every
+// column head per cell, so wider rectangles stay on the heap-merge
+// streaming path, which is O(cells · log cols).
+const maxFoldCols = 16
+
+// foldAcc accumulates one cell into a NumericFold with the exact per-cell
+// semantics of the streaming path: dirty cells resolve through dirtyVal
+// when non-nil (the eval resolver evaluates them; nil folds the stale
+// value, matching the side-effect-free read path).
+type foldAcc struct {
+	f        formula.NumericFold
+	dirtyVal func(ref.Ref, *cell) formula.Value
+}
+
+func (a *foldAcc) add(at ref.Ref, c *cell) {
+	v := c.value
+	if c.dirty && a.dirtyVal != nil {
+		v = a.dirtyVal(at, c)
+	}
+	switch v.Kind {
+	case formula.KindNumber:
+		a.f.Sum += v.Num
+		a.f.Count++
+		a.f.NonEmpty++
+		if v.Num < a.f.Min {
+			a.f.Min = v.Num
+		}
+		if v.Num > a.f.Max {
+			a.f.Max = v.Num
+		}
+	case formula.KindEmpty:
+		// A stored blank counts nowhere, like an unpopulated cell.
+	case formula.KindError:
+		a.f.NonEmpty++
+		if !a.f.Err.IsError() {
+			a.f.Err = v
+		}
+	default: // string, bool: non-blank, non-numeric
+		a.f.NonEmpty++
+	}
+}
+
 // foldRange is the batched numeric fold behind formula.RangeFolder: one
-// tight pass over a single-column window accumulating everything the plain
+// tight pass over the range's slab windows accumulating everything the plain
 // aggregates need (sum, counts, extrema, first error) without surfacing a
-// callback per cell. Dense slab runs — four consecutive clean numeric cells,
-// the shape a populated data column decays to — take a blocked fast path
-// that pays one branch per four cells; the accumulation itself stays a
-// sequential left-to-right chain (Go never reassociates float expressions),
-// so the sum is bit-identical to per-cell iteration. dirtyVal, when
-// non-nil, resolves a dirty cell before its value is folded (the eval
-// resolver evaluates it; nil folds the stale value, matching the
-// side-effect-free read path). Multi-column rectangles report handled=false:
-// their row-major order interleaves columns, which is the heap-merge scan's
-// job.
+// callback per cell. Single columns — the common aggregation shape — walk
+// one window; dense slab runs of four consecutive clean numeric cells take a
+// blocked fast path that pays one branch per four cells. Multi-column
+// rectangles up to maxFoldCols merge their per-column windows with a
+// min-scan over the cursor heads, visiting cells in exactly the row-major
+// order the streaming scan uses; wider rectangles report handled=false. On
+// every path the accumulation stays a sequential left-to-right chain (Go
+// never reassociates float expressions), so the sum is bit-identical to
+// per-cell iteration.
 func (s *colStore) foldRange(rng ref.Range, dirtyVal func(ref.Ref, *cell) formula.Value) (formula.NumericFold, bool) {
 	if rng.Head.Col != rng.Tail.Col {
-		return formula.NumericFold{}, false
+		return s.foldRect(rng, dirtyVal)
 	}
-	f := formula.NumericFold{Min: math.Inf(1), Max: math.Inf(-1)}
+	acc := foldAcc{f: formula.NumericFold{Min: math.Inf(1), Max: math.Inf(-1)}, dirtyVal: dirtyVal}
 	col := s.cols[rng.Head.Col]
 	if col == nil {
-		return f, true
+		return acc.f, true
 	}
 	lo, hi := col.window(rng.Head.Row, rng.Tail.Row)
 	rows, cells := col.rows[lo:hi], col.cells[lo:hi]
+	f := &acc.f
 	slow := func(i int) {
-		c := cells[i]
-		v := c.value
-		if c.dirty && dirtyVal != nil {
-			v = dirtyVal(ref.Ref{Col: rng.Head.Col, Row: rows[i]}, c)
-		}
-		switch v.Kind {
-		case formula.KindNumber:
-			f.Sum += v.Num
-			f.Count++
-			f.NonEmpty++
-			if v.Num < f.Min {
-				f.Min = v.Num
-			}
-			if v.Num > f.Max {
-				f.Max = v.Num
-			}
-		case formula.KindEmpty:
-			// A stored blank counts nowhere, like an unpopulated cell.
-		case formula.KindError:
-			f.NonEmpty++
-			if !f.Err.IsError() {
-				f.Err = v
-			}
-		default: // string, bool: non-blank, non-numeric
-			f.NonEmpty++
-		}
+		acc.add(ref.Ref{Col: rng.Head.Col, Row: rows[i]}, cells[i])
 	}
 	i, n := 0, len(cells)
 	for ; i+4 <= n; i += 4 {
@@ -308,7 +326,210 @@ func (s *colStore) foldRange(rng ref.Range, dirtyVal func(ref.Ref, *cell) formul
 	for ; i < n; i++ {
 		slow(i)
 	}
-	return f, true
+	return acc.f, true
+}
+
+// foldCursor is one column's slab window with a scan position — the unit of
+// the row-major cursor merges below.
+type foldCursor struct {
+	col   int
+	rows  []int
+	cells []*cell
+	i     int
+}
+
+// loadCursors fills curs with the populated column windows of rng, in
+// ascending column order. Returns false when the rectangle is wider than
+// maxFoldCols (the caller falls back to the streaming scan).
+func (s *colStore) loadCursors(rng ref.Range, curs *[maxFoldCols]foldCursor) (n int, ok bool) {
+	if rng.Cols() > maxFoldCols {
+		return 0, false
+	}
+	for c := rng.Head.Col; c <= rng.Tail.Col; c++ {
+		col := s.cols[c]
+		if col == nil {
+			continue
+		}
+		lo, hi := col.window(rng.Head.Row, rng.Tail.Row)
+		if lo == hi {
+			continue
+		}
+		curs[n] = foldCursor{col: c, rows: col.rows[lo:hi], cells: col.cells[lo:hi]}
+		n++
+	}
+	return n, true
+}
+
+// foldRect folds a multi-column rectangle by min-scanning the per-column
+// cursor heads: each step picks the cursor with the lowest current row —
+// ties resolve to the lowest column because cursors are stored in column
+// order and the comparison is strict — which reproduces the streaming
+// scan's row-major visit order exactly, so Sum/Err match bit-for-bit.
+func (s *colStore) foldRect(rng ref.Range, dirtyVal func(ref.Ref, *cell) formula.Value) (formula.NumericFold, bool) {
+	var curs [maxFoldCols]foldCursor
+	n, ok := s.loadCursors(rng, &curs)
+	if !ok {
+		return formula.NumericFold{}, false
+	}
+	acc := foldAcc{f: formula.NumericFold{Min: math.Inf(1), Max: math.Inf(-1)}, dirtyVal: dirtyVal}
+	for {
+		best := -1
+		for k := 0; k < n; k++ {
+			cu := &curs[k]
+			if cu.i >= len(cu.rows) {
+				continue
+			}
+			if best < 0 || cu.rows[cu.i] < curs[best].rows[curs[best].i] {
+				best = k
+			}
+		}
+		if best < 0 {
+			return acc.f, true
+		}
+		cu := &curs[best]
+		acc.add(ref.Ref{Col: cu.col, Row: cu.rows[cu.i]}, cu.cells[cu.i])
+		cu.i++
+	}
+}
+
+// cellVal resolves one stored cell's value with the fold paths' dirty
+// semantics (see foldAcc).
+func cellVal(at ref.Ref, c *cell, dirtyVal func(ref.Ref, *cell) formula.Value) formula.Value {
+	if c.dirty && dirtyVal != nil {
+		return dirtyVal(at, c)
+	}
+	return c.value
+}
+
+// probe advances the cursor to row (monotonic: callers feed ascending rows)
+// and returns the cell stored there, or nil when the row is unpopulated.
+func (cu *foldCursor) probe(row int) *cell {
+	for cu.i < len(cu.rows) && cu.rows[cu.i] < row {
+		cu.i++
+	}
+	if cu.i < len(cu.rows) && cu.rows[cu.i] == row {
+		return cu.cells[cu.i]
+	}
+	return nil
+}
+
+// foldSumIf is the slab fold behind formula.CondFolder.FoldSumIf for the
+// canonical SUMIF shape: single-column criterion range, single-column sum
+// range of the same height. The criterion column is walked once; each match
+// probes the sum column at a constant row offset with a monotonic cursor, so
+// the whole call is two merged slab walks. An unpopulated sum cell
+// contributes 0 (Empty coerces to 0), exactly as the streaming path's
+// CellValue probe does. The caller guarantees the criterion does not match
+// blanks, so unpopulated criterion cells are correctly skipped. Other
+// shapes report handled=false.
+func (s *colStore) foldSumIf(critRng ref.Range, crit formula.Criterion, sumRng ref.Range, dirtyVal func(ref.Ref, *cell) formula.Value) (float64, bool) {
+	if critRng.Head.Col != critRng.Tail.Col || sumRng.Head.Col != sumRng.Tail.Col {
+		return 0, false
+	}
+	same := critRng == sumRng
+	col := s.cols[critRng.Head.Col]
+	if col == nil {
+		return 0, true
+	}
+	lo, hi := col.window(critRng.Head.Row, critRng.Tail.Row)
+	rows, cells := col.rows[lo:hi], col.cells[lo:hi]
+	var sumCur foldCursor
+	if !same {
+		if sc := s.cols[sumRng.Head.Col]; sc != nil {
+			slo, shi := sc.window(sumRng.Head.Row, sumRng.Tail.Row)
+			sumCur = foldCursor{col: sumRng.Head.Col, rows: sc.rows[slo:shi], cells: sc.cells[slo:shi]}
+		}
+	}
+	dRow := sumRng.Head.Row - critRng.Head.Row
+	total := 0.0
+	for i := range rows {
+		v := cellVal(ref.Ref{Col: critRng.Head.Col, Row: rows[i]}, cells[i], dirtyVal)
+		if !crit.Matches(v) {
+			continue
+		}
+		sv := v
+		if !same {
+			sv = formula.Empty()
+			srow := rows[i] + dRow
+			if sc := sumCur.probe(srow); sc != nil {
+				sv = cellVal(ref.Ref{Col: sumRng.Head.Col, Row: srow}, sc, dirtyVal)
+			}
+		}
+		if f, ok := sv.AsNumber(); ok {
+			total += f
+		}
+	}
+	return total, true
+}
+
+// foldSumProduct is the slab fold behind formula.CondFolder.FoldSumProduct
+// for the two-argument SUMPRODUCT: equal-shape rectangles (the caller checks
+// shape) up to maxFoldCols wide. It first replays the streaming path's
+// finite guard over both rectangles — any stored non-finite number bails to
+// handled=false so the caller's exact-compensation fallback runs — then
+// scans the first rectangle's populated cells in row-major order, pairing
+// each with the second rectangle's cell at the same offset via per-column
+// monotonic cursors. Positions unpopulated in the first rectangle are
+// skipped and missing partner cells read as Empty, matching the streaming
+// RangeValues/CellValue semantics; non-numeric and error values contribute a
+// zero factor via formula.SumProductFactor.
+func (s *colStore) foldSumProduct(a, b ref.Range, dirtyVal func(ref.Ref, *cell) formula.Value) (float64, bool) {
+	for _, rng := range [2]ref.Range{a, b} {
+		finite := s.scanRange(rng, func(at ref.Ref, c *cell) bool {
+			v := cellVal(at, c, dirtyVal)
+			if v.Kind == formula.KindNumber && (math.IsNaN(v.Num) || math.IsInf(v.Num, 0)) {
+				return false
+			}
+			return true
+		})
+		if !finite {
+			return 0, false
+		}
+	}
+	var acurs, bcurs [maxFoldCols]foldCursor
+	an, ok := s.loadCursors(a, &acurs)
+	if !ok {
+		return 0, false
+	}
+	bn, ok := s.loadCursors(b, &bcurs)
+	if !ok {
+		return 0, false
+	}
+	// Index b's cursors by column offset for O(1) pairing; absent columns
+	// stay nil and read as Empty.
+	var bByCol [maxFoldCols]*foldCursor
+	for k := 0; k < bn; k++ {
+		bByCol[bcurs[k].col-b.Head.Col] = &bcurs[k]
+	}
+	dRow := b.Head.Row - a.Head.Row
+	total := 0.0
+	for {
+		best := -1
+		for k := 0; k < an; k++ {
+			cu := &acurs[k]
+			if cu.i >= len(cu.rows) {
+				continue
+			}
+			if best < 0 || cu.rows[cu.i] < acurs[best].rows[acurs[best].i] {
+				best = k
+			}
+		}
+		if best < 0 {
+			return total, true
+		}
+		cu := &acurs[best]
+		arow := cu.rows[cu.i]
+		av := cellVal(ref.Ref{Col: cu.col, Row: arow}, cu.cells[cu.i], dirtyVal)
+		cu.i++
+		bv := formula.Empty()
+		if bc := bByCol[cu.col-a.Head.Col]; bc != nil {
+			brow := arow + dRow
+			if c := bc.probe(brow); c != nil {
+				bv = cellVal(ref.Ref{Col: bc.col, Row: brow}, c, dirtyVal)
+			}
+		}
+		total += formula.SumProductFactor(av) * formula.SumProductFactor(bv)
+	}
 }
 
 // eachColumnMajor visits every stored cell in column-major order — the

@@ -58,6 +58,19 @@ func (t TACO) DirectPrecedents(r ref.Range, fn func(ref.Range) bool) {
 	t.G.DirectPrecedents(r, fn)
 }
 
+// PatternRunSpans implements patternSpanner: the compressed edges' dependent
+// runs, the graph's own evidence of formula-shape sharing (see runs.go).
+func (t TACO) PatternRunSpans(r ref.Range, fn func(span ref.Range, p core.PatternType) bool) {
+	t.G.PatternRunSpans(r, fn)
+}
+
+// DirectPrecedentsEach implements batchPrecedenter: per-dependent-cell
+// precedent windows for a whole contiguous segment, one compressed-index
+// search instead of one per cell.
+func (t TACO) DirectPrecedentsEach(r ref.Range, edge func(depSpan, precSpan ref.Range) bool, fn func(dep ref.Ref, prec ref.Range) bool) {
+	t.G.DirectPrecedentsEach(r, edge, fn)
+}
+
 // NoComp adapts *nocomp.Graph to the engine's Graph interface.
 type NoComp struct{ G *nocomp.Graph }
 
@@ -78,12 +91,33 @@ func (n NoComp) DirectPrecedents(r ref.Range, fn func(ref.Range) bool) {
 	n.G.DirectPrecedents(r, fn)
 }
 
+// patternSpanner is the optional Graph extension the vectorized run drain
+// prefers: graphs that track pattern compression (TACO) report which cell
+// spans their compressed edges cover, letting run detection skip cells no
+// edge claims share a shape. Graphs without it (NoComp) fall back to purely
+// structural detection — interned-program equality over contiguous rows.
+type patternSpanner interface {
+	PatternRunSpans(r ref.Range, fn func(span ref.Range, p core.PatternType) bool)
+}
+
 // directPrecedenter is the optional Graph extension the wavefront scheduler
 // levels against: one-hop precedent ranges, no transitive closure. Backends
 // without it fall back to the formula ASTs' reference lists, which record the
 // same dependencies.
 type directPrecedenter interface {
 	DirectPrecedents(r ref.Range, fn func(ref.Range) bool)
+}
+
+// batchPrecedenter is the batched refinement of directPrecedenter the
+// scheduler prefers when the backend offers it: the one-hop windows of every
+// dependent cell in a range, answered with a single index search. On a
+// compressed graph a contiguous dirty segment is typically covered by a
+// handful of pattern edges, so linking it costs edge decoding plus pattern
+// arithmetic per cell instead of an R-tree descent per cell — and the edge
+// pre-filter lets the scheduler discard edges whose whole precedent window
+// misses the dirty set before any per-cell work happens.
+type batchPrecedenter interface {
+	DirectPrecedentsEach(r ref.Range, edge func(depSpan, precSpan ref.Range) bool, fn func(dep ref.Ref, prec ref.Range) bool)
 }
 
 // cell is the engine's cell record.
@@ -101,6 +135,13 @@ type cell struct {
 	// during a drain — the scheduler rewrites it each time — and written
 	// exclusively by the drain coordinator, never by workers.
 	sched int32
+	// prog is the cell's compiled bytecode program, interned through the
+	// formula-level compile cache so shifted copies of one formula pattern
+	// share a single *Program (pointer equality is how the scheduler detects
+	// pattern runs — see runs.go). Lazily compiled on first wavefront drain;
+	// progTried avoids recompiling formulas the compiler declines.
+	prog      *formula.Program
+	progTried bool
 }
 
 // Engine is a single-sheet spreadsheet host.
@@ -124,6 +165,11 @@ type Engine struct {
 	// instead of probing every cell of the range (O(area) — ruinous for
 	// whole-column dependents).
 	formulas *rtree.Tree[ref.Ref]
+	// nform counts formula cells per column (keys only while non-zero).
+	// invalidate consults it to skip formula-free columns outright and to
+	// mark formula-dense columns by walking the columnar slabs — contiguous
+	// arrays — instead of descending the spatial index per dependent range.
+	nform map[int]int
 	// dirty is the explicit dirty set: exactly the cells whose record has
 	// dirty=true. Recalculation drains it without scanning the cell map.
 	dirty map[ref.Ref]*cell
@@ -153,6 +199,28 @@ type Engine struct {
 	// schedule exists for is their ratio (see RecalcStats).
 	levelsDrained uint64
 	schedBuilds   uint64
+	// patternRuns gates the vectorized run drain (runs.go): when true (the
+	// default), wavefront levels are scanned for contiguous-row runs sharing
+	// one compiled program and drained as batched sweeps. SetPatternRuns(false)
+	// forces per-cell evaluation — the oracle path the run drain must match.
+	patternRuns bool
+
+	// Warm-schedule cache: a completed wavefront schedule is a pure function
+	// of the formula/graph structure and the epoch's edit roots, so the
+	// interactive steady state — the same input cell edited over and over —
+	// re-arms the retired schedule instead of re-levelling 20k cells per
+	// keystroke. structGen counts structural mutations (formula installs and
+	// removals, graph edits); roots accumulates the dirty epoch's edit
+	// origins while rootsOK holds (no partial drain or serial evaluation
+	// punched a hole in the dirty set the roots can't describe); warm is the
+	// last cleanly completed schedule with the structGen and roots it was
+	// valid for. See takeWarm/retireSchedule in schedule.go.
+	structGen  uint64
+	roots      []ref.Ref
+	rootsOK    bool
+	warm       *schedule
+	warmStruct uint64
+	warmRoots  []ref.Ref
 }
 
 // New returns an empty engine driving the given dependency graph. A nil
@@ -162,12 +230,32 @@ func New(g Graph) *Engine {
 		g = TACO{G: core.NewGraph(core.DefaultOptions())}
 	}
 	return &Engine{
-		graph:    g,
-		store:    newColStore(),
-		cells:    make(map[ref.Ref]*cell),
-		formulas: rtree.New[ref.Ref](),
-		dirty:    make(map[ref.Ref]*cell),
+		graph:       g,
+		store:       newColStore(),
+		cells:       make(map[ref.Ref]*cell),
+		formulas:    rtree.New[ref.Ref](),
+		nform:       make(map[int]int),
+		dirty:       make(map[ref.Ref]*cell),
+		patternRuns: true,
+		rootsOK:     true,
 	}
+}
+
+// SetPatternRuns toggles the vectorized pattern-run drain (on by default).
+// Off forces every wavefront cell through per-cell evaluation — useful as
+// the equivalence oracle in tests and benchmarks.
+func (e *Engine) SetPatternRuns(on bool) { e.patternRuns = on }
+
+// prog returns the cell's interned bytecode program, compiling on first use.
+// Nil when the formula has no compiled form (the AST walker handles it).
+func (e *Engine) prog(at ref.Ref, c *cell) *formula.Program {
+	if !c.progTried {
+		c.progTried = true
+		if c.ast != nil {
+			c.prog = formula.CompileCached(c.ast, at)
+		}
+	}
+	return c.prog
 }
 
 // setCell installs a cell record, maintaining the formula index and the
@@ -177,11 +265,15 @@ func (e *Engine) setCell(at ref.Ref, c *cell) {
 	if old, ok := e.cells[at]; ok {
 		if old.ast != nil {
 			e.formulas.Delete(ref.CellRange(at), func(ref.Ref) bool { return true })
+			e.decForm(at.Col)
+			e.noteStructMutation()
 		}
 		delete(e.dirty, at)
 	}
 	if c.ast != nil {
 		e.formulas.Insert(ref.CellRange(at), at)
+		e.nform[at.Col]++
+		e.noteStructMutation()
 	}
 	if c.dirty {
 		e.dirty[at] = c
@@ -285,6 +377,7 @@ func LoadBulkParsed(pcells []ParsedCell) *Engine {
 		if c.AST != nil {
 			rec = &cell{ast: c.AST, src: c.Src, dirty: true}
 			e.dirty[c.At] = rec
+			e.nform[c.At.Col]++
 			items = append(items, rtree.Item[ref.Ref]{Rect: ref.CellRange(c.At), Value: c.At})
 		} else {
 			rec = &cell{value: c.Value}
@@ -386,17 +479,34 @@ func (r evalResolver) RangeValues(rng ref.Range, fn func(at ref.Ref, v formula.V
 // dirty cells on the way exactly as CellValue would (and reporting a cell
 // currently being evaluated as #CYCLE!, like every other read of it).
 func (r evalResolver) FoldRange(rng ref.Range) (formula.NumericFold, bool) {
-	return r.e.store.foldRange(rng, func(at ref.Ref, c *cell) formula.Value {
-		if c.evaluating {
-			return formula.Errorf("#CYCLE!")
-		}
-		r.e.evaluate(at, c)
-		return c.value
-	})
+	return r.e.store.foldRange(rng, r.dirtyVal)
+}
+
+// dirtyVal is the dirty-cell hook the fold paths share: evaluate the cell
+// first, exactly as CellValue would (a cell currently being evaluated reads
+// as #CYCLE!, like every other read of it).
+func (r evalResolver) dirtyVal(at ref.Ref, c *cell) formula.Value {
+	if c.evaluating {
+		return formula.Errorf("#CYCLE!")
+	}
+	r.e.evaluate(at, c)
+	return c.value
+}
+
+// FoldSumIf implements formula.CondFolder for the recalculation path.
+func (r evalResolver) FoldSumIf(critRng ref.Range, crit formula.Criterion, sumRng ref.Range) (float64, bool) {
+	return r.e.store.foldSumIf(critRng, crit, sumRng, r.dirtyVal)
+}
+
+// FoldSumProduct implements formula.CondFolder for the recalculation path.
+func (r evalResolver) FoldSumProduct(a, b ref.Range) (float64, bool) {
+	return r.e.store.foldSumProduct(a, b, r.dirtyVal)
 }
 
 func (e *Engine) evaluate(at ref.Ref, c *cell) {
 	e.noteDirtyMutation()
+	// A serial evaluation drains cells the roots model can't account for.
+	e.rootsOK = false
 	if c.ast != nil {
 		c.evaluating = true
 		c.value = formula.Eval(c.ast, evalResolver{e})
@@ -456,6 +566,8 @@ func (e *Engine) ClearCell(at ref.Ref) []ref.Range {
 	if old, ok := e.cells[at]; ok && old.ast != nil {
 		e.graph.Clear(ref.CellRange(at))
 		e.formulas.Delete(ref.CellRange(at), func(ref.Ref) bool { return true })
+		e.decForm(at.Col)
+		e.noteStructMutation()
 	}
 	delete(e.cells, at)
 	delete(e.dirty, at)
@@ -471,17 +583,93 @@ func (e *Engine) ClearCell(at ref.Ref) []ref.Range {
 // formulae.
 func (e *Engine) invalidate(at ref.Ref) []ref.Range {
 	e.noteDirtyMutation()
+	e.noteRoot(at)
 	dirty := e.graph.Dependents(ref.CellRange(at))
 	for _, rng := range dirty {
-		e.formulas.Search(rng, func(_ ref.Range, fat ref.Ref) bool {
-			if c := e.cells[fat]; c != nil && !c.dirty {
-				c.dirty = true
-				e.dirty[fat] = c
-			}
-			return true
-		})
+		e.markRange(rng)
 	}
 	return dirty
+}
+
+// noteRoot tracks the dirty epoch's edit origins for the warm-schedule
+// cache (schedule.go): an empty dirty set means this edit starts a fresh
+// epoch, so the roots list restarts. The list stays small — an epoch fed by
+// more than a handful of distinct roots won't repeat exactly anyway, so it
+// is cheaper to stop tracking than to compare long lists.
+func (e *Engine) noteRoot(at ref.Ref) {
+	if len(e.dirty) == 0 && e.sched == nil {
+		e.roots = e.roots[:0]
+		e.rootsOK = true
+	}
+	if !e.rootsOK {
+		return
+	}
+	if slices.Contains(e.roots, at) {
+		return // re-editing a root marks nothing new
+	}
+	if len(e.roots) >= maxWarmRoots {
+		e.rootsOK = false
+		return
+	}
+	e.roots = append(e.roots, at)
+}
+
+// decForm drops one from a column's formula count, deleting the key at
+// zero so nform holds only columns that actually contain formulae.
+func (e *Engine) decForm(col int) {
+	if n := e.nform[col] - 1; n > 0 {
+		e.nform[col] = n
+	} else {
+		delete(e.nform, col)
+	}
+}
+
+// markRange marks the formula cells of one dirty range. Columns with no
+// formulae at all are skipped via the per-column count; ranges wider than
+// the set of formula-bearing columns iterate that set instead of the span
+// (a whole-row dependent range costs O(formula columns), not O(width)).
+func (e *Engine) markRange(rng ref.Range) {
+	if rng.Cols() > len(e.nform) {
+		for col, nf := range e.nform {
+			if col >= rng.Head.Col && col <= rng.Tail.Col {
+				e.markCol(col, rng.Head.Row, rng.Tail.Row, nf)
+			}
+		}
+		return
+	}
+	for col := rng.Head.Col; col <= rng.Tail.Col; col++ {
+		if nf, ok := e.nform[col]; ok {
+			e.markCol(col, rng.Head.Row, rng.Tail.Row, nf)
+		}
+	}
+}
+
+// markCol marks the formula cells of one column's row window dirty. When
+// the column's slab window is formula-dense (at most a few populated cells
+// per formula), it scans the contiguous slab checking ast != nil — a few ns
+// per cell — instead of descending the spatial index, whose per-entry cost
+// is an order of magnitude higher. Sparse windows (a handful of formulae in
+// a sea of values) fall back to the single-column R-tree search.
+func (e *Engine) markCol(col, r1, r2, nf int) {
+	if c := e.store.cols[col]; c != nil {
+		if lo, hi := c.window(r1, r2); hi-lo <= 4*nf {
+			for i := lo; i < hi; i++ {
+				if cc := c.cells[i]; cc.ast != nil && !cc.dirty {
+					cc.dirty = true
+					e.dirty[ref.Ref{Col: col, Row: c.rows[i]}] = cc
+				}
+			}
+			return
+		}
+	}
+	r := ref.Range{Head: ref.Ref{Col: col, Row: r1}, Tail: ref.Ref{Col: col, Row: r2}}
+	e.formulas.Search(r, func(_ ref.Range, fat ref.Ref) bool {
+		if cc := e.cells[fat]; cc != nil && !cc.dirty {
+			cc.dirty = true
+			e.dirty[fat] = cc
+		}
+		return true
+	})
 }
 
 // ScanRange streams the populated cells of rng in row-major order with
@@ -518,6 +706,16 @@ func (r valueResolver) RangeValues(rng ref.Range, fn func(at ref.Ref, v formula.
 // exactly as RangeValues streams it).
 func (r valueResolver) FoldRange(rng ref.Range) (formula.NumericFold, bool) {
 	return r.e.store.foldRange(rng, nil)
+}
+
+// FoldSumIf implements formula.CondFolder over last computed values.
+func (r valueResolver) FoldSumIf(critRng ref.Range, crit formula.Criterion, sumRng ref.Range) (float64, bool) {
+	return r.e.store.foldSumIf(critRng, crit, sumRng, nil)
+}
+
+// FoldSumProduct implements formula.CondFolder over last computed values.
+func (r valueResolver) FoldSumProduct(a, b ref.Range) (float64, bool) {
+	return r.e.store.foldSumProduct(a, b, nil)
 }
 
 // ValueResolver returns a side-effect-free formula resolver over the
@@ -688,6 +886,7 @@ func (e *Engine) TACOGraph() *core.Graph {
 // after Recycle is a bug.
 func (e *Engine) Recycle() {
 	e.releaseSchedule()
+	e.releaseWarm()
 	for _, block := range e.slabs {
 		clear(block) // drop AST/string references before pooling
 		slabPool.Put(block[:0])

@@ -24,11 +24,14 @@ func TestFoldRangeMatchesScan(t *testing.T) {
 	for _, rs := range []string{
 		"B1:B50", "B2:B49", "B7:B7", "B45:B60", "C1:C50", "C1:C60",
 		"D1:D60", "E1:E40", "E6:E40", "F1:F60", "B51:B90",
+		// Multi-column rectangles: the cursor min-scan must reproduce the
+		// heap merge's row-major order exactly (first error, float order).
+		"B1:C50", "B1:F60", "C5:E45", "A1:H90",
 	} {
 		rng := ref.MustRange(rs)
 		fold, ok := e.store.foldRange(rng, nil)
 		if !ok {
-			t.Fatalf("%s: single-column fold refused", rs)
+			t.Fatalf("%s: fold refused", rs)
 		}
 		// Reference accumulation via the streaming scan, in the same order
 		// with the same comparison semantics.
@@ -65,10 +68,11 @@ func TestFoldRangeMatchesScan(t *testing.T) {
 			t.Errorf("%s: fold extrema (%v,%v), scan (%v,%v)", rs, fold.Min, fold.Max, want.Min, want.Max)
 		}
 	}
-	// Multi-column rectangles decline the fold — row-major order across
-	// columns is the heap merge's job.
-	if _, ok := e.store.foldRange(ref.MustRange("B1:C50"), nil); ok {
-		t.Fatal("multi-column fold did not decline")
+	// Rectangles wider than the cursor-merge limit decline the fold — their
+	// row-major order stays the heap merge's job.
+	wide := ref.Range{Head: ref.MustCell("A1"), Tail: ref.Ref{Col: maxFoldCols + 1, Row: 50}}
+	if _, ok := e.store.foldRange(wide, nil); ok {
+		t.Fatal("over-wide fold did not decline")
 	}
 }
 
@@ -92,6 +96,110 @@ func TestFoldEvaluatesDirtyCells(t *testing.T) {
 	for i := 1; i <= 20; i++ {
 		if e.Dirty(ref.Ref{Col: 2, Row: i}) {
 			t.Fatalf("B%d left dirty by the fold", i)
+		}
+	}
+}
+
+// perCellResolver exposes only CellValue — no bulk scan, no folds — so
+// evaluating against it is the exact per-cell oracle for the fold paths.
+type perCellResolver struct{ e *Engine }
+
+func (r perCellResolver) CellValue(at ref.Ref) formula.Value { return r.e.Value(at) }
+
+// TestCondFoldsMatchPerCell pins the SUMIF/SUMPRODUCT slab folds (and the
+// multi-column rectangle fold behind SUM-family calls) to the per-cell
+// oracle on a grid mixing numbers, text, numeric text, bools, blanks,
+// errors, unpopulated rows, and a non-finite number that must force
+// SUMPRODUCT off the fold.
+func TestCondFoldsMatchPerCell(t *testing.T) {
+	e := New(nil)
+	for r := 1; r <= 60; r++ {
+		switch r % 7 {
+		case 0: // unpopulated row in A
+		case 1:
+			e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r-30)*1.5))
+		case 2:
+			e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Str("txt"))
+		case 3:
+			e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Str("12"))
+		case 4:
+			e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Boolean(r%2 == 0))
+		case 5:
+			e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Errorf("#N/A"))
+		default:
+			e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)))
+		}
+		if r%3 != 0 { // B sparse, offset rows
+			e.SetValue(ref.Ref{Col: 2, Row: r}, formula.Num(float64(60-r)+0.25))
+		}
+		if r%4 != 0 {
+			e.SetValue(ref.Ref{Col: 3, Row: r}, formula.Num(-float64(r)*0.5))
+		}
+	}
+	e.SetValue(ref.Ref{Col: 3, Row: 61}, formula.Num(math.Inf(1)))
+	e.RecalculateAll()
+	srcs := []string{
+		"=SUMIF(A1:A60,\">0\")",
+		"=SUMIF(A1:A60,\">0\",B1:B60)",
+		"=SUMIF(A1:A60,\"<=0\",B2:B61)", // shifted sum range: constant row offset
+		"=SUMIF(A1:A60,\"txt\",B1:B60)",
+		"=SUMIF(A1:A60,\"<>txt\",B1:B60)", // matches blanks: fold declines upstream
+		"=SUMIF(A1:A60,12,B1:B60)",
+		"=SUMIF(B1:B60,\">30\",A1:A60)", // sum cells include text/bool/error rows
+		"=SUMPRODUCT(A1:A60,B1:B60)",
+		"=SUMPRODUCT(B1:B60,C1:C60)",
+		"=SUMPRODUCT(B1:B60,C2:C61)", // partner range touching the Inf cell
+		"=SUMPRODUCT(C1:C61,B1:B61)", // non-finite in the scanned range itself
+		"=SUM(A1:C60)", "=AVERAGE(A1:C60)", "=COUNT(A1:C61)", "=MAX(B1:C61)",
+	}
+	for _, src := range srcs {
+		ast := formula.MustParse(src)
+		got := formula.Eval(ast, e.ValueResolver())
+		want := formula.Eval(ast, perCellResolver{e})
+		same := got == want ||
+			(got.Kind == formula.KindNumber && want.Kind == formula.KindNumber &&
+				math.IsNaN(got.Num) && math.IsNaN(want.Num))
+		if !same {
+			t.Errorf("%s: folded=%v per-cell=%v", src, got, want)
+		}
+	}
+	// The canonical shapes really do engage the slab folds (not the
+	// streaming fallback), and the declinations decline where promised.
+	colA := ref.MustRange("A1:A60")
+	colB := ref.MustRange("B1:B60")
+	if _, ok := e.store.foldSumIf(colA, formula.ParseCriterion(formula.Str(">0")), colB, nil); !ok {
+		t.Error("single-column SUMIF shape did not engage the fold")
+	}
+	if _, ok := e.store.foldSumIf(ref.MustRange("A1:B60"), formula.ParseCriterion(formula.Str(">0")), colB, nil); ok {
+		t.Error("multi-column criterion range engaged the fold")
+	}
+	if _, ok := e.store.foldSumProduct(colA, colB, nil); !ok {
+		t.Error("column SUMPRODUCT shape did not engage the fold")
+	}
+	if _, ok := e.store.foldSumProduct(ref.MustRange("C1:C61"), ref.MustRange("B1:B61"), nil); ok {
+		t.Error("non-finite range did not force SUMPRODUCT off the fold")
+	}
+}
+
+// TestCondFoldEvaluatesDirty: the recalculation-path SUMIF/SUMPRODUCT folds
+// must evaluate dirty cells they pass over, like FoldRange does.
+func TestCondFoldEvaluatesDirty(t *testing.T) {
+	e := New(nil)
+	e.SetValue(ref.MustCell("A1"), formula.Num(2))
+	for i := 1; i <= 20; i++ {
+		mustFormula(t, e, fmt.Sprintf("B%d", i), fmt.Sprintf("A1*%d", i))
+		e.SetValue(ref.Ref{Col: 3, Row: i}, formula.Num(1))
+	}
+	mustFormula(t, e, "D1", "SUMIF(B1:B20,\">0\",C1:C20)+SUMPRODUCT(B1:B20,C1:C20)")
+	e.RecalculateAll()
+	e.SetValue(ref.MustCell("A1"), formula.Num(3))
+	e.evaluate(ref.MustCell("D1"), e.cells[ref.MustCell("D1")])
+	if v := e.Value(ref.MustCell("D1")); v.Num != 20+3*210 {
+		t.Fatalf("D1 = %v, want %v", v, 20+3*210)
+	}
+	for i := 1; i <= 20; i++ {
+		if e.Dirty(ref.Ref{Col: 2, Row: i}) {
+			t.Fatalf("B%d left dirty by the conditional folds", i)
 		}
 	}
 }

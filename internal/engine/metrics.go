@@ -20,6 +20,12 @@ var (
 		"Budgeted drains that resumed a cached schedule instead of re-levelling.")
 	mSchedInvalidations = telemetry.NewCounter("taco_sched_invalidations_total",
 		"Cached schedules invalidated by a dirty-set mutation mid-drain.")
+	mSchedWarmReuses = telemetry.NewCounter("taco_sched_warm_reuses_total",
+		"Completed schedules re-armed for an identical edit epoch (same roots, unchanged structure).")
+	mPatternRuns = telemetry.NewCounter("taco_sched_pattern_runs_total",
+		"Pattern runs drained as vectorized sweeps (see runs.go).")
+	mPatternRunCells = telemetry.NewCounter("taco_sched_pattern_run_cells_total",
+		"Cells evaluated inside vectorized pattern-run sweeps.")
 	mCycleCells = telemetry.NewCounter("taco_sched_cycle_cells_total",
 		"Cells published as #CYCLE! by the cycle resolver.")
 )

@@ -1,0 +1,334 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"taco/internal/formula"
+	"taco/internal/nocomp"
+	"taco/internal/ref"
+)
+
+// runsFixture builds an engine whose dirty set holds the given formula
+// sources (installed after the data columns settled, so the formulas alone
+// form the wavefront), with enough parallelism and volume to engage the
+// wavefront path.
+func runsFixture(t testing.TB, g Graph, rows int, form func(r int) (cell string, src string)) *Engine {
+	t.Helper()
+	e := New(g)
+	e.SetRecalcParallelism(2)
+	for r := 1; r <= rows; r++ {
+		e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)*1.25))
+		e.SetValue(ref.Ref{Col: 2, Row: r}, formula.Num(float64(rows-r)+0.5))
+	}
+	e.RecalculateAll()
+	for r := 1; r <= rows; r++ {
+		at, src := form(r)
+		mustFormula(t, e, at, src)
+	}
+	return e
+}
+
+// planFixture levels the engine's dirty set and returns the first frontier's
+// plan — the unit under test for the detection cases.
+func planFixture(e *Engine) (runs []levelRun, singles []int32) {
+	sch := e.ensureSchedule()
+	return e.planLevel(sch.nodes, sch.frontier)
+}
+
+func TestPlanLevelDetectsColumnRun(t *testing.T) {
+	e := runsFixture(t, nil, 100, func(r int) (string, string) {
+		return fmt.Sprintf("C%d", r), fmt.Sprintf("A%d*B%d+A%d", r, r, r)
+	})
+	runs, singles := planFixture(e)
+	if len(runs) != 1 || len(singles) != 0 {
+		t.Fatalf("got %d runs, %d singles; want 1 run, 0 singles", len(runs), len(singles))
+	}
+	if n := len(runs[0].nodes); n != 100 {
+		t.Fatalf("run length %d, want 100", n)
+	}
+}
+
+// TestPlanLevelBrokenRun: a different shape mid-column splits the chain; the
+// long halves stay runs, the odd cell goes per-cell.
+func TestPlanLevelBrokenRun(t *testing.T) {
+	e := runsFixture(t, nil, 40, func(r int) (string, string) {
+		if r == 20 {
+			return fmt.Sprintf("C%d", r), fmt.Sprintf("A%d-B%d", r, r)
+		}
+		return fmt.Sprintf("C%d", r), fmt.Sprintf("A%d+B%d", r, r)
+	})
+	runs, singles := planFixture(e)
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2 (split around the odd row)", len(runs))
+	}
+	if len(runs[0].nodes) != 19 || len(runs[1].nodes) != 20 {
+		t.Fatalf("run lengths %d/%d, want 19/20", len(runs[0].nodes), len(runs[1].nodes))
+	}
+	if len(singles) != 1 {
+		t.Fatalf("got %d singles, want 1", len(singles))
+	}
+}
+
+// TestPlanLevelPartialRun: chains shorter than minPatternRun stay per-cell.
+func TestPlanLevelPartialRun(t *testing.T) {
+	e := runsFixture(t, nil, minPatternRun-1, func(r int) (string, string) {
+		return fmt.Sprintf("C%d", r), fmt.Sprintf("A%d+B%d", r, r)
+	})
+	// The whole dirty set is below minParallelDirty, so exercise the planner
+	// directly rather than through RecalculateAll.
+	runs, singles := planFixture(e)
+	if len(runs) != 0 {
+		t.Fatalf("got %d runs from a %d-cell chain, want 0", len(runs), minPatternRun-1)
+	}
+	if len(singles) != minPatternRun-1 {
+		t.Fatalf("got %d singles, want %d", len(singles), minPatternRun-1)
+	}
+}
+
+// TestPlanLevelGapSplitsRun: a missing row breaks contiguity even when every
+// present cell shares the program.
+func TestPlanLevelGapSplitsRun(t *testing.T) {
+	e := New(nil)
+	e.SetRecalcParallelism(2)
+	for r := 1; r <= 41; r++ {
+		e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)))
+	}
+	e.RecalculateAll()
+	for r := 1; r <= 41; r++ {
+		if r == 21 {
+			continue
+		}
+		mustFormula(t, e, fmt.Sprintf("C%d", r), fmt.Sprintf("A%d*2", r))
+	}
+	runs, _ := planFixture(e)
+	if len(runs) != 2 || len(runs[0].nodes) != 20 || len(runs[1].nodes) != 20 {
+		t.Fatalf("gap not respected: %d runs", len(runs))
+	}
+}
+
+// TestPlanLevelReversedLoad: detection sorts by position, so the order the
+// formulas were installed (and the dirty map's iteration order) is
+// irrelevant — a column loaded bottom-up still forms one ascending run.
+func TestPlanLevelReversedLoad(t *testing.T) {
+	e := New(nil)
+	e.SetRecalcParallelism(2)
+	for r := 1; r <= 50; r++ {
+		e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)))
+	}
+	e.RecalculateAll()
+	for r := 50; r >= 1; r-- {
+		mustFormula(t, e, fmt.Sprintf("C%d", r), fmt.Sprintf("A%d*2", r))
+	}
+	runs, singles := planFixture(e)
+	if len(runs) != 1 || len(singles) != 0 || len(runs[0].nodes) != 50 {
+		t.Fatalf("reversed load: %d runs, %d singles", len(runs), len(singles))
+	}
+	rows := runs[0].nodes
+	sch := e.sched
+	for k := 1; k < len(rows); k++ {
+		if sch.nodes[rows[k]].at.Row != sch.nodes[rows[k-1]].at.Row+1 {
+			t.Fatal("run rows not ascending-contiguous")
+		}
+	}
+}
+
+// TestPlanLevelNoCompFallback: a graph without pattern spans still detects
+// runs structurally, via interned-program equality alone.
+func TestPlanLevelNoCompFallback(t *testing.T) {
+	e := runsFixture(t, NoComp{G: nocomp.NewGraph()}, 30, func(r int) (string, string) {
+		return fmt.Sprintf("C%d", r), fmt.Sprintf("A%d+B%d", r, r)
+	})
+	if _, ok := e.graph.(patternSpanner); ok {
+		t.Fatal("fixture graph unexpectedly implements patternSpanner")
+	}
+	runs, _ := planFixture(e)
+	if len(runs) != 1 || len(runs[0].nodes) != 30 {
+		t.Fatalf("structural fallback found %d runs", len(runs))
+	}
+}
+
+// drainEquivalence recalculates the same workload three ways — vectorized
+// wavefront, per-cell wavefront (pattern runs off), and the serial AST
+// resolver — and requires bit-identical stored values everywhere.
+func drainEquivalence(t *testing.T, build func(e *Engine)) {
+	t.Helper()
+	engines := make([]*Engine, 3)
+	for i := range engines {
+		e := New(nil)
+		switch i {
+		case 0:
+			e.SetRecalcParallelism(2)
+		case 1:
+			e.SetRecalcParallelism(2)
+			e.SetPatternRuns(false)
+		case 2: // serial oracle: parallelism 1 never enters the wavefront
+		}
+		build(e)
+		e.RecalculateAll()
+		engines[i] = e
+	}
+	all := ref.Range{Head: ref.Ref{Col: 1, Row: 1}, Tail: ref.Ref{Col: 30, Row: 2000}}
+	count := 0
+	engines[0].ScanRange(all, func(at ref.Ref, v formula.Value, _ string, clean bool) bool {
+		count++
+		if !clean {
+			t.Errorf("%v left dirty by vectorized drain", at)
+		}
+		for i, other := range engines[1:] {
+			w := other.Value(at)
+			if v != w && !(v.Kind == formula.KindNumber && w.Kind == formula.KindNumber &&
+				math.IsNaN(v.Num) && math.IsNaN(w.Num)) {
+				t.Errorf("%v: vectorized=%v engine[%d]=%v", at, v, i+1, w)
+			}
+		}
+		return true
+	})
+	if count == 0 {
+		t.Fatal("fixture stored no cells")
+	}
+}
+
+func TestRunDrainEquivalence(t *testing.T) {
+	drainEquivalence(t, func(e *Engine) {
+		e.SetValue(ref.MustCell("F1"), formula.Num(3.5))
+		for r := 1; r <= 400; r++ {
+			e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)*1.1))
+			e.SetValue(ref.Ref{Col: 2, Row: r}, formula.Num(float64(400-r)))
+			mustFormula(t, e, fmt.Sprintf("C%d", r), fmt.Sprintf("B%d*$F$1", r))
+			mustFormula(t, e, fmt.Sprintf("D%d", r), fmt.Sprintf("A%d*B%d+C%d", r, r, r))
+		}
+	})
+}
+
+// TestRunDrainEquivalenceErrors: runs containing error and blank reads, a
+// division that manufactures errors mid-run, and cells rescued by IFERROR.
+func TestRunDrainEquivalenceErrors(t *testing.T) {
+	drainEquivalence(t, func(e *Engine) {
+		for r := 1; r <= 200; r++ {
+			if r%17 == 0 {
+				e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Errorf("#N/A"))
+			} else if r%13 != 0 { // every 13th row of A left unpopulated
+				e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r-100)))
+			}
+			mustFormula(t, e, fmt.Sprintf("C%d", r), fmt.Sprintf("1/A%d", r))
+			mustFormula(t, e, fmt.Sprintf("D%d", r), fmt.Sprintf("IFERROR(C%d,0-1)", r))
+		}
+	})
+}
+
+// TestRunDrainEquivalenceNumericSweep: a straight-line arithmetic run (the
+// shape that takes the float fast path) over operand columns salted with
+// everything that must kick a row back to the generic interpreter — zero
+// divisors, unparsable text, errors — and everything that must coerce
+// identically on both paths: numeric text, booleans, blanks.
+func TestRunDrainEquivalenceNumericSweep(t *testing.T) {
+	drainEquivalence(t, func(e *Engine) {
+		for r := 1; r <= 240; r++ {
+			switch {
+			case r%11 == 0:
+				e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Str("12.5")) // numeric text coerces
+			case r%13 == 0:
+				e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Str("n/a")) // unparsable → #VALUE!
+			case r%17 == 0:
+				e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Boolean(r%2 == 0))
+			case r%19 == 0:
+				e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Errorf("#N/A"))
+			case r%23 != 0: // every 23rd row of A left blank → coerces to 0
+				e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)-120.5))
+			}
+			if r%7 != 0 { // every 7th divisor row is 0 (blank) → #DIV/0!
+				e.SetValue(ref.Ref{Col: 2, Row: r}, formula.Num(float64(r%29)+0.25))
+			}
+			mustFormula(t, e, fmt.Sprintf("C%d", r), fmt.Sprintf("A%d*B%d-A%d/B%d", r, r, r, r))
+			mustFormula(t, e, fmt.Sprintf("D%d", r), fmt.Sprintf("IFERROR(C%d,A%d+1)", r, r))
+		}
+	})
+}
+
+// TestRunDrainEquivalenceCycles: a reference cycle upstream of a pattern
+// run must poison the run's cells exactly as it poisons the serial path —
+// #CYCLE! propagates into the vectorized sweep via the settled values.
+func TestRunDrainEquivalenceCycles(t *testing.T) {
+	drainEquivalence(t, func(e *Engine) {
+		mustFormula(t, e, "X1", "X2+1")
+		mustFormula(t, e, "X2", "X1+1")
+		for r := 1; r <= 150; r++ {
+			e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)))
+			mustFormula(t, e, fmt.Sprintf("C%d", r), fmt.Sprintf("A%d+$X$1", r))
+			mustFormula(t, e, fmt.Sprintf("D%d", r), fmt.Sprintf("IFERROR(C%d,A%d)", r, r))
+		}
+	})
+}
+
+// TestRunDrainEquivalenceChained: each run cell reads the previous level's
+// run output (C reads B's formulas), exercising run-over-run layering, plus
+// folds inside a run (SUM over a fixed range).
+func TestRunDrainEquivalenceChained(t *testing.T) {
+	drainEquivalence(t, func(e *Engine) {
+		for r := 1; r <= 300; r++ {
+			e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r%37)+0.25))
+		}
+		for r := 1; r <= 300; r++ {
+			mustFormula(t, e, fmt.Sprintf("B%d", r), fmt.Sprintf("A%d*2+SUM($A$1:$A$20)", r))
+			mustFormula(t, e, fmt.Sprintf("C%d", r), fmt.Sprintf("B%d-A%d", r, r))
+		}
+	})
+}
+
+// TestRunDrainAfterEdit: the bench-shaped interaction — settle everything,
+// edit one fixed precedent, recalculate — must re-drain the dirtied columns
+// as runs and still match the oracle.
+func TestRunDrainAfterEdit(t *testing.T) {
+	build := func(e *Engine) {
+		e.SetValue(ref.MustCell("F1"), formula.Num(2))
+		for r := 1; r <= 250; r++ {
+			e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)))
+			mustFormula(t, e, fmt.Sprintf("C%d", r), fmt.Sprintf("A%d*$F$1", r))
+			mustFormula(t, e, fmt.Sprintf("D%d", r), fmt.Sprintf("C%d+A%d", r, r))
+		}
+	}
+	vec, oracle := New(nil), New(nil)
+	vec.SetRecalcParallelism(2)
+	build(vec)
+	build(oracle)
+	vec.RecalculateAll()
+	oracle.RecalculateAll()
+	for i, v := range []float64{7, 11.5} {
+		vec.SetValue(ref.MustCell("F1"), formula.Num(v))
+		oracle.SetValue(ref.MustCell("F1"), formula.Num(v))
+		if n := vec.RecalculateAll(); n != 500 {
+			t.Fatalf("edit %d: vectorized drain recalculated %d cells, want 500", i, n)
+		}
+		oracle.RecalculateAll()
+		all := ref.Range{Head: ref.Ref{Col: 1, Row: 1}, Tail: ref.Ref{Col: 10, Row: 300}}
+		oracle.ScanRange(all, func(at ref.Ref, want formula.Value, _ string, _ bool) bool {
+			if got := vec.Value(at); got != want {
+				t.Errorf("edit %d, %v: vectorized=%v serial=%v", i, at, got, want)
+			}
+			return true
+		})
+	}
+}
+
+// TestSetPatternRunsToggle: the knob really is the difference between the
+// two wavefront paths, and toggling it mid-life is safe.
+func TestSetPatternRunsToggle(t *testing.T) {
+	e := runsFixture(t, nil, 120, func(r int) (string, string) {
+		return fmt.Sprintf("C%d", r), fmt.Sprintf("A%d+B%d", r, r)
+	})
+	e.SetPatternRuns(false)
+	e.RecalculateAll()
+	e.SetPatternRuns(true)
+	for r := 1; r <= 120; r++ {
+		e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)*2))
+	}
+	e.RecalculateAll()
+	for r := 1; r <= 120; r++ {
+		want := float64(r)*2 + float64(120-r) + 0.5
+		if got := e.Value(ref.Ref{Col: 3, Row: r}).Num; got != want {
+			t.Fatalf("C%d = %v, want %v", r, got, want)
+		}
+	}
+}

@@ -67,6 +67,9 @@ const (
 	// index. Single-cell references — all of a chain, most of a scalar
 	// sheet — then never touch (or build) the index at all.
 	smallPrecProbe = 8
+	// maxWarmRoots bounds the edit-root list the warm-schedule cache
+	// compares epochs by; epochs with more distinct roots rebuild.
+	maxWarmRoots = 8
 )
 
 // LevelRunner executes the independent evaluations of one wavefront level:
@@ -86,8 +89,11 @@ type schedNode struct {
 	// decrements each one's nprec.
 	outs []int32
 	// nprec counts dirty direct precedents not yet published. Touched only
-	// by the coordinator — workers never see the schedule.
-	nprec int32
+	// by the coordinator — workers never see the schedule. nprec0 keeps the
+	// linker's initial count so a warm-cached schedule can re-arm without
+	// re-linking.
+	nprec  int32
+	nprec0 int32
 	// self marks a direct self-reference: an immediate cycle, never
 	// evaluated, resolved to #CYCLE! with the other cycle members.
 	self bool
@@ -120,6 +126,17 @@ type schedule struct {
 	// cell-by-cell.
 	cols     map[int][]uint64
 	colsomeN int // nodes indexed so far (0 = index not built this drain)
+	// order is the linker's position-sorted node permutation (batched
+	// backends only; empty otherwise). planLevel reuses it to avoid
+	// re-sorting each level. mark and lvl are its filter scratch buffers.
+	order []int32
+	mark  []bool
+	lvl   []int32
+	// plans caches each drained level's pattern-run partition in order;
+	// planIdx is the replay cursor, reset when a warm schedule re-arms.
+	// See levelPlan in runs.go.
+	plans   []levelPlan
+	planIdx int
 }
 
 var schedPool = sync.Pool{New: func() any {
@@ -130,29 +147,111 @@ var schedPool = sync.Pool{New: func() any {
 // drain: every such mutation starts a new dirty generation and invalidates
 // the cached schedule (the drain's own publications do not — the schedule
 // tracks those itself). Called from every write path that touches e.dirty.
+// Interrupting a live (unfinished) schedule also poisons the epoch's root
+// tracking: the dirty set now mixes a partial drain's remainder with new
+// marks, which no root list describes.
 func (e *Engine) noteDirtyMutation() {
 	e.dirtyGen++
 	if e.sched != nil {
 		mSchedInvalidations.Inc()
+		e.rootsOK = false
 		e.releaseSchedule()
+	}
+}
+
+// noteStructMutation records a change to the formula set or dependency
+// graph: the warm-cached schedule describes a structure that no longer
+// exists, so it is released (and its retained cell records unpinned).
+func (e *Engine) noteStructMutation() {
+	e.structGen++
+	if e.warm != nil {
+		e.releaseWarm()
 	}
 }
 
 // releaseSchedule returns the cached schedule to the package pool, dropping
 // its cell-record references so pooling does not pin them.
 func (e *Engine) releaseSchedule() {
-	sch := e.sched
-	if sch == nil {
-		return
+	if sch := e.sched; sch != nil {
+		e.sched = nil
+		poolSchedule(sch)
 	}
-	e.sched = nil
+}
+
+// releaseWarm returns the warm-cached schedule to the package pool.
+func (e *Engine) releaseWarm() {
+	if sch := e.warm; sch != nil {
+		e.warm = nil
+		e.warmRoots = e.warmRoots[:0]
+		poolSchedule(sch)
+	}
+}
+
+func poolSchedule(sch *schedule) {
 	sch.colsomeN = 0
 	for i := range sch.nodes {
 		sch.nodes[i].c = nil
 	}
 	sch.frontier = sch.frontier[:0]
 	sch.next = sch.next[:0]
+	sch.order = sch.order[:0]
+	for i := range sch.plans {
+		sch.plans[i] = levelPlan{} // unpin interned programs
+	}
+	sch.plans = sch.plans[:0]
+	sch.planIdx = 0
 	schedPool.Put(sch)
+}
+
+// retireSchedule moves a cleanly completed schedule into the warm cache,
+// stamped with the structure generation and edit roots it is valid for. The
+// retired schedule keeps its nodes, links, sort order, and column index —
+// everything but the consumed nprec counters, which nprec0 restores at
+// re-arm time. Unlike pooling, retirement intentionally pins the node set's
+// cell records: they stay live unless a structural mutation (which releases
+// the warm cache) replaces them.
+func (e *Engine) retireSchedule() {
+	sch := e.sched
+	if sch == nil {
+		return
+	}
+	e.sched = nil
+	e.releaseWarm()
+	e.warm = sch
+	e.warmStruct = e.structGen
+	e.warmRoots = append(e.warmRoots[:0], e.roots...)
+}
+
+// takeWarm re-arms the warm-cached schedule when the current dirty epoch is
+// provably identical to the one it was built for: same formula/graph
+// structure, same edit roots, cleanly tracked (rootsOK), and a matching
+// dirty count. The dirty set is then exactly the cached node set — the
+// graph's dependent closure is deterministic — so resetting the precedent
+// counters and rebuilding the initial frontier is the whole cost: O(nodes),
+// no precedent queries, no sort, no linking. This is the interactive steady
+// state: the same input cell edited repeatedly re-levels nothing.
+func (e *Engine) takeWarm() *schedule {
+	sch := e.warm
+	if sch == nil || !e.rootsOK || e.warmStruct != e.structGen ||
+		len(e.dirty) != len(sch.nodes) || !slices.Equal(e.roots, e.warmRoots) {
+		return nil
+	}
+	e.warm = nil
+	sch.gen = e.dirtyGen
+	sch.planIdx = 0
+	sch.frontier = sch.frontier[:0]
+	for i := range sch.nodes {
+		nd := &sch.nodes[i]
+		nd.nprec = nd.nprec0
+		nd.cyclic = false
+		if nd.nprec0 == 0 && !nd.self {
+			sch.frontier = append(sch.frontier, int32(i))
+		}
+	}
+	sch.total = len(sch.nodes)
+	e.sched = sch
+	mSchedWarmReuses.Inc()
+	return sch
 }
 
 // ensureSchedule returns the live schedule for the current dirty generation,
@@ -169,13 +268,18 @@ func (e *Engine) ensureSchedule() *schedule {
 		}
 		e.releaseSchedule()
 	}
+	if sch := e.takeWarm(); sch != nil {
+		return sch
+	}
 	sch := schedPool.Get().(*schedule)
 	sch.gen = e.dirtyGen
 	e.buildSchedule(sch)
 	e.linkSchedule(sch)
 	sch.frontier = sch.frontier[:0]
 	for i := range sch.nodes {
-		if sch.nodes[i].nprec == 0 && !sch.nodes[i].self {
+		nd := &sch.nodes[i]
+		nd.nprec0 = nd.nprec
+		if nd.nprec == 0 && !nd.self {
 			sch.frontier = append(sch.frontier, int32(i))
 		}
 	}
@@ -205,6 +309,13 @@ func (e *Engine) DrainLevels(budget int, run LevelRunner) int {
 	sch := e.ensureSchedule()
 	drained := 0
 	levels := uint64(0)
+	// Whole-schedule drains defer the per-cell dirty-map deletes and clear
+	// the map wholesale at the end: the live schedule's undrained nodes are
+	// exactly the dirty set, so when the budget covers all of it the keyed
+	// deletes are pure overhead on a large drain. Budgeted chunks keep the
+	// per-cell deletes so Pending() stays exact between calls.
+	remaining := len(e.dirty)
+	bulk := budget >= remaining
 	// Telemetry lands in one batch per call, not per cell or per level —
 	// the drain loop itself stays free of atomic traffic.
 	defer func() {
@@ -220,7 +331,7 @@ func (e *Engine) DrainLevels(budget int, run LevelRunner) int {
 				// (its precedents are settled) and leads the next frontier.
 				level, rest = level[:rem], level[rem:]
 			}
-			e.runLevel(sch.nodes, level, run)
+			e.runLevel(sch, level, run)
 			e.levelsDrained++
 			levels++
 			drained += len(level)
@@ -228,12 +339,23 @@ func (e *Engine) DrainLevels(budget int, run LevelRunner) int {
 			// release their dependents. Coordinator-only — workers never
 			// touch the shared map or the schedule.
 			next := sch.next[:0]
-			for _, i := range level {
-				delete(e.dirty, sch.nodes[i].at)
-				for _, j := range sch.nodes[i].outs {
-					sch.nodes[j].nprec--
-					if sch.nodes[j].nprec == 0 && !sch.nodes[j].self {
-						next = append(next, j)
+			if bulk {
+				for _, i := range level {
+					for _, j := range sch.nodes[i].outs {
+						sch.nodes[j].nprec--
+						if sch.nodes[j].nprec == 0 && !sch.nodes[j].self {
+							next = append(next, j)
+						}
+					}
+				}
+			} else {
+				for _, i := range level {
+					delete(e.dirty, sch.nodes[i].at)
+					for _, j := range sch.nodes[i].outs {
+						sch.nodes[j].nprec--
+						if sch.nodes[j].nprec == 0 && !sch.nodes[j].self {
+							next = append(next, j)
+						}
 					}
 				}
 			}
@@ -241,10 +363,18 @@ func (e *Engine) DrainLevels(budget int, run LevelRunner) int {
 			sch.frontier, sch.next = next, sch.frontier[:0]
 		}
 		if len(sch.frontier) > 0 {
-			// Budget exhausted mid-schedule: keep it cached for the next call.
+			// Budget exhausted mid-schedule: keep it cached for the next
+			// call. Unreachable in bulk mode — the budget covers every node,
+			// so the frontier cannot outlive it and no deferred deletes leak.
 			return drained
 		}
-		if len(e.dirty) == 0 {
+		if drained == remaining {
+			if bulk {
+				clear(e.dirty)
+			}
+			break
+		}
+		if !bulk && len(e.dirty) == 0 {
 			break
 		}
 		if drained >= budget {
@@ -255,13 +385,27 @@ func (e *Engine) DrainLevels(budget int, run LevelRunner) int {
 		// Kahn stalled with budget left: every remaining dirty cell either
 		// sits on a reference cycle or depends on one. Resolve the cycles
 		// and resume — the survivors form a DAG and level normally.
-		freed := e.resolveCycles(sch, &drained)
+		freed := e.resolveCycles(sch, &drained, bulk)
 		if len(freed) == 0 {
 			break
 		}
 		sch.frontier = append(sch.frontier[:0], freed...)
 	}
-	e.releaseSchedule()
+	if bulk && len(e.dirty) != 0 {
+		// Stall exit with cells left undrained (nothing freed past a cycle):
+		// reconcile the deletes the wholesale clear would have covered.
+		for at, c := range e.dirty {
+			if !c.dirty {
+				delete(e.dirty, at)
+			}
+		}
+	}
+	if len(e.dirty) == 0 && e.rootsOK {
+		e.retireSchedule()
+	} else {
+		e.rootsOK = false
+		e.releaseSchedule()
+	}
 	return drained
 }
 
@@ -324,6 +468,52 @@ func (e *Engine) linkSchedule(sch *schedule) {
 		sch.searchLarge(p, addEdge)
 		return true
 	}
+	if bp, ok := e.graph.(batchPrecedenter); ok {
+		// Batched linking: sort the nodes by position, carve the dirty set
+		// into maximal contiguous column segments, and answer each segment
+		// with one compressed-index search. The graph enumerates (dependent
+		// cell, precedent window) pairs per covering edge — identical pairs,
+		// in a different order, to the per-cell queries below — and segment
+		// contiguity turns the dependent-cell-to-node lookup into row
+		// arithmetic on the sorted order, no map probe. The edge pre-filter
+		// discards edges whose union precedent window holds no dirty cell
+		// (data-fed edges, the bulk of a sheet) before any per-cell work;
+		// windows that survive link exactly as the per-cell path would.
+		// Dirty value cells ride along harmlessly: no edge claims them.
+		order := sch.order[:0]
+		for i := range nodes {
+			order = append(order, int32(i))
+		}
+		slices.SortFunc(order, func(a, b int32) int {
+			if c := nodes[a].at.Col - nodes[b].at.Col; c != 0 {
+				return c
+			}
+			return nodes[a].at.Row - nodes[b].at.Row
+		})
+		sch.order = order
+		sch.buildColsFromOrder()
+		skipClean := func(_, prec ref.Range) bool { return sch.dirtyOverlaps(prec) }
+		for s := 0; s < len(order); {
+			head := nodes[order[s]].at
+			t := s + 1
+			for t < len(order) {
+				at := nodes[order[t]].at
+				if at.Col != head.Col || at.Row != head.Row+(t-s) {
+					break
+				}
+				t++
+			}
+			seg := ref.Range{Head: head, Tail: ref.Ref{Col: head.Col, Row: head.Row + (t - s - 1)}}
+			base := s
+			bp.DirectPrecedentsEach(seg, skipClean, func(dep ref.Ref, prec ref.Range) bool {
+				cur = order[base+(dep.Row-head.Row)]
+				link(prec)
+				return true
+			})
+			s = t
+		}
+		return
+	}
 	for i := range nodes {
 		n := &nodes[i]
 		if n.c.ast == nil {
@@ -338,6 +528,48 @@ func (e *Engine) linkSchedule(sch *schedule) {
 			}
 		}
 	}
+}
+
+// buildColsFromOrder populates the per-column dirty-position index straight
+// from the linker's position-sorted order: one pass, and every per-column
+// list comes out row-sorted for free — the batched linker pays for the sort
+// once and both consumers (dirtyOverlaps here, searchLarge for big windows)
+// reuse it.
+func (sch *schedule) buildColsFromOrder() {
+	if sch.colsomeN != 0 {
+		return
+	}
+	for c, list := range sch.cols {
+		sch.cols[c] = list[:0]
+	}
+	for _, i := range sch.order {
+		at := sch.nodes[i].at
+		sch.cols[at.Col] = append(sch.cols[at.Col], uint64(at.Row)<<32|uint64(uint32(i)))
+	}
+	sch.colsomeN = len(sch.nodes)
+}
+
+// dirtyOverlaps reports whether any dirty cell lies inside p — the linker's
+// edge pre-filter. One binary search per overlapping populated column.
+func (sch *schedule) dirtyOverlaps(p ref.Range) bool {
+	overlap := func(list []uint64) bool {
+		lo, _ := slices.BinarySearch(list, uint64(p.Head.Row)<<32)
+		return lo < len(list) && int(list[lo]>>32) <= p.Tail.Row
+	}
+	if p.Cols() > len(sch.cols) {
+		for c, list := range sch.cols {
+			if c >= p.Head.Col && c <= p.Tail.Col && overlap(list) {
+				return true
+			}
+		}
+		return false
+	}
+	for c := p.Head.Col; c <= p.Tail.Col; c++ {
+		if list, ok := sch.cols[c]; ok && overlap(list) {
+			return true
+		}
+	}
+	return false
 }
 
 // searchLarge finds the dirty cells inside a large precedent range through
@@ -382,13 +614,37 @@ func (sch *schedule) searchLarge(p ref.Range, hit func(int32)) {
 	}
 }
 
-// runLevel evaluates one level's cells. Wide levels fan out through the
-// injected LevelRunner (a serving layer's shared pool) or, when none is
-// configured, a per-level bounded goroutine fan-out; narrow levels run
-// inline. Each cell's value and clean flag are written by exactly one
-// goroutine, and the runner's completion barrier publishes them before any
-// dependent (necessarily in a later level) can read them.
-func (e *Engine) runLevel(nodes []schedNode, level []int32, run LevelRunner) {
+// runLevel evaluates one level's cells. Levels wide enough to hold a
+// pattern run are first partitioned by planLevel (runs.go): detected runs
+// drain as vectorized sweeps and only the leftover singles go through
+// per-cell evaluation. Wide single sets fan out through the injected
+// LevelRunner (a serving layer's shared pool) or, when none is configured, a
+// per-level bounded goroutine fan-out; narrow ones run inline. Each cell's
+// value and clean flag are written by exactly one goroutine, and the
+// runner's completion barrier publishes them before any dependent
+// (necessarily in a later level) can read them.
+func (e *Engine) runLevel(sch *schedule, level []int32, run LevelRunner) {
+	nodes := sch.nodes
+	if e.patternRuns && len(level) >= minPatternRun {
+		runs, singles, cached := sch.replayPlan(level)
+		if !cached {
+			runs, singles = e.planLevel(nodes, level)
+			sch.recordPlan(level, runs, singles)
+		}
+		if len(runs) > 0 {
+			mPatternRuns.Add(uint64(len(runs)))
+			mPatternRunCells.Add(uint64(len(level) - len(singles)))
+			e.drainRuns(nodes, runs, run)
+			e.runCells(nodes, singles, run)
+			return
+		}
+	}
+	e.runCells(nodes, level, run)
+}
+
+// runCells evaluates a set of independent level cells per-cell (see
+// runLevel for the fan-out policy).
+func (e *Engine) runCells(nodes []schedNode, level []int32, run LevelRunner) {
 	if len(level) < minParallelLevel || e.parallelism <= 1 {
 		for _, i := range level {
 			e.evalLevelCell(&nodes[i])
@@ -435,11 +691,20 @@ func (e *Engine) spawnLevel(nodes []schedNode, level []int32) {
 // value resolver. Every precedent is settled by construction (that is what
 // the level barrier guarantees), so unlike the serial evalResolver this
 // never recurses, never consults cycle flags, and never mutates shared
-// state — the one write is to the cell it owns. The dirty flag flips after
-// the value write; the level barrier publishes both together.
+// state — the writes are to the cell it owns (value, dirty, and the lazily
+// compiled program, cached on first drain). Compiled formulas run on the
+// bytecode VM — safe here because valueResolver is pure, and bit-identical
+// to the walker by the VM's equivalence contract (see formula/compile.go);
+// the walker remains the fallback for uncompilable expressions. The dirty
+// flag flips after the value write; the level barrier publishes both
+// together.
 func (e *Engine) evalLevelCell(n *schedNode) {
 	if n.c.ast != nil {
-		n.c.value = formula.Eval(n.c.ast, valueResolver{e})
+		if p := e.prog(n.at, n.c); p != nil {
+			n.c.value = p.EvalAt(valueResolver{e}, n.at)
+		} else {
+			n.c.value = formula.Eval(n.c.ast, valueResolver{e})
+		}
 	}
 	n.c.dirty = false
 }
@@ -452,7 +717,9 @@ func (e *Engine) evalLevelCell(n *schedNode) {
 // next frontier; they evaluate normally and see the error values, so
 // propagation (and IFERROR-style rescue) downstream of a cycle matches the
 // serial path. drained is advanced by the number of cells resolved.
-func (e *Engine) resolveCycles(sch *schedule, drained *int) []int32 {
+// deferDirty skips the per-cell dirty-map deletes for bulk drains, which
+// reconcile the map wholesale on exit (see DrainLevels).
+func (e *Engine) resolveCycles(sch *schedule, drained *int, deferDirty bool) []int32 {
 	nodes := sch.nodes
 	stalled := func(i int32) bool { return nodes[i].c.dirty && !nodes[i].cyclic }
 
@@ -541,7 +808,9 @@ func (e *Engine) resolveCycles(sch *schedule, drained *int) []int32 {
 			n.c.value = formula.Errorf("#CYCLE!")
 		}
 		n.c.dirty = false
-		delete(e.dirty, n.at)
+		if !deferDirty {
+			delete(e.dirty, n.at)
+		}
 		*drained++
 	}
 	for _, i := range cyclic {

@@ -259,3 +259,126 @@ func TestWavefrontSmallSetStaysSerial(t *testing.T) {
 		t.Fatalf("B1 = %v", v)
 	}
 }
+
+// TestWarmScheduleReuse pins the warm-schedule cache's contract: repeating
+// the same value edit re-arms the retired schedule (no re-levelling), the
+// results stay identical to a cold drain, and anything that changes the
+// epoch's shape — a different edit root, a structural mutation — falls back
+// to a fresh build.
+func TestWarmScheduleReuse(t *testing.T) {
+	build := func() *Engine {
+		e := New(nil)
+		e.SetValue(ref.MustCell("F1"), formula.Num(1.5))
+		e.SetValue(ref.MustCell("G1"), formula.Num(2))
+		for r := 1; r <= 200; r++ {
+			e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)))
+			mustFormula(t, e, fmt.Sprintf("B%d", r), fmt.Sprintf("A%d*$F$1", r))
+			mustFormula(t, e, fmt.Sprintf("C%d", r), fmt.Sprintf("B%d+$G$1", r))
+		}
+		e.RecalculateAll()
+		return e
+	}
+	e := build()
+	e.SetRecalcParallelism(4)
+
+	check := func(f1 float64) {
+		t.Helper()
+		for _, r := range []int{1, 57, 200} {
+			want := float64(r)*f1 + 2
+			if v := e.Value(ref.Ref{Col: 3, Row: r}); v.Num != want {
+				t.Fatalf("C%d = %v, want %v", r, v, want)
+			}
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("pending = %d after drain", e.Pending())
+		}
+	}
+
+	// Cold drain: builds and retires the schedule.
+	builds0, warm0 := mSchedBuilds.Value(), mSchedWarmReuses.Value()
+	e.SetValue(ref.MustCell("F1"), formula.Num(3))
+	e.RecalculateAll()
+	check(3)
+	if d := mSchedBuilds.Value() - builds0; d != 1 {
+		t.Fatalf("cold drain: %d schedule builds, want 1", d)
+	}
+
+	// Same root again: the retired schedule re-arms, nothing re-levels.
+	builds0 = mSchedBuilds.Value()
+	for i, f1 := range []float64{4, 5, 6} {
+		e.SetValue(ref.MustCell("F1"), formula.Num(f1))
+		e.RecalculateAll()
+		check(f1)
+		if d := mSchedWarmReuses.Value() - warm0; d != uint64(i+1) {
+			t.Fatalf("edit %d: %d warm reuses, want %d", i, d, i+1)
+		}
+	}
+	if d := mSchedBuilds.Value() - builds0; d != 0 {
+		t.Fatalf("warm edits: %d schedule builds, want 0", d)
+	}
+
+	// A different root: same structure, different epoch — must rebuild and
+	// still be exact.
+	builds0, warm0 = mSchedBuilds.Value(), mSchedWarmReuses.Value()
+	e.SetValue(ref.MustCell("G1"), formula.Num(10))
+	e.RecalculateAll()
+	for _, r := range []int{1, 200} {
+		want := float64(r)*6 + 10
+		if v := e.Value(ref.Ref{Col: 3, Row: r}); v.Num != want {
+			t.Fatalf("C%d = %v, want %v after G1 edit", r, v, want)
+		}
+	}
+	if mSchedWarmReuses.Value() != warm0 {
+		t.Fatal("G1 edit reused the F1 epoch's schedule")
+	}
+	if d := mSchedBuilds.Value() - builds0; d != 1 {
+		t.Fatalf("G1 edit: %d schedule builds, want 1", d)
+	}
+
+	// A structural mutation invalidates the warm cache even for the same
+	// root: the re-pointed formula must see fresh levels, not stale links.
+	e.SetValue(ref.MustCell("G1"), formula.Num(10)) // retire a G1-rooted schedule
+	e.RecalculateAll()
+	mustFormula(t, e, "C1", "B1-$G$1")
+	e.RecalculateAll()
+	e.SetValue(ref.MustCell("G1"), formula.Num(20))
+	e.RecalculateAll()
+	if v := e.Value(ref.MustCell("C1")); v.Num != 6-20 {
+		t.Fatalf("C1 = %v, want %v after formula change", v, 6-20)
+	}
+	if v := e.Value(ref.MustCell("C2")); v.Num != 2*6+20 {
+		t.Fatalf("C2 = %v, want %v after formula change", v, 2*6+20)
+	}
+}
+
+// TestWarmScheduleSerialInterference: a serial evaluation (a read-through
+// Recalculate on a small budget, or any evalResolver recursion) drains
+// cells the root model cannot account for, so the next drain must not trust
+// the warm cache.
+func TestWarmScheduleSerialInterference(t *testing.T) {
+	e := New(nil)
+	e.SetValue(ref.MustCell("F1"), formula.Num(1))
+	for r := 1; r <= 100; r++ {
+		e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)))
+		mustFormula(t, e, fmt.Sprintf("B%d", r), fmt.Sprintf("A%d*$F$1", r))
+	}
+	e.RecalculateAll()
+	e.SetRecalcParallelism(4)
+	e.SetValue(ref.MustCell("F1"), formula.Num(2))
+	e.RecalculateAll() // retire a warm schedule for root F1
+
+	e.SetValue(ref.MustCell("F1"), formula.Num(3))
+	// Serial drain of part of the epoch: parallelism off for one call.
+	e.SetRecalcParallelism(1)
+	e.RecalculateN(10)
+	e.SetRecalcParallelism(4)
+	e.RecalculateAll()
+	for _, r := range []int{1, 50, 100} {
+		if v := e.Value(ref.Ref{Col: 2, Row: r}); v.Num != float64(r)*3 {
+			t.Fatalf("B%d = %v, want %v", r, v, float64(r)*3)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+}

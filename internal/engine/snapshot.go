@@ -435,6 +435,7 @@ func restoreSnapshot(r io.Reader, pinned *core.Graph) (*Engine, error) {
 	cells := cellMapPool.Get().(map[ref.Ref]*cell)
 	store := newColStore()
 	dirty := make(map[ref.Ref]*cell)
+	nform := make(map[int]int)
 	var fitems []rtree.Item[ref.Ref]
 	// Slab-allocate cell records in pooled blocks: pointers into a full
 	// block stay valid (blocks never regrow), and the restore/spill churn of
@@ -460,6 +461,7 @@ func restoreSnapshot(r io.Reader, pinned *core.Graph) (*Engine, error) {
 		store.set(sc.At, c) // snapshots are column-major: the append fast path
 		if sc.AST != nil {
 			fitems = append(fitems, rtree.Item[ref.Ref]{Rect: ref.CellRange(sc.At), Value: sc.At})
+			nform[sc.At.Col]++
 		}
 		if sc.Dirty {
 			dirty[sc.At] = c
@@ -477,12 +479,15 @@ func restoreSnapshot(r io.Reader, pinned *core.Graph) (*Engine, error) {
 		}
 	}
 	return &Engine{
-		graph:    TACO{G: g},
-		store:    store,
-		cells:    cells,
-		formulas: rtree.BulkLoad(fitems),
-		dirty:    dirty,
-		slabs:    slabs,
+		graph:       TACO{G: g},
+		store:       store,
+		cells:       cells,
+		formulas:    rtree.BulkLoad(fitems),
+		nform:       nform,
+		dirty:       dirty,
+		slabs:       slabs,
+		patternRuns: true,
+		rootsOK:     true,
 	}, nil
 }
 

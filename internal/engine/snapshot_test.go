@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -344,5 +345,50 @@ func TestSnapshotChecksum(t *testing.T) {
 		if got, want := r.Value(at).String(), e.Value(at).String(); got != want {
 			t.Fatalf("legacy cell %v = %q, want %q", at, got, want)
 		}
+	}
+}
+
+// TestRestoredEngineVectorizedDrain pins two restore-path regressions: a
+// restored engine must keep the vectorized pattern-run drain enabled (the
+// toggle defaults on and must survive the snapshot round trip), and its
+// per-column formula counts must be rebuilt so post-restore edits — which
+// maintain those counts — work at all.
+func TestRestoredEngineVectorizedDrain(t *testing.T) {
+	e := New(nil)
+	e.SetValue(ref.MustCell("F1"), formula.Num(2))
+	for r := 1; r <= 64; r++ {
+		e.SetValue(ref.Ref{Col: 1, Row: r}, formula.Num(float64(r)))
+		if _, err := e.SetFormula(ref.Ref{Col: 2, Row: r}, fmt.Sprintf("A%d*$F$1", r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RecalculateAll()
+
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Formula-count index is live: an edit that maintains it must not blow
+	// up, and a formula overwrite keeps invalidation exact.
+	if _, err := r.SetFormula(ref.MustCell("B1"), "A1*$F$1+1"); err != nil {
+		t.Fatal(err)
+	}
+	r.SetRecalcParallelism(4)
+	runs0 := mPatternRuns.Value()
+	r.SetValue(ref.MustCell("F1"), formula.Num(3))
+	r.RecalculateAll()
+	if mPatternRuns.Value() == runs0 {
+		t.Fatal("restored engine drained without pattern runs: toggle lost in restore")
+	}
+	if v := r.Value(ref.MustCell("B1")); v.Num != 1*3+1 {
+		t.Fatalf("B1 = %v, want 4", v)
+	}
+	if v := r.Value(ref.MustCell("B64")); v.Num != 64*3 {
+		t.Fatalf("B64 = %v, want 192", v)
 	}
 }

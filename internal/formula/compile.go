@@ -1,0 +1,644 @@
+package formula
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"taco/internal/ref"
+	"taco/internal/telemetry"
+)
+
+// This file compiles parsed formulae to flat postfix bytecode and evaluates
+// it on a small stack VM. The AST walker (Eval) stays the semantic oracle;
+// the VM exists to kill the tree walk and the per-node interface dispatch in
+// the recalculation hot loop, where the same formula shape is evaluated
+// thousands of times across a column.
+//
+// Cell and range operands are encoded relative to the compiling cell's
+// position (the anchor) on their relative axes and absolutely on their
+// $-fixed axes — exactly the axes Shift preserves. Two formulae that are
+// shifted copies of each other therefore compile to byte-identical programs,
+// and CompileCached interns programs by those bytes, so "same shape" is a
+// pointer comparison. That is what the wavefront scheduler's pattern-run
+// detection keys on (see engine/runs.go): a column of =A2*B2+C2,
+// =A3*B3+C3, ... shares one *Program.
+//
+// Exactness: the VM evaluates every argument expression before dispatching a
+// call, where the walker stops at the first scalar error for non-exempt
+// builtins and IF short-circuits the untaken branch. Under a pure resolver —
+// one whose CellValue has no side effects, like the engine's read-only
+// valueResolver or any map-backed test resolver — the skipped evaluations
+// are value-invisible, so the VM's results are bit-identical to the walker's
+// (pinned by TestBytecodeEquivalence and FuzzBytecodeEval). The VM must NOT
+// be used with resolvers that evaluate dirty cells on read (the engine's
+// serial evalResolver): there, evaluation order is observable through cycle
+// detection.
+
+// opcode is a VM instruction tag.
+type opcode uint8
+
+const (
+	opConst  opcode = iota // push consts[a]
+	opCell                 // push the cell operand cells[a], resolved at the anchor
+	opRange                // push the range operand ranges[a] as a range argument
+	opUnary                // apply unary ops[a] to the top of stack
+	opBinary               // apply binary ops[a] to the top two entries
+	opCall                 // dispatch calls[a] over its argc top entries
+)
+
+// instr is one VM instruction: an opcode plus an operand-table index.
+type instr struct {
+	op opcode
+	a  int32
+}
+
+// CellOp is a compiled cell operand. On a fixed axis the coordinate is
+// absolute (1-based); on a relative axis it is an offset from the anchor.
+// The engine's run executor reads these to plan slab cursors.
+type CellOp struct {
+	DCol, DRow         int32
+	ColFixed, RowFixed bool
+}
+
+// At resolves the operand's position for a given anchor cell.
+func (o CellOp) At(anchor ref.Ref) ref.Ref {
+	at := ref.Ref{Col: int(o.DCol), Row: int(o.DRow)}
+	if !o.ColFixed {
+		at.Col += anchor.Col
+	}
+	if !o.RowFixed {
+		at.Row += anchor.Row
+	}
+	return at
+}
+
+// rangeOp is a compiled range operand; each of the four coordinates is
+// absolute or anchor-relative according to its own $-flag, mirroring Shift.
+type rangeOp struct {
+	headCol, headRow, tailCol, tailRow                     int32
+	headColFixed, headRowFixed, tailColFixed, tailRowFixed bool
+}
+
+func (o rangeOp) at(anchor ref.Ref) ref.Range {
+	head := ref.Ref{Col: int(o.headCol), Row: int(o.headRow)}
+	tail := ref.Ref{Col: int(o.tailCol), Row: int(o.tailRow)}
+	if !o.headColFixed {
+		head.Col += anchor.Col
+	}
+	if !o.headRowFixed {
+		head.Row += anchor.Row
+	}
+	if !o.tailColFixed {
+		tail.Col += anchor.Col
+	}
+	if !o.tailRowFixed {
+		tail.Row += anchor.Row
+	}
+	return ref.Range{Head: head, Tail: tail}
+}
+
+// callInfo is a compiled call site.
+type callInfo struct {
+	name string
+	argc int32
+	// exempt marks the builtins the walker exempts from first-scalar-error
+	// propagation (IF, ISERROR, IFERROR — they give errors meaning).
+	exempt bool
+}
+
+// Program is a compiled formula: flat postfix code over operand tables.
+// Programs are immutable after compilation and safe for concurrent
+// evaluation from any number of goroutines.
+type Program struct {
+	code     []instr
+	consts   []Value
+	cells    []CellOp
+	ranges   []rangeOp
+	calls    []callInfo
+	ops      []string
+	maxStack int
+	numeric  *numericPlan
+}
+
+// CellOps returns the program's cell operand descriptors (shared slice —
+// callers must not mutate).
+func (p *Program) CellOps() []CellOp { return p.cells }
+
+// NumRangeOps returns the number of range operands the program reads.
+func (p *Program) NumRangeOps() int { return len(p.ranges) }
+
+// maxVMStack bounds a program's evaluation stack; expressions nesting deeper
+// than this stay on the AST walker.
+const maxVMStack = 128
+
+// Compile compiles the AST to a Program anchored at the given cell, or nil
+// when the expression is not compilable (unknown node kinds, or a value
+// stack deeper than maxVMStack).
+func Compile(n Node, at ref.Ref) *Program {
+	c := compiler{anchor: at, ok: true}
+	c.gen(n)
+	if !c.ok {
+		return nil
+	}
+	c.p.numeric = c.p.buildNumeric()
+	return &c.p
+}
+
+type compiler struct {
+	p      Program
+	anchor ref.Ref
+	depth  int
+	ok     bool
+}
+
+func (c *compiler) emit(op opcode, a int32, delta int) {
+	c.p.code = append(c.p.code, instr{op: op, a: a})
+	c.depth += delta
+	if c.depth > c.p.maxStack {
+		c.p.maxStack = c.depth
+		if c.depth > maxVMStack {
+			c.ok = false
+		}
+	}
+}
+
+func (c *compiler) addConst(v Value) int32 {
+	for i, e := range c.p.consts {
+		if e == v {
+			return int32(i)
+		}
+	}
+	c.p.consts = append(c.p.consts, v)
+	return int32(len(c.p.consts) - 1)
+}
+
+func (c *compiler) addOp(op string) int32 {
+	for i, e := range c.p.ops {
+		if e == op {
+			return int32(i)
+		}
+	}
+	c.p.ops = append(c.p.ops, op)
+	return int32(len(c.p.ops) - 1)
+}
+
+func (c *compiler) addCell(op CellOp) int32 {
+	for i, e := range c.p.cells {
+		if e == op {
+			return int32(i)
+		}
+	}
+	c.p.cells = append(c.p.cells, op)
+	return int32(len(c.p.cells) - 1)
+}
+
+func (c *compiler) addRange(op rangeOp) int32 {
+	for i, e := range c.p.ranges {
+		if e == op {
+			return int32(i)
+		}
+	}
+	c.p.ranges = append(c.p.ranges, op)
+	return int32(len(c.p.ranges) - 1)
+}
+
+func (c *compiler) addCall(ci callInfo) int32 {
+	for i, e := range c.p.calls {
+		if e == ci {
+			return int32(i)
+		}
+	}
+	c.p.calls = append(c.p.calls, ci)
+	return int32(len(c.p.calls) - 1)
+}
+
+// rel encodes one coordinate: absolute when fixed, anchor-relative when not.
+func rel(coord, anchor int, fixed bool) int32 {
+	if fixed {
+		return int32(coord)
+	}
+	return int32(coord - anchor)
+}
+
+func (c *compiler) gen(n Node) {
+	if !c.ok {
+		return
+	}
+	switch t := n.(type) {
+	case *Number:
+		c.emit(opConst, c.addConst(Num(t.Value)), 1)
+	case *String:
+		c.emit(opConst, c.addConst(Str(t.Value)), 1)
+	case *Bool:
+		c.emit(opConst, c.addConst(Boolean(t.Value)), 1)
+	case *CellRef:
+		c.emit(opCell, c.addCell(CellOp{
+			DCol:     rel(t.At.Col, c.anchor.Col, t.ColFixed),
+			DRow:     rel(t.At.Row, c.anchor.Row, t.RowFixed),
+			ColFixed: t.ColFixed, RowFixed: t.RowFixed,
+		}), 1)
+	case *RangeRef:
+		c.emit(opRange, c.addRange(rangeOp{
+			headCol:      rel(t.At.Head.Col, c.anchor.Col, t.HeadColFixed),
+			headRow:      rel(t.At.Head.Row, c.anchor.Row, t.HeadRowF),
+			tailCol:      rel(t.At.Tail.Col, c.anchor.Col, t.TailColFixed),
+			tailRow:      rel(t.At.Tail.Row, c.anchor.Row, t.TailRowF),
+			headColFixed: t.HeadColFixed, headRowFixed: t.HeadRowF,
+			tailColFixed: t.TailColFixed, tailRowFixed: t.TailRowF,
+		}), 1)
+	case *Unary:
+		c.gen(t.X)
+		c.emit(opUnary, c.addOp(t.Op), 0)
+	case *Binary:
+		c.gen(t.L)
+		c.gen(t.R)
+		c.emit(opBinary, c.addOp(t.Op), -1)
+	case *Call:
+		for _, a := range t.Args {
+			c.gen(a)
+		}
+		exempt := t.Name == "IF" || t.Name == "ISERROR" || t.Name == "IFERROR"
+		c.emit(opCall, c.addCall(callInfo{name: t.Name, argc: int32(len(t.Args)), exempt: exempt}),
+			1-len(t.Args))
+	default:
+		c.ok = false
+	}
+}
+
+// The numeric sweep fast path: a program whose every instruction is a
+// numeric constant, a cell operand, or a +,-,*,/ binary evaluates on a bare
+// float64 stack — no arg boxing, no pool traffic, no string op lookup. It
+// covers exactly the operand combinations where applyBinary reduces to the
+// raw float operation over AsNumber coercions, so the result is bit-identical
+// to the generic interpreter whenever every operand coerces and no divisor is
+// zero; any other row (error operand, unparsable string, #DIV/0!) bails back
+// to the generic run, which owns all error semantics.
+
+// numInstr is one numeric-plan instruction; a indexes the plan's consts
+// (npConst) or the program's CellOps (npCell).
+type numInstr struct {
+	kind uint8
+	a    int32
+}
+
+const (
+	npConst = iota
+	npCell
+	npAdd
+	npSub
+	npMul
+	npDiv
+)
+
+// maxNumericDepth bounds the fast path's fixed-size value stack; deeper
+// arithmetic stays on the generic interpreter.
+const maxNumericDepth = 16
+
+type numericPlan struct {
+	code   []numInstr
+	consts []float64
+}
+
+// buildNumeric derives the numeric plan, or nil when any instruction falls
+// outside the straight-line arithmetic subset.
+func (p *Program) buildNumeric() *numericPlan {
+	if len(p.ranges) > 0 || len(p.calls) > 0 || len(p.code) == 0 {
+		return nil
+	}
+	// The result must come off an arithmetic op: a bare cell or constant
+	// program preserves its operand's kind (`=B5` of a bool is a bool),
+	// which a float stack cannot represent.
+	if p.code[len(p.code)-1].op != opBinary {
+		return nil
+	}
+	np := &numericPlan{}
+	depth, maxDepth := 0, 0
+	for _, ins := range p.code {
+		switch ins.op {
+		case opConst:
+			v := p.consts[ins.a]
+			if v.Kind != KindNumber {
+				return nil
+			}
+			np.code = append(np.code, numInstr{kind: npConst, a: int32(len(np.consts))})
+			np.consts = append(np.consts, v.Num)
+			depth++
+		case opCell:
+			np.code = append(np.code, numInstr{kind: npCell, a: ins.a})
+			depth++
+		case opBinary:
+			var k uint8
+			switch p.ops[ins.a] {
+			case "+":
+				k = npAdd
+			case "-":
+				k = npSub
+			case "*":
+				k = npMul
+			case "/":
+				k = npDiv
+			default:
+				return nil
+			}
+			np.code = append(np.code, numInstr{kind: k})
+			depth--
+		default:
+			return nil
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	if maxDepth > maxNumericDepth {
+		return nil
+	}
+	return np
+}
+
+// HasNumericSweep reports whether NumericSweep is available for this program.
+func (p *Program) HasNumericSweep() bool { return p.numeric != nil }
+
+// NumericSweep evaluates the numeric fast path for one row: cellVals[i] must
+// hold the AsNumber coercion of the value CellOps()[i] resolves to (the
+// caller bails to the generic interpreter when any coercion fails). ok is
+// false on a zero divisor — the row re-runs generically so #DIV/0! placement
+// is exactly the interpreter's.
+func (p *Program) NumericSweep(cellVals []float64) (v float64, ok bool) {
+	var stack [maxNumericDepth]float64
+	sp := 0
+	for _, ins := range p.numeric.code {
+		switch ins.kind {
+		case npConst:
+			stack[sp] = p.numeric.consts[ins.a]
+			sp++
+		case npCell:
+			stack[sp] = cellVals[ins.a]
+			sp++
+		case npAdd:
+			sp--
+			stack[sp-1] += stack[sp]
+		case npSub:
+			sp--
+			stack[sp-1] -= stack[sp]
+		case npMul:
+			sp--
+			stack[sp-1] *= stack[sp]
+		default: // npDiv
+			sp--
+			if stack[sp] == 0 {
+				return 0, false
+			}
+			stack[sp-1] /= stack[sp]
+		}
+	}
+	return stack[0], true
+}
+
+// scalarize coerces a stacked argument to scalar context: a range argument
+// in scalar position is #VALUE!, exactly like Eval on a bare *RangeRef.
+func scalarize(a arg) Value {
+	if a.isRange {
+		return Errorf("#VALUE!")
+	}
+	return a.scalar
+}
+
+type vmState struct{ stack []arg }
+
+var vmStatePool = sync.Pool{New: func() any {
+	return &vmState{stack: make([]arg, 0, 32)}
+}}
+
+// EvalAt evaluates the program for the given anchor cell against a pure
+// resolver. See the package comment on this file for the purity requirement.
+func (p *Program) EvalAt(res Resolver, at ref.Ref) Value {
+	return p.run(res, at, nil)
+}
+
+// EvalCells is EvalAt with cell-operand reads served by the caller: read
+// receives the operand's index in CellOps() and its resolved position, and
+// must return exactly what res.CellValue would. The engine's run executor
+// uses it to feed values from advancing slab cursors instead of per-cell
+// map probes; range operands and call dispatch still go through res.
+func (p *Program) EvalCells(res Resolver, at ref.Ref, read func(op int, target ref.Ref) Value) Value {
+	return p.run(res, at, read)
+}
+
+func (p *Program) run(res Resolver, at ref.Ref, read func(int, ref.Ref) Value) Value {
+	st := vmStatePool.Get().(*vmState)
+	stack := st.stack[:0]
+	for _, ins := range p.code {
+		switch ins.op {
+		case opConst:
+			stack = append(stack, arg{scalar: p.consts[ins.a]})
+		case opCell:
+			target := p.cells[ins.a].At(at)
+			var v Value
+			if read != nil {
+				v = read(int(ins.a), target)
+			} else {
+				v = res.CellValue(target)
+			}
+			stack = append(stack, arg{scalar: v})
+		case opRange:
+			stack = append(stack, arg{isRange: true, rng: p.ranges[ins.a].at(at)})
+		case opUnary:
+			stack[len(stack)-1] = arg{scalar: applyUnary(p.ops[ins.a], scalarize(stack[len(stack)-1]))}
+		case opBinary:
+			l, r := scalarize(stack[len(stack)-2]), scalarize(stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = arg{scalar: applyBinary(p.ops[ins.a], l, r)}
+		case opCall:
+			ci := p.calls[ins.a]
+			base := len(stack) - int(ci.argc)
+			v := dispatchCall(ci, stack[base:], res)
+			stack = stack[:base]
+			stack = append(stack, arg{scalar: v})
+		}
+	}
+	out := scalarize(stack[0])
+	st.stack = stack
+	vmStatePool.Put(st)
+	return out
+}
+
+// dispatchCall runs one compiled call site. The early-error scan replicates
+// the walker's argument loop: the first scalar error (in argument order)
+// propagates unless the builtin gives errors meaning. IF and IFERROR are
+// handled here over the already-evaluated arguments — value-identical to the
+// walker's branch re-evaluation under a pure resolver — and everything else
+// goes through the shared dispatcher.
+func dispatchCall(ci callInfo, args []arg, res Resolver) Value {
+	if !ci.exempt {
+		for i := range args {
+			if !args[i].isRange && args[i].scalar.IsError() {
+				return args[i].scalar
+			}
+		}
+	}
+	switch ci.name {
+	case "IF":
+		if len(args) < 2 || len(args) > 3 {
+			return Errorf("#N/A")
+		}
+		cond := scalarize(args[0])
+		if cond.IsError() {
+			return cond
+		}
+		if condTruth(cond) {
+			return scalarize(args[1])
+		}
+		if len(args) == 3 {
+			return scalarize(args[2])
+		}
+		return Boolean(false)
+	case "IFERROR":
+		if len(args) != 2 {
+			return Errorf("#N/A")
+		}
+		v := scalarize(args[0])
+		if v.IsError() {
+			return scalarize(args[1])
+		}
+		return v
+	}
+	return callShared(ci.name, args, res)
+}
+
+const (
+	// progCacheMaxBytes bounds the interning cache by serialized program
+	// size; exceeding it drops the cache wholesale, like the parse cache.
+	progCacheMaxBytes = 4 << 20
+	// progCacheMaxEntry keeps one pathological formula from dominating the
+	// budget; larger programs evaluate fine but are not interned (and so
+	// never participate in pattern runs, which need pointer equality).
+	progCacheMaxEntry = 16 << 10
+)
+
+var progCache = struct {
+	sync.RWMutex
+	m     map[string]*Program
+	bytes int
+}{m: make(map[string]*Program)}
+
+var (
+	mCompileHits = telemetry.NewCounter("taco_compile_cache_hits_total",
+		"Formula compilations served from the process-wide program cache.")
+	mCompileMisses = telemetry.NewCounter("taco_compile_cache_misses_total",
+		"Formula compilations that missed the cache and ran the compiler.")
+	mCompileDrops = telemetry.NewCounter("taco_compile_cache_drops_total",
+		"Wholesale program-cache resets triggered by the byte budget.")
+)
+
+func init() {
+	telemetry.NewGaugeFunc("taco_compile_cache_entries",
+		"Programs currently retained by the compile cache.",
+		func() float64 {
+			progCache.RLock()
+			defer progCache.RUnlock()
+			return float64(len(progCache.m))
+		})
+}
+
+// CompileCached is Compile with canonical interning: programs are keyed by
+// their serialized bytes, so every formula cell that is a shifted copy of
+// the same shape shares one *Program pointer. The engine's pattern-run
+// detector relies on that canonicalisation — run membership is program
+// pointer equality, never a structural comparison per drain.
+func CompileCached(n Node, at ref.Ref) *Program {
+	p := Compile(n, at)
+	if p == nil {
+		return nil
+	}
+	key := string(p.appendKey(make([]byte, 0, 128)))
+	if len(key) > progCacheMaxEntry {
+		mCompileMisses.Inc()
+		return p
+	}
+	progCache.RLock()
+	cached, ok := progCache.m[key]
+	progCache.RUnlock()
+	if ok {
+		mCompileHits.Inc()
+		return cached
+	}
+	mCompileMisses.Inc()
+	progCache.Lock()
+	defer progCache.Unlock()
+	if cached, ok := progCache.m[key]; ok {
+		return cached
+	}
+	if progCache.bytes+len(key) > progCacheMaxBytes {
+		progCache.m = make(map[string]*Program, 1024)
+		progCache.bytes = 0
+		mCompileDrops.Inc()
+	}
+	progCache.m[key] = p
+	progCache.bytes += len(key)
+	return p
+}
+
+// appendKey serializes the program unambiguously (every variable-length
+// field is length- or tag-prefixed), producing the interning key.
+func (p *Program) appendKey(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p.code)))
+	for _, ins := range p.code {
+		b = append(b, byte(ins.op))
+		b = binary.AppendVarint(b, int64(ins.a))
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.consts)))
+	for _, v := range p.consts {
+		b = append(b, byte(v.Kind))
+		switch v.Kind {
+		case KindNumber:
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Num))
+		case KindString:
+			b = binary.AppendUvarint(b, uint64(len(v.Str)))
+			b = append(b, v.Str...)
+		case KindBool:
+			if v.Bool {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		case KindError:
+			b = binary.AppendUvarint(b, uint64(len(v.Err)))
+			b = append(b, v.Err...)
+		}
+	}
+	flags := func(fs ...bool) (out byte) {
+		for i, f := range fs {
+			if f {
+				out |= 1 << i
+			}
+		}
+		return out
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.cells)))
+	for _, c := range p.cells {
+		b = append(b, flags(c.ColFixed, c.RowFixed))
+		b = binary.AppendVarint(b, int64(c.DCol))
+		b = binary.AppendVarint(b, int64(c.DRow))
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.ranges)))
+	for _, r := range p.ranges {
+		b = append(b, flags(r.headColFixed, r.headRowFixed, r.tailColFixed, r.tailRowFixed))
+		b = binary.AppendVarint(b, int64(r.headCol))
+		b = binary.AppendVarint(b, int64(r.headRow))
+		b = binary.AppendVarint(b, int64(r.tailCol))
+		b = binary.AppendVarint(b, int64(r.tailRow))
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.calls)))
+	for _, ci := range p.calls {
+		b = binary.AppendUvarint(b, uint64(len(ci.name)))
+		b = append(b, ci.name...)
+		b = binary.AppendVarint(b, int64(ci.argc))
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.ops)))
+	for _, op := range p.ops {
+		b = binary.AppendUvarint(b, uint64(len(op)))
+		b = append(b, op...)
+	}
+	return b
+}

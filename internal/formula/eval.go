@@ -165,11 +165,32 @@ type NumericFold struct {
 // AVERAGE, MIN, MAX) with one batched fold over its slabs — no per-cell
 // callback, no interface dispatch per value — instead of streaming every
 // cell through RangeValues. handled=false means the resolver cannot fold
-// this range shape (e.g. a multi-column rectangle, whose row-major order
-// interleaves columns) and the caller must take the streaming path.
+// this range shape (e.g. a rectangle wider than its cursor-merge limit) and
+// the caller must take the streaming path.
 type RangeFolder interface {
 	RangeResolver
 	FoldRange(rng ref.Range) (NumericFold, bool)
+}
+
+// CondFolder is an optional RangeFolder extension for the conditional
+// aggregates: SUMIF and two-range SUMPRODUCT fold directly off the columnar
+// slabs, replacing the streaming scan's per-match point probes with slab
+// cursors. Both folds carry the same exactness contract as FoldRange — cells
+// visited in row-major order, float accumulation never reassociated — so
+// their results are bit-identical to the streaming and per-cell paths.
+type CondFolder interface {
+	RangeFolder
+	// FoldSumIf sums sumRng cells whose matching critRng cell satisfies the
+	// compiled criterion. Callers guarantee the criterion does not match
+	// blanks (they fall back before asking); handled=false means the
+	// resolver cannot fold these shapes.
+	FoldSumIf(critRng ref.Range, crit Criterion, sumRng ref.Range) (float64, bool)
+	// FoldSumProduct computes the two-range SUMPRODUCT over equal-shape
+	// ranges. The resolver must preserve the bulk-path semantics of
+	// evalSumProduct: positions unpopulated in a are skipped (their term is
+	// zero), and handled must be false when any stored number in either
+	// range is non-finite — a skipped 0·Inf term would be NaN, not zero.
+	FoldSumProduct(a, b ref.Range) (float64, bool)
 }
 
 // foldAggregate answers the fold-compatible aggregate builtins from the
@@ -179,12 +200,12 @@ type RangeFolder interface {
 // sequential sum equal the per-cell path's. COUNT/COUNTA/MIN/MAX are
 // order-free, so every range argument folds and scalars mix in directly.
 // ok=false means "not foldable here" — the caller runs the generic path.
-func foldAggregate(t *Call, args []arg, res Resolver) (Value, bool) {
+func foldAggregate(name string, args []arg, res Resolver) (Value, bool) {
 	rf, isFolder := res.(RangeFolder)
 	if !isFolder {
 		return Value{}, false
 	}
-	switch t.Name {
+	switch name {
 	case "SUM", "AVERAGE", "AVG":
 		if len(args) != 1 || !args[0].isRange {
 			return Value{}, false
@@ -196,7 +217,7 @@ func foldAggregate(t *Call, args []arg, res Resolver) (Value, bool) {
 		if f.Err.IsError() {
 			return f.Err, true
 		}
-		if t.Name == "SUM" {
+		if name == "SUM" {
 			return Num(f.Sum), true
 		}
 		if f.Count == 0 {
@@ -210,8 +231,8 @@ func foldAggregate(t *Call, args []arg, res Resolver) (Value, bool) {
 		n := 0
 		for _, a := range args {
 			if !a.isRange {
-				if t.Name == "COUNT" && a.scalar.Kind == KindNumber ||
-					t.Name == "COUNTA" && a.scalar.Kind != KindEmpty {
+				if name == "COUNT" && a.scalar.Kind == KindNumber ||
+					name == "COUNTA" && a.scalar.Kind != KindEmpty {
 					n++
 				}
 				continue
@@ -220,7 +241,7 @@ func foldAggregate(t *Call, args []arg, res Resolver) (Value, bool) {
 			if !ok {
 				return Value{}, false
 			}
-			if t.Name == "COUNT" {
+			if name == "COUNT" {
 				n += f.Count
 			} else {
 				n += f.NonEmpty
@@ -228,7 +249,7 @@ func foldAggregate(t *Call, args []arg, res Resolver) (Value, bool) {
 		}
 		return Num(float64(n)), true
 	case "MIN", "MAX":
-		wantMin := t.Name == "MIN"
+		wantMin := name == "MIN"
 		best := math.Inf(1)
 		if !wantMin {
 			best = math.Inf(-1)
@@ -299,7 +320,13 @@ func Eval(n Node, res Resolver) Value {
 }
 
 func evalUnary(t *Unary, res Resolver) Value {
-	x := Eval(t.X, res)
+	return applyUnary(t.Op, Eval(t.X, res))
+}
+
+// applyUnary applies a unary operator to an evaluated operand. Shared by the
+// AST walker and the bytecode VM, so both paths carry identical coercion and
+// error semantics by construction.
+func applyUnary(op string, x Value) Value {
 	if x.IsError() {
 		return x
 	}
@@ -307,7 +334,7 @@ func evalUnary(t *Unary, res Resolver) Value {
 	if !ok {
 		return Errorf("#VALUE!")
 	}
-	switch t.Op {
+	switch op {
 	case "-":
 		return Num(-f)
 	case "+":
@@ -323,22 +350,34 @@ func evalBinary(t *Binary, res Resolver) Value {
 	if l.IsError() {
 		return l
 	}
-	r := Eval(t.R, res)
+	return applyBinary(t.Op, l, Eval(t.R, res))
+}
+
+// applyBinary applies a binary operator to evaluated operands, propagating
+// the left error first, then the right — the AST walker's order. Shared with
+// the bytecode VM. (The walker short-circuits the right operand's evaluation
+// after a left error; under a pure resolver the skipped evaluation has no
+// observable effect, so applying the operator to both evaluated operands is
+// value-identical.)
+func applyBinary(op string, l, r Value) Value {
+	if l.IsError() {
+		return l
+	}
 	if r.IsError() {
 		return r
 	}
-	switch t.Op {
+	switch op {
 	case "&":
 		return Str(l.String() + r.String())
 	case "=", "<>", "<", ">", "<=", ">=":
-		return compare(t.Op, l, r)
+		return compare(op, l, r)
 	}
 	lf, ok1 := l.AsNumber()
 	rf, ok2 := r.AsNumber()
 	if !ok1 || !ok2 {
 		return Errorf("#VALUE!")
 	}
-	switch t.Op {
+	switch op {
 	case "+":
 		return Num(lf + rf)
 	case "-":
@@ -444,13 +483,68 @@ func evalCall(t *Call, res Resolver) Value {
 			}
 		}
 	}
+	// IF and IFERROR are the only builtins that evaluate argument ASTs a
+	// second time (the taken branch, the error fallback) instead of
+	// consuming the evaluated arguments; they stay here, and everything
+	// else dispatches by name through callShared — the dispatch surface the
+	// bytecode VM shares.
+	switch t.Name {
+	case "IF":
+		if len(t.Args) < 2 || len(t.Args) > 3 {
+			return Errorf("#N/A")
+		}
+		cond := Eval(t.Args[0], res)
+		if cond.IsError() {
+			return cond
+		}
+		if condTruth(cond) {
+			return Eval(t.Args[1], res)
+		}
+		if len(t.Args) == 3 {
+			return Eval(t.Args[2], res)
+		}
+		return Boolean(false)
+	case "IFERROR":
+		if len(t.Args) != 2 {
+			return Errorf("#N/A")
+		}
+		v := Eval(t.Args[0], res)
+		if v.IsError() {
+			return Eval(t.Args[1], res)
+		}
+		return v
+	}
+	return callShared(t.Name, args, res)
+}
+
+// condTruth is IF's condition coercion: booleans as themselves, numbers by
+// non-zero, strings by case-insensitive "TRUE". Blanks (and anything else)
+// are false.
+func condTruth(cond Value) bool {
+	switch cond.Kind {
+	case KindBool:
+		return cond.Bool
+	case KindNumber:
+		return cond.Num != 0
+	case KindString:
+		return strings.EqualFold(cond.Str, "TRUE")
+	}
+	return false
+}
+
+// callShared evaluates a builtin from its name and evaluated arguments — the
+// dispatcher shared by the AST walker and the bytecode VM. Every function
+// here is a pure mapping of (evaluated arguments, resolver) to a value; IF
+// and IFERROR, which re-evaluate argument ASTs, are handled by each caller
+// before dispatching.
+func callShared(name string, args []arg, res Resolver) Value {
 	// Fold-compatible aggregates first: one batched pass over the columnar
 	// slabs when the resolver supports it, bit-identical to the streaming
 	// path below (which remains the fallback for unfoldable shapes).
-	if v, ok := foldAggregate(t, args, res); ok {
+	if v, ok := foldAggregate(name, args, res); ok {
 		return v
 	}
-	switch t.Name {
+	switch name {
 	case "SUM":
 		return aggregate(args, res, 0, func(acc, v float64) float64 { return acc + v })
 	case "PRODUCT":
@@ -493,41 +587,8 @@ func evalCall(t *Call, res Resolver) Value {
 			})
 		}
 		return Num(float64(n))
-	case "IF":
-		if len(t.Args) < 2 || len(t.Args) > 3 {
-			return Errorf("#N/A")
-		}
-		cond := Eval(t.Args[0], res)
-		if cond.IsError() {
-			return cond
-		}
-		truth := false
-		switch cond.Kind {
-		case KindBool:
-			truth = cond.Bool
-		case KindNumber:
-			truth = cond.Num != 0
-		case KindString:
-			truth = strings.EqualFold(cond.Str, "TRUE")
-		}
-		if truth {
-			return Eval(t.Args[1], res)
-		}
-		if len(t.Args) == 3 {
-			return Eval(t.Args[2], res)
-		}
-		return Boolean(false)
-	case "IFERROR":
-		if len(t.Args) != 2 {
-			return Errorf("#N/A")
-		}
-		v := Eval(t.Args[0], res)
-		if v.IsError() {
-			return Eval(t.Args[1], res)
-		}
-		return v
 	case "AND", "OR":
-		want := t.Name == "AND"
+		want := name == "AND"
 		out := want
 		for _, a := range args {
 			var errVal Value
@@ -572,7 +633,7 @@ func evalCall(t *Call, res Resolver) Value {
 		if !ok {
 			return Errorf("#VALUE!")
 		}
-		switch t.Name {
+		switch name {
 		case "ABS":
 			return Num(math.Abs(f))
 		case "SQRT":
@@ -653,7 +714,7 @@ func evalCall(t *Call, res Resolver) Value {
 			return Errorf("#N/A")
 		}
 		s := args[0].scalar.String()
-		switch t.Name {
+		switch name {
 		case "UPPER":
 			return Str(strings.ToUpper(s))
 		case "LOWER":
@@ -678,7 +739,7 @@ func evalCall(t *Call, res Resolver) Value {
 		if k > len(s) {
 			k = len(s)
 		}
-		if t.Name == "LEFT" {
+		if name == "LEFT" {
 			return Str(s[:k])
 		}
 		return Str(s[len(s)-k:])
@@ -689,13 +750,13 @@ func evalCall(t *Call, res Resolver) Value {
 	case "ISERROR":
 		return Boolean(len(args) == 1 && !args[0].isRange && args[0].scalar.IsError())
 	case "VLOOKUP":
-		return evalVlookup(t, args, res)
+		return evalVlookup(args, res)
 	case "SUMIF":
 		return evalSumif(args, res)
 	case "COUNTIF":
 		return evalCountif(args, res)
 	default:
-		return evalCallExt(t, args, res)
+		return evalCallExt(name, args, res)
 	}
 }
 
@@ -778,7 +839,7 @@ func extremum(args []arg, res Resolver, wantMin bool) Value {
 // evalVlookup implements VLOOKUP(needle, table, colIndex[, exact]). Only the
 // exact-match mode (FALSE / omitted-as-FALSE here) is supported, which is the
 // mode the paper's FF range-lookup workloads use.
-func evalVlookup(t *Call, args []arg, res Resolver) Value {
+func evalVlookup(args []arg, res Resolver) Value {
 	if len(args) < 3 {
 		return Errorf("#N/A")
 	}
@@ -831,7 +892,7 @@ func evalSumif(args []arg, res Resolver) Value {
 	if len(args) < 2 || !args[0].isRange {
 		return Errorf("#N/A")
 	}
-	crit := args[1].scalar
+	crit := ParseCriterion(args[1].scalar)
 	sumRange := args[0].rng
 	if len(args) >= 3 {
 		if !args[2].isRange {
@@ -840,16 +901,22 @@ func evalSumif(args []arg, res Resolver) Value {
 		sumRange = args[2].rng
 	}
 	total := 0.0
-	// Bulk path: scan only the populated criterion cells — sound when a
+	// Bulk paths: scan only the populated criterion cells — sound when a
 	// blank cannot satisfy the criterion (e.g. "<5" or =0 match blanks; for
 	// those the blank positions' sum cells still matter, so fall back).
-	// Matches pay one point probe into the sum range; the common 2-arg form
-	// (sum range == criterion range) pays none. Row-major scan order keeps
-	// float accumulation order identical to the per-cell path.
-	if !matchesCriterion(Empty(), crit) {
+	// A CondFolder answers the whole fold off its slabs; the streaming scan
+	// pays one point probe per match into the sum range (the common 2-arg
+	// form, sum range == criterion range, pays none). Row-major order keeps
+	// float accumulation identical to the per-cell path on all three.
+	if !crit.Matches(Empty()) {
+		if cf, ok := res.(CondFolder); ok {
+			if f, handled := cf.FoldSumIf(args[0].rng, crit, sumRange); handled {
+				return Num(f)
+			}
+		}
 		sameRange := sumRange == args[0].rng
 		if rangeScan(res, args[0].rng, func(at ref.Ref, v Value) bool {
-			if matchesCriterion(v, crit) {
+			if crit.Matches(v) {
 				if !sameRange {
 					off := at.Sub(args[0].rng.Head)
 					v = res.CellValue(ref.Ref{
@@ -868,7 +935,7 @@ func evalSumif(args []arg, res Resolver) Value {
 	}
 	i := 0
 	args[0].rng.Cells(func(c ref.Ref) bool {
-		if matchesCriterion(res.CellValue(c), crit) {
+		if crit.Matches(res.CellValue(c)) {
 			dc := i % args[0].rng.Cols()
 			dr := i / args[0].rng.Cols()
 			v := res.CellValue(ref.Ref{Col: sumRange.Head.Col + dc, Row: sumRange.Head.Row + dr})
@@ -886,16 +953,16 @@ func evalCountif(args []arg, res Resolver) Value {
 	if len(args) != 2 || !args[0].isRange {
 		return Errorf("#N/A")
 	}
-	crit := args[1].scalar
+	crit := ParseCriterion(args[1].scalar)
 	n := 0
 	// Bulk path: count matches among populated cells; blanks (both the
 	// range's unpopulated positions and stored empty values — the scan only
 	// skips the former) match or not as a group, decided once up front.
-	emptyMatches := matchesCriterion(Empty(), crit)
+	emptyMatches := crit.Matches(Empty())
 	visited := 0
 	if rangeScan(res, args[0].rng, func(_ ref.Ref, v Value) bool {
 		visited++
-		if matchesCriterion(v, crit) {
+		if crit.Matches(v) {
 			n++
 		}
 		return true
@@ -906,7 +973,7 @@ func evalCountif(args []arg, res Resolver) Value {
 		return Num(float64(n))
 	}
 	args[0].rng.Cells(func(c ref.Ref) bool {
-		if matchesCriterion(res.CellValue(c), crit) {
+		if crit.Matches(res.CellValue(c)) {
 			n++
 		}
 		return true
@@ -914,42 +981,87 @@ func evalCountif(args []arg, res Resolver) Value {
 	return Num(float64(n))
 }
 
+// critMode tags how a compiled criterion matches.
+type critMode uint8
+
+const (
+	critEq    critMode = iota // plain value equality (eqValue)
+	critStrEq                 // "=" with non-numeric rest: case-insensitive string equality
+	critNever                 // operator prefix with unparseable number (never matches)
+	critNumLE                 // numeric comparisons against num
+	critNumGE
+	critNumNE
+	critNumLT
+	critNumGT
+	critNumEQ
+)
+
+// Criterion is a compiled SUMIF/COUNTIF criterion: the mini-language (plain
+// value matches by equality; strings beginning with a comparison operator
+// compare numerically) parsed once per call instead of once per cell.
+// Resolvers implementing CondFolder receive it to test slab values.
+type Criterion struct {
+	mode critMode
+	num  float64
+	str  string
+	val  Value
+}
+
+// ParseCriterion compiles a criterion value. Matching via the result is
+// exactly matchesCriterion's per-cell behaviour.
+func ParseCriterion(crit Value) Criterion {
+	if crit.Kind == KindString {
+		s := crit.Str
+		for i, op := range []string{"<=", ">=", "<>", "<", ">", "="} {
+			if strings.HasPrefix(s, op) {
+				if f, err := strconv.ParseFloat(strings.TrimSpace(s[len(op):]), 64); err == nil {
+					return Criterion{mode: critNumLE + critMode(i), num: f}
+				}
+				if op == "=" {
+					return Criterion{mode: critStrEq, str: s[1:]}
+				}
+				return Criterion{mode: critNever}
+			}
+		}
+	}
+	return Criterion{mode: critEq, val: crit}
+}
+
+// Matches reports whether the value satisfies the compiled criterion.
+func (c Criterion) Matches(v Value) bool {
+	switch c.mode {
+	case critEq:
+		return eqValue(v, c.val)
+	case critStrEq:
+		return strings.EqualFold(v.String(), c.str)
+	case critNever:
+		return false
+	}
+	vf, ok := v.AsNumber()
+	if !ok {
+		return false
+	}
+	switch c.mode {
+	case critNumLE:
+		return vf <= c.num
+	case critNumGE:
+		return vf >= c.num
+	case critNumNE:
+		return vf != c.num
+	case critNumLT:
+		return vf < c.num
+	case critNumGT:
+		return vf > c.num
+	default:
+		return vf == c.num
+	}
+}
+
 // matchesCriterion implements the SUMIF/COUNTIF criterion mini-language:
 // a plain value matches by equality; strings beginning with a comparison
 // operator compare numerically.
 func matchesCriterion(v, crit Value) bool {
-	if crit.Kind == KindString {
-		s := crit.Str
-		for _, op := range []string{"<=", ">=", "<>", "<", ">", "="} {
-			if strings.HasPrefix(s, op) {
-				if f, err := strconv.ParseFloat(strings.TrimSpace(s[len(op):]), 64); err == nil {
-					vf, ok := v.AsNumber()
-					if !ok {
-						return false
-					}
-					switch op {
-					case "<=":
-						return vf <= f
-					case ">=":
-						return vf >= f
-					case "<>":
-						return vf != f
-					case "<":
-						return vf < f
-					case ">":
-						return vf > f
-					default:
-						return vf == f
-					}
-				}
-				if op == "=" {
-					return strings.EqualFold(v.String(), s[1:])
-				}
-				return false
-			}
-		}
-	}
-	return eqValue(v, crit)
+	return ParseCriterion(crit).Matches(v)
 }
 
 func eqValue(a, b Value) bool {

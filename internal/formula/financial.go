@@ -11,8 +11,8 @@ import (
 
 // evalFinancial dispatches the financial function set; called from
 // evalCallExt's default branch before giving up with #NAME?.
-func evalFinancial(t *Call, args []arg, res Resolver) (Value, bool) {
-	switch t.Name {
+func evalFinancial(name string, args []arg, res Resolver) (Value, bool) {
+	switch name {
 	case "NPV":
 		if len(args) < 2 {
 			return Errorf("#N/A"), true

@@ -11,11 +11,11 @@ import (
 // evalCallExt dispatches the extended function library: statistics, lookup,
 // text, and information functions beyond the core set in eval.go. Unknown
 // names yield #NAME?, matching spreadsheet behaviour.
-func evalCallExt(t *Call, args []arg, res Resolver) Value {
-	switch t.Name {
+func evalCallExt(name string, args []arg, res Resolver) Value {
+	switch name {
 	// --- Math ---------------------------------------------------------
 	case "FLOOR", "CEILING":
-		return evalFloorCeiling(t.Name, args)
+		return evalFloorCeiling(name, args)
 	case "TRUNC":
 		if len(args) < 1 || len(args) > 2 {
 			return Errorf("#N/A")
@@ -124,7 +124,7 @@ func evalCallExt(t *Call, args []arg, res Resolver) Value {
 			ss += (v - mean) * (v - mean)
 		}
 		variance := ss / (n - 1)
-		if t.Name == "VAR" {
+		if name == "VAR" {
 			return Num(variance)
 		}
 		return Num(math.Sqrt(variance))
@@ -142,7 +142,7 @@ func evalCallExt(t *Call, args []arg, res Resolver) Value {
 			return Errorf("#NUM!")
 		}
 		sort.Float64s(xs.vals)
-		if t.Name == "SMALL" {
+		if name == "SMALL" {
 			return Num(xs.vals[k-1])
 		}
 		return Num(xs.vals[len(xs.vals)-k])
@@ -331,11 +331,11 @@ func evalCallExt(t *Call, args []arg, res Resolver) Value {
 			return Errorf("#VALUE!")
 		}
 		even := int64(math.Trunc(f))%2 == 0
-		return Boolean(even == (t.Name == "ISEVEN"))
+		return Boolean(even == (name == "ISEVEN"))
 	case "NA":
 		return Errorf("#N/A")
 	default:
-		if v, handled := evalFinancial(t, args, res); handled {
+		if v, handled := evalFinancial(name, args, res); handled {
 			return v
 		}
 		return Errorf("#NAME?")
@@ -403,6 +403,16 @@ func evalSumProduct(args []arg, res Resolver) Value {
 	}
 	first := args[0].rng
 	total := 0.0
+	// Folded path: the common two-range form folds directly off the columnar
+	// slabs when the resolver supports it (same semantics as the bulk path
+	// below, including the all-finite guard — see CondFolder).
+	if len(args) == 2 {
+		if cf, ok := res.(CondFolder); ok {
+			if f, handled := cf.FoldSumProduct(args[0].rng, args[1].rng); handled {
+				return Num(f)
+			}
+		}
+	}
 	// Bulk path: a position unpopulated in the first range contributes a
 	// zero factor, so its whole term is zero — scan only the first range's
 	// populated cells and probe the other ranges at the matching offsets.
@@ -426,9 +436,9 @@ func evalSumProduct(args []arg, res Resolver) Value {
 	}
 	if allFinite && rangeScan(res, first, func(at ref.Ref, v Value) bool {
 		off := at.Sub(first.Head)
-		prod := sumProductFactor(v)
+		prod := SumProductFactor(v)
 		for _, a := range args[1:] {
-			prod *= sumProductFactor(res.CellValue(ref.Ref{
+			prod *= SumProductFactor(res.CellValue(ref.Ref{
 				Col: a.rng.Head.Col + off.DCol,
 				Row: a.rng.Head.Row + off.DRow,
 			}))
@@ -445,7 +455,7 @@ func evalSumProduct(args []arg, res Resolver) Value {
 		prod := 1.0
 		for _, a := range args {
 			at := ref.Ref{Col: a.rng.Head.Col + dc, Row: a.rng.Head.Row + dr}
-			prod *= sumProductFactor(res.CellValue(at))
+			prod *= SumProductFactor(res.CellValue(at))
 		}
 		total += prod
 		i++
@@ -454,9 +464,11 @@ func evalSumProduct(args []arg, res Resolver) Value {
 	return Num(total)
 }
 
-// sumProductFactor coerces one SUMPRODUCT operand: text (including numeric
-// text) and errors count as zero, per spreadsheet semantics.
-func sumProductFactor(v Value) float64 {
+// SumProductFactor coerces one SUMPRODUCT operand: text (including numeric
+// text) and errors count as zero, per spreadsheet semantics. Exported so
+// bulk resolvers implementing CondFolder.FoldSumProduct can reproduce the
+// exact per-cell coercion.
+func SumProductFactor(v Value) float64 {
 	f, ok := v.AsNumber()
 	if !ok || v.Kind == KindString {
 		return 0

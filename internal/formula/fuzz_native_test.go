@@ -89,3 +89,67 @@ func FuzzEval(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBytecodeEval: the AST≡VM pin. Anything that parses and compiles must
+// evaluate to the same value on the stack VM as on the AST walker — under
+// both resolver variants and at a shifted anchor with the AST shifted
+// alongside, which is exactly the configuration the engine's pattern-run
+// drain evaluates (one interned program, many anchors).
+func FuzzBytecodeEval(f *testing.F) {
+	seeds := []string{
+		"=A1*B1+C1",
+		"=SUM(A1:C20)%",
+		"=IF(A1>0,SUM($B$1:B5)*2,\"neg\")",
+		"=SUMIF(A1:A20,\">2\",B1:B20)",
+		"=SUMPRODUCT(A1:A9,B1:B9)",
+		"=IFERROR(1/C3,VLOOKUP(0,A1:B20,2))",
+		"=MIN(A1:B20)&MAX(A1:B20)&NOSUCH(A2)",
+		"=-$A$3^2&CONCAT(B2,\"x\")",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	grid := map[ref.Ref]Value{}
+	for row := 1; row <= 20; row++ {
+		switch row % 5 {
+		case 0: // gap
+		case 1:
+			grid[ref.Ref{Col: 1, Row: row}] = Num(float64(row) * 1.5)
+		case 2:
+			grid[ref.Ref{Col: 2, Row: row}] = Str("t")
+		case 3:
+			grid[ref.Ref{Col: 1, Row: row}] = Boolean(row%2 == 0)
+			grid[ref.Ref{Col: 2, Row: row}] = Num(-float64(row))
+		default:
+			grid[ref.Ref{Col: 3, Row: row}] = Errorf("#DIV/0!")
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		node, err := Parse(src)
+		if err != nil {
+			return
+		}
+		anchor := ref.Ref{Col: 4, Row: 7}
+		p := Compile(node, anchor)
+		if p == nil {
+			return // uncompilable stays on the walker by design
+		}
+		for _, decline := range []bool{false, true} {
+			want := Eval(node, &colResolver{cells: grid, decline: decline})
+			got := p.EvalAt(&colResolver{cells: grid, decline: decline}, anchor)
+			if !sameValue(got, want) {
+				t.Fatalf("%q (decline=%v): VM=%v AST=%v", src, decline, got, want)
+			}
+		}
+		shifted := Shift(node, 1, 3)
+		at2 := ref.Ref{Col: anchor.Col + 1, Row: anchor.Row + 3}
+		p2 := Compile(shifted, at2)
+		if p2 == nil {
+			t.Fatalf("%q: original compiled but shifted copy did not", src)
+		}
+		want := Eval(shifted, &colResolver{cells: grid})
+		if got := p2.EvalAt(&colResolver{cells: grid}, at2); !sameValue(got, want) {
+			t.Fatalf("%q shifted: VM=%v AST=%v", src, got, want)
+		}
+	})
+}

@@ -8,21 +8,31 @@
 set -eu
 
 BIN=${BIN:-bin}
-ADDR=${ADDR:-127.0.0.1:8747}
+# Default to a kernel-chosen free port so parallel CI jobs on a shared
+# runner never collide; the server writes the bound address to PORT_FILE.
+# Set ADDR to pin a fixed address instead.
+ADDR=${ADDR:-127.0.0.1:0}
 SPILL=$(mktemp -d)
+# Outside the spill dir: recovery treats that directory as its own.
+PORT_FILE=$(mktemp)
 server_pid=""
 cleanup() {
     [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
-    rm -rf "$SPILL"
+    rm -rf "$SPILL" "$PORT_FILE"
 }
 trap cleanup EXIT
 
+# wait_ready polls the port file for the bound address (written atomically
+# once the listener is up), then confirms the API answers. Sets BOUND.
 wait_ready() {
     for _ in $(seq 1 50); do
-        curl -sf "http://$ADDR/sessions" >/dev/null && return 0
+        if [ -s "$PORT_FILE" ]; then
+            BOUND=$(cat "$PORT_FILE")
+            curl -sf "http://$BOUND/sessions" >/dev/null && return 0
+        fi
         sleep 0.2
     done
-    echo "crash_smoke: server at $ADDR never became ready" >&2
+    echo "crash_smoke: server at ${BOUND:-$ADDR} never became ready" >&2
     return 1
 }
 
@@ -30,7 +40,7 @@ wait_ready() {
 # verifier regenerates the same sessions and edit streams from them.
 LOAD_FLAGS="-sessions 8 -edits 800 -rows 40 -batch 4"
 
-"$BIN/tacoserve" -addr "$ADDR" -durable -spill-dir "$SPILL" &
+"$BIN/tacoserve" -addr "$ADDR" -port-file "$PORT_FILE" -durable -spill-dir "$SPILL" &
 server_pid=$!
 wait_ready
 
@@ -38,7 +48,7 @@ wait_ready
 # no final fsync, exactly a crash. The driver's connection errors are the
 # expected collateral.
 # shellcheck disable=SC2086
-"$BIN/tacoload" -addr "http://$ADDR" $LOAD_FLAGS -drain-probes 0 &
+"$BIN/tacoload" -addr "http://$BOUND" $LOAD_FLAGS -drain-probes 0 &
 load_pid=$!
 # Long enough that every session exists, short enough that the stream is
 # still in flight; if a slow host finishes the stream first the kill still
@@ -50,13 +60,15 @@ wait "$server_pid" 2>/dev/null || true
 server_pid=""
 
 # Restart on the same spill dir: the registry and journals must bring every
-# session back.
-"$BIN/tacoserve" -addr "$ADDR" -durable -spill-dir "$SPILL" &
+# session back. A fresh free port (and a fresh port file — the spill dir
+# survives, the file must not) proves recovery is address-independent.
+rm -f "$PORT_FILE"
+"$BIN/tacoserve" -addr "$ADDR" -port-file "$PORT_FILE" -durable -spill-dir "$SPILL" &
 server_pid=$!
 wait_ready
 
 # shellcheck disable=SC2086
-"$BIN/tacoload" -addr "http://$ADDR" $LOAD_FLAGS -replay
+"$BIN/tacoload" -addr "http://$BOUND" $LOAD_FLAGS -replay
 
 # A torn snapshot must never be observable at a final path: atomic writes
 # leave no *.tmp behind, and recovery quarantined nothing.
