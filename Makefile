@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-server bench-core bench-eval fuzz-smoke perf-check crash-smoke
+.PHONY: check fmt vet build test race bench-server bench-core bench-eval fuzz-smoke perf-check crash-smoke failover-smoke
 
 check: fmt vet build race
 
@@ -29,8 +29,11 @@ race:
 # land in the report and are gated by benchdiff alongside edits/s.
 # -metrics-url adds server_metrics (drain-hold percentiles, spill traffic,
 # parse-cache hit rate) to the report; benchdiff ignores unknown fields.
+# -standby-url inproc boots a warm standby shipping the primary's journals,
+# so the baseline measures the replicated configuration and reports the
+# replication lag mirrored reads observed.
 bench-server:
-	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -durable -metrics-url /metrics -json > BENCH_server.json
+	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -durable -metrics-url /metrics -standby-url inproc -json > BENCH_server.json
 	@cat BENCH_server.json
 
 # Core traversal/maintenance microbenchmarks. CI smoke-runs every benchmark
@@ -63,7 +66,7 @@ fuzz-smoke:
 # pattern-run drain speedup under its baseline floor (3x on the 100k-row
 # column shape; enforced on every host — the advantage is algorithmic).
 perf-check:
-	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -durable -metrics-url /metrics -json > /tmp/taco_bench_server.json
+	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -durable -metrics-url /metrics -standby-url inproc -json > /tmp/taco_bench_server.json
 	$(GO) run ./cmd/benchdiff -tol 0.25 BENCH_server.json /tmp/taco_bench_server.json
 	$(GO) run ./cmd/tacoeval -json > /tmp/taco_bench_eval.json
 	$(GO) run ./cmd/benchdiff -tol 0.25 -min-speedup 2.0 BENCH_eval.json /tmp/taco_bench_eval.json
@@ -75,3 +78,12 @@ perf-check:
 crash-smoke:
 	$(GO) build -o bin/ ./cmd/tacoserve ./cmd/tacoload
 	BIN=bin sh scripts/crash_smoke.sh
+
+# Failover smoke, mirrored by CI's perf job: a warm standby ships a durable
+# primary's journals, the primary is SIGKILLed mid-workload, the standby is
+# promoted, and `tacoload -replay` verifies the promoted server serves an
+# exact prefix of the acknowledged batches (async replication may lag, but
+# must never be wrong).
+failover-smoke:
+	$(GO) build -o bin/ ./cmd/tacoserve ./cmd/tacoload
+	BIN=bin sh scripts/failover_smoke.sh

@@ -13,7 +13,8 @@
 //	         [-durable] [-fsync interval] [-replay]
 //	         [-recalc-parallelism 0] [-recalc-workers 0]
 //	         [-drain-sessions 4] [-drain-fanout 8000] [-drain-span 2000]
-//	         [-drain-probes 3] [-metrics-url URL] [-json] [-cpuprofile FILE]
+//	         [-drain-probes 3] [-metrics-url URL] [-standby-url URL]
+//	         [-standby-read-ratio 0.25] [-json] [-cpuprofile FILE]
 //
 // With -inproc (the default when -addr is empty) the service is hosted
 // inside the process on a loopback listener, so a single command produces a
@@ -52,6 +53,17 @@
 // -fsync configure the in-process server's edit journaling, matching
 // tacoserve's flags of the same names.
 //
+// With -standby-url, a warm standby shadows the run: a slice of the read
+// traffic (-standby-read-ratio mirrored reads per edit batch) is replayed
+// against it, and the lag each read observed — the standby's
+// X-Replication-Lag-Rev/-Ms response headers — reports as percentiles under
+// "standby", next to the mirrored reads' own latency (latency_ms
+// .standby_cells). "inproc" boots the standby in-process, following the
+// target server over journal shipping — with -durable, one self-contained
+// command benchmarks the replicated configuration. Mirrored reads that
+// arrive before the standby has bootstrapped a session count as not_found
+// rather than failing the run.
+//
 // With -metrics-url (a full URL, or a bare path like /metrics resolved
 // against the target server), the run is bracketed by two telemetry scrapes
 // and the report gains server_metrics: the server's own account of the run —
@@ -73,6 +85,7 @@ import (
 	"os"
 	"runtime/debug"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -116,6 +129,11 @@ type config struct {
 	// MetricsURL is the /metrics endpoint scraped before and after the run
 	// for server-side deltas ("" = disabled).
 	MetricsURL string `json:"metrics_url,omitempty"`
+	// StandbyURL mirrors a fraction of reads to a warm standby ("" =
+	// disabled; "inproc" boots one in-process following the target server).
+	StandbyURL string `json:"standby_url,omitempty"`
+	// StandbyReadRatio is the mean standby reads mirrored per primary read.
+	StandbyReadRatio float64 `json:"standby_read_ratio,omitempty"`
 }
 
 // report is the machine-readable output schema of -json (and the checked-in
@@ -147,6 +165,28 @@ type report struct {
 	// server's own account of the run, next to the client-side percentiles
 	// above. Present only with -metrics-url.
 	ServerMetrics *serverMetricsDelta `json:"server_metrics,omitempty"`
+	// Standby reports the replication view of the run: mirrored-read
+	// latency and the lag each mirrored read observed. Present only with
+	// -standby-url.
+	Standby *standbyReport `json:"standby,omitempty"`
+}
+
+// standbyReport summarises the reads mirrored to a warm standby: how far
+// behind the standby was (revisions and milliseconds, from its
+// X-Replication-Lag-* headers) and how fast it answered. NotFound counts
+// mirrored reads that raced session bootstrap (the standby had not created
+// the session yet).
+type standbyReport struct {
+	URL           string               `json:"url"`
+	MirroredReads int                  `json:"mirrored_reads"`
+	NotFound      int                  `json:"not_found"`
+	LagRevsP50    float64              `json:"lag_revs_p50"`
+	LagRevsP99    float64              `json:"lag_revs_p99"`
+	LagRevsMax    float64              `json:"lag_revs_max"`
+	LagMsP50      float64              `json:"lag_ms_p50"`
+	LagMsP99      float64              `json:"lag_ms_p99"`
+	LagMsMax      float64              `json:"lag_ms_max"`
+	ReadLatency   stats.LatencySummary `json:"read_latency_ms"`
 }
 
 // serverMetricsDelta is the server's view of one tacoload run, computed as
@@ -252,6 +292,8 @@ func main() {
 	drainSpan := flag.Int("drain-span", 2000, "drain probe: rows each probe formula aggregates over")
 	drainProbes := flag.Int("drain-probes", 3, "drain probe: edit rounds (0 disables the probe)")
 	metricsURL := flag.String("metrics-url", "", "scrape this /metrics endpoint before and after the run and report server-side deltas (a bare path like /metrics resolves against the target server)")
+	standbyURL := flag.String("standby-url", "", "mirror reads to a warm standby at this base URL and report replication lag percentiles (\"inproc\" boots one in-process following the target server)")
+	standbyReadRatio := flag.Float64("standby-read-ratio", 0.25, "mean standby reads mirrored per edit batch with -standby-url")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
@@ -272,6 +314,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tacoload: -drain-sessions, -drain-fanout, and -drain-span must all be >= 1")
 		os.Exit(2)
 	}
+	if *standbyReadRatio < 0 {
+		fmt.Fprintln(os.Stderr, "tacoload: -standby-read-ratio must be >= 0")
+		os.Exit(2)
+	}
+	if *standbyURL == "inproc" && (*addr == "" || *inproc) && !*durable {
+		// Journal shipping needs a journaling primary: without -durable the
+		// in-process server has no journals to tail.
+		fmt.Fprintln(os.Stderr, "tacoload: -standby-url inproc needs -durable")
+		os.Exit(2)
+	}
 	cfg := config{
 		Addr: *addr, InProc: *addr == "" || *inproc, Sessions: *sessions, Rows: *rows,
 		Edits: *edits, Batch: *batch, ReadRatio: *readRatio, FormulaRatio: *formulaRatio,
@@ -282,6 +334,7 @@ func main() {
 		DrainSessions: *drainSessions, DrainFanout: *drainFanout,
 		DrainSpan: *drainSpan, DrainProbes: *drainProbes,
 		MetricsURL: *metricsURL,
+		StandbyURL: *standbyURL, StandbyReadRatio: *standbyReadRatio,
 	}
 	if *replay {
 		if *addr == "" {
@@ -356,6 +409,35 @@ func run(cfg config) (*report, error) {
 		base = "http://" + ln.Addr().String()
 	}
 
+	// A warm standby mirrors a slice of the read traffic. -standby-url names
+	// a running standby, or "inproc" boots one in-process following the
+	// target server — the form the CI bench uses, so one self-contained
+	// command measures the durable+shipping configuration end to end.
+	standbyBase := cfg.StandbyURL
+	if standbyBase == "inproc" {
+		sbySpill, err := os.MkdirTemp("", "tacoload-standby")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(sbySpill)
+		sby, err := server.NewServer(server.Options{
+			Store:   server.StoreOptions{SpillDir: sbySpill, Durable: true, FsyncPolicy: cfg.FsyncPolicy},
+			Standby: server.StandbyOptions{PrimaryURL: base, Interval: 0},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("standby: %w", err)
+		}
+		defer sby.Close()
+		sln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		shs := &http.Server{Handler: sby}
+		go shs.Serve(sln)
+		defer shs.Close()
+		standbyBase = "http://" + sln.Addr().String()
+	}
+
 	// Bracket the run with /metrics scrapes when asked. A bare path resolves
 	// against the target server (in-process included).
 	metricsURL := cfg.MetricsURL
@@ -390,6 +472,11 @@ func run(cfg config) (*report, error) {
 		samples = append(samples, sample{kind, float64(time.Since(start).Microseconds()) / 1000})
 		mu.Unlock()
 	}
+	// Replication lag observed by mirrored standby reads, from the
+	// X-Replication-Lag-* response headers. notFound counts reads that raced
+	// the standby's session bootstrap.
+	var sbyLagRevs, sbyLagMs []float64
+	sbyNotFound := 0
 
 	begin := time.Now()
 	var wg sync.WaitGroup
@@ -453,7 +540,39 @@ func run(cfg config) (*report, error) {
 				return nil
 			}
 
-			readsDue, flushDue := 0.0, 0.0
+			// mirrorRead issues the same range read against the standby and
+			// samples the replication lag it observed. call() hides response
+			// headers, so this is a raw request.
+			mirrorRead := func(rangeA1 string) error {
+				start := time.Now()
+				resp, err := client.Get(standbyBase + "/sessions/" + info.ID + "/cells?range=" + rangeA1)
+				if err != nil {
+					return err
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusNotFound {
+					// The standby has not bootstrapped this session yet —
+					// expected early in the run, counted rather than fatal.
+					mu.Lock()
+					sbyNotFound++
+					mu.Unlock()
+					return nil
+				}
+				if resp.StatusCode >= 300 {
+					return fmt.Errorf("status %d", resp.StatusCode)
+				}
+				record("standby_cells", start)
+				lagRev, _ := strconv.ParseFloat(resp.Header.Get("X-Replication-Lag-Rev"), 64)
+				lagMs, _ := strconv.ParseFloat(resp.Header.Get("X-Replication-Lag-Ms"), 64)
+				mu.Lock()
+				sbyLagRevs = append(sbyLagRevs, lagRev)
+				sbyLagMs = append(sbyLagMs, lagMs)
+				mu.Unlock()
+				return nil
+			}
+
+			readsDue, flushDue, mirrorDue := 0.0, 0.0, 0.0
 			for b := 0; b*cfg.Batch < len(stream); b++ {
 				lo := b * cfg.Batch
 				hi := min(lo+cfg.Batch, len(stream))
@@ -494,6 +613,18 @@ func run(cfg config) (*report, error) {
 					if err := readCells(rangeA1); err != nil {
 						errc <- fmt.Errorf("session %d read: %w", i, err)
 						return
+					}
+				}
+
+				// Mirror a slice of the read traffic to the warm standby,
+				// sampling how far behind the primary it answers.
+				if standbyBase != "" {
+					for mirrorDue += cfg.StandbyReadRatio; mirrorDue >= 1; mirrorDue-- {
+						row := 1 + rng.Intn(cfg.Rows)
+						if err := mirrorRead(fmt.Sprintf("A%d:H%d", row, row+9)); err != nil {
+							errc <- fmt.Errorf("session %d standby read: %w", i, err)
+							return
+						}
 					}
 				}
 
@@ -579,6 +710,18 @@ func run(cfg config) (*report, error) {
 	}
 	if batches > 0 {
 		rep.DirtyPerBatch = float64(dirtyTotal) / float64(batches)
+	}
+	if standbyBase != "" {
+		sr := &standbyReport{URL: standbyBase, MirroredReads: len(sbyLagRevs), NotFound: sbyNotFound}
+		sr.ReadLatency = lat["standby_cells"]
+		if len(sbyLagRevs) > 0 {
+			// Summarize names its fields in ms; for the rev series only the
+			// percentile arithmetic is borrowed.
+			rev, ms := stats.Summarize(sbyLagRevs), stats.Summarize(sbyLagMs)
+			sr.LagRevsP50, sr.LagRevsP99, sr.LagRevsMax = rev.P50Ms, rev.P99Ms, rev.MaxMs
+			sr.LagMsP50, sr.LagMsP99, sr.LagMsMax = ms.P50Ms, ms.P99Ms, ms.MaxMs
+		}
+		rep.Standby = sr
 	}
 	if metricsBefore != nil {
 		after, err := scrapeMetrics(client, metricsURL)
@@ -847,7 +990,7 @@ func printReport(r *report) {
 	fmt.Printf("elapsed %.1fms  |  %d requests (%.0f req/s)  |  %d edits (%.0f edits/s)  |  mean dirty/batch %.1f\n\n",
 		r.ElapsedMs, r.Requests, r.RequestsPerS, r.EditsApplied, r.EditsPerS, r.DirtyPerBatch)
 	tbl := stats.NewTable("op", "count", "mean", "p50", "p90", "p99", "max")
-	for _, k := range []string{"create", "edits", "dependents", "cells", "flush", "read_during_drain"} {
+	for _, k := range []string{"create", "edits", "dependents", "cells", "standby_cells", "flush", "read_during_drain"} {
 		s, ok := r.Latency[k]
 		if !ok {
 			continue
@@ -859,6 +1002,11 @@ func printReport(r *report) {
 	if r.Config.DrainProbes > 0 {
 		fmt.Printf("drain probe: %d mid-drain reads (p50 %.3fms)  |  %.0f cells/s across %d sessions\n",
 			r.ReadsDuringDrain, r.ReadP50DuringDrainMs, r.DrainCellsPerSec, r.Config.DrainSessions)
+	}
+	if sb := r.Standby; sb != nil {
+		fmt.Printf("standby: %d mirrored reads (%d before bootstrap)  |  lag p50 %.0f revs / %.0fms  p99 %.0f revs / %.0fms  max %.0f revs / %.0fms\n",
+			sb.MirroredReads, sb.NotFound, sb.LagRevsP50, sb.LagMsP50,
+			sb.LagRevsP99, sb.LagMsP99, sb.LagRevsMax, sb.LagMsMax)
 	}
 	fmt.Printf("store: %d sessions (%d resident, %d spilled), %d evictions (%d snapshot writes skipped), %d restores, %d background recalcs\n",
 		r.Store.Sessions, r.Store.Resident, r.Store.Spilled, r.Store.Evictions, r.Store.SnapSkips, r.Store.Restores, r.Store.Recalcs)

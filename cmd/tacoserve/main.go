@@ -8,6 +8,7 @@
 //	          [-spill-dir DIR] [-durable] [-fsync interval] [-fsync-interval 50ms]
 //	          [-recalc-parallelism 0] [-recalc-workers 0] [-recalc-chunk 0]
 //	          [-recalc-pool 0] [-debug-addr ADDR] [-access-log]
+//	          [-standby -primary-url URL] [-repl-interval 100ms]
 //
 // Endpoints:
 //
@@ -22,6 +23,10 @@
 //	GET    /sessions/{id}/precedents   ?of=B2
 //	GET    /stats                      store-wide stats
 //	GET    /metrics                    Prometheus text-format telemetry (see TELEMETRY.md)
+//	GET    /replication/sessions       replication manifest (for standbys)
+//	GET    /replication/sessions/{id}/snapshot   engine snapshot + X-Snapshot-Rev
+//	GET    /replication/sessions/{id}/journal    journal tail ?from=REV (journal wire format)
+//	POST   /admin/promote              promote a standby to primary
 //
 // With -max-resident N, at most N sessions stay in memory; colder ones are
 // spilled to -spill-dir as engine snapshots and restored lazily when touched.
@@ -32,6 +37,17 @@
 // session and replays journal tails on top of snapshots at first touch.
 // -fsync picks the journal fsync policy (always|interval|never) and
 // -fsync-interval the background flush period; see README.md "Durability".
+//
+// With -standby -primary-url URL, the server boots as a warm standby: the
+// store is read-only (writes answer 503 with Retry-After), a replicator
+// bootstraps every session from the primary's snapshots and tails its
+// journals every -repl-interval, reads carry X-Replication-Lag-Rev/-Ms
+// headers, and POST /admin/promote fences shipping and makes it the new
+// primary. See README.md "Replication & degradation".
+//
+// The TACO_FAULTS environment variable installs a fault-injection plan on
+// the file layer (internal/faultfs) for durability drills, e.g.
+// TACO_FAULTS="write:.tacoj:enospc:count=1".
 //
 // With -debug-addr, a second listener serves net/http/pprof under /debug/pprof/
 // on its own mux — profiling stays off the public API surface and can bind a
@@ -59,6 +75,7 @@ import (
 	"syscall"
 	"time"
 
+	"taco/internal/faultfs"
 	"taco/internal/server"
 )
 
@@ -84,13 +101,27 @@ func main() {
 	recalcPool := flag.Int("recalc-pool", 0, "shared wavefront evaluation pool size (0 = (parallelism-1) x workers, -1 = per-drain goroutines)")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled); bind loopback, e.g. 127.0.0.1:6060")
 	accessLog := flag.Bool("access-log", false, "log one structured line per request to stderr")
+	standby := flag.Bool("standby", false, "run as a warm standby: read-only, tailing -primary-url's journals; POST /admin/promote to take over")
+	primaryURL := flag.String("primary-url", "", "primary's base URL with -standby (e.g. http://host:8737)")
+	replInterval := flag.Duration("repl-interval", 0, "journal-shipping poll period with -standby (0 = default 100ms)")
 	flag.Parse()
+
+	if *standby && *primaryURL == "" {
+		fmt.Fprintln(os.Stderr, "tacoserve: -standby requires -primary-url")
+		os.Exit(2)
+	}
+	if installed, err := faultfs.InstallFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "tacoserve: %s: %v\n", faultfs.EnvVar, err)
+		os.Exit(2)
+	} else if installed {
+		log.Printf("tacoserve: fault injection active (%s)", faultfs.EnvVar)
+	}
 
 	var al *slog.Logger
 	if *accessLog {
 		al = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
-	srv, err := server.NewServer(server.Options{
+	srvOpts := server.Options{
 		Store: server.StoreOptions{
 			Shards:            *shards,
 			MaxResident:       *maxResident,
@@ -104,7 +135,11 @@ func main() {
 			FsyncInterval:     *fsyncInterval,
 		},
 		AccessLog: al,
-	})
+	}
+	if *standby {
+		srvOpts.Standby = server.StandbyOptions{PrimaryURL: *primaryURL, Interval: *replInterval}
+	}
+	srv, err := server.NewServer(srvOpts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tacoserve: %v\n", err)
 		os.Exit(2)
@@ -174,8 +209,12 @@ func main() {
 		durability = fmt.Sprintf("fsync=%s interval=%s recovered=%d",
 			*fsyncPolicy, eff.FsyncInterval, srv.Store().Stats().RecoveredSessions)
 	}
-	log.Printf("tacoserve: listening on %s (shards=%d max-resident=%d recalc-workers=%d recalc-parallelism=%d recalc-chunk=%d recalc-pool=%d graph-pin=%t durable=%s)",
-		bound, eff.Shards, eff.MaxResident, eff.RecalcWorkers, eff.RecalcParallelism,
+	role := "primary"
+	if *standby {
+		role = "standby of " + *primaryURL
+	}
+	log.Printf("tacoserve: listening on %s as %s (shards=%d max-resident=%d recalc-workers=%d recalc-parallelism=%d recalc-chunk=%d recalc-pool=%d graph-pin=%t durable=%s)",
+		bound, role, eff.Shards, eff.MaxResident, eff.RecalcWorkers, eff.RecalcParallelism,
 		eff.RecalcChunk, eff.RecalcPoolSize, !eff.NoGraphPin, durability)
 	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("tacoserve: %v", err)

@@ -1,0 +1,405 @@
+// Package faultfs is the durability stack's injectable file layer: a thin
+// wrapper over the os file operations that the journal, registry, and spill
+// paths funnel through, with a runtime hook that can make any of them fail
+// on command. Production binaries pay one atomic pointer load per operation
+// (nil = passthrough); tests and smoke scripts install fault plans —
+// ENOSPC on the Nth journal append, EIO on fsync, a short write tearing a
+// record mid-body, a delayed fsync stretching a group commit, a rename that
+// never happens — and assert the stack degrades instead of corrupting.
+//
+// The hook is build-free: no build tags, no test-only interfaces. Install a
+// plan programmatically with Inject, or declaratively through the
+// TACO_FAULTS environment variable (parsed by InstallFromEnv, which the
+// serving binaries call at startup), e.g.
+//
+//	TACO_FAULTS="write:.tacoj:enospc:after=100:count=3;sync:*:eio"
+//
+// Every injected fault increments taco_faultfs_injected_total{op} so a
+// scripted fault sequence is visible in the same telemetry the degradation
+// metrics live in.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"taco/internal/telemetry"
+)
+
+// Op classifies the file operations the layer can fault.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpCreate
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpRead
+	OpTruncate
+	opCount
+)
+
+var opNames = [opCount]string{"open", "create", "write", "sync", "rename", "remove", "read", "truncate"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// ParseOp maps a spec spelling ("write", "sync", ...) to an Op.
+func ParseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if n == s {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("faultfs: unknown op %q", s)
+}
+
+// Fault describes what an armed rule does to a matching operation.
+type Fault struct {
+	// Err is returned from the operation (after Delay and, for writes,
+	// after ShortBytes have been written). Typical values: syscall.ENOSPC,
+	// syscall.EIO.
+	Err error
+	// ShortBytes makes a faulted write tear: the first ShortBytes of the
+	// buffer reach the file, then Err (or ErrShortWrite) is returned —
+	// exactly the ENOSPC-mid-record shape a full volume produces.
+	ShortBytes int
+	// Delay is slept before the operation proceeds (or fails). With a nil
+	// Err it turns the op slow-but-successful — the slow-fsync shape.
+	Delay time.Duration
+}
+
+// Rule arms one fault against an operation class, filtered by path.
+type Rule struct {
+	// Op is the operation class the rule matches.
+	Op Op
+	// PathContains filters by substring of the operation's path ("" or "*"
+	// matches every path). Matching on suffix fragments like ".tacoj" or
+	// "sessions.tacor" selects one log kind.
+	PathContains string
+	// After skips the first After matching operations before injecting.
+	After int
+	// Count bounds injections (0 = unlimited until the plan is cleared).
+	Count int
+	// Fault is what happens on injection.
+	Fault Fault
+}
+
+type ruleState struct {
+	Rule
+	seen     int
+	injected int
+}
+
+type plan struct {
+	mu    sync.Mutex
+	rules []*ruleState
+}
+
+var active atomic.Pointer[plan]
+
+var mInjected = telemetry.NewCounterVec("taco_faultfs_injected_total",
+	"Faults injected by the faultfs layer, by operation class.", "op")
+
+// Inject installs a fault plan (replacing any active one) and returns a
+// restore function that clears it. Tests defer the restore; long-lived
+// processes may leave a TACO_FAULTS plan active for their lifetime.
+func Inject(rules ...Rule) func() {
+	p := &plan{rules: make([]*ruleState, len(rules))}
+	for i, r := range rules {
+		p.rules[i] = &ruleState{Rule: r}
+	}
+	active.Store(p)
+	return Clear
+}
+
+// Clear removes the active fault plan.
+func Clear() { active.Store(nil) }
+
+// Active reports whether a fault plan is installed.
+func Active() bool { return active.Load() != nil }
+
+// check consults the active plan for (op, path); it applies any matched
+// rule's delay and returns the error to inject (nil = proceed normally).
+// shortBytes is >= 0 only for a torn write.
+func check(op Op, path string) (err error, shortBytes int) {
+	p := active.Load()
+	if p == nil {
+		return nil, -1
+	}
+	p.mu.Lock()
+	var hit *ruleState
+	for _, r := range p.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.PathContains != "" && r.PathContains != "*" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.injected >= r.Count {
+			continue
+		}
+		r.injected++
+		hit = r
+		break
+	}
+	p.mu.Unlock()
+	if hit == nil {
+		return nil, -1
+	}
+	if hit.Fault.Delay > 0 {
+		time.Sleep(hit.Fault.Delay)
+	}
+	if hit.Fault.Err == nil && hit.Fault.ShortBytes == 0 {
+		// Pure delay: the operation proceeds normally (but still counts).
+		mInjected.With(op.String()).Inc()
+		return nil, -1
+	}
+	mInjected.With(op.String()).Inc()
+	if op == OpWrite && hit.Fault.ShortBytes > 0 {
+		return hit.Fault.Err, hit.Fault.ShortBytes
+	}
+	return hit.Fault.Err, -1
+}
+
+// Check applies the active plan to an operation performed outside the File
+// wrapper (the syncfs(2) fast path, for example): it returns the injected
+// error, or nil to proceed.
+func Check(op Op, path string) error {
+	err, _ := check(op, path)
+	return err
+}
+
+// File wraps an *os.File, applying the active fault plan to writes, syncs,
+// truncates, and reads. The embedded handle keeps every other *os.File
+// method (Seek, Stat, Fd, Name, ...) available untouched.
+type File struct {
+	*os.File
+}
+
+func wrap(f *os.File, err error) (*File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &File{File: f}, nil
+}
+
+// OpenFile is os.OpenFile behind the OpOpen hook.
+func OpenFile(path string, flag int, perm os.FileMode) (*File, error) {
+	if err := Check(OpOpen, path); err != nil {
+		return nil, &os.PathError{Op: "open", Path: path, Err: err}
+	}
+	return wrap(os.OpenFile(path, flag, perm))
+}
+
+// Open is os.Open behind the OpOpen hook.
+func Open(path string) (*File, error) {
+	if err := Check(OpOpen, path); err != nil {
+		return nil, &os.PathError{Op: "open", Path: path, Err: err}
+	}
+	return wrap(os.Open(path))
+}
+
+// Create is os.Create behind the OpCreate hook.
+func Create(path string) (*File, error) {
+	if err := Check(OpCreate, path); err != nil {
+		return nil, &os.PathError{Op: "create", Path: path, Err: err}
+	}
+	return wrap(os.Create(path))
+}
+
+// CreateTemp is os.CreateTemp behind the OpCreate hook (matched against the
+// directory, since the final name is random).
+func CreateTemp(dir, pattern string) (*File, error) {
+	if err := Check(OpCreate, dir); err != nil {
+		return nil, &os.PathError{Op: "create", Path: dir, Err: err}
+	}
+	return wrap(os.CreateTemp(dir, pattern))
+}
+
+// Write applies the active plan: a matched rule can fail the write outright
+// or tear it — write the first ShortBytes, then report the error, leaving a
+// torn tail exactly as a full volume would.
+func (f *File) Write(p []byte) (int, error) {
+	err, short := check(OpWrite, f.Name())
+	if err == nil && short < 0 {
+		return f.File.Write(p)
+	}
+	if err == nil {
+		err = syscall.ENOSPC
+	}
+	n := 0
+	if short > 0 {
+		if short > len(p) {
+			short = len(p)
+		}
+		n, _ = f.File.Write(p[:short])
+	}
+	return n, &os.PathError{Op: "write", Path: f.Name(), Err: err}
+}
+
+// Sync applies the active plan (delay and/or error) before fsync(2).
+func (f *File) Sync() error {
+	if err := Check(OpSync, f.Name()); err != nil {
+		return &os.PathError{Op: "sync", Path: f.Name(), Err: err}
+	}
+	return f.File.Sync()
+}
+
+// Truncate applies the active plan before ftruncate(2).
+func (f *File) Truncate(size int64) error {
+	if err := Check(OpTruncate, f.Name()); err != nil {
+		return &os.PathError{Op: "truncate", Path: f.Name(), Err: err}
+	}
+	return f.File.Truncate(size)
+}
+
+// Read applies the active plan before read(2).
+func (f *File) Read(p []byte) (int, error) {
+	if err := Check(OpRead, f.Name()); err != nil {
+		return 0, &os.PathError{Op: "read", Path: f.Name(), Err: err}
+	}
+	return f.File.Read(p)
+}
+
+// Rename is os.Rename behind the OpRename hook. A faulted rename does not
+// happen at all — the source file stays, the destination is untouched —
+// which is the observable shape of a crash (or I/O error) before the
+// rename reached the directory.
+func Rename(oldpath, newpath string) error {
+	if err := Check(OpRename, newpath); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove is os.Remove behind the OpRemove hook.
+func Remove(path string) error {
+	if err := Check(OpRemove, path); err != nil {
+		return &os.PathError{Op: "remove", Path: path, Err: err}
+	}
+	return os.Remove(path)
+}
+
+// ReadFile is os.ReadFile behind the OpRead hook.
+func ReadFile(path string) ([]byte, error) {
+	if err := Check(OpRead, path); err != nil {
+		return nil, &os.PathError{Op: "read", Path: path, Err: err}
+	}
+	return os.ReadFile(path)
+}
+
+// ---------------------------------------------------------------------------
+// Declarative plans: TACO_FAULTS
+// ---------------------------------------------------------------------------
+
+// EnvVar is the environment variable InstallFromEnv reads.
+const EnvVar = "TACO_FAULTS"
+
+// InstallFromEnv parses TACO_FAULTS and installs the plan it describes.
+// Returns (false, nil) when the variable is empty — the common case, costing
+// one getenv at startup. Serving binaries call this so smoke scripts can
+// script fault sequences without a rebuild.
+func InstallFromEnv() (bool, error) {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return false, nil
+	}
+	rules, err := ParseRules(spec)
+	if err != nil {
+		return false, err
+	}
+	Inject(rules...)
+	return true, nil
+}
+
+// ParseRules parses a fault-plan spec: semicolon-separated rules of the form
+//
+//	op:pathsubstr:kind[:after=N][:count=N][:short=N][:delay=DUR]
+//
+// where op is open|create|write|sync|rename|remove|read|truncate, pathsubstr
+// filters by substring ("*" = all), and kind is enospc|eio|short|slow
+// (short implies a 1-byte torn write unless short=N is given; slow injects
+// delay only and needs delay=DUR).
+func ParseRules(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("faultfs: rule %q needs op:path:kind", part)
+		}
+		op, err := ParseOp(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Op: op, PathContains: fields[1]}
+		switch fields[2] {
+		case "enospc":
+			r.Fault.Err = syscall.ENOSPC
+		case "eio":
+			r.Fault.Err = syscall.EIO
+		case "short":
+			r.Fault.Err = syscall.ENOSPC
+			r.Fault.ShortBytes = 1
+		case "slow":
+			// delay-only; needs delay=
+		default:
+			return nil, fmt.Errorf("faultfs: rule %q: unknown kind %q", part, fields[2])
+		}
+		for _, opt := range fields[3:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultfs: rule %q: bad option %q", part, opt)
+			}
+			switch k {
+			case "after":
+				if r.After, err = strconv.Atoi(v); err != nil {
+					return nil, fmt.Errorf("faultfs: rule %q: %w", part, err)
+				}
+			case "count":
+				if r.Count, err = strconv.Atoi(v); err != nil {
+					return nil, fmt.Errorf("faultfs: rule %q: %w", part, err)
+				}
+			case "short":
+				if r.Fault.ShortBytes, err = strconv.Atoi(v); err != nil {
+					return nil, fmt.Errorf("faultfs: rule %q: %w", part, err)
+				}
+			case "delay":
+				if r.Fault.Delay, err = time.ParseDuration(v); err != nil {
+					return nil, fmt.Errorf("faultfs: rule %q: %w", part, err)
+				}
+			default:
+				return nil, fmt.Errorf("faultfs: rule %q: unknown option %q", part, k)
+			}
+		}
+		if fields[2] == "slow" && r.Fault.Delay <= 0 {
+			return nil, fmt.Errorf("faultfs: rule %q: kind slow needs delay=", part)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, errors.New("faultfs: empty fault spec")
+	}
+	return rules, nil
+}

@@ -1,0 +1,235 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestPassthroughWhenInactive(t *testing.T) {
+	Clear()
+	path := filepath.Join(t.TempDir(), "plain.dat")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("hello")); err != nil || n != 5 {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = (%q, %v)", got, err)
+	}
+	if Active() {
+		t.Fatal("no plan installed but Active() = true")
+	}
+}
+
+func TestInjectENOSPCOnWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jrn.tacoj")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	restore := Inject(Rule{Op: OpWrite, PathContains: ".tacoj", Count: 1, Fault: Fault{Err: syscall.ENOSPC}})
+	defer restore()
+
+	if _, err := f.Write([]byte("doomed")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	// Count exhausted: next write goes through.
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("post-fault write: %v", err)
+	}
+	st, _ := os.Stat(path)
+	if st.Size() != 2 {
+		t.Fatalf("faulted write must reach disk 0 bytes; file size = %d", st.Size())
+	}
+}
+
+func TestShortWriteTearsRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.tacoj")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	defer Inject(Rule{Op: OpWrite, Count: 1, Fault: Fault{Err: syscall.ENOSPC, ShortBytes: 3}})()
+
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("short write reported n=%d, want 3", n)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "abc" {
+		t.Fatalf("on-disk torn prefix = %q, want %q", got, "abc")
+	}
+}
+
+func TestAfterSkipsAndPathFilters(t *testing.T) {
+	dir := t.TempDir()
+	jrn, err := Create(filepath.Join(dir, "a.tacoj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jrn.Close()
+	other, err := Create(filepath.Join(dir, "b.spill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+
+	defer Inject(Rule{Op: OpWrite, PathContains: ".tacoj", After: 2, Fault: Fault{Err: syscall.EIO}})()
+
+	// Non-matching path: never faulted, never counted.
+	for i := 0; i < 5; i++ {
+		if _, err := other.Write([]byte("x")); err != nil {
+			t.Fatalf("spill write %d: %v", i, err)
+		}
+	}
+	// Matching path: first two succeed, third onward fails.
+	for i := 0; i < 2; i++ {
+		if _, err := jrn.Write([]byte("x")); err != nil {
+			t.Fatalf("journal write %d should pass: %v", i, err)
+		}
+	}
+	if _, err := jrn.Write([]byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("third journal write: want EIO, got %v", err)
+	}
+}
+
+func TestSyncAndTruncateAndRenameFaults(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Create(filepath.Join(dir, "f.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	defer Inject(
+		Rule{Op: OpSync, Count: 1, Fault: Fault{Err: syscall.EIO}},
+		Rule{Op: OpTruncate, Count: 1, Fault: Fault{Err: syscall.EIO}},
+		Rule{Op: OpRename, Count: 1, Fault: Fault{Err: syscall.EIO}},
+	)()
+
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Sync: want EIO, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync after count exhausted: %v", err)
+	}
+	if err := f.Truncate(0); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Truncate: want EIO, got %v", err)
+	}
+
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+	if err := os.WriteFile(src, []byte("v"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Rename(src, dst); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Rename: want EIO, got %v", err)
+	}
+	// A torn rename is a rename that never happened: src intact, dst absent.
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("source gone after faulted rename: %v", err)
+	}
+	if _, err := os.Stat(dst); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after faulted rename")
+	}
+	if err := Rename(src, dst); err != nil {
+		t.Fatalf("rename after count exhausted: %v", err)
+	}
+}
+
+func TestDelayOnlyRule(t *testing.T) {
+	f, err := Create(filepath.Join(t.TempDir(), "slow.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	defer Inject(Rule{Op: OpSync, Count: 1, Fault: Fault{Delay: 30 * time.Millisecond}})()
+
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("delayed sync must still succeed: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sync returned in %v, want >= 30ms delay", d)
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("write:.tacoj:enospc:after=10:count=3;sync:*:eio;rename:spill:short:short=5;sync:reg:slow:delay=20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	r := rules[0]
+	if r.Op != OpWrite || r.PathContains != ".tacoj" || r.After != 10 || r.Count != 3 || !errors.Is(r.Fault.Err, syscall.ENOSPC) {
+		t.Fatalf("rule 0 mismatch: %+v", r)
+	}
+	if rules[1].Op != OpSync || !errors.Is(rules[1].Fault.Err, syscall.EIO) {
+		t.Fatalf("rule 1 mismatch: %+v", rules[1])
+	}
+	if rules[2].Fault.ShortBytes != 5 {
+		t.Fatalf("rule 2 short bytes = %d", rules[2].Fault.ShortBytes)
+	}
+	if rules[3].Fault.Delay != 20*time.Millisecond || rules[3].Fault.Err != nil {
+		t.Fatalf("rule 3 mismatch: %+v", rules[3])
+	}
+
+	for _, bad := range []string{
+		"",
+		"write:.tacoj",          // missing kind
+		"frobnicate:*:eio",      // unknown op
+		"write:*:explode",       // unknown kind
+		"sync:*:slow",           // slow without delay
+		"write:*:eio:after=x",   // bad int
+		"write:*:eio:wat",       // bad option shape
+		"write:*:eio:bogus=1",   // unknown option
+		"write:*:eio:delay=wat", // bad duration
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted bad spec", bad)
+		}
+	}
+}
+
+func TestInstallFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "")
+	if on, err := InstallFromEnv(); on || err != nil {
+		t.Fatalf("empty env: (%v, %v)", on, err)
+	}
+	t.Setenv(EnvVar, "write:.tacoj:enospc:count=1")
+	on, err := InstallFromEnv()
+	if !on || err != nil {
+		t.Fatalf("valid env: (%v, %v)", on, err)
+	}
+	defer Clear()
+	if !Active() {
+		t.Fatal("plan not active after InstallFromEnv")
+	}
+	t.Setenv(EnvVar, "garbage")
+	if _, err := InstallFromEnv(); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+)
+
+// Follower tails one journal file past a live writer. It is the local half
+// of journal shipping: the primary's replication endpoint drives one to
+// stream a session's records to a standby, and anything colocated with the
+// spill directory can tail journals directly.
+//
+// Safety rests on the log's own invariants rather than coordination with
+// the writer: reads are valid-prefix (a record is delivered only once its
+// length, body, and CRC are all on disk — a mid-append tail just ends the
+// poll), the cursor is the session rev (monotonic across the journal's
+// whole life, surviving checkpoint Resets), and every delivered rev is
+// > cursor, so re-reading a prefix never re-delivers. Resume after any
+// confusion — a checkpoint truncation shrinking the file, a reset-and-regrow
+// misaligning the byte offset — is "rescan from the header, skip by cursor";
+// journals are checkpoint-bounded, so a rescan is cheap.
+type Follower struct {
+	path   string
+	magic  []byte
+	cursor uint64 // highest rev delivered (or the caller's starting point)
+	off    int64  // byte offset just past the last decoded record
+	body   []byte // record decode buffer, reused across polls
+}
+
+// NewFollower tails the log at path, delivering records with rev > from.
+func NewFollower(path string, magic []byte, from uint64) *Follower {
+	return &Follower{path: path, magic: magic, cursor: from}
+}
+
+// Cursor returns the highest rev delivered so far (the resume point).
+func (fl *Follower) Cursor() uint64 { return fl.cursor }
+
+// Poll reads every complete record currently on disk beyond the cursor,
+// invoking fn per record (payload reused between calls, as Scan); it
+// returns the number delivered. A missing file, a torn tail, or an empty
+// poll are all nil-error outcomes — the journal may simply not have been
+// written yet. Only fn's own error propagates (delivery position is kept,
+// so a failed apply resumes at the same record next poll).
+func (fl *Follower) Poll(fn func(rev uint64, payload []byte) error) (int, error) {
+	f, err := os.Open(fl.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if fi.Size() < fl.off {
+		// The writer checkpointed: a snapshot superseded the log and Reset
+		// truncated it. Revs keep rising across resets, so restart at the
+		// header and let the cursor skip everything already delivered.
+		fl.off = 0
+	}
+	n, err := fl.pollFrom(f, fn)
+	if err != nil {
+		return n, err
+	}
+	if n == 0 && fl.off > int64(len(fl.magic)) && fi.Size() > fl.off {
+		// Bytes beyond our offset that don't decode: the log was reset and
+		// regrown past our old position between polls, leaving the offset
+		// misaligned mid-record. Rescan from the header; the cursor guard
+		// makes the retry exactly-once.
+		fl.off = 0
+		return fl.pollFrom(f, fn)
+	}
+	return n, nil
+}
+
+// pollFrom decodes records from fl.off (0 = validate the header first),
+// delivering those beyond the cursor and advancing offset and cursor per
+// record, so an fn error or torn tail resumes precisely.
+func (fl *Follower) pollFrom(f *os.File, fn func(rev uint64, payload []byte) error) (int, error) {
+	if fl.off == 0 {
+		var hdr [8]byte
+		m := hdr[:len(fl.magic)]
+		if _, err := f.ReadAt(m, 0); err != nil || !bytes.Equal(m, fl.magic) {
+			return 0, nil // header not (yet) on disk
+		}
+		fl.off = int64(len(fl.magic))
+	}
+	if _, err := f.Seek(fl.off, io.SeekStart); err != nil {
+		return 0, err
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	delivered := 0
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n == 0 || n > MaxRecordBytes {
+			return delivered, nil
+		}
+		if uint64(cap(fl.body)) < n {
+			fl.body = make([]byte, n)
+		}
+		body := fl.body[:n]
+		if _, err := io.ReadFull(br, body); err != nil {
+			return delivered, nil
+		}
+		var cb [4]byte
+		if _, err := io.ReadFull(br, cb[:]); err != nil {
+			return delivered, nil
+		}
+		if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(cb[:]) {
+			return delivered, nil
+		}
+		rev, rn := binary.Uvarint(body)
+		if rn <= 0 {
+			return delivered, nil
+		}
+		if rev > fl.cursor {
+			if err := fn(rev, body[rn:]); err != nil {
+				return delivered, err
+			}
+			fl.cursor = rev
+			delivered++
+		}
+		fl.off += int64(uvarintLen(n)) + int64(n) + 4
+	}
+}
+
+// Backoff is capped exponential retry pacing for shipping loops: Next
+// doubles from Base to Cap, Reset re-arms after a success.
+type Backoff struct {
+	Base time.Duration
+	Cap  time.Duration
+	cur  time.Duration
+}
+
+// Next returns the delay before the next retry.
+func (b *Backoff) Next() time.Duration {
+	if b.cur <= 0 {
+		b.cur = b.Base
+	} else {
+		b.cur *= 2
+		if b.cur > b.Cap {
+			b.cur = b.Cap
+		}
+	}
+	return b.cur
+}
+
+// Reset re-arms the backoff after a successful attempt.
+func (b *Backoff) Reset() { b.cur = 0 }

@@ -39,6 +39,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"taco/internal/faultfs"
 )
 
 // Magic values identifying the two log kinds. Same length by design: the
@@ -58,6 +60,13 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrClosed is returned by operations on a closed Writer.
 var ErrClosed = errors.New("journal: writer closed")
+
+// ErrTorn is returned by Append and Sync once a failed append could not be
+// wound back to the last record boundary: the file may end mid-record, so
+// further appends would be invisible to every valid-prefix scan (recovery,
+// followers) while looking accepted to callers. The writer poisons itself
+// instead; Reopen re-validates the file and re-arms it.
+var ErrTorn = errors.New("journal: writer torn, reopen required")
 
 // Policy selects when appended records are fsynced.
 type Policy int8
@@ -105,7 +114,7 @@ func (p Policy) String() string {
 // durability barrier. Safe for concurrent use.
 type Writer struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       *faultfs.File
 	path    string
 	magic   []byte
 	pol     Policy
@@ -113,6 +122,7 @@ type Writer struct {
 	head    uint64 // rev of the last valid record
 	size    int64  // length of the valid prefix (== file size between appends)
 	scratch []byte // record encode buffer, reused under mu
+	torn    bool   // truncate-back failed: file may end mid-record, see ErrTorn
 
 	// Group-commit state (SyncAlways): seq counts appends, synced the highest
 	// seq a completed fsync covered. A committer whose appends are already
@@ -135,7 +145,7 @@ func Open(path string, magic []byte, pol Policy, sy *Syncer) (*Writer, error) {
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := faultfs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -187,19 +197,37 @@ func (w *Writer) Size() int64 {
 // Append encodes and appends one record in a single write(2). The record is
 // process-crash durable when Append returns; call Sync for the policy's
 // power-loss barrier. On a write error the file is wound back to the prior
-// valid prefix so a partial record never lingers at the tail.
+// valid prefix so a partial record never lingers at the tail (an ENOSPC
+// mid-record leaves the journal scan-valid for recovery and followers); if
+// even the wind-back fails the writer poisons itself with ErrTorn rather
+// than let later appends land beyond an undecodable gap, and Reopen is the
+// repairer's path back.
 func (w *Writer) Append(rev uint64, payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return ErrClosed
 	}
+	if w.torn {
+		return ErrTorn
+	}
 	w.scratch = appendRecord(w.scratch[:0], rev, payload)
 	if _, err := w.f.Write(w.scratch); err != nil {
+		mAppendErrors.Inc()
 		// A short write may have torn the tail; restore the invariant that
-		// the file holds exactly the valid prefix.
-		w.f.Truncate(w.size)
-		w.f.Seek(w.size, io.SeekStart)
+		// the file holds exactly the valid prefix. If the truncate or seek
+		// itself fails the invariant is gone: poison the writer so nothing
+		// appends past the tear.
+		if terr := w.f.Truncate(w.size); terr != nil {
+			w.torn = true
+			mTornWriters.Inc()
+			return fmt.Errorf("%w: %w (append: %w)", ErrTorn, terr, err)
+		}
+		if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+			w.torn = true
+			mTornWriters.Inc()
+			return fmt.Errorf("%w: %w (append: %w)", ErrTorn, serr, err)
+		}
 		return err
 	}
 	w.size += int64(len(w.scratch))
@@ -232,6 +260,9 @@ func (w *Writer) Sync() error {
 	}
 	if w.f == nil {
 		return ErrClosed
+	}
+	if w.torn {
+		return ErrTorn
 	}
 	cover := w.seq
 	w.syncing = true
@@ -282,6 +313,47 @@ func (w *Writer) Reset() error {
 	w.head = 0
 	mTruncations.Inc()
 	return nil
+}
+
+// Reopen re-validates the log after a failure and re-arms the writer: it
+// rescans the file, truncates any torn or unwound tail back to the valid
+// prefix, repositions, and clears the torn poison. This is the background
+// repairer's recovery step once the underlying fault (full volume, flaky
+// device) has cleared. Appends that failed are gone — the caller re-appends
+// from its own buffer. Returns the head rev of the surviving prefix.
+func (w *Writer) Reopen() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, ErrClosed
+	}
+	head, valid, err := ScanFile(w.path, w.magic, nil)
+	if err != nil {
+		return 0, err
+	}
+	if valid == 0 {
+		// Header never survived: reinitialise empty.
+		if err := w.f.Truncate(0); err != nil {
+			return 0, err
+		}
+		if _, err := w.f.WriteAt(w.magic, 0); err != nil {
+			return 0, err
+		}
+		valid = int64(len(w.magic))
+	} else if fi, serr := w.f.Stat(); serr == nil && fi.Size() > valid {
+		if err := w.f.Truncate(valid); err != nil {
+			return 0, err
+		}
+		mTruncations.Inc()
+	}
+	if _, err := w.f.Seek(valid, io.SeekStart); err != nil {
+		return 0, err
+	}
+	w.head = head
+	w.size = valid
+	w.torn = false
+	mWriterReopens.Inc()
+	return head, nil
 }
 
 // Close flushes (per policy) and closes the log. Further operations return
@@ -448,7 +520,10 @@ func (sy *Syncer) flush() {
 			w.mu.Lock()
 			f := w.f
 			w.mu.Unlock()
-			if f != nil && syncFS(f) {
+			// The syncfs(2) fast path bypasses the File wrapper, so consult
+			// the fault plan directly; an injected fsync fault drops to the
+			// per-file loop where it is observable per log.
+			if f != nil && faultfs.Check(faultfs.OpSync, w.path) == nil && syncFS(f.File) {
 				mFsyncs.Inc()
 				return
 			}

@@ -15,6 +15,12 @@ var (
 		"fsync(2) calls completed on journal and registry logs (group commits, interval flushes, closes).")
 	mTruncations = telemetry.NewCounter("taco_journal_truncations_total",
 		"Journal truncations: snapshot-superseded resets plus torn tails dropped at open.")
+	mAppendErrors = telemetry.NewCounter("taco_journal_append_errors_total",
+		"Failed journal appends (write error; the tail was wound back to the last record boundary).")
+	mTornWriters = telemetry.NewCounter("taco_journal_torn_writers_total",
+		"Writers poisoned because a failed append could not be wound back (ErrTorn until Reopen).")
+	mWriterReopens = telemetry.NewCounter("taco_journal_reopens_total",
+		"Writer reopens: post-fault revalidations that re-armed a journal for appends.")
 	mRegistryRecords = telemetry.NewCounter("taco_registry_records_total",
 		"Put/delete records appended to the session registry.")
 	mRegistryCompactions = telemetry.NewCounter("taco_registry_compactions_total",

@@ -5,7 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
+
+	"taco/internal/faultfs"
 )
 
 // The registry is the store's session manifest: an append-only log (same
@@ -181,7 +184,7 @@ func (r *Registry) compactLocked() error {
 		buf.Write(rec)
 	}
 	tmp := r.path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := faultfs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("journal: compact registry: %w", err)
 	}
@@ -200,13 +203,22 @@ func (r *Registry) compactLocked() error {
 	// unlinked inode holding appends the new log would silently drop.
 	r.w.Close()
 	r.w = nil
-	if err := os.Rename(tmp, r.path); err != nil {
+	if err := faultfs.Rename(tmp, r.path); err != nil {
 		os.Remove(tmp)
 		// Reopen the (unreplaced) old log so the registry stays writable.
 		if w, oerr := Open(r.path, RegistryMagic, r.pol, r.sy); oerr == nil {
 			r.w = w
 		}
 		return fmt.Errorf("journal: compact registry: %w", err)
+	}
+	if r.pol != SyncNever {
+		// The rename itself lives in the directory: without a dir fsync a
+		// crash right here can resurface the pre-compaction log even though
+		// the replacement was fully synced. Mirrors writeFileAtomic.
+		if d, derr := os.Open(filepath.Dir(r.path)); derr == nil {
+			d.Sync()
+			d.Close()
+		}
 	}
 	w, err := Open(r.path, RegistryMagic, r.pol, r.sy)
 	if err != nil {

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"net/http"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"taco/internal/engine"
+	"taco/internal/faultfs"
+)
+
+// waitRepaired polls until the store reports no degraded sessions.
+func waitRepaired(t *testing.T, st *Store) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Stats().DegradedSessions > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("degraded sessions never repaired: %+v", st.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestJournalENOSPCDegradesAndRecovers is the tentpole degradation flow:
+// a journal append hitting a full disk applies and acknowledges the batch,
+// fences further writes on that session only (507, reads keep serving),
+// and — once the disk heals — the background repairer re-lands the buffered
+// record so a restart replays every acknowledged batch.
+func TestJournalENOSPCDegradesAndRecovers(t *testing.T) {
+	spill := t.TempDir()
+	srv, tc := newTestServer(t, Options{Store: StoreOptions{
+		SpillDir: spill, Durable: true, FsyncPolicy: "never",
+	}})
+	var a, b SessionInfo
+	tc.do("POST", "/sessions", CreateRequest{Name: "a"}, &a)
+	tc.do("POST", "/sessions", CreateRequest{Name: "b"}, &b)
+	edit := func(id string, cell string, v float64) (EditResult, int) {
+		var er EditResult
+		code := tc.do("POST", "/sessions/"+id+"/edits",
+			EditBatch{Edits: []EditOp{{Cell: cell, Value: num(v)}}}, &er)
+		return er, code
+	}
+	if _, code := edit(a.ID, "A1", 1); code != http.StatusOK {
+		t.Fatalf("edit before fault = %d", code)
+	}
+
+	// Fill the disk for session a's journal only.
+	defer faultfs.Clear()
+	faultfs.Inject(faultfs.Rule{
+		Op: faultfs.OpWrite, PathContains: a.ID + ".tacoj",
+		Fault: faultfs.Fault{Err: syscall.ENOSPC},
+	})
+	er, code := edit(a.ID, "A2", 2)
+	if code != http.StatusOK || er.Rev != 2 {
+		t.Fatalf("degrading edit = %d rev %d, want 200 rev 2 (applied and acknowledged)", code, er.Rev)
+	}
+	if _, code := edit(a.ID, "A3", 3); code != http.StatusInsufficientStorage {
+		t.Fatalf("write while degraded = %d, want 507", code)
+	}
+	var cr CellsResult
+	if code := tc.do("GET", "/sessions/"+a.ID+"/cells?range=A1:A2&wait=1", nil, &cr); code != http.StatusOK {
+		t.Fatalf("read while degraded = %d, want 200", code)
+	}
+	if len(cr.Cells) != 2 || cr.Cells[1].Num != 2 {
+		t.Fatalf("degraded session lost its acknowledged batch: %+v", cr.Cells)
+	}
+	// The fault is scoped to one session: b keeps writing.
+	if _, code := edit(b.ID, "A1", 9); code != http.StatusOK {
+		t.Fatalf("unrelated session write = %d, want 200", code)
+	}
+	if st := srv.Store().Stats(); st.DegradedSessions != 1 {
+		t.Fatalf("degraded sessions = %d, want 1", st.DegradedSessions)
+	}
+
+	// Disk heals: the repairer re-lands the buffered record and lifts the
+	// fence.
+	faultfs.Clear()
+	waitRepaired(t, srv.Store())
+	if er, code := edit(a.ID, "A3", 3); code != http.StatusOK || er.Rev != 3 {
+		t.Fatalf("edit after repair = %d rev %d", code, er.Rev)
+	}
+
+	// A restarted store replays every acknowledged batch, including the one
+	// whose original append hit ENOSPC.
+	srv.Close()
+	srv2, err := NewServer(Options{Store: StoreOptions{
+		SpillDir: spill, Durable: true, FsyncPolicy: "never",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if err := srv2.Store().Wait(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	err = srv2.Store().View(a.ID, func(_ *Session, eng *engine.Engine) error {
+		if n := eng.NumCells(); n != 3 {
+			t.Fatalf("recovered session has %d cells, want 3", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFsyncEIODegradesUnderAlways: under fsync=always the acknowledgement
+// IS the fsync, so a failed group commit must surface the error — and
+// degrade the session rather than silently downgrading the policy.
+func TestFsyncEIODegradesUnderAlways(t *testing.T) {
+	srv, tc := newTestServer(t, Options{Store: StoreOptions{
+		SpillDir: t.TempDir(), Durable: true, FsyncPolicy: "always",
+	}})
+	var a SessionInfo
+	tc.do("POST", "/sessions", CreateRequest{Name: "a"}, &a)
+	edit := func(cell string, v float64) int {
+		return tc.do("POST", "/sessions/"+a.ID+"/edits",
+			EditBatch{Edits: []EditOp{{Cell: cell, Value: num(v)}}}, nil)
+	}
+	if code := edit("A1", 1); code != http.StatusOK {
+		t.Fatalf("edit before fault = %d", code)
+	}
+	defer faultfs.Clear()
+	faultfs.Inject(faultfs.Rule{
+		Op: faultfs.OpSync, PathContains: a.ID + ".tacoj",
+		Fault: faultfs.Fault{Err: syscall.EIO},
+	})
+	if code := edit("A2", 2); code != http.StatusInsufficientStorage {
+		t.Fatalf("edit with failing fsync = %d, want 507", code)
+	}
+	if st := srv.Store().Stats(); st.DegradedSessions != 1 {
+		t.Fatalf("degraded sessions = %d, want 1", st.DegradedSessions)
+	}
+	if code := tc.do("GET", "/sessions/"+a.ID+"/cells?at=A1", nil, nil); code != http.StatusOK {
+		t.Fatalf("read while degraded = %d", code)
+	}
+	faultfs.Clear()
+	waitRepaired(t, srv.Store())
+	if code := edit("A3", 3); code != http.StatusOK {
+		t.Fatalf("edit after repair = %d", code)
+	}
+}
+
+// TestTornSpillRenameDegradesAndRecovers: a spill whose atomic-publish
+// rename fails leaves the victim resident, unevictable, and degraded; after
+// the disk heals the repairer lands the snapshot and eviction works again.
+func TestTornSpillRenameDegradesAndRecovers(t *testing.T) {
+	store, err := NewStore(StoreOptions{
+		Shards: 2, MaxResident: 1, SpillDir: filepath.Join(t.TempDir(), "spill"),
+		RecalcWorkers: -1, Durable: true, FsyncPolicy: "never",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	a := store.Create("a", engine.New(nil))
+	if err := store.Update(a.ID, true, func(*Session, *engine.Engine) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	defer faultfs.Clear()
+	faultfs.Inject(faultfs.Rule{
+		Op: faultfs.OpRename, PathContains: ".tacos",
+		Fault: faultfs.Fault{Err: syscall.EIO},
+	})
+	b := store.Create("b", engine.New(nil)) // forces eviction of a; rename tears
+	if st := store.Stats(); st.DegradedSessions == 0 {
+		t.Fatalf("torn spill rename did not degrade: %+v", st)
+	}
+	// Reads keep serving; rev-bumping writes are fenced on the victim.
+	if err := store.View(a.ID, func(*Session, *engine.Engine) error { return nil }); err != nil {
+		t.Fatalf("read of degraded victim: %v", err)
+	}
+	faultfs.Clear()
+	waitRepaired(t, store)
+	for _, s := range []*Session{a, b} {
+		if err := store.Update(s.ID, true, func(*Session, *engine.Engine) error { return nil }); err != nil {
+			t.Fatalf("write after repair: %v", err)
+		}
+	}
+	// The repaired snapshot makes the victim evictable again.
+	store.Create("c", engine.New(nil))
+	if st := store.Stats(); st.Evictions == 0 {
+		t.Fatalf("no eviction after repair: %+v", st)
+	}
+}
+
+// TestSlowFsyncDoesNotDegrade: latency is not a fault — a slow disk under
+// group commit just makes edits slower, never 507s.
+func TestSlowFsyncDoesNotDegrade(t *testing.T) {
+	srv, tc := newTestServer(t, Options{Store: StoreOptions{
+		SpillDir: t.TempDir(), Durable: true, FsyncPolicy: "always",
+	}})
+	var a SessionInfo
+	tc.do("POST", "/sessions", CreateRequest{Name: "a"}, &a)
+	defer faultfs.Clear()
+	faultfs.Inject(faultfs.Rule{
+		Op: faultfs.OpSync, PathContains: ".tacoj",
+		Fault: faultfs.Fault{Delay: 20 * time.Millisecond},
+	})
+	for i := 0; i < 3; i++ {
+		code := tc.do("POST", "/sessions/"+a.ID+"/edits",
+			EditBatch{Edits: []EditOp{{Cell: "A1", Value: num(float64(i))}}}, nil)
+		if code != http.StatusOK {
+			t.Fatalf("edit %d under slow fsync = %d", i, code)
+		}
+	}
+	if st := srv.Store().Stats(); st.DegradedSessions != 0 {
+		t.Fatalf("slow fsync degraded sessions: %+v", st)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"taco/internal/engine"
+	"taco/internal/faultfs"
 	"taco/internal/journal"
 )
 
@@ -314,9 +315,10 @@ func (st *Store) replayJournal(s *Session, eng *engine.Engine) error {
 // no reader — concurrent or post-crash — can ever observe a torn file at
 // the final path. With sync set, the file is fsynced before the rename and
 // the directory after it (power-loss durability for the rename itself).
+// File operations run through faultfs so tests can tear any step.
 func writeFileAtomic(path string, data []byte, sync bool) error {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, ".spill-*.tmp")
+	f, err := faultfs.CreateTemp(dir, ".spill-*.tmp")
 	if err != nil {
 		return err
 	}
@@ -329,7 +331,7 @@ func writeFileAtomic(path string, data []byte, sync bool) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, path)
+		err = faultfs.Rename(tmp, path)
 	}
 	if err != nil {
 		os.Remove(tmp)
@@ -466,17 +468,26 @@ func (st *Store) Durable() bool { return st.opts.Durable }
 // record is appended to the session's journal at the bumped revision before
 // UpdateJournaled returns, and the policy's fsync barrier has run — the
 // caller can acknowledge the batch knowing a crashed server will replay it.
-// Journal append failures degrade to non-durable with a metric (the edit is
-// already applied and acknowledged state must stay consistent); a failed
-// group-commit fsync under `always` is surfaced, since that is exactly the
-// guarantee the policy sells.
+//
+// A journal append failure degrades the session (degrade.go) instead of
+// failing the request or silently dropping durability: the batch is applied
+// and acknowledged (engine state must stay consistent with what readers
+// already saw), its record is buffered for the background repairer, and
+// every subsequent write is fenced with ErrSessionDegraded until the
+// repairer lands the buffered records. A failed group-commit fsync under
+// `always` both degrades and surfaces the error, since an fsynced
+// acknowledgement is exactly the guarantee that policy sells.
 func (st *Store) UpdateJournaled(id string, record []byte, fn func(*Session, *engine.Engine) error) error {
 	s, err := st.lookup(id)
 	if err != nil {
 		return err
 	}
 	var jw *journal.Writer
+	degradedNow := false
 	err = st.withResident(s, func(eng *engine.Engine) error {
+		if s.degraded {
+			return ErrSessionDegraded
+		}
 		if err := fn(s, eng); err != nil {
 			return err
 		}
@@ -488,18 +499,27 @@ func (st *Store) UpdateJournaled(id string, record []byte, fn func(*Session, *en
 			}
 			if jerr != nil {
 				mDurabilityErrors.Inc()
+				st.degradeLocked(s, degradedJournal, &pendingRecord{rev: s.rev, payload: record})
+				degradedNow = true
 			} else {
 				jw = w
 			}
 		}
 		return nil
 	})
+	if degradedNow {
+		st.scheduleRepair(s)
+	}
 	if err == nil && jw != nil {
 		// Group commit outside the session lock: concurrent batches on other
 		// sessions (or this one) share the fsync instead of queueing on it.
 		if serr := jw.Sync(); serr != nil {
 			mDurabilityErrors.Inc()
-			return serr
+			s.mu.Lock()
+			st.degradeLocked(s, degradedJournal, nil)
+			s.mu.Unlock()
+			st.scheduleRepair(s)
+			return fmt.Errorf("%w: %w", ErrSessionDegraded, serr)
 		}
 	}
 	return err

@@ -69,6 +69,29 @@ var (
 		"Spill files that failed their integrity check at restore and were renamed aside as *.corrupt.")
 	mDurabilityErrors = telemetry.NewCounter("taco_store_durability_errors_total",
 		"Failed journal appends or registry updates; the session degrades to non-durable rather than failing the request.")
+
+	// Graceful degradation (degrade.go).
+	mDegradedEvents = telemetry.NewCounterVec("taco_durability_degraded_total",
+		"Sessions entering the degraded state (writes fenced, repair scheduled), by cause.", "reason")
+	mRepairs = telemetry.NewCounter("taco_durability_repairs_total",
+		"Degraded sessions repaired: durability re-armed and the write fence lifted.")
+	mRepairFailures = telemetry.NewCounter("taco_durability_repair_failures_total",
+		"Repair attempts that failed and were re-scheduled on backoff.")
+
+	// Journal shipping (replication.go). mReplShipped counts on the primary,
+	// the rest on the standby.
+	mReplShipped = telemetry.NewCounter("taco_repl_records_shipped_total",
+		"Journal records streamed to followers over /replication endpoints.")
+	mReplApplied = telemetry.NewCounter("taco_repl_records_applied_total",
+		"Shipped journal records applied by this standby.")
+	mReplSnapshots = telemetry.NewCounter("taco_repl_snapshots_total",
+		"Session bootstraps from a primary snapshot on this standby.")
+	mReplErrors = telemetry.NewCounter("taco_repl_errors_total",
+		"Failed shipping cycles (the replicator retries on capped backoff).")
+	mReplLagRevs = telemetry.NewGauge("taco_repl_lag_revs",
+		"Revisions the standby is behind the primary, summed over sessions, at the last poll.")
+	mPromotions = telemetry.NewCounter("taco_repl_promotions_total",
+		"Standby promotions: replicator fenced and the write fence lifted.")
 )
 
 // liveStores tracks open Stores for the scrape-time gauges. NewStore
@@ -106,4 +129,7 @@ func registerStoreGauges() {
 	telemetry.NewGaugeFunc("taco_store_eval_pool_workers",
 		"Shared wavefront evaluation pool size, across all stores.",
 		func() float64 { return sumStores(func(s StoreStats) float64 { return float64(s.EvalPoolWorkers) }) })
+	telemetry.NewGaugeFunc("taco_durability_degraded_sessions",
+		"Sessions currently write-fenced by a durability fault, awaiting repair.",
+		func() float64 { return sumStores(func(s StoreStats) float64 { return float64(s.DegradedSessions) }) })
 }

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"net/http"
 	"slices"
+	"strconv"
 
 	"taco/internal/core"
 	"taco/internal/engine"
@@ -40,6 +41,10 @@ type Options struct {
 	// (request ID, method, route, status, bytes, duration). Nil disables
 	// access logging; metrics are collected either way.
 	AccessLog *slog.Logger
+	// Standby, when PrimaryURL is set, boots the server as a warm standby:
+	// the store is read-only (writes answer 503), a replicator tails the
+	// primary's journals, and POST /admin/promote makes it the new primary.
+	Standby StandbyOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +70,10 @@ type Server struct {
 	store   *Store
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped with the observability middleware
+	// repl is the standby's shipping loop (nil on a primary). It survives
+	// promotion — fenced — so lag headers can keep reporting the final
+	// deficit.
+	repl *Replicator
 }
 
 // NewServer builds a server with its session store.
@@ -87,18 +96,51 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /sessions/{id}/precedents", s.handleQuery(false))
 	s.mux.HandleFunc("GET /stats", s.handleStoreStats)
 	s.mux.Handle("GET /metrics", telemetry.Handler())
+	s.mux.HandleFunc("GET /replication/sessions", s.handleReplSessions)
+	s.mux.HandleFunc("GET /replication/sessions/{id}/snapshot", s.handleReplSnapshot)
+	s.mux.HandleFunc("GET /replication/sessions/{id}/journal", s.handleReplJournal)
+	s.mux.HandleFunc("POST /admin/promote", s.handlePromote)
 	s.handler = observe(s.mux, opts.AccessLog)
+	if opts.Standby.PrimaryURL != "" {
+		store.SetReadOnly(true)
+		s.repl = NewReplicator(store, opts.Standby)
+		s.repl.Start()
+	}
 	return s, nil
 }
 
 // Store exposes the underlying session store (load drivers, tests).
 func (s *Server) Store() *Store { return s.store }
 
-// Close stops the store's background recalculation workers.
-func (s *Server) Close() { s.store.Close() }
+// Close stops the replicator (if any) and the store's background workers.
+func (s *Server) Close() {
+	if s.repl != nil {
+		s.repl.Close()
+	}
+	s.store.Close()
+}
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. A standby stamps every response with
+// its replication lag, so readers that tolerate staleness can see how stale.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.repl != nil && s.store.ReadOnly() {
+		h := w.Header()
+		h.Set("X-Replication-Lag-Rev", strconv.FormatUint(s.repl.LagRevs(), 10))
+		h.Set("X-Replication-Lag-Ms", strconv.FormatInt(s.repl.LagMs(), 10))
+	}
+	s.handler.ServeHTTP(w, r)
+}
+
+// fenceWrites rejects the request on a standby store. Every mutating
+// handler calls it first; shipped records bypass it (ApplyReplicated is not
+// an HTTP path).
+func (s *Server) fenceWrites(w http.ResponseWriter) bool {
+	if !s.store.ReadOnly() {
+		return false
+	}
+	writeErr(w, http.StatusServiceUnavailable, ErrStandby)
+	return true
+}
 
 // ---------------------------------------------------------------------------
 // Wire types
@@ -213,6 +255,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
+	switch status {
+	case http.StatusInsufficientStorage, http.StatusServiceUnavailable:
+		// Degraded sessions and standbys heal on their own (background
+		// repair, promotion): tell well-behaved clients when to come back.
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
@@ -222,12 +270,19 @@ func errStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrSessionDeleted):
 		return http.StatusGone
+	case errors.Is(err, ErrSessionDegraded):
+		return http.StatusInsufficientStorage
+	case errors.Is(err, ErrStandby):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.fenceWrites(w) {
+		return
+	}
 	var req CreateRequest
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
@@ -263,6 +318,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCreateXLSX(w http.ResponseWriter, r *http.Request) {
+	if s.fenceWrites(w) {
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxUploadBytes+1))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -365,6 +423,9 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.fenceWrites(w) {
+		return
+	}
 	if err := s.store.Delete(r.PathValue("id")); err != nil {
 		writeErr(w, errStatus(err), err)
 		return
@@ -373,6 +434,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
+	if s.fenceWrites(w) {
+		return
+	}
 	id := r.PathValue("id")
 	var batch EditBatch
 	// The same byte cap as uploads: json.Decoder buffers strings in full,

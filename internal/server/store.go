@@ -24,6 +24,7 @@ import (
 
 	"taco/internal/core"
 	"taco/internal/engine"
+	"taco/internal/faultfs"
 	"taco/internal/journal"
 )
 
@@ -180,6 +181,16 @@ type Session struct {
 	// at restore; the file is quarantined and every touch returns
 	// ErrSnapshotCorrupt rather than serving bad data. Guarded by mu.
 	corrupt bool
+	// Degradation state (degrade.go), guarded by mu: while degraded, writes
+	// are fenced with ErrSessionDegraded (reads still serve) and the store's
+	// repair worker retries the broken durability path on repairBackoff.
+	// pendingRecs buffers acknowledged batches whose journal append failed,
+	// in rev order, until the repairer lands them.
+	degraded       bool
+	degradedReason string
+	degradedSince  time.Time
+	pendingRecs    []pendingRecord
+	repairBackoff  journal.Backoff
 
 	shard *shard
 	elem  *list.Element // LRU position; nil while spilled (guarded by shard.mu)
@@ -260,6 +271,23 @@ type Store struct {
 	reg       *journal.Registry
 	ckptBytes int64 // journal size that makes a spill checkpoint the registry
 
+	// repq is the degraded-session repair queue (degrade.go): one worker,
+	// deduplicated entries, per-session capped backoff between attempts.
+	// Lock order: repq.mu is a leaf, safe under a session lock.
+	repq struct {
+		mu     sync.Mutex
+		cond   *sync.Cond
+		queue  []*Session
+		queued map[*Session]bool
+		closed bool
+	}
+	degradedCount atomic.Int64
+
+	// readOnly fences every write path with ErrStandby (503): the store is
+	// following a primary and applies nothing except shipped records.
+	// Promotion flips it off (replication.go).
+	readOnly atomic.Bool
+
 	clock       atomic.Uint64
 	hits        atomic.Uint64
 	misses      atomic.Uint64
@@ -299,6 +327,10 @@ func NewStore(opts StoreOptions) (*Store, error) {
 		st.bootRecover()
 	}
 	st.rq.cond = sync.NewCond(&st.rq.mu)
+	st.repq.cond = sync.NewCond(&st.repq.mu)
+	st.repq.queued = make(map[*Session]bool)
+	st.wg.Add(1)
+	go st.repairWorker()
 	if opts.RecalcPoolSize > 0 {
 		st.pool = newEvalPool(opts.RecalcPoolSize)
 	}
@@ -342,6 +374,12 @@ func (st *Store) Close() {
 		st.rq.cond.Broadcast()
 	}
 	st.rq.mu.Unlock()
+	st.repq.mu.Lock()
+	if !st.repq.closed {
+		st.repq.closed = true
+		st.repq.cond.Broadcast()
+	}
+	st.repq.mu.Unlock()
 	st.wg.Wait()
 	if st.pool != nil && !closed {
 		st.pool.close()
@@ -659,13 +697,17 @@ func (st *Store) View(id string, fn func(*Session, *engine.Engine) error) error 
 
 // Update runs fn with the session's engine under the session write lock,
 // restoring it from its spill file first when necessary. When fn returns nil
-// and bumpRev is true, the revision counter is incremented.
+// and bumpRev is true, the revision counter is incremented. Revision-bumping
+// updates (the write path) are fenced while the session is degraded.
 func (st *Store) Update(id string, bumpRev bool, fn func(*Session, *engine.Engine) error) error {
 	s, err := st.lookup(id)
 	if err != nil {
 		return err
 	}
 	return st.withResident(s, func(eng *engine.Engine) error {
+		if bumpRev && s.degraded {
+			return ErrSessionDegraded
+		}
 		if err := fn(s, eng); err != nil {
 			return err
 		}
@@ -881,6 +923,11 @@ func (st *Store) Delete(id string) error {
 	s.eng = nil
 	s.graph = nil
 	s.graphBlob = nil
+	if s.degraded {
+		s.degraded = false
+		s.pendingRecs = nil
+		st.degradedCount.Add(-1)
+	}
 	jw := s.jw
 	s.jw = nil
 	// Unlink from the LRU while still holding s.mu (the permitted s.mu ->
@@ -944,9 +991,15 @@ func (st *Store) evictOverflow() {
 		if err := st.spill(victim); err != nil {
 			// Spill failure (disk full, unsnapshottable content): put the
 			// victim back so it stays servable, mark it so coldest skips
-			// it from now on, and keep shrinking with other victims.
+			// it from now on, and keep shrinking with other victims. The
+			// session degrades — reads fine, writes fenced — until the
+			// repair worker lands a snapshot again.
 			mSpillErrors.Inc()
 			victim.unevictable.Store(true)
+			victim.mu.Lock()
+			st.degradeLocked(victim, degradedSpill, nil)
+			victim.mu.Unlock()
+			st.scheduleRepair(victim)
 			sh := victim.shard
 			sh.mu.Lock()
 			if victim.elem == nil {
@@ -1078,7 +1131,7 @@ func (st *Store) spill(victim *Session) error {
 // passes vacuously). With a pinned graph the restore decodes only the cell
 // section and rebuilds around it.
 func (st *Store) readSpill(id string, pinned *core.Graph) (*engine.Engine, error) {
-	data, err := os.ReadFile(st.spillPath(id))
+	data, err := faultfs.ReadFile(st.spillPath(id))
 	if err != nil {
 		return nil, err
 	}
@@ -1143,6 +1196,13 @@ type StoreStats struct {
 	// QuarantinedSnapshots counts spill files that failed their integrity
 	// check and were renamed aside as *.corrupt.
 	QuarantinedSnapshots uint64 `json:"quarantined_snapshots,omitempty"`
+	// DegradedSessions is the number of sessions currently write-fenced by a
+	// durability fault (journal append or snapshot write failure) awaiting
+	// background repair.
+	DegradedSessions int `json:"degraded_sessions,omitempty"`
+	// ReadOnly reports a standby store: writes are rejected with 503 until
+	// promotion.
+	ReadOnly bool `json:"read_only,omitempty"`
 }
 
 // Stats summarises the store.
@@ -1182,5 +1242,7 @@ func (st *Store) Stats() StoreStats {
 		RecoveredSessions:    st.recovered.Load(),
 		ReplayedRecords:      st.replayed.Load(),
 		QuarantinedSnapshots: st.quarantined.Load(),
+		DegradedSessions:     int(st.degradedCount.Load()),
+		ReadOnly:             st.readOnly.Load(),
 	}
 }

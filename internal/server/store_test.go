@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"taco/internal/engine"
 )
@@ -149,14 +151,37 @@ func TestSpillFailureDoesNotStallStore(t *testing.T) {
 	b := store.Create("b", engine.New(nil)) // triggers eviction; spill fails
 	c := store.Create("c", engine.New(nil)) // must not loop forever on the bad victims
 
-	// All three stay resident (nothing could be spilled) and servable.
+	// All three stay resident (nothing could be spilled) and readable; the
+	// spill failures degrade their victims, so writes may be fenced with
+	// ErrSessionDegraded — but never fail any other way, and never stall.
 	for _, s := range []*Session{a, b, c} {
-		if err := store.Update(s.ID, true, func(*Session, *engine.Engine) error { return nil }); err != nil {
-			t.Fatalf("session %s unservable after spill failure: %v", s.ID, err)
+		if err := store.View(s.ID, func(*Session, *engine.Engine) error { return nil }); err != nil {
+			t.Fatalf("session %s unreadable after spill failure: %v", s.ID, err)
+		}
+		err := store.Update(s.ID, true, func(*Session, *engine.Engine) error { return nil })
+		if err != nil && !errors.Is(err, ErrSessionDegraded) {
+			t.Fatalf("session %s write after spill failure: %v", s.ID, err)
 		}
 	}
 	if st := store.Stats(); st.Resident != 3 || st.Evictions != 0 {
 		t.Fatalf("stats = %+v", st)
+	}
+	// Heal the disk: the background repairer re-arms every victim and lifts
+	// the write fence.
+	if err := os.MkdirAll(spill, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Stats().DegradedSessions > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("degraded sessions never repaired: %+v", store.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, s := range []*Session{a, b, c} {
+		if err := store.Update(s.ID, true, func(*Session, *engine.Engine) error { return nil }); err != nil {
+			t.Fatalf("session %s write after repair: %v", s.ID, err)
+		}
 	}
 }
 

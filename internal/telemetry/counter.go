@@ -190,8 +190,14 @@ func (v *CounterVec) With(values ...string) *Counter { return v.with(values) }
 func (v *CounterVec) metricName() string { return v.name }
 
 func (v *CounterVec) writeTo(b *strings.Builder) {
+	children := v.sortedChildren()
+	if len(children) == 0 {
+		// A family with no series yet is omitted entirely (standard
+		// exposition semantics): a header with no samples is a lint error.
+		return
+	}
 	writeHeader(b, v.name, v.help, "counter")
-	for _, c := range v.sortedChildren() {
+	for _, c := range children {
 		writeSample(b, v.name, c.labels, float64(c.v.Load()))
 	}
 }

@@ -170,8 +170,14 @@ func (v *HistogramVec) With(values ...string) *Histogram { return v.with(values)
 func (v *HistogramVec) metricName() string { return v.name }
 
 func (v *HistogramVec) writeTo(b *strings.Builder) {
+	children := v.sortedChildren()
+	if len(children) == 0 {
+		// Empty families are omitted, matching CounterVec: a header with no
+		// samples is a lint error.
+		return
+	}
 	writeHeader(b, v.name, v.help, "histogram")
-	for _, h := range v.sortedChildren() {
+	for _, h := range children {
 		h.writeSamples(b)
 	}
 }
