@@ -31,9 +31,11 @@ race:
 # parse-cache hit rate) to the report; benchdiff ignores unknown fields.
 # -standby-url inproc boots a warm standby shipping the primary's journals,
 # so the baseline measures the replicated configuration and reports the
-# replication lag mirrored reads observed.
+# replication lag mirrored reads observed. -churn-rounds exercises the
+# delta-snapshot spill path (spill_bytes_per_edit) and -fork-storm the
+# copy-on-write fork latency (fork_p50_ms); benchdiff gates both.
 bench-server:
-	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -durable -metrics-url /metrics -standby-url inproc -json > BENCH_server.json
+	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -durable -churn-rounds 4 -fork-storm 64 -metrics-url /metrics -standby-url inproc -json > BENCH_server.json
 	@cat BENCH_server.json
 
 # Core traversal/maintenance microbenchmarks. CI smoke-runs every benchmark
@@ -66,7 +68,7 @@ fuzz-smoke:
 # pattern-run drain speedup under its baseline floor (3x on the 100k-row
 # column shape; enforced on every host — the advantage is algorithmic).
 perf-check:
-	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -durable -metrics-url /metrics -standby-url inproc -json > /tmp/taco_bench_server.json
+	$(GO) run ./cmd/tacoload -sessions 32 -edits 100 -rows 100 -max-resident 12 -durable -churn-rounds 4 -fork-storm 64 -metrics-url /metrics -standby-url inproc -json > /tmp/taco_bench_server.json
 	$(GO) run ./cmd/benchdiff -tol 0.25 BENCH_server.json /tmp/taco_bench_server.json
 	$(GO) run ./cmd/tacoeval -json > /tmp/taco_bench_eval.json
 	$(GO) run ./cmd/benchdiff -tol 0.25 -min-speedup 2.0 BENCH_eval.json /tmp/taco_bench_eval.json

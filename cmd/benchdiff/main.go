@@ -12,8 +12,12 @@
 //     drop more than tol below the baseline; read_p50_during_drain_ms (the
 //     drain probe's mid-drain read latency) must not rise more than tol
 //     above it (plus a small absolute grace for sub-millisecond noise), and
-//     drain_cells_per_sec must not drop more than tol below it. The drain
-//     series are gated only when the baseline carries them, so old
+//     drain_cells_per_sec must not drop more than tol below it. Two
+//     structural-sharing series gate the same way: spill_bytes_per_edit
+//     (eviction write amplification — the delta-snapshot win) must not rise
+//     more than tol above the baseline, and fork_p50_ms (copy-on-write fork
+//     latency) must not rise more than tol plus the latency grace. Every
+//     optional series is gated only when the baseline carries it, so old
 //     baselines stay comparable.
 //   - "eval" (BENCH_eval.json / tacoeval -json): per shape, ns_op_bulk must
 //     not rise more than tol above the baseline, and the bulk-vs-percell
@@ -47,6 +51,8 @@ type serverReport struct {
 	EditsPerSec          float64 `json:"edits_per_sec"`
 	ReadP50DuringDrainMs float64 `json:"read_p50_during_drain_ms"`
 	DrainCellsPerSec     float64 `json:"drain_cells_per_sec"`
+	SpillBytesPerEdit    float64 `json:"spill_bytes_per_edit"`
+	ForkP50Ms            float64 `json:"fork_p50_ms"`
 }
 
 // latencyGraceMs is absolute headroom added to latency ceilings: a p50 of a
@@ -151,6 +157,34 @@ func main() {
 				failures = append(failures, fmt.Sprintf(
 					"drain_cells_per_sec regressed: %.0f -> %.0f (>%.0f%% drop)",
 					base.DrainCellsPerSec, cur.DrainCellsPerSec, *tol*100))
+			}
+		}
+		// Spill write amplification: bytes the store wrote per journaled edit
+		// (delta snapshots exist to keep this small under eviction churn).
+		// Gated only when the baseline carries the series, so older baselines
+		// stay comparable.
+		if base.SpillBytesPerEdit > 0 {
+			ceiling := base.SpillBytesPerEdit * (1 + *tol)
+			fmt.Printf("spill write amp: baseline %.1f B/edit, current %.1f (ceiling %.1f)\n",
+				base.SpillBytesPerEdit, cur.SpillBytesPerEdit, ceiling)
+			if cur.SpillBytesPerEdit > ceiling {
+				failures = append(failures, fmt.Sprintf(
+					"spill_bytes_per_edit regressed: %.1f -> %.1f (>%.0f%% rise)",
+					base.SpillBytesPerEdit, cur.SpillBytesPerEdit, *tol*100))
+			}
+		}
+		// Copy-on-write fork latency: must stay flat regardless of how large
+		// the parent sheet is — that O(1) shape is the point of forks sharing
+		// the parent's base + delta chain. Same absolute grace as the other
+		// latency gate: fork p50s are fractions of a millisecond.
+		if base.ForkP50Ms > 0 {
+			ceiling := base.ForkP50Ms*(1+*tol) + latencyGraceMs
+			fmt.Printf("fork p50: baseline %.3fms, current %.3fms (ceiling %.3fms)\n",
+				base.ForkP50Ms, cur.ForkP50Ms, ceiling)
+			if cur.ForkP50Ms > ceiling {
+				failures = append(failures, fmt.Sprintf(
+					"fork_p50_ms regressed: %.3f -> %.3f (ceiling %.3f)",
+					base.ForkP50Ms, cur.ForkP50Ms, ceiling))
 			}
 		}
 	case "eval":

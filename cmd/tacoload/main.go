@@ -117,6 +117,18 @@ type config struct {
 	// configuration.
 	Durable     bool   `json:"durable,omitempty"`
 	FsyncPolicy string `json:"fsync,omitempty"`
+	// DeltaSnapshots enables base + delta-chain spills on the in-process
+	// durable server (tacoserve's -delta-snapshots).
+	DeltaSnapshots bool `json:"delta_snapshots,omitempty"`
+	// ChurnRounds appends value-only single-edit rounds over every load
+	// session after the main workload — with -max-resident below the session
+	// count each round is an eviction-churn pass, the shape whose spill
+	// write-amplification delta snapshots collapse.
+	ChurnRounds int `json:"churn_rounds,omitempty"`
+	// ForkStorm forks the first load session this many times after the
+	// workload (POST /sessions/{id}/fork), measuring copy-on-write fork
+	// latency; children are deleted afterwards.
+	ForkStorm int `json:"fork_storm,omitempty"`
 	// Recalc knobs for the in-process server (0 = store defaults).
 	RecalcParallelism int `json:"recalc_parallelism,omitempty"`
 	RecalcWorkers     int `json:"recalc_workers,omitempty"`
@@ -160,6 +172,17 @@ type report struct {
 	ReadsDuringDrain     int     `json:"reads_during_drain"`
 	ReadP50DuringDrainMs float64 `json:"read_p50_during_drain_ms"`
 	DrainCellsPerSec     float64 `json:"drain_cells_per_sec"`
+	// SpillBytesPerEdit is the server's spill traffic over the whole run
+	// (taco_store_spill_bytes_total scrape delta, delta files included)
+	// divided by the edits applied — the write-amplification figure delta
+	// snapshots exist to shrink. Present only with -metrics-url. Gated by
+	// benchdiff.
+	SpillBytesPerEdit float64 `json:"spill_bytes_per_edit,omitempty"`
+	// Fork-storm series (-fork-storm): copy-on-write fork latency. The p50 is
+	// gated by benchdiff — it must stay flat as parent sheets grow.
+	Forks     int     `json:"forks,omitempty"`
+	ForkP50Ms float64 `json:"fork_p50_ms,omitempty"`
+	ForkP99Ms float64 `json:"fork_p99_ms,omitempty"`
 	// ServerMetrics carries server-side telemetry deltas between a /metrics
 	// scrape before the workload and one after the drain probe — the
 	// server's own account of the run, next to the client-side percentiles
@@ -204,6 +227,9 @@ type serverMetricsDelta struct {
 	Evictions         float64 `json:"evictions"`
 	SnapshotSkips     float64 `json:"snapshot_skips"`
 	SpillBytes        float64 `json:"spill_bytes"`
+	DeltaWrites       float64 `json:"delta_writes,omitempty"`
+	DeltaBytes        float64 `json:"delta_bytes,omitempty"`
+	DeltaCompactions  float64 `json:"delta_compactions,omitempty"`
 	Restores          float64 `json:"restores"`
 	ScheduleBuilds    float64 `json:"schedule_builds"`
 	ScheduleResumes   float64 `json:"schedule_resumes"`
@@ -240,6 +266,9 @@ func metricsDelta(before, after *telemetry.Scrape) *serverMetricsDelta {
 	d.Evictions = counter("taco_store_evictions_total")
 	d.SnapshotSkips = counter("taco_store_snapshot_skips_total")
 	d.SpillBytes = counter("taco_store_spill_bytes_total")
+	d.DeltaWrites = counter("taco_snap_delta_writes_total")
+	d.DeltaBytes = counter("taco_snap_delta_bytes_total")
+	d.DeltaCompactions = counter("taco_snap_delta_compactions_total")
 	d.Restores = counter("taco_store_restores_total")
 	d.ScheduleBuilds = counter("taco_sched_builds_total")
 	d.ScheduleResumes = counter("taco_sched_resumes_total")
@@ -284,6 +313,9 @@ func main() {
 	maxResident := flag.Int("max-resident", 0, "in-process server only: session cap forcing spill traffic")
 	durable := flag.Bool("durable", false, "in-process server only: journal edits and persist the session registry (crash-safe configuration)")
 	fsyncPolicy := flag.String("fsync", "interval", "in-process server only: journal fsync policy with -durable: always|interval|never")
+	deltaSnapshots := flag.Bool("delta-snapshots", true, "in-process server only: spill value-only edit tails as delta files chained off the base snapshot")
+	churnRounds := flag.Int("churn-rounds", 0, "after the workload, this many round-robin rounds of one value edit per session (with -max-resident below -sessions: pure eviction churn, the delta-snapshot target shape)")
+	forkStorm := flag.Int("fork-storm", 0, "after the workload, fork the first load session this many times and report fork latency percentiles (needs -durable in-process)")
 	replay := flag.Bool("replay", false, "crash-recovery verification: rediscover this workload's loadN sessions on the target server, regenerate their edit streams from the same flags, and require every cell to match a never-crashed local replay")
 	recalcPar := flag.Int("recalc-parallelism", 0, "in-process server only: wavefront evaluators per level (0 = auto, -1 = serial)")
 	recalcWorkers := flag.Int("recalc-workers", 0, "in-process server only: background drain workers (0 = auto)")
@@ -318,6 +350,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tacoload: -standby-read-ratio must be >= 0")
 		os.Exit(2)
 	}
+	if *churnRounds < 0 || *forkStorm < 0 {
+		fmt.Fprintln(os.Stderr, "tacoload: -churn-rounds and -fork-storm must be >= 0")
+		os.Exit(2)
+	}
+	if *forkStorm > 0 && (*addr == "" || *inproc) && !*durable {
+		// Fork is a registry operation: the in-process server needs -durable.
+		fmt.Fprintln(os.Stderr, "tacoload: -fork-storm needs -durable")
+		os.Exit(2)
+	}
 	if *standbyURL == "inproc" && (*addr == "" || *inproc) && !*durable {
 		// Journal shipping needs a journaling primary: without -durable the
 		// in-process server has no journals to tail.
@@ -329,7 +370,8 @@ func main() {
 		Edits: *edits, Batch: *batch, ReadRatio: *readRatio, FormulaRatio: *formulaRatio,
 		FlushRatio: *flushRatio, Scenario: *scenario,
 		Seed: *seed, MaxResident: *maxResident,
-		Durable: *durable, FsyncPolicy: *fsyncPolicy,
+		Durable: *durable, FsyncPolicy: *fsyncPolicy, DeltaSnapshots: *deltaSnapshots,
+		ChurnRounds: *churnRounds, ForkStorm: *forkStorm,
 		RecalcParallelism: *recalcPar, RecalcWorkers: *recalcWorkers,
 		DrainSessions: *drainSessions, DrainFanout: *drainFanout,
 		DrainSpan: *drainSpan, DrainProbes: *drainProbes,
@@ -393,6 +435,7 @@ func run(cfg config) (*report, error) {
 		srv, err := server.NewServer(server.Options{Store: server.StoreOptions{
 			MaxResident: cfg.MaxResident, SpillDir: spill,
 			Durable: cfg.Durable, FsyncPolicy: cfg.FsyncPolicy,
+			DeltaSnapshots:    cfg.DeltaSnapshots,
 			RecalcParallelism: cfg.RecalcParallelism, RecalcWorkers: cfg.RecalcWorkers,
 		}})
 		if err != nil {
@@ -421,7 +464,7 @@ func run(cfg config) (*report, error) {
 		}
 		defer os.RemoveAll(sbySpill)
 		sby, err := server.NewServer(server.Options{
-			Store:   server.StoreOptions{SpillDir: sbySpill, Durable: true, FsyncPolicy: cfg.FsyncPolicy},
+			Store:   server.StoreOptions{SpillDir: sbySpill, Durable: true, FsyncPolicy: cfg.FsyncPolicy, DeltaSnapshots: cfg.DeltaSnapshots},
 			Standby: server.StandbyOptions{PrimaryURL: base, Interval: 0},
 		})
 		if err != nil {
@@ -480,6 +523,9 @@ func run(cfg config) (*report, error) {
 
 	begin := time.Now()
 	var wg sync.WaitGroup
+	// Session IDs by worker index, for the churn and fork phases after the
+	// workload. Each worker writes only its own slot; wg.Wait publishes them.
+	ids := make([]string, cfg.Sessions)
 	errc := make(chan error, cfg.Sessions)
 	for i := 0; i < cfg.Sessions; i++ {
 		wg.Add(1)
@@ -497,6 +543,7 @@ func run(cfg config) (*report, error) {
 				return
 			}
 			record("create", start)
+			ids[i] = info.ID
 
 			// The same sheet, regenerated locally, scripts the edit stream.
 			sheet, err := workload.BuildScenario(scen, cfg.Rows, rand.New(rand.NewSource(seed)))
@@ -666,6 +713,48 @@ func run(cfg config) (*report, error) {
 	}
 	elapsed := time.Since(begin)
 	mainRequests := len(samples) // probe samples below must not inflate req/s
+	mainEdits := editsApplied    // churn edits below must not inflate edits/s
+
+	// Eviction-churn rounds: one value edit per session, round-robin. With
+	// -max-resident below -sessions every touch faults a cold session in and
+	// evicts another whose journal tail since its snapshot is a single value
+	// edit — the shape delta snapshots collapse from O(sheet) to O(edit)
+	// spill bytes. Serial on purpose: interleaving across sessions defeats
+	// LRU reuse and maximizes churn.
+	if cfg.ChurnRounds > 0 {
+		for r := 0; r < cfg.ChurnRounds; r++ {
+			for i, id := range ids {
+				v := float64(r*len(ids) + i)
+				eb := server.EditBatch{Edits: []server.EditOp{{Cell: "A1", Value: &v}}}
+				start := time.Now()
+				var res server.EditResult
+				if err := call(client, "POST", base+"/sessions/"+id+"/edits", eb, &res); err != nil {
+					return nil, fmt.Errorf("churn round %d session %d: %w", r, i, err)
+				}
+				record("churn_edits", start)
+				editsApplied += res.Applied
+			}
+		}
+	}
+
+	// Fork storm: repeated copy-on-write forks of the first load session.
+	// Children are deleted immediately — the probe measures fork latency and
+	// the refcounted release of shared base/delta artifacts, not store growth.
+	if cfg.ForkStorm > 0 {
+		parent := ids[0]
+		for n := 0; n < cfg.ForkStorm; n++ {
+			start := time.Now()
+			var child server.SessionInfo
+			if err := call(client, "POST", base+"/sessions/"+parent+"/fork",
+				server.ForkRequest{Name: fmt.Sprintf("storm%d", n)}, &child); err != nil {
+				return nil, fmt.Errorf("fork %d: %w", n, err)
+			}
+			record("fork", start)
+			if err := call(client, "DELETE", base+"/sessions/"+child.ID, nil, nil); err != nil {
+				return nil, fmt.Errorf("fork %d delete: %w", n, err)
+			}
+		}
+	}
 
 	// The mixed read + giant-drain probe: dedicated wide-fanout sessions,
 	// dirtied wholesale and read while the background drain runs.
@@ -696,9 +785,9 @@ func run(cfg config) (*report, error) {
 		Config:               cfg,
 		ElapsedMs:            float64(elapsed.Microseconds()) / 1000,
 		Requests:             mainRequests,
-		EditsApplied:         editsApplied,
+		EditsApplied:         mainEdits,
 		RequestsPerS:         float64(mainRequests) / elapsed.Seconds(),
-		EditsPerS:            float64(editsApplied) / elapsed.Seconds(),
+		EditsPerS:            float64(mainEdits) / elapsed.Seconds(),
 		Reads:                reads,
 		PendingReads:         pendingReads,
 		Flushes:              flushes,
@@ -723,12 +812,22 @@ func run(cfg config) (*report, error) {
 		}
 		rep.Standby = sr
 	}
+	if cfg.ForkStorm > 0 {
+		fs := lat["fork"]
+		rep.Forks = cfg.ForkStorm
+		rep.ForkP50Ms, rep.ForkP99Ms = fs.P50Ms, fs.P99Ms
+	}
 	if metricsBefore != nil {
 		after, err := scrapeMetrics(client, metricsURL)
 		if err != nil {
 			return nil, fmt.Errorf("metrics scrape: %w", err)
 		}
 		rep.ServerMetrics = metricsDelta(metricsBefore, after)
+		// Write amplification over every edit the server journaled, churn
+		// included — the spill traffic in the numerator covers the whole run.
+		if editsApplied > 0 {
+			rep.SpillBytesPerEdit = rep.ServerMetrics.SpillBytes / float64(editsApplied)
+		}
 	}
 	return rep, nil
 }
@@ -990,7 +1089,7 @@ func printReport(r *report) {
 	fmt.Printf("elapsed %.1fms  |  %d requests (%.0f req/s)  |  %d edits (%.0f edits/s)  |  mean dirty/batch %.1f\n\n",
 		r.ElapsedMs, r.Requests, r.RequestsPerS, r.EditsApplied, r.EditsPerS, r.DirtyPerBatch)
 	tbl := stats.NewTable("op", "count", "mean", "p50", "p90", "p99", "max")
-	for _, k := range []string{"create", "edits", "dependents", "cells", "standby_cells", "flush", "read_during_drain"} {
+	for _, k := range []string{"create", "edits", "churn_edits", "fork", "dependents", "cells", "standby_cells", "flush", "read_during_drain"} {
 		s, ok := r.Latency[k]
 		if !ok {
 			continue
@@ -1015,6 +1114,13 @@ func printReport(r *report) {
 			sm.DrainHoldP50Ms, sm.DrainHoldP99Ms, sm.DrainHoldSamples, sm.CellsEvaluated, sm.ParseCacheHitRate*100)
 		fmt.Printf("                %.0f evictions (%.0f snapshot skips, %.0f spill bytes), %.0f restores  |  %.0f schedule builds, %.0f resumes\n",
 			sm.Evictions, sm.SnapshotSkips, sm.SpillBytes, sm.Restores, sm.ScheduleBuilds, sm.ScheduleResumes)
+		if sm.DeltaWrites > 0 || r.Config.DeltaSnapshots {
+			fmt.Printf("                %.0f delta spills (%.0f bytes, %.0f compactions)  |  %.2f spill bytes/edit\n",
+				sm.DeltaWrites, sm.DeltaBytes, sm.DeltaCompactions, r.SpillBytesPerEdit)
+		}
+	}
+	if r.Forks > 0 {
+		fmt.Printf("fork storm: %d forks  |  p50 %.3fms  p99 %.3fms\n", r.Forks, r.ForkP50Ms, r.ForkP99Ms)
 	}
 }
 

@@ -17,6 +17,7 @@
 //	GET    /sessions                   list sessions
 //	GET    /sessions/{id}              session stats (rev, cells, graph sizes)
 //	DELETE /sessions/{id}              drop a session
+//	POST   /sessions/{id}/fork         copy-on-write fork of the session (durable stores)
 //	POST   /sessions/{id}/edits        batched edits {"edits":[{"cell":"B2","value":3},...]}
 //	GET    /sessions/{id}/cells        ?at=B2 or ?range=A1:C10
 //	GET    /sessions/{id}/dependents   ?of=A1:A3
@@ -95,6 +96,8 @@ func main() {
 	durable := flag.Bool("durable", false, "journal edits and persist the session registry in -spill-dir; restarts recover every session")
 	fsyncPolicy := flag.String("fsync", "interval", "journal fsync policy with -durable: always|interval|never")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "background journal flush period with -fsync interval (0 = default 50ms)")
+	deltaSnapshots := flag.Bool("delta-snapshots", true, "with -durable: spill value-only edit tails as delta files chained off the base snapshot instead of rewriting it")
+	deltaMaxChain := flag.Int("delta-max-chain", 0, "delta chain length that forces compaction into a fresh full base (0 = default 16)")
 	recalcPar := flag.Int("recalc-parallelism", 0, "wavefront evaluators per session level (0 = CPUs capped at 8, -1 = serial)")
 	recalcWorkers := flag.Int("recalc-workers", 0, "background drain workers pulling sessions off the recalc queue (0 = CPUs, -1 = disable background draining)")
 	recalcChunk := flag.Int("recalc-chunk", 0, "evaluations per session-lock hold while draining (0 = default 256); readers interleave between holds")
@@ -133,6 +136,8 @@ func main() {
 			Durable:           *durable,
 			FsyncPolicy:       *fsyncPolicy,
 			FsyncInterval:     *fsyncInterval,
+			DeltaSnapshots:    *deltaSnapshots,
+			DeltaMaxChain:     *deltaMaxChain,
 		},
 		AccessLog: al,
 	}
@@ -206,8 +211,8 @@ func main() {
 	eff := srv.Store().Options()
 	durability := "off"
 	if eff.Durable {
-		durability = fmt.Sprintf("fsync=%s interval=%s recovered=%d",
-			*fsyncPolicy, eff.FsyncInterval, srv.Store().Stats().RecoveredSessions)
+		durability = fmt.Sprintf("fsync=%s interval=%s delta-snapshots=%t recovered=%d",
+			*fsyncPolicy, eff.FsyncInterval, eff.DeltaSnapshots, srv.Store().Stats().RecoveredSessions)
 	}
 	role := "primary"
 	if *standby {

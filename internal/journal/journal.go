@@ -43,11 +43,15 @@ import (
 	"taco/internal/faultfs"
 )
 
-// Magic values identifying the two log kinds. Same length by design: the
+// Magic values identifying the three log kinds. Same length by design: the
 // scanner slices its header buffer by the magic it is given.
 var (
 	JournalMagic  = []byte("TACOJ1")
 	RegistryMagic = []byte("TACOR1")
+	// DeltaMagic heads delta snapshot files (<id>.<rev>.tacod): the journal
+	// record framing carrying the edit-codec payloads that advance a base
+	// snapshot to a later revision.
+	DeltaMagic = []byte("TACOD1")
 )
 
 // MaxRecordBytes bounds one record's body — comfortably above the server's

@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -246,6 +247,66 @@ func TestRegistryRoundTripAndCompaction(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("reloaded registry = %v, want %v", got, want)
+	}
+}
+
+// TestRegistryChainExtensionCompat pins the delta-chain extension's
+// compatibility contract from both directions: a chain-free entry encodes
+// byte-identically to the pre-extension format (so registries written by
+// this build open under old decoders), and a registry written before the
+// extension existed — simulated by those identical bytes — opens warm here,
+// decoding to entries with empty chain state. Chained entries round-trip
+// through close/reopen.
+func TestRegistryChainExtensionCompat(t *testing.T) {
+	// Byte-identity with the pre-extension layout: ID, Name, uvarint
+	// SnapRev, held byte — and nothing after.
+	plain := Entry{ID: "aaa", Name: "old", SnapRev: 300, SnapHeld: true}
+	var want []byte
+	want = appendString(want, plain.ID)
+	want = appendString(want, plain.Name)
+	var vb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(vb[:], plain.SnapRev)
+	want = append(want, vb[:n]...)
+	want = append(want, 1)
+	if got := appendEntry(nil, plain); !bytes.Equal(got, want) {
+		t.Fatalf("chain-free entry encoding diverged from the pre-extension format:\ngot  %x\nwant %x", got, want)
+	}
+
+	// An "old" registry — only chain-free entries — opens warm with empty
+	// chain state.
+	path := filepath.Join(t.TempDir(), "sessions.tacor")
+	r, err := OpenRegistry(path, SyncNever, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(plain); err != nil {
+		t.Fatal(err)
+	}
+	chained := Entry{
+		ID: "bbb", Name: "forked", SnapRev: 7, SnapHeld: true,
+		BaseID: "aaa", BaseRev: 3,
+		Chain: []ChainLink{{ID: "aaa", Rev: 5}, {ID: "bbb", Rev: 7}},
+	}
+	if err := r.Put(chained); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := OpenRegistry(path, SyncNever, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	got := map[string]Entry{}
+	for _, e := range r2.Entries() {
+		got[e.ID] = e
+	}
+	if !reflect.DeepEqual(got["aaa"], plain) {
+		t.Fatalf("pre-extension entry = %+v, want %+v", got["aaa"], plain)
+	}
+	if !reflect.DeepEqual(got["bbb"], chained) {
+		t.Fatalf("chained entry = %+v, want %+v", got["bbb"], chained)
 	}
 }
 

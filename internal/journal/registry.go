@@ -29,6 +29,21 @@ const (
 // maxRegistryString bounds ID and name fields on decode.
 const maxRegistryString = 4096
 
+// maxRegistryChain bounds the delta-chain length on decode; compaction
+// policies keep real chains far shorter.
+const maxRegistryChain = 4096
+
+// ChainLink is one delta record file in a session's snapshot chain: the
+// file <ID>.<Rev>.tacod holds the value-only edits that carry the state
+// from the previous link (or the base) up to Rev.
+type ChainLink struct {
+	// ID is the session that wrote the delta file (a fork's early links
+	// belong to its parent).
+	ID string
+	// Rev is the revision the chain reaches after replaying this link.
+	Rev uint64
+}
+
 // Entry is one registered session.
 type Entry struct {
 	// ID is the session identifier; the spill file is <ID>.tacos and the
@@ -36,12 +51,23 @@ type Entry struct {
 	ID string
 	// Name is the client-supplied session label, preserved across restarts.
 	Name string
-	// SnapRev is the revision the session's snapshot holds; journal records
-	// with rev > SnapRev are the replay tail.
+	// SnapRev is the revision the session's snapshot state (base plus delta
+	// chain) holds; journal records with rev > SnapRev are the replay tail.
 	SnapRev uint64
-	// SnapHeld reports whether a snapshot file exists at all (a never-edited
+	// SnapHeld reports whether snapshot state exists at all (a never-edited
 	// blank session has none; restore starts from an empty engine).
 	SnapHeld bool
+	// BaseID, when non-empty, names the session whose frozen base snapshot
+	// (<BaseID>.<BaseRev>.tacob) this entry's chain is rooted on — the
+	// copy-on-write sharing edge. Empty means the session's own <ID>.tacos
+	// file is the base.
+	BaseID string
+	// BaseRev is the revision the frozen base holds. Meaningful only when
+	// BaseID is non-empty (an own-file base is at SnapRev minus the chain).
+	BaseRev uint64
+	// Chain lists the delta files to replay, in order, on top of the base.
+	// Empty means the base alone is the snapshot state.
+	Chain []ChainLink
 }
 
 // Registry is the persistent session manifest.
@@ -240,7 +266,26 @@ func appendEntry(dst []byte, e Entry) []byte {
 	if e.SnapHeld {
 		held = 1
 	}
-	return append(dst, held)
+	dst = append(dst, held)
+	// The delta-chain extension rides after the original fixed tail, and is
+	// written only when present: chain-free entries stay byte-identical to
+	// the pre-extension format, and pre-extension decoders (which required
+	// the payload to end at the held byte) would reject extended records
+	// rather than misread them.
+	if e.BaseID == "" && len(e.Chain) == 0 {
+		return dst
+	}
+	dst = appendString(dst, e.BaseID)
+	n = binary.PutUvarint(vb[:], e.BaseRev)
+	dst = append(dst, vb[:n]...)
+	n = binary.PutUvarint(vb[:], uint64(len(e.Chain)))
+	dst = append(dst, vb[:n]...)
+	for _, l := range e.Chain {
+		dst = appendString(dst, l.ID)
+		n = binary.PutUvarint(vb[:], l.Rev)
+		dst = append(dst, vb[:n]...)
+	}
+	return dst
 }
 
 func decodeEntry(op uint64, payload []byte) (Entry, error) {
@@ -258,11 +303,44 @@ func decodeEntry(op uint64, payload []byte) (Entry, error) {
 		return e, err
 	}
 	rev, n := binary.Uvarint(payload)
-	if n <= 0 || len(payload) != n+1 {
+	if n <= 0 || len(payload) < n+1 {
 		return e, fmt.Errorf("journal: malformed registry entry")
 	}
 	e.SnapRev = rev
 	e.SnapHeld = payload[n] != 0
+	payload = payload[n+1:]
+	if len(payload) == 0 {
+		// Pre-extension record: no chain, own-file base.
+		return e, nil
+	}
+	e.BaseID, payload, err = takeString(payload)
+	if err != nil {
+		return e, err
+	}
+	if e.BaseRev, n = binary.Uvarint(payload); n <= 0 {
+		return e, fmt.Errorf("journal: malformed registry entry")
+	}
+	payload = payload[n:]
+	links, n := binary.Uvarint(payload)
+	if n <= 0 || links > maxRegistryChain {
+		return e, fmt.Errorf("journal: malformed registry entry")
+	}
+	payload = payload[n:]
+	for i := uint64(0); i < links; i++ {
+		var l ChainLink
+		l.ID, payload, err = takeString(payload)
+		if err != nil {
+			return e, err
+		}
+		if l.Rev, n = binary.Uvarint(payload); n <= 0 {
+			return e, fmt.Errorf("journal: malformed registry entry")
+		}
+		payload = payload[n:]
+		e.Chain = append(e.Chain, l)
+	}
+	if len(payload) != 0 {
+		return e, fmt.Errorf("journal: malformed registry entry")
+	}
 	return e, nil
 }
 

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bytes"
 	"errors"
 	"time"
 
@@ -174,26 +173,12 @@ func (st *Store) repairSpillLocked(s *Session) bool {
 		s.unevictable.Store(false)
 		return true
 	}
-	buf := bufPool.Get().(*bytes.Buffer)
-	defer func() { buf.Reset(); bufPool.Put(buf) }()
-	buf.Reset()
-	if st.opts.NoGraphPin {
-		if err := s.eng.WriteSnapshot(buf); err != nil {
-			return false
-		}
-	} else {
-		blob, gen, err := s.eng.WriteSnapshotCached(buf, s.graphBlob, s.graphBlobGen)
-		if err != nil {
-			return false
-		}
-		s.graphBlob, s.graphBlobGen = blob, gen
-	}
-	if err := writeFileAtomic(st.spillPath(s.ID), buf.Bytes(), st.syncFiles()); err != nil {
+	// A full snapshot write also collapses any delta chain: the degradation
+	// may have been a failed delta append, and repairing onto a fresh
+	// chain-free base converges the session in one step.
+	if err := st.writeFullLocked(s); err != nil {
 		return false
 	}
-	mSpillBytes.Add(uint64(buf.Len()))
-	s.snapHeld = true
-	s.snapRev = s.rev
 	s.unevictable.Store(false)
 	return true
 }

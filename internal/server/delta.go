@@ -1,0 +1,547 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"taco/internal/engine"
+	"taco/internal/faultfs"
+	"taco/internal/journal"
+)
+
+// Delta snapshots and copy-on-write forks: structural sharing for the
+// persistence layer. The paper's thesis — spreadsheet state is dominated by
+// repeated structure that should be stored once and shared — applies to
+// snapshots as much as to formula graphs. A session's durable state becomes
+// `base snapshot + delta chain`: when eviction finds that everything since
+// the held snapshot is value-only edits, it checkpoints the journal tail as
+// a delta record file (<id>.<rev>.tacod, the journal's own record framing
+// under DeltaMagic, carrying the journal edit codec) instead of re-encoding
+// the whole engine — write amplification drops from O(sheet) to O(edits). A
+// compaction policy (chain length, chain-vs-base byte ratio) collapses the
+// chain back into a fresh full base.
+//
+// Forks build on the same sharing: a fork is a new registry entry pointing
+// at the parent's base snapshot plus its delta chain — O(1) in sheet size.
+// Because the parent's own .tacos file is renamed over on compaction, the
+// base a fork shares is first *frozen* under a revision-stamped immutable
+// name (<id>.<rev>.tacob, hard-linked when the filesystem allows). Frozen
+// bases and delta files are immutable once published — only ever created
+// and deleted — so any number of sessions can reference one by path; a
+// refcount (rebuilt from the registry at boot) deletes each artifact with
+// its last referent, which is what lets a parent die without stranding its
+// children.
+//
+// Crash ordering mirrors the journal's: artifacts are written before any
+// registry entry references them, and chain-superseding compaction deletes
+// old artifacts only after the registry durably points at the new base.
+// Artifacts orphaned inside those windows are swept at the next boot.
+
+// deltaSuffix names delta record files; baseSuffix names frozen bases.
+const (
+	deltaSuffix = ".tacod"
+	baseSuffix  = ".tacob"
+)
+
+// maxDeltaRecords bounds one delta file's record count: past it the journal
+// tail is cheaper to fold into a full rewrite than to replay on every
+// restore.
+const maxDeltaRecords = 4096
+
+// ErrForkUnsupported rejects forks on a store without a durability layer —
+// the registry and journal are the fork's storage.
+var ErrForkUnsupported = errors.New("server: fork requires a durable store")
+
+func (st *Store) deltaPath(owner string, rev uint64) string {
+	return filepath.Join(st.opts.SpillDir, fmt.Sprintf("%s.%d%s", owner, rev, deltaSuffix))
+}
+
+func (st *Store) basePath(owner string, rev uint64) string {
+	return filepath.Join(st.opts.SpillDir, fmt.Sprintf("%s.%d%s", owner, rev, baseSuffix))
+}
+
+// baseFilePathLocked is the file holding the session's base snapshot: its
+// frozen shared base when chained off one, its own spill file otherwise.
+// Called with s.mu held (read or write).
+func (st *Store) baseFilePathLocked(s *Session) string {
+	if s.baseID != "" {
+		return st.basePath(s.baseID, s.baseRev)
+	}
+	return st.spillPath(s.ID)
+}
+
+// ---------------------------------------------------------------------------
+// Artifact refcounts
+// ---------------------------------------------------------------------------
+
+// incref records one more session referencing the artifact at path.
+func (st *Store) incref(path string) {
+	st.refMu.Lock()
+	st.refs[path]++
+	st.refMu.Unlock()
+}
+
+// decref drops one reference; the last referent's death unlinks the file.
+func (st *Store) decref(path string) {
+	st.refMu.Lock()
+	n := st.refs[path] - 1
+	if n <= 0 {
+		delete(st.refs, path)
+	} else {
+		st.refs[path] = n
+	}
+	st.refMu.Unlock()
+	if n <= 0 {
+		os.Remove(path)
+	}
+}
+
+// sharedRefsLocked lists the refcounted artifact paths the session's
+// snapshot state references: its frozen base (when chained off one) and
+// every delta link. Called with s.mu held, or on a not-yet-published
+// session.
+func (st *Store) sharedRefsLocked(s *Session) []string {
+	var out []string
+	if s.baseID != "" {
+		out = append(out, st.basePath(s.baseID, s.baseRev))
+	}
+	for _, l := range s.chain {
+		out = append(out, st.deltaPath(l.ID, l.Rev))
+	}
+	return out
+}
+
+// sweepOrphans removes delta and frozen-base files that no registry entry
+// references — leftovers of the crash windows between artifact creation and
+// the registry update, or between compaction's registry update and the old
+// chain's deletion. Called once at boot, after refcounts are rebuilt from
+// the registry and before the store serves.
+func (st *Store) sweepOrphans() {
+	for _, pat := range []string{"*" + deltaSuffix, "*" + baseSuffix} {
+		matches, _ := filepath.Glob(filepath.Join(st.opts.SpillDir, pat))
+		for _, m := range matches {
+			st.refMu.Lock()
+			_, referenced := st.refs[m]
+			st.refMu.Unlock()
+			if !referenced {
+				os.Remove(m)
+			}
+		}
+	}
+	// Atomic-write temp files are stranded by a crash mid-write (a live
+	// writeFileAtomic always removes its own on failure); nothing references
+	// a temp by name, and no writer runs during boot, so all are stale.
+	matches, _ := filepath.Glob(filepath.Join(st.opts.SpillDir, ".spill-*.tmp"))
+	for _, m := range matches {
+		os.Remove(m)
+	}
+}
+
+// regEntryLocked builds the session's registry entry from its in-memory
+// snapshot state. Called with s.mu held, or on a not-yet-published session.
+func regEntryLocked(s *Session) journal.Entry {
+	return journal.Entry{
+		ID: s.ID, Name: s.Name,
+		SnapRev: s.snapRev, SnapHeld: s.snapHeld,
+		BaseID: s.baseID, BaseRev: s.baseRev,
+		Chain: append([]journal.ChainLink(nil), s.chain...),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Delta writes
+// ---------------------------------------------------------------------------
+
+// deltaEligibleLocked reports whether the next spill may extend the chain
+// instead of rewriting the base: delta snapshots on, a base held, the chain
+// under its caps, and the session healthy. Called with s.mu held.
+func (st *Store) deltaEligibleLocked(s *Session) bool {
+	if !st.opts.Durable || !st.opts.DeltaSnapshots || !s.snapHeld || s.degraded || s.corrupt {
+		return false
+	}
+	if len(s.chain) >= st.opts.DeltaMaxChain {
+		return false
+	}
+	// Byte-ratio cap: once the chain outweighs half the base, replaying it
+	// approaches the cost of restoring the sheet itself — compact instead.
+	// A boot-recovered session's base size is unknown (0) until its next
+	// full write; the length cap alone bounds it meanwhile.
+	if s.baseBytes > 0 && s.chainBytes > s.baseBytes/2 {
+		return false
+	}
+	return true
+}
+
+// collectValueTailLocked scans the session's journal for the records
+// covering exactly (snapRev, rev] and returns them framed as a delta file
+// body (DeltaMagic + journal records) when the run is contiguous and every
+// op is a plain value assignment. ok=false — a structural edit, a gap (torn
+// or degraded journal), or an oversized tail — means the caller must write
+// a full snapshot instead. Called with s.mu held.
+func (st *Store) collectValueTailLocked(s *Session) (body []byte, ok bool) {
+	want := s.rev - s.snapRev
+	if want == 0 || want > maxDeltaRecords {
+		return nil, false
+	}
+	buf := append([]byte(nil), journal.DeltaMagic...)
+	var count uint64
+	next := s.snapRev + 1
+	good := true
+	_, _, err := journal.ScanFile(st.journalPath(s.ID), journal.JournalMagic, func(rev uint64, payload []byte) error {
+		if !good || rev <= s.snapRev || rev > s.rev {
+			return nil
+		}
+		if rev != next {
+			good = false
+			return nil
+		}
+		edits, err := decodeEditOps(payload)
+		if err != nil {
+			good = false
+			return nil
+		}
+		for _, op := range edits {
+			if op.Value == nil {
+				good = false
+				return nil
+			}
+		}
+		buf = appendJournalRecord(buf, rev, payload)
+		count++
+		next++
+		return nil
+	})
+	if err != nil || !good || count != want {
+		return nil, false
+	}
+	return buf, true
+}
+
+// writeDeltaLocked checkpoints the session's value-only journal tail as a
+// delta file chained onto the held snapshot state, advancing snapRev to rev
+// without re-encoding the engine — the O(edits) spill. Reports whether the
+// delta landed; false means the caller falls back to a full snapshot (and
+// to the existing degradation path if that fails too). Called with s.mu
+// held.
+func (st *Store) writeDeltaLocked(s *Session) bool {
+	body, ok := st.collectValueTailLocked(s)
+	if !ok {
+		return false
+	}
+	path := st.deltaPath(s.ID, s.rev)
+	if err := writeFileAtomic(path, body, st.syncFiles()); err != nil {
+		return false
+	}
+	st.incref(path)
+	s.chain = append(s.chain, journal.ChainLink{ID: s.ID, Rev: s.rev})
+	s.chainBytes += int64(len(body))
+	s.snapRev = s.rev
+	mDeltaWrites.Inc()
+	mDeltaBytes.Add(uint64(len(body)))
+	mSpillBytes.Add(uint64(len(body)))
+	return true
+}
+
+// writeFullLocked serialises the resident engine to the session's own base
+// snapshot file at s.rev and completes the chain bookkeeping. Called with
+// s.mu held and s.eng non-nil.
+func (st *Store) writeFullLocked(s *Session) error {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer func() { buf.Reset(); bufPool.Put(buf) }()
+	buf.Reset()
+	if st.opts.NoGraphPin {
+		if err := s.eng.WriteSnapshot(buf); err != nil {
+			return err
+		}
+	} else {
+		blob, gen, err := s.eng.WriteSnapshotCached(buf, s.graphBlob, s.graphBlobGen)
+		if err != nil {
+			return err
+		}
+		s.graphBlob, s.graphBlobGen = blob, gen
+	}
+	if err := writeFileAtomic(st.spillPath(s.ID), buf.Bytes(), st.syncFiles()); err != nil {
+		return err
+	}
+	mSpillBytes.Add(uint64(buf.Len()))
+	st.completeFullSnapshotLocked(s, buf.Len())
+	return nil
+}
+
+// completeFullSnapshotLocked records a successful full snapshot write at
+// s.rev. A fresh base supersedes the delta chain, so the chain (and any
+// frozen base) lose this session's references — but only after the registry
+// durably points at the new state: a crash at any point still boots against
+// files that exist. On a registry failure the old artifacts are kept (the
+// stale entry still references them) and leak until the next boot's orphan
+// sweep. Called with s.mu held.
+func (st *Store) completeFullSnapshotLocked(s *Session, size int) {
+	hadChain := s.baseID != "" || len(s.chain) > 0
+	var oldRefs []string
+	if hadChain {
+		oldRefs = st.sharedRefsLocked(s)
+	}
+	s.snapHeld = true
+	s.snapRev = s.rev
+	s.baseID = ""
+	s.baseRev = s.rev
+	s.chain = nil
+	s.baseBytes = int64(size)
+	s.chainBytes = 0
+	if !hadChain {
+		return
+	}
+	err := st.reg.Put(regEntryLocked(s))
+	if err == nil {
+		err = st.reg.Sync()
+	}
+	if err != nil {
+		mDurabilityErrors.Inc()
+		return
+	}
+	for _, p := range oldRefs {
+		st.decref(p)
+	}
+	mDeltaCompactions.Inc()
+}
+
+// ---------------------------------------------------------------------------
+// Chain replay (restore path)
+// ---------------------------------------------------------------------------
+
+// replayChain applies each delta file in s.chain onto eng, in order,
+// verifying that every link replays through exactly its named revision.
+// Delta records are value-only absolute assignments, so re-applying
+// revisions the base already contains (a crash-rewritten delta covering a
+// longer range) is harmless, and the compressed graph — with its cached
+// encoding — is untouched. A link that cannot reach its revision (torn,
+// missing, or corrupt mid-chain delta) is quarantined and poisons only this
+// session. Called with s.mu held, eng not yet published.
+func (st *Store) replayChain(s *Session, eng *engine.Engine) error {
+	replayed := 0
+	for _, link := range s.chain {
+		path := st.deltaPath(link.ID, link.Rev)
+		var last uint64
+		_, _, err := journal.ScanFile(path, journal.DeltaMagic, func(rev uint64, payload []byte) error {
+			edits, err := decodeEditOps(payload)
+			if err != nil {
+				return fmt.Errorf("delta %s rev %d: %w", filepath.Base(path), rev, err)
+			}
+			ops, err := parseBatch(edits)
+			if err != nil {
+				return fmt.Errorf("delta %s rev %d: %w", filepath.Base(path), rev, err)
+			}
+			applyBatch(eng, ops)
+			last = rev
+			replayed++
+			return nil
+		})
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			// Valid CRC but undecodable is a format bug, not corruption:
+			// fail the restore loudly rather than serve a partial session.
+			return fmt.Errorf("replay delta chain for session %s: %w", s.ID, err)
+		}
+		if last != link.Rev {
+			// The scanner's valid-prefix semantics stop silently at the first
+			// bad record, so a short replay IS the corruption signal.
+			st.quarantineDelta(s, path)
+			return fmt.Errorf("%w: session %s: delta %s replays to rev %d, want %d",
+				ErrSnapshotCorrupt, s.ID, filepath.Base(path), last, link.Rev)
+		}
+	}
+	if replayed > 0 {
+		mDeltaReplayed.Add(uint64(replayed))
+	}
+	return nil
+}
+
+// quarantineDelta renames a broken delta file aside and poisons the session,
+// mirroring the base-snapshot quarantine. Sessions sharing the same broken
+// file fail the same way at their own restore; sessions that don't reference
+// it are untouched.
+func (st *Store) quarantineDelta(s *Session, path string) {
+	os.Rename(path, path+".corrupt")
+	s.corrupt = true
+	st.quarantined.Add(1)
+	mQuarantined.Inc()
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write forks
+// ---------------------------------------------------------------------------
+
+// freezeBase publishes an immutable copy of a session's own base snapshot
+// under its revision-stamped shared name. A hard link is O(1) and shares
+// blocks; filesystems without links get a copy. An already-frozen path is
+// fine — the content at a given revision is the same state.
+func freezeBase(src, dst string) error {
+	err := os.Link(src, dst)
+	if err == nil || errors.Is(err, os.ErrExist) {
+		return nil
+	}
+	data, rerr := faultfs.ReadFile(src)
+	if rerr != nil {
+		return rerr
+	}
+	return writeFileAtomic(dst, data, false)
+}
+
+// Fork creates a copy-on-write child of the parent session: a new registry
+// entry whose snapshot state points at the parent's (frozen) base snapshot
+// plus its delta chain — O(1) in sheet size, O(edits) when the parent's
+// journal tail must first be checkpointed as a delta. The child materialises
+// lazily on first touch exactly like a spilled session; its first write
+// opens its own journal, its own spills extend the shared chain with
+// child-owned deltas, and its first compaction cuts it loose onto a private
+// base. Shared artifacts are refcounted, so deleting the parent never
+// strands a child.
+func (st *Store) Fork(parentID, name string) (*Session, error) {
+	if !st.opts.Durable {
+		return nil, ErrForkUnsupported
+	}
+	start := time.Now()
+	p, err := st.lookup(parentID)
+	if err != nil {
+		return nil, err
+	}
+	// Fast path: the parent's snapshot state already reaches rev, or a
+	// value-only journal tail can be checkpointed as a delta — no engine
+	// fault-in, no O(sheet) work, resident or not.
+	p.mu.Lock()
+	child, err, done := st.forkLocked(p, name, false)
+	p.mu.Unlock()
+	if !done {
+		// Structural edits since the last snapshot, or no snapshot at all:
+		// fault the parent in and write a full base, forking inside the hold
+		// so no edit can slip between checkpoint and fork.
+		err = st.withResident(p, func(*engine.Engine) error {
+			var ferr error
+			child, ferr, _ = st.forkLocked(p, name, true)
+			return ferr
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	child.tick.Store(st.clock.Add(1))
+	sh := st.shardFor(child.ID)
+	child.shard = sh
+	sh.mu.Lock()
+	sh.sessions[child.ID] = child
+	sh.mu.Unlock()
+	mSessionsCreated.Inc()
+	mForks.Inc()
+	mForkDuration.Observe(time.Since(start).Seconds())
+	return child, nil
+}
+
+// forkLocked checkpoints the parent through its current revision and builds
+// the child. done=false means the checkpoint needs the parent's engine
+// (structural tail) and the caller must retry under withResident with
+// haveEngine set. Called with p.mu held.
+func (st *Store) forkLocked(p *Session, name string, haveEngine bool) (*Session, error, bool) {
+	if p.deleted {
+		return nil, ErrSessionDeleted, true
+	}
+	if p.corrupt {
+		return nil, fmt.Errorf("%w: session %s", ErrSnapshotCorrupt, p.ID), true
+	}
+	if p.degraded {
+		return nil, ErrSessionDegraded, true
+	}
+	if !p.snapHeld || p.snapRev != p.rev {
+		switch {
+		case !p.snapHeld && p.rev == 0:
+			// Blank parent: the child is a blank session too.
+		case p.snapHeld && p.rev > p.snapRev && st.deltaEligibleLocked(p) && st.writeDeltaLocked(p):
+			// Tail checkpointed as a delta — the fork stays O(edits).
+		case haveEngine && p.eng != nil:
+			if err := st.writeFullLocked(p); err != nil {
+				return nil, fmt.Errorf("server: fork checkpoint of %s: %w", p.ID, err), true
+			}
+		default:
+			return nil, nil, false
+		}
+	}
+	// Freeze the base: children must reference an immutable file, and the
+	// parent's own .tacos is renamed over on its next compaction.
+	if p.snapHeld && p.baseID == "" {
+		frozen := st.basePath(p.ID, p.baseRev)
+		if err := freezeBase(st.spillPath(p.ID), frozen); err != nil {
+			return nil, fmt.Errorf("server: freeze base of %s: %w", p.ID, err), true
+		}
+		st.incref(frozen) // the parent's own reference
+		p.baseID = p.ID
+	}
+	c := &Session{
+		ID: newSessionID(), Name: name,
+		rev: p.rev, snapRev: p.snapRev, snapHeld: p.snapHeld,
+		baseID: p.baseID, baseRev: p.baseRev,
+		chain:     append([]journal.ChainLink(nil), p.chain...),
+		baseBytes: p.baseBytes, chainBytes: p.chainBytes,
+	}
+	for _, path := range st.sharedRefsLocked(c) {
+		st.incref(path)
+	}
+	// Persist both sides: the child must exist durably before it is served,
+	// and the parent's entry now names its frozen base.
+	err := st.reg.Put(regEntryLocked(c))
+	if err == nil {
+		err = st.reg.Put(regEntryLocked(p))
+	}
+	if err == nil {
+		err = st.reg.Sync()
+	}
+	if err != nil {
+		for _, path := range st.sharedRefsLocked(c) {
+			st.decref(path)
+		}
+		mDurabilityErrors.Inc()
+		return nil, fmt.Errorf("server: fork %s: %w", p.ID, err), true
+	}
+	return c, nil, true
+}
+
+// ReadSpilledBase streams a spilled session's base snapshot file — even when
+// a delta chain extends past it — under the session read lock, reporting the
+// revision the base holds. The replication snapshot endpoint uses this to
+// ship `base + chain` instead of a freshly encoded full sheet: the standby
+// bootstraps from the base and receives the chain through the journal
+// endpoint. handled=false when the session is resident, corrupt, or holds no
+// snapshot (fall back to encoding the live engine).
+func (st *Store) ReadSpilledBase(id string, fn func(br *bufio.Reader, baseRev uint64) error) (handled bool, err error) {
+	s, err := st.lookup(id)
+	if err != nil {
+		return false, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.deleted {
+		return false, ErrSessionDeleted
+	}
+	if s.eng != nil || !s.snapHeld || s.corrupt {
+		return false, nil
+	}
+	f, err := os.Open(st.baseFilePathLocked(s))
+	if err != nil {
+		return false, nil
+	}
+	defer f.Close()
+	br := brPool.Get().(*bufio.Reader)
+	br.Reset(f)
+	defer func() {
+		br.Reset(nil)
+		brPool.Put(br)
+	}()
+	if fn(br, s.baseRev) != nil {
+		return false, nil
+	}
+	st.spillReads.Add(1)
+	mSpillReads.Inc()
+	return true, nil
+}

@@ -1,0 +1,521 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"taco/internal/engine"
+	"taco/internal/faultfs"
+	"taco/internal/formula"
+	"taco/internal/journal"
+	"taco/internal/ref"
+)
+
+// deltaStoreOpts is the delta-snapshot test configuration: one shard, one
+// resident slot (every cross-session touch is an eviction), serial recalc.
+func deltaStoreOpts(dir string) StoreOptions {
+	return StoreOptions{
+		Shards: 1, MaxResident: 1, RecalcWorkers: -1,
+		Durable: true, SpillDir: dir, FsyncPolicy: "never",
+		DeltaSnapshots: true,
+	}
+}
+
+// sheetBatch builds one structural bulk batch: `rows` value cells in column A
+// and rows/4 SUM formulas over them in column B.
+func sheetBatch(rows int) []EditOp {
+	var b []EditOp
+	for r := 1; r <= rows; r++ {
+		b = append(b, EditOp{Cell: fmt.Sprintf("A%d", r), Value: num(float64(r))})
+	}
+	for r := 1; r <= rows/4; r++ {
+		b = append(b, EditOp{Cell: fmt.Sprintf("B%d", r), Formula: str(fmt.Sprintf("SUM(A%d:A%d)", r, r+3))})
+	}
+	return b
+}
+
+// chainLen reads a session's delta chain length under its lock.
+func chainLen(s *Session) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chain)
+}
+
+// globCount counts spill-dir files matching pattern.
+func globCount(t *testing.T, dir, pattern string) int {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, pattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(m)
+}
+
+// TestDeltaSpillRestoreRoundTrip drives the tentpole write path: a session's
+// first eviction writes a full base, every later value-only eviction extends
+// a delta chain instead of re-encoding the sheet, and restores — both a
+// fault-in on the live store and a cold restart whose journals were
+// truncated at checkpoint — replay base + chain to exactly the reference
+// values.
+func TestDeltaSpillRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opts := deltaStoreOpts(dir)
+	st1, err := NewStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st1.Close)
+	st1.ckptBytes = 1 // every spill checkpoints the registry and truncates the journal
+
+	var batches [][]EditOp
+	batches = append(batches, sheetBatch(16))
+	a := st1.Create("a", engine.New(nil)).ID
+	applyJournaled(t, st1, a, batches[0])
+	b := st1.Create("b", engine.New(nil)).ID // evicts a: full base snapshot
+	sa, _ := st1.Peek(a)
+	if sa.Resident() {
+		t.Fatal("a still resident past the cap")
+	}
+	if n := chainLen(sa); n != 0 {
+		t.Fatalf("first eviction built a chain of %d, want full base", n)
+	}
+
+	// Alternating value-only touches: each edit of a faults it in and evicts
+	// b, each edit of b evicts a — whose tail is one value batch, the delta
+	// shape.
+	for round := 1; round <= 3; round++ {
+		batch := []EditOp{{Cell: "A1", Value: num(float64(1000 * round))}}
+		batches = append(batches, batch)
+		applyJournaled(t, st1, a, batch)
+		applyJournaled(t, st1, b, []EditOp{{Cell: "A1", Value: num(float64(round))}})
+	}
+	if n := chainLen(sa); n != 3 {
+		t.Fatalf("chain length = %d, want 3 (one delta per value-only eviction)", n)
+	}
+	if n := globCount(t, dir, "*"+deltaSuffix); n == 0 {
+		t.Fatal("no delta files on disk")
+	}
+
+	refEng := engine.New(nil)
+	for _, batch := range batches {
+		ops, err := parseBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyBatch(refEng, ops)
+	}
+	refEng.RecalculateAll()
+	verify := func(st *Store, label string) {
+		t.Helper()
+		if err := st.Wait(a); err != nil {
+			t.Fatalf("%s: wait: %v", label, err)
+		}
+		err := st.View(a, func(_ *Session, eng *engine.Engine) error {
+			for _, at := range touchedRefs(batches) {
+				if got, want := eng.Value(at), refEng.Value(at); !sameValue(got, want) {
+					t.Errorf("%s: cell %s: got %v, want %v", label, ref.FormatA1(at), got, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	verify(st1, "live fault-in") // base + chain replay on the running store
+
+	st1.Close()
+	st2, err := NewStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	// The journals were truncated at every checkpoint, so this restore can
+	// only come from the registry's base + chain state.
+	verify(st2, "cold restart")
+	s2, err := st2.Peek(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := chainLen(s2); n == 0 {
+		t.Fatal("restart lost the chain: registry entry carried no links")
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestDeltaCompactionCollapsesChain: a chain at DeltaMaxChain forces the next
+// eviction to rewrite a fresh full base, reset the chain, and delete the
+// superseded delta files (their refcounts reach zero only after the registry
+// durably points at the new base).
+func TestDeltaCompactionCollapsesChain(t *testing.T) {
+	dir := t.TempDir()
+	opts := deltaStoreOpts(dir)
+	opts.DeltaMaxChain = 2
+	st, err := NewStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	a := st.Create("a", engine.New(nil)).ID
+	applyJournaled(t, st, a, sheetBatch(16))
+	b := st.Create("b", engine.New(nil)).ID // full base
+	sa, _ := st.Peek(a)
+	for round := 1; round <= 2; round++ {
+		applyJournaled(t, st, a, []EditOp{{Cell: "A2", Value: num(float64(round))}})
+		applyJournaled(t, st, b, []EditOp{{Cell: "A1", Value: num(1)}})
+	}
+	if n := chainLen(sa); n != 2 {
+		t.Fatalf("chain = %d, want 2 (at the cap)", n)
+	}
+	if n := globCount(t, dir, "*"+deltaSuffix); n == 0 {
+		t.Fatal("no delta files before compaction")
+	}
+	// One more cycle: the chain is at its cap, so this eviction compacts.
+	applyJournaled(t, st, a, []EditOp{{Cell: "A3", Value: num(7)}})
+	applyJournaled(t, st, b, []EditOp{{Cell: "A1", Value: num(2)}})
+	if n := chainLen(sa); n != 0 {
+		t.Fatalf("chain = %d after compaction, want 0", n)
+	}
+	// a's deltas are unreferenced and deleted; b (never compacted) may still
+	// own chain files, so count a's specifically.
+	if n := globCount(t, dir, a+".*"+deltaSuffix); n != 0 {
+		t.Fatalf("%d stale delta files survived compaction", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, a+".tacos")); err != nil {
+		t.Fatalf("compacted base missing: %v", err)
+	}
+}
+
+// TestForkSharesBaseWithoutFaultIn is the O(1)-fork proof, stated in bytes
+// and file identity rather than wall-clock: forking a spilled parent must not
+// fault its engine in, and the only artifact it may create is the frozen
+// base — a hard link to the parent's existing snapshot, not a copy. Registry
+// growth is bounded by a constant, so the assertions hold identically for a
+// 16-row parent and a 100k-row one.
+func TestForkSharesBaseWithoutFaultIn(t *testing.T) {
+	plain, err := NewStore(StoreOptions{RecalcWorkers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plain.Create("p", engine.New(nil))
+	if _, err := plain.Fork(p.ID, "f"); !errors.Is(err, ErrForkUnsupported) {
+		t.Fatalf("fork on a non-durable store: err = %v, want ErrForkUnsupported", err)
+	}
+	plain.Close()
+
+	dir := t.TempDir()
+	st, err := NewStore(deltaStoreOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	a := st.Create("a", engine.New(nil)).ID
+	applyJournaled(t, st, a, sheetBatch(400))
+	st.Create("b", engine.New(nil)) // evicts a
+	sa, _ := st.Peek(a)
+	if sa.Resident() {
+		t.Fatal("parent still resident")
+	}
+
+	before := map[string]int64{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[e.Name()] = fi.Size()
+	}
+
+	child, err := st.Fork(a, "what-if")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Resident() {
+		t.Fatal("fork faulted the spilled parent in — not O(1)")
+	}
+
+	entries, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grown int64
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if old, ok := before[fi.Name()]; ok {
+			grown += fi.Size() - old
+			continue
+		}
+		// The only new file allowed is the frozen base, and it must share the
+		// parent snapshot's inode (a link, not an O(sheet) copy).
+		if filepath.Ext(fi.Name()) != baseSuffix {
+			t.Fatalf("fork created %s; only a %s freeze is allowed", fi.Name(), baseSuffix)
+		}
+		spillFi, err := os.Stat(filepath.Join(dir, a+".tacos"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !os.SameFile(fi, spillFi) {
+			t.Fatalf("frozen base %s is a copy, want a hard link to the parent snapshot", fi.Name())
+		}
+	}
+	if grown > 4096 {
+		t.Fatalf("fork grew pre-existing files by %d bytes, want O(1) registry appends", grown)
+	}
+
+	// The child serves the parent's values, then diverges without back-flow.
+	at := ref.Ref{Col: 1, Row: 1} // A1
+	err = st.View(child.ID, func(_ *Session, eng *engine.Engine) error {
+		if v := eng.Value(at); v.Num != 1 {
+			t.Fatalf("child A1 = %v, want the parent's 1", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyJournaled(t, st, child.ID, []EditOp{{Cell: "A1", Value: num(999)}})
+	err = st.View(a, func(_ *Session, eng *engine.Engine) error {
+		if v := eng.Value(at); v.Num != 1 {
+			t.Fatalf("child edit leaked into the parent: A1 = %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForkSurvivesParentDelete: the frozen base is refcounted, so deleting
+// the parent (even before the child ever materialised) leaves the child
+// restorable; deleting the child too releases every shared artifact.
+func TestForkSurvivesParentDelete(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(deltaStoreOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	a := st.Create("a", engine.New(nil)).ID
+	applyJournaled(t, st, a, sheetBatch(16))
+	st.Create("b", engine.New(nil)) // evicts a
+	// A value tail checkpointed by the fork itself, so the child also shares
+	// a delta link, not just the base.
+	applyJournaled(t, st, a, []EditOp{{Cell: "A1", Value: num(555)}})
+	child, err := st.Fork(a, "heir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Wait(child.ID); err != nil {
+		t.Fatal(err)
+	}
+	err = st.View(child.ID, func(_ *Session, eng *engine.Engine) error {
+		if v := eng.Value(ref.Ref{Col: 1, Row: 1}); v.Num != 555 {
+			t.Fatalf("orphaned child A1 = %v, want 555 (base + delta replay)", v)
+		}
+		if v := eng.Value(ref.Ref{Col: 2, Row: 1}); v.Kind != formula.KindNumber {
+			t.Fatalf("orphaned child lost its formulas: B1 = %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(child.ID); err != nil {
+		t.Fatal(err)
+	}
+	if n := globCount(t, dir, "*"+baseSuffix) + globCount(t, dir, a+".*"+deltaSuffix); n != 0 {
+		t.Fatalf("%d shared artifacts leaked after the last referent died", n)
+	}
+}
+
+// TestCorruptMidChainDeltaQuarantines: a bit flip inside a chained delta file
+// fails the restore with ErrSnapshotCorrupt, renames the file aside as
+// .corrupt, and poisons only the owning session — the bystander keeps
+// serving.
+func TestCorruptMidChainDeltaQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	opts := deltaStoreOpts(dir)
+	st1, err := NewStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st1.Close)
+	st1.ckptBytes = 1 // chain state lands in the registry, journals truncate
+
+	a := st1.Create("a", engine.New(nil)).ID
+	applyJournaled(t, st1, a, sheetBatch(16))
+	b := st1.Create("b", engine.New(nil)).ID // evicts a: full base
+	applyJournaled(t, st1, a, []EditOp{{Cell: "A1", Value: num(42)}})
+	applyJournaled(t, st1, b, []EditOp{{Cell: "A1", Value: num(1)}}) // evicts a: delta
+	sa, _ := st1.Peek(a)
+	if n := chainLen(sa); n != 1 {
+		t.Fatalf("chain = %d, want 1", n)
+	}
+	st1.Close()
+
+	deltas, err := filepath.Glob(filepath.Join(dir, a+".*"+deltaSuffix))
+	if err != nil || len(deltas) != 1 {
+		t.Fatalf("delta files = %v (err %v), want exactly one", deltas, err)
+	}
+	data, err := os.ReadFile(deltas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(deltas[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := NewStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for i := 0; i < 2; i++ { // poisoned: every touch fails identically
+		err := st2.View(a, func(*Session, *engine.Engine) error { return nil })
+		if !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("touch %d: err = %v, want ErrSnapshotCorrupt", i, err)
+		}
+	}
+	if _, err := os.Stat(deltas[0] + ".corrupt"); err != nil {
+		t.Fatalf("corrupt delta not quarantined: %v", err)
+	}
+	if got := st2.Stats().QuarantinedSnapshots; got != 1 {
+		t.Fatalf("quarantined = %d, want 1", got)
+	}
+	if err := st2.View(b, func(*Session, *engine.Engine) error { return nil }); err != nil {
+		t.Fatalf("bystander poisoned by a's corrupt delta: %v", err)
+	}
+}
+
+// TestDeltaRenameFaultFallsBackThenDegrades: a failed delta publish alone is
+// not a fault — the spill falls back to a full snapshot and the store stays
+// healthy. Only when the fallback fails too does the session degrade, and
+// clearing the fault lets the repairer converge it onto a fresh chain-free
+// base.
+func TestDeltaRenameFaultFallsBackThenDegrades(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(deltaStoreOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	a := st.Create("a", engine.New(nil)).ID
+	applyJournaled(t, st, a, sheetBatch(16))
+	b := st.Create("b", engine.New(nil)).ID // evicts a: full base
+	sa, _ := st.Peek(a)
+
+	// Phase 1: only the delta rename faults. The eviction silently writes a
+	// full snapshot instead — graceful fallback, no degradation.
+	defer faultfs.Clear()
+	faultfs.Inject(faultfs.Rule{
+		Op: faultfs.OpRename, PathContains: deltaSuffix,
+		Fault: faultfs.Fault{Err: syscall.EIO},
+	})
+	applyJournaled(t, st, a, []EditOp{{Cell: "A1", Value: num(2)}})
+	applyJournaled(t, st, b, []EditOp{{Cell: "A1", Value: num(1)}}) // evicts a
+	if got := st.Stats().DegradedSessions; got != 0 {
+		t.Fatalf("delta fault with a working full path degraded %d sessions, want fallback", got)
+	}
+	if n := chainLen(sa); n != 0 {
+		t.Fatalf("chain = %d after fallback, want 0 (full rewrite)", n)
+	}
+
+	// Phase 2: the full path faults too (Inject replaces the plan, so both
+	// rules go in together) — now the spill has nowhere to land and the
+	// session must degrade rather than drop durability.
+	faultfs.Inject(
+		faultfs.Rule{Op: faultfs.OpRename, PathContains: deltaSuffix,
+			Fault: faultfs.Fault{Err: syscall.EIO}},
+		faultfs.Rule{Op: faultfs.OpRename, PathContains: ".tacos",
+			Fault: faultfs.Fault{Err: syscall.EIO}},
+	)
+	applyJournaled(t, st, a, []EditOp{{Cell: "A1", Value: num(3)}})
+	st.Create("c", engine.New(nil)) // forces the faulted eviction
+	if got := st.Stats().DegradedSessions; got == 0 {
+		t.Fatal("spill with both paths faulted did not degrade")
+	}
+
+	// Disk heals: the repairer rewrites a full base and lifts the fence.
+	faultfs.Clear()
+	waitRepaired(t, st)
+	applyJournaled(t, st, a, []EditOp{{Cell: "A2", Value: num(9)}})
+	if err := st.Wait(a); err != nil {
+		t.Fatal(err)
+	}
+	err = st.View(a, func(_ *Session, eng *engine.Engine) error {
+		if v := eng.Value(ref.Ref{Col: 1, Row: 1}); v.Num != 3 {
+			t.Fatalf("A1 = %v after repair, want 3", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBootRefcountsAndOrphanSweep: restart refcounts are rebuilt from the
+// registry — shared artifacts referenced by any surviving entry stay, and
+// files no entry references (crash leftovers) are swept at boot.
+func TestBootRefcountsAndOrphanSweep(t *testing.T) {
+	dir := t.TempDir()
+	opts := deltaStoreOpts(dir)
+	st1, err := NewStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st1.Close)
+	st1.ckptBytes = 1
+	a := st1.Create("a", engine.New(nil)).ID
+	applyJournaled(t, st1, a, sheetBatch(16))
+	st1.Create("b", engine.New(nil)) // evicts a
+	child, err := st1.Fork(a, "kept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+
+	// Crash leftovers: a delta and a frozen base no registry entry names.
+	orphanDelta := filepath.Join(dir, "deadbeef.9"+deltaSuffix)
+	orphanBase := filepath.Join(dir, "deadbeef.9"+baseSuffix)
+	for _, p := range []string{orphanDelta, orphanBase} {
+		if err := os.WriteFile(p, append([]byte(nil), journal.DeltaMagic...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st2, err := NewStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for _, p := range []string{orphanDelta, orphanBase} {
+		if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("orphan %s survived the boot sweep (err=%v)", filepath.Base(p), err)
+		}
+	}
+	// The referenced frozen base survived, and both referents still restore.
+	if n := globCount(t, dir, a+".*"+baseSuffix); n != 1 {
+		t.Fatalf("frozen base count = %d, want 1", n)
+	}
+	for _, id := range []string{a, child.ID} {
+		if err := st2.View(id, func(*Session, *engine.Engine) error { return nil }); err != nil {
+			t.Fatalf("session %s does not restore after restart: %v", id, err)
+		}
+	}
+}

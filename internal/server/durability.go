@@ -99,9 +99,24 @@ func (st *Store) bootRecover() {
 		if err != nil && !errors.Is(err, os.ErrNotExist) {
 			head = 0 // unreadable journal: serve the snapshot alone
 		}
-		s := &Session{ID: e.ID, Name: e.Name, rev: e.SnapRev, snapRev: e.SnapRev, snapHeld: e.SnapHeld}
+		s := &Session{
+			ID: e.ID, Name: e.Name, rev: e.SnapRev, snapRev: e.SnapRev, snapHeld: e.SnapHeld,
+			baseID: e.BaseID, baseRev: e.BaseRev,
+			chain: append([]journal.ChainLink(nil), e.Chain...),
+		}
+		if e.BaseID == "" && len(e.Chain) == 0 {
+			// Pre-extension entry (or chain-free session): the own-file base
+			// holds exactly the snapshot revision.
+			s.baseRev = e.SnapRev
+		}
 		if head > s.rev {
 			s.rev = head
+		}
+		// Every registry entry is a live referent of its shared artifacts;
+		// the post-recovery orphan sweep relies on these counts being
+		// complete before the store serves.
+		for _, p := range st.sharedRefsLocked(s) {
+			st.incref(p)
 		}
 		s.tick.Store(st.clock.Add(1))
 		sh := st.shardFor(e.ID)
@@ -170,9 +185,11 @@ func (st *Store) recordCreate(s *Session, eng *engine.Engine) {
 		s.graphBlob, s.graphBlobGen = blob, gen
 		s.snapHeld = true
 		s.snapRev = 0
+		s.baseRev = 0
+		s.baseBytes = int64(buf.Len())
 		mSpillBytes.Add(uint64(buf.Len()))
 	}
-	if err := st.reg.Put(journal.Entry{ID: s.ID, Name: s.Name, SnapRev: s.snapRev, SnapHeld: s.snapHeld}); err != nil {
+	if err := st.reg.Put(regEntryLocked(s)); err != nil {
 		mDurabilityErrors.Inc()
 		return
 	}
@@ -203,7 +220,7 @@ func (st *Store) noteSpilled(victim *Session) {
 	if victim.jw == nil || victim.jw.Size() < st.ckptBytes {
 		return // registry entry from create (or the last checkpoint) still serves
 	}
-	err := st.reg.Put(journal.Entry{ID: victim.ID, Name: victim.Name, SnapRev: victim.snapRev, SnapHeld: victim.snapHeld})
+	err := st.reg.Put(regEntryLocked(victim))
 	if err == nil {
 		err = st.reg.Sync()
 	}
@@ -241,7 +258,7 @@ func (st *Store) restoreEngine(s *Session) (*engine.Engine, error) {
 	var eng *engine.Engine
 	if s.snapHeld {
 		var err error
-		eng, err = st.readSpill(s.ID, s.graph)
+		eng, err = st.readSpill(st.baseFilePathLocked(s), s.graph)
 		if err != nil {
 			if errors.Is(err, engine.ErrSnapshotChecksum) || errors.Is(err, engine.ErrBadEngineSnapshot) {
 				st.quarantine(s)
@@ -254,6 +271,14 @@ func (st *Store) restoreEngine(s *Session) (*engine.Engine, error) {
 		// journaled edits): replay rebuilds it from an empty engine.
 		eng = engine.New(nil)
 	}
+	// Delta chain between base and journal tail: each link's value-only
+	// records re-apply through the same bulk path. The chain leaves the
+	// compressed graph untouched, so the cached graph blob stays valid.
+	if len(s.chain) > 0 {
+		if err := st.replayChain(s, eng); err != nil {
+			return nil, err
+		}
+	}
 	if st.opts.Durable && s.rev > s.snapRev {
 		if err := st.replayJournal(s, eng); err != nil {
 			return nil, err
@@ -262,10 +287,11 @@ func (st *Store) restoreEngine(s *Session) (*engine.Engine, error) {
 	return eng, nil
 }
 
-// quarantine renames a corrupt spill file aside and poisons the session so
+// quarantine renames a corrupt base snapshot aside (the session's own spill
+// file, or the frozen shared base it chains off) and poisons the session so
 // every subsequent touch fails the same way instead of retrying the decode.
 func (st *Store) quarantine(s *Session) {
-	path := st.spillPath(s.ID)
+	path := st.baseFilePathLocked(s)
 	os.Rename(path, path+".corrupt")
 	s.corrupt = true
 	st.quarantined.Add(1)

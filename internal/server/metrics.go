@@ -78,6 +78,21 @@ var (
 	mRepairFailures = telemetry.NewCounter("taco_durability_repair_failures_total",
 		"Repair attempts that failed and were re-scheduled on backoff.")
 
+	// Delta snapshots and copy-on-write forks (delta.go).
+	mDeltaWrites = telemetry.NewCounter("taco_snap_delta_writes_total",
+		"Evictions and fork checkpoints that wrote a delta record file instead of a full snapshot.")
+	mDeltaBytes = telemetry.NewCounter("taco_snap_delta_bytes_total",
+		"Bytes written to delta record files (also included in taco_store_spill_bytes_total).")
+	mDeltaCompactions = telemetry.NewCounter("taco_snap_delta_compactions_total",
+		"Delta chains collapsed into a fresh full base snapshot.")
+	mDeltaReplayed = telemetry.NewCounter("taco_snap_delta_records_replayed_total",
+		"Delta-chain records replayed onto base snapshots at session restores.")
+	mForks = telemetry.NewCounter("taco_fork_sessions_total",
+		"Copy-on-write session forks created.")
+	mForkDuration = telemetry.NewHistogram("taco_fork_seconds",
+		"Fork creation latency: parent checkpoint, base freeze, and registry update.",
+		telemetry.DurationBounds())
+
 	// Journal shipping (replication.go). mReplShipped counts on the primary,
 	// the rest on the standby.
 	mReplShipped = telemetry.NewCounter("taco_repl_records_shipped_total",

@@ -11,6 +11,7 @@ import (
 	"hash/crc32"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -98,11 +99,14 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 	defer func() { buf.Reset(); bufPool.Put(buf) }()
 	buf.Reset()
 	var rev uint64
-	// A spilled session's file is authoritative and already in snapshot
-	// format: stream its bytes instead of faulting the session resident — a
-	// standby bootstrapping every cold session must not evict the hot set.
-	handled, err := s.store.ReadSpilled(id, func(br *bufio.Reader, fileRev uint64) error {
-		rev = fileRev
+	// A spilled session's base file is authoritative up to its revision and
+	// already in snapshot format: stream its bytes instead of faulting the
+	// session resident — a standby bootstrapping every cold session must not
+	// evict the hot set. With a delta chain, the base plus the chain records
+	// served by the journal endpoint reconstruct the full state, so an
+	// evicted-but-lightly-edited session ships the delta, not the sheet.
+	handled, err := s.store.ReadSpilledBase(id, func(br *bufio.Reader, baseRev uint64) error {
+		rev = baseRev
 		_, err := buf.ReadFrom(br)
 		return err
 	})
@@ -152,13 +156,21 @@ func (s *Server) handleReplJournal(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.RLock()
 	head, snapRev := sess.rev, sess.snapRev
+	chain := append([]journal.ChainLink(nil), sess.chain...)
+	floor := snapRev
+	if len(chain) > 0 {
+		// With a delta chain the snapshot endpoint ships the base alone, so
+		// the journal endpoint covers everything above the base: the chain's
+		// records first, then the live journal tail.
+		floor = sess.baseRev
+	}
 	sess.mu.RUnlock()
-	if from < snapRev {
-		// Records at or below snapRev may have been truncated away by a
+	if from < floor {
+		// Records at or below the floor may have been truncated away by a
 		// checkpoint; the snapshot is the only complete source.
-		w.Header().Set("X-Snapshot-Rev", strconv.FormatUint(snapRev, 10))
+		w.Header().Set("X-Snapshot-Rev", strconv.FormatUint(floor, 10))
 		writeErr(w, http.StatusConflict,
-			fmt.Errorf("rev %d predates snapshot rev %d: fetch the snapshot", from, snapRev))
+			fmt.Errorf("rev %d predates snapshot rev %d: fetch the snapshot", from, floor))
 		return
 	}
 	// A transient follower over the journal file: valid-prefix reads are
@@ -171,6 +183,29 @@ func (s *Server) handleReplJournal(w http.ResponseWriter, r *http.Request) {
 	buf.Write(journal.JournalMagic)
 	var rec []byte
 	shipped := 0
+	// Delta files are immutable once published, so they are read without any
+	// lock; records the follower already holds (rev <= from) are skipped, and
+	// any overlap with the journal tail below is dropped by the standby's
+	// exactly-once revision guard.
+	for _, link := range chain {
+		if link.Rev <= from {
+			continue
+		}
+		_, _, err := journal.ScanFile(s.store.deltaPath(link.ID, link.Rev), journal.DeltaMagic,
+			func(rev uint64, payload []byte) error {
+				if rev <= from {
+					return nil
+				}
+				rec = appendJournalRecord(rec[:0], rev, payload)
+				buf.Write(rec)
+				shipped++
+				return nil
+			})
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
 	fl := journal.NewFollower(s.store.journalPath(id), journal.JournalMagic, from)
 	if _, err := fl.Poll(func(rev uint64, payload []byte) error {
 		rec = appendJournalRecord(rec[:0], rev, payload)
@@ -245,13 +280,14 @@ func (st *Store) CreateReplica(id, name string, eng *engine.Engine, rev uint64) 
 	}
 	sh.mu.Unlock()
 	st.configureEngine(eng)
-	s := &Session{ID: id, Name: name, eng: eng, rev: rev, snapRev: rev}
+	s := &Session{ID: id, Name: name, eng: eng, rev: rev, snapRev: rev, baseRev: rev}
 	if st.opts.Durable {
 		buf := bufPool.Get().(*bytes.Buffer)
 		buf.Reset()
 		if err := eng.WriteSnapshot(buf); err == nil {
 			if err := writeFileAtomic(st.spillPath(id), buf.Bytes(), st.syncFiles()); err == nil {
 				s.snapHeld = true
+				s.baseBytes = int64(buf.Len())
 				mSpillBytes.Add(uint64(buf.Len()))
 			} else {
 				mDurabilityErrors.Inc()
@@ -261,7 +297,7 @@ func (st *Store) CreateReplica(id, name string, eng *engine.Engine, rev uint64) 
 		}
 		buf.Reset()
 		bufPool.Put(buf)
-		if err := st.reg.Put(journal.Entry{ID: id, Name: name, SnapRev: rev, SnapHeld: s.snapHeld}); err != nil {
+		if err := st.reg.Put(regEntryLocked(s)); err != nil {
 			mDurabilityErrors.Inc()
 		} else if err := st.reg.Sync(); err != nil {
 			mDurabilityErrors.Inc()

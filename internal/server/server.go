@@ -89,6 +89,7 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /sessions", s.handleList)
 	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionStats)
 	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /sessions/{id}/fork", s.handleFork)
 	s.mux.HandleFunc("POST /sessions/{id}/edits", s.handleEdits)
 	s.mux.HandleFunc("POST /sessions/{id}/flush", s.handleFlush)
 	s.mux.HandleFunc("GET /sessions/{id}/cells", s.handleCells)
@@ -272,6 +273,8 @@ func errStatus(err error) int {
 		return http.StatusGone
 	case errors.Is(err, ErrSessionDegraded):
 		return http.StatusInsufficientStorage
+	case errors.Is(err, ErrForkUnsupported):
+		return http.StatusBadRequest
 	case errors.Is(err, ErrStandby):
 		return http.StatusServiceUnavailable
 	default:
@@ -315,6 +318,32 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	sess := s.store.Create(req.Name, eng)
 	writeJSON(w, http.StatusCreated, sessionInfo(sess))
+}
+
+// ForkRequest is the (optional) body of POST /sessions/{id}/fork.
+type ForkRequest struct {
+	Name string `json:"name,omitempty"`
+}
+
+// handleFork creates a copy-on-write child of the session: a registry entry
+// sharing the parent's base snapshot and delta chain, O(1) in sheet size,
+// materialised lazily on first touch. Requires a durable store.
+func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
+	if s.fenceWrites(w) {
+		return
+	}
+	var req ForkRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	child, err := s.store.Fork(r.PathValue("id"), req.Name)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sessionInfo(child))
 }
 
 func (s *Server) handleCreateXLSX(w http.ResponseWriter, r *http.Request) {

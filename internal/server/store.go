@@ -104,6 +104,18 @@ type StoreOptions struct {
 	// "interval" (default 50ms) — the upper bound on edits a power failure
 	// can lose.
 	FsyncInterval time.Duration
+	// DeltaSnapshots enables base + delta-chain spills on a durable store:
+	// when everything since the held snapshot is value-only edits, eviction
+	// checkpoints the journal tail as a delta record file instead of
+	// re-encoding the whole engine — O(edits) written instead of O(sheet).
+	// Copy-on-write forks share bases and chains through the same machinery
+	// and work regardless of this flag (a fork checkpoint falls back to a
+	// full snapshot when deltas are off or ineligible). See delta.go.
+	DeltaSnapshots bool
+	// DeltaMaxChain caps the delta-chain length before a spill compacts the
+	// chain into a fresh full base (default 16). Longer chains amortise more
+	// eviction churn but cost more replay at restore.
+	DeltaMaxChain int
 }
 
 func (o StoreOptions) withDefaults() StoreOptions {
@@ -133,6 +145,9 @@ func (o StoreOptions) withDefaults() StoreOptions {
 	}
 	if o.FsyncInterval <= 0 {
 		o.FsyncInterval = 50 * time.Millisecond
+	}
+	if o.DeltaMaxChain <= 0 {
+		o.DeltaMaxChain = 16
 	}
 	return o
 }
@@ -177,6 +192,18 @@ type Session struct {
 	// jw is the session's edit journal writer, opened lazily on the first
 	// journaled edit of a durable store (guarded by mu).
 	jw *journal.Writer
+	// Delta-chain state (delta.go), guarded by mu. baseID names the session
+	// whose frozen base snapshot (<baseID>.<baseRev>.tacob) roots this
+	// session's chain — the copy-on-write sharing edge; empty means the
+	// session's own spill file is the base, at baseRev. chain lists the
+	// delta files replayed on top; snapRev always equals the last link's
+	// rev (or baseRev with no chain). baseBytes/chainBytes drive the
+	// compaction byte-ratio (0 baseBytes = unknown, e.g. boot-recovered).
+	baseID     string
+	baseRev    uint64
+	chain      []journal.ChainLink
+	baseBytes  int64
+	chainBytes int64
 	// corrupt poisons a session whose spill file failed its integrity check
 	// at restore; the file is quarantined and every touch returns
 	// ErrSnapshotCorrupt rather than serving bad data. Guarded by mu.
@@ -271,6 +298,13 @@ type Store struct {
 	reg       *journal.Registry
 	ckptBytes int64 // journal size that makes a spill checkpoint the registry
 
+	// refs counts live sessions referencing each shared snapshot artifact
+	// (frozen bases, delta files) by path; the last decref unlinks the file.
+	// Rebuilt from the registry at boot. refMu is a leaf lock, safe under a
+	// session lock. See delta.go.
+	refMu sync.Mutex
+	refs  map[string]int
+
 	// repq is the degraded-session repair queue (degrade.go): one worker,
 	// deduplicated entries, per-session capped backoff between attempts.
 	// Lock order: repq.mu is a leaf, safe under a session lock.
@@ -317,6 +351,7 @@ func NewStore(opts StoreOptions) (*Store, error) {
 		}
 	}
 	st := &Store{opts: opts, shards: make([]*shard, opts.Shards)}
+	st.refs = make(map[string]int)
 	for i := range st.shards {
 		st.shards[i] = &shard{sessions: make(map[string]*Session), lru: list.New()}
 	}
@@ -325,6 +360,7 @@ func NewStore(opts StoreOptions) (*Store, error) {
 			return nil, err
 		}
 		st.bootRecover()
+		st.sweepOrphans()
 	}
 	st.rq.cond = sync.NewCond(&st.rq.mu)
 	st.repq.cond = sync.NewCond(&st.repq.mu)
@@ -589,8 +625,11 @@ func (st *Store) Wait(id string) error {
 	deleted := s.deleted
 	// A boot-recovered session whose journal tail has not been replayed yet
 	// (rev ahead of the snapshot) is NOT settled even though it has no
-	// engine: the barrier must fault it in so its replayed cells drain.
-	tail := s.eng == nil && s.rev != s.snapRev
+	// engine: the barrier must fault it in so its replayed cells drain. A
+	// spilled session carrying a delta chain is in the same position — the
+	// delta spill dropped residency without draining, and restore re-dirties
+	// every chained edit.
+	tail := s.eng == nil && (s.rev != s.snapRev || len(s.chain) > 0)
 	settled := !tail && (s.eng == nil || s.pending == 0)
 	pending0 := s.pending
 	s.mu.RUnlock()
@@ -798,12 +837,13 @@ func (st *Store) ReadSpilled(id string, fn func(br *bufio.Reader, rev uint64) er
 	if s.eng != nil {
 		return false, nil
 	}
-	if s.rev != s.snapRev || s.corrupt {
-		// Boot-recovered with an unreplayed journal tail (the file is stale)
-		// or quarantined: fall back to the faulting path.
+	if s.rev != s.snapRev || s.corrupt || len(s.chain) > 0 {
+		// Boot-recovered with an unreplayed journal tail (the file is stale),
+		// quarantined, or chained (the base alone is not the current state):
+		// fall back to the faulting path.
 		return false, nil
 	}
-	f, err := os.Open(st.spillPath(s.ID))
+	f, err := os.Open(st.baseFilePathLocked(s))
 	if err != nil {
 		return false, nil
 	}
@@ -930,6 +970,9 @@ func (st *Store) Delete(id string) error {
 	}
 	jw := s.jw
 	s.jw = nil
+	sharedRefs := st.sharedRefsLocked(s)
+	s.baseID = ""
+	s.chain = nil
 	// Unlink from the LRU while still holding s.mu (the permitted s.mu ->
 	// sh.mu order): a restore that raced the map removal above may have
 	// re-registered the session, and leaving it listed would permanently
@@ -947,6 +990,12 @@ func (st *Store) Delete(id string) error {
 	}
 	if st.opts.SpillDir != "" {
 		os.Remove(st.spillPath(id))
+	}
+	// Shared artifacts (frozen base, delta files) go away only with their
+	// last referent — a forked child keeps its parent's base and chain alive
+	// past the parent's deletion.
+	for _, p := range sharedRefs {
+		st.decref(p)
 	}
 	if st.opts.Durable {
 		st.recordDelete(id)
@@ -1089,27 +1138,33 @@ func (st *Store) spill(victim *Session) error {
 		mEvictions.Inc()
 		return nil
 	}
-	// Serialise to a pooled buffer, then publish atomically: same-directory
-	// temp file + rename, so neither a crash mid-write nor a restarted
-	// durable store can ever observe a torn snapshot at the final path.
-	buf := bufPool.Get().(*bytes.Buffer)
-	defer func() { buf.Reset(); bufPool.Put(buf) }()
-	buf.Reset()
-	if st.opts.NoGraphPin {
-		if err := victim.eng.WriteSnapshot(buf); err != nil {
-			return err
+	// Delta path: when the journal tail since the held snapshot is pure
+	// value edits, checkpoint the tail as a delta file chained off the base
+	// — O(edits) written instead of O(sheet). Restore replays the chain
+	// through the bulk-edit path, leaving those cells dirty exactly like a
+	// journal-tail replay, so draining is not required before dropping
+	// residency here. Any ineligibility or write failure falls through to
+	// the full snapshot below.
+	if st.deltaEligibleLocked(victim) && st.writeDeltaLocked(victim) {
+		if !st.opts.NoGraphPin {
+			victim.graph = victim.eng.TACOGraph()
 		}
-	} else {
-		blob, gen, err := victim.eng.WriteSnapshotCached(buf, victim.graphBlob, victim.graphBlobGen)
-		if err != nil {
-			return err
-		}
-		victim.graphBlob, victim.graphBlobGen = blob, gen
+		victim.eng.Recycle()
+		victim.eng = nil
+		victim.pending = 0
+		st.noteSpilled(victim)
+		st.evictions.Add(1)
+		mEvictions.Inc()
+		return nil
 	}
-	if err := writeFileAtomic(st.spillPath(victim.ID), buf.Bytes(), st.syncFiles()); err != nil {
+	// Full snapshot (writeFullLocked serialises to a pooled buffer, then
+	// publishes atomically: same-directory temp file + rename, so neither a
+	// crash mid-write nor a restarted durable store can ever observe a torn
+	// snapshot at the final path). A fresh base also compacts any delta
+	// chain away.
+	if err := st.writeFullLocked(victim); err != nil {
 		return err
 	}
-	mSpillBytes.Add(uint64(buf.Len()))
 	// WriteSnapshot drained the pending recalculation before serialising, so
 	// the stored values are authoritative.
 	if !st.opts.NoGraphPin {
@@ -1118,20 +1173,18 @@ func (st *Store) spill(victim *Session) error {
 	victim.eng.Recycle()
 	victim.eng = nil
 	victim.pending = 0
-	victim.snapHeld = true
-	victim.snapRev = victim.rev
 	st.noteSpilled(victim)
 	st.evictions.Add(1)
 	mEvictions.Inc()
 	return nil
 }
 
-// readSpill restores an engine from the session's spill file, verifying the
-// snapshot's whole-file checksum first (a TACOE1 file from before checksums
-// passes vacuously). With a pinned graph the restore decodes only the cell
-// section and rebuilds around it.
-func (st *Store) readSpill(id string, pinned *core.Graph) (*engine.Engine, error) {
-	data, err := faultfs.ReadFile(st.spillPath(id))
+// readSpill restores an engine from the snapshot file at path, verifying
+// the snapshot's whole-file checksum first (a TACOE1 file from before
+// checksums passes vacuously). With a pinned graph the restore decodes only
+// the cell section and rebuilds around it.
+func (st *Store) readSpill(path string, pinned *core.Graph) (*engine.Engine, error) {
+	data, err := faultfs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,12 @@
 # Crash-recovery smoke: drive journaled edits into a durable tacoserve,
 # SIGKILL it mid-stream, restart it on the same spill directory, and verify
 # with `tacoload -replay` that every session is rediscovered and replays to
-# the exact values of a never-crashed run.
+# the exact values of a never-crashed run. The server runs with a resident
+# cap well below the session count, so the stream is also an eviction-churn
+# drill: spills land as base snapshots plus delta chains (delta snapshots
+# default on), and the kill can tear a delta append or a chain compaction
+# mid-write. A second load-kill-restart round replays on top of recovered,
+# chained sessions.
 #
 # Usage: BIN=bin scripts/crash_smoke.sh   (BIN holds tacoserve + tacoload)
 set -eu
@@ -39,8 +44,12 @@ wait_ready() {
 # The workload flags must match between the edit run and -replay: the
 # verifier regenerates the same sessions and edit streams from them.
 LOAD_FLAGS="-sessions 8 -edits 800 -rows 40 -batch 4"
+# A resident cap below the session count makes every run an eviction-churn
+# drill over the delta-snapshot spill path.
+SERVE_FLAGS="-durable -max-resident 4"
 
-"$BIN/tacoserve" -addr "$ADDR" -port-file "$PORT_FILE" -durable -spill-dir "$SPILL" &
+# shellcheck disable=SC2086
+"$BIN/tacoserve" -addr "$ADDR" -port-file "$PORT_FILE" $SERVE_FLAGS -spill-dir "$SPILL" &
 server_pid=$!
 wait_ready
 
@@ -63,7 +72,30 @@ server_pid=""
 # session back. A fresh free port (and a fresh port file — the spill dir
 # survives, the file must not) proves recovery is address-independent.
 rm -f "$PORT_FILE"
-"$BIN/tacoserve" -addr "$ADDR" -port-file "$PORT_FILE" -durable -spill-dir "$SPILL" &
+# shellcheck disable=SC2086
+"$BIN/tacoserve" -addr "$ADDR" -port-file "$PORT_FILE" $SERVE_FLAGS -spill-dir "$SPILL" &
+server_pid=$!
+wait_ready
+
+# shellcheck disable=SC2086
+"$BIN/tacoload" -addr "http://$BOUND" $LOAD_FLAGS -replay
+
+# Round two: another load burst on top of the recovered sessions — whose
+# state is now base + delta chains — killed and recovered again. Sessions
+# share names across rounds, which -replay handles: each regenerates the
+# same stream and is verified against its own acknowledged rev prefix.
+# shellcheck disable=SC2086
+"$BIN/tacoload" -addr "http://$BOUND" $LOAD_FLAGS -drain-probes 0 &
+load_pid=$!
+sleep 0.4
+kill -9 "$server_pid"
+wait "$load_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+rm -f "$PORT_FILE"
+# shellcheck disable=SC2086
+"$BIN/tacoserve" -addr "$ADDR" -port-file "$PORT_FILE" $SERVE_FLAGS -spill-dir "$SPILL" &
 server_pid=$!
 wait_ready
 

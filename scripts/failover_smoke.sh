@@ -43,7 +43,11 @@ wait_ready() {
 # verifier regenerates the same sessions and edit streams from them.
 LOAD_FLAGS="-sessions 8 -edits 800 -rows 40 -batch 4"
 
-"$BIN/tacoserve" -addr "$ADDR" -port-file "$PRI_PORT_FILE" -durable -spill-dir "$PRI_SPILL" &
+# The primary runs with a resident cap below the session count: evicted
+# sessions spill as base + delta chains, so the standby's bootstrap ships a
+# spilled base and the chain records over the journal endpoint — the
+# evicted-but-lightly-edited transfer path.
+"$BIN/tacoserve" -addr "$ADDR" -port-file "$PRI_PORT_FILE" -durable -max-resident 4 -spill-dir "$PRI_SPILL" &
 pri_pid=$!
 wait_ready "$PRI_PORT_FILE"
 PRI_BOUND=$BOUND
@@ -101,9 +105,14 @@ if [ "$code" != "201" ]; then
     exit 1
 fi
 
-# Atomic writes on both sides: no torn temp files, nothing quarantined.
-leftovers=$(find "$PRI_SPILL" "$SBY_SPILL" -name '*.tmp' -o -name '*.corrupt' | wc -l)
-if [ "$leftovers" -ne 0 ]; then
+# Atomic writes: the standby's tree must be clean, and nothing anywhere may
+# be quarantined. The dead primary's dir is allowed a stranded .tmp — a
+# SIGKILL mid-spill legitimately leaves one, and the boot sweep reclaims it
+# on restart, but this primary is never restarted (the runbook rebuilds it
+# as a standby).
+leftovers=$(find "$SBY_SPILL" -name '*.tmp' -o -name '*.corrupt' | wc -l)
+quarantined=$(find "$PRI_SPILL" -name '*.corrupt' | wc -l)
+if [ "$leftovers" -ne 0 ] || [ "$quarantined" -ne 0 ]; then
     echo "failover_smoke: torn or quarantined files in spill dirs:" >&2
     find "$PRI_SPILL" "$SBY_SPILL" -name '*.tmp' -o -name '*.corrupt' >&2
     exit 1
